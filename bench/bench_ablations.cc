@@ -1,0 +1,100 @@
+// Design-choice ablations (DESIGN.md §5b).
+//
+// Not a paper table: these sweeps justify the substrate decisions the
+// reproduction depends on.
+//   A1  MLM pre-training budget vs. downstream X-Class accuracy and the
+//       "BERT w. simple match" baseline (context-sensitivity emerges with
+//       training).
+//   A2  Frequency-aware masking on/off at a fixed budget.
+//   A3  WeSTClass: pseudo-document count and embedding warm-start.
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/baselines.h"
+#include "core/westclass.h"
+#include "core/xclass.h"
+#include "eval/metrics.h"
+
+namespace stm {
+
+int Main() {
+  datasets::SyntheticSpec spec = datasets::AgNewsSpec(211);
+  spec.num_docs = 300;
+  spec.pretrain_docs = 900;
+  const datasets::SyntheticDataset data = datasets::Generate(spec);
+  const auto gold = data.corpus.GoldLabels();
+
+  // ---- A1: pre-training budget ----
+  {
+    bench::Table table("A1 — MLM budget vs downstream quality",
+                       {"XClass acc", "SimpleMatch"});
+    for (int steps : {200, 600, 1200}) {
+      auto model = bench::PretrainedLm(data, steps);
+      core::XClassConfig config;
+      core::XClass xclass(data.corpus, model.get(), config);
+      const double xacc =
+          eval::Accuracy(xclass.Run(data.leaf_name_tokens), gold);
+      const double match = eval::Accuracy(
+          core::PlmSimpleMatchClassify(data.corpus, *model,
+                                       data.leaf_name_tokens),
+          gold);
+      table.AddRow("steps=" + std::to_string(steps), {xacc, match});
+    }
+    table.Print();
+  }
+
+  // ---- A2: frequency-aware masking ----
+  {
+    bench::Table table("A2 — frequency-aware masking (600 steps)",
+                       {"XClass acc"});
+    for (bool freq_aware : {true, false}) {
+      plm::MiniLmConfig config;
+      config.vocab_size = data.corpus.vocab().size();
+      config.dim = 40;
+      config.layers = 2;
+      config.heads = 4;
+      config.ffn_dim = 80;
+      config.max_seq = 40;
+      plm::PretrainConfig pretrain;
+      pretrain.steps = 600;
+      pretrain.frequency_aware_masking = freq_aware;
+      plm::MiniLm model(config);
+      model.Pretrain(data.pretrain_docs, pretrain);
+      core::XClassConfig xconfig;
+      core::XClass xclass(data.corpus, &model, xconfig);
+      table.AddRow(freq_aware ? "frequency-aware" : "uniform masking",
+                   {eval::Accuracy(xclass.Run(data.leaf_name_tokens),
+                                   gold)});
+    }
+    table.Print();
+  }
+
+  // ---- A3: WeSTClass pseudo-document budget and warm start ----
+  {
+    bench::Table table("A3 — WeSTClass-CNN design knobs (LABELS mode)",
+                       {"accuracy"});
+    for (size_t pseudo : {40u, 150u}) {
+      for (bool warm : {true, false}) {
+        core::WestClassConfig config;
+        config.classifier = "cnn";
+        config.pseudo_docs_per_class = pseudo;
+        config.warm_start_embeddings = warm;
+        config.seed = 219;
+        core::WestClass method(data.corpus, config);
+        const double acc = eval::Accuracy(
+            method.Run(core::Supervision::kLabels, data.supervision), gold);
+        table.AddRow("pseudo=" + std::to_string(pseudo) +
+                         (warm ? " warm-start" : " cold-start"),
+                     {acc});
+      }
+    }
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace stm
+
+int main() { return stm::Main(); }

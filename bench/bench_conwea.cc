@@ -1,0 +1,166 @@
+// E2 — ConWea results table (ACL'20).
+//
+// Micro/Macro-F1 on NYT (5-class coarse, 25-class fine) and 20 Newsgroups
+// (6-class coarse, 20-class fine) with polysemous seed words. Rows:
+// IR-TF-IDF, Dataless, Word2Vec, WeSTClass, ConWea, the three ConWea
+// ablations, and the supervised HAN upper bound.
+//
+// Expected shape (paper): ConWea > every weakly-supervised baseline;
+// ablation order ConWea > NoCon ~ NoExpan > WSD; supervised on top.
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/baselines.h"
+#include "core/conwea.h"
+#include "core/westclass.h"
+#include "embedding/sgns.h"
+#include "eval/metrics.h"
+
+namespace stm {
+namespace {
+
+struct View {
+  std::string name;
+  text::Corpus corpus;
+  text::WeakSupervision supervision;
+  std::unique_ptr<plm::MiniLm> model;  // shared across views of a dataset
+  plm::MiniLm* lm = nullptr;
+};
+
+}  // namespace
+
+int Main() {
+  // Build both datasets once; coarse/fine views share the vocabulary and
+  // the pre-trained LM.
+  std::vector<View> views;
+  {
+    datasets::SyntheticSpec spec = datasets::NytSpec(21);
+    spec.num_docs = 600;
+    spec.pretrain_docs = 900;
+    datasets::SyntheticDataset data = datasets::Generate(spec);
+    auto model = bench::PretrainedLm(data);
+    plm::MiniLm* lm = model.get();
+    datasets::FlatView coarse = datasets::FlattenToDepth(data, 0);
+    datasets::FlatView fine = datasets::FlattenToDepth(data, 1);
+    views.push_back({"NYT 5-Class (Coarse)", std::move(coarse.corpus),
+                     std::move(coarse.supervision), std::move(model), lm});
+    views.push_back({"NYT 25-Class (Fine)", std::move(fine.corpus),
+                     std::move(fine.supervision), nullptr, lm});
+  }
+  {
+    datasets::SyntheticSpec spec = datasets::TwentyNewsSpec(22);
+    spec.num_docs = 600;
+    spec.pretrain_docs = 900;
+    datasets::SyntheticDataset data = datasets::Generate(spec);
+    auto model = bench::PretrainedLm(data);
+    plm::MiniLm* lm = model.get();
+    datasets::FlatView coarse = datasets::FlattenToDepth(data, 0);
+    datasets::FlatView fine = datasets::FlattenToDepth(data, 1);
+    views.push_back({"20News 6-Class (Coarse)", std::move(coarse.corpus),
+                     std::move(coarse.supervision), std::move(model), lm});
+    views.push_back({"20News 20-Class (Fine)", std::move(fine.corpus),
+                     std::move(fine.supervision), nullptr, lm});
+  }
+
+  std::vector<std::string> columns;
+  for (const auto& view : views) {
+    columns.push_back(view.name.substr(0, 6) +
+                      (view.name.find("Coarse") != std::string::npos
+                           ? ":Co"
+                           : ":Fi"));
+  }
+  const std::vector<std::string> rows = {
+      "IR-TF-IDF",       "Dataless",         "Word2Vec",
+      "WeSTClass",       "ConWea",           "ConWea-NoCon",
+      "ConWea-NoExpan",  "ConWea-WSD",       "HAN-Supervised (bound)"};
+
+  for (bool micro : {true, false}) {
+    bench::Table table(std::string("E2 ConWea — ") +
+                           (micro ? "Micro-F1" : "Macro-F1"),
+                       columns);
+    std::vector<std::vector<double>> cells(
+        rows.size(), std::vector<double>(columns.size(), -1));
+
+    for (size_t v = 0; v < views.size(); ++v) {
+      View& view = views[v];
+      bench::Progress(view.name);
+      const auto gold = view.corpus.GoldLabels();
+      const size_t num_classes = view.corpus.num_labels();
+      auto score = [&](const std::vector<int>& pred) {
+        return micro ? eval::MicroF1(pred, gold, num_classes)
+                     : eval::MacroF1(pred, gold, num_classes);
+      };
+
+      cells[0][v] = score(core::IrTfIdfClassify(
+          view.corpus, view.supervision.class_keywords));
+
+      // Static embeddings for Dataless / Word2Vec rows.
+      std::vector<std::vector<int32_t>> tokens;
+      for (const auto& doc : view.corpus.docs()) {
+        tokens.push_back(doc.tokens);
+      }
+      embedding::SgnsConfig sgns;
+      sgns.epochs = 6;
+      sgns.seed = 33;
+      const embedding::WordEmbeddings embeddings =
+          embedding::WordEmbeddings::Train(tokens,
+                                           view.corpus.vocab().size(), sgns);
+      // Dataless: names only; Word2Vec: full seed sets.
+      std::vector<std::vector<int32_t>> names_only;
+      for (const auto& seeds : view.supervision.class_keywords) {
+        names_only.push_back({seeds[0]});
+      }
+      cells[1][v] = score(core::EmbeddingSimilarityClassify(
+          view.corpus, embeddings, names_only));
+      cells[2][v] = score(core::EmbeddingSimilarityClassify(
+          view.corpus, embeddings, view.supervision.class_keywords));
+
+      {
+        core::WestClassConfig config;
+        config.classifier = "bow";
+        config.seed = 44;
+        core::WestClass method(view.corpus, config);
+        cells[3][v] =
+            score(method.Run(core::Supervision::kKeywords,
+                             view.supervision));
+      }
+
+      auto run_conwea = [&](bool contextualize, bool expand,
+                            bool class_aware) {
+        core::ConWeaConfig config;
+        config.max_occurrences = 25;
+        config.enable_contextualization = contextualize;
+        config.enable_expansion = expand;
+        config.class_aware_senses = class_aware;
+        config.seed = 45;
+        core::ConWea method(view.corpus, view.lm, config);
+        return score(method.Run(view.supervision));
+      };
+      cells[4][v] = run_conwea(true, true, true);     // full
+      cells[5][v] = run_conwea(false, true, true);    // NoCon
+      cells[6][v] = run_conwea(true, false, true);    // NoExpan
+      cells[7][v] = run_conwea(true, true, false);    // WSD
+
+      {
+        // Supervised upper bound on 80% of the corpus.
+        std::vector<size_t> train;
+        for (size_t d = 0; d < view.corpus.num_docs(); ++d) {
+          if (d % 5 != 0) train.push_back(d);
+        }
+        cells[8][v] = score(core::SupervisedBound(view.corpus, train,
+                                                  "han", 12, 46));
+      }
+    }
+    for (size_t r = 0; r < rows.size(); ++r) {
+      table.AddRow(rows[r], cells[r]);
+    }
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace stm
+
+int main() { return stm::Main(); }

@@ -1,0 +1,178 @@
+// E10 — MetaCat Tables 2-3 (SIGIR'20).
+//
+// Micro-F1 and Macro-F1 on the five metadata corpora (GitHub-Bio,
+// GitHub-AI, GitHub-Sec, Amazon, Twitter) with a few labeled documents per
+// class. Rows: text-based baselines (CNN, HAN, WeSTClass), graph-based
+// metapath2vec, MetaCat without metadata features (ablation), and MetaCat.
+//
+// Expected shape (paper): MetaCat tops every dataset; metadata helps most
+// on the small weak-text corpora (GitHub-Bio/AI); graph baselines beat
+// pure-text CNN/HAN at this label budget.
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/baselines.h"
+#include "core/metacat.h"
+#include "core/westclass.h"
+#include "eval/metrics.h"
+#include "graph/hin.h"
+#include "nn/feature_classifier.h"
+
+namespace stm {
+namespace {
+
+struct Entry {
+  std::string name;
+  datasets::SyntheticDataset data;
+};
+
+// metapath2vec baseline: HIN node embeddings + nearest labeled centroid.
+std::vector<int> Metapath2VecClassify(
+    const text::Corpus& corpus,
+    const std::vector<std::vector<size_t>>& labeled_docs, uint64_t seed) {
+  graph::HinBuildOptions options;
+  graph::Hin hin = graph::BuildHin(corpus, options);
+  std::vector<std::vector<int>> walks;
+  for (const auto& metapath : std::vector<std::vector<std::string>>{
+           {"doc", "user", "doc"}, {"doc", "tag", "doc"}}) {
+    auto more = graph::MetaPathWalks(hin, metapath, 4, 9, seed);
+    walks.insert(walks.end(), more.begin(), more.end());
+  }
+  graph::NodeEmbeddingConfig config;
+  config.seed = seed + 1;
+  const la::Matrix emb =
+      graph::TrainNodeEmbeddings(walks, hin.num_nodes(), config);
+  // Class centroids from the labeled docs.
+  const size_t num_classes = corpus.num_labels();
+  la::Matrix centroids(num_classes, emb.cols());
+  for (size_t c = 0; c < num_classes; ++c) {
+    for (size_t d : labeled_docs[c]) {
+      la::Axpy(1.0f, emb.Row(d), centroids.Row(c), emb.cols());
+    }
+    la::NormalizeInPlace(centroids.Row(c), emb.cols());
+  }
+  std::vector<int> pred(corpus.num_docs(), 0);
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    float best = -2.0f;
+    for (size_t c = 0; c < num_classes; ++c) {
+      const float sim =
+          la::Cosine(emb.Row(d), centroids.Row(c), emb.cols());
+      if (sim > best) {
+        best = sim;
+        pred[d] = static_cast<int>(c);
+      }
+    }
+  }
+  return pred;
+}
+
+}  // namespace
+
+int Main() {
+  std::vector<Entry> entries;
+  {
+    datasets::SyntheticSpec spec = datasets::GithubBioSpec(161);
+    spec.num_docs = 260;
+    spec.pretrain_docs = 0;
+    entries.push_back({"GitHub-Bio", datasets::Generate(spec)});
+  }
+  {
+    datasets::SyntheticSpec spec = datasets::GithubAiSpec(162);
+    spec.num_docs = 380;
+    spec.pretrain_docs = 0;
+    entries.push_back({"GitHub-AI", datasets::Generate(spec)});
+  }
+  {
+    datasets::SyntheticSpec spec = datasets::GithubSecSpec(163);
+    spec.num_docs = 600;
+    spec.pretrain_docs = 0;
+    entries.push_back({"GitHub-Sec", datasets::Generate(spec)});
+  }
+  {
+    datasets::SyntheticSpec spec = datasets::AmazonMetaSpec(164);
+    spec.num_docs = 500;
+    spec.pretrain_docs = 0;
+    entries.push_back({"Amazon", datasets::Generate(spec)});
+  }
+  {
+    datasets::SyntheticSpec spec = datasets::TwitterSpec(165);
+    spec.num_docs = 500;
+    spec.pretrain_docs = 0;
+    entries.push_back({"Twitter", datasets::Generate(spec)});
+  }
+
+  std::vector<std::string> columns;
+  for (const auto& entry : entries) columns.push_back(entry.name);
+  const std::vector<std::string> rows = {
+      "CNN (labeled docs)",  "HAN (labeled docs)", "WeSTClass (DOCS)",
+      "Metapath2vec",        "MetaCat (text only)", "MetaCat"};
+
+  for (bool micro : {true, false}) {
+    bench::Table table(std::string("E10 MetaCat — ") +
+                           (micro ? "Micro-F1" : "Macro-F1") +
+                           ", 10 labeled docs per class",
+                       columns);
+    std::vector<std::vector<double>> cells(
+        rows.size(), std::vector<double>(columns.size(), -1));
+
+    for (size_t e = 0; e < entries.size(); ++e) {
+      Entry& entry = entries[e];
+      bench::Progress(entry.name);
+      const auto gold = entry.data.corpus.GoldLabels();
+      const size_t num_classes = entry.data.corpus.num_labels();
+      const auto labeled =
+          datasets::SampleLabeledDocs(entry.data.corpus, 10, 171);
+      auto score = [&](const std::vector<int>& pred) {
+        return micro ? eval::MicroF1(pred, gold, num_classes)
+                     : eval::MacroF1(pred, gold, num_classes);
+      };
+      std::vector<size_t> labeled_flat;
+      for (const auto& docs : labeled) {
+        labeled_flat.insert(labeled_flat.end(), docs.begin(), docs.end());
+      }
+
+      cells[0][e] = score(core::SupervisedBound(entry.data.corpus,
+                                                labeled_flat, "cnn", 15,
+                                                172));
+      cells[1][e] = score(core::SupervisedBound(entry.data.corpus,
+                                                labeled_flat, "han", 15,
+                                                173));
+      {
+        text::WeakSupervision supervision = entry.data.supervision;
+        supervision.labeled_docs = labeled;
+        core::WestClassConfig config;
+        config.classifier = "bow";
+        config.seed = 174;
+        core::WestClass method(entry.data.corpus, config);
+        cells[2][e] =
+            score(method.Run(core::Supervision::kDocs, supervision));
+      }
+      cells[3][e] =
+          score(Metapath2VecClassify(entry.data.corpus, labeled, 175));
+      {
+        core::MetaCatConfig config;
+        config.use_metadata_features = false;
+        config.seed = 176;
+        core::MetaCat method(entry.data.corpus, config);
+        cells[4][e] = score(method.Run(labeled));
+      }
+      {
+        core::MetaCatConfig config;
+        config.seed = 176;
+        core::MetaCat method(entry.data.corpus, config);
+        cells[5][e] = score(method.Run(labeled));
+      }
+    }
+    for (size_t r = 0; r < rows.size(); ++r) {
+      table.AddRow(rows[r], cells[r]);
+    }
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace stm
+
+int main() { return stm::Main(); }

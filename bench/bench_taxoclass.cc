@@ -1,0 +1,231 @@
+// E9 — TaxoClass results table (NAACL'21).
+//
+// Example-F1 and P@1 on the Amazon-531-like and DBpedia-298-like
+// multi-label taxonomies (scaled down). Rows: WeSHClass (paths as label
+// sets), Hier-0Shot-TC (the relevance model alone, top-down), a
+// semi-supervised bound trained on 30% gold labels, and TaxoClass.
+//
+// Expected shape (paper): TaxoClass > Hier-0Shot-TC > semi-supervised at
+// this label budget > WeSHClass.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/string_util.h"
+#include "core/taxoclass.h"
+#include "core/weshclass.h"
+#include "eval/metrics.h"
+#include "nn/feature_classifier.h"
+
+namespace stm {
+namespace {
+
+struct Entry {
+  std::string name;
+  datasets::SyntheticDataset data;
+  std::vector<std::vector<int32_t>> node_names;
+};
+
+Entry MakeEntry(const std::string& name, datasets::SyntheticSpec spec) {
+  spec.num_docs = 350;
+  spec.pretrain_docs = 900;
+  Entry entry;
+  entry.name = name;
+  entry.data = datasets::Generate(spec);
+  entry.node_names.resize(entry.data.tree.size());
+  for (size_t n = 0; n < entry.data.tree.size(); ++n) {
+    for (const auto& part :
+         SplitWhitespace(entry.data.tree.NameOf(static_cast<int>(n)))) {
+      entry.node_names[n].push_back(entry.data.corpus.vocab().IdOf(part));
+    }
+  }
+  return entry;
+}
+
+}  // namespace
+
+int Main() {
+  std::vector<Entry> entries;
+  entries.push_back(MakeEntry("Amazon", datasets::AmazonTaxoSpec(141)));
+  entries.push_back(MakeEntry("DBPedia", datasets::DbpediaTaxoSpec(142)));
+
+  std::vector<std::string> columns;
+  for (const auto& entry : entries) {
+    columns.push_back(entry.name + ":ExF1");
+    columns.push_back(entry.name + ":P@1");
+  }
+  const std::vector<std::string> rows = {
+      "WeSHClass", "Semi-Bow (30% labels)", "Hier-0Shot-TC",
+      "TaxoClass"};
+  bench::Table table("E9 TaxoClass — multi-label taxonomy classification",
+                     columns);
+  std::vector<std::vector<double>> cells(
+      rows.size(), std::vector<double>(columns.size(), -1));
+
+  for (size_t e = 0; e < entries.size(); ++e) {
+    Entry& entry = entries[e];
+    bench::Progress(entry.name);
+    auto model = bench::PretrainedLm(entry.data);
+    const size_t num_nodes = entry.data.tree.size();
+    const size_t num_docs = entry.data.corpus.num_docs();
+
+    // Gold label sets closed under ancestors.
+    std::vector<std::vector<int>> gold;
+    for (const auto& doc : entry.data.corpus.docs()) {
+      gold.push_back(entry.data.tree.ClosureOf(doc.labels));
+    }
+    auto put = [&](size_t row, const std::vector<std::vector<int>>& pred,
+                   const std::vector<std::vector<int>>& ranked) {
+      cells[row][2 * e] = eval::ExampleF1(pred, gold);
+      cells[row][2 * e + 1] = eval::PrecisionAtK(ranked, gold, 1);
+    };
+
+    // --- WeSHClass: single predicted path per doc. ---
+    {
+      core::WeshClassConfig config;
+      config.classifier = "bow";
+      config.seed = 151;
+      core::WeshClass method(entry.data.corpus, entry.data.tree,
+                             entry.node_names, config);
+      const auto paths = method.Run();
+      std::vector<std::vector<int>> pred(paths.size());
+      std::vector<std::vector<int>> ranked(paths.size());
+      for (size_t d = 0; d < paths.size(); ++d) {
+        pred[d] = paths[d];
+        // Rank: leaf first, then ancestors upward.
+        ranked[d].assign(paths[d].rbegin(), paths[d].rend());
+      }
+      put(0, pred, ranked);
+    }
+
+    // --- Semi-supervised bound: multi-label bow MLP on 30% gold. ---
+    {
+      const size_t vocab_size = entry.data.corpus.vocab().size();
+      la::Matrix features(num_docs, vocab_size);
+      for (size_t d = 0; d < num_docs; ++d) {
+        float total = 0.0f;
+        float* row = features.Row(d);
+        for (int32_t id : entry.data.corpus.docs()[d].tokens) {
+          if (id < text::kNumSpecialTokens) continue;
+          row[id] += 1.0f;
+          total += 1.0f;
+        }
+        if (total > 0.0f) {
+          for (size_t j = 0; j < vocab_size; ++j) row[j] /= total;
+        }
+      }
+      std::vector<size_t> train;
+      for (size_t d = 0; d < num_docs; ++d) {
+        if (d % 10 < 3) train.push_back(d);
+      }
+      la::Matrix train_x(train.size(), vocab_size);
+      la::Matrix train_y(train.size(), num_nodes);
+      for (size_t i = 0; i < train.size(); ++i) {
+        train_x.SetRow(i, features.RowVec(train[i]));
+        for (int node : gold[train[i]]) {
+          train_y.At(i, static_cast<size_t>(node)) = 1.0f;
+        }
+      }
+      nn::FeatureMlpClassifier::Config config;
+      config.input_dim = vocab_size;
+      config.num_classes = num_nodes;
+      config.hidden = 64;
+      config.multi_label = true;
+      config.seed = 152;
+      nn::FeatureMlpClassifier classifier(config);
+      for (int epoch = 0; epoch < 20; ++epoch) {
+        classifier.TrainEpoch(train_x, train_y);
+      }
+      const la::Matrix probs = classifier.PredictProbs(features);
+      std::vector<std::vector<int>> pred(num_docs);
+      std::vector<std::vector<int>> ranked(num_docs);
+      for (size_t d = 0; d < num_docs; ++d) {
+        std::vector<std::pair<float, int>> scored;
+        for (size_t n = 0; n < num_nodes; ++n) {
+          scored.emplace_back(probs.At(d, n), static_cast<int>(n));
+        }
+        std::sort(scored.rbegin(), scored.rend());
+        for (const auto& [p, node] : scored) ranked[d].push_back(node);
+        std::set<int> set;
+        for (const auto& [p, node] : scored) {
+          if (p > 0.5f) {
+            for (int anc : entry.data.tree.WithAncestors(node)) {
+              set.insert(anc);
+            }
+          }
+        }
+        if (set.empty()) {
+          for (int anc :
+               entry.data.tree.WithAncestors(scored[0].second)) {
+            set.insert(anc);
+          }
+        }
+        pred[d].assign(set.begin(), set.end());
+      }
+      put(1, pred, ranked);
+    }
+
+    // --- Relevance model shared by Hier-0Shot-TC and TaxoClass. ---
+    auto relevance = core::TrainRelevanceModel(
+        model.get(), entry.data.aux_docs, entry.data.aux_labels,
+        entry.data.aux_topic_name_tokens, 153);
+
+    // --- Hier-0Shot-TC: rank nodes by relevance alone. ---
+    {
+      std::vector<std::vector<int32_t>> corpus_tokens;
+      for (const auto& doc : entry.data.corpus.docs()) {
+        corpus_tokens.push_back(doc.tokens);
+      }
+      std::vector<std::vector<float>> class_reps(num_nodes);
+      for (size_t n = 0; n < num_nodes; ++n) {
+        class_reps[n] = core::OccurrenceAverageRep(
+            model.get(), corpus_tokens, entry.node_names[n]);
+      }
+      std::vector<std::vector<int>> pred(num_docs);
+      std::vector<std::vector<int>> ranked(num_docs);
+      for (size_t d = 0; d < num_docs; ++d) {
+        const la::Matrix hidden = model->Encode(corpus_tokens[d]);
+        std::vector<std::pair<float, int>> scored;
+        for (int leaf : entry.data.tree.Leaves()) {
+          const size_t n = static_cast<size_t>(leaf);
+          const auto evidence =
+              core::TopTokenContext(hidden, class_reps[n]);
+          scored.emplace_back(relevance->Score(evidence, class_reps[n]),
+                              leaf);
+        }
+        std::sort(scored.rbegin(), scored.rend());
+        for (const auto& [p, node] : scored) ranked[d].push_back(node);
+        // Predict top-2 leaves with their ancestors.
+        std::set<int> set;
+        for (size_t i = 0; i < 2 && i < scored.size(); ++i) {
+          if (i > 0 && scored[i].first < 0.65f * scored[0].first) break;
+          for (int anc :
+               entry.data.tree.WithAncestors(scored[i].second)) {
+            set.insert(anc);
+          }
+        }
+        pred[d].assign(set.begin(), set.end());
+      }
+      put(2, pred, ranked);
+    }
+
+    // --- TaxoClass. ---
+    {
+      core::TaxoClassConfig config;
+      config.seed = 154;
+      core::TaxoClass method(entry.data.corpus, entry.data.tree,
+                             model.get(), relevance.get(), config);
+      const auto result = method.Run(entry.node_names);
+      put(3, result.predicted, result.ranked);
+    }
+  }
+  for (size_t r = 0; r < rows.size(); ++r) table.AddRow(rows[r], cells[r]);
+  table.Print();
+  return 0;
+}
+
+}  // namespace stm
+
+int main() { return stm::Main(); }

@@ -1,0 +1,206 @@
+// E8 — WeSHClass results table (AAAI'19).
+//
+// Leaf-level Macro/Micro-F1 on the NYT, arXiv and Yelp hierarchies under
+// KEYWORDS and DOCS supervision. Rows: Hier-Dataless, flat CNN on pseudo
+// docs, flat WeSTClass over the leaves, the three WeSHClass ablations
+// (No-global, No-vMF, No-self-train) and full WeSHClass.
+//
+// Expected shape (paper): WeSHClass > every ablation > flat baselines;
+// removing self-training hurts the most.
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/string_util.h"
+#include "text/tfidf.h"
+#include "core/baselines.h"
+#include "core/weshclass.h"
+#include "core/westclass.h"
+#include "embedding/sgns.h"
+#include "eval/metrics.h"
+
+namespace stm {
+namespace {
+
+struct Entry {
+  std::string name;
+  datasets::SyntheticDataset data;
+  std::vector<std::vector<int32_t>> node_keywords;  // per tree node
+  // Leaf labels renumbered densely for flat methods.
+  text::Corpus leaf_corpus;
+  text::WeakSupervision leaf_supervision;
+  std::vector<int> leaf_of_label;  // dense label -> tree node
+};
+
+Entry MakeEntry(const std::string& name, datasets::SyntheticSpec spec) {
+  spec.num_docs = 500;
+  spec.pretrain_docs = 0;
+  Entry entry;
+  entry.name = name;
+  entry.data = datasets::Generate(spec);
+  entry.node_keywords.resize(entry.data.tree.size());
+  for (size_t n = 0; n < entry.data.tree.size(); ++n) {
+    for (const auto& part :
+         SplitWhitespace(entry.data.tree.NameOf(static_cast<int>(n)))) {
+      entry.node_keywords[n].push_back(
+          entry.data.corpus.vocab().IdOf(part));
+    }
+  }
+  // Leaf-level user keywords (the leaf supervision) augment leaf nodes.
+  for (size_t l = 0; l < entry.data.leaf_classes.size(); ++l) {
+    const size_t node = static_cast<size_t>(entry.data.leaf_classes[l]);
+    for (int32_t id : entry.data.supervision.class_keywords[l]) {
+      entry.node_keywords[node].push_back(id);
+    }
+  }
+  // Flat leaf view for the flat baselines.
+  datasets::FlatView fine = datasets::FlattenToDepth(
+      entry.data, entry.data.tree.MaxDepth());
+  entry.leaf_corpus = std::move(fine.corpus);
+  entry.leaf_supervision = std::move(fine.supervision);
+  entry.leaf_of_label = std::move(fine.node_of_label);
+  return entry;
+}
+
+}  // namespace
+
+int Main() {
+  std::vector<Entry> entries;
+  entries.push_back(MakeEntry("NYT", datasets::NytSpec(121)));
+  entries.push_back(MakeEntry("arXiv", datasets::ArxivSpec(122)));
+  entries.push_back(MakeEntry("Yelp", datasets::YelpHierSpec(123)));
+
+  std::vector<std::string> columns;
+  for (const auto& entry : entries) {
+    columns.push_back(entry.name + ":KW");
+    columns.push_back(entry.name + ":DOCS");
+  }
+  const std::vector<std::string> rows = {
+      "Hier-Dataless", "CNN (flat pseudo)", "WeSTClass (flat)",
+      "No-global",     "No-vMF",            "No-self-train",
+      "WeSHClass"};
+
+  for (bool macro : {true, false}) {
+    bench::Table table(std::string("E8 WeSHClass — leaf ") +
+                           (macro ? "Macro-F1" : "Micro-F1"),
+                       columns);
+    std::vector<std::vector<double>> cells(
+        rows.size(), std::vector<double>(columns.size(), -1));
+
+    for (size_t e = 0; e < entries.size(); ++e) {
+      Entry& entry = entries[e];
+      bench::Progress(entry.name);
+      // Gold leaf labels in the dense flat numbering.
+      const auto gold = entry.leaf_corpus.GoldLabels();
+      const size_t num_leaves = entry.leaf_corpus.num_labels();
+      auto score = [&](const std::vector<int>& pred) {
+        return macro ? eval::MacroF1(pred, gold, num_leaves)
+                     : eval::MicroF1(pred, gold, num_leaves);
+      };
+      // Tree-node leaf predictions -> dense labels.
+      auto densify = [&](const std::vector<int>& leaf_nodes) {
+        std::vector<int> dense(leaf_nodes.size(), 0);
+        for (size_t d = 0; d < leaf_nodes.size(); ++d) {
+          for (size_t l = 0; l < entry.leaf_of_label.size(); ++l) {
+            if (entry.leaf_of_label[l] == leaf_nodes[d]) {
+              dense[d] = static_cast<int>(l);
+              break;
+            }
+          }
+        }
+        return dense;
+      };
+
+      for (int mode = 0; mode < 2; ++mode) {  // 0 = KEYWORDS, 1 = DOCS
+        const size_t column = 2 * e + static_cast<size_t>(mode);
+        text::WeakSupervision supervision = entry.leaf_supervision;
+        std::vector<std::vector<int32_t>> node_keywords =
+            entry.node_keywords;
+        if (mode == 1) {
+          // DOCS: harvest keywords from 5 labeled docs per leaf.
+          supervision.labeled_docs =
+              datasets::SampleLabeledDocs(entry.leaf_corpus, 5, 131);
+          text::TfIdf tfidf(entry.leaf_corpus);
+          for (size_t l = 0; l < supervision.labeled_docs.size(); ++l) {
+            const size_t node =
+                static_cast<size_t>(entry.leaf_of_label[l]);
+            for (size_t d : supervision.labeled_docs[l]) {
+              for (int32_t id : tfidf.TopTerms(
+                       entry.leaf_corpus.docs()[d].tokens, 8)) {
+                node_keywords[node].push_back(id);
+              }
+            }
+          }
+        }
+
+        // Hier-Dataless: embedding similarity with node seeds + ancestors.
+        {
+          std::vector<std::vector<int32_t>> tokens;
+          for (const auto& doc : entry.leaf_corpus.docs()) {
+            tokens.push_back(doc.tokens);
+          }
+          embedding::SgnsConfig sgns;
+          sgns.epochs = 6;
+          sgns.seed = 132;
+          const auto embeddings = embedding::WordEmbeddings::Train(
+              tokens, entry.leaf_corpus.vocab().size(), sgns);
+          std::vector<std::vector<int32_t>> seeds(num_leaves);
+          for (size_t l = 0; l < num_leaves; ++l) {
+            for (int node : entry.data.tree.WithAncestors(
+                     entry.leaf_of_label[l])) {
+              const auto& kw = node_keywords[static_cast<size_t>(node)];
+              seeds[l].insert(seeds[l].end(), kw.begin(), kw.end());
+            }
+          }
+          cells[0][column] = score(core::EmbeddingSimilarityClassify(
+              entry.leaf_corpus, embeddings, seeds));
+        }
+
+        const core::Supervision flat_mode =
+            mode == 0 ? core::Supervision::kKeywords
+                      : core::Supervision::kDocs;
+        {
+          core::WestClassConfig config;
+          config.classifier = "cnn";
+          config.enable_self_training = false;
+          config.seed = 133;
+          core::WestClass method(entry.leaf_corpus, config);
+          cells[1][column] = score(method.Run(flat_mode, supervision));
+        }
+        {
+          core::WestClassConfig config;
+          config.classifier = "bow";
+          config.seed = 134;
+          core::WestClass method(entry.leaf_corpus, config);
+          cells[2][column] = score(method.Run(flat_mode, supervision));
+        }
+
+        auto run_wesh = [&](bool global, bool vmf, bool self_train) {
+          core::WeshClassConfig config;
+          config.classifier = "bow";
+          config.enable_global = global;
+          config.enable_vmf = vmf;
+          config.enable_self_training = self_train;
+          config.seed = 135;
+          core::WeshClass method(entry.data.corpus, entry.data.tree,
+                                 node_keywords, config);
+          return score(densify(core::WeshClass::LeafOf(method.Run())));
+        };
+        cells[3][column] = run_wesh(false, true, true);   // No-global
+        cells[4][column] = run_wesh(true, false, true);   // No-vMF
+        cells[5][column] = run_wesh(true, true, false);   // No-self-train
+        cells[6][column] = run_wesh(true, true, true);    // full
+      }
+    }
+    for (size_t r = 0; r < rows.size(); ++r) {
+      table.AddRow(rows[r], cells[r]);
+    }
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace stm
+
+int main() { return stm::Main(); }

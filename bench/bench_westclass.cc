@@ -1,0 +1,181 @@
+// E1 — WeSTClass results table (CIKM'18).
+//
+// Reproduces the tutorial's WeSTClass experiment: Macro-F1 and Micro-F1 on
+// The New York Times (coarse sections), AG's News and Yelp Review under the
+// three supervision settings LABELS / KEYWORDS / DOCS, against the IR,
+// topic-model and Dataless baselines plus the NoST ablations.
+//
+// Expected shape (paper): WeSTClass-CNN/HAN top every column; NoST (no
+// self-training) trails the full method; IR/LDA/Dataless trail further.
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/baselines.h"
+#include "core/westclass.h"
+#include "embedding/sgns.h"
+#include "eval/metrics.h"
+
+namespace stm {
+namespace {
+
+struct Dataset {
+  std::string name;
+  text::Corpus corpus;
+  text::WeakSupervision supervision;
+};
+
+Dataset MakeNyt() {
+  datasets::SyntheticSpec spec = datasets::NytSpec(11);
+  spec.num_docs = 700;
+  spec.pretrain_docs = 0;
+  datasets::SyntheticDataset data = datasets::Generate(spec);
+  datasets::FlatView coarse = datasets::FlattenToDepth(data, 0);
+  Dataset out;
+  out.name = "NYT";
+  out.corpus = std::move(coarse.corpus);
+  out.supervision = std::move(coarse.supervision);
+  return out;
+}
+
+Dataset MakeFlat(datasets::SyntheticSpec spec, const std::string& name) {
+  spec.num_docs = 400;
+  spec.pretrain_docs = 0;
+  datasets::SyntheticDataset data = datasets::Generate(spec);
+  Dataset out;
+  out.name = name;
+  out.corpus = std::move(data.corpus);
+  out.supervision = std::move(data.supervision);
+  return out;
+}
+
+struct Scores {
+  double macro = -1;
+  double micro = -1;
+};
+
+Scores Eval(const text::Corpus& corpus, const std::vector<int>& pred) {
+  Scores scores;
+  const auto gold = corpus.GoldLabels();
+  scores.macro = eval::MacroF1(pred, gold, corpus.num_labels());
+  scores.micro = eval::MicroF1(pred, gold, corpus.num_labels());
+  return scores;
+}
+
+}  // namespace
+
+int Main() {
+  std::vector<Dataset> datasets;
+  datasets.push_back(MakeNyt());
+  datasets.push_back(MakeFlat(datasets::AgNewsSpec(12), "AG's News"));
+  datasets.push_back(MakeFlat(datasets::YelpSpec(13), "Yelp Review"));
+
+  const std::vector<std::string> modes = {"LABELS", "KEYWORDS", "DOCS"};
+  for (bool macro : {true, false}) {
+    std::vector<std::string> columns;
+    for (const auto& dataset : datasets) {
+      for (const auto& mode : modes) {
+        columns.push_back(dataset.name.substr(0, 4) + ":" + mode.substr(0, 4));
+      }
+    }
+    bench::Table table(
+        std::string("E1 WeSTClass — ") + (macro ? "Macro-F1" : "Micro-F1") +
+            " (datasets x supervision)",
+        columns);
+
+    struct RowSpec {
+      std::string name;
+    };
+    const std::vector<std::string> rows = {
+        "IR with tf-idf", "Topic Model (LDA)", "Dataless",
+        "NoST-CNN (no self-train)", "WeSTClass-HAN", "WeSTClass-CNN"};
+    std::vector<std::vector<double>> cells(
+        rows.size(), std::vector<double>(columns.size(), -1));
+
+    size_t column = 0;
+    for (auto& dataset : datasets) {
+      bench::Progress("dataset " + dataset.name);
+      // Labeled docs for the DOCS setting (5 per class).
+      text::WeakSupervision docs_supervision = dataset.supervision;
+      docs_supervision.labeled_docs =
+          datasets::SampleLabeledDocs(dataset.corpus, 5, 29);
+
+      // Shared static embeddings for the Dataless baseline.
+      std::vector<std::vector<int32_t>> tokens;
+      for (const auto& doc : dataset.corpus.docs()) {
+        tokens.push_back(doc.tokens);
+      }
+      embedding::SgnsConfig sgns;
+      sgns.seed = 31;
+      const embedding::WordEmbeddings embeddings =
+          embedding::WordEmbeddings::Train(
+              tokens, dataset.corpus.vocab().size(), sgns);
+
+      for (size_t m = 0; m < modes.size(); ++m) {
+        const core::Supervision mode =
+            m == 0 ? core::Supervision::kLabels
+                   : (m == 1 ? core::Supervision::kKeywords
+                             : core::Supervision::kDocs);
+        // Seeds visible to the keyword baselines in this mode.
+        std::vector<std::vector<int32_t>> seeds;
+        for (const auto& keywords :
+             dataset.supervision.class_keywords) {
+          if (mode == core::Supervision::kLabels) {
+            seeds.push_back({keywords[0]});
+          } else {
+            seeds.push_back(keywords);
+          }
+        }
+
+        auto eval_into = [&](size_t row, const std::vector<int>& pred) {
+          const Scores s = Eval(dataset.corpus, pred);
+          cells[row][column] = macro ? s.macro : s.micro;
+        };
+
+        eval_into(0, core::IrTfIdfClassify(dataset.corpus, seeds));
+        core::LdaConfig lda;
+        lda.iterations = 40;
+        eval_into(1, core::LdaClassify(dataset.corpus, seeds, lda));
+        eval_into(2, core::EmbeddingSimilarityClassify(dataset.corpus,
+                                                       embeddings, seeds));
+
+        const text::WeakSupervision& supervision =
+            mode == core::Supervision::kDocs ? docs_supervision
+                                             : dataset.supervision;
+        {
+          core::WestClassConfig config;
+          config.classifier = "cnn";
+          config.enable_self_training = false;
+          config.seed = 41;
+          core::WestClass method(dataset.corpus, config);
+          eval_into(3, method.Run(mode, supervision));
+        }
+        {
+          core::WestClassConfig config;
+          config.classifier = "han";
+          config.seed = 42;
+          core::WestClass method(dataset.corpus, config);
+          eval_into(4, method.Run(mode, supervision));
+        }
+        {
+          core::WestClassConfig config;
+          config.classifier = "cnn";
+          config.seed = 43;
+          core::WestClass method(dataset.corpus, config);
+          eval_into(5, method.Run(mode, supervision));
+        }
+        ++column;
+      }
+    }
+    for (size_t r = 0; r < rows.size(); ++r) {
+      table.AddRow(rows[r], cells[r]);
+    }
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace stm
+
+int main() { return stm::Main(); }

@@ -1,0 +1,239 @@
+// E5 + E6 + E12 — X-Class (NAACL'21).
+//
+// Figures section: (a) the tutorial's "average-pooled BERT representations
+// preserve domains" figure — PCA of mean MiniLm document vectors over a
+// 5-domain corpus with per-class centroid separation statistics; (b) the
+// clustering confusion matrix (k-means, k = #classes, aligned).
+//
+// Table section: accuracy/macro-F1 of Supervised, WeSTClass, ConWea,
+// LOTClass, X-Class and the X-Class-Rep / X-Class-Align ablations on the
+// seven datasets of the paper (AGNews, 20News, NYT-Small, NYT-Topic,
+// NYT-Location, Yelp, DBpedia).
+//
+// Expected shape (paper): X-Class best or near-best everywhere;
+// Rep < Align < full X-Class; supervised on top.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "cluster/cluster.h"
+#include "core/baselines.h"
+#include "core/conwea.h"
+#include "core/lotclass.h"
+#include "core/westclass.h"
+#include "core/xclass.h"
+#include "eval/metrics.h"
+#include "la/matrix.h"
+
+namespace stm {
+namespace {
+
+void FiguresSection() {
+  datasets::SyntheticSpec spec = datasets::NytTopicSpec(81);
+  spec.num_docs = 300;
+  spec.pretrain_docs = 900;
+  // Keep 5 balanced domains for the figure, like the tutorial's plot.
+  spec.classes.resize(5);
+  for (auto& cls : spec.classes) cls.prior = 1.0;
+  datasets::SyntheticDataset data = datasets::Generate(spec);
+  auto model = bench::PretrainedLm(data);
+
+  core::XClassConfig config;
+  core::XClass xclass(data.corpus, model.get(), config);
+  la::Matrix reps = xclass.AverageDocReps();
+  la::Matrix projected = la::Pca(reps, 2);
+
+  std::printf("\n=== E12/E5 Figure 1 — PCA of average-pooled LM document "
+              "representations (5 domains) ===\n");
+  // Per-class centroids in the 2-D projection plus scatter statistics: a
+  // textual rendition of the tutorial's colored scatter plot.
+  const auto gold = data.corpus.GoldLabels();
+  const size_t num_classes = data.corpus.num_labels();
+  for (size_t c = 0; c < num_classes; ++c) {
+    double cx = 0.0;
+    double cy = 0.0;
+    double spread = 0.0;
+    size_t n = 0;
+    for (size_t d = 0; d < projected.rows(); ++d) {
+      if (static_cast<size_t>(gold[d]) != c) continue;
+      cx += projected.At(d, 0);
+      cy += projected.At(d, 1);
+      ++n;
+    }
+    if (n == 0) continue;
+    cx /= static_cast<double>(n);
+    cy /= static_cast<double>(n);
+    for (size_t d = 0; d < projected.rows(); ++d) {
+      if (static_cast<size_t>(gold[d]) != c) continue;
+      const double dx = projected.At(d, 0) - cx;
+      const double dy = projected.At(d, 1) - cy;
+      spread += std::sqrt(dx * dx + dy * dy);
+    }
+    std::printf("  domain %-12s centroid (%7.3f, %7.3f)  mean spread %.3f"
+                "  (n=%zu)\n",
+                data.corpus.label_names()[c].c_str(), cx, cy,
+                spread / static_cast<double>(n), n);
+  }
+
+  // Figure 2: k-means with k = #classes on the averaged representations,
+  // aligned to gold classes, shown as a confusion matrix.
+  cluster::KMeansOptions kmeans;
+  kmeans.k = num_classes;
+  kmeans.spherical = true;
+  const auto clusters = cluster::KMeans(reps, kmeans);
+  const auto mapping =
+      cluster::AlignClusters(clusters.assignment, gold, num_classes);
+  std::vector<int> pred(gold.size());
+  for (size_t d = 0; d < gold.size(); ++d) {
+    pred[d] = mapping[static_cast<size_t>(clusters.assignment[d])];
+  }
+  std::printf("\n=== E5 Figure 2 — confusion matrix of k-means on average "
+              "representations (k=%zu) ===\n",
+              num_classes);
+  std::printf("%s", eval::FormatConfusion(
+                        eval::ConfusionMatrix(pred, gold, num_classes),
+                        data.corpus.label_names())
+                        .c_str());
+  std::printf("clustering accuracy after alignment: %.3f\n",
+              eval::Accuracy(pred, gold));
+  std::fflush(stdout);
+}
+
+struct Entry {
+  std::string name;
+  datasets::SyntheticDataset data;
+};
+
+}  // namespace
+
+int Main() {
+  FiguresSection();
+
+  std::vector<Entry> entries;
+  {
+    datasets::SyntheticSpec spec = datasets::AgNewsSpec(82);
+    spec.num_docs = 400;
+    spec.pretrain_docs = 900;
+    entries.push_back({"AGNews", datasets::Generate(spec)});
+  }
+  {
+    datasets::SyntheticSpec spec = datasets::TwentyNewsSpec(83);
+    spec.num_docs = 500;
+    spec.pretrain_docs = 900;
+    datasets::SyntheticDataset data = datasets::Generate(spec);
+    // Fine view (20 classes) is the paper's "20News".
+    datasets::FlatView fine = datasets::FlattenToDepth(data, 1);
+    data.corpus = std::move(fine.corpus);
+    data.supervision = std::move(fine.supervision);
+    data.leaf_name_tokens.clear();
+    for (const auto& seeds : data.supervision.class_keywords) {
+      data.leaf_name_tokens.push_back({seeds[0]});
+    }
+    entries.push_back({"20News", std::move(data)});
+  }
+  {
+    datasets::SyntheticSpec spec = datasets::NytSpec(84);
+    spec.num_docs = 500;
+    spec.pretrain_docs = 900;
+    datasets::SyntheticDataset data = datasets::Generate(spec);
+    datasets::FlatView coarse = datasets::FlattenToDepth(data, 0);
+    data.corpus = std::move(coarse.corpus);
+    data.supervision = std::move(coarse.supervision);
+    data.leaf_name_tokens.clear();
+    for (const auto& seeds : data.supervision.class_keywords) {
+      data.leaf_name_tokens.push_back({seeds[0]});
+    }
+    entries.push_back({"NYT-Small", std::move(data)});
+  }
+  {
+    datasets::SyntheticSpec spec = datasets::NytTopicSpec(85);
+    spec.num_docs = 450;
+    spec.pretrain_docs = 900;
+    entries.push_back({"NYT-Topic", datasets::Generate(spec)});
+  }
+  {
+    datasets::SyntheticSpec spec = datasets::NytLocationSpec(86);
+    spec.num_docs = 450;
+    spec.pretrain_docs = 900;
+    entries.push_back({"NYT-Loc", datasets::Generate(spec)});
+  }
+  {
+    datasets::SyntheticSpec spec = datasets::YelpSpec(87);
+    spec.num_docs = 400;
+    spec.pretrain_docs = 900;
+    entries.push_back({"Yelp", datasets::Generate(spec)});
+  }
+  {
+    datasets::SyntheticSpec spec = datasets::DbpediaSpec(88);
+    spec.num_docs = 500;
+    spec.pretrain_docs = 900;
+    entries.push_back({"DBpedia", datasets::Generate(spec)});
+  }
+
+  std::vector<std::string> columns;
+  for (const auto& entry : entries) columns.push_back(entry.name);
+  const std::vector<std::string> rows = {
+      "Supervised (bound)", "WeSTClass", "ConWea",        "LOTClass",
+      "X-Class",            "X-Class-Rep", "X-Class-Align"};
+  bench::Table table("E6 X-Class — accuracy across seven datasets",
+                     columns);
+  std::vector<std::vector<double>> cells(
+      rows.size(), std::vector<double>(columns.size(), -1));
+
+  for (size_t e = 0; e < entries.size(); ++e) {
+    Entry& entry = entries[e];
+    bench::Progress(entry.name);
+    auto model = bench::PretrainedLm(entry.data);
+    const auto gold = entry.data.corpus.GoldLabels();
+    auto score = [&](const std::vector<int>& pred) {
+      return eval::Accuracy(pred, gold);
+    };
+
+    {
+      std::vector<size_t> train;
+      for (size_t d = 0; d < entry.data.corpus.num_docs(); ++d) {
+        if (d % 5 != 0) train.push_back(d);
+      }
+      cells[0][e] = score(core::SupervisedBound(entry.data.corpus, train,
+                                                "bow", 12, 91));
+    }
+    {
+      core::WestClassConfig config;
+      config.classifier = "bow";
+      config.seed = 92;
+      core::WestClass method(entry.data.corpus, config);
+      cells[1][e] = score(method.Run(core::Supervision::kLabels,
+                                     entry.data.supervision));
+    }
+    {
+      core::ConWeaConfig config;
+      config.max_occurrences = 20;
+      config.seed = 93;
+      core::ConWea method(entry.data.corpus, model.get(), config);
+      cells[2][e] = score(method.Run(entry.data.supervision));
+    }
+    {
+      core::LotClassConfig config;
+      config.seed = 94;
+      core::LotClass method(entry.data.corpus, model.get(), config);
+      cells[3][e] = score(method.Run(entry.data.leaf_name_tokens));
+    }
+    {
+      core::XClassConfig config;
+      config.seed = 95;
+      core::XClass method(entry.data.corpus, model.get(), config);
+      cells[4][e] = score(method.Run(entry.data.leaf_name_tokens));
+      cells[5][e] = score(method.RepOnly());
+      cells[6][e] = score(method.AlignOnly());
+    }
+  }
+  for (size_t r = 0; r < rows.size(); ++r) table.AddRow(rows[r], cells[r]);
+  table.Print();
+  return 0;
+}
+
+}  // namespace stm
+
+int main() { return stm::Main(); }

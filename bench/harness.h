@@ -1,0 +1,114 @@
+#ifndef STM_BENCH_HARNESS_H_
+#define STM_BENCH_HARNESS_H_
+
+// Shared infrastructure for the experiment benches. Each bench binary
+// regenerates one table or figure of the tutorial: it builds the matching
+// synthetic dataset, loads (or pre-trains once, then caches) the MiniLm
+// stand-in for BERT, runs every method row, and prints the table.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "datasets/specs.h"
+#include "datasets/synthetic.h"
+#include "plm/minilm.h"
+
+namespace stm::bench {
+
+// Directory for cached pre-trained MiniLm weights (first run pays the
+// pre-training cost; later runs load instantly).
+inline std::string CacheDir() {
+  const char* env = std::getenv("STM_CACHE_DIR");
+  const std::string dir = env != nullptr ? env : "plm_cache";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+// Standard MiniLm sized for bench corpora.
+inline std::unique_ptr<plm::MiniLm> PretrainedLm(
+    const datasets::SyntheticDataset& data, int steps = 1200) {
+  plm::MiniLmConfig config;
+  config.vocab_size = data.corpus.vocab().size();
+  config.dim = 40;
+  config.layers = 2;
+  config.heads = 4;
+  config.ffn_dim = 80;
+  config.max_seq = 40;
+  plm::PretrainConfig pretrain;
+  pretrain.steps = steps;
+  pretrain.batch = 8;
+  WallTimer timer;
+  auto model = plm::MiniLm::LoadOrPretrain(CacheDir(), data.fingerprint,
+                                           config, pretrain,
+                                           data.pretrain_docs);
+  if (timer.Seconds() > 2.0) {
+    std::fprintf(stderr, "[bench] pre-trained LM in %.1fs (now cached)\n",
+                 timer.Seconds());
+  }
+  return model;
+}
+
+// Fixed-width table printer matching the tutorial's layout.
+class Table {
+ public:
+  // `title` is printed above the table; `columns` are the header cells
+  // after the leading method-name column.
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void AddRow(const std::string& name, const std::vector<double>& values) {
+    rows_.push_back({name, values});
+  }
+
+  void AddSeparator() { rows_.push_back({"-", {}}); }
+
+  void Print() const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::printf("%-28s", "Method");
+    for (const auto& column : columns_) {
+      std::printf("%12s", column.c_str());
+    }
+    std::printf("\n");
+    const size_t width = 28 + 12 * columns_.size();
+    std::printf("%s\n", std::string(width, '-').c_str());
+    for (const auto& row : rows_) {
+      if (row.name == "-" && row.values.empty()) {
+        std::printf("%s\n", std::string(width, '-').c_str());
+        continue;
+      }
+      std::printf("%-28s", row.name.c_str());
+      for (double value : row.values) {
+        if (value < 0) {
+          std::printf("%12s", "-");
+        } else {
+          std::printf("%12.3f", value);
+        }
+      }
+      std::printf("\n");
+    }
+    std::fflush(stdout);
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<double> values;
+  };
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+// Progress line to stderr (tables go to stdout).
+inline void Progress(const std::string& message) {
+  std::fprintf(stderr, "[bench] %s\n", message.c_str());
+}
+
+}  // namespace stm::bench
+
+#endif  // STM_BENCH_HARNESS_H_

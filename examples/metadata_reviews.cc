@@ -1,0 +1,58 @@
+// Metadata-aware categorization with MetaCat.
+//
+// GitHub-repository-like documents with user and tag metadata, ten labeled
+// documents per class. MetaCat casts everything as a heterogeneous
+// information network, learns joint embeddings, synthesizes extra training
+// documents per label, and classifies with text + metadata features.
+// The text-only ablation shows how much the metadata contributes.
+//
+//   ./example_metadata_reviews
+
+#include <cstdio>
+
+#include "core/metacat.h"
+#include "datasets/specs.h"
+#include "eval/metrics.h"
+
+int main() {
+  stm::datasets::SyntheticSpec spec =
+      stm::datasets::GithubBioSpec(/*seed=*/13);
+  spec.num_docs = 260;
+  spec.pretrain_docs = 0;
+  stm::datasets::SyntheticDataset data = stm::datasets::Generate(spec);
+  std::printf("corpus: %zu documents, %zu classes (weak text, strong "
+              "metadata)\n",
+              data.corpus.num_docs(), data.corpus.num_labels());
+
+  // Ten labeled documents per class — the only supervision.
+  const auto labeled =
+      stm::datasets::SampleLabeledDocs(data.corpus, 10, /*seed=*/5);
+
+  const auto gold = data.corpus.GoldLabels();
+  {
+    stm::core::MetaCatConfig config;
+    stm::core::MetaCat method(data.corpus, config);
+    const auto pred = method.Run(labeled);
+    std::printf("MetaCat (text + metadata): micro-F1 %.3f\n",
+                stm::eval::MicroF1(pred, gold, data.corpus.num_labels()));
+  }
+  {
+    stm::core::MetaCatConfig config;
+    config.use_metadata_features = false;
+    stm::core::MetaCat method(data.corpus, config);
+    const auto pred = method.Run(labeled);
+    std::printf("MetaCat (text only):       micro-F1 %.3f\n",
+                stm::eval::MicroF1(pred, gold, data.corpus.num_labels()));
+  }
+
+  // Inspect one document's metadata.
+  const auto& doc = data.corpus.docs()[0];
+  std::printf("doc 0 metadata:");
+  for (const auto& [type, values] : doc.metadata) {
+    for (const auto& value : values) {
+      std::printf(" %s=%s", type.c_str(), value.c_str());
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,261 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace stm::cluster {
+
+namespace {
+
+double SquaredDistance(const float* a, const float* b, size_t d) {
+  double sum = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(a[j]) - b[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const la::Matrix& data, const KMeansOptions& options) {
+  STM_CHECK_GT(options.k, 0u);
+  STM_CHECK_GT(data.rows(), 0u);
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t k = std::min(options.k, n);
+  Rng rng(options.seed);
+
+  la::Matrix points = data;
+  if (options.spherical) la::NormalizeRows(points);
+
+  // k-means++ seeding.
+  la::Matrix centroids(k, d);
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  size_t first = rng.UniformInt(n);
+  centroids.SetRow(0, points.RowVec(first));
+  for (size_t c = 1; c < k; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(
+          min_dist[i], SquaredDistance(points.Row(i), centroids.Row(c - 1), d));
+    }
+    double total = 0.0;
+    for (double v : min_dist) total += v;
+    size_t chosen = rng.UniformInt(n);
+    if (total > 0.0) {
+      double target = rng.Uniform() * total;
+      for (size_t i = 0; i < n; ++i) {
+        target -= min_dist[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    centroids.SetRow(c, points.RowVec(chosen));
+  }
+
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+  std::vector<size_t> counts(k, 0);
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    bool changed = false;
+    result.inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double dist =
+            SquaredDistance(points.Row(i), centroids.Row(c), d);
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+      result.inertia += best;
+    }
+    // Recompute centroids.
+    centroids.Fill(0.0f);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(result.assignment[i]);
+      la::Axpy(1.0f, points.Row(i), centroids.Row(c), d);
+      counts[c]++;
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        centroids.SetRow(c, points.RowVec(rng.UniformInt(n)));
+        continue;
+      }
+      la::ScaleInPlace(centroids.Row(c), d,
+                       1.0f / static_cast<float>(counts[c]));
+      if (options.spherical) la::NormalizeInPlace(centroids.Row(c), d);
+    }
+    if (!changed && iter > 0) break;
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+double Silhouette(const la::Matrix& data, const std::vector<int>& assignment,
+                  size_t k, size_t max_points) {
+  STM_CHECK_EQ(data.rows(), assignment.size());
+  const size_t n = data.rows();
+  if (n < 2 || k < 2) return 0.0;
+  // Deterministic subsample: stride.
+  std::vector<size_t> sample;
+  const size_t stride = std::max<size_t>(1, n / max_points);
+  for (size_t i = 0; i < n; i += stride) sample.push_back(i);
+
+  double total = 0.0;
+  size_t counted = 0;
+  std::vector<double> dist_sum(k, 0.0);
+  std::vector<size_t> dist_count(k, 0);
+  for (size_t i : sample) {
+    std::fill(dist_sum.begin(), dist_sum.end(), 0.0);
+    std::fill(dist_count.begin(), dist_count.end(), 0);
+    for (size_t j : sample) {
+      if (i == j) continue;
+      const size_t c = static_cast<size_t>(assignment[j]);
+      dist_sum[c] += std::sqrt(
+          SquaredDistance(data.Row(i), data.Row(j), data.cols()));
+      dist_count[c]++;
+    }
+    const size_t own = static_cast<size_t>(assignment[i]);
+    if (dist_count[own] == 0) continue;
+    const double a = dist_sum[own] / static_cast<double>(dist_count[own]);
+    double b = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < k; ++c) {
+      if (c == own || dist_count[c] == 0) continue;
+      b = std::min(b, dist_sum[c] / static_cast<double>(dist_count[c]));
+    }
+    if (b == std::numeric_limits<double>::max()) continue;
+    const double denom = std::max(a, b);
+    if (denom > 0.0) {
+      total += (b - a) / denom;
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+GmmResult GmmFit(const la::Matrix& data, const la::Matrix& init_means,
+                 const GmmOptions& options) {
+  STM_CHECK_EQ(data.cols(), init_means.cols());
+  STM_CHECK_GT(init_means.rows(), 0u);
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t k = init_means.rows();
+
+  GmmResult result;
+  result.means = init_means;
+  result.variances.assign(k, 0.05f);
+  result.weights.assign(k, 1.0f / static_cast<float>(k));
+  result.posteriors = la::Matrix(n, k);
+
+  std::vector<double> logp(k);
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    // E-step.
+    for (size_t i = 0; i < n; ++i) {
+      double max_lp = -std::numeric_limits<double>::max();
+      for (size_t c = 0; c < k; ++c) {
+        const double var = result.variances[c];
+        const double dist =
+            SquaredDistance(data.Row(i), result.means.Row(c), d);
+        logp[c] = std::log(result.weights[c] + 1e-12) -
+                  0.5 * dist / var -
+                  0.5 * static_cast<double>(d) * std::log(2.0 * M_PI * var);
+        max_lp = std::max(max_lp, logp[c]);
+      }
+      double sum = 0.0;
+      for (size_t c = 0; c < k; ++c) {
+        logp[c] = std::exp(logp[c] - max_lp);
+        sum += logp[c];
+      }
+      for (size_t c = 0; c < k; ++c) {
+        result.posteriors.At(i, c) = static_cast<float>(logp[c] / sum);
+      }
+    }
+    // M-step.
+    for (size_t c = 0; c < k; ++c) {
+      double mass = 0.0;
+      std::vector<double> mean(d, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        const double r = result.posteriors.At(i, c);
+        mass += r;
+        for (size_t j = 0; j < d; ++j) mean[j] += r * data.At(i, j);
+      }
+      if (mass < 1e-8) continue;
+      for (size_t j = 0; j < d; ++j) {
+        result.means.At(c, j) = static_cast<float>(mean[j] / mass);
+      }
+      double var = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double r = result.posteriors.At(i, c);
+        var += r * SquaredDistance(data.Row(i), result.means.Row(c), d);
+      }
+      result.variances[c] = std::max(
+          options.min_variance,
+          static_cast<float>(var / (mass * static_cast<double>(d))));
+      result.weights[c] = static_cast<float>(mass / static_cast<double>(n));
+    }
+  }
+  result.assignment.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = result.posteriors.Row(i);
+    result.assignment[i] =
+        static_cast<int>(std::max_element(row, row + k) - row);
+  }
+  return result;
+}
+
+std::vector<int> AlignClusters(const std::vector<int>& clusters,
+                               const std::vector<int>& gold, size_t k) {
+  STM_CHECK_EQ(clusters.size(), gold.size());
+  // Overlap counts.
+  std::vector<std::vector<int>> overlap(k, std::vector<int>(k, 0));
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    const size_t c = static_cast<size_t>(clusters[i]);
+    const size_t g = static_cast<size_t>(gold[i]);
+    if (c < k && g < k) overlap[c][g]++;
+  }
+  std::vector<int> mapping(k, -1);
+  std::vector<bool> used_cluster(k, false);
+  std::vector<bool> used_class(k, false);
+  for (size_t round = 0; round < k; ++round) {
+    int best = -1;
+    size_t best_c = 0;
+    size_t best_g = 0;
+    for (size_t c = 0; c < k; ++c) {
+      if (used_cluster[c]) continue;
+      for (size_t g = 0; g < k; ++g) {
+        if (used_class[g]) continue;
+        if (overlap[c][g] > best) {
+          best = overlap[c][g];
+          best_c = c;
+          best_g = g;
+        }
+      }
+    }
+    if (best < 0) break;
+    mapping[best_c] = static_cast<int>(best_g);
+    used_cluster[best_c] = true;
+    used_class[best_g] = true;
+  }
+  // Any cluster left unmapped (k mismatch) maps to class 0.
+  for (int& m : mapping) {
+    if (m < 0) m = 0;
+  }
+  return mapping;
+}
+
+}  // namespace stm::cluster

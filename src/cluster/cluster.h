@@ -1,0 +1,64 @@
+#ifndef STM_CLUSTER_CLUSTER_H_
+#define STM_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace stm::cluster {
+
+// K-means and Gaussian-mixture clustering over dense row vectors.
+// ConWea clusters contextualized occurrences of each seed word to split
+// senses; X-Class clusters class-oriented document representations with a
+// class-prior initialization.
+
+struct KMeansResult {
+  la::Matrix centroids;           // [k, d]
+  std::vector<int> assignment;    // row -> cluster
+  double inertia = 0.0;           // sum of squared distances
+};
+
+struct KMeansOptions {
+  size_t k = 2;
+  int max_iters = 50;
+  bool spherical = false;  // cosine distance on normalized vectors
+  uint64_t seed = 29;
+};
+
+// Lloyd's algorithm with k-means++ seeding.
+KMeansResult KMeans(const la::Matrix& data, const KMeansOptions& options);
+
+// Mean silhouette coefficient of a clustering (subsampled for large n).
+double Silhouette(const la::Matrix& data, const std::vector<int>& assignment,
+                  size_t k, size_t max_points = 400);
+
+struct GmmResult {
+  la::Matrix means;               // [k, d]
+  std::vector<float> variances;   // shared spherical variance per cluster
+  std::vector<float> weights;     // mixing proportions
+  la::Matrix posteriors;          // [n, k]
+  std::vector<int> assignment;    // argmax posterior
+};
+
+struct GmmOptions {
+  int max_iters = 40;
+  float min_variance = 1e-4f;
+  uint64_t seed = 31;
+};
+
+// Spherical-covariance Gaussian mixture fit with EM, initialized from
+// `init_means` (X-Class passes class representations so cluster c stays
+// aligned with class c).
+GmmResult GmmFit(const la::Matrix& data, const la::Matrix& init_means,
+                 const GmmOptions& options);
+
+// Greedy one-to-one alignment between `k` clusters and `k` gold classes
+// maximizing overlap counts. Returns cluster -> class. Used to score
+// unsupervised clusterings (tutorial Figure 2).
+std::vector<int> AlignClusters(const std::vector<int>& clusters,
+                               const std::vector<int>& gold, size_t k);
+
+}  // namespace stm::cluster
+
+#endif  // STM_CLUSTER_CLUSTER_H_

@@ -1,0 +1,65 @@
+#ifndef STM_COMMON_CHECK_H_
+#define STM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Assertion and logging macros used across the library.
+//
+// STM_CHECK(cond) aborts with a message when `cond` is false. These guard
+// programmer errors (shape mismatches, out-of-range indices) and are active
+// in all build types: the library is research infrastructure where a silent
+// wrong answer is worse than a crash.
+
+namespace stm {
+namespace internal {
+
+// Terminates the process after printing `msg` with source location.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "[STM CHECK FAILED] %s:%d: %s\n", file, line,
+               msg.c_str());
+  std::abort();
+}
+
+// Stream-style message builder so call sites can write
+//   STM_CHECK(a == b) << "a=" << a;
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* cond)
+      : file_(file), line_(line) {
+    stream_ << "check `" << cond << "` failed. ";
+  }
+
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace stm
+
+#define STM_CHECK(cond)                                            \
+  if (cond) {                                                      \
+  } else                                                           \
+    ::stm::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define STM_CHECK_EQ(a, b) STM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define STM_CHECK_NE(a, b) STM_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define STM_CHECK_LT(a, b) STM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define STM_CHECK_LE(a, b) STM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define STM_CHECK_GT(a, b) STM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define STM_CHECK_GE(a, b) STM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // STM_COMMON_CHECK_H_

@@ -1,0 +1,15 @@
+#include "common/hash.h"
+
+namespace stm {
+
+std::string HashToHex(uint64_t hash) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+}  // namespace stm

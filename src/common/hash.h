@@ -1,0 +1,31 @@
+#ifndef STM_COMMON_HASH_H_
+#define STM_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace stm {
+
+// FNV-1a 64-bit hash; used for cache keys and deterministic bucketing.
+inline uint64_t Fnv1a(std::string_view data,
+                      uint64_t seed = 0xCBF29CE484222325ULL) {
+  uint64_t hash = seed;
+  for (char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+// Order-dependent combination of two hashes.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4));
+}
+
+// Hex rendering of a hash for use in file names.
+std::string HashToHex(uint64_t hash);
+
+}  // namespace stm
+
+#endif  // STM_COMMON_HASH_H_

@@ -1,0 +1,102 @@
+#ifndef STM_COMMON_RNG_H_
+#define STM_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stm {
+
+// Deterministic pseudo-random number generator (xoshiro256**) with the
+// sampling helpers the library needs. Every stochastic component in the
+// library takes an explicit `Rng&` (or a seed) so experiments are exactly
+// reproducible across runs and platforms.
+class Rng {
+ public:
+  // Seeds the four 64-bit lanes from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  // Next raw 64-bit value.
+  uint64_t Next64();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  // Standard normal via Box-Muller (cached second value).
+  double Normal();
+
+  // Normal with mean/stddev.
+  double Normal(double mean, double stddev);
+
+  // Bernoulli(p).
+  bool Bernoulli(double p);
+
+  // Gamma(shape, 1) via Marsaglia-Tsang (shape boost for shape < 1).
+  double Gamma(double shape);
+
+  // Beta(a, b) via two Gamma draws.
+  double Beta(double a, double b);
+
+  // Samples an index from an unnormalized non-negative weight vector.
+  // Requires at least one strictly positive weight.
+  size_t Discrete(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle of indices [0, n); returns the permutation.
+  std::vector<size_t> Permutation(size_t n);
+
+  // Shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  // Derives an independent child generator; useful for giving each
+  // submodule its own stream without coupling consumption order.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+// Alias table for O(1) repeated sampling from a fixed discrete
+// distribution (Walker's alias method). Used by the corpus generators and
+// negative samplers, which draw millions of samples from static
+// distributions.
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+
+  // Builds the table from unnormalized non-negative weights.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  // Draws one index.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace stm
+
+#endif  // STM_COMMON_RNG_H_

@@ -1,0 +1,114 @@
+#include "common/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace stm {
+
+namespace {
+
+template <typename T>
+void AppendRaw(std::string& buffer, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  buffer.append(bytes, sizeof(T));
+}
+
+}  // namespace
+
+void BinaryWriter::WriteU32(uint32_t value) { AppendRaw(buffer_, value); }
+void BinaryWriter::WriteU64(uint64_t value) { AppendRaw(buffer_, value); }
+void BinaryWriter::WriteF32(float value) { AppendRaw(buffer_, value); }
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  buffer_.append(value);
+}
+
+void BinaryWriter::WriteFloats(const std::vector<float>& values) {
+  WriteU64(values.size());
+  const size_t bytes = values.size() * sizeof(float);
+  const size_t old = buffer_.size();
+  buffer_.resize(old + bytes);
+  if (bytes > 0) std::memcpy(buffer_.data() + old, values.data(), bytes);
+}
+
+bool BinaryWriter::Flush(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  return static_cast<bool>(out);
+}
+
+BinaryReader::BinaryReader(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return;
+  in.seekg(0, std::ios::beg);
+  buffer_.resize(static_cast<size_t>(size));
+  in.read(buffer_.data(), size);
+  ok_ = static_cast<bool>(in);
+}
+
+bool BinaryReader::Ensure(size_t bytes) {
+  if (!ok_ || pos_ + bytes > buffer_.size()) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t value = 0;
+  if (Ensure(sizeof(value))) {
+    std::memcpy(&value, buffer_.data() + pos_, sizeof(value));
+    pos_ += sizeof(value);
+  }
+  return value;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t value = 0;
+  if (Ensure(sizeof(value))) {
+    std::memcpy(&value, buffer_.data() + pos_, sizeof(value));
+    pos_ += sizeof(value);
+  }
+  return value;
+}
+
+float BinaryReader::ReadF32() {
+  float value = 0.0f;
+  if (Ensure(sizeof(value))) {
+    std::memcpy(&value, buffer_.data() + pos_, sizeof(value));
+    pos_ += sizeof(value);
+  }
+  return value;
+}
+
+std::string BinaryReader::ReadString() {
+  const uint64_t size = ReadU64();
+  std::string value;
+  if (Ensure(size)) {
+    value.assign(buffer_.data() + pos_, size);
+    pos_ += size;
+  }
+  return value;
+}
+
+std::vector<float> BinaryReader::ReadFloats() {
+  const uint64_t count = ReadU64();
+  std::vector<float> values;
+  const size_t bytes = count * sizeof(float);
+  if (Ensure(bytes)) {
+    values.resize(count);
+    if (bytes > 0) std::memcpy(values.data(), buffer_.data() + pos_, bytes);
+    pos_ += bytes;
+  }
+  return values;
+}
+
+}  // namespace stm

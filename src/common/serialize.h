@@ -1,0 +1,57 @@
+#ifndef STM_COMMON_SERIALIZE_H_
+#define STM_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stm {
+
+// Minimal little-endian binary (de)serialization used by the model caches
+// (pre-trained MiniLm weights, embedding tables). The format is a private
+// implementation detail of this library: a magic tag plus raw scalars.
+
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteF32(float value);
+  void WriteString(const std::string& value);
+  void WriteFloats(const std::vector<float>& values);
+
+  const std::string& buffer() const { return buffer_; }
+
+  // Writes the accumulated buffer to `path`; returns false on I/O error.
+  bool Flush(const std::string& path) const;
+
+ private:
+  std::string buffer_;
+};
+
+class BinaryReader {
+ public:
+  // Reads the whole file; `ok()` reports success.
+  explicit BinaryReader(const std::string& path);
+
+  bool ok() const { return ok_; }
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  float ReadF32();
+  std::string ReadString();
+  std::vector<float> ReadFloats();
+
+  // True when every read so far stayed in bounds and the file loaded.
+  bool exhausted() const { return pos_ == buffer_.size(); }
+
+ private:
+  bool Ensure(size_t bytes);
+
+  std::string buffer_;
+  size_t pos_ = 0;
+  bool ok_ = false;
+};
+
+}  // namespace stm
+
+#endif  // STM_COMMON_SERIALIZE_H_

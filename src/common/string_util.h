@@ -1,0 +1,36 @@
+#ifndef STM_COMMON_STRING_UTIL_H_
+#define STM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stm {
+
+// Splits `text` on `sep`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Splits on any ASCII whitespace, dropping empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+// Joins `pieces` with `sep` between elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+// ASCII lower-casing (the library's corpora are ASCII by construction).
+std::string ToLower(std::string_view text);
+
+// Strips leading/trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+// True if `text` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace stm
+
+#endif  // STM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,27 @@
+#ifndef STM_COMMON_TIMER_H_
+#define STM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace stm {
+
+// Simple wall-clock timer for progress reporting in benches.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  // Seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stm
+
+#endif  // STM_COMMON_TIMER_H_

@@ -1,0 +1,203 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "la/matrix.h"
+#include "nn/text_classifier.h"
+#include "text/tfidf.h"
+#include "text/vocabulary.h"
+
+namespace stm::core {
+
+std::vector<int> IrTfIdfClassify(
+    const text::Corpus& corpus,
+    const std::vector<std::vector<int32_t>>& class_keywords) {
+  STM_CHECK_EQ(class_keywords.size(), corpus.num_labels());
+  text::TfIdf tfidf(corpus);
+  std::vector<text::SparseVector> queries;
+  for (const auto& keywords : class_keywords) {
+    queries.push_back(tfidf.KeywordQuery(keywords));
+  }
+  std::vector<int> predictions(corpus.num_docs(), 0);
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    const text::SparseVector vec = tfidf.Transform(corpus.docs()[d].tokens);
+    float best = -1.0f;
+    for (size_t c = 0; c < queries.size(); ++c) {
+      const float sim = text::SparseCosine(queries[c], vec);
+      if (sim > best) {
+        best = sim;
+        predictions[d] = static_cast<int>(c);
+      }
+    }
+  }
+  return predictions;
+}
+
+std::vector<int> LdaClassify(
+    const text::Corpus& corpus,
+    const std::vector<std::vector<int32_t>>& class_keywords,
+    const LdaConfig& config) {
+  const size_t num_topics = corpus.num_labels();
+  const size_t vocab_size = corpus.vocab().size();
+  Rng rng(config.seed);
+
+  // Flatten tokens with doc boundaries.
+  std::vector<int32_t> words;
+  std::vector<size_t> doc_of;
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    for (int32_t id : corpus.docs()[d].tokens) {
+      if (id < text::kNumSpecialTokens) continue;
+      words.push_back(id);
+      doc_of.push_back(d);
+    }
+  }
+  std::vector<int> topic_of(words.size());
+  la::Matrix doc_topic(corpus.num_docs(), num_topics);
+  la::Matrix topic_word(num_topics, vocab_size);
+  std::vector<double> topic_total(num_topics, 0.0);
+  for (size_t i = 0; i < words.size(); ++i) {
+    const int topic = static_cast<int>(rng.UniformInt(num_topics));
+    topic_of[i] = topic;
+    doc_topic.At(doc_of[i], static_cast<size_t>(topic)) += 1.0f;
+    topic_word.At(static_cast<size_t>(topic),
+                  static_cast<size_t>(words[i])) += 1.0f;
+    topic_total[static_cast<size_t>(topic)] += 1.0;
+  }
+
+  std::vector<double> probs(num_topics);
+  const double vbeta = config.beta * static_cast<double>(vocab_size);
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    for (size_t i = 0; i < words.size(); ++i) {
+      const size_t d = doc_of[i];
+      const size_t w = static_cast<size_t>(words[i]);
+      const size_t old_topic = static_cast<size_t>(topic_of[i]);
+      doc_topic.At(d, old_topic) -= 1.0f;
+      topic_word.At(old_topic, w) -= 1.0f;
+      topic_total[old_topic] -= 1.0;
+      for (size_t t = 0; t < num_topics; ++t) {
+        probs[t] = (doc_topic.At(d, t) + config.alpha) *
+                   (topic_word.At(t, w) + config.beta) /
+                   (topic_total[t] + vbeta);
+      }
+      const size_t new_topic = rng.Discrete(probs);
+      topic_of[i] = static_cast<int>(new_topic);
+      doc_topic.At(d, new_topic) += 1.0f;
+      topic_word.At(new_topic, w) += 1.0f;
+      topic_total[new_topic] += 1.0;
+    }
+  }
+
+  // Map topics to classes by seed-keyword mass, greedily one-to-one.
+  la::Matrix affinity(num_topics, num_topics);  // topic x class
+  for (size_t c = 0; c < class_keywords.size(); ++c) {
+    for (int32_t id : class_keywords[c]) {
+      if (id < 0 || static_cast<size_t>(id) >= vocab_size) continue;
+      for (size_t t = 0; t < num_topics; ++t) {
+        affinity.At(t, c) += topic_word.At(t, static_cast<size_t>(id)) /
+                             static_cast<float>(topic_total[t] + 1.0);
+      }
+    }
+  }
+  std::vector<int> topic_to_class(num_topics, 0);
+  std::vector<bool> topic_used(num_topics, false);
+  std::vector<bool> class_used(num_topics, false);
+  for (size_t round = 0; round < num_topics; ++round) {
+    float best = -1.0f;
+    size_t bt = 0;
+    size_t bc = 0;
+    for (size_t t = 0; t < num_topics; ++t) {
+      if (topic_used[t]) continue;
+      for (size_t c = 0; c < num_topics; ++c) {
+        if (class_used[c]) continue;
+        if (affinity.At(t, c) > best) {
+          best = affinity.At(t, c);
+          bt = t;
+          bc = c;
+        }
+      }
+    }
+    topic_to_class[bt] = static_cast<int>(bc);
+    topic_used[bt] = true;
+    class_used[bc] = true;
+  }
+
+  std::vector<int> predictions(corpus.num_docs(), 0);
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    const float* row = doc_topic.Row(d);
+    const size_t top =
+        static_cast<size_t>(std::max_element(row, row + num_topics) - row);
+    predictions[d] = topic_to_class[top];
+  }
+  return predictions;
+}
+
+std::vector<int> EmbeddingSimilarityClassify(
+    const text::Corpus& corpus, const embedding::WordEmbeddings& embeddings,
+    const std::vector<std::vector<int32_t>>& class_keywords) {
+  std::vector<std::vector<float>> class_reps;
+  for (const auto& keywords : class_keywords) {
+    class_reps.push_back(embeddings.AverageOf(keywords));
+  }
+  std::vector<int> predictions(corpus.num_docs(), 0);
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    const std::vector<float> doc_rep =
+        embeddings.AverageOf(corpus.docs()[d].tokens);
+    float best = -2.0f;
+    for (size_t c = 0; c < class_reps.size(); ++c) {
+      const float sim = la::Cosine(doc_rep, class_reps[c]);
+      if (sim > best) {
+        best = sim;
+        predictions[d] = static_cast<int>(c);
+      }
+    }
+  }
+  return predictions;
+}
+
+std::vector<int> PlmSimpleMatchClassify(
+    const text::Corpus& corpus, plm::MiniLm& model,
+    const std::vector<std::vector<int32_t>>& class_name_tokens) {
+  std::vector<std::vector<float>> class_reps;
+  for (const auto& tokens : class_name_tokens) {
+    class_reps.push_back(model.Pool(tokens));
+  }
+  std::vector<int> predictions(corpus.num_docs(), 0);
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    const std::vector<float> doc_rep = model.Pool(corpus.docs()[d].tokens);
+    float best = -2.0f;
+    for (size_t c = 0; c < class_reps.size(); ++c) {
+      const float sim = la::Cosine(doc_rep, class_reps[c]);
+      if (sim > best) {
+        best = sim;
+        predictions[d] = static_cast<int>(c);
+      }
+    }
+  }
+  return predictions;
+}
+
+std::vector<int> SupervisedBound(const text::Corpus& corpus,
+                                 const std::vector<size_t>& train_docs,
+                                 const std::string& kind, int epochs,
+                                 uint64_t seed) {
+  nn::ClassifierConfig config;
+  config.vocab_size = corpus.vocab().size();
+  config.num_classes = corpus.num_labels();
+  config.seed = seed;
+  auto classifier = nn::MakeClassifier(kind, config);
+  std::vector<std::vector<int32_t>> docs;
+  std::vector<int> labels;
+  for (size_t d : train_docs) {
+    docs.push_back(corpus.docs()[d].tokens);
+    labels.push_back(corpus.docs()[d].Label());
+  }
+  classifier->Fit(docs, labels, epochs);
+  std::vector<std::vector<int32_t>> all_docs;
+  for (const auto& doc : corpus.docs()) all_docs.push_back(doc.tokens);
+  return classifier->Predict(all_docs);
+}
+
+}  // namespace stm::core

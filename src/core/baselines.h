@@ -1,0 +1,59 @@
+#ifndef STM_CORE_BASELINES_H_
+#define STM_CORE_BASELINES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "embedding/sgns.h"
+#include "plm/minilm.h"
+#include "text/corpus.h"
+
+namespace stm::core {
+
+// Baseline classifiers used across the tutorial's tables.
+
+// IR with TF-IDF: each class is a keyword query; documents take the class
+// with the highest cosine between the query and the document TF-IDF
+// vector.
+std::vector<int> IrTfIdfClassify(
+    const text::Corpus& corpus,
+    const std::vector<std::vector<int32_t>>& class_keywords);
+
+// Topic Model baseline: LDA via collapsed Gibbs sampling with one topic
+// per class; topics are mapped to classes through the seed keywords'
+// topic assignments, and documents take their dominant topic's class.
+struct LdaConfig {
+  int iterations = 60;
+  double alpha = 0.5;
+  double beta = 0.05;
+  uint64_t seed = 61;
+};
+std::vector<int> LdaClassify(
+    const text::Corpus& corpus,
+    const std::vector<std::vector<int32_t>>& class_keywords,
+    const LdaConfig& config);
+
+// Dataless / Word2Vec-style: documents and classes meet in a static
+// embedding space; each document takes the nearest class representation
+// (average of seed-word unit vectors).
+std::vector<int> EmbeddingSimilarityClassify(
+    const text::Corpus& corpus, const embedding::WordEmbeddings& embeddings,
+    const std::vector<std::vector<int32_t>>& class_keywords);
+
+// "BERT with simple match": average-pooled MiniLm document representation
+// vs. pooled class-name representation, cosine argmax.
+std::vector<int> PlmSimpleMatchClassify(
+    const text::Corpus& corpus, plm::MiniLm& model,
+    const std::vector<std::vector<int32_t>>& class_name_tokens);
+
+// Supervised upper bound: trains classifier `kind` ("cnn"/"han"/"bow") on
+// gold labels of `train_docs` and predicts the whole corpus.
+std::vector<int> SupervisedBound(const text::Corpus& corpus,
+                                 const std::vector<size_t>& train_docs,
+                                 const std::string& kind, int epochs,
+                                 uint64_t seed);
+
+}  // namespace stm::core
+
+#endif  // STM_CORE_BASELINES_H_

@@ -1,0 +1,220 @@
+#include "core/conwea.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "cluster/cluster.h"
+#include "common/check.h"
+#include "la/matrix.h"
+#include "nn/text_classifier.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace stm::core {
+
+ConWea::ConWea(const text::Corpus& corpus, plm::MiniLm* model,
+               const ConWeaConfig& config)
+    : corpus_(corpus), model_(model), config_(config) {
+  STM_CHECK(model != nullptr);
+}
+
+std::vector<float> ConWea::ContextVector(size_t doc, size_t pos) {
+  const auto& tokens = corpus_.docs()[doc].tokens;
+  STM_CHECK_LT(pos, tokens.size());
+  // Window around the occurrence, sized to the model's max sequence.
+  const size_t max_seq = model_->config().max_seq;
+  const size_t half = max_seq / 2;
+  const size_t begin = pos > half ? pos - half : 0;
+  const size_t end = std::min(tokens.size(), begin + max_seq);
+  std::vector<int32_t> window(tokens.begin() + static_cast<std::ptrdiff_t>(begin),
+                              tokens.begin() + static_cast<std::ptrdiff_t>(end));
+  const la::Matrix hidden = model_->Encode(window);
+  return hidden.RowVec(pos - begin);
+}
+
+ConWea::SenseFilter ConWea::FilterSenses(
+    int32_t word, size_t c,
+    const std::vector<std::vector<float>>& class_centroids) {
+  SenseFilter filter;
+  filter.word = word;
+  const auto occurrences =
+      corpus_.Occurrences(word, config_.max_occurrences);
+  if (occurrences.empty()) return filter;
+
+  if (!config_.enable_contextualization || occurrences.size() < 8) {
+    filter.accepted = occurrences;
+    return filter;
+  }
+
+  // Contextual vectors for each occurrence.
+  la::Matrix vectors(occurrences.size(), model_->config().dim);
+  for (size_t i = 0; i < occurrences.size(); ++i) {
+    vectors.SetRow(i, ContextVector(occurrences[i].first,
+                                    occurrences[i].second));
+  }
+
+  cluster::KMeansOptions options;
+  options.k = config_.senses;
+  options.spherical = true;
+  options.seed = config_.seed + static_cast<uint64_t>(word);
+  const cluster::KMeansResult clusters = cluster::KMeans(vectors, options);
+  const double quality = cluster::Silhouette(vectors, clusters.assignment,
+                                             config_.senses);
+  if (quality < config_.sense_margin) {
+    // Single dominant sense: keep everything.
+    filter.accepted = occurrences;
+    return filter;
+  }
+
+  size_t chosen = 0;
+  if (config_.class_aware_senses) {
+    // Sense whose centroid is closest to the class's context centroid.
+    float best = -2.0f;
+    for (size_t s = 0; s < clusters.centroids.rows(); ++s) {
+      const float sim = la::Cosine(clusters.centroids.Row(s),
+                                   class_centroids[c].data(),
+                                   model_->config().dim);
+      if (sim > best) {
+        best = sim;
+        chosen = s;
+      }
+    }
+  } else {
+    // Generic WSD stand-in: majority sense regardless of class.
+    std::vector<size_t> counts(config_.senses, 0);
+    for (int a : clusters.assignment) counts[static_cast<size_t>(a)]++;
+    chosen = static_cast<size_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+  }
+  for (size_t i = 0; i < occurrences.size(); ++i) {
+    if (clusters.assignment[i] == static_cast<int>(chosen)) {
+      filter.accepted.push_back(occurrences[i]);
+    }
+  }
+  return filter;
+}
+
+std::vector<int> ConWea::Run(const text::WeakSupervision& supervision) {
+  const size_t num_classes = corpus_.num_labels();
+  STM_CHECK_EQ(supervision.class_keywords.size(), num_classes);
+  seeds_ = supervision.class_keywords;
+
+  std::vector<int> predictions(corpus_.num_docs(), 0);
+  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+    // ---- class context centroids from current seeds ----
+    std::vector<std::vector<float>> centroids(
+        num_classes, std::vector<float>(model_->config().dim, 0.0f));
+    if (config_.enable_contextualization) {
+      for (size_t c = 0; c < num_classes; ++c) {
+        size_t used = 0;
+        for (int32_t word : seeds_[c]) {
+          for (const auto& [doc, pos] :
+               corpus_.Occurrences(word, 10)) {
+            const std::vector<float> vec = ContextVector(doc, pos);
+            la::Axpy(1.0f, vec.data(), centroids[c].data(), vec.size());
+            ++used;
+          }
+        }
+        if (used > 0) {
+          la::NormalizeInPlace(centroids[c].data(), centroids[c].size());
+        }
+      }
+    }
+
+    // ---- sense-filtered seed evidence per document ----
+    la::Matrix evidence(corpus_.num_docs(), num_classes);
+    for (size_t c = 0; c < num_classes; ++c) {
+      for (int32_t word : seeds_[c]) {
+        const SenseFilter filter = FilterSenses(word, c, centroids);
+        for (const auto& [doc, pos] : filter.accepted) {
+          (void)pos;
+          evidence.At(doc, c) += 1.0f;
+        }
+      }
+    }
+
+    // ---- pseudo labels ----
+    std::vector<std::vector<int32_t>> train_docs;
+    std::vector<int> train_labels;
+    for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+      const float* row = evidence.Row(d);
+      const size_t best = static_cast<size_t>(
+          std::max_element(row, row + num_classes) - row);
+      if (row[best] >= config_.min_seed_hits) {
+        // Require a margin over the runner-up to reduce noise.
+        float second = -1.0f;
+        for (size_t c = 0; c < num_classes; ++c) {
+          if (c != best) second = std::max(second, row[c]);
+        }
+        if (row[best] > second) {
+          train_docs.push_back(corpus_.docs()[d].tokens);
+          train_labels.push_back(static_cast<int>(best));
+        }
+      }
+    }
+    if (train_docs.empty()) break;
+
+    // ---- classifier ----
+    nn::ClassifierConfig clf_config;
+    clf_config.vocab_size = corpus_.vocab().size();
+    clf_config.num_classes = num_classes;
+    clf_config.seed = config_.seed + static_cast<uint64_t>(iteration);
+    nn::BowLogRegClassifier classifier(clf_config);
+    classifier.Fit(train_docs, train_labels, config_.classifier_epochs);
+    std::vector<std::vector<int32_t>> all_docs;
+    for (const auto& doc : corpus_.docs()) all_docs.push_back(doc.tokens);
+    predictions = classifier.Predict(all_docs);
+
+    // ---- comparative seed expansion ----
+    if (!config_.enable_expansion ||
+        iteration + 1 >= config_.iterations) {
+      continue;
+    }
+    const size_t vocab_size = corpus_.vocab().size();
+    la::Matrix class_counts(num_classes, vocab_size);
+    std::vector<double> class_tokens(num_classes, 1.0);
+    for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+      const size_t c = static_cast<size_t>(predictions[d]);
+      for (int32_t id : corpus_.docs()[d].tokens) {
+        if (id < text::kNumSpecialTokens) continue;
+        class_counts.At(c, static_cast<size_t>(id)) += 1.0f;
+        class_tokens[c] += 1.0;
+      }
+    }
+    for (size_t c = 0; c < num_classes; ++c) {
+      std::vector<std::pair<float, int32_t>> scored;
+      for (size_t w = text::kNumSpecialTokens; w < vocab_size; ++w) {
+        const int32_t id = static_cast<int32_t>(w);
+        if (text::IsStopword(corpus_.vocab().TokenOf(id))) continue;
+        if (std::find(seeds_[c].begin(), seeds_[c].end(), id) !=
+            seeds_[c].end()) {
+          continue;
+        }
+        const double in_class =
+            class_counts.At(c, w) / class_tokens[c];
+        double elsewhere = 1e-9;
+        for (size_t o = 0; o < num_classes; ++o) {
+          if (o != c) elsewhere += class_counts.At(o, w) / class_tokens[o];
+        }
+        if (class_counts.At(c, w) < 3.0f) continue;
+        scored.emplace_back(
+            static_cast<float>(in_class *
+                               std::log(in_class / elsewhere + 1.0)),
+            id);
+      }
+      const size_t keep = std::min(config_.expand_per_class, scored.size());
+      std::partial_sort(scored.begin(),
+                        scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                        scored.end(), [](const auto& a, const auto& b) {
+                          return a.first > b.first;
+                        });
+      for (size_t i = 0; i < keep; ++i) {
+        seeds_[c].push_back(scored[i].second);
+      }
+    }
+  }
+  return predictions;
+}
+
+}  // namespace stm::core

@@ -1,0 +1,78 @@
+#ifndef STM_CORE_CONWEA_H_
+#define STM_CORE_CONWEA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plm/minilm.h"
+#include "text/corpus.h"
+
+namespace stm::core {
+
+// ConWea (Mekala & Shang, ACL'20): contextualized weak supervision.
+//   1. For every seed word, collect its occurrences, embed them with the
+//      pre-trained LM, and cluster the contextual vectors into senses;
+//      keep for each class only the sense whose centroid is closest to
+//      that class's aggregate seed context.
+//   2. Pseudo-label documents by (sense-filtered) seed matches; train a
+//      text classifier.
+//   3. Expand seeds by comparative ranking of words in predicted classes;
+//      iterate.
+struct ConWeaConfig {
+  int iterations = 2;              // contextualize -> train -> expand loops
+  size_t max_occurrences = 40;     // contextual samples per seed word
+  size_t senses = 2;               // k for sense clustering
+  double sense_margin = 0.05;      // min silhouette to accept a word split
+  size_t expand_per_class = 5;     // new seeds per class per iteration
+  int classifier_epochs = 8;
+  double min_seed_hits = 1.0;      // pseudo-label evidence threshold
+
+  bool enable_contextualization = true;  // ConWea-NoCon ablation
+  bool enable_expansion = true;          // ConWea-NoExpan ablation
+  // ConWea-WSD ablation: cluster senses but pick them by global majority
+  // instead of class-aware matching (a generic WSD stand-in).
+  bool class_aware_senses = true;
+
+  uint64_t seed = 71;
+};
+
+class ConWea {
+ public:
+  // `model` must be pre-trained on a corpus covering this vocabulary.
+  ConWea(const text::Corpus& corpus, plm::MiniLm* model,
+         const ConWeaConfig& config);
+
+  // Runs the full loop; returns hard predictions for every document.
+  std::vector<int> Run(const text::WeakSupervision& supervision);
+
+  // Final seed sets (post-expansion), for inspection.
+  const std::vector<std::vector<int32_t>>& final_seeds() const {
+    return seeds_;
+  }
+
+ private:
+  // Occurrence of a seed word with its sense assignment.
+  struct SenseFilter {
+    int32_t word = 0;
+    // Occurrences (doc, position) accepted for the owning class.
+    std::vector<std::pair<size_t, size_t>> accepted;
+  };
+
+  // Computes sense-filtered occurrences of `word` for class `c` given the
+  // class's context centroid.
+  SenseFilter FilterSenses(int32_t word, size_t c,
+                           const std::vector<std::vector<float>>& class_centroids);
+
+  // Contextual vector of the token at (doc, pos).
+  std::vector<float> ContextVector(size_t doc, size_t pos);
+
+  const text::Corpus& corpus_;
+  plm::MiniLm* model_;
+  ConWeaConfig config_;
+  std::vector<std::vector<int32_t>> seeds_;
+};
+
+}  // namespace stm::core
+
+#endif  // STM_CORE_CONWEA_H_

@@ -1,0 +1,190 @@
+#include "core/lotclass.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "nn/text_classifier.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace stm::core {
+
+LotClass::LotClass(const text::Corpus& corpus, plm::MiniLm* model,
+                   const LotClassConfig& config)
+    : corpus_(corpus), model_(model), config_(config) {
+  STM_CHECK(model != nullptr);
+}
+
+void LotClass::BuildCategoryVocab(
+    const std::vector<std::vector<int32_t>>& label_names) {
+  const size_t num_classes = label_names.size();
+  const size_t max_seq = model_->config().max_seq;
+  category_vocab_.assign(num_classes, {});
+
+  // Corpus-frequent tokens (function words) are never category words.
+  std::set<int32_t> too_frequent;
+  {
+    const std::vector<int64_t> token_counts = corpus_.TokenCounts();
+    std::vector<std::pair<int64_t, int32_t>> ranked;
+    for (size_t i = text::kNumSpecialTokens; i < token_counts.size(); ++i) {
+      ranked.emplace_back(token_counts[i], static_cast<int32_t>(i));
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    for (size_t i = 0; i < ranked.size() && i < 40; ++i) {
+      too_frequent.insert(ranked[i].second);
+    }
+  }
+
+  std::vector<std::map<int32_t, int>> counts(num_classes);
+  for (size_t c = 0; c < num_classes; ++c) {
+    for (int32_t name_token : label_names[c]) {
+      const auto occurrences =
+          corpus_.Occurrences(name_token, config_.name_occurrences);
+      for (const auto& [doc, pos] : occurrences) {
+        const auto& tokens = corpus_.docs()[doc].tokens;
+        const size_t half = max_seq / 2;
+        const size_t begin = pos > half ? pos - half : 0;
+        const size_t end = std::min(tokens.size(), begin + max_seq);
+        std::vector<int32_t> window(
+            tokens.begin() + static_cast<std::ptrdiff_t>(begin),
+            tokens.begin() + static_cast<std::ptrdiff_t>(end));
+        const auto top = model_->PredictTopK(window, pos - begin,
+                                             config_.replacements_topk);
+        for (int32_t id : top) {
+          if (too_frequent.count(id)) continue;
+          if (text::IsStopword(corpus_.vocab().TokenOf(id))) continue;
+          counts[c][id]++;
+        }
+      }
+    }
+  }
+
+  // Rank candidate replacements by count weighted by class exclusivity:
+  // count_c(w)^2 / sum_c' count_c'(w). Frequent words predicted for every
+  // class (function words, shared domain words) rank low; words the LM
+  // proposes mostly for this class rank high.
+  std::map<int32_t, int> total_counts;
+  for (size_t c = 0; c < num_classes; ++c) {
+    for (const auto& [id, count] : counts[c]) total_counts[id] += count;
+  }
+  // Every candidate word is assigned to at most one class: the class with
+  // the dominant exclusivity score, and only if it dominates clearly
+  // (>= 2x the runner-up). Label names in noisy contexts make most strong
+  // topical words weakly claimed by several classes, so outright deletion
+  // of contested words (the large-vocabulary behaviour) collapses here.
+  std::map<int32_t, std::vector<std::pair<double, size_t>>> claims;
+  for (size_t c = 0; c < num_classes; ++c) {
+    for (const auto& [id, count] : counts[c]) {
+      const double score = static_cast<double>(count) * count /
+                           static_cast<double>(total_counts[id]);
+      claims[id].emplace_back(score, c);
+    }
+  }
+  std::vector<std::vector<std::pair<double, int32_t>>> winners(num_classes);
+  for (auto& [id, scores] : claims) {
+    std::sort(scores.rbegin(), scores.rend());
+    const double best = scores[0].first;
+    const double second = scores.size() > 1 ? scores[1].first : 0.0;
+    if (second == 0.0 || best >= 2.0 * second) {
+      winners[scores[0].second].emplace_back(best, id);
+    }
+  }
+  for (size_t c = 0; c < num_classes; ++c) {
+    std::sort(winners[c].rbegin(), winners[c].rend());
+    for (size_t i = 0; i < winners[c].size() &&
+                       category_vocab_[c].size() <
+                           config_.category_vocab_size;
+         ++i) {
+      category_vocab_[c].push_back(winners[c][i].second);
+    }
+    // The label name itself always belongs to its category vocabulary.
+    for (int32_t name_token : label_names[c]) {
+      if (std::find(category_vocab_[c].begin(), category_vocab_[c].end(),
+                    name_token) == category_vocab_[c].end()) {
+        category_vocab_[c].push_back(name_token);
+      }
+    }
+  }
+}
+
+std::vector<int> LotClass::Run(
+    const std::vector<std::vector<int32_t>>& label_names) {
+  const size_t num_classes = label_names.size();
+  STM_CHECK_EQ(num_classes, corpus_.num_labels());
+  BuildCategoryVocab(label_names);
+
+  // Fast membership lookup: token -> class (or -1).
+  std::map<int32_t, int> vocab_class;
+  for (size_t c = 0; c < num_classes; ++c) {
+    for (int32_t id : category_vocab_[c]) {
+      vocab_class[id] = static_cast<int>(c);
+    }
+  }
+
+  // ---- masked category prediction ----
+  const size_t max_seq = model_->config().max_seq;
+  const size_t num_docs = config_.mcp_docs == 0
+                              ? corpus_.num_docs()
+                              : std::min(config_.mcp_docs,
+                                         corpus_.num_docs());
+  std::vector<std::vector<int32_t>> train_docs;
+  std::vector<int> train_labels;
+  for (size_t d = 0; d < num_docs; ++d) {
+    const auto& tokens = corpus_.docs()[d].tokens;
+    std::vector<int> indicative(num_classes, 0);
+    // Only tokens already in some category vocabulary are candidates for
+    // context verification (context-free match alone is NOT trusted).
+    const size_t limit = std::min(tokens.size(), max_seq);
+    std::vector<size_t> positions;
+    std::vector<int> claims;
+    for (size_t t = 0; t < limit; ++t) {
+      auto it = vocab_class.find(tokens[t]);
+      if (it == vocab_class.end()) continue;
+      positions.push_back(t);
+      claims.push_back(it->second);
+    }
+    if (positions.empty()) continue;
+    const std::vector<int32_t> window(
+        tokens.begin(), tokens.begin() + static_cast<std::ptrdiff_t>(limit));
+    const auto tops = model_->PredictTopKAt(window, positions,
+                                            config_.mcp_topk);
+    for (size_t i = 0; i < positions.size(); ++i) {
+      const int claimed = claims[i];
+      size_t overlap = 0;
+      for (int32_t id : tops[i]) {
+        auto jt = vocab_class.find(id);
+        if (jt != vocab_class.end() && jt->second == claimed) ++overlap;
+      }
+      if (overlap >= config_.mcp_min_overlap) {
+        indicative[static_cast<size_t>(claimed)]++;
+      }
+    }
+    const auto best =
+        std::max_element(indicative.begin(), indicative.end());
+    if (*best > 0) {
+      train_docs.push_back(tokens);
+      train_labels.push_back(
+          static_cast<int>(best - indicative.begin()));
+    }
+  }
+
+  std::vector<std::vector<int32_t>> all_docs;
+  for (const auto& doc : corpus_.docs()) all_docs.push_back(doc.tokens);
+
+  nn::ClassifierConfig clf_config;
+  clf_config.vocab_size = corpus_.vocab().size();
+  clf_config.num_classes = num_classes;
+  clf_config.seed = config_.seed;
+  auto classifier = nn::MakeClassifier(config_.classifier, clf_config);
+  if (!train_docs.empty()) {
+    classifier->Fit(train_docs, train_labels, config_.classifier_epochs);
+  }
+  if (config_.enable_self_training) {
+    return SelfTrain(*classifier, all_docs, config_.self_train);
+  }
+  return classifier->Predict(all_docs);
+}
+
+}  // namespace stm::core

@@ -1,0 +1,66 @@
+#ifndef STM_CORE_LOTCLASS_H_
+#define STM_CORE_LOTCLASS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/self_training.h"
+#include "plm/minilm.h"
+#include "text/corpus.h"
+
+namespace stm::core {
+
+// LOTClass (Meng et al., EMNLP'20): text classification using label names
+// only, through the MLM head of a pre-trained LM.
+//   1. Category vocabulary: run the masked LM over occurrences of each
+//      label name; aggregate its top replacement words into a per-class
+//      topic vocabulary (stopwords and cross-class words removed).
+//   2. Masked category prediction (MCP): a token occurrence is "topic
+//      indicative" for class c when enough of its top replacement words
+//      fall in c's vocabulary; documents with indicative tokens get
+//      pseudo-labels.
+//   3. Train a classifier on the pseudo-labeled documents, then
+//      self-train on the whole corpus.
+struct LotClassConfig {
+  size_t name_occurrences = 50;     // label-name contexts sampled
+  size_t replacements_topk = 30;    // MLM top-k per context
+  size_t category_vocab_size = 40;  // words kept per class
+  size_t mcp_topk = 20;             // replacements checked per token
+  size_t mcp_min_overlap = 4;       // overlap for "topic indicative"
+  size_t mcp_docs = 0;              // docs scanned by MCP (0 = all)
+  int classifier_epochs = 8;
+  std::string classifier = "bow";
+  bool enable_self_training = true;  // "Ours w/o. self train" ablation
+  SelfTrainConfig self_train;
+  uint64_t seed = 81;
+};
+
+class LotClass {
+ public:
+  LotClass(const text::Corpus& corpus, plm::MiniLm* model,
+           const LotClassConfig& config);
+
+  // Full pipeline from per-class label-name tokens (usually one token).
+  std::vector<int> Run(const std::vector<std::vector<int32_t>>& label_names);
+
+  // Category vocabularies built in the last Run (per class).
+  const std::vector<std::vector<int32_t>>& category_vocab() const {
+    return category_vocab_;
+  }
+
+  // Builds only the category vocabulary (step 1), exposed for tests and
+  // for the tutorial's Table 1 qualitative reproduction.
+  void BuildCategoryVocab(
+      const std::vector<std::vector<int32_t>>& label_names);
+
+ private:
+  const text::Corpus& corpus_;
+  plm::MiniLm* model_;
+  LotClassConfig config_;
+  std::vector<std::vector<int32_t>> category_vocab_;
+};
+
+}  // namespace stm::core
+
+#endif  // STM_CORE_LOTCLASS_H_

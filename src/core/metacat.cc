@@ -1,0 +1,164 @@
+#include "core/metacat.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/feature_classifier.h"
+#include "text/vocabulary.h"
+
+namespace stm::core {
+
+MetaCat::MetaCat(const text::Corpus& corpus, const MetaCatConfig& config)
+    : corpus_(corpus), config_(config) {}
+
+std::vector<int> MetaCat::Run(
+    const std::vector<std::vector<size_t>>& labeled_docs) {
+  const size_t num_classes = corpus_.num_labels();
+  STM_CHECK_EQ(labeled_docs.size(), num_classes);
+  Rng rng(config_.seed);
+
+  // ---- HIN over docs, metadata, words and seed labels ----
+  graph::HinBuildOptions hin_options;
+  hin_options.include_words = true;
+  hin_options.min_word_count = 3;
+  hin_options.include_labels = true;
+  for (const auto& docs : labeled_docs) {
+    hin_options.labeled_docs.insert(hin_options.labeled_docs.end(),
+                                    docs.begin(), docs.end());
+  }
+  const graph::Hin hin = graph::BuildHin(corpus_, hin_options);
+
+  // Walks along the generative meta-paths.
+  std::vector<std::vector<int>> walks;
+  for (const auto& metapath :
+       std::vector<std::vector<std::string>>{{"doc", "word", "doc"},
+                                             {"doc", "user", "doc"},
+                                             {"doc", "tag", "doc"},
+                                             {"doc", "label", "doc"}}) {
+    // Skip meta-paths whose middle type is absent from this corpus.
+    bool has_type = false;
+    for (size_t n = 0; n < hin.num_nodes() && !has_type; ++n) {
+      has_type = hin.TypeOf(static_cast<int>(n)) == metapath[1];
+    }
+    if (!has_type) continue;
+    auto more = graph::MetaPathWalks(hin, metapath, config_.walks_per_node,
+                                     config_.walk_length,
+                                     config_.seed + walks.size());
+    walks.insert(walks.end(), more.begin(), more.end());
+  }
+  graph::NodeEmbeddingConfig emb_config;
+  emb_config.dim = config_.embedding_dim;
+  emb_config.seed = config_.seed + 7;
+  const la::Matrix node_emb =
+      graph::TrainNodeEmbeddings(walks, hin.num_nodes(), emb_config);
+
+  // ---- synthetic training docs per label ----
+  // Word nodes and their vocabulary ids.
+  std::vector<int> word_nodes;
+  std::vector<int32_t> word_ids;
+  for (size_t n = 0; n < hin.num_nodes(); ++n) {
+    if (hin.TypeOf(static_cast<int>(n)) == "word") {
+      word_nodes.push_back(static_cast<int>(n));
+      word_ids.push_back(corpus_.vocab().IdOf(hin.NameOf(static_cast<int>(n))));
+    }
+  }
+  std::vector<std::vector<int32_t>> synth_docs;
+  std::vector<int> synth_labels;
+  for (size_t c = 0; c < num_classes; ++c) {
+    const int label_node = hin.NodeOf("label", corpus_.label_names()[c]);
+    if (label_node < 0 || word_nodes.empty()) continue;
+    // p(w | label) ∝ exp(cos(e_w, e_label) / τ).
+    std::vector<double> weights(word_nodes.size());
+    for (size_t i = 0; i < word_nodes.size(); ++i) {
+      const float sim = la::Cosine(
+          node_emb.Row(static_cast<size_t>(word_nodes[i])),
+          node_emb.Row(static_cast<size_t>(label_node)),
+          node_emb.cols());
+      weights[i] = std::exp(static_cast<double>(sim) /
+                            config_.word_temperature);
+    }
+    AliasSampler sampler(weights);
+    for (size_t s = 0; s < config_.synth_docs_per_class; ++s) {
+      std::vector<int32_t> doc;
+      doc.reserve(config_.synth_doc_len);
+      for (size_t t = 0; t < config_.synth_doc_len; ++t) {
+        doc.push_back(word_ids[sampler.Sample(rng)]);
+      }
+      synth_docs.push_back(std::move(doc));
+      synth_labels.push_back(static_cast<int>(c));
+    }
+  }
+
+  // ---- features: bag of words (+ HIN doc embedding) ----
+  const size_t vocab_size = corpus_.vocab().size();
+  const size_t meta_dim =
+      config_.use_metadata_features ? config_.embedding_dim : 0;
+  const size_t feature_dim = vocab_size + meta_dim;
+  auto doc_features = [&](const std::vector<int32_t>& tokens,
+                          int doc_node) {
+    std::vector<float> features(feature_dim, 0.0f);
+    float total = 0.0f;
+    for (int32_t id : tokens) {
+      if (id < text::kNumSpecialTokens) continue;
+      features[static_cast<size_t>(id)] += 1.0f;
+      total += 1.0f;
+    }
+    if (total > 0.0f) {
+      for (size_t j = 0; j < vocab_size; ++j) features[j] /= total;
+    }
+    if (meta_dim > 0 && doc_node >= 0) {
+      std::vector<float> emb =
+          node_emb.RowVec(static_cast<size_t>(doc_node));
+      la::NormalizeInPlace(emb.data(), emb.size());
+      for (size_t j = 0; j < meta_dim; ++j) {
+        features[vocab_size + j] = emb[j];
+      }
+    }
+    return features;
+  };
+
+  // Training set: labeled docs (real features incl. metadata embedding)
+  // plus synthetic docs (text features only — they have no HIN node).
+  std::vector<std::vector<float>> train_features;
+  std::vector<int> train_labels;
+  for (size_t c = 0; c < num_classes; ++c) {
+    for (size_t d : labeled_docs[c]) {
+      train_features.push_back(
+          doc_features(corpus_.docs()[d].tokens, static_cast<int>(d)));
+      train_labels.push_back(static_cast<int>(c));
+    }
+  }
+  for (size_t s = 0; s < synth_docs.size(); ++s) {
+    train_features.push_back(doc_features(synth_docs[s], -1));
+    train_labels.push_back(synth_labels[s]);
+  }
+  STM_CHECK(!train_features.empty());
+
+  la::Matrix train_x(train_features.size(), feature_dim);
+  la::Matrix train_y(train_features.size(), num_classes);
+  for (size_t i = 0; i < train_features.size(); ++i) {
+    train_x.SetRow(i, train_features[i]);
+    train_y.At(i, static_cast<size_t>(train_labels[i])) = 1.0f;
+  }
+
+  nn::FeatureMlpClassifier::Config clf_config;
+  clf_config.input_dim = feature_dim;
+  clf_config.num_classes = num_classes;
+  clf_config.hidden = 48;
+  clf_config.seed = config_.seed + 11;
+  nn::FeatureMlpClassifier classifier(clf_config);
+  for (int epoch = 0; epoch < config_.classifier_epochs; ++epoch) {
+    classifier.TrainEpoch(train_x, train_y);
+  }
+
+  la::Matrix all_x(corpus_.num_docs(), feature_dim);
+  for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+    all_x.SetRow(d, doc_features(corpus_.docs()[d].tokens,
+                                 static_cast<int>(d)));
+  }
+  return classifier.Predict(all_x);
+}
+
+}  // namespace stm::core

@@ -1,0 +1,49 @@
+#ifndef STM_CORE_METACAT_H_
+#define STM_CORE_METACAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hin.h"
+#include "text/corpus.h"
+
+namespace stm::core {
+
+// MetaCat (Zhang et al., SIGIR'20): minimally supervised categorization
+// of text with metadata.
+//   1. Cast the corpus + metadata as a heterogeneous information network
+//      (docs, users, tags, words, labels-of-seed-docs) and learn joint
+//      embeddings of all node types from meta-path walks — the generative
+//      process "user -> doc -> words/tags" turned into a likelihood.
+//   2. Generate synthetic training documents per label by sampling words
+//      whose embeddings are near the label embedding.
+//   3. Train a classifier on [bag-of-words ; HIN doc embedding] features
+//      from the seed docs plus the synthesized docs.
+struct MetaCatConfig {
+  size_t embedding_dim = 32;
+  int walks_per_node = 4;
+  int walk_length = 9;
+  size_t synth_docs_per_class = 30;
+  size_t synth_doc_len = 30;
+  float word_temperature = 0.12f;   // softmax temp for word sampling
+  int classifier_epochs = 20;
+  bool use_metadata_features = true;  // ablation: text-only features
+  uint64_t seed = 131;
+};
+
+class MetaCat {
+ public:
+  MetaCat(const text::Corpus& corpus, const MetaCatConfig& config);
+
+  // `labeled_docs[c]` = seed documents of class c. Returns predictions
+  // for every document.
+  std::vector<int> Run(const std::vector<std::vector<size_t>>& labeled_docs);
+
+ private:
+  const text::Corpus& corpus_;
+  MetaCatConfig config_;
+};
+
+}  // namespace stm::core
+
+#endif  // STM_CORE_METACAT_H_

@@ -1,0 +1,225 @@
+#include "core/micol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/check.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "text/vocabulary.h"
+
+namespace stm::core {
+
+Micol::Micol(const text::Corpus& corpus, plm::MiniLm* model,
+             const MicolConfig& config)
+    : corpus_(corpus), model_(model), config_(config) {
+  STM_CHECK(model != nullptr);
+}
+
+std::vector<float> Micol::Represent(const std::vector<int32_t>& tokens) {
+  std::vector<float> pooled = model_->Pool(tokens);
+  if (!projection_trained_) return pooled;
+  const size_t d = model_->config().dim;
+  std::vector<float> projected(d, 0.0f);
+  // projected = W^T pooled (W stored [d, d] row-major as in MatMul).
+  for (size_t i = 0; i < d; ++i) {
+    const float x = pooled[i];
+    if (x == 0.0f) continue;
+    const float* wrow = proj_weight_.value().data() + i * d;
+    for (size_t j = 0; j < d; ++j) projected[j] += x * wrow[j];
+  }
+  return projected;
+}
+
+double Micol::FineTuneBiEncoder(
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  STM_CHECK(!pairs.empty());
+  Rng rng(config_.seed);
+  const size_t d = model_->config().dim;
+
+  if (config_.projection_head && !proj_weight_.defined()) {
+    // Identity-initialized linear projection over the frozen encoder.
+    nn::Tensor w = nn::Tensor::ZeroParam({d, d});
+    for (size_t i = 0; i < d; ++i) w.value()[i * d + i] = 1.0f;
+    proj_weight_ = proj_store_.Register("proj", w);
+  }
+  nn::OptimizerConfig opt_config;
+  opt_config.lr = config_.lr;
+  opt_config.grad_clip = 1.0f;
+  nn::AdamOptimizer optimizer(
+      config_.projection_head ? &proj_store_ : &model_->store(), opt_config);
+
+  // Projection mode: pre-compute frozen pooled vectors once.
+  std::vector<std::vector<float>> pooled_cache;
+  if (config_.projection_head) {
+    pooled_cache.reserve(corpus_.num_docs());
+    for (const auto& doc : corpus_.docs()) {
+      pooled_cache.push_back(model_->Pool(doc.tokens));
+    }
+  }
+
+  double last = 0.0;
+  for (int step = 0; step < config_.bi_encoder_steps; ++step) {
+    const size_t batch = std::min(config_.batch_pairs, pairs.size());
+    nn::Tensor u;
+    nn::Tensor v;
+    if (config_.projection_head) {
+      std::vector<float> left;
+      std::vector<float> right;
+      for (size_t b = 0; b < batch; ++b) {
+        const auto& [i, j] = pairs[rng.UniformInt(pairs.size())];
+        left.insert(left.end(), pooled_cache[i].begin(),
+                    pooled_cache[i].end());
+        right.insert(right.end(), pooled_cache[j].begin(),
+                     pooled_cache[j].end());
+      }
+      u = nn::MatMul(nn::Tensor::FromVector(std::move(left), {batch, d}),
+                     proj_weight_);
+      v = nn::MatMul(nn::Tensor::FromVector(std::move(right), {batch, d}),
+                     proj_weight_);
+    } else {
+      std::vector<nn::Tensor> left;
+      std::vector<nn::Tensor> right;
+      for (size_t b = 0; b < batch; ++b) {
+        const auto& [i, j] = pairs[rng.UniformInt(pairs.size())];
+        left.push_back(model_->PoolTensor(corpus_.docs()[i].tokens));
+        right.push_back(model_->PoolTensor(corpus_.docs()[j].tokens));
+      }
+      u = nn::ConcatRows(left);
+      v = nn::ConcatRows(right);
+    }
+    u = nn::NormalizeRowsOp(u);
+    v = nn::NormalizeRowsOp(v);
+    // Cosine similarity matrix via batched matmul-with-transpose.
+    nn::Tensor sim = nn::Reshape(
+        nn::BMatMulT(nn::Reshape(u, {1, batch, d}),
+                     nn::Reshape(v, {1, batch, d})),
+        {batch, batch});
+    nn::Tensor loss = nn::InfoNce(sim, config_.temperature);
+    nn::Backward(loss);
+    optimizer.Step();
+    last = loss.item();
+  }
+  if (config_.projection_head) projection_trained_ = true;
+  return last;
+}
+
+std::unique_ptr<plm::PairScorer> Micol::TrainCrossEncoder(
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  STM_CHECK(!pairs.empty());
+  Rng rng(config_.seed + 1);
+  std::vector<std::vector<float>> u;
+  std::vector<std::vector<float>> v;
+  std::vector<float> labels;
+  for (const auto& [i, j] : pairs) {
+    u.push_back(model_->Pool(corpus_.docs()[i].tokens));
+    v.push_back(model_->Pool(corpus_.docs()[j].tokens));
+    labels.push_back(1.0f);
+    // Random negative partner for the same anchor.
+    const size_t neg = rng.UniformInt(corpus_.num_docs());
+    u.push_back(u[u.size() - 1]);
+    v.push_back(model_->Pool(corpus_.docs()[neg].tokens));
+    labels.push_back(0.0f);
+  }
+  plm::PairScorer::Config config;
+  config.encoder_dim = model_->config().dim;
+  config.epochs = config_.cross_epochs;
+  config.seed = config_.seed + 2;
+  auto scorer = std::make_unique<plm::PairScorer>(config);
+  scorer->Train(u, v, labels);
+  return scorer;
+}
+
+namespace {
+
+std::vector<std::vector<int>> RankAll(
+    const std::vector<std::vector<float>>& doc_reps,
+    const std::vector<std::vector<float>>& label_reps,
+    const std::function<float(const std::vector<float>&,
+                              const std::vector<float>&)>& score) {
+  std::vector<std::vector<int>> ranked(doc_reps.size());
+  for (size_t d = 0; d < doc_reps.size(); ++d) {
+    std::vector<std::pair<float, int>> scored;
+    scored.reserve(label_reps.size());
+    for (size_t l = 0; l < label_reps.size(); ++l) {
+      scored.emplace_back(score(doc_reps[d], label_reps[l]),
+                          static_cast<int>(l));
+    }
+    std::sort(scored.rbegin(), scored.rend());
+    for (const auto& [_, label] : scored) ranked[d].push_back(label);
+  }
+  return ranked;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> Micol::RankByBiEncoder(
+    const std::vector<std::vector<int32_t>>& label_texts) {
+  std::vector<std::vector<float>> doc_reps;
+  doc_reps.reserve(corpus_.num_docs());
+  for (const auto& doc : corpus_.docs()) {
+    doc_reps.push_back(Represent(doc.tokens));
+  }
+  std::vector<std::vector<float>> label_reps;
+  for (const auto& tokens : label_texts) {
+    label_reps.push_back(Represent(tokens));
+  }
+  return RankAll(doc_reps, label_reps,
+                 [](const std::vector<float>& a,
+                    const std::vector<float>& b) {
+                   return la::Cosine(a, b);
+                 });
+}
+
+std::vector<std::vector<int>> Micol::RankByCrossEncoder(
+    plm::PairScorer* scorer,
+    const std::vector<std::vector<int32_t>>& label_texts) {
+  STM_CHECK(scorer != nullptr);
+  std::vector<std::vector<float>> doc_reps;
+  doc_reps.reserve(corpus_.num_docs());
+  for (const auto& doc : corpus_.docs()) {
+    doc_reps.push_back(model_->Pool(doc.tokens));
+  }
+  std::vector<std::vector<float>> label_reps;
+  for (const auto& tokens : label_texts) {
+    label_reps.push_back(model_->Pool(tokens));
+  }
+  return RankAll(doc_reps, label_reps,
+                 [scorer](const std::vector<float>& a,
+                          const std::vector<float>& b) {
+                   return scorer->Score(a, b);
+                 });
+}
+
+std::vector<int32_t> AugmentEda(const std::vector<int32_t>& tokens,
+                                Rng& rng) {
+  std::vector<int32_t> out;
+  out.reserve(tokens.size());
+  for (int32_t id : tokens) {
+    if (rng.Bernoulli(0.15)) continue;  // word dropout
+    out.push_back(id);
+  }
+  // Local swaps.
+  for (size_t s = 0; s + 1 < out.size(); ++s) {
+    if (rng.Bernoulli(0.1)) std::swap(out[s], out[s + 1]);
+  }
+  if (out.empty() && !tokens.empty()) out.push_back(tokens[0]);
+  return out;
+}
+
+std::vector<int32_t> AugmentUda(const std::vector<int32_t>& tokens,
+                                const std::vector<double>& unigram,
+                                Rng& rng) {
+  AliasSampler sampler(unigram);
+  std::vector<int32_t> out = tokens;
+  for (int32_t& id : out) {
+    if (rng.Bernoulli(0.2)) {
+      id = static_cast<int32_t>(sampler.Sample(rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace stm::core

@@ -1,0 +1,89 @@
+#ifndef STM_CORE_MICOL_H_
+#define STM_CORE_MICOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "plm/minilm.h"
+#include "plm/pair_scorer.h"
+#include "text/corpus.h"
+
+namespace stm::core {
+
+// MICoL (Zhang et al., WWW'22): metadata-induced contrastive learning for
+// zero-shot multi-label classification. Similar-document pairs mined from
+// metadata meta-paths (graph::MinePairs) replace labeled (doc, label)
+// pairs:
+//  * Bi-Encoder: fine-tune the PLM itself with InfoNCE so that paired
+//    documents embed nearby; rank labels by embedding similarity with the
+//    label's name+description text.
+//  * Cross-Encoder: train a pair relevance head on (paired, random)
+//    documents; rank labels by head score on (doc, label text).
+struct MicolConfig {
+  int bi_encoder_steps = 400;
+  size_t batch_pairs = 8;
+  float lr = 1e-3f;
+  float temperature = 0.2f;
+  int cross_epochs = 6;
+  // false (default, the paper's setting): fine-tune the whole encoder in
+  // place; true: train only a projection head over the frozen encoder.
+  bool projection_head = false;
+  uint64_t seed = 141;
+};
+
+class Micol {
+ public:
+  // With projection_head=false the model is fine-tuned IN PLACE by
+  // FineTuneBiEncoder; callers who need the base encoder elsewhere should
+  // load a fresh instance.
+  Micol(const text::Corpus& corpus, plm::MiniLm* model,
+        const MicolConfig& config);
+
+  // Contrastive fine-tuning on mined doc-index pairs. Returns final loss.
+  double FineTuneBiEncoder(
+      const std::vector<std::pair<size_t, size_t>>& pairs);
+
+  // Trains the cross-encoder head on mined pairs (positives) vs random
+  // document pairs (negatives). Does not modify the encoder.
+  std::unique_ptr<plm::PairScorer> TrainCrossEncoder(
+      const std::vector<std::pair<size_t, size_t>>& pairs);
+
+  // Ranked label ids per document by pooled-embedding cosine with each
+  // label's name+description tokens.
+  std::vector<std::vector<int>> RankByBiEncoder(
+      const std::vector<std::vector<int32_t>>& label_texts);
+
+  // Ranked label ids per document by cross-encoder score.
+  std::vector<std::vector<int>> RankByCrossEncoder(
+      plm::PairScorer* scorer,
+      const std::vector<std::vector<int32_t>>& label_texts);
+
+ private:
+  // Pooled representation after the (optional) trained projection.
+  std::vector<float> Represent(const std::vector<int32_t>& tokens);
+
+  const text::Corpus& corpus_;
+  plm::MiniLm* model_;
+  MicolConfig config_;
+  // Projection head state (projection_head mode).
+  nn::ParameterStore proj_store_;
+  nn::Tensor proj_weight_;
+  bool projection_trained_ = false;
+};
+
+// EDA-style augmentation (word dropout + local swaps): used by the
+// text-based contrastive baselines that MICoL is compared against.
+std::vector<int32_t> AugmentEda(const std::vector<int32_t>& tokens,
+                                Rng& rng);
+
+// UDA-style augmentation (unigram-resampling a fraction of tokens).
+std::vector<int32_t> AugmentUda(const std::vector<int32_t>& tokens,
+                                const std::vector<double>& unigram,
+                                Rng& rng);
+
+}  // namespace stm::core
+
+#endif  // STM_CORE_MICOL_H_

@@ -1,0 +1,188 @@
+#include "core/promptclass.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/check.h"
+#include "nn/text_classifier.h"
+#include "text/vocabulary.h"
+
+namespace stm::core {
+
+PromptClass::PromptClass(const text::Corpus& corpus, plm::MiniLm* model,
+                         const PromptClassConfig& config)
+    : corpus_(corpus), model_(model), config_(config) {
+  STM_CHECK(model != nullptr);
+}
+
+la::Matrix PromptClass::ZeroShotScores(
+    const std::vector<std::vector<int32_t>>& label_names,
+    PromptStyle style) {
+  const size_t num_classes = label_names.size();
+  la::Matrix scores(corpus_.num_docs(), num_classes);
+  const size_t max_seq = model_->config().max_seq;
+
+  for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+    const auto& tokens = corpus_.docs()[d].tokens;
+    // Document prefix leaving one slot for the prompt verbalizer.
+    std::vector<int32_t> prompt(
+        tokens.begin(),
+        tokens.begin() +
+            static_cast<std::ptrdiff_t>(std::min(tokens.size(), max_seq - 1)));
+    const size_t slot = prompt.size();
+    prompt.push_back(text::kMaskId);
+
+    if (style == PromptStyle::kMlm) {
+      // Score = mean masked-LM log-prob of the label-name token(s).
+      for (size_t c = 0; c < num_classes; ++c) {
+        const auto lp =
+            model_->CandidateLogProbs(prompt, slot, label_names[c]);
+        float mean = 0.0f;
+        for (float v : lp) mean += v;
+        scores.At(d, c) = mean / static_cast<float>(lp.size());
+      }
+    } else {
+      // RTD: fill the slot with each label name; score = how original the
+      // discriminator finds it (1 - replaced probability).
+      for (size_t c = 0; c < num_classes; ++c) {
+        float total = 0.0f;
+        for (int32_t name : label_names[c]) {
+          prompt[slot] = name;
+          const auto probs = model_->ReplacedProbs(prompt);
+          total += 1.0f - probs[slot];
+        }
+        scores.At(d, c) =
+            total / static_cast<float>(label_names[c].size());
+      }
+      prompt[slot] = text::kMaskId;
+    }
+  }
+  // Per-class calibration: subtract each class's mean score over the
+  // corpus and divide by its standard deviation. Raw verbalizer scores
+  // carry strong class-frequency bias (the classic zero-shot prompting
+  // failure mode); calibration makes the argmax usable.
+  const size_t n = scores.rows();
+  for (size_t c = 0; c < num_classes; ++c) {
+    double mean = 0.0;
+    for (size_t d = 0; d < n; ++d) mean += scores.At(d, c);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (size_t d = 0; d < n; ++d) {
+      const double diff = scores.At(d, c) - mean;
+      var += diff * diff;
+    }
+    const double stddev = std::sqrt(var / static_cast<double>(n)) + 1e-9;
+    for (size_t d = 0; d < n; ++d) {
+      scores.At(d, c) = static_cast<float>(
+          (scores.At(d, c) - mean) / stddev);
+    }
+  }
+  return scores;
+}
+
+std::vector<int> PromptClass::Run(
+    const std::vector<std::vector<int32_t>>& label_names) {
+  const size_t num_classes = label_names.size();
+  STM_CHECK_EQ(num_classes, corpus_.num_labels());
+  const la::Matrix scores = ZeroShotScores(label_names, config_.prompt);
+
+  // Confidence = margin between best and runner-up prompt score.
+  struct Scored {
+    float margin;
+    size_t doc;
+    int label;
+  };
+  std::vector<Scored> ranked;
+  for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+    const float* row = scores.Row(d);
+    size_t best = 0;
+    for (size_t c = 1; c < num_classes; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    float second = -1e30f;
+    for (size_t c = 0; c < num_classes; ++c) {
+      if (c != best) second = std::max(second, row[c]);
+    }
+    ranked.push_back({row[best] - second, d, static_cast<int>(best)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Scored& a, const Scored& b) {
+              return a.margin > b.margin;
+            });
+
+  std::vector<std::vector<int32_t>> all_docs;
+  for (const auto& doc : corpus_.docs()) all_docs.push_back(doc.tokens);
+
+  // (1) Seed training pool from the most confident prompt labels,
+  // balanced per class so a skewed prompt doesn't starve any label.
+  std::vector<bool> in_pool(corpus_.num_docs(), false);
+  std::vector<int> pool_label(corpus_.num_docs(), -1);
+  const size_t per_class = std::max<size_t>(
+      1, static_cast<size_t>(ranked.size() * config_.initial_fraction) /
+             num_classes);
+  std::vector<size_t> taken(num_classes, 0);
+  for (const Scored& entry : ranked) {
+    const size_t c = static_cast<size_t>(entry.label);
+    if (taken[c] >= per_class) continue;
+    in_pool[entry.doc] = true;
+    pool_label[entry.doc] = entry.label;
+    taken[c]++;
+  }
+
+  nn::ClassifierConfig clf_config;
+  clf_config.vocab_size = corpus_.vocab().size();
+  clf_config.num_classes = num_classes;
+  clf_config.seed = config_.seed;
+  auto classifier = nn::MakeClassifier(config_.head_classifier, clf_config);
+
+  // (2) + (3): train on the pool, expand where classifier and prompt
+  // agree with high classifier confidence.
+  for (int round = 0; round <= config_.expansion_rounds; ++round) {
+    std::vector<std::vector<int32_t>> train_docs;
+    std::vector<int> train_labels;
+    for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+      if (in_pool[d]) {
+        train_docs.push_back(corpus_.docs()[d].tokens);
+        train_labels.push_back(pool_label[d]);
+      }
+    }
+    classifier->Fit(train_docs, train_labels, config_.classifier_epochs);
+    if (round == config_.expansion_rounds) break;
+
+    const la::Matrix probs = classifier->PredictProbs(all_docs);
+    std::vector<std::tuple<float, size_t, size_t>> candidates;  // (p, doc, c)
+    for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+      if (in_pool[d]) continue;
+      const float* row = probs.Row(d);
+      const size_t best = static_cast<size_t>(
+          std::max_element(row, row + num_classes) - row);
+      // Expand only where the head classifier agrees with the prompt.
+      const float* prow = scores.Row(d);
+      const size_t prompt_best = static_cast<size_t>(
+          std::max_element(prow, prow + num_classes) - prow);
+      if (best != prompt_best) continue;
+      candidates.emplace_back(row[best], d, best);
+    }
+    std::sort(candidates.rbegin(), candidates.rend());
+    // Balanced per-class expansion.
+    const size_t add_per_class = std::max<size_t>(
+        1, static_cast<size_t>(corpus_.num_docs() *
+                               config_.expand_fraction) /
+               num_classes);
+    std::vector<size_t> added(num_classes, 0);
+    for (const auto& [p, d, c] : candidates) {
+      if (added[c] >= add_per_class) continue;
+      in_pool[d] = true;
+      pool_label[d] = static_cast<int>(c);
+      added[c]++;
+    }
+  }
+
+  if (config_.final_self_train) {
+    return SelfTrain(*classifier, all_docs, config_.self_train);
+  }
+  return classifier->Predict(all_docs);
+}
+
+}  // namespace stm::core

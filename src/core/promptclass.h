@@ -1,0 +1,65 @@
+#ifndef STM_CORE_PROMPTCLASS_H_
+#define STM_CORE_PROMPTCLASS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/self_training.h"
+#include "plm/minilm.h"
+#include "text/corpus.h"
+
+namespace stm::core {
+
+// Prompt-based weakly-supervised classification (the tutorial's
+// "integrating head token & prompt-based fine-tuning" section).
+//
+// Zero-shot prompting:
+//  * MLM style ("RoBERTa"): append a [MASK] slot to the document and rank
+//    classes by the masked-LM probability of their label-name tokens.
+//  * RTD style ("ELECTRA"): fill the slot with each label name and rank
+//    classes by how *original* (non-replaced) the discriminator finds it.
+//
+// PromptClass then (1) pseudo-labels the most confident documents from the
+// zero-shot prompt scores, (2) trains a head-token classifier on them, and
+// (3) iteratively expands the pseudo-labeled pool where prompt and
+// classifier agree, finishing with self-training.
+
+enum class PromptStyle { kMlm, kRtd };
+
+struct PromptClassConfig {
+  PromptStyle prompt = PromptStyle::kRtd;
+  std::string head_classifier = "bow";  // head-token fine-tuning stand-in
+  double initial_fraction = 0.3;        // confident docs seeding training
+  int expansion_rounds = 2;
+  double expand_fraction = 0.25;        // extra docs added per round
+  int classifier_epochs = 8;
+  bool final_self_train = true;
+  SelfTrainConfig self_train;
+  uint64_t seed = 101;
+};
+
+class PromptClass {
+ public:
+  PromptClass(const text::Corpus& corpus, plm::MiniLm* model,
+              const PromptClassConfig& config);
+
+  // Zero-shot prompt scores [n, C] (higher = more likely class). Public:
+  // the "RoBERTa (0-shot)" / "ELECTRA (0-shot)" baselines are exactly
+  // argmax over these.
+  la::Matrix ZeroShotScores(
+      const std::vector<std::vector<int32_t>>& label_names,
+      PromptStyle style);
+
+  // Full PromptClass pipeline.
+  std::vector<int> Run(const std::vector<std::vector<int32_t>>& label_names);
+
+ private:
+  const text::Corpus& corpus_;
+  plm::MiniLm* model_;
+  PromptClassConfig config_;
+};
+
+}  // namespace stm::core
+
+#endif  // STM_CORE_PROMPTCLASS_H_

@@ -1,0 +1,87 @@
+#include "core/pseudo_docs.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "embedding/vmf.h"
+#include "la/matrix.h"
+
+namespace stm::core {
+
+PseudoDocGenerator::PseudoDocGenerator(
+    const embedding::WordEmbeddings* embeddings,
+    std::vector<double> background, const PseudoDocOptions& options)
+    : embeddings_(embeddings),
+      background_(background),
+      options_(options) {
+  STM_CHECK(embeddings != nullptr);
+}
+
+std::vector<std::vector<int32_t>> PseudoDocGenerator::Generate(
+    const std::vector<int32_t>& seeds, Rng& rng) const {
+  std::vector<std::vector<int32_t>> pseudo;
+  pseudo.reserve(options_.docs_per_class);
+
+  if (!options_.enable_vmf || seeds.empty()) {
+    for (size_t p = 0; p < options_.docs_per_class; ++p) {
+      std::vector<int32_t> doc;
+      doc.reserve(options_.doc_len);
+      for (size_t t = 0; t < options_.doc_len; ++t) {
+        if (rng.Bernoulli(options_.background_alpha) || seeds.empty()) {
+          doc.push_back(static_cast<int32_t>(background_.Sample(rng)));
+        } else {
+          doc.push_back(seeds[rng.UniformInt(seeds.size())]);
+        }
+      }
+      pseudo.push_back(std::move(doc));
+    }
+    return pseudo;
+  }
+
+  std::vector<std::vector<float>> units;
+  units.reserve(seeds.size());
+  for (int32_t id : seeds) units.push_back(embeddings_->UnitVectorOf(id));
+  const embedding::VonMisesFisher vmf =
+      embedding::VonMisesFisher::Fit(units);
+
+  for (size_t p = 0; p < options_.docs_per_class; ++p) {
+    const std::vector<float> direction = vmf.Sample(rng);
+    // Candidate pool: words near the sampled direction PLUS the seed
+    // words themselves (when seeds are dispersed — e.g. harvested from
+    // labeled documents — the direction's neighborhood alone can drift
+    // off-topic; the seeds anchor it).
+    auto candidates =
+        embeddings_->MostSimilar(direction, options_.topical_candidates);
+    for (int32_t id : seeds) {
+      bool present = false;
+      for (const auto& [cid, _] : candidates) present = present || cid == id;
+      if (!present) {
+        candidates.emplace_back(
+            id, la::Cosine(direction.data(),
+                           embeddings_->UnitVectorOf(id).data(),
+                           direction.size()));
+      }
+    }
+    std::vector<double> weights;
+    weights.reserve(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      double w = std::exp(static_cast<double>(candidates[i].second) / 0.1);
+      if (i >= options_.topical_candidates) w *= 3.0;  // seed boost
+      weights.push_back(w);
+    }
+    AliasSampler topical(weights);
+    std::vector<int32_t> doc;
+    doc.reserve(options_.doc_len);
+    for (size_t t = 0; t < options_.doc_len; ++t) {
+      if (rng.Bernoulli(options_.background_alpha)) {
+        doc.push_back(static_cast<int32_t>(background_.Sample(rng)));
+      } else {
+        doc.push_back(candidates[topical.Sample(rng)].first);
+      }
+    }
+    pseudo.push_back(std::move(doc));
+  }
+  return pseudo;
+}
+
+}  // namespace stm::core

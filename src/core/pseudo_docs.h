@@ -1,0 +1,44 @@
+#ifndef STM_CORE_PSEUDO_DOCS_H_
+#define STM_CORE_PSEUDO_DOCS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "embedding/sgns.h"
+
+namespace stm::core {
+
+// vMF pseudo-document generator shared by WeSTClass and WeSHClass.
+// Fits a von Mises-Fisher distribution over the seed-word embeddings of a
+// class and emits keyword-bag documents around sampled topic directions,
+// interpolated with background unigram noise.
+struct PseudoDocOptions {
+  size_t docs_per_class = 40;
+  size_t doc_len = 40;
+  size_t topical_candidates = 50;
+  float background_alpha = 0.2f;
+  bool enable_vmf = true;  // false: uniform seed bags (No-vMF ablation)
+};
+
+class PseudoDocGenerator {
+ public:
+  // `background` is an unnormalized unigram distribution over the
+  // vocabulary (special tokens must carry zero mass).
+  PseudoDocGenerator(const embedding::WordEmbeddings* embeddings,
+                     std::vector<double> background,
+                     const PseudoDocOptions& options);
+
+  // Pseudo documents for one class given its seed token ids.
+  std::vector<std::vector<int32_t>> Generate(
+      const std::vector<int32_t>& seeds, Rng& rng) const;
+
+ private:
+  const embedding::WordEmbeddings* embeddings_;
+  AliasSampler background_;
+  PseudoDocOptions options_;
+};
+
+}  // namespace stm::core
+
+#endif  // STM_CORE_PSEUDO_DOCS_H_

@@ -1,0 +1,60 @@
+#include "core/self_training.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace stm::core {
+
+std::vector<float> SharpenTargets(const la::Matrix& probs) {
+  const size_t n = probs.rows();
+  const size_t c = probs.cols();
+  // Soft class frequencies.
+  std::vector<double> freq(c, 1e-8);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < c; ++j) freq[j] += probs.At(i, j);
+  }
+  std::vector<float> targets(n * c, 0.0f);
+  for (size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (size_t j = 0; j < c; ++j) {
+      const double p = probs.At(i, j);
+      const double q = p * p / freq[j];
+      targets[i * c + j] = static_cast<float>(q);
+      row_sum += q;
+    }
+    if (row_sum > 0.0) {
+      for (size_t j = 0; j < c; ++j) {
+        targets[i * c + j] = static_cast<float>(targets[i * c + j] / row_sum);
+      }
+    }
+  }
+  return targets;
+}
+
+std::vector<int> SelfTrain(nn::TextClassifier& classifier,
+                           const std::vector<std::vector<int32_t>>& docs,
+                           const SelfTrainConfig& config) {
+  STM_CHECK(!docs.empty());
+  std::vector<int> previous = classifier.Predict(docs);
+  for (int iter = 0; iter < config.max_iters; ++iter) {
+    const la::Matrix probs = classifier.PredictProbs(docs);
+    const std::vector<float> targets = SharpenTargets(probs);
+    for (int epoch = 0; epoch < config.epochs_per_iter; ++epoch) {
+      classifier.TrainEpoch(docs, targets);
+    }
+    const std::vector<int> current = classifier.Predict(docs);
+    size_t changed = 0;
+    for (size_t i = 0; i < current.size(); ++i) {
+      changed += current[i] != previous[i];
+    }
+    previous = current;
+    if (static_cast<double>(changed) / static_cast<double>(docs.size()) <
+        config.convergence_delta) {
+      break;
+    }
+  }
+  return previous;
+}
+
+}  // namespace stm::core

@@ -1,0 +1,34 @@
+#ifndef STM_CORE_SELF_TRAINING_H_
+#define STM_CORE_SELF_TRAINING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/text_classifier.h"
+
+namespace stm::core {
+
+// The self-training / bootstrapping loop shared by WeSTClass, WeSHClass,
+// LOTClass and PromptClass: repeatedly predict the unlabeled corpus,
+// sharpen the predicted distribution into targets
+//   q_ic = p_ic^2 / f_c   (f_c = soft class frequency), row-normalized,
+// train against q, and stop when the fraction of changed hard labels
+// falls below `convergence_delta`.
+struct SelfTrainConfig {
+  int max_iters = 5;
+  int epochs_per_iter = 2;
+  double convergence_delta = 0.01;
+};
+
+// Runs self-training in place; returns the final hard predictions.
+std::vector<int> SelfTrain(nn::TextClassifier& classifier,
+                           const std::vector<std::vector<int32_t>>& docs,
+                           const SelfTrainConfig& config);
+
+// The target-sharpening rule, exposed for tests: given probs [n, C],
+// returns flattened sharpened targets [n * C].
+std::vector<float> SharpenTargets(const la::Matrix& probs);
+
+}  // namespace stm::core
+
+#endif  // STM_CORE_SELF_TRAINING_H_

@@ -1,0 +1,328 @@
+#include "core/taxoclass.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/feature_classifier.h"
+#include "text/tfidf.h"
+
+namespace stm::core {
+
+std::vector<float> OccurrenceAverageRep(
+    plm::MiniLm* model, const std::vector<std::vector<int32_t>>& docs,
+    const std::vector<int32_t>& name_tokens, size_t max_occurrences) {
+  STM_CHECK(!name_tokens.empty());
+  const size_t dim = model->config().dim;
+  std::vector<float> rep(dim, 0.0f);
+  size_t used = 0;
+  const int32_t target = name_tokens[0];
+  for (const auto& doc : docs) {
+    if (used >= max_occurrences) break;
+    bool contains = false;
+    for (int32_t id : doc) contains = contains || id == target;
+    if (!contains) continue;
+    const la::Matrix hidden = model->Encode(doc);
+    for (size_t t = 0; t < hidden.rows() && used < max_occurrences; ++t) {
+      if (doc[t] == target) {
+        la::Axpy(1.0f, hidden.Row(t), rep.data(), dim);
+        ++used;
+      }
+    }
+  }
+  if (used == 0) rep = model->Pool(name_tokens);
+  la::NormalizeInPlace(rep.data(), dim);
+  return rep;
+}
+
+std::vector<float> TopTokenContext(const la::Matrix& hidden,
+                                   const std::vector<float>& class_rep,
+                                   size_t k) {
+  STM_CHECK_GT(hidden.rows(), 0u);
+  const size_t dim = hidden.cols();
+  std::vector<std::pair<float, size_t>> sims;
+  sims.reserve(hidden.rows());
+  for (size_t t = 0; t < hidden.rows(); ++t) {
+    sims.emplace_back(
+        la::Cosine(hidden.Row(t), class_rep.data(), dim), t);
+  }
+  const size_t keep = std::min(k, sims.size());
+  std::partial_sort(sims.begin(),
+                    sims.begin() + static_cast<std::ptrdiff_t>(keep),
+                    sims.end(), [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  std::vector<float> context(dim, 0.0f);
+  for (size_t i = 0; i < keep; ++i) {
+    la::Axpy(1.0f, hidden.Row(sims[i].second), context.data(), dim);
+  }
+  la::NormalizeInPlace(context.data(), dim);
+  return context;
+}
+
+std::unique_ptr<plm::PairScorer> TrainRelevanceModel(
+    plm::MiniLm* model, const std::vector<std::vector<int32_t>>& aux_docs,
+    const std::vector<int>& aux_labels,
+    const std::vector<std::vector<int32_t>>& aux_topic_name_tokens,
+    uint64_t seed) {
+  STM_CHECK(model != nullptr);
+  STM_CHECK_EQ(aux_docs.size(), aux_labels.size());
+  STM_CHECK(!aux_topic_name_tokens.empty());
+  Rng rng(seed);
+
+  // Occurrence-averaged topic representations over the aux corpus.
+  std::vector<std::vector<float>> topic_reps;
+  for (const auto& tokens : aux_topic_name_tokens) {
+    topic_reps.push_back(OccurrenceAverageRep(model, aux_docs, tokens));
+  }
+
+  std::vector<std::vector<float>> u;
+  std::vector<std::vector<float>> v;
+  std::vector<float> labels;
+  for (size_t d = 0; d < aux_docs.size(); ++d) {
+    const la::Matrix hidden = model->Encode(aux_docs[d]);
+    const size_t pos = static_cast<size_t>(aux_labels[d]);
+    u.push_back(TopTokenContext(hidden, topic_reps[pos]));
+    v.push_back(topic_reps[pos]);
+    labels.push_back(1.0f);
+    // Two negatives: evidence is recomputed w.r.t. the negative topic so
+    // the scorer learns "the best available evidence still fails".
+    for (int k = 0; k < 2; ++k) {
+      size_t neg = rng.UniformInt(topic_reps.size());
+      while (neg == pos && topic_reps.size() > 1) {
+        neg = rng.UniformInt(topic_reps.size());
+      }
+      u.push_back(TopTokenContext(hidden, topic_reps[neg]));
+      v.push_back(topic_reps[neg]);
+      labels.push_back(0.0f);
+    }
+  }
+
+  plm::PairScorer::Config config;
+  config.encoder_dim = model->config().dim;
+  config.epochs = 12;
+  config.seed = seed + 1;
+  auto scorer = std::make_unique<plm::PairScorer>(config);
+  scorer->Train(u, v, labels);
+  return scorer;
+}
+
+TaxoClass::TaxoClass(const text::Corpus& corpus,
+                     const taxonomy::LabelTree& tree, plm::MiniLm* model,
+                     plm::PairScorer* relevance,
+                     const TaxoClassConfig& config)
+    : corpus_(corpus),
+      tree_(tree),
+      model_(model),
+      relevance_(relevance),
+      config_(config) {
+  STM_CHECK(model != nullptr);
+  STM_CHECK(relevance != nullptr);
+}
+
+TaxoClass::Result TaxoClass::Run(
+    const std::vector<std::vector<int32_t>>& label_name_tokens) {
+  STM_CHECK_EQ(label_name_tokens.size(), tree_.size());
+  const size_t num_nodes = tree_.size();
+  const size_t num_docs = corpus_.num_docs();
+
+  // Occurrence-averaged class representations over the target corpus
+  // (class names only — no labels involved).
+  std::vector<std::vector<int32_t>> corpus_tokens;
+  corpus_tokens.reserve(num_docs);
+  for (const auto& doc : corpus_.docs()) corpus_tokens.push_back(doc.tokens);
+  std::vector<std::vector<float>> class_reps(num_nodes);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    class_reps[n] =
+        OccurrenceAverageRep(model_, corpus_tokens, label_name_tokens[n]);
+  }
+
+  // One encoding pass; hidden states reused for every class.
+  std::vector<la::Matrix> hidden(num_docs);
+  for (size_t d = 0; d < num_docs; ++d) {
+    hidden[d] = model_->Encode(corpus_tokens[d]);
+  }
+
+  // ---- top-down exploration with the relevance model ----
+  candidates_.assign(num_docs, {});
+  la::Matrix relevance(num_docs, num_nodes);
+  relevance.Fill(-1.0f);  // -1 = unexplored
+  for (size_t d = 0; d < num_docs; ++d) {
+    std::vector<int> frontier = tree_.Roots();
+    std::set<int> explored;
+    while (!frontier.empty()) {
+      std::vector<std::pair<float, int>> scored;
+      for (int node : frontier) {
+        const size_t n = static_cast<size_t>(node);
+        const std::vector<float> evidence =
+            TopTokenContext(hidden[d], class_reps[n]);
+        const float score = relevance_->Score(evidence, class_reps[n]);
+        relevance.At(d, n) = score;
+        scored.emplace_back(score, node);
+        explored.insert(node);
+      }
+      std::sort(scored.rbegin(), scored.rend());
+      std::vector<int> next;
+      const size_t keep = std::min(config_.beam_per_level, scored.size());
+      for (size_t i = 0; i < keep; ++i) {
+        const auto& children = tree_.ChildrenOf(scored[i].second);
+        next.insert(next.end(), children.begin(), children.end());
+      }
+      frontier = std::move(next);
+    }
+    candidates_[d].assign(explored.begin(), explored.end());
+  }
+
+  // ---- core classes: per class, the most relevant scored docs ----
+  la::Matrix targets(num_docs, num_nodes);
+  std::vector<bool> has_core(num_docs, false);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    std::vector<std::pair<float, size_t>> scored;
+    for (size_t d = 0; d < num_docs; ++d) {
+      const float r = relevance.At(d, n);
+      if (r >= 0.0f) scored.emplace_back(r, d);
+    }
+    if (scored.empty()) continue;
+    std::sort(scored.rbegin(), scored.rend());
+    const size_t cutoff = std::max(
+        config_.core_min_per_class,
+        static_cast<size_t>(scored.size() *
+                            (1.0 - config_.core_percentile)));
+    for (size_t i = 0; i < cutoff && i < scored.size(); ++i) {
+      targets.At(scored[i].second, n) = 1.0f;
+      has_core[scored[i].second] = true;
+    }
+  }
+  // Close targets under ancestors.
+  for (size_t d = 0; d < num_docs; ++d) {
+    for (size_t n = 0; n < num_nodes; ++n) {
+      if (targets.At(d, n) > 0.0f) {
+        for (int anc : tree_.WithAncestors(static_cast<int>(n))) {
+          targets.At(d, static_cast<size_t>(anc)) = 1.0f;
+        }
+      }
+    }
+  }
+
+  // ---- multi-label classifier on normalized bow features ----
+  const size_t vocab_size = corpus_.vocab().size();
+  la::Matrix features(num_docs, vocab_size);
+  for (size_t d = 0; d < num_docs; ++d) {
+    float total = 0.0f;
+    float* row = features.Row(d);
+    for (int32_t id : corpus_.docs()[d].tokens) {
+      if (id < text::kNumSpecialTokens) continue;
+      row[id] += 1.0f;
+      total += 1.0f;
+    }
+    if (total > 0.0f) {
+      for (size_t j = 0; j < vocab_size; ++j) row[j] /= total;
+    }
+  }
+
+  nn::FeatureMlpClassifier::Config clf_config;
+  clf_config.input_dim = vocab_size;
+  clf_config.num_classes = num_nodes;
+  clf_config.hidden = 64;
+  clf_config.multi_label = true;
+  clf_config.seed = config_.seed;
+  nn::FeatureMlpClassifier classifier(clf_config);
+
+  std::vector<size_t> core_docs;
+  for (size_t d = 0; d < num_docs; ++d) {
+    if (has_core[d]) core_docs.push_back(d);
+  }
+  la::Matrix core_features(core_docs.size(), vocab_size);
+  la::Matrix core_targets(core_docs.size(), num_nodes);
+  for (size_t i = 0; i < core_docs.size(); ++i) {
+    core_features.SetRow(i, features.RowVec(core_docs[i]));
+    core_targets.SetRow(i, targets.RowVec(core_docs[i]));
+  }
+  for (int epoch = 0; epoch < config_.classifier_epochs; ++epoch) {
+    classifier.TrainEpoch(core_features, core_targets);
+  }
+
+  // ---- self-training: confident predictions join the training pool ----
+  for (int round = 0; round < config_.self_train_rounds; ++round) {
+    const la::Matrix probs = classifier.PredictProbs(features);
+    std::vector<size_t> pool;
+    la::Matrix pool_targets_all(num_docs, num_nodes);
+    for (size_t d = 0; d < num_docs; ++d) {
+      bool any = false;
+      for (int leaf : tree_.Leaves()) {
+        if (probs.At(d, static_cast<size_t>(leaf)) >
+            static_cast<float>(config_.self_train_threshold)) {
+          for (int anc : tree_.WithAncestors(leaf)) {
+            pool_targets_all.At(d, static_cast<size_t>(anc)) = 1.0f;
+          }
+          any = true;
+        }
+      }
+      if (any) {
+        pool.push_back(d);
+      } else if (has_core[d]) {
+        // Keep the relevance-derived core targets for unconfident docs.
+        pool.push_back(d);
+        pool_targets_all.SetRow(d, targets.RowVec(d));
+      }
+    }
+    if (pool.empty()) break;
+    la::Matrix pool_features(pool.size(), vocab_size);
+    la::Matrix pool_targets(pool.size(), num_nodes);
+    for (size_t i = 0; i < pool.size(); ++i) {
+      pool_features.SetRow(i, features.RowVec(pool[i]));
+      pool_targets.SetRow(i, pool_targets_all.RowVec(pool[i]));
+    }
+    for (int epoch = 0; epoch < 4; ++epoch) {
+      classifier.TrainEpoch(pool_features, pool_targets);
+    }
+  }
+
+  // ---- final predictions ----
+  Result result;
+  result.predicted.resize(num_docs);
+  result.ranked.resize(num_docs);
+  const la::Matrix probs = classifier.PredictProbs(features);
+  for (size_t d = 0; d < num_docs; ++d) {
+    std::vector<std::pair<float, int>> scored;
+    for (size_t n = 0; n < num_nodes; ++n) {
+      scored.emplace_back(probs.At(d, n), static_cast<int>(n));
+    }
+    std::sort(scored.rbegin(), scored.rend());
+    for (const auto& [score, node] : scored) {
+      result.ranked[d].push_back(node);
+    }
+    // Leaf-level decisions: a leaf is predicted when it clears both the
+    // absolute threshold and half the doc's best leaf probability;
+    // ancestors are implied. (Internal nodes accumulate their
+    // descendants' probability mass during training, so raw thresholding
+    // over-selects them.)
+    float best_leaf_prob = 0.0f;
+    int best_leaf = tree_.Leaves()[0];
+    for (int leaf : tree_.Leaves()) {
+      const float p = probs.At(d, static_cast<size_t>(leaf));
+      if (p > best_leaf_prob) {
+        best_leaf_prob = p;
+        best_leaf = leaf;
+      }
+    }
+    std::set<int> predicted;
+    for (int leaf : tree_.Leaves()) {
+      const float p = probs.At(d, static_cast<size_t>(leaf));
+      if (p > config_.predict_threshold && p > 0.45f * best_leaf_prob) {
+        for (int anc : tree_.WithAncestors(leaf)) predicted.insert(anc);
+      }
+    }
+    if (predicted.empty()) {
+      for (int anc : tree_.WithAncestors(best_leaf)) {
+        predicted.insert(anc);
+      }
+    }
+    result.predicted[d].assign(predicted.begin(), predicted.end());
+  }
+  return result;
+}
+
+}  // namespace stm::core

@@ -1,0 +1,95 @@
+#ifndef STM_CORE_TAXOCLASS_H_
+#define STM_CORE_TAXOCLASS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "plm/minilm.h"
+#include "plm/pair_scorer.h"
+#include "taxonomy/taxonomy.h"
+#include "text/corpus.h"
+
+namespace stm::core {
+
+// TaxoClass (Shen et al., NAACL'21): hierarchical multi-label text
+// classification from class names only.
+//   1. Document-class relevance from a pre-trained entailment model (here:
+//      a PairScorer over MiniLm pooled vectors, pre-trained on
+//      (document, topic-name) entailment pairs built from *auxiliary*
+//      topics so evaluation classes are never seen).
+//   2. Top-down exploration of the taxonomy keeping the top-k children per
+//      level, shrinking the label search space.
+//   3. Core classes: confident (doc, class) pairs from the reduced space.
+//   4. Multi-label classifier trained on core classes, generalized with
+//      self-training; predictions are closed under ancestors.
+struct TaxoClassConfig {
+  size_t beam_per_level = 4;        // children kept per explored node
+  double core_percentile = 0.8;     // relevance cutoff for core classes
+  size_t core_min_per_class = 3;    // top docs kept per class regardless
+  int classifier_epochs = 15;
+  int self_train_rounds = 2;
+  double self_train_threshold = 0.6;
+  float predict_threshold = 0.25f;
+  uint64_t seed = 121;
+};
+
+class TaxoClass {
+ public:
+  // `relevance` must already be trained (see TrainRelevanceModel).
+  TaxoClass(const text::Corpus& corpus, const taxonomy::LabelTree& tree,
+            plm::MiniLm* model, plm::PairScorer* relevance,
+            const TaxoClassConfig& config);
+
+  struct Result {
+    // Predicted label sets (closed under ancestors), per document.
+    std::vector<std::vector<int>> predicted;
+    // All tree nodes ranked by classifier probability, per document.
+    std::vector<std::vector<int>> ranked;
+  };
+
+  // `label_name_tokens[node]` = token ids of the node's name.
+  Result Run(const std::vector<std::vector<int32_t>>& label_name_tokens);
+
+  // Candidate nodes from the last top-down exploration, per document.
+  const std::vector<std::vector<int>>& candidates() const {
+    return candidates_;
+  }
+
+ private:
+  const text::Corpus& corpus_;
+  const taxonomy::LabelTree& tree_;
+  plm::MiniLm* model_;
+  plm::PairScorer* relevance_;
+  TaxoClassConfig config_;
+  std::vector<std::vector<int>> candidates_;
+};
+
+// ---- relevance primitives (shared with the Hier-0Shot-TC baseline) ----
+
+// Occurrence-averaged contextual representation of `name_tokens[0]` over
+// `docs` (the X-Class "static word representation"); falls back to the
+// pooled encoding of the name tokens when the word never occurs.
+std::vector<float> OccurrenceAverageRep(
+    plm::MiniLm* model, const std::vector<std::vector<int32_t>>& docs,
+    const std::vector<int32_t>& name_tokens, size_t max_occurrences = 30);
+
+// Mean of the `k` token vectors in `hidden` most cosine-similar to
+// `class_rep` — the document's best evidence for the class.
+std::vector<float> TopTokenContext(const la::Matrix& hidden,
+                                   const std::vector<float>& class_rep,
+                                   size_t k = 5);
+
+// Pre-trains the shared relevance model on auxiliary-topic entailment
+// pairs: positives (aux doc evidence, its topic rep), negatives (evidence
+// w.r.t. another topic, that topic's rep). This mirrors fine-tuning BERT
+// on NLI: the evaluation classes are never seen.
+std::unique_ptr<plm::PairScorer> TrainRelevanceModel(
+    plm::MiniLm* model, const std::vector<std::vector<int32_t>>& aux_docs,
+    const std::vector<int>& aux_labels,
+    const std::vector<std::vector<int32_t>>& aux_topic_name_tokens,
+    uint64_t seed);
+
+}  // namespace stm::core
+
+#endif  // STM_CORE_TAXOCLASS_H_

@@ -1,0 +1,215 @@
+#include "core/weshclass.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "core/pseudo_docs.h"
+#include "nn/text_classifier.h"
+#include "text/vocabulary.h"
+
+namespace stm::core {
+
+namespace {
+
+std::vector<std::vector<int32_t>> CorpusTokens(const text::Corpus& corpus) {
+  std::vector<std::vector<int32_t>> docs;
+  docs.reserve(corpus.num_docs());
+  for (const auto& doc : corpus.docs()) docs.push_back(doc.tokens);
+  return docs;
+}
+
+}  // namespace
+
+WeshClass::WeshClass(const text::Corpus& corpus,
+                     const taxonomy::LabelTree& tree,
+                     std::vector<std::vector<int32_t>> keywords,
+                     const WeshClassConfig& config)
+    : corpus_(corpus),
+      tree_(tree),
+      keywords_(std::move(keywords)),
+      config_(config) {
+  STM_CHECK_EQ(keywords_.size(), tree.size());
+}
+
+std::vector<int> WeshClass::LeafOf(
+    const std::vector<std::vector<int>>& paths) {
+  std::vector<int> leaves;
+  leaves.reserve(paths.size());
+  for (const auto& path : paths) {
+    STM_CHECK(!path.empty());
+    leaves.push_back(path.back());
+  }
+  return leaves;
+}
+
+std::vector<std::vector<int>> WeshClass::Run() {
+  const std::vector<std::vector<int32_t>> docs = CorpusTokens(corpus_);
+  Rng rng(config_.seed);
+
+  // Shared substrate: corpus embeddings + background distribution.
+  embedding::SgnsConfig sgns;
+  sgns.seed = config_.seed;
+  const embedding::WordEmbeddings embeddings =
+      embedding::WordEmbeddings::Train(docs, corpus_.vocab().size(), sgns);
+  std::vector<double> background(corpus_.vocab().size(), 0.0);
+  {
+    const std::vector<int64_t> counts = corpus_.TokenCounts();
+    for (size_t i = text::kNumSpecialTokens; i < counts.size(); ++i) {
+      background[i] = static_cast<double>(counts[i]);
+    }
+  }
+  PseudoDocOptions pseudo_options;
+  pseudo_options.docs_per_class = config_.pseudo_docs_per_class;
+  pseudo_options.doc_len = config_.pseudo_doc_len;
+  pseudo_options.background_alpha = config_.background_alpha;
+  pseudo_options.enable_vmf = config_.enable_vmf;
+  const PseudoDocGenerator generator(&embeddings, background,
+                                     pseudo_options);
+
+  // Node seeds: own keywords + descendants' keywords (so internal nodes
+  // cover their subtree's vocabulary).
+  std::vector<std::vector<int32_t>> node_seeds(tree_.size());
+  for (size_t node = 0; node < tree_.size(); ++node) {
+    node_seeds[node] = keywords_[node];
+  }
+  for (size_t node = 0; node < tree_.size(); ++node) {
+    int current = tree_.ParentOf(static_cast<int>(node));
+    while (current != -1) {
+      node_seeds[static_cast<size_t>(current)].insert(
+          node_seeds[static_cast<size_t>(current)].end(),
+          keywords_[node].begin(), keywords_[node].end());
+      current = tree_.ParentOf(current);
+    }
+  }
+  // Expand thin seed sets via embedding neighborhoods.
+  for (auto& seeds : node_seeds) {
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+    if (!seeds.empty() && seeds.size() < config_.expanded_seeds) {
+      const std::vector<float> center = embeddings.AverageOf(seeds);
+      for (const auto& [id, _] : embeddings.MostSimilar(
+               center, config_.expanded_seeds - seeds.size(), seeds)) {
+        seeds.push_back(id);
+      }
+    }
+  }
+
+  // Trains a local WeSTClass-style classifier over a sibling group.
+  auto train_local =
+      [&](const std::vector<int>& group,
+          uint64_t seed) -> std::unique_ptr<nn::TextClassifier> {
+    nn::ClassifierConfig clf_config;
+    clf_config.vocab_size = corpus_.vocab().size();
+    clf_config.num_classes = group.size();
+    clf_config.seed = seed;
+    auto classifier = nn::MakeClassifier(config_.classifier, clf_config);
+    std::vector<std::vector<int32_t>> pseudo_docs;
+    std::vector<float> targets;
+    for (size_t c = 0; c < group.size(); ++c) {
+      const auto generated =
+          generator.Generate(node_seeds[static_cast<size_t>(group[c])], rng);
+      for (const auto& doc : generated) {
+        pseudo_docs.push_back(doc);
+        for (size_t j = 0; j < group.size(); ++j) {
+          const float off =
+              config_.label_smoothing / static_cast<float>(group.size());
+          targets.push_back(j == c ? 1.0f - config_.label_smoothing + off
+                                   : off);
+        }
+      }
+    }
+    for (int epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+      classifier->TrainEpoch(pseudo_docs, targets);
+    }
+    return classifier;
+  };
+
+  // ---- level-wise top-down classification ----
+  const int max_depth = tree_.MaxDepth();
+  // Global log-probability of each node per doc (built level by level).
+  la::Matrix node_logp(corpus_.num_docs(), tree_.size());
+  node_logp.Fill(0.0f);
+  std::vector<std::vector<int>> paths(corpus_.num_docs());
+
+  // Virtual root group = depth-0 nodes; then every internal node's
+  // children.
+  for (int depth = 0; depth <= max_depth; ++depth) {
+    // Sibling groups whose members live at `depth`.
+    std::vector<std::vector<int>> groups;
+    std::vector<int> group_parent;  // -1 for the virtual root group
+    if (depth == 0) {
+      groups.push_back(tree_.Roots());
+      group_parent.push_back(-1);
+    } else {
+      for (int node : tree_.NodesAtDepth(depth - 1)) {
+        if (!tree_.IsLeaf(node)) {
+          groups.push_back(tree_.ChildrenOf(node));
+          group_parent.push_back(node);
+        }
+      }
+    }
+
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const std::vector<int>& group = groups[g];
+      if (group.empty()) continue;
+      auto classifier = train_local(
+          group, config_.seed + static_cast<uint64_t>(depth * 131 + g));
+
+      // Self-training uses only the docs routed to this group (current
+      // path ends at the group's parent); prediction covers the whole
+      // corpus so the global ensemble can revise earlier levels.
+      std::vector<std::vector<int32_t>> routed_docs;
+      for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+        if (group_parent[g] == -1 ||
+            (!paths[d].empty() && paths[d].back() == group_parent[g])) {
+          routed_docs.push_back(docs[d]);
+        }
+      }
+      if (config_.enable_self_training && !routed_docs.empty()) {
+        SelfTrain(*classifier, routed_docs, config_.self_train);
+      }
+      const la::Matrix probs = classifier->PredictProbs(docs);
+      for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+        const float parent_logp =
+            group_parent[g] == -1
+                ? 0.0f
+                : node_logp.At(d, static_cast<size_t>(group_parent[g]));
+        for (size_t c = 0; c < group.size(); ++c) {
+          node_logp.At(d, static_cast<size_t>(group[c])) =
+              parent_logp + std::log(probs.At(d, c) + 1e-9f);
+        }
+      }
+    }
+
+    // Assign each doc its depth-level node.
+    //  * Global ensemble: argmax of accumulated path log-probability over
+    //    ALL nodes at this depth (can revise earlier-level mistakes).
+    //  * No-global ablation: greedy descent — argmax of the local
+    //    conditional among the children of the previously chosen node.
+    const std::vector<int> level_nodes = tree_.NodesAtDepth(depth);
+    for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+      std::vector<int> candidates;
+      if (config_.enable_global || depth == 0) {
+        candidates = level_nodes;
+      } else {
+        const int parent = paths[d].back();
+        if (tree_.IsLeaf(parent)) continue;  // path already terminated
+        candidates = tree_.ChildrenOf(parent);
+      }
+      if (candidates.empty()) continue;
+      int best = candidates[0];
+      for (int node : candidates) {
+        if (node_logp.At(d, static_cast<size_t>(node)) >
+            node_logp.At(d, static_cast<size_t>(best))) {
+          best = node;
+        }
+      }
+      paths[d] = tree_.PathTo(best);
+    }
+  }
+  return paths;
+}
+
+}  // namespace stm::core

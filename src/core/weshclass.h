@@ -1,0 +1,60 @@
+#ifndef STM_CORE_WESHCLASS_H_
+#define STM_CORE_WESHCLASS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/westclass.h"
+#include "taxonomy/taxonomy.h"
+
+namespace stm::core {
+
+// WeSHClass (Meng et al., AAAI'19): weakly-supervised *hierarchical*
+// classification over a label tree.
+//   * Local classifier per internal node, trained WeSTClass-style on vMF
+//     pseudo-documents of its children.
+//   * Global classifier per level: the product of conditional
+//     probabilities along each root-to-node path (ensemble of local
+//     classifiers), refined with self-training level by level.
+struct WeshClassConfig {
+  std::string classifier = "bow";
+  size_t pseudo_docs_per_class = 100;
+  size_t pseudo_doc_len = 40;
+  size_t expanded_seeds = 10;
+  float background_alpha = 0.2f;
+  float label_smoothing = 0.2f;
+  int pretrain_epochs = 8;
+  bool enable_global = true;        // No-global ablation: leaf-local only
+  bool enable_vmf = true;           // No-vMF ablation
+  bool enable_self_training = true; // No-self-train ablation
+  SelfTrainConfig self_train;
+  uint64_t seed = 111;
+};
+
+class WeshClass {
+ public:
+  // `corpus` documents carry gold leaf labels (ids = tree node ids);
+  // `keywords` maps every tree node to its seed tokens (name + any user
+  // keywords; internal nodes included).
+  WeshClass(const text::Corpus& corpus, const taxonomy::LabelTree& tree,
+            std::vector<std::vector<int32_t>> keywords,
+            const WeshClassConfig& config);
+
+  // Runs level-wise classification; returns the predicted *path* (tree
+  // node per level) for each document. paths[d][k] = node at depth k.
+  std::vector<std::vector<int>> Run();
+
+  // Convenience: leaf predictions (last entry of each path).
+  static std::vector<int> LeafOf(const std::vector<std::vector<int>>& paths);
+
+ private:
+  const text::Corpus& corpus_;
+  const taxonomy::LabelTree& tree_;
+  std::vector<std::vector<int32_t>> keywords_;
+  WeshClassConfig config_;
+};
+
+}  // namespace stm::core
+
+#endif  // STM_CORE_WESHCLASS_H_

@@ -1,0 +1,160 @@
+#include "core/westclass.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/pseudo_docs.h"
+#include "la/matrix.h"
+#include "text/tfidf.h"
+#include "text/vocabulary.h"
+
+namespace stm::core {
+
+namespace {
+
+std::vector<std::vector<int32_t>> CorpusTokens(const text::Corpus& corpus) {
+  std::vector<std::vector<int32_t>> docs;
+  docs.reserve(corpus.num_docs());
+  for (const auto& doc : corpus.docs()) docs.push_back(doc.tokens);
+  return docs;
+}
+
+}  // namespace
+
+WestClass::WestClass(const text::Corpus& corpus,
+                     const WestClassConfig& config)
+    : corpus_(corpus),
+      config_(config),
+      embeddings_(embedding::WordEmbeddings::Train(
+          CorpusTokens(corpus), corpus.vocab().size(), [&config] {
+            embedding::SgnsConfig sgns;
+            sgns.epochs = config.sgns_epochs;
+            sgns.seed = config.seed;
+            return sgns;
+          }())) {
+  const std::vector<int64_t> counts = corpus.TokenCounts();
+  background_.assign(counts.size(), 0.0);
+  for (size_t i = text::kNumSpecialTokens; i < counts.size(); ++i) {
+    background_[i] = static_cast<double>(counts[i]);
+  }
+}
+
+std::vector<std::vector<int32_t>> WestClass::SeedWords(
+    Supervision mode, const text::WeakSupervision& supervision) const {
+  const size_t num_classes = corpus_.num_labels();
+  std::vector<std::vector<int32_t>> seeds(num_classes);
+  switch (mode) {
+    case Supervision::kLabels:
+      // Class names only: the first seed in each keyword list is the name
+      // token (by construction of WeakSupervision).
+      for (size_t c = 0; c < num_classes; ++c) {
+        STM_CHECK(!supervision.class_keywords[c].empty());
+        seeds[c].push_back(supervision.class_keywords[c][0]);
+      }
+      break;
+    case Supervision::kKeywords:
+      for (size_t c = 0; c < num_classes; ++c) {
+        seeds[c] = supervision.class_keywords[c];
+      }
+      break;
+    case Supervision::kDocs: {
+      STM_CHECK_EQ(supervision.labeled_docs.size(), num_classes);
+      text::TfIdf tfidf(corpus_);
+      for (size_t c = 0; c < num_classes; ++c) {
+        for (size_t d : supervision.labeled_docs[c]) {
+          const auto terms = tfidf.TopTerms(corpus_.docs()[d].tokens,
+                                            config_.tfidf_terms_per_doc);
+          seeds[c].insert(seeds[c].end(), terms.begin(), terms.end());
+        }
+        std::sort(seeds[c].begin(), seeds[c].end());
+        seeds[c].erase(std::unique(seeds[c].begin(), seeds[c].end()),
+                       seeds[c].end());
+      }
+      break;
+    }
+  }
+  return seeds;
+}
+
+std::vector<std::vector<int32_t>> WestClass::GeneratePseudoDocs(
+    const std::vector<int32_t>& seeds, Rng& rng) const {
+  PseudoDocOptions options;
+  options.docs_per_class = config_.pseudo_docs_per_class;
+  options.doc_len = config_.pseudo_doc_len;
+  options.topical_candidates = config_.topical_candidates;
+  options.background_alpha = config_.background_alpha;
+  options.enable_vmf = config_.enable_vmf;
+  PseudoDocGenerator generator(&embeddings_, background_, options);
+  return generator.Generate(seeds, rng);
+}
+
+std::vector<int> WestClass::Run(Supervision mode,
+                                const text::WeakSupervision& supervision) {
+  const size_t num_classes = corpus_.num_labels();
+  Rng rng(config_.seed);
+
+  // 1. Seed words per class, expanded to `expanded_seeds` via embedding
+  //    neighborhoods around the class average.
+  expanded_seeds_ = SeedWords(mode, supervision);
+  for (auto& seeds : expanded_seeds_) {
+    if (seeds.empty()) continue;
+    if (seeds.size() < config_.expanded_seeds) {
+      const std::vector<float> center = embeddings_.AverageOf(seeds);
+      const auto neighbors = embeddings_.MostSimilar(
+          center, config_.expanded_seeds - seeds.size(), seeds);
+      for (const auto& [id, _] : neighbors) seeds.push_back(id);
+    }
+  }
+
+  // 2. Pseudo documents with smoothed soft labels.
+  std::vector<std::vector<int32_t>> pseudo_docs;
+  std::vector<float> pseudo_targets;
+  for (size_t c = 0; c < num_classes; ++c) {
+    const auto docs = GeneratePseudoDocs(expanded_seeds_[c], rng);
+    for (const auto& doc : docs) {
+      pseudo_docs.push_back(doc);
+      for (size_t j = 0; j < num_classes; ++j) {
+        const float off =
+            config_.label_smoothing / static_cast<float>(num_classes);
+        pseudo_targets.push_back(j == c
+                                     ? 1.0f - config_.label_smoothing + off
+                                     : off);
+      }
+    }
+  }
+
+  // 3. Pre-train the neural classifier on pseudo documents.
+  nn::ClassifierConfig clf_config;
+  clf_config.vocab_size = corpus_.vocab().size();
+  clf_config.num_classes = num_classes;
+  clf_config.conv_widths = config_.conv_widths;
+  clf_config.seed = config_.seed + 1;
+  auto classifier = nn::MakeClassifier(config_.classifier, clf_config);
+  // Static embeddings warm-start the classifier's word vectors. Rows are
+  // rescaled to a small uniform norm: raw SGNS norms vary by orders of
+  // magnitude with frequency and destabilize the randomly-initialized
+  // upper layers.
+  if (config_.warm_start_embeddings) {
+    std::vector<std::vector<float>> init(corpus_.vocab().size());
+    for (size_t id = 0; id < init.size(); ++id) {
+      init[id] = embeddings_.vectors().RowVec(id);
+      la::NormalizeInPlace(init[id].data(), init[id].size());
+      la::ScaleInPlace(init[id].data(), init[id].size(), 0.3f);
+      init[id].resize(clf_config.embed_dim, 0.0f);
+    }
+    classifier->InitWordEmbeddings(init);
+  }
+  for (int epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+    classifier->TrainEpoch(pseudo_docs, pseudo_targets);
+  }
+
+  // 4. Self-train on the real corpus.
+  const std::vector<std::vector<int32_t>> docs = CorpusTokens(corpus_);
+  if (config_.enable_self_training) {
+    return SelfTrain(*classifier, docs, config_.self_train);
+  }
+  return classifier->Predict(docs);
+}
+
+}  // namespace stm::core

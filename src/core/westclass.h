@@ -1,0 +1,81 @@
+#ifndef STM_CORE_WESTCLASS_H_
+#define STM_CORE_WESTCLASS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/self_training.h"
+#include "embedding/sgns.h"
+#include "text/corpus.h"
+
+namespace stm::core {
+
+// WeSTClass (Meng et al., CIKM'18): weakly-supervised neural text
+// classification from three kinds of seed supervision.
+//   1. Embed the corpus (skip-gram); derive per-class seed word sets from
+//      LABELS (class names), KEYWORDS (user keywords) or DOCS (top TF-IDF
+//      terms of a few labeled documents).
+//   2. Fit a von Mises-Fisher distribution per class over the unit seed
+//      embeddings; sample topic directions and emit pseudo-documents as
+//      keyword bags mixed with background noise.
+//   3. Pre-train a neural classifier (CNN or HAN) on the pseudo documents
+//      with smoothed labels, then self-train on the real unlabeled corpus.
+
+enum class Supervision { kLabels, kKeywords, kDocs };
+
+struct WestClassConfig {
+  std::string classifier = "cnn";   // "cnn" | "han" | "bow"
+  int sgns_epochs = 6;              // corpus embedding training passes
+  std::vector<size_t> conv_widths = {1, 2, 3};  // TextCNN filter widths
+  size_t expanded_seeds = 10;       // vMF is fit on this many words/class
+  size_t pseudo_docs_per_class = 150;
+  size_t pseudo_doc_len = 40;
+  size_t topical_candidates = 50;   // words eligible per sampled direction
+  float background_alpha = 0.2f;    // background interpolation in pseudo docs
+  float label_smoothing = 0.2f;     // pseudo-doc target mass off the class
+  int pretrain_epochs = 8;
+  bool warm_start_embeddings = true;  // init classifier from SGNS vectors
+  bool enable_self_training = true; // NoST ablation turns this off
+  bool enable_vmf = true;           // No-vMF ablation: seed bags only
+  SelfTrainConfig self_train;
+  size_t tfidf_terms_per_doc = 10;  // DOCS setting keyword harvest
+  uint64_t seed = 51;
+};
+
+class WestClass {
+ public:
+  WestClass(const text::Corpus& corpus, const WestClassConfig& config);
+
+  // Runs the full pipeline and returns hard predictions for every corpus
+  // document. `supervision` supplies whichever seed type `mode` needs.
+  std::vector<int> Run(Supervision mode,
+                       const text::WeakSupervision& supervision);
+
+  // Seed sets actually used in the last Run (after expansion), for
+  // inspection and tests.
+  const std::vector<std::vector<int32_t>>& expanded_seeds() const {
+    return expanded_seeds_;
+  }
+
+  // The trained word embeddings (shared with other components in benches).
+  const embedding::WordEmbeddings& embeddings() const { return embeddings_; }
+
+ private:
+  std::vector<std::vector<int32_t>> SeedWords(
+      Supervision mode, const text::WeakSupervision& supervision) const;
+
+  // Pseudo-document generation for one class.
+  std::vector<std::vector<int32_t>> GeneratePseudoDocs(
+      const std::vector<int32_t>& seeds, Rng& rng) const;
+
+  const text::Corpus& corpus_;
+  WestClassConfig config_;
+  embedding::WordEmbeddings embeddings_;
+  std::vector<double> background_;             // unigram distribution
+  std::vector<std::vector<int32_t>> expanded_seeds_;
+};
+
+}  // namespace stm::core
+
+#endif  // STM_CORE_WESTCLASS_H_

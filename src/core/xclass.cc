@@ -1,0 +1,203 @@
+#include "core/xclass.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "cluster/cluster.h"
+#include "common/check.h"
+#include "nn/text_classifier.h"
+#include "text/vocabulary.h"
+
+namespace stm::core {
+
+XClass::XClass(const text::Corpus& corpus, plm::MiniLm* model,
+               const XClassConfig& config)
+    : corpus_(corpus), model_(model), config_(config) {
+  STM_CHECK(model != nullptr);
+}
+
+std::vector<int> XClass::Run(
+    const std::vector<std::vector<int32_t>>& label_names) {
+  const size_t num_classes = label_names.size();
+  STM_CHECK_EQ(num_classes, corpus_.num_labels());
+  const size_t dim = model_->config().dim;
+
+  // ---- one encoding pass: cache hidden states, accumulate static word
+  //      representations (mean contextual vector per word) ----
+  std::vector<la::Matrix> hidden_cache(corpus_.num_docs());
+  const size_t vocab_size = corpus_.vocab().size();
+  la::Matrix word_sum(vocab_size, dim);
+  std::vector<int32_t> word_count(vocab_size, 0);
+  for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+    const auto& tokens = corpus_.docs()[d].tokens;
+    if (tokens.empty()) continue;
+    hidden_cache[d] = model_->Encode(tokens);
+    const size_t len = hidden_cache[d].rows();
+    for (size_t t = 0; t < len; ++t) {
+      const size_t id = static_cast<size_t>(tokens[t]);
+      if (tokens[t] < text::kNumSpecialTokens) continue;
+      if (word_count[id] >=
+          static_cast<int32_t>(config_.occurrences_per_word)) {
+        continue;
+      }
+      la::Axpy(1.0f, hidden_cache[d].Row(t), word_sum.Row(id), dim);
+      word_count[id]++;
+    }
+  }
+  la::Matrix word_reps = word_sum;
+  la::NormalizeRows(word_reps);
+
+  // Frequent words are candidates for class-rep absorption.
+  const std::vector<int64_t> counts = corpus_.TokenCounts();
+  std::vector<int32_t> frequent;
+  for (size_t id = text::kNumSpecialTokens; id < vocab_size; ++id) {
+    if (counts[id] >= 8 && word_count[id] > 0) {
+      frequent.push_back(static_cast<int32_t>(id));
+    }
+  }
+
+  // ---- class representations with iterative absorption ----
+  class_reps_ = la::Matrix(num_classes, dim);
+  for (size_t c = 0; c < num_classes; ++c) {
+    std::vector<float> rep(dim, 0.0f);
+    for (int32_t id : label_names[c]) {
+      la::Axpy(1.0f, word_reps.Row(static_cast<size_t>(id)), rep.data(),
+               dim);
+    }
+    la::NormalizeInPlace(rep.data(), dim);
+    std::vector<int32_t> absorbed = label_names[c];
+    for (size_t round = 1; round <= config_.class_rep_words; ++round) {
+      float best = -2.0f;
+      int32_t best_id = -1;
+      for (int32_t id : frequent) {
+        if (std::find(absorbed.begin(), absorbed.end(), id) !=
+            absorbed.end()) {
+          continue;
+        }
+        const float sim = la::Cosine(
+            rep.data(), word_reps.Row(static_cast<size_t>(id)), dim);
+        if (sim > best) {
+          best = sim;
+          best_id = id;
+        }
+      }
+      if (best_id < 0) break;
+      absorbed.push_back(best_id);
+      // Harmonic weight 1/(round+1), as in the paper.
+      la::Axpy(1.0f / static_cast<float>(round + 1),
+               word_reps.Row(static_cast<size_t>(best_id)), rep.data(), dim);
+      la::NormalizeInPlace(rep.data(), dim);
+    }
+    class_reps_.SetRow(c, rep);
+  }
+
+  // ---- class-oriented document representations ----
+  doc_reps_ = la::Matrix(corpus_.num_docs(), dim);
+  for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+    const la::Matrix& hidden = hidden_cache[d];
+    if (hidden.rows() == 0) continue;
+    const size_t len = hidden.rows();
+    // Attention: softmax over (max class similarity / temperature).
+    std::vector<float> weights(len);
+    float max_weight = -1e30f;
+    for (size_t t = 0; t < len; ++t) {
+      float best = -2.0f;
+      for (size_t c = 0; c < num_classes; ++c) {
+        best = std::max(best, la::Cosine(hidden.Row(t), class_reps_.Row(c),
+                                         dim));
+      }
+      weights[t] = best / config_.attention_temperature;
+      max_weight = std::max(max_weight, weights[t]);
+    }
+    float sum = 0.0f;
+    for (float& w : weights) {
+      w = std::exp(w - max_weight);
+      sum += w;
+    }
+    float* rep = doc_reps_.Row(d);
+    for (size_t t = 0; t < len; ++t) {
+      la::Axpy(weights[t] / sum, hidden.Row(t), rep, dim);
+    }
+    la::NormalizeInPlace(rep, dim);
+  }
+
+  // ---- class-prior GMM alignment ----
+  cluster::GmmOptions gmm_options;
+  gmm_options.seed = config_.seed;
+  const cluster::GmmResult gmm =
+      cluster::GmmFit(doc_reps_, class_reps_, gmm_options);
+  gmm_assignment_ = gmm.assignment;
+
+  // ---- confidence-selected classifier training ----
+  std::vector<std::pair<float, size_t>> confidence;
+  for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+    const float* row = gmm.posteriors.Row(d);
+    confidence.emplace_back(*std::max_element(row, row + num_classes), d);
+  }
+  std::sort(confidence.rbegin(), confidence.rend());
+  const size_t keep = std::max<size_t>(
+      num_classes,
+      static_cast<size_t>(confidence.size() * config_.confident_fraction));
+  std::vector<std::vector<int32_t>> train_docs;
+  std::vector<int> train_labels;
+  for (size_t i = 0; i < keep && i < confidence.size(); ++i) {
+    const size_t d = confidence[i].second;
+    train_docs.push_back(corpus_.docs()[d].tokens);
+    train_labels.push_back(gmm_assignment_[d]);
+  }
+
+  nn::ClassifierConfig clf_config;
+  clf_config.vocab_size = vocab_size;
+  clf_config.num_classes = num_classes;
+  clf_config.seed = config_.seed + 1;
+  nn::BowLogRegClassifier classifier(clf_config);
+  classifier.Fit(train_docs, train_labels, config_.classifier_epochs);
+  std::vector<std::vector<int32_t>> all_docs;
+  for (const auto& doc : corpus_.docs()) all_docs.push_back(doc.tokens);
+  return classifier.Predict(all_docs);
+}
+
+std::vector<int> XClass::RepOnly() const {
+  STM_CHECK_GT(doc_reps_.rows(), 0u) << "Run() must be called first";
+  std::vector<int> predictions(corpus_.num_docs(), 0);
+  for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+    float best = -2.0f;
+    for (size_t c = 0; c < class_reps_.rows(); ++c) {
+      const float sim = la::Cosine(doc_reps_.Row(d), class_reps_.Row(c),
+                                   doc_reps_.cols());
+      if (sim > best) {
+        best = sim;
+        predictions[d] = static_cast<int>(c);
+      }
+    }
+  }
+  return predictions;
+}
+
+std::vector<std::vector<int>> XClass::RunPaths(
+    const taxonomy::LabelTree& tree, const std::vector<int>& leaves,
+    const std::vector<std::vector<int32_t>>& leaf_label_names) {
+  STM_CHECK_EQ(leaves.size(), leaf_label_names.size());
+  // Flat leaf-level classification; the label space of `corpus_` must be
+  // the leaf space in the same order.
+  const std::vector<int> leaf_pred = Run(leaf_label_names);
+  std::vector<std::vector<int>> paths(leaf_pred.size());
+  for (size_t d = 0; d < leaf_pred.size(); ++d) {
+    paths[d] = tree.PathTo(leaves[static_cast<size_t>(leaf_pred[d])]);
+  }
+  return paths;
+}
+
+la::Matrix XClass::AverageDocReps() {
+  const size_t dim = model_->config().dim;
+  la::Matrix reps(corpus_.num_docs(), dim);
+  for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+    const auto& tokens = corpus_.docs()[d].tokens;
+    if (tokens.empty()) continue;
+    reps.SetRow(d, model_->Pool(tokens));
+  }
+  return reps;
+}
+
+}  // namespace stm::core

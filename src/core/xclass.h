@@ -1,0 +1,78 @@
+#ifndef STM_CORE_XCLASS_H_
+#define STM_CORE_XCLASS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+#include "plm/minilm.h"
+#include "taxonomy/taxonomy.h"
+#include "text/corpus.h"
+
+namespace stm::core {
+
+// X-Class (Wang et al., NAACL'21): class-oriented document
+// representations from a pre-trained LM, clustered with a class-prior.
+//   1. Static word representations: average contextual vectors over each
+//      word's occurrences.
+//   2. Class representations: start at the class-name vector and absorb
+//      nearest words with harmonically decaying weights.
+//   3. Document representations: attention-weighted average of token
+//      vectors, weight rising with the token's maximum class similarity.
+//   4. Cluster with a Gaussian mixture initialized at the class
+//      representations (cluster c stays aligned to class c); train a
+//      final classifier on the most confident documents.
+struct XClassConfig {
+  size_t class_rep_words = 8;       // words absorbed per class rep
+  size_t occurrences_per_word = 24; // contextual samples per word
+  float attention_temperature = 0.1f;
+  double confident_fraction = 0.5;  // docs kept for classifier training
+  int classifier_epochs = 8;
+  uint64_t seed = 91;
+};
+
+class XClass {
+ public:
+  XClass(const text::Corpus& corpus, plm::MiniLm* model,
+         const XClassConfig& config);
+
+  // Full pipeline; returns predictions for every document.
+  std::vector<int> Run(const std::vector<std::vector<int32_t>>& label_names);
+
+  // Ablations from the paper's table. Both require Run() first (they
+  // reuse its cached representations).
+  //  X-Class-Rep: nearest class representation per document.
+  std::vector<int> RepOnly() const;
+  //  X-Class-Align: the GMM posterior assignment, no final classifier.
+  const std::vector<int>& AlignOnly() const { return gmm_assignment_; }
+
+  // Class-oriented document representations (cached by Run), used by the
+  // figure benches.
+  const la::Matrix& doc_reps() const { return doc_reps_; }
+
+  // Plain average-pooled document representations (tutorial Figure 1).
+  la::Matrix AverageDocReps();
+
+  // Hierarchical mode (the tutorial's summary table lists X-Class as
+  // "Flat & Hierarchical / Single-label & Path"): classifies at the leaf
+  // level of `tree` and returns each document's root-to-leaf path.
+  // `leaf_label_names[i]` are the name tokens of tree leaf `leaves[i]`.
+  std::vector<std::vector<int>> RunPaths(
+      const taxonomy::LabelTree& tree,
+      const std::vector<int>& leaves,
+      const std::vector<std::vector<int32_t>>& leaf_label_names);
+
+ private:
+  std::vector<float> StaticWordRep(int32_t word);
+
+  const text::Corpus& corpus_;
+  plm::MiniLm* model_;
+  XClassConfig config_;
+  la::Matrix doc_reps_;
+  la::Matrix class_reps_;
+  std::vector<int> gmm_assignment_;
+};
+
+}  // namespace stm::core
+
+#endif  // STM_CORE_XCLASS_H_

@@ -1,0 +1,523 @@
+#include "datasets/specs.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace stm::datasets {
+
+namespace {
+
+ClassSpec Leaf(const std::string& name,
+               std::vector<std::string> keywords = {}, double prior = 1.0,
+               int parent = -1) {
+  ClassSpec spec;
+  spec.name = name;
+  spec.keywords = std::move(keywords);
+  spec.prior = prior;
+  spec.parent = parent;
+  return spec;
+}
+
+}  // namespace
+
+SyntheticSpec AgNewsSpec(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dataset_name = "agnews";
+  spec.seed = seed;
+  spec.num_docs = 700;
+  spec.num_ambiguous = 6;
+  spec.classes = {
+      Leaf("politics", {"government", "election", "senate"}),
+      Leaf("sports", {"game", "team", "championship"}),
+      Leaf("business", {"market", "stock", "economy"}),
+      Leaf("technology", {"software", "internet", "computer"}),
+  };
+  return spec;
+}
+
+SyntheticSpec NytSpec(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dataset_name = "nyt";
+  spec.seed = seed;
+  spec.num_docs = 900;
+  spec.num_ambiguous = 10;
+  spec.class_vocab = 14;   // 30 themes: keep per-theme vocab compact
+  spec.parent_share = 0.35;
+  // 5 coarse sections x 5 fine subtopics, imbalanced like the real NYT.
+  struct Section {
+    const char* name;
+    double prior;
+    std::vector<std::pair<const char*, double>> subs;
+  };
+  const std::vector<Section> sections = {
+      {"politics", 3.0, {{"election", 3.0}, {"congress", 2.0},
+                          {"diplomacy", 1.0}, {"immigration", 1.0},
+                          {"budget", 0.5}}},
+      {"sports", 2.0, {{"soccer", 3.0}, {"baseball", 2.0},
+                        {"hockey", 1.0}, {"tennis", 0.7}, {"golf", 0.4}}},
+      {"business", 1.5, {{"economy", 2.0}, {"stocks", 1.5},
+                          {"energy", 1.0}, {"retail", 0.7},
+                          {"banking", 0.5}}},
+      {"science", 1.0, {{"space", 2.0}, {"physics", 1.0},
+                         {"biology", 1.0}, {"climate", 0.8},
+                         {"medicine", 0.6}}},
+      {"arts", 0.8, {{"music", 2.0}, {"film", 1.5}, {"theater", 0.8},
+                      {"dance", 0.4}, {"painting", 0.3}}},
+  };
+  for (const Section& section : sections) {
+    const int parent = static_cast<int>(spec.classes.size());
+    spec.classes.push_back(Leaf(section.name, {}, 1.0, -1));
+    for (const auto& [sub, prior] : section.subs) {
+      spec.classes.push_back(Leaf(sub, {}, prior, parent));
+    }
+  }
+  return spec;
+}
+
+SyntheticSpec TwentyNewsSpec(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dataset_name = "20news";
+  spec.seed = seed;
+  spec.num_docs = 800;
+  spec.num_ambiguous = 14;   // 20News is the noisiest benchmark
+  spec.topical_fraction = 0.42;
+  spec.parent_share = 0.4;
+  struct Group {
+    const char* name;
+    std::vector<const char*> subs;
+  };
+  const std::vector<Group> groups = {
+      {"computer", {"graphics", "windows", "hardware", "xwindows"}},
+      {"recreation", {"autos", "motorcycles", "baseball", "hockey"}},
+      {"science", {"cryptography", "electronics", "medicine", "space"}},
+      {"politics", {"guns", "mideast", "misc"}},
+      {"religion", {"atheism", "christian"}},
+      {"forsale", {"marketplace", "listings"}},
+  };
+  for (const Group& group : groups) {
+    const int parent = static_cast<int>(spec.classes.size());
+    spec.classes.push_back(Leaf(group.name, {}, 1.0, -1));
+    double prior = 1.4;
+    for (const char* sub : group.subs) {
+      spec.classes.push_back(Leaf(sub, {}, prior, parent));
+      prior *= 0.8;
+    }
+  }
+  return spec;
+}
+
+SyntheticSpec NytTopicSpec(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dataset_name = "nyt-topic";
+  spec.seed = seed;
+  spec.num_docs = 900;
+  spec.num_ambiguous = 8;
+  const std::vector<std::pair<const char*, double>> topics = {
+      {"politics", 9.0},  {"sports", 6.0},   {"business", 4.0},
+      {"science", 2.5},   {"health", 2.0},   {"education", 1.5},
+      {"arts", 1.0},      {"travel", 0.6},   {"estate", 0.33}};
+  for (const auto& [name, prior] : topics) {
+    spec.classes.push_back(Leaf(name, {}, prior));
+  }
+  return spec;
+}
+
+SyntheticSpec NytLocationSpec(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dataset_name = "nyt-location";
+  spec.seed = seed;
+  spec.num_docs = 900;
+  spec.num_ambiguous = 6;
+  const std::vector<std::pair<const char*, double>> places = {
+      {"america", 8.0}, {"iraq", 5.0},    {"japan", 3.0},
+      {"britain", 2.5}, {"china", 2.0},   {"france", 1.5},
+      {"russia", 1.2},  {"germany", 1.0}, {"canada", 0.8},
+      {"italy", 0.5}};
+  for (const auto& [name, prior] : places) {
+    spec.classes.push_back(Leaf(name, {}, prior));
+  }
+  return spec;
+}
+
+SyntheticSpec YelpSpec(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dataset_name = "yelp";
+  spec.seed = seed;
+  spec.num_docs = 700;
+  // Sentiment: fewer distinctive tokens, heavy ambiguity, more background.
+  spec.class_vocab = 18;
+  spec.topical_fraction = 0.38;
+  spec.num_ambiguous = 12;
+  spec.classes = {
+      Leaf("good", {"delicious", "friendly", "amazing"}),
+      Leaf("bad", {"terrible", "rude", "awful"}),
+  };
+  return spec;
+}
+
+SyntheticSpec ImdbSpec(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dataset_name = "imdb";
+  spec.seed = seed;
+  spec.num_docs = 700;
+  spec.class_vocab = 20;
+  spec.topical_fraction = 0.4;
+  spec.num_ambiguous = 10;
+  spec.classes = {
+      Leaf("good", {"masterpiece", "brilliant", "moving"}),
+      Leaf("bad", {"boring", "waste", "disaster"}),
+  };
+  return spec;
+}
+
+SyntheticSpec DbpediaSpec(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dataset_name = "dbpedia";
+  spec.seed = seed;
+  spec.num_docs = 1100;
+  spec.num_ambiguous = 6;
+  const std::vector<const char*> classes = {
+      "company", "school", "artist",  "athlete", "politician",
+      "transport", "building", "river", "village", "animal",
+      "plant",   "album",  "film",    "book"};
+  for (const char* name : classes) spec.classes.push_back(Leaf(name));
+  return spec;
+}
+
+SyntheticSpec AmazonFlatSpec(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dataset_name = "amazon-flat";
+  spec.seed = seed;
+  spec.num_docs = 800;
+  spec.num_ambiguous = 8;
+  spec.topical_fraction = 0.42;
+  spec.classes = {
+      Leaf("good", {"excellent", "perfect", "recommend"}),
+      Leaf("bad", {"broken", "refund", "disappointing"}),
+  };
+  return spec;
+}
+
+SyntheticSpec ArxivSpec(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dataset_name = "arxiv";
+  spec.seed = seed;
+  spec.num_docs = 900;
+  spec.parent_share = 0.4;
+  struct Area {
+    const char* name;
+    std::vector<const char*> subs;
+  };
+  const std::vector<Area> areas = {
+      {"computing", {"learning", "systems", "theory"}},
+      {"physics", {"optics", "astrophysics", "mechanics"}},
+      {"mathematics", {"algebra", "statistics", "geometry"}},
+  };
+  for (const Area& area : areas) {
+    const int parent = static_cast<int>(spec.classes.size());
+    spec.classes.push_back(Leaf(area.name, {}, 1.0, -1));
+    double prior = 1.5;
+    for (const char* sub : area.subs) {
+      spec.classes.push_back(Leaf(sub, {}, prior, parent));
+      prior *= 0.75;
+    }
+  }
+  return spec;
+}
+
+SyntheticSpec YelpHierSpec(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dataset_name = "yelp-hier";
+  spec.seed = seed;
+  spec.num_docs = 700;
+  spec.parent_share = 0.4;
+  spec.num_ambiguous = 8;
+  struct Polarity {
+    const char* name;
+    std::vector<const char*> subs;
+  };
+  const std::vector<Polarity> polarities = {
+      {"positive", {"food", "service", "ambience"}},
+      {"negative", {"price", "wait", "hygiene"}},
+  };
+  for (const Polarity& polarity : polarities) {
+    const int parent = static_cast<int>(spec.classes.size());
+    spec.classes.push_back(Leaf(polarity.name, {}, 1.0, -1));
+    for (const char* sub : polarity.subs) {
+      spec.classes.push_back(Leaf(sub, {}, 1.0, parent));
+    }
+  }
+  return spec;
+}
+
+SyntheticSpec AmazonTaxoSpec(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dataset_name = "amazon-taxo";
+  spec.seed = seed;
+  spec.num_docs = 700;
+  spec.multi_label = true;
+  spec.max_labels = 3;
+  spec.parent_share = 0.3;
+  spec.num_aux_topics = 8;
+  spec.aux_docs_per_topic = 50;
+  struct Dept {
+    const char* name;
+    std::vector<const char*> subs;
+  };
+  const std::vector<Dept> departments = {
+      {"electronics", {"camera", "laptop", "headphones", "tablet"}},
+      {"kitchen", {"cookware", "blender", "cutlery", "bakeware"}},
+      {"outdoors", {"camping", "fishing", "cycling", "hiking"}},
+      {"beauty", {"skincare", "fragrance", "makeup"}},
+      {"toys", {"puzzles", "dolls", "blocks"}},
+      {"automotive", {"tires", "oils", "batteries"}},
+  };
+  for (const Dept& dept : departments) {
+    const int parent = static_cast<int>(spec.classes.size());
+    spec.classes.push_back(Leaf(dept.name, {}, 1.0, -1));
+    double prior = 1.5;
+    for (const char* sub : dept.subs) {
+      spec.classes.push_back(Leaf(sub, {}, prior, parent));
+      prior *= 0.85;
+    }
+  }
+  return spec;
+}
+
+SyntheticSpec DbpediaTaxoSpec(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dataset_name = "dbpedia-taxo";
+  spec.seed = seed;
+  spec.num_docs = 700;
+  spec.multi_label = true;
+  spec.max_labels = 2;
+  spec.parent_share = 0.3;
+  spec.num_aux_topics = 8;
+  spec.aux_docs_per_topic = 50;
+  struct Branch {
+    const char* name;
+    std::vector<const char*> subs;
+  };
+  const std::vector<Branch> branches = {
+      {"agent", {"company", "politician", "athlete", "artist"}},
+      {"place", {"river", "village", "building", "mountain"}},
+      {"work", {"album", "film", "book", "software"}},
+      {"species", {"animal", "plant", "fungus"}},
+  };
+  for (const Branch& branch : branches) {
+    const int parent = static_cast<int>(spec.classes.size());
+    spec.classes.push_back(Leaf(branch.name, {}, 1.0, -1));
+    for (const char* sub : branch.subs) {
+      spec.classes.push_back(Leaf(sub, {}, 1.0, parent));
+    }
+  }
+  return spec;
+}
+
+namespace {
+
+SyntheticSpec GithubLike(const char* name, uint64_t seed,
+                         std::vector<ClassSpec> classes, size_t docs) {
+  SyntheticSpec spec;
+  spec.dataset_name = name;
+  spec.seed = seed;
+  spec.num_docs = docs;
+  spec.classes = std::move(classes);
+  spec.num_users = 40;
+  spec.user_affinity = 0.85;
+  spec.num_tags = 3 * spec.classes.size();
+  spec.tags_per_doc = 2;
+  spec.tag_noise = 0.15;
+  spec.topical_fraction = 0.4;
+  spec.num_ambiguous = 6;
+  return spec;
+}
+
+}  // namespace
+
+SyntheticSpec GithubBioSpec(uint64_t seed) {
+  std::vector<ClassSpec> classes;
+  for (const char* name :
+       {"genomics", "proteomics", "imaging", "sequencing", "phylogeny",
+        "epidemiology", "neuroscience", "immunology", "metabolomics",
+        "pharmacology"}) {
+    classes.push_back(Leaf(name));
+  }
+  // Smallest corpus: metadata should matter most here (paper's finding).
+  SyntheticSpec spec = GithubLike("github-bio", seed, std::move(classes), 260);
+  spec.topical_fraction = 0.18;  // weak text signal
+  spec.topic_noise = 0.35;
+  spec.doc_len_min = 8;
+  spec.doc_len_max = 20;
+  spec.num_ambiguous = 12;
+  return spec;
+}
+
+SyntheticSpec GithubAiSpec(uint64_t seed) {
+  std::vector<ClassSpec> classes;
+  for (const char* name :
+       {"vision", "language", "speech", "planning", "robotics",
+        "reinforcement", "optimization", "graphs", "retrieval",
+        "recommendation", "forecasting", "clustering", "generation",
+        "translation"}) {
+    classes.push_back(Leaf(name));
+  }
+  SyntheticSpec spec = GithubLike("github-ai", seed, std::move(classes), 380);
+  spec.topical_fraction = 0.22;
+  spec.topic_noise = 0.3;
+  spec.doc_len_min = 10;
+  spec.doc_len_max = 24;
+  return spec;
+}
+
+SyntheticSpec GithubSecSpec(uint64_t seed) {
+  std::vector<ClassSpec> classes = {
+      Leaf("malware"), Leaf("cryptography"), Leaf("forensics")};
+  SyntheticSpec spec =
+      GithubLike("github-sec", seed, std::move(classes), 900);
+  spec.topical_fraction = 0.45;  // large corpus, stronger text signal
+  return spec;
+}
+
+SyntheticSpec AmazonMetaSpec(uint64_t seed) {
+  std::vector<ClassSpec> classes;
+  for (const char* name :
+       {"books", "electronics", "clothing", "kitchen", "sports",
+        "beauty", "toys", "grocery", "automotive", "garden"}) {
+    classes.push_back(Leaf(name));
+  }
+  SyntheticSpec spec =
+      GithubLike("amazon-meta", seed, std::move(classes), 800);
+  spec.topical_fraction = 0.45;
+  return spec;
+}
+
+SyntheticSpec TwitterSpec(uint64_t seed) {
+  std::vector<ClassSpec> classes;
+  for (const char* name : {"food", "shop", "travel", "nightlife",
+                           "entertainment", "outdoors", "fitness",
+                           "education", "events"}) {
+    classes.push_back(Leaf(name));
+  }
+  SyntheticSpec spec = GithubLike("twitter", seed, std::move(classes), 700);
+  // Tweets are short and noisy.
+  spec.doc_len_min = 6;
+  spec.doc_len_max = 14;
+  spec.topical_fraction = 0.3;
+  spec.topic_noise = 0.25;
+  spec.num_ambiguous = 9;
+  return spec;
+}
+
+namespace {
+
+SyntheticSpec BibLike(const char* name, uint64_t seed,
+                      const std::vector<std::vector<const char*>>& areas) {
+  SyntheticSpec spec;
+  spec.dataset_name = name;
+  spec.seed = seed;
+  spec.num_docs = 700;
+  spec.multi_label = true;
+  spec.max_labels = 3;
+  spec.parent_share = 0.25;
+  spec.num_aux_topics = 10;
+  spec.aux_docs_per_topic = 40;
+  spec.pretrain_include_eval = false;  // eval domain unseen at pre-training
+  spec.refs_per_doc = 3;
+  spec.ref_same_class = 0.85;
+  spec.venue_prefix = "venue";
+  spec.num_users = 60;  // authors
+  spec.user_affinity = 0.9;
+  for (const auto& area : areas) {
+    const int parent = static_cast<int>(spec.classes.size());
+    spec.classes.push_back(Leaf(area[0], {}, 1.0, -1));
+    for (size_t i = 1; i < area.size(); ++i) {
+      spec.classes.push_back(Leaf(area[i], {}, 1.0, parent));
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+SyntheticSpec MagCsSpec(uint64_t seed) {
+  return BibLike(
+      "mag-cs", seed,
+      {{"systems", "databases", "networking", "compilers", "security"},
+       {"intelligence", "learning", "vision", "language", "robotics"},
+       {"theory", "algorithms", "complexity", "logic"},
+       {"interfaces", "graphics", "visualization"}});
+}
+
+SyntheticSpec PubMedSpec(uint64_t seed) {
+  return BibLike(
+      "pubmed", seed,
+      {{"oncology", "carcinoma", "lymphoma", "chemotherapy"},
+       {"cardiology", "arrhythmia", "hypertension", "ischemia"},
+       {"neurology", "epilepsy", "dementia", "stroke"},
+       {"infection", "virology", "bacteriology", "vaccines"}});
+}
+
+FlatView FlattenToDepth(const SyntheticDataset& data, int depth) {
+  FlatView view;
+  view.corpus.vocab() = data.corpus.vocab();
+  // Collect nodes at `depth` in stable order.
+  const std::vector<int> nodes = data.tree.NodesAtDepth(depth);
+  STM_CHECK(!nodes.empty()) << "no taxonomy nodes at depth " << depth;
+  std::map<int, int> node_to_label;
+  for (int node : nodes) {
+    node_to_label[node] = static_cast<int>(view.corpus.label_names().size());
+    view.corpus.label_names().push_back(data.tree.NameOf(node));
+    view.node_of_label.push_back(node);
+  }
+  for (const text::Document& doc : data.corpus.docs()) {
+    STM_CHECK_LT(static_cast<size_t>(depth), doc.label_path.size());
+    text::Document flat;
+    flat.tokens = doc.tokens;
+    flat.metadata = doc.metadata;
+    flat.labels = {node_to_label.at(doc.label_path[static_cast<size_t>(depth)])};
+    view.corpus.docs().push_back(std::move(flat));
+  }
+  // Supervision: node name token(s) plus the full seed-keyword sets of
+  // descendant leaves (keeping ambiguous user keywords, which is what the
+  // contextualization methods disambiguate).
+  for (int node : nodes) {
+    std::vector<int32_t> seeds;
+    for (const std::string& part :
+         SplitWhitespace(data.tree.NameOf(node))) {
+      seeds.push_back(view.corpus.vocab().IdOf(part));
+    }
+    for (size_t l = 0; l < data.leaf_classes.size(); ++l) {
+      const int leaf = data.leaf_classes[l];
+      const std::vector<int> chain = data.tree.WithAncestors(leaf);
+      if (std::find(chain.begin(), chain.end(), node) == chain.end()) {
+        continue;
+      }
+      if (leaf == node) {
+        // The node itself is a leaf: inherit its original seed set.
+        for (int32_t id : data.supervision.class_keywords[l]) {
+          seeds.push_back(id);
+        }
+      } else {
+        for (int32_t id : data.supervision.class_keywords[l]) {
+          seeds.push_back(id);
+        }
+      }
+    }
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+    // Keep the node-name token first (LABELS mode reads seeds[0]).
+    const int32_t name_id = view.corpus.vocab().IdOf(
+        SplitWhitespace(data.tree.NameOf(node))[0]);
+    auto it = std::find(seeds.begin(), seeds.end(), name_id);
+    if (it != seeds.end()) std::iter_swap(seeds.begin(), it);
+    view.supervision.class_keywords.push_back(seeds);
+  }
+  view.supervision.labeled_docs.assign(nodes.size(), {});
+  return view;
+}
+
+}  // namespace stm::datasets

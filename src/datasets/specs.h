@@ -1,0 +1,83 @@
+#ifndef STM_DATASETS_SPECS_H_
+#define STM_DATASETS_SPECS_H_
+
+#include <cstdint>
+
+#include "datasets/synthetic.h"
+
+namespace stm::datasets {
+
+// Canned specifications mirroring the structure (class count, hierarchy,
+// imbalance, ambiguity, metadata) of the corpora used across the
+// tutorial's experiments, scaled to run on one CPU core. Every function is
+// deterministic in `seed`.
+
+// AG's News: 4 balanced news topics.                      (E1, E4, E6, E7)
+SyntheticSpec AgNewsSpec(uint64_t seed);
+
+// The New York Times: 5 coarse / 25 fine, imbalanced.     (E1, E2, E8)
+SyntheticSpec NytSpec(uint64_t seed);
+
+// 20 Newsgroups: 6 coarse / 20 fine, with polysemy.       (E2, E6, E7)
+SyntheticSpec TwentyNewsSpec(uint64_t seed);
+
+// NYT-Topic (9 topics) and NYT-Location (10 locations), imbalanced. (E6)
+SyntheticSpec NytTopicSpec(uint64_t seed);
+SyntheticSpec NytLocationSpec(uint64_t seed);
+
+// Yelp Review sentiment: 2 classes, heavy polysemy.       (E1, E6, E7)
+SyntheticSpec YelpSpec(uint64_t seed);
+
+// IMDB movie-review sentiment: 2 classes.                 (E4, E7)
+SyntheticSpec ImdbSpec(uint64_t seed);
+
+// DBpedia ontology: 14 balanced Wikipedia classes.        (E4, E6)
+SyntheticSpec DbpediaSpec(uint64_t seed);
+
+// Amazon product reviews (flat, 10 classes).              (E4)
+SyntheticSpec AmazonFlatSpec(uint64_t seed);
+
+// arXiv: 3 areas x 3 subareas hierarchy.                  (E8)
+SyntheticSpec ArxivSpec(uint64_t seed);
+
+// Yelp hierarchy for WeSHClass (2 coarse x 3 fine).       (E8)
+SyntheticSpec YelpHierSpec(uint64_t seed);
+
+// Amazon-531-like product taxonomy, multi-label DAG paths, with aux
+// topics for relevance-model pre-training.                (E9)
+SyntheticSpec AmazonTaxoSpec(uint64_t seed);
+
+// DBpedia-298-like taxonomy, multi-label.                 (E9)
+SyntheticSpec DbpediaTaxoSpec(uint64_t seed);
+
+// GitHub-Bio / GitHub-AI / GitHub-Sec with user+tag metadata. (E10)
+SyntheticSpec GithubBioSpec(uint64_t seed);
+SyntheticSpec GithubAiSpec(uint64_t seed);
+SyntheticSpec GithubSecSpec(uint64_t seed);
+
+// Amazon reviews with user+product metadata.              (E10)
+SyntheticSpec AmazonMetaSpec(uint64_t seed);
+
+// Tweets with user+hashtag metadata.                      (E10)
+SyntheticSpec TwitterSpec(uint64_t seed);
+
+// MAG-CS / PubMed: multi-label, venue+reference metadata, label
+// descriptions, aux topics.                               (E11)
+SyntheticSpec MagCsSpec(uint64_t seed);
+SyntheticSpec PubMedSpec(uint64_t seed);
+
+// Relabels a hierarchical dataset's documents by their path node at
+// `depth` (0 = coarsest), producing a flat single-label view. The returned
+// corpus shares the vocabulary; label ids are renumbered densely and
+// `keywords` (per new label) are taken from the node names + the original
+// supervision of descendant leaves.
+struct FlatView {
+  text::Corpus corpus;
+  text::WeakSupervision supervision;
+  std::vector<int> node_of_label;  // new label id -> tree node
+};
+FlatView FlattenToDepth(const SyntheticDataset& data, int depth);
+
+}  // namespace stm::datasets
+
+#endif  // STM_DATASETS_SPECS_H_

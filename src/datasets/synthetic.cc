@@ -1,0 +1,390 @@
+#include "datasets/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace stm::datasets {
+
+namespace {
+
+// A theme: unnormalized token distribution for one taxonomy node.
+struct Theme {
+  std::vector<int32_t> tokens;
+  std::vector<double> weights;
+  AliasSampler sampler;
+
+  void Finalize() { sampler = AliasSampler(weights); }
+  int32_t Sample(Rng& rng) const { return tokens[sampler.Sample(rng)]; }
+};
+
+uint64_t SpecFingerprint(const SyntheticSpec& spec) {
+  uint64_t h = Fnv1a(spec.dataset_name);
+  h = HashCombine(h, spec.seed);
+  h = HashCombine(h, spec.num_docs);
+  h = HashCombine(h, spec.classes.size());
+  for (const ClassSpec& c : spec.classes) {
+    h = HashCombine(h, Fnv1a(c.name));
+    h = HashCombine(h, static_cast<uint64_t>(c.prior * 1000));
+  }
+  h = HashCombine(h, spec.background_vocab);
+  h = HashCombine(h, spec.class_vocab);
+  h = HashCombine(h, spec.num_ambiguous);
+  h = HashCombine(h, static_cast<uint64_t>(spec.topic_noise * 1000));
+  h = HashCombine(h, spec.ambiguous_seeds ? 1u : 0u);
+  h = HashCombine(h, spec.multi_label ? 1u : 0u);
+  h = HashCombine(h, spec.num_users);
+  h = HashCombine(h, spec.num_tags);
+  h = HashCombine(h, spec.num_aux_topics);
+  h = HashCombine(h, spec.pretrain_docs);
+  h = HashCombine(h, spec.pretrain_include_eval ? 1u : 0u);
+  return h;
+}
+
+}  // namespace
+
+SyntheticDataset Generate(const SyntheticSpec& spec) {
+  STM_CHECK(!spec.classes.empty());
+  STM_CHECK_GE(spec.doc_len_max, spec.doc_len_min);
+  Rng rng(spec.seed);
+  SyntheticDataset data;
+  data.fingerprint = SpecFingerprint(spec);
+  text::Vocabulary& vocab = data.corpus.vocab();
+
+  // ---- taxonomy ----
+  for (const ClassSpec& c : spec.classes) {
+    data.tree.AddNode(c.name, c.parent);
+  }
+  for (int node = 0; node < static_cast<int>(spec.classes.size()); ++node) {
+    if (data.tree.IsLeaf(node)) data.leaf_classes.push_back(node);
+  }
+
+  // ---- background vocabulary (stopwords first, then Zipfian filler) ----
+  Theme background;
+  {
+    const auto& stopwords = text::Stopwords();
+    for (size_t i = 0; i < stopwords.size(); ++i) {
+      background.tokens.push_back(vocab.AddToken(stopwords[i], 0));
+      background.weights.push_back(30.0 / (1.0 + i * 0.05));
+    }
+    for (size_t i = 0; i < spec.background_vocab; ++i) {
+      background.tokens.push_back(
+          vocab.AddToken("bg" + std::to_string(i), 0));
+      background.weights.push_back(8.0 / std::pow(1.0 + i, 0.85));
+    }
+    background.Finalize();
+  }
+
+  // ---- per-node themes ----
+  std::vector<Theme> themes(spec.classes.size());
+  std::vector<std::vector<int32_t>> node_name_tokens(spec.classes.size());
+  for (size_t c = 0; c < spec.classes.size(); ++c) {
+    Theme& theme = themes[c];
+    const ClassSpec& cls = spec.classes[c];
+    const std::vector<std::string> name_parts =
+        SplitWhitespace(cls.name);
+    STM_CHECK(!name_parts.empty());
+    for (const std::string& part : name_parts) {
+      const int32_t id = vocab.AddToken(part, 0);
+      node_name_tokens[c].push_back(id);
+      theme.tokens.push_back(id);
+      theme.weights.push_back(9.0);
+    }
+    for (const std::string& kw : cls.keywords) {
+      const int32_t id = vocab.AddToken(kw, 0);
+      theme.tokens.push_back(id);
+      theme.weights.push_back(6.0);
+    }
+    const std::string stem = name_parts[0];
+    for (size_t i = 0; i < spec.class_vocab; ++i) {
+      const int32_t id =
+          vocab.AddToken(stem + "_t" + std::to_string(i), 0);
+      theme.tokens.push_back(id);
+      theme.weights.push_back(6.0 / std::pow(1.0 + i, 0.7));
+    }
+  }
+
+  // ---- ambiguous (polysemous) tokens shared between leaf pairs ----
+  const size_t num_leaves = data.leaf_classes.size();
+  std::vector<std::vector<int32_t>> leaf_ambiguous(num_leaves);
+  for (size_t i = 0; i < spec.num_ambiguous; ++i) {
+    const int32_t id = vocab.AddToken("amb" + std::to_string(i), 0);
+    const size_t a = i % num_leaves;
+    const size_t b = (i / num_leaves + 1 + a) % num_leaves;
+    if (a == b) continue;
+    themes[static_cast<size_t>(data.leaf_classes[a])].tokens.push_back(id);
+    themes[static_cast<size_t>(data.leaf_classes[a])].weights.push_back(5.0);
+    themes[static_cast<size_t>(data.leaf_classes[b])].tokens.push_back(id);
+    themes[static_cast<size_t>(data.leaf_classes[b])].weights.push_back(5.0);
+    leaf_ambiguous[a].push_back(id);
+    leaf_ambiguous[b].push_back(id);
+  }
+
+  // ---- auxiliary transfer topics ----
+  std::vector<Theme> aux_themes(spec.num_aux_topics);
+  for (size_t k = 0; k < spec.num_aux_topics; ++k) {
+    const std::string name = "auxtopic" + std::to_string(k);
+    data.aux_topic_names.push_back(name);
+    Theme& theme = aux_themes[k];
+    const int32_t name_id = vocab.AddToken(name, 0);
+    data.aux_topic_name_tokens.push_back({name_id});
+    theme.tokens.push_back(name_id);
+    theme.weights.push_back(9.0);
+    for (size_t i = 0; i < spec.class_vocab; ++i) {
+      const int32_t id =
+          vocab.AddToken("aux" + std::to_string(k) + "_t" +
+                             std::to_string(i),
+                         0);
+      theme.tokens.push_back(id);
+      theme.weights.push_back(6.0 / std::pow(1.0 + i, 0.7));
+    }
+    theme.Finalize();
+  }
+  for (Theme& theme : themes) theme.Finalize();
+
+  // ---- sampling helpers ----
+  auto sample_len = [&rng, &spec]() {
+    return spec.doc_len_min +
+           rng.UniformInt(spec.doc_len_max - spec.doc_len_min + 1);
+  };
+  // Generates one document's tokens for a set of leaf node ids.
+  auto gen_tokens = [&](const std::vector<int>& leaves, Rng& r) {
+    std::vector<int32_t> tokens;
+    const size_t len = sample_len();
+    tokens.reserve(len);
+    for (size_t t = 0; t < len; ++t) {
+      if (!r.Bernoulli(spec.topical_fraction)) {
+        tokens.push_back(background.Sample(r));
+        vocab.AddCount(tokens.back(), 1);
+        continue;
+      }
+      int leaf = leaves[r.UniformInt(leaves.size())];
+      if (spec.topic_noise > 0.0 && r.Bernoulli(spec.topic_noise)) {
+        // Cross-topic contamination: a token from an unrelated class.
+        leaf = data.leaf_classes[r.UniformInt(data.leaf_classes.size())];
+      }
+      const std::vector<int> chain = data.tree.WithAncestors(leaf);
+      int node = leaf;
+      if (chain.size() > 1 && r.Bernoulli(spec.parent_share)) {
+        // Pick an ancestor theme (excluding the leaf itself).
+        node = chain[1 + r.UniformInt(chain.size() - 1)];
+      }
+      tokens.push_back(themes[static_cast<size_t>(node)].Sample(r));
+      vocab.AddCount(tokens.back(), 1);
+    }
+    return tokens;
+  };
+
+  // ---- evaluation documents ----
+  std::vector<double> leaf_priors;
+  for (int leaf : data.leaf_classes) {
+    leaf_priors.push_back(spec.classes[static_cast<size_t>(leaf)].prior);
+  }
+  data.corpus.label_names().clear();
+  for (const ClassSpec& c : spec.classes) {
+    data.corpus.label_names().push_back(c.name);
+  }
+  for (size_t d = 0; d < spec.num_docs; ++d) {
+    text::Document doc;
+    std::vector<int> doc_leaves;
+    if (spec.multi_label) {
+      const size_t k = 1 + rng.UniformInt(spec.max_labels);
+      while (doc_leaves.size() < k && doc_leaves.size() < num_leaves) {
+        const int leaf =
+            data.leaf_classes[rng.Discrete(leaf_priors)];
+        if (std::find(doc_leaves.begin(), doc_leaves.end(), leaf) ==
+            doc_leaves.end()) {
+          doc_leaves.push_back(leaf);
+        }
+      }
+    } else {
+      doc_leaves.push_back(data.leaf_classes[rng.Discrete(leaf_priors)]);
+    }
+    doc.tokens = gen_tokens(doc_leaves, rng);
+    doc.labels = doc_leaves;
+    doc.label_path = data.tree.PathTo(doc_leaves[0]);
+    data.corpus.docs().push_back(std::move(doc));
+  }
+
+  // ---- metadata ----
+  if (spec.num_users > 0) {
+    // Partition users among leaves round-robin; user u prefers leaf
+    // u % num_leaves.
+    for (text::Document& doc : data.corpus.docs()) {
+      const int leaf = doc.labels[0];
+      const size_t leaf_pos = static_cast<size_t>(
+          std::find(data.leaf_classes.begin(), data.leaf_classes.end(),
+                    leaf) -
+          data.leaf_classes.begin());
+      size_t user;
+      if (rng.Bernoulli(spec.user_affinity) &&
+          leaf_pos < spec.num_users) {
+        // A user from this class's pool.
+        const size_t pool =
+            (spec.num_users + num_leaves - 1 - leaf_pos) / num_leaves;
+        user = leaf_pos + num_leaves * rng.UniformInt(std::max<size_t>(
+                                             1, pool));
+        if (user >= spec.num_users) user = leaf_pos;
+      } else {
+        user = rng.UniformInt(spec.num_users);
+      }
+      doc.metadata["user"].push_back("u" + std::to_string(user));
+    }
+  }
+  if (spec.num_tags > 0 && spec.tags_per_doc > 0) {
+    for (text::Document& doc : data.corpus.docs()) {
+      const int leaf = doc.labels[0];
+      const size_t leaf_pos = static_cast<size_t>(
+          std::find(data.leaf_classes.begin(), data.leaf_classes.end(),
+                    leaf) -
+          data.leaf_classes.begin());
+      for (size_t t = 0; t < spec.tags_per_doc; ++t) {
+        size_t pos = rng.Bernoulli(spec.tag_noise)
+                         ? rng.UniformInt(num_leaves)
+                         : leaf_pos;
+        const size_t pool =
+            (spec.num_tags + num_leaves - 1 - pos) / num_leaves;
+        size_t tag =
+            pos + num_leaves * rng.UniformInt(std::max<size_t>(1, pool));
+        if (tag >= spec.num_tags) tag = pos % spec.num_tags;
+        doc.metadata["tag"].push_back("t" + std::to_string(tag));
+      }
+    }
+  }
+  if (!spec.venue_prefix.empty()) {
+    for (text::Document& doc : data.corpus.docs()) {
+      const int leaf = doc.labels[0];
+      const size_t leaf_pos = static_cast<size_t>(
+          std::find(data.leaf_classes.begin(), data.leaf_classes.end(),
+                    leaf) -
+          data.leaf_classes.begin());
+      const size_t venue =
+          rng.Bernoulli(0.9) ? leaf_pos : rng.UniformInt(num_leaves);
+      doc.metadata["venue"].push_back(spec.venue_prefix +
+                                      std::to_string(venue));
+    }
+  }
+  if (spec.refs_per_doc > 0) {
+    // Group docs by primary label for same-class citations.
+    std::vector<std::vector<size_t>> by_class(spec.classes.size());
+    for (size_t d = 0; d < data.corpus.num_docs(); ++d) {
+      by_class[static_cast<size_t>(data.corpus.docs()[d].labels[0])]
+          .push_back(d);
+    }
+    for (size_t d = 0; d < data.corpus.num_docs(); ++d) {
+      text::Document& doc = data.corpus.docs()[d];
+      const auto& pool =
+          by_class[static_cast<size_t>(doc.labels[0])];
+      for (size_t r = 0; r < spec.refs_per_doc; ++r) {
+        size_t target;
+        if (rng.Bernoulli(spec.ref_same_class) && pool.size() > 1) {
+          target = pool[rng.UniformInt(pool.size())];
+        } else {
+          target = rng.UniformInt(data.corpus.num_docs());
+        }
+        if (target == d) continue;
+        doc.metadata["ref"].push_back("d" + std::to_string(target));
+      }
+    }
+  }
+
+  // ---- weak supervision + descriptions ----
+  data.leaf_name_tokens.reserve(num_leaves);
+  for (int leaf : data.leaf_classes) {
+    const size_t c = static_cast<size_t>(leaf);
+    data.leaf_name_tokens.push_back(node_name_tokens[c]);
+    std::vector<int32_t> seeds = node_name_tokens[c];
+    for (const std::string& kw : spec.classes[c].keywords) {
+      seeds.push_back(vocab.IdOf(kw));
+    }
+    if (spec.ambiguous_seeds) {
+      const size_t pos = data.supervision.class_keywords.size();
+      if (!leaf_ambiguous[pos].empty()) {
+        seeds.push_back(leaf_ambiguous[pos][0]);
+      }
+    }
+    data.supervision.class_keywords.push_back(seeds);
+    std::vector<std::string> desc_words = {spec.classes[c].name};
+    for (const std::string& kw : spec.classes[c].keywords) {
+      desc_words.push_back(kw);
+    }
+    const std::string stem = SplitWhitespace(spec.classes[c].name)[0];
+    for (size_t i = 0; i < 3 && i < spec.class_vocab; ++i) {
+      desc_words.push_back(stem + "_t" + std::to_string(i));
+    }
+    data.label_descriptions.push_back(Join(desc_words, " "));
+  }
+  data.supervision.labeled_docs.assign(num_leaves, {});
+
+  // ---- auxiliary documents ----
+  for (size_t k = 0; k < spec.num_aux_topics; ++k) {
+    for (size_t d = 0; d < spec.aux_docs_per_topic; ++d) {
+      std::vector<int32_t> tokens;
+      const size_t len = sample_len();
+      for (size_t t = 0; t < len; ++t) {
+        if (rng.Bernoulli(spec.topical_fraction)) {
+          tokens.push_back(aux_themes[k].Sample(rng));
+        } else {
+          tokens.push_back(background.Sample(rng));
+        }
+        vocab.AddCount(tokens.back(), 1);
+      }
+      data.aux_docs.push_back(std::move(tokens));
+      data.aux_labels.push_back(static_cast<int>(k));
+    }
+  }
+
+  // ---- general pre-training corpus (labels discarded) ----
+  const size_t eval_themes = spec.pretrain_include_eval ? num_leaves : 0;
+  const size_t total_themes = eval_themes + spec.num_aux_topics;
+  STM_CHECK_GT(total_themes, 0u)
+      << "pretrain corpus needs eval or aux themes";
+  for (size_t d = 0; d < spec.pretrain_docs; ++d) {
+    const size_t pick = rng.UniformInt(total_themes);
+    std::vector<int32_t> tokens;
+    if (pick < eval_themes) {
+      tokens = gen_tokens({data.leaf_classes[pick]}, rng);
+    } else {
+      const Theme& theme = aux_themes[pick - eval_themes];
+      const size_t len = sample_len();
+      for (size_t t = 0; t < len; ++t) {
+        tokens.push_back(rng.Bernoulli(spec.topical_fraction)
+                             ? theme.Sample(rng)
+                             : background.Sample(rng));
+        vocab.AddCount(tokens.back(), 1);
+      }
+    }
+    data.pretrain_docs.push_back(std::move(tokens));
+  }
+
+  return data;
+}
+
+std::vector<std::vector<size_t>> SampleLabeledDocs(
+    const text::Corpus& corpus, size_t per_class, uint64_t seed) {
+  Rng rng(seed);
+  // Group by primary label.
+  std::vector<std::vector<size_t>> by_class(corpus.num_labels());
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    const auto& labels = corpus.docs()[d].labels;
+    if (!labels.empty()) {
+      by_class[static_cast<size_t>(labels[0])].push_back(d);
+    }
+  }
+  std::vector<std::vector<size_t>> sampled(corpus.num_labels());
+  for (size_t c = 0; c < by_class.size(); ++c) {
+    if (by_class[c].empty()) continue;
+    const size_t k = std::min(per_class, by_class[c].size());
+    for (size_t idx : rng.SampleWithoutReplacement(by_class[c].size(), k)) {
+      sampled[c].push_back(by_class[c][idx]);
+    }
+  }
+  return sampled;
+}
+
+}  // namespace stm::datasets

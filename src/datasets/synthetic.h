@@ -1,0 +1,134 @@
+#ifndef STM_DATASETS_SYNTHETIC_H_
+#define STM_DATASETS_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "taxonomy/taxonomy.h"
+#include "text/corpus.h"
+
+namespace stm::datasets {
+
+// One class (taxonomy node) in a synthetic dataset specification.
+struct ClassSpec {
+  // Human-readable name. Multi-word names ("machine learning") are split
+  // into tokens; each token enters the vocabulary and the class' topical
+  // distribution, so label-name-only methods can anchor on them.
+  std::string name;
+
+  // Extra seed keywords beyond the auto-generated topical vocabulary.
+  std::vector<std::string> keywords;
+
+  // Relative prior mass (class imbalance). Only leaves receive documents.
+  double prior = 1.0;
+
+  // Parent node index within the spec (-1 = root).
+  int parent = -1;
+};
+
+// Full specification of a synthetic corpus. The generator mirrors the
+// structure knobs that differentiate the tutorial's benchmark datasets:
+// ambiguity (ConWea), label-name coverage (LOTClass/X-Class), hierarchy
+// (WeSHClass/TaxoClass), imbalance (NYT), metadata (MetaCat/MICoL).
+struct SyntheticSpec {
+  std::string dataset_name = "synthetic";
+  std::vector<ClassSpec> classes;
+
+  size_t num_docs = 800;
+  size_t doc_len_min = 14;
+  size_t doc_len_max = 38;
+
+  size_t background_vocab = 600;   // shared Zipfian background words
+  size_t class_vocab = 24;         // generated topical words per class
+  double topical_fraction = 0.42;  // P(token is topical | leaf doc)
+  double topic_noise = 0.16;       // P(topical token from a random class)
+  double parent_share = 0.35;      // hierarchical: P(topical token from an
+                                   // ancestor theme)
+
+  // Polysemy: `num_ambiguous` tokens each shared between two classes with
+  // substantial weight, so context-free seed matching misfires. When
+  // `ambiguous_seeds` is set, each class's seed keywords include one of
+  // its ambiguous words (the ConWea setting: user-provided seeds carry
+  // polysemous words like "penalty").
+  size_t num_ambiguous = 0;
+  bool ambiguous_seeds = true;
+
+  // Multi-label generation: each doc samples 1..max_labels distinct leaves.
+  bool multi_label = false;
+  size_t max_labels = 3;
+
+  // Metadata. Users "cause" documents (global metadata); tags "describe"
+  // them (local metadata); references link same-topic documents.
+  size_t num_users = 0;
+  double user_affinity = 0.85;     // P(doc's user is from its class pool)
+  size_t num_tags = 0;             // total tags, partitioned among classes
+  size_t tags_per_doc = 0;
+  double tag_noise = 0.15;         // P(tag drawn from a random class)
+  size_t refs_per_doc = 0;         // citation-style doc->doc links
+  double ref_same_class = 0.9;     // P(reference targets a same-class doc)
+  std::string venue_prefix;        // non-empty: add per-class venue metadata
+
+  // Auxiliary topics: extra classes (disjoint names/topical words, same
+  // background) used to pre-train transfer components (the NLI relevance
+  // model) without leaking evaluation classes.
+  size_t num_aux_topics = 0;
+  size_t aux_docs_per_topic = 40;
+
+  // Size of the "general corpus" for LM pre-training (drawn from all
+  // themes, eval + aux, labels discarded).
+  size_t pretrain_docs = 1200;
+
+  // When false, the pre-training corpus draws from auxiliary themes and
+  // background only — the evaluation domain is *out of distribution* for
+  // the pre-trained LM, as in transfer settings (MICoL's SciBERT on MAG).
+  bool pretrain_include_eval = true;
+
+  uint64_t seed = 1;
+};
+
+// The generated bundle handed to methods and benches.
+struct SyntheticDataset {
+  // Evaluation corpus with gold labels (methods must not read them).
+  text::Corpus corpus;
+
+  // The label taxonomy (flat specs produce a forest of roots).
+  taxonomy::LabelTree tree;
+
+  // Indices of leaf classes (the classes documents carry), in the order
+  // used by Corpus::label_names for flat evaluation.
+  std::vector<int> leaf_classes;
+
+  // Weak supervision: per-leaf seed keywords (first entry = name token).
+  text::WeakSupervision supervision;
+
+  // Natural-language-ish label descriptions (name + keywords), per leaf.
+  std::vector<std::string> label_descriptions;
+
+  // General corpus for MiniLm pre-training (unlabeled token sequences).
+  std::vector<std::vector<int32_t>> pretrain_docs;
+
+  // Auxiliary topic material for transfer pre-training.
+  std::vector<std::string> aux_topic_names;
+  std::vector<std::vector<int32_t>> aux_topic_name_tokens;
+  std::vector<std::vector<int32_t>> aux_docs;
+  std::vector<int> aux_labels;     // index into aux_topic_names
+
+  // Per-leaf name token ids (possibly multi-token).
+  std::vector<std::vector<int32_t>> leaf_name_tokens;
+
+  // Deterministic fingerprint (for PLM cache keys).
+  uint64_t fingerprint = 0;
+};
+
+// Generates a dataset from `spec`. Deterministic in `spec.seed`.
+SyntheticDataset Generate(const SyntheticSpec& spec);
+
+// Draws `count` labeled documents per leaf class (for the DOCS supervision
+// setting), returning per-class document indices; deterministic in `seed`.
+std::vector<std::vector<size_t>> SampleLabeledDocs(
+    const text::Corpus& corpus, size_t per_class, uint64_t seed);
+
+}  // namespace stm::datasets
+
+#endif  // STM_DATASETS_SYNTHETIC_H_

@@ -1,0 +1,238 @@
+#include "embedding/sgns.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "text/vocabulary.h"
+
+namespace stm::embedding {
+
+namespace {
+
+float FastSigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+// One SGNS update: positive (center, context) plus `negatives` samples.
+// Updates in_vec (center row) and the output matrix rows.
+void SgnsUpdate(float* in_vec, la::Matrix& out, int32_t positive,
+                const AliasSampler& noise, Rng& rng, int negatives,
+                float lr, size_t dim, std::vector<float>& grad_in) {
+  std::fill(grad_in.begin(), grad_in.end(), 0.0f);
+  for (int n = 0; n <= negatives; ++n) {
+    const int32_t target =
+        n == 0 ? positive : static_cast<int32_t>(noise.Sample(rng));
+    if (n > 0 && target == positive) continue;
+    const float label = n == 0 ? 1.0f : 0.0f;
+    float* out_vec = out.Row(static_cast<size_t>(target));
+    const float score = la::Dot(in_vec, out_vec, dim);
+    const float gradient = (FastSigmoid(score) - label) * lr;
+    for (size_t j = 0; j < dim; ++j) {
+      grad_in[j] += gradient * out_vec[j];
+      out_vec[j] -= gradient * in_vec[j];
+    }
+  }
+  for (size_t j = 0; j < dim; ++j) in_vec[j] -= grad_in[j];
+}
+
+std::vector<double> UnigramNoise(
+    const std::vector<std::vector<int32_t>>& docs, size_t vocab_size) {
+  std::vector<double> counts(vocab_size, 0.0);
+  for (const auto& doc : docs) {
+    for (int32_t id : doc) {
+      if (id >= text::kNumSpecialTokens &&
+          static_cast<size_t>(id) < vocab_size) {
+        counts[static_cast<size_t>(id)] += 1.0;
+      }
+    }
+  }
+  for (double& c : counts) c = std::pow(c, 0.75);
+  return counts;
+}
+
+}  // namespace
+
+WordEmbeddings::WordEmbeddings(la::Matrix vectors)
+    : vectors_(std::move(vectors)) {}
+
+WordEmbeddings WordEmbeddings::Train(
+    const std::vector<std::vector<int32_t>>& docs, size_t vocab_size,
+    const SgnsConfig& config) {
+  STM_CHECK_GT(vocab_size, 0u);
+  Rng rng(config.seed);
+  const size_t dim = config.dim;
+  la::Matrix in(vocab_size, dim);
+  la::Matrix out(vocab_size, dim);
+  for (size_t i = 0; i < in.size(); ++i) {
+    in.data()[i] =
+        static_cast<float>(rng.Uniform(-0.5, 0.5)) / static_cast<float>(dim);
+  }
+
+  const std::vector<double> noise_weights = UnigramNoise(docs, vocab_size);
+  double total_mass = 0.0;
+  for (double w : noise_weights) total_mass += w;
+  if (total_mass == 0.0) return WordEmbeddings(std::move(in));
+  AliasSampler noise(noise_weights);
+
+  // Raw counts for subsampling.
+  std::vector<double> freq(vocab_size, 0.0);
+  double total_tokens = 0.0;
+  for (const auto& doc : docs) {
+    for (int32_t id : doc) {
+      if (id >= 0 && static_cast<size_t>(id) < vocab_size) {
+        freq[static_cast<size_t>(id)] += 1.0;
+        total_tokens += 1.0;
+      }
+    }
+  }
+
+  std::vector<float> grad_in(dim);
+  std::vector<int32_t> kept;
+  const float lr0 = config.lr;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const float lr =
+        lr0 * (1.0f - static_cast<float>(epoch) / config.epochs) + 1e-4f;
+    for (const auto& doc : docs) {
+      kept.clear();
+      for (int32_t id : doc) {
+        if (id < text::kNumSpecialTokens ||
+            static_cast<size_t>(id) >= vocab_size) {
+          continue;
+        }
+        if (config.subsample > 0.0) {
+          const double f = freq[static_cast<size_t>(id)] / total_tokens;
+          const double keep =
+              std::sqrt(config.subsample / f) + config.subsample / f;
+          if (keep < 1.0 && !rng.Bernoulli(keep)) continue;
+        }
+        kept.push_back(id);
+      }
+      for (size_t t = 0; t < kept.size(); ++t) {
+        const int span = 1 + static_cast<int>(rng.UniformInt(
+                                 static_cast<uint64_t>(config.window)));
+        for (int off = -span; off <= span; ++off) {
+          if (off == 0) continue;
+          const long ctx = static_cast<long>(t) + off;
+          if (ctx < 0 || ctx >= static_cast<long>(kept.size())) continue;
+          SgnsUpdate(in.Row(static_cast<size_t>(kept[t])), out,
+                     kept[static_cast<size_t>(ctx)], noise, rng,
+                     config.negatives, lr, dim, grad_in);
+        }
+      }
+    }
+  }
+  return WordEmbeddings(std::move(in));
+}
+
+std::vector<float> WordEmbeddings::UnitVectorOf(int32_t id) const {
+  STM_CHECK_GE(id, 0);
+  STM_CHECK_LT(static_cast<size_t>(id), vectors_.rows());
+  std::vector<float> v = vectors_.RowVec(static_cast<size_t>(id));
+  la::NormalizeInPlace(v.data(), v.size());
+  return v;
+}
+
+std::vector<std::pair<int32_t, float>> WordEmbeddings::MostSimilar(
+    const std::vector<float>& query, size_t k,
+    const std::vector<int32_t>& exclude, int32_t first_regular_id) const {
+  STM_CHECK_EQ(query.size(), dim());
+  std::vector<std::pair<int32_t, float>> scored;
+  for (size_t id = static_cast<size_t>(first_regular_id);
+       id < vectors_.rows(); ++id) {
+    if (std::find(exclude.begin(), exclude.end(),
+                  static_cast<int32_t>(id)) != exclude.end()) {
+      continue;
+    }
+    const float sim =
+        la::Cosine(query.data(), vectors_.Row(id), dim());
+    scored.emplace_back(static_cast<int32_t>(id), sim);
+  }
+  const size_t keep = std::min(k, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      return a.second > b.second;
+                    });
+  scored.resize(keep);
+  return scored;
+}
+
+std::vector<float> WordEmbeddings::AverageOf(
+    const std::vector<int32_t>& ids) const {
+  std::vector<float> mean(dim(), 0.0f);
+  size_t used = 0;
+  for (int32_t id : ids) {
+    if (id < 0 || static_cast<size_t>(id) >= vectors_.rows()) continue;
+    const std::vector<float> unit = UnitVectorOf(id);
+    la::Axpy(1.0f, unit.data(), mean.data(), dim());
+    ++used;
+  }
+  if (used > 0) la::NormalizeInPlace(mean.data(), mean.size());
+  return mean;
+}
+
+bool WordEmbeddings::Save(const std::string& path) const {
+  BinaryWriter writer;
+  writer.WriteU32(0x53544D45);  // "STME"
+  writer.WriteU64(vectors_.rows());
+  writer.WriteU64(vectors_.cols());
+  writer.WriteFloats(std::vector<float>(
+      vectors_.data(), vectors_.data() + vectors_.size()));
+  return writer.Flush(path);
+}
+
+std::unique_ptr<WordEmbeddings> WordEmbeddings::Load(
+    const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok() || reader.ReadU32() != 0x53544D45) return nullptr;
+  const size_t rows = reader.ReadU64();
+  const size_t cols = reader.ReadU64();
+  const std::vector<float> values = reader.ReadFloats();
+  if (!reader.ok() || values.size() != rows * cols) return nullptr;
+  la::Matrix table(rows, cols);
+  std::copy(values.begin(), values.end(), table.data());
+  return std::make_unique<WordEmbeddings>(std::move(table));
+}
+
+la::Matrix TrainDocEmbeddings(const std::vector<std::vector<int32_t>>& docs,
+                              size_t vocab_size,
+                              const DocEmbeddingConfig& config) {
+  Rng rng(config.seed);
+  const size_t dim = config.dim;
+  la::Matrix doc_vecs(docs.size(), dim);
+  la::Matrix out(vocab_size, dim);
+  for (size_t i = 0; i < doc_vecs.size(); ++i) {
+    doc_vecs.data()[i] =
+        static_cast<float>(rng.Uniform(-0.5, 0.5)) / static_cast<float>(dim);
+  }
+  const std::vector<double> noise_weights = UnigramNoise(docs, vocab_size);
+  double total_mass = 0.0;
+  for (double w : noise_weights) total_mass += w;
+  if (total_mass == 0.0) return doc_vecs;
+  AliasSampler noise(noise_weights);
+
+  std::vector<float> grad_in(dim);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const float lr = config.lr *
+                         (1.0f - static_cast<float>(epoch) / config.epochs) +
+                     1e-4f;
+    for (size_t d = 0; d < docs.size(); ++d) {
+      for (int32_t id : docs[d]) {
+        if (id < text::kNumSpecialTokens ||
+            static_cast<size_t>(id) >= vocab_size) {
+          continue;
+        }
+        SgnsUpdate(doc_vecs.Row(d), out, id, noise, rng, config.negatives,
+                   lr, dim, grad_in);
+      }
+    }
+  }
+  return doc_vecs;
+}
+
+}  // namespace stm::embedding

@@ -1,0 +1,78 @@
+#ifndef STM_EMBEDDING_SGNS_H_
+#define STM_EMBEDDING_SGNS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace stm::embedding {
+
+// Skip-gram with negative sampling (word2vec), the static-embedding
+// substrate of WeSTClass / WeSHClass / MetaCat and the Word2Vec baseline.
+struct SgnsConfig {
+  size_t dim = 32;
+  int epochs = 3;
+  int window = 5;
+  int negatives = 5;
+  float lr = 0.05f;
+  double subsample = 1e-3;   // frequent-word subsampling threshold (0=off)
+  uint64_t seed = 17;
+};
+
+class WordEmbeddings {
+ public:
+  // Trains input vectors on token sequences over a dense vocabulary.
+  static WordEmbeddings Train(const std::vector<std::vector<int32_t>>& docs,
+                              size_t vocab_size, const SgnsConfig& config);
+
+  // Wraps an existing table (rows = token ids).
+  explicit WordEmbeddings(la::Matrix vectors);
+
+  size_t dim() const { return vectors_.cols(); }
+  size_t vocab_size() const { return vectors_.rows(); }
+
+  const la::Matrix& vectors() const { return vectors_; }
+
+  // L2-normalized row copy.
+  std::vector<float> UnitVectorOf(int32_t id) const;
+
+  // Top-k ids most cosine-similar to `query` (excluding ids in `exclude`
+  // and ids < first_regular_id, i.e. special tokens).
+  std::vector<std::pair<int32_t, float>> MostSimilar(
+      const std::vector<float>& query, size_t k,
+      const std::vector<int32_t>& exclude = {},
+      int32_t first_regular_id = 5) const;
+
+  // Average of unit vectors for `ids` (skips out-of-range), normalized.
+  std::vector<float> AverageOf(const std::vector<int32_t>& ids) const;
+
+  // Binary persistence (embedding tables are expensive to retrain).
+  bool Save(const std::string& path) const;
+  static std::unique_ptr<WordEmbeddings> Load(const std::string& path);
+
+ private:
+  la::Matrix vectors_;
+};
+
+// PV-DBOW document embeddings (Doc2Vec baseline, MetaCat documents):
+// trains one vector per document to predict its words via negative
+// sampling against fixed word output vectors.
+struct DocEmbeddingConfig {
+  size_t dim = 32;
+  int epochs = 6;
+  int negatives = 5;
+  float lr = 0.05f;
+  uint64_t seed = 19;
+};
+
+la::Matrix TrainDocEmbeddings(const std::vector<std::vector<int32_t>>& docs,
+                              size_t vocab_size,
+                              const DocEmbeddingConfig& config);
+
+}  // namespace stm::embedding
+
+#endif  // STM_EMBEDDING_SGNS_H_

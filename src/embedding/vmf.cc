@@ -1,0 +1,93 @@
+#include "embedding/vmf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "la/matrix.h"
+
+namespace stm::embedding {
+
+VonMisesFisher::VonMisesFisher(std::vector<float> mu, float kappa)
+    : mu_(std::move(mu)), kappa_(kappa) {
+  STM_CHECK(!mu_.empty());
+  STM_CHECK_GE(kappa_, 0.0f);
+  la::NormalizeInPlace(mu_.data(), mu_.size());
+}
+
+VonMisesFisher VonMisesFisher::Fit(
+    const std::vector<std::vector<float>>& units, float fallback_kappa) {
+  STM_CHECK(!units.empty());
+  const size_t d = units[0].size();
+  std::vector<float> mean(d, 0.0f);
+  for (const auto& u : units) {
+    STM_CHECK_EQ(u.size(), d);
+    la::Axpy(1.0f, u.data(), mean.data(), d);
+  }
+  la::ScaleInPlace(mean.data(), d, 1.0f / static_cast<float>(units.size()));
+  const float rbar = la::Norm(mean.data(), d);
+  float kappa = fallback_kappa;
+  if (units.size() > 1 && rbar > 1e-6f && rbar < 0.9999f) {
+    // Banerjee et al.: kappa ≈ rbar (d - rbar^2) / (1 - rbar^2).
+    kappa = rbar * (static_cast<float>(d) - rbar * rbar) /
+            (1.0f - rbar * rbar);
+    // Nearly collinear seeds produce unboundedly large estimates; cap so
+    // sampled directions keep some diversity (and stay numerically sane).
+    kappa = std::min(kappa, 300.0f);
+  }
+  return VonMisesFisher(std::move(mean), kappa);
+}
+
+std::vector<float> VonMisesFisher::Sample(Rng& rng) const {
+  const size_t d = mu_.size();
+  if (kappa_ < 1e-6f || d == 1) {
+    // Uniform on the sphere (or trivial 1-D case).
+    std::vector<float> v(d);
+    for (float& x : v) x = static_cast<float>(rng.Normal());
+    la::NormalizeInPlace(v.data(), d);
+    return v;
+  }
+
+  // Wood (1994): sample w along mu, then a uniform tangent direction.
+  const double dim = static_cast<double>(d);
+  const double kappa = static_cast<double>(kappa_);
+  const double b =
+      (-2.0 * kappa + std::sqrt(4.0 * kappa * kappa + (dim - 1.0) * (dim - 1.0))) /
+      (dim - 1.0);
+  const double x0 = (1.0 - b) / (1.0 + b);
+  const double c =
+      kappa * x0 + (dim - 1.0) * std::log(1.0 - x0 * x0);
+
+  double w = 1.0;  // large-kappa limit if rejection somehow exhausts
+  const double a = (dim - 1.0) / 2.0;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double z = rng.Beta(a, a);
+    const double candidate =
+        (1.0 - (1.0 + b) * z) / (1.0 - (1.0 - b) * z);
+    const double u = rng.Uniform();
+    if (kappa * candidate + (dim - 1.0) * std::log(1.0 - x0 * candidate) -
+            c >=
+        std::log(u + 1e-300)) {
+      w = candidate;
+      break;
+    }
+  }
+
+  // Uniform direction orthogonal to mu.
+  std::vector<float> v(d);
+  for (float& x : v) x = static_cast<float>(rng.Normal());
+  const float proj = la::Dot(v.data(), mu_.data(), d);
+  la::Axpy(-proj, mu_.data(), v.data(), d);
+  la::NormalizeInPlace(v.data(), d);
+
+  std::vector<float> sample(d);
+  const float wf = static_cast<float>(w);
+  const float tangent = std::sqrt(std::max(0.0f, 1.0f - wf * wf));
+  for (size_t j = 0; j < d; ++j) {
+    sample[j] = wf * mu_[j] + tangent * v[j];
+  }
+  la::NormalizeInPlace(sample.data(), d);
+  return sample;
+}
+
+}  // namespace stm::embedding

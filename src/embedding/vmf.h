@@ -1,0 +1,38 @@
+#ifndef STM_EMBEDDING_VMF_H_
+#define STM_EMBEDDING_VMF_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace stm::embedding {
+
+// Von Mises-Fisher distribution on the unit hypersphere. WeSTClass /
+// WeSHClass fit one vMF per class to the seed-keyword embeddings and
+// sample pseudo-document "topic directions" from it.
+class VonMisesFisher {
+ public:
+  // Direct construction; `mu` must be unit-norm, kappa >= 0.
+  VonMisesFisher(std::vector<float> mu, float kappa);
+
+  // Maximum-likelihood fit (Banerjee et al. 2005 approximation for kappa)
+  // from unit vectors. One vector yields a concentrated distribution with
+  // `fallback_kappa`.
+  static VonMisesFisher Fit(const std::vector<std::vector<float>>& units,
+                            float fallback_kappa = 50.0f);
+
+  // Draws a unit vector via Wood's (1994) rejection sampler.
+  std::vector<float> Sample(Rng& rng) const;
+
+  const std::vector<float>& mu() const { return mu_; }
+  float kappa() const { return kappa_; }
+  size_t dim() const { return mu_.size(); }
+
+ private:
+  std::vector<float> mu_;
+  float kappa_;
+};
+
+}  // namespace stm::embedding
+
+#endif  // STM_EMBEDDING_VMF_H_

@@ -1,0 +1,164 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace stm::eval {
+
+double Accuracy(const std::vector<int>& pred, const std::vector<int>& gold) {
+  STM_CHECK_EQ(pred.size(), gold.size());
+  if (pred.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) correct += (pred[i] == gold[i]);
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+namespace {
+
+struct ClassCounts {
+  std::vector<double> tp;
+  std::vector<double> fp;
+  std::vector<double> fn;
+};
+
+ClassCounts CountPerClass(const std::vector<int>& pred,
+                          const std::vector<int>& gold,
+                          size_t num_classes) {
+  STM_CHECK_EQ(pred.size(), gold.size());
+  ClassCounts counts;
+  counts.tp.assign(num_classes, 0.0);
+  counts.fp.assign(num_classes, 0.0);
+  counts.fn.assign(num_classes, 0.0);
+  for (size_t i = 0; i < pred.size(); ++i) {
+    STM_CHECK_GE(pred[i], 0);
+    STM_CHECK_LT(static_cast<size_t>(pred[i]), num_classes);
+    STM_CHECK_GE(gold[i], 0);
+    STM_CHECK_LT(static_cast<size_t>(gold[i]), num_classes);
+    if (pred[i] == gold[i]) {
+      counts.tp[static_cast<size_t>(pred[i])] += 1.0;
+    } else {
+      counts.fp[static_cast<size_t>(pred[i])] += 1.0;
+      counts.fn[static_cast<size_t>(gold[i])] += 1.0;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+double MicroF1(const std::vector<int>& pred, const std::vector<int>& gold,
+               size_t num_classes) {
+  const ClassCounts counts = CountPerClass(pred, gold, num_classes);
+  double tp = 0.0;
+  double fp = 0.0;
+  double fn = 0.0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    tp += counts.tp[c];
+    fp += counts.fp[c];
+    fn += counts.fn[c];
+  }
+  const double denom = 2.0 * tp + fp + fn;
+  return denom > 0.0 ? 2.0 * tp / denom : 0.0;
+}
+
+double MacroF1(const std::vector<int>& pred, const std::vector<int>& gold,
+               size_t num_classes) {
+  const ClassCounts counts = CountPerClass(pred, gold, num_classes);
+  double total = 0.0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    const double denom = 2.0 * counts.tp[c] + counts.fp[c] + counts.fn[c];
+    total += denom > 0.0 ? 2.0 * counts.tp[c] / denom : 0.0;
+  }
+  return num_classes > 0 ? total / static_cast<double>(num_classes) : 0.0;
+}
+
+la::Matrix ConfusionMatrix(const std::vector<int>& pred,
+                           const std::vector<int>& gold,
+                           size_t num_classes) {
+  STM_CHECK_EQ(pred.size(), gold.size());
+  la::Matrix confusion(num_classes, num_classes);
+  for (size_t i = 0; i < pred.size(); ++i) {
+    confusion.At(static_cast<size_t>(gold[i]),
+                 static_cast<size_t>(pred[i])) += 1.0f;
+  }
+  return confusion;
+}
+
+std::string FormatConfusion(const la::Matrix& confusion,
+                            const std::vector<std::string>& labels) {
+  STM_CHECK_EQ(confusion.rows(), labels.size());
+  std::string out = StrFormat("%-12s", "gold\\pred");
+  for (const std::string& label : labels) {
+    out += StrFormat("%10.10s", label.c_str());
+  }
+  out += "\n";
+  for (size_t r = 0; r < confusion.rows(); ++r) {
+    out += StrFormat("%-12.12s", labels[r].c_str());
+    for (size_t c = 0; c < confusion.cols(); ++c) {
+      out += StrFormat("%10d", static_cast<int>(confusion.At(r, c)));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+double ExampleF1(const std::vector<std::vector<int>>& pred,
+                 const std::vector<std::vector<int>>& gold) {
+  STM_CHECK_EQ(pred.size(), gold.size());
+  if (pred.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const std::set<int> p(pred[i].begin(), pred[i].end());
+    const std::set<int> g(gold[i].begin(), gold[i].end());
+    size_t inter = 0;
+    for (int label : p) inter += g.count(label);
+    const size_t denom = p.size() + g.size();
+    total += denom > 0 ? 2.0 * static_cast<double>(inter) /
+                             static_cast<double>(denom)
+                       : 0.0;
+  }
+  return total / static_cast<double>(pred.size());
+}
+
+double PrecisionAtK(const std::vector<std::vector<int>>& ranked,
+                    const std::vector<std::vector<int>>& gold, size_t k) {
+  STM_CHECK_EQ(ranked.size(), gold.size());
+  STM_CHECK_GT(k, 0u);
+  if (ranked.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const std::set<int> g(gold[i].begin(), gold[i].end());
+    size_t hits = 0;
+    const size_t top = std::min(k, ranked[i].size());
+    for (size_t j = 0; j < top; ++j) hits += g.count(ranked[i][j]);
+    total += static_cast<double>(hits) / static_cast<double>(k);
+  }
+  return total / static_cast<double>(ranked.size());
+}
+
+double NdcgAtK(const std::vector<std::vector<int>>& ranked,
+               const std::vector<std::vector<int>>& gold, size_t k) {
+  STM_CHECK_EQ(ranked.size(), gold.size());
+  STM_CHECK_GT(k, 0u);
+  if (ranked.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const std::set<int> g(gold[i].begin(), gold[i].end());
+    double dcg = 0.0;
+    const size_t top = std::min(k, ranked[i].size());
+    for (size_t j = 0; j < top; ++j) {
+      if (g.count(ranked[i][j])) dcg += 1.0 / std::log2(j + 2.0);
+    }
+    double ideal = 0.0;
+    const size_t ideal_hits = std::min(k, g.size());
+    for (size_t j = 0; j < ideal_hits; ++j) ideal += 1.0 / std::log2(j + 2.0);
+    total += ideal > 0.0 ? dcg / ideal : 0.0;
+  }
+  return total / static_cast<double>(ranked.size());
+}
+
+}  // namespace stm::eval

@@ -1,0 +1,53 @@
+#ifndef STM_EVAL_METRICS_H_
+#define STM_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace stm::eval {
+
+// Single-label classification metrics.
+
+// Fraction of exact matches.
+double Accuracy(const std::vector<int>& pred, const std::vector<int>& gold);
+
+// Micro-averaged F1. For single-label multi-class this equals accuracy;
+// provided for parity with the tables.
+double MicroF1(const std::vector<int>& pred, const std::vector<int>& gold,
+               size_t num_classes);
+
+// Macro-averaged F1 (unweighted mean of per-class F1; absent classes
+// contribute 0).
+double MacroF1(const std::vector<int>& pred, const std::vector<int>& gold,
+               size_t num_classes);
+
+// num_classes x num_classes confusion counts; rows = gold, cols = pred.
+la::Matrix ConfusionMatrix(const std::vector<int>& pred,
+                           const std::vector<int>& gold,
+                           size_t num_classes);
+
+// Renders a confusion matrix with row/col labels for bench output.
+std::string FormatConfusion(const la::Matrix& confusion,
+                            const std::vector<std::string>& labels);
+
+// Multi-label metrics. `pred`/`gold` are per-document label-id sets
+// (unsorted ok); `scores` are per-document ranked label ids (best first).
+
+// Example-F1 = mean_i 2|pred_i ∩ gold_i| / (|pred_i| + |gold_i|).
+double ExampleF1(const std::vector<std::vector<int>>& pred,
+                 const std::vector<std::vector<int>>& gold);
+
+// Precision@k over ranked predictions.
+double PrecisionAtK(const std::vector<std::vector<int>>& ranked,
+                    const std::vector<std::vector<int>>& gold, size_t k);
+
+// NDCG@k with binary relevance.
+double NdcgAtK(const std::vector<std::vector<int>>& ranked,
+               const std::vector<std::vector<int>>& gold, size_t k);
+
+}  // namespace stm::eval
+
+#endif  // STM_EVAL_METRICS_H_

@@ -1,0 +1,266 @@
+#include "graph/hin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "text/vocabulary.h"
+
+namespace stm::graph {
+
+int Hin::AddNode(const std::string& type, const std::string& name) {
+  const std::string key = type + "\t" + name;
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const int id = static_cast<int>(types_.size());
+  types_.push_back(type);
+  names_.push_back(name);
+  adjacency_.emplace_back();
+  index_.emplace(key, id);
+  return id;
+}
+
+int Hin::NodeOf(const std::string& type, const std::string& name) const {
+  auto it = index_.find(type + "\t" + name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+void Hin::AddEdge(int a, int b) {
+  STM_CHECK_GE(a, 0);
+  STM_CHECK_GE(b, 0);
+  STM_CHECK_LT(static_cast<size_t>(a), adjacency_.size());
+  STM_CHECK_LT(static_cast<size_t>(b), adjacency_.size());
+  adjacency_[static_cast<size_t>(a)].push_back(b);
+  adjacency_[static_cast<size_t>(b)].push_back(a);
+}
+
+const std::string& Hin::TypeOf(int node) const {
+  STM_CHECK_GE(node, 0);
+  STM_CHECK_LT(static_cast<size_t>(node), types_.size());
+  return types_[static_cast<size_t>(node)];
+}
+
+const std::string& Hin::NameOf(int node) const {
+  STM_CHECK_GE(node, 0);
+  STM_CHECK_LT(static_cast<size_t>(node), names_.size());
+  return names_[static_cast<size_t>(node)];
+}
+
+const std::vector<int>& Hin::NeighborsOf(int node) const {
+  STM_CHECK_GE(node, 0);
+  STM_CHECK_LT(static_cast<size_t>(node), adjacency_.size());
+  return adjacency_[static_cast<size_t>(node)];
+}
+
+std::vector<int> Hin::NeighborsOfType(int node,
+                                      const std::string& type) const {
+  std::vector<int> out;
+  for (int neighbor : NeighborsOf(node)) {
+    if (TypeOf(neighbor) == type) out.push_back(neighbor);
+  }
+  return out;
+}
+
+Hin BuildHin(const text::Corpus& corpus, const HinBuildOptions& options) {
+  Hin hin;
+  // Doc nodes first so node id == doc index.
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    hin.AddNode("doc", "d" + std::to_string(d));
+  }
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    const text::Document& doc = corpus.docs()[d];
+    const int doc_node = static_cast<int>(d);
+    for (const auto& [type, values] : doc.metadata) {
+      for (const std::string& value : values) {
+        if (type == "ref") {
+          // Reference targets are documents.
+          const int target = hin.NodeOf("doc", value);
+          if (target >= 0) hin.AddEdge(doc_node, target);
+        } else {
+          hin.AddEdge(doc_node, hin.AddNode(type, value));
+        }
+      }
+    }
+  }
+  if (options.include_words) {
+    const std::vector<int64_t> counts = corpus.TokenCounts();
+    for (size_t d = 0; d < corpus.num_docs(); ++d) {
+      std::set<int32_t> seen;
+      for (int32_t id : corpus.docs()[d].tokens) {
+        if (id < text::kNumSpecialTokens) continue;
+        if (counts[static_cast<size_t>(id)] < options.min_word_count) continue;
+        if (!seen.insert(id).second) continue;
+        hin.AddEdge(static_cast<int>(d),
+                    hin.AddNode("word", corpus.vocab().TokenOf(id)));
+      }
+    }
+  }
+  if (options.include_labels) {
+    for (size_t d : options.labeled_docs) {
+      STM_CHECK_LT(d, corpus.num_docs());
+      for (int label : corpus.docs()[d].labels) {
+        hin.AddEdge(static_cast<int>(d),
+                    hin.AddNode("label", corpus.label_names()[
+                                             static_cast<size_t>(label)]));
+      }
+    }
+  }
+  return hin;
+}
+
+std::vector<std::vector<int>> MetaPathWalks(
+    const Hin& hin, const std::vector<std::string>& metapath,
+    int walks_per_node, int walk_len, uint64_t seed) {
+  STM_CHECK_GE(metapath.size(), 2u);
+  STM_CHECK_EQ(metapath.front(), metapath.back())
+      << "meta-path must be cyclic";
+  Rng rng(seed);
+  std::vector<std::vector<int>> walks;
+  for (size_t start = 0; start < hin.num_nodes(); ++start) {
+    if (hin.TypeOf(static_cast<int>(start)) != metapath[0]) continue;
+    for (int w = 0; w < walks_per_node; ++w) {
+      std::vector<int> walk = {static_cast<int>(start)};
+      size_t step = 0;  // position within the metapath cycle
+      while (static_cast<int>(walk.size()) < walk_len) {
+        const size_t next_type = (step + 1) % (metapath.size() - 1) == 0
+                                     ? 0
+                                     : step + 1;
+        // The next node type in the cyclic pattern.
+        const std::string& want =
+            metapath[(step % (metapath.size() - 1)) + 1];
+        const std::vector<int> candidates =
+            hin.NeighborsOfType(walk.back(), want);
+        if (candidates.empty()) break;
+        walk.push_back(candidates[rng.UniformInt(candidates.size())]);
+        step = next_type;
+      }
+      if (walk.size() > 1) walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+la::Matrix TrainNodeEmbeddings(const std::vector<std::vector<int>>& walks,
+                               size_t num_nodes,
+                               const NodeEmbeddingConfig& config) {
+  Rng rng(config.seed);
+  const size_t dim = config.dim;
+  la::Matrix in(num_nodes, dim);
+  la::Matrix out(num_nodes, dim);
+  for (size_t i = 0; i < in.size(); ++i) {
+    in.data()[i] =
+        static_cast<float>(rng.Uniform(-0.5, 0.5)) / static_cast<float>(dim);
+  }
+  // Degree-based noise distribution.
+  std::vector<double> counts(num_nodes, 1e-3);
+  for (const auto& walk : walks) {
+    for (int node : walk) counts[static_cast<size_t>(node)] += 1.0;
+  }
+  for (double& c : counts) c = std::pow(c, 0.75);
+  AliasSampler noise(counts);
+
+  auto sigmoid = [](float x) {
+    if (x > 8.0f) return 1.0f;
+    if (x < -8.0f) return 0.0f;
+    return 1.0f / (1.0f + std::exp(-x));
+  };
+  std::vector<float> grad(dim);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const float lr = config.lr *
+                         (1.0f - static_cast<float>(epoch) / config.epochs) +
+                     1e-4f;
+    for (const auto& walk : walks) {
+      for (size_t t = 0; t < walk.size(); ++t) {
+        for (int off = -config.window; off <= config.window; ++off) {
+          if (off == 0) continue;
+          const long ctx = static_cast<long>(t) + off;
+          if (ctx < 0 || ctx >= static_cast<long>(walk.size())) continue;
+          float* center = in.Row(static_cast<size_t>(walk[t]));
+          std::fill(grad.begin(), grad.end(), 0.0f);
+          for (int n = 0; n <= config.negatives; ++n) {
+            const int target =
+                n == 0 ? walk[static_cast<size_t>(ctx)]
+                       : static_cast<int>(noise.Sample(rng));
+            const float label = n == 0 ? 1.0f : 0.0f;
+            float* out_vec = out.Row(static_cast<size_t>(target));
+            const float g =
+                (sigmoid(la::Dot(center, out_vec, dim)) - label) * lr;
+            for (size_t j = 0; j < dim; ++j) {
+              grad[j] += g * out_vec[j];
+              out_vec[j] -= g * center[j];
+            }
+          }
+          for (size_t j = 0; j < dim; ++j) center[j] -= grad[j];
+        }
+      }
+    }
+  }
+  return in;
+}
+
+std::vector<std::pair<size_t, size_t>> MinePairs(
+    const text::Corpus& corpus, const std::string& metapath,
+    size_t max_pairs, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::set<std::pair<size_t, size_t>> seen;
+  auto add_group = [&](const std::vector<size_t>& group) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        auto key = std::minmax(group[i], group[j]);
+        if (key.first == key.second) continue;
+        if (seen.insert({key.first, key.second}).second) {
+          pairs.emplace_back(key.first, key.second);
+        }
+      }
+    }
+  };
+
+  if (metapath == "P->P<-P") {
+    // Group citing docs by cited target.
+    std::map<size_t, std::vector<size_t>> by_target;
+    for (size_t d = 0; d < corpus.num_docs(); ++d) {
+      auto it = corpus.docs()[d].metadata.find("ref");
+      if (it == corpus.docs()[d].metadata.end()) continue;
+      for (const std::string& ref : it->second) {
+        by_target[std::stoul(ref.substr(1))].push_back(d);
+      }
+    }
+    for (const auto& [_, group] : by_target) add_group(group);
+  } else if (metapath == "P<-(PP)->P") {
+    // Co-cited: group referenced targets by citing doc.
+    for (size_t d = 0; d < corpus.num_docs(); ++d) {
+      auto it = corpus.docs()[d].metadata.find("ref");
+      if (it == corpus.docs()[d].metadata.end()) continue;
+      std::vector<size_t> targets;
+      for (const std::string& ref : it->second) {
+        targets.push_back(std::stoul(ref.substr(1)));
+      }
+      add_group(targets);
+    }
+  } else if (metapath == "P-V-P" || metapath == "P-A-P") {
+    const std::string type = metapath == "P-V-P" ? "venue" : "user";
+    std::map<std::string, std::vector<size_t>> by_value;
+    for (size_t d = 0; d < corpus.num_docs(); ++d) {
+      auto it = corpus.docs()[d].metadata.find(type);
+      if (it == corpus.docs()[d].metadata.end()) continue;
+      for (const std::string& value : it->second) {
+        by_value[value].push_back(d);
+      }
+    }
+    for (const auto& [_, group] : by_value) {
+      if (group.size() > 60) continue;  // hub values produce weak pairs
+      add_group(group);
+    }
+  } else {
+    STM_CHECK(false) << "unknown metapath: " << metapath;
+  }
+
+  rng.Shuffle(pairs);
+  if (pairs.size() > max_pairs) pairs.resize(max_pairs);
+  return pairs;
+}
+
+}  // namespace stm::graph

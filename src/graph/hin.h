@@ -1,0 +1,96 @@
+#ifndef STM_GRAPH_HIN_H_
+#define STM_GRAPH_HIN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+#include "text/corpus.h"
+
+namespace stm::graph {
+
+// Heterogeneous information network over documents and their metadata:
+// node types are "doc", the metadata attribute names ("user", "tag",
+// "venue", "ref" targets resolve to "doc"), and optionally "word"/"label".
+// MetaCat's embedding learner and the metapath2vec baseline both operate
+// on this structure; MICoL mines similar-document pairs from its
+// meta-paths.
+class Hin {
+ public:
+  // Adds (or returns existing) node of `type` with external `name`.
+  int AddNode(const std::string& type, const std::string& name);
+
+  // Looks up a node; -1 if absent.
+  int NodeOf(const std::string& type, const std::string& name) const;
+
+  // Undirected edge.
+  void AddEdge(int a, int b);
+
+  size_t num_nodes() const { return types_.size(); }
+  const std::string& TypeOf(int node) const;
+  const std::string& NameOf(int node) const;
+  const std::vector<int>& NeighborsOf(int node) const;
+
+  // Neighbors of `node` having `type`.
+  std::vector<int> NeighborsOfType(int node, const std::string& type) const;
+
+ private:
+  std::vector<std::string> types_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<int>> adjacency_;
+  std::unordered_map<std::string, int> index_;  // "type\tname" -> id
+};
+
+struct HinBuildOptions {
+  bool include_words = false;   // add word nodes (doc-word edges)
+  int min_word_count = 3;       // skip rare words when include_words
+  bool include_labels = false;  // add label nodes linked to labeled docs
+  // Document indices with known labels (labels read from the corpus).
+  std::vector<size_t> labeled_docs;
+};
+
+// Builds a HIN from a corpus: doc nodes "d<i>", one node per metadata
+// value, edges doc—metadata. "ref" metadata values ("d<j>") become
+// doc—doc edges.
+Hin BuildHin(const text::Corpus& corpus, const HinBuildOptions& options);
+
+// Random walks following a cyclic meta-path of node types, e.g.
+// {"doc", "user", "doc"} (the terminal type must equal the first). Walks
+// start at every node of the first type, `walks_per_node` times, and
+// continue until `walk_len` nodes or a dead end.
+std::vector<std::vector<int>> MetaPathWalks(const Hin& hin,
+                                            const std::vector<std::string>& metapath,
+                                            int walks_per_node, int walk_len,
+                                            uint64_t seed);
+
+// Skip-gram over walks -> node embeddings [num_nodes, dim]
+// (metapath2vec). `window`/`negatives`/`epochs` follow word2vec defaults.
+struct NodeEmbeddingConfig {
+  size_t dim = 32;
+  int window = 3;
+  int negatives = 5;
+  int epochs = 3;
+  float lr = 0.05f;
+  uint64_t seed = 37;
+};
+la::Matrix TrainNodeEmbeddings(const std::vector<std::vector<int>>& walks,
+                               size_t num_nodes,
+                               const NodeEmbeddingConfig& config);
+
+// MICoL meta-path pair mining over "ref" links:
+//  "P->P<-P"   : documents citing a common document,
+//  "P<-(PP)->P": documents co-cited by a common document,
+//  "P-V-P"     : documents sharing a venue,
+//  "P-A-P"     : documents sharing a user/author.
+// Returns up to `max_pairs` distinct (i, j) doc-index pairs.
+std::vector<std::pair<size_t, size_t>> MinePairs(
+    const text::Corpus& corpus, const std::string& metapath,
+    size_t max_pairs, uint64_t seed);
+
+}  // namespace stm::graph
+
+#endif  // STM_GRAPH_HIN_H_

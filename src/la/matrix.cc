@@ -1,0 +1,221 @@
+#include "la/matrix.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace stm::la {
+
+Matrix::Matrix(size_t rows, size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+float* Matrix::Row(size_t r) {
+  STM_CHECK_LT(r, rows_);
+  return data_.data() + r * cols_;
+}
+
+const float* Matrix::Row(size_t r) const {
+  STM_CHECK_LT(r, rows_);
+  return data_.data() + r * cols_;
+}
+
+float& Matrix::At(size_t r, size_t c) {
+  STM_CHECK_LT(r, rows_);
+  STM_CHECK_LT(c, cols_);
+  return data_[r * cols_ + c];
+}
+
+float Matrix::At(size_t r, size_t c) const {
+  STM_CHECK_LT(r, rows_);
+  STM_CHECK_LT(c, cols_);
+  return data_[r * cols_ + c];
+}
+
+void Matrix::Reshape(size_t rows, size_t cols) {
+  STM_CHECK_EQ(rows * cols, data_.size());
+  rows_ = rows;
+  cols_ = cols;
+}
+
+void Matrix::Fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+std::vector<float> Matrix::RowVec(size_t r) const {
+  const float* p = Row(r);
+  return std::vector<float>(p, p + cols_);
+}
+
+void Matrix::SetRow(size_t r, const std::vector<float>& values) {
+  STM_CHECK_EQ(values.size(), cols_);
+  std::memcpy(Row(r), values.data(), cols_ * sizeof(float));
+}
+
+float Dot(const float* a, const float* b, size_t n) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float Norm(const float* a, size_t n) { return std::sqrt(Dot(a, a, n)); }
+
+void NormalizeInPlace(float* a, size_t n) {
+  const float norm = Norm(a, n);
+  if (norm > 0.0f) ScaleInPlace(a, n, 1.0f / norm);
+}
+
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleInPlace(float* a, size_t n, float s) {
+  for (size_t i = 0; i < n; ++i) a[i] *= s;
+}
+
+float Cosine(const float* a, const float* b, size_t n) {
+  const float na = Norm(a, n);
+  const float nb = Norm(b, n);
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return Dot(a, b, n) / (na * nb);
+}
+
+float Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  STM_CHECK_EQ(a.size(), b.size());
+  return Cosine(a.data(), b.data(), a.size());
+}
+
+std::vector<float> MeanOf(const std::vector<const float*>& vecs, size_t n) {
+  std::vector<float> mean(n, 0.0f);
+  if (vecs.empty()) return mean;
+  for (const float* v : vecs) Axpy(1.0f, v, mean.data(), n);
+  ScaleInPlace(mean.data(), n, 1.0f / static_cast<float>(vecs.size()));
+  return mean;
+}
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  STM_CHECK_EQ(a.cols(), b.rows());
+  if (c.rows() != a.rows() || c.cols() != b.cols()) {
+    c = Matrix(a.rows(), b.cols());
+  } else if (!accumulate) {
+    c.Fill(0.0f);
+  }
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmBt(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  STM_CHECK_EQ(a.cols(), b.cols());
+  if (c.rows() != a.rows() || c.cols() != b.rows()) {
+    c = Matrix(a.rows(), b.rows());
+  } else if (!accumulate) {
+    c.Fill(0.0f);
+  }
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (size_t j = 0; j < n; ++j) crow[j] += Dot(arow, b.Row(j), k);
+  }
+}
+
+void GemmAt(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  STM_CHECK_EQ(a.rows(), b.rows());
+  if (c.rows() != a.cols() || c.cols() != b.cols()) {
+    c = Matrix(a.cols(), b.cols());
+  } else if (!accumulate) {
+    c.Fill(0.0f);
+  }
+  const size_t k = a.rows();
+  const size_t m = a.cols();
+  const size_t n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a.Row(p);
+    const float* brow = b.Row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.Row(i);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void NormalizeRows(Matrix& m) {
+  for (size_t r = 0; r < m.rows(); ++r) NormalizeInPlace(m.Row(r), m.cols());
+}
+
+Matrix Pca(const Matrix& data, size_t k, int power_iters) {
+  STM_CHECK_GT(data.rows(), 0u);
+  STM_CHECK_GE(data.cols(), k);
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+
+  // Center the data.
+  std::vector<float> mean(d, 0.0f);
+  for (size_t i = 0; i < n; ++i) Axpy(1.0f, data.Row(i), mean.data(), d);
+  ScaleInPlace(mean.data(), d, 1.0f / static_cast<float>(n));
+  Matrix centered(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    const float* src = data.Row(i);
+    float* dst = centered.Row(i);
+    for (size_t j = 0; j < d; ++j) dst[j] = src[j] - mean[j];
+  }
+
+  // Covariance (d x d).
+  Matrix cov;
+  GemmAt(centered, centered, cov);
+  for (size_t i = 0; i < cov.size(); ++i) {
+    cov.data()[i] /= static_cast<float>(n);
+  }
+
+  // Orthogonal power iteration for the top-k eigenvectors.
+  Rng rng(42);
+  Matrix components(k, d);
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t j = 0; j < d; ++j) {
+      components.At(c, j) = static_cast<float>(rng.Normal());
+    }
+  }
+  std::vector<float> next(d);
+  for (int iter = 0; iter < power_iters; ++iter) {
+    for (size_t c = 0; c < k; ++c) {
+      float* v = components.Row(c);
+      // next := cov * v
+      for (size_t i = 0; i < d; ++i) next[i] = Dot(cov.Row(i), v, d);
+      // Deflate against earlier components (Gram-Schmidt).
+      for (size_t prev = 0; prev < c; ++prev) {
+        const float proj = Dot(next.data(), components.Row(prev), d);
+        Axpy(-proj, components.Row(prev), next.data(), d);
+      }
+      NormalizeInPlace(next.data(), d);
+      std::memcpy(v, next.data(), d * sizeof(float));
+    }
+  }
+
+  // Project.
+  Matrix projected(n, k);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = centered.Row(i);
+    for (size_t c = 0; c < k; ++c) {
+      projected.At(i, c) = Dot(row, components.Row(c), d);
+    }
+  }
+  return projected;
+}
+
+}  // namespace stm::la

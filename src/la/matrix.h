@@ -1,0 +1,105 @@
+#ifndef STM_LA_MATRIX_H_
+#define STM_LA_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace stm::la {
+
+// Dense row-major float matrix. This is the storage type shared by the
+// embedding tables, classifier features and PLM activations. It is a plain
+// value type: copyable, movable, no hidden state.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, float fill = 0.0f);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* Row(size_t r);
+  const float* Row(size_t r) const;
+
+  float& At(size_t r, size_t c);
+  float At(size_t r, size_t c) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  // Reshapes in place; total element count must be preserved.
+  void Reshape(size_t rows, size_t cols);
+
+  // Sets every element to `value`.
+  void Fill(float value);
+
+  // Returns a copy of row `r` as a vector.
+  std::vector<float> RowVec(size_t r) const;
+
+  // Overwrites row `r` with `values` (must have `cols()` entries).
+  void SetRow(size_t r, const std::vector<float>& values);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// ---- vector kernels (contiguous float spans) ----
+
+// out := a . b over n elements.
+float Dot(const float* a, const float* b, size_t n);
+
+// Euclidean norm.
+float Norm(const float* a, size_t n);
+
+// a := a / ||a|| (no-op on the zero vector).
+void NormalizeInPlace(float* a, size_t n);
+
+// y := y + alpha * x.
+void Axpy(float alpha, const float* x, float* y, size_t n);
+
+// a := a * s.
+void ScaleInPlace(float* a, size_t n, float s);
+
+// Cosine similarity; returns 0 when either vector is zero.
+float Cosine(const float* a, const float* b, size_t n);
+float Cosine(const std::vector<float>& a, const std::vector<float>& b);
+
+// Elementwise mean of a set of vectors (all length n). Empty set -> zeros.
+std::vector<float> MeanOf(const std::vector<const float*>& vecs, size_t n);
+
+// ---- matrix kernels ----
+
+// c := a * b (plus accumulate if `accumulate`). a: m x k, b: k x n,
+// c: m x n. Loop order tuned for row-major operands.
+void Gemm(const Matrix& a, const Matrix& b, Matrix& c,
+          bool accumulate = false);
+
+// c := a * b^T. a: m x k, b: n x k, c: m x n.
+void GemmBt(const Matrix& a, const Matrix& b, Matrix& c,
+            bool accumulate = false);
+
+// c := a^T * b. a: k x m, b: k x n, c: m x n.
+void GemmAt(const Matrix& a, const Matrix& b, Matrix& c,
+            bool accumulate = false);
+
+// Normalizes every row of `m` to unit length.
+void NormalizeRows(Matrix& m);
+
+// ---- PCA ----
+
+// Projects `data` (n x d) onto its top `k` principal components.
+// Returns an n x k matrix. Components are found by EVD of the covariance
+// via orthogonal power iteration (sufficient for the k<=4 uses here).
+Matrix Pca(const Matrix& data, size_t k, int power_iters = 100);
+
+}  // namespace stm::la
+
+#endif  // STM_LA_MATRIX_H_

@@ -1,0 +1,126 @@
+#include "nn/feature_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+
+namespace stm::nn {
+
+FeatureMlpClassifier::FeatureMlpClassifier(const Config& config)
+    : config_(config), rng_(config.seed) {
+  STM_CHECK_GT(config.input_dim, 0u);
+  STM_CHECK_GT(config.num_classes, 0u);
+  size_t in = config.input_dim;
+  if (config.hidden > 0) {
+    hidden_ = std::make_unique<Linear>(&store_, "hidden", in, config.hidden,
+                                       rng_);
+    in = config.hidden;
+  }
+  out_ = std::make_unique<Linear>(&store_, "out", in, config.num_classes,
+                                  rng_);
+  OptimizerConfig opt;
+  opt.lr = config.lr;
+  opt.grad_clip = 5.0f;
+  optimizer_ = std::make_unique<AdamOptimizer>(&store_, opt);
+}
+
+Tensor FeatureMlpClassifier::Logits(const la::Matrix& features,
+                                    const std::vector<size_t>& rows,
+                                    bool training) {
+  std::vector<float> batch(rows.size() * config_.input_dim);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const float* src = features.Row(rows[i]);
+    std::copy(src, src + config_.input_dim,
+              batch.data() + i * config_.input_dim);
+  }
+  Tensor x = Tensor::FromVector(std::move(batch),
+                                {rows.size(), config_.input_dim});
+  if (hidden_ != nullptr) {
+    x = Relu(hidden_->Forward(x));
+    x = Dropout(x, config_.dropout, rng_, training);
+  }
+  return out_->Forward(x);
+}
+
+double FeatureMlpClassifier::TrainEpoch(const la::Matrix& features,
+                                        const la::Matrix& targets) {
+  STM_CHECK_EQ(features.rows(), targets.rows());
+  STM_CHECK_EQ(features.cols(), config_.input_dim);
+  STM_CHECK_EQ(targets.cols(), config_.num_classes);
+  const std::vector<size_t> order = rng_.Permutation(features.rows());
+  double total = 0.0;
+  size_t batches = 0;
+  for (size_t begin = 0; begin < order.size();
+       begin += config_.batch_size) {
+    const size_t count = std::min(config_.batch_size, order.size() - begin);
+    std::vector<size_t> rows(order.begin() +
+                                 static_cast<std::ptrdiff_t>(begin),
+                             order.begin() +
+                                 static_cast<std::ptrdiff_t>(begin + count));
+    Tensor logits = Logits(features, rows, /*training=*/true);
+    std::vector<float> target_rows(count * config_.num_classes);
+    for (size_t i = 0; i < count; ++i) {
+      const float* src = targets.Row(rows[i]);
+      std::copy(src, src + config_.num_classes,
+                target_rows.data() + i * config_.num_classes);
+    }
+    Tensor loss;
+    if (config_.multi_label) {
+      loss = BceWithLogits(
+          Reshape(logits, {count * config_.num_classes}), target_rows);
+    } else {
+      loss = SoftCrossEntropy(logits, target_rows);
+    }
+    Backward(loss);
+    optimizer_->Step();
+    total += loss.item();
+    ++batches;
+  }
+  return batches > 0 ? total / static_cast<double>(batches) : 0.0;
+}
+
+la::Matrix FeatureMlpClassifier::PredictProbs(const la::Matrix& features) {
+  la::Matrix probs(features.rows(), config_.num_classes);
+  const size_t batch_size = 64;
+  for (size_t begin = 0; begin < features.rows(); begin += batch_size) {
+    const size_t count = std::min(batch_size, features.rows() - begin);
+    std::vector<size_t> rows(count);
+    for (size_t i = 0; i < count; ++i) rows[i] = begin + i;
+    Tensor logits = Logits(features, rows, /*training=*/false);
+    if (config_.multi_label) {
+      for (size_t i = 0; i < count; ++i) {
+        for (size_t c = 0; c < config_.num_classes; ++c) {
+          probs.At(begin + i, c) =
+              1.0f /
+              (1.0f +
+               std::exp(-logits.value()[i * config_.num_classes + c]));
+        }
+      }
+    } else {
+      Tensor soft = SoftmaxLastDim(logits);
+      for (size_t i = 0; i < count; ++i) {
+        for (size_t c = 0; c < config_.num_classes; ++c) {
+          probs.At(begin + i, c) =
+              soft.value()[i * config_.num_classes + c];
+        }
+      }
+    }
+  }
+  return probs;
+}
+
+std::vector<int> FeatureMlpClassifier::Predict(const la::Matrix& features) {
+  const la::Matrix probs = PredictProbs(features);
+  std::vector<int> labels(features.rows());
+  for (size_t i = 0; i < probs.rows(); ++i) {
+    const float* row = probs.Row(i);
+    labels[i] =
+        static_cast<int>(std::max_element(row, row + probs.cols()) - row);
+  }
+  return labels;
+}
+
+}  // namespace stm::nn

@@ -1,0 +1,57 @@
+#ifndef STM_NN_FEATURE_CLASSIFIER_H_
+#define STM_NN_FEATURE_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "la/matrix.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace stm::nn {
+
+// MLP over pre-computed dense feature vectors. Two output modes:
+//  * softmax (single-label, trained with soft cross entropy)
+//  * sigmoid (multi-label, trained with BCE against 0/1 indicator rows)
+// Used by MetaCat (bow + HIN embedding features), TaxoClass's multi-label
+// document classifier, and the supervised MATCH-like baseline in E11.
+class FeatureMlpClassifier {
+ public:
+  struct Config {
+    size_t input_dim = 0;
+    size_t num_classes = 0;
+    size_t hidden = 64;     // 0 = linear model
+    float lr = 5e-3f;
+    float dropout = 0.0f;
+    size_t batch_size = 32;
+    bool multi_label = false;  // sigmoid + BCE when true
+    uint64_t seed = 23;
+  };
+
+  explicit FeatureMlpClassifier(const Config& config);
+
+  // One epoch over rows of `features` [n, input_dim] with row-targets
+  // [n, num_classes] (soft probabilities or multi-label indicators).
+  double TrainEpoch(const la::Matrix& features, const la::Matrix& targets);
+
+  // Probabilities [n, num_classes]: softmax rows or independent sigmoids.
+  la::Matrix PredictProbs(const la::Matrix& features);
+
+  // Argmax per row.
+  std::vector<int> Predict(const la::Matrix& features);
+
+ private:
+  Tensor Logits(const la::Matrix& features, const std::vector<size_t>& rows,
+                bool training);
+
+  Config config_;
+  Rng rng_;
+  ParameterStore store_;
+  std::unique_ptr<Linear> hidden_;
+  std::unique_ptr<Linear> out_;
+  std::unique_ptr<AdamOptimizer> optimizer_;
+};
+
+}  // namespace stm::nn
+
+#endif  // STM_NN_FEATURE_CLASSIFIER_H_

@@ -1,0 +1,47 @@
+#include "nn/layers.h"
+
+#include "common/check.h"
+
+namespace stm::nn {
+
+Linear::Linear(ParameterStore* store, const std::string& name, size_t in,
+               size_t out, Rng& rng)
+    : weight_(store->Register(name + ".weight",
+                              Tensor::XavierParam(in, out, rng))),
+      bias_(store->Register(name + ".bias", Tensor::ZeroParam({out}))) {}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  return AddBias(MatMul(x, weight_), bias_);
+}
+
+Embedding::Embedding(ParameterStore* store, const std::string& name,
+                     size_t vocab, size_t dim, Rng& rng)
+    : table_(store->Register(
+          name + ".table",
+          Tensor::Param({vocab, dim}, 0.5f / static_cast<float>(dim), rng))),
+      dim_(dim) {}
+
+Tensor Embedding::Forward(const std::vector<int32_t>& ids) const {
+  return Rows(table_, ids);
+}
+
+void Embedding::LoadRows(const std::vector<std::vector<float>>& values) {
+  const size_t vocab = table_.dim(0);
+  for (size_t r = 0; r < values.size() && r < vocab; ++r) {
+    STM_CHECK_EQ(values[r].size(), dim_);
+    for (size_t j = 0; j < dim_; ++j) {
+      table_.value()[r * dim_ + j] = values[r][j];
+    }
+  }
+}
+
+LayerNormModule::LayerNormModule(ParameterStore* store,
+                                 const std::string& name, size_t dim)
+    : gamma_(store->Register(name + ".gamma", Tensor::OnesParam({dim}))),
+      beta_(store->Register(name + ".beta", Tensor::ZeroParam({dim}))) {}
+
+Tensor LayerNormModule::Forward(const Tensor& x) const {
+  return LayerNorm(x, gamma_, beta_);
+}
+
+}  // namespace stm::nn

@@ -1,0 +1,68 @@
+#ifndef STM_NN_LAYERS_H_
+#define STM_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+
+namespace stm::nn {
+
+// Thin parameter-owning modules. Each registers its parameters into the
+// ParameterStore passed at construction so a single optimizer drives the
+// whole model.
+
+// Affine map x [n, in] -> x W + b [n, out].
+class Linear {
+ public:
+  Linear(ParameterStore* store, const std::string& name, size_t in,
+         size_t out, Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+};
+
+// Token embedding table [vocab, dim].
+class Embedding {
+ public:
+  Embedding(ParameterStore* store, const std::string& name, size_t vocab,
+            size_t dim, Rng& rng);
+
+  Tensor Forward(const std::vector<int32_t>& ids) const;
+
+  // Overwrites rows from a [vocab, dim] matrix (e.g. pre-trained static
+  // embeddings); rows beyond `values` rows are left untouched.
+  void LoadRows(const std::vector<std::vector<float>>& values);
+
+  Tensor& table() { return table_; }
+  const Tensor& table() const { return table_; }
+  size_t dim() const { return dim_; }
+
+ private:
+  Tensor table_;
+  size_t dim_;
+};
+
+// Layer normalization with learnable gain/offset.
+class LayerNormModule {
+ public:
+  LayerNormModule(ParameterStore* store, const std::string& name, size_t dim);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+}  // namespace stm::nn
+
+#endif  // STM_NN_LAYERS_H_

@@ -1,0 +1,118 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace stm::nn {
+
+namespace {
+
+// Internal fused op: -mean_i sum_j probs[i,j] * logp[i,j], probs constant.
+Tensor SoftNll(const Tensor& logp, std::vector<float> probs) {
+  STM_CHECK_EQ(logp.rank(), 2u);
+  STM_CHECK_EQ(logp.size(), probs.size());
+  const size_t n = logp.dim(0);
+  const size_t c = logp.dim(1);
+  auto node = std::make_shared<Node>();
+  node->value.assign(1, 0.0f);
+  node->shape = {1};
+  node->parents.push_back(logp.ptr());
+  if (logp.node()->requires_grad) {
+    node->requires_grad = true;
+    auto probs_ptr = std::make_shared<std::vector<float>>(std::move(probs));
+    node->backward = [n, c, probs_ptr](Node& self) {
+      Node* parent = self.parents[0].get();
+      if (!parent->requires_grad) return;
+      parent->EnsureGrad();
+      const float g = self.grad[0] / static_cast<float>(n);
+      for (size_t i = 0; i < n * c; ++i) {
+        parent->grad[i] -= g * (*probs_ptr)[i];
+      }
+    };
+    float loss = 0.0f;
+    for (size_t i = 0; i < n * c; ++i) {
+      loss -= (*probs_ptr)[i] * logp.value()[i];
+    }
+    node->value[0] = loss / static_cast<float>(n);
+  } else {
+    float loss = 0.0f;
+    for (size_t i = 0; i < n * c; ++i) {
+      loss -= probs[i] * logp.value()[i];
+    }
+    node->value[0] = loss / static_cast<float>(n);
+  }
+  return Tensor(std::move(node));
+}
+
+}  // namespace
+
+Tensor NllLoss(const Tensor& logp, const std::vector<int>& targets) {
+  STM_CHECK_EQ(logp.rank(), 2u);
+  STM_CHECK_EQ(logp.dim(0), targets.size());
+  const size_t c = logp.dim(1);
+  std::vector<float> probs(logp.size(), 0.0f);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    STM_CHECK_GE(targets[i], 0);
+    STM_CHECK_LT(static_cast<size_t>(targets[i]), c);
+    probs[i * c + static_cast<size_t>(targets[i])] = 1.0f;
+  }
+  return SoftNll(logp, std::move(probs));
+}
+
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets) {
+  return NllLoss(LogSoftmaxLastDim(logits), targets);
+}
+
+Tensor SoftCrossEntropy(const Tensor& logits,
+                        const std::vector<float>& probs) {
+  return SoftNll(LogSoftmaxLastDim(logits), probs);
+}
+
+Tensor BceWithLogits(const Tensor& logits,
+                     const std::vector<float>& targets) {
+  STM_CHECK_EQ(logits.size(), targets.size());
+  const size_t n = logits.size();
+  auto node = std::make_shared<Node>();
+  node->value.assign(1, 0.0f);
+  node->shape = {1};
+  node->parents.push_back(logits.ptr());
+  // loss_i = max(z,0) - z*t + log(1+exp(-|z|)); dz = sigmoid(z) - t.
+  float loss = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float z = logits.value()[i];
+    loss += std::max(z, 0.0f) - z * targets[i] +
+            std::log1p(std::exp(-std::fabs(z)));
+  }
+  node->value[0] = loss / static_cast<float>(n);
+  if (logits.node()->requires_grad) {
+    node->requires_grad = true;
+    auto t = std::make_shared<std::vector<float>>(targets);
+    node->backward = [n, t](Node& self) {
+      Node* parent = self.parents[0].get();
+      if (!parent->requires_grad) return;
+      parent->EnsureGrad();
+      const float g = self.grad[0] / static_cast<float>(n);
+      for (size_t i = 0; i < n; ++i) {
+        const float z = parent->value[i];
+        const float sig = 1.0f / (1.0f + std::exp(-z));
+        parent->grad[i] += g * (sig - (*t)[i]);
+      }
+    };
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor InfoNce(const Tensor& similarities, float temperature) {
+  STM_CHECK_EQ(similarities.rank(), 2u);
+  STM_CHECK_EQ(similarities.dim(0), similarities.dim(1));
+  STM_CHECK_GT(temperature, 0.0f);
+  const size_t n = similarities.dim(0);
+  std::vector<int> targets(n);
+  for (size_t i = 0; i < n; ++i) targets[i] = static_cast<int>(i);
+  return CrossEntropy(Scale(similarities, 1.0f / temperature), targets);
+}
+
+}  // namespace stm::nn

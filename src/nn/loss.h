@@ -1,0 +1,33 @@
+#ifndef STM_NN_LOSS_H_
+#define STM_NN_LOSS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace stm::nn {
+
+// Loss functions. All return scalar tensors (mean over the batch).
+
+// Mean negative log-likelihood of `targets` under log-probabilities
+// `logp` [n, C].
+Tensor NllLoss(const Tensor& logp, const std::vector<int>& targets);
+
+// Softmax cross entropy over logits [n, C] with hard integer targets.
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets);
+
+// Cross entropy with soft targets `probs` (row-stochastic, n*C flat).
+// Used by self-training against sharpened distributions.
+Tensor SoftCrossEntropy(const Tensor& logits,
+                        const std::vector<float>& probs);
+
+// Binary cross entropy with logits [n] (or [n,1]) and 0/1 float targets.
+Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets);
+
+// InfoNCE over a similarity matrix [n, n] whose diagonal holds positive
+// pairs; `temperature` scales similarities before softmax.
+Tensor InfoNce(const Tensor& similarities, float temperature);
+
+}  // namespace stm::nn
+
+#endif  // STM_NN_LOSS_H_

@@ -1,0 +1,1000 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stm::nn {
+
+namespace {
+
+// Builds an op node over `parents` with `shape`. If any parent requires a
+// gradient, marks the node and installs `backward`.
+Tensor MakeOp(std::vector<size_t> shape, std::vector<Tensor> parents,
+              std::function<void(Node&)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value.assign(ShapeSize(shape), 0.0f);
+  node->shape = std::move(shape);
+  bool needs_grad = false;
+  node->parents.reserve(parents.size());
+  for (const Tensor& p : parents) {
+    STM_CHECK(p.defined());
+    node->parents.push_back(p.ptr());
+    needs_grad = needs_grad || p.node()->requires_grad;
+  }
+  if (needs_grad) {
+    node->requires_grad = true;
+    node->backward = std::move(backward);
+  }
+  return Tensor(std::move(node));
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+float GeluValue(float x) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  const float inner = kC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float GeluGrad(float x) {
+  constexpr float kC = 0.7978845608028654f;
+  const float x3 = x * x * x;
+  const float inner = kC * (x + 0.044715f * x3);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) +
+         0.5f * x * sech2 * kC * (1.0f + 3.0f * 0.044715f * x * x);
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  STM_CHECK(SameShape(a, b));
+  Tensor out = MakeOp(a.shape(), {a, b}, [](Node& node) {
+    for (int p = 0; p < 2; ++p) {
+      Node* parent = node.parents[static_cast<size_t>(p)].get();
+      if (!parent->requires_grad) continue;
+      parent->EnsureGrad();
+      for (size_t i = 0; i < node.grad.size(); ++i) {
+        parent->grad[i] += node.grad[i];
+      }
+    }
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.value()[i] = a.value()[i] + b.value()[i];
+  }
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  STM_CHECK(SameShape(a, b));
+  Tensor out = MakeOp(a.shape(), {a, b}, [](Node& node) {
+    Node* pa = node.parents[0].get();
+    Node* pb = node.parents[1].get();
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < node.grad.size(); ++i) {
+        pa->grad[i] += node.grad[i];
+      }
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      for (size_t i = 0; i < node.grad.size(); ++i) {
+        pb->grad[i] -= node.grad[i];
+      }
+    }
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.value()[i] = a.value()[i] - b.value()[i];
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  STM_CHECK(SameShape(a, b));
+  Tensor out = MakeOp(a.shape(), {a, b}, [](Node& node) {
+    Node* pa = node.parents[0].get();
+    Node* pb = node.parents[1].get();
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < node.grad.size(); ++i) {
+        pa->grad[i] += node.grad[i] * pb->value[i];
+      }
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      for (size_t i = 0; i < node.grad.size(); ++i) {
+        pb->grad[i] += node.grad[i] * pa->value[i];
+      }
+    }
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.value()[i] = a.value()[i] * b.value()[i];
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = MakeOp(a.shape(), {a}, [s](Node& node) {
+    Node* pa = node.parents[0].get();
+    if (!pa->requires_grad) return;
+    pa->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      pa->grad[i] += s * node.grad[i];
+    }
+  });
+  for (size_t i = 0; i < out.size(); ++i) out.value()[i] = s * a.value()[i];
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out = MakeOp(a.shape(), {a}, [](Node& node) {
+    Node* pa = node.parents[0].get();
+    if (!pa->requires_grad) return;
+    pa->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      pa->grad[i] += node.grad[i];
+    }
+  });
+  for (size_t i = 0; i < out.size(); ++i) out.value()[i] = a.value()[i] + s;
+  return out;
+}
+
+Tensor AddBias(const Tensor& x, const Tensor& bias) {
+  STM_CHECK_EQ(bias.rank(), 1u);
+  const size_t d = bias.dim(0);
+  STM_CHECK_EQ(x.size() % d, 0u);
+  const size_t n = x.size() / d;
+  Tensor out = MakeOp(x.shape(), {x, bias}, [n, d](Node& node) {
+    Node* px = node.parents[0].get();
+    Node* pb = node.parents[1].get();
+    if (px->requires_grad) {
+      px->EnsureGrad();
+      for (size_t i = 0; i < node.grad.size(); ++i) {
+        px->grad[i] += node.grad[i];
+      }
+    }
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      for (size_t r = 0; r < n; ++r) {
+        const float* g = node.grad.data() + r * d;
+        for (size_t j = 0; j < d; ++j) pb->grad[j] += g[j];
+      }
+    }
+  });
+  for (size_t r = 0; r < n; ++r) {
+    const float* xr = x.value().data() + r * d;
+    float* o = out.value().data() + r * d;
+    for (size_t j = 0; j < d; ++j) o[j] = xr[j] + bias.value()[j];
+  }
+  return out;
+}
+
+Tensor AddConstant(const Tensor& x, const std::vector<float>& c) {
+  STM_CHECK_EQ(x.size(), c.size());
+  Tensor out = MakeOp(x.shape(), {x}, [](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      px->grad[i] += node.grad[i];
+    }
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.value()[i] = x.value()[i] + c[i];
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& x) {
+  Tensor out = MakeOp(x.shape(), {x}, [](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      if (px->value[i] > 0.0f) px->grad[i] += node.grad[i];
+    }
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.value()[i] = std::max(0.0f, x.value()[i]);
+  }
+  return out;
+}
+
+Tensor Gelu(const Tensor& x) {
+  Tensor out = MakeOp(x.shape(), {x}, [](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      px->grad[i] += node.grad[i] * GeluGrad(px->value[i]);
+    }
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.value()[i] = GeluValue(x.value()[i]);
+  }
+  return out;
+}
+
+Tensor Tanh(const Tensor& x) {
+  Tensor out = MakeOp(x.shape(), {x}, [](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      const float y = node.value[i];
+      px->grad[i] += node.grad[i] * (1.0f - y * y);
+    }
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.value()[i] = std::tanh(x.value()[i]);
+  }
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  Tensor out = MakeOp(x.shape(), {x}, [](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      const float y = node.value[i];
+      px->grad[i] += node.grad[i] * y * (1.0f - y);
+    }
+  });
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.value()[i] = 1.0f / (1.0f + std::exp(-x.value()[i]));
+  }
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  STM_CHECK_EQ(a.rank(), 2u);
+  STM_CHECK_EQ(b.rank(), 2u);
+  STM_CHECK_EQ(a.dim(1), b.dim(0));
+  const size_t m = a.dim(0);
+  const size_t k = a.dim(1);
+  const size_t n = b.dim(1);
+  Tensor out = MakeOp({m, n}, {a, b}, [m, k, n](Node& node) {
+    Node* pa = node.parents[0].get();
+    Node* pb = node.parents[1].get();
+    // dA = dC * B^T
+    if (pa->requires_grad) {
+      pa->EnsureGrad();
+      for (size_t i = 0; i < m; ++i) {
+        const float* grow = node.grad.data() + i * n;
+        float* garow = pa->grad.data() + i * k;
+        for (size_t p = 0; p < k; ++p) {
+          const float* brow = pb->value.data() + p * n;
+          float sum = 0.0f;
+          for (size_t j = 0; j < n; ++j) sum += grow[j] * brow[j];
+          garow[p] += sum;
+        }
+      }
+    }
+    // dB = A^T * dC
+    if (pb->requires_grad) {
+      pb->EnsureGrad();
+      for (size_t i = 0; i < m; ++i) {
+        const float* arow = pa->value.data() + i * k;
+        const float* grow = node.grad.data() + i * n;
+        for (size_t p = 0; p < k; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          float* gbrow = pb->grad.data() + p * n;
+          for (size_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+        }
+      }
+    }
+  });
+  // C = A * B
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.value().data() + i * k;
+    float* crow = out.value().data() + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.value().data() + p * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor BMatMul(const Tensor& a, const Tensor& b) {
+  STM_CHECK_EQ(a.rank(), 3u);
+  STM_CHECK_EQ(b.rank(), 3u);
+  STM_CHECK_EQ(a.dim(0), b.dim(0));
+  STM_CHECK_EQ(a.dim(2), b.dim(1));
+  const size_t batch = a.dim(0);
+  const size_t m = a.dim(1);
+  const size_t k = a.dim(2);
+  const size_t n = b.dim(2);
+  Tensor out = MakeOp({batch, m, n}, {a, b}, [batch, m, k, n](Node& node) {
+    Node* pa = node.parents[0].get();
+    Node* pb = node.parents[1].get();
+    if (pa->requires_grad) pa->EnsureGrad();
+    if (pb->requires_grad) pb->EnsureGrad();
+    for (size_t bb = 0; bb < batch; ++bb) {
+      const float* avals = pa->value.data() + bb * m * k;
+      const float* bvals = pb->value.data() + bb * k * n;
+      const float* gvals = node.grad.data() + bb * m * n;
+      if (pa->requires_grad) {
+        float* ga = pa->grad.data() + bb * m * k;
+        for (size_t i = 0; i < m; ++i) {
+          for (size_t p = 0; p < k; ++p) {
+            const float* brow = bvals + p * n;
+            const float* grow = gvals + i * n;
+            float sum = 0.0f;
+            for (size_t j = 0; j < n; ++j) sum += grow[j] * brow[j];
+            ga[i * k + p] += sum;
+          }
+        }
+      }
+      if (pb->requires_grad) {
+        float* gb = pb->grad.data() + bb * k * n;
+        for (size_t i = 0; i < m; ++i) {
+          const float* arow = avals + i * k;
+          const float* grow = gvals + i * n;
+          for (size_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;
+            float* gbrow = gb + p * n;
+            for (size_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+          }
+        }
+      }
+    }
+  });
+  for (size_t bb = 0; bb < batch; ++bb) {
+    const float* avals = a.value().data() + bb * m * k;
+    const float* bvals = b.value().data() + bb * k * n;
+    float* cvals = out.value().data() + bb * m * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = avals + i * k;
+      float* crow = cvals + i * n;
+      for (size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = bvals + p * n;
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BMatMulT(const Tensor& a, const Tensor& b) {
+  STM_CHECK_EQ(a.rank(), 3u);
+  STM_CHECK_EQ(b.rank(), 3u);
+  STM_CHECK_EQ(a.dim(0), b.dim(0));
+  STM_CHECK_EQ(a.dim(2), b.dim(2));
+  const size_t batch = a.dim(0);
+  const size_t m = a.dim(1);
+  const size_t k = a.dim(2);
+  const size_t n = b.dim(1);
+  Tensor out = MakeOp({batch, m, n}, {a, b}, [batch, m, k, n](Node& node) {
+    Node* pa = node.parents[0].get();
+    Node* pb = node.parents[1].get();
+    if (pa->requires_grad) pa->EnsureGrad();
+    if (pb->requires_grad) pb->EnsureGrad();
+    for (size_t bb = 0; bb < batch; ++bb) {
+      const float* avals = pa->value.data() + bb * m * k;
+      const float* bvals = pb->value.data() + bb * n * k;
+      const float* gvals = node.grad.data() + bb * m * n;
+      // C = A * B^T; dA = dC * B; dB = dC^T * A.
+      if (pa->requires_grad) {
+        float* ga = pa->grad.data() + bb * m * k;
+        for (size_t i = 0; i < m; ++i) {
+          const float* grow = gvals + i * n;
+          float* garow = ga + i * k;
+          for (size_t j = 0; j < n; ++j) {
+            const float gv = grow[j];
+            if (gv == 0.0f) continue;
+            const float* brow = bvals + j * k;
+            for (size_t p = 0; p < k; ++p) garow[p] += gv * brow[p];
+          }
+        }
+      }
+      if (pb->requires_grad) {
+        float* gb = pb->grad.data() + bb * n * k;
+        for (size_t i = 0; i < m; ++i) {
+          const float* grow = gvals + i * n;
+          const float* arow = avals + i * k;
+          for (size_t j = 0; j < n; ++j) {
+            const float gv = grow[j];
+            if (gv == 0.0f) continue;
+            float* gbrow = gb + j * k;
+            for (size_t p = 0; p < k; ++p) gbrow[p] += gv * arow[p];
+          }
+        }
+      }
+    }
+  });
+  for (size_t bb = 0; bb < batch; ++bb) {
+    const float* avals = a.value().data() + bb * m * k;
+    const float* bvals = b.value().data() + bb * n * k;
+    float* cvals = out.value().data() + bb * m * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = avals + i * k;
+      float* crow = cvals + i * n;
+      for (size_t j = 0; j < n; ++j) {
+        const float* brow = bvals + j * k;
+        float sum = 0.0f;
+        for (size_t p = 0; p < k; ++p) sum += arow[p] * brow[p];
+        crow[j] = sum;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Reshape(const Tensor& x, std::vector<size_t> shape) {
+  STM_CHECK_EQ(ShapeSize(shape), x.size());
+  Tensor out = MakeOp(std::move(shape), {x}, [](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      px->grad[i] += node.grad[i];
+    }
+  });
+  out.value() = x.value();
+  return out;
+}
+
+namespace {
+
+// Maps flat index under `shape` through axis permutation `axes`:
+// out[new multi-index] = in[old multi-index], where new_idx[d] =
+// old_idx[axes[d]].
+void PermuteCopy(const std::vector<float>& in,
+                 const std::vector<size_t>& in_shape,
+                 const std::vector<size_t>& axes, std::vector<float>& out,
+                 bool accumulate_into_in, std::vector<float>* in_grad,
+                 const std::vector<float>* out_grad) {
+  const size_t rank = in_shape.size();
+  std::vector<size_t> out_shape(rank);
+  for (size_t d = 0; d < rank; ++d) out_shape[d] = in_shape[axes[d]];
+  std::vector<size_t> in_strides(rank, 1);
+  for (size_t d = rank - 1; d > 0; --d) {
+    in_strides[d - 1] = in_strides[d] * in_shape[d];
+  }
+  std::vector<size_t> idx(rank, 0);
+  const size_t total = in.size();
+  for (size_t flat_out = 0; flat_out < total; ++flat_out) {
+    // Decode flat_out into the output multi-index, map to input flat index.
+    size_t rem = flat_out;
+    size_t flat_in = 0;
+    for (size_t d = 0; d < rank; ++d) {
+      size_t block = 1;
+      for (size_t e = d + 1; e < rank; ++e) block *= out_shape[e];
+      idx[d] = rem / block;
+      rem %= block;
+      flat_in += idx[d] * in_strides[axes[d]];
+    }
+    if (accumulate_into_in) {
+      (*in_grad)[flat_in] += (*out_grad)[flat_out];
+    } else {
+      out[flat_out] = in[flat_in];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Permute(const Tensor& x, const std::vector<size_t>& axes) {
+  const size_t rank = x.rank();
+  STM_CHECK_EQ(axes.size(), rank);
+  STM_CHECK_GE(rank, 2u);
+  STM_CHECK_LE(rank, 4u);
+  std::vector<size_t> out_shape(rank);
+  for (size_t d = 0; d < rank; ++d) out_shape[d] = x.dim(axes[d]);
+  std::vector<size_t> in_shape = x.shape();
+  std::vector<size_t> axes_copy = axes;
+  Tensor out =
+      MakeOp(out_shape, {x}, [in_shape, axes_copy](Node& node) {
+        Node* px = node.parents[0].get();
+        if (!px->requires_grad) return;
+        px->EnsureGrad();
+        std::vector<float> unused;
+        PermuteCopy(px->value, in_shape, axes_copy, unused,
+                    /*accumulate_into_in=*/true, &px->grad, &node.grad);
+      });
+  PermuteCopy(x.value(), in_shape, axes_copy, out.value(),
+              /*accumulate_into_in=*/false, nullptr, nullptr);
+  return out;
+}
+
+Tensor SliceCols(const Tensor& x, size_t start, size_t len) {
+  STM_CHECK_EQ(x.rank(), 2u);
+  const size_t n = x.dim(0);
+  const size_t d = x.dim(1);
+  STM_CHECK_LE(start + len, d);
+  Tensor out = MakeOp({n, len}, {x}, [n, d, start, len](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t r = 0; r < n; ++r) {
+      const float* g = node.grad.data() + r * len;
+      float* gx = px->grad.data() + r * d + start;
+      for (size_t j = 0; j < len; ++j) gx[j] += g[j];
+    }
+  });
+  for (size_t r = 0; r < n; ++r) {
+    const float* src = x.value().data() + r * d + start;
+    float* dst = out.value().data() + r * len;
+    for (size_t j = 0; j < len; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+Tensor Rows(const Tensor& x, const std::vector<int32_t>& indices) {
+  STM_CHECK_EQ(x.rank(), 2u);
+  const size_t d = x.dim(1);
+  const size_t k = indices.size();
+  std::vector<int32_t> idx = indices;
+  for (int32_t i : idx) {
+    STM_CHECK_GE(i, 0);
+    STM_CHECK_LT(static_cast<size_t>(i), x.dim(0));
+  }
+  Tensor out = MakeOp({k, d}, {x}, [idx, d](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t r = 0; r < idx.size(); ++r) {
+      const float* g = node.grad.data() + r * d;
+      float* gx = px->grad.data() + static_cast<size_t>(idx[r]) * d;
+      for (size_t j = 0; j < d; ++j) gx[j] += g[j];
+    }
+  });
+  for (size_t r = 0; r < k; ++r) {
+    const float* src = x.value().data() + static_cast<size_t>(idx[r]) * d;
+    float* dst = out.value().data() + r * d;
+    for (size_t j = 0; j < d; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  STM_CHECK(!parts.empty());
+  const size_t n = parts[0].dim(0);
+  size_t total_d = 0;
+  std::vector<size_t> dims;
+  for (const Tensor& p : parts) {
+    STM_CHECK_EQ(p.rank(), 2u);
+    STM_CHECK_EQ(p.dim(0), n);
+    dims.push_back(p.dim(1));
+    total_d += p.dim(1);
+  }
+  Tensor out = MakeOp({n, total_d}, parts, [n, dims, total_d](Node& node) {
+    size_t offset = 0;
+    for (size_t p = 0; p < node.parents.size(); ++p) {
+      Node* parent = node.parents[p].get();
+      const size_t d = dims[p];
+      if (parent->requires_grad) {
+        parent->EnsureGrad();
+        for (size_t r = 0; r < n; ++r) {
+          const float* g = node.grad.data() + r * total_d + offset;
+          float* gp = parent->grad.data() + r * d;
+          for (size_t j = 0; j < d; ++j) gp[j] += g[j];
+        }
+      }
+      offset += d;
+    }
+  });
+  size_t offset = 0;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    const size_t d = dims[p];
+    for (size_t r = 0; r < n; ++r) {
+      const float* src = parts[p].value().data() + r * d;
+      float* dst = out.value().data() + r * total_d + offset;
+      for (size_t j = 0; j < d; ++j) dst[j] = src[j];
+    }
+    offset += d;
+  }
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  STM_CHECK(!parts.empty());
+  const size_t d = parts[0].dim(1);
+  size_t total_n = 0;
+  std::vector<size_t> ns;
+  for (const Tensor& p : parts) {
+    STM_CHECK_EQ(p.rank(), 2u);
+    STM_CHECK_EQ(p.dim(1), d);
+    ns.push_back(p.dim(0));
+    total_n += p.dim(0);
+  }
+  Tensor out = MakeOp({total_n, d}, parts, [ns, d](Node& node) {
+    size_t row = 0;
+    for (size_t p = 0; p < node.parents.size(); ++p) {
+      Node* parent = node.parents[p].get();
+      if (parent->requires_grad) {
+        parent->EnsureGrad();
+        for (size_t r = 0; r < ns[p]; ++r) {
+          const float* g = node.grad.data() + (row + r) * d;
+          float* gp = parent->grad.data() + r * d;
+          for (size_t j = 0; j < d; ++j) gp[j] += g[j];
+        }
+      }
+      row += ns[p];
+    }
+  });
+  size_t row = 0;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    std::copy(parts[p].value().begin(), parts[p].value().end(),
+              out.value().begin() + row * d);
+    row += ns[p];
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& x) {
+  Tensor out = MakeOp({1}, {x}, [](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    const float g = node.grad[0];
+    for (float& v : px->grad) v += g;
+  });
+  float sum = 0.0f;
+  for (float v : x.value()) sum += v;
+  out.value()[0] = sum;
+  return out;
+}
+
+Tensor MeanAll(const Tensor& x) {
+  const float inv = 1.0f / static_cast<float>(x.size());
+  return Scale(SumAll(x), inv);
+}
+
+Tensor MaskedMeanPool(const Tensor& x, size_t batch, size_t seq,
+                      const std::vector<int>& lengths) {
+  STM_CHECK_EQ(x.rank(), 2u);
+  STM_CHECK_EQ(x.dim(0), batch * seq);
+  STM_CHECK_EQ(lengths.size(), batch);
+  const size_t d = x.dim(1);
+  std::vector<int> lens = lengths;
+  for (int len : lens) {
+    STM_CHECK_GT(len, 0);
+    STM_CHECK_LE(static_cast<size_t>(len), seq);
+  }
+  Tensor out = MakeOp({batch, d}, {x}, [batch, seq, d, lens](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t b = 0; b < batch; ++b) {
+      const float inv = 1.0f / static_cast<float>(lens[b]);
+      const float* g = node.grad.data() + b * d;
+      for (int t = 0; t < lens[b]; ++t) {
+        float* gx =
+            px->grad.data() + (b * seq + static_cast<size_t>(t)) * d;
+        for (size_t j = 0; j < d; ++j) gx[j] += g[j] * inv;
+      }
+    }
+  });
+  for (size_t b = 0; b < batch; ++b) {
+    float* o = out.value().data() + b * d;
+    for (int t = 0; t < lens[b]; ++t) {
+      const float* xr =
+          x.value().data() + (b * seq + static_cast<size_t>(t)) * d;
+      for (size_t j = 0; j < d; ++j) o[j] += xr[j];
+    }
+    const float inv = 1.0f / static_cast<float>(lens[b]);
+    for (size_t j = 0; j < d; ++j) o[j] *= inv;
+  }
+  return out;
+}
+
+Tensor MaxPoolRows(const Tensor& x, size_t batch, size_t group) {
+  STM_CHECK_EQ(x.rank(), 2u);
+  STM_CHECK_EQ(x.dim(0), batch * group);
+  const size_t d = x.dim(1);
+  // argmax indices are computed in forward and captured for backward.
+  auto argmax = std::make_shared<std::vector<size_t>>(batch * d);
+  Tensor out =
+      MakeOp({batch, d}, {x}, [argmax, batch, d](Node& node) {
+        Node* px = node.parents[0].get();
+        if (!px->requires_grad) return;
+        px->EnsureGrad();
+        for (size_t b = 0; b < batch; ++b) {
+          const float* g = node.grad.data() + b * d;
+          for (size_t j = 0; j < d; ++j) {
+            px->grad[(*argmax)[b * d + j] * d + j] += g[j];
+          }
+        }
+      });
+  for (size_t b = 0; b < batch; ++b) {
+    float* o = out.value().data() + b * d;
+    for (size_t j = 0; j < d; ++j) {
+      size_t best_row = b * group;
+      float best = x.value()[best_row * d + j];
+      for (size_t r = 1; r < group; ++r) {
+        const size_t row = b * group + r;
+        const float v = x.value()[row * d + j];
+        if (v > best) {
+          best = v;
+          best_row = row;
+        }
+      }
+      o[j] = best;
+      (*argmax)[b * d + j] = best_row;
+    }
+  }
+  return out;
+}
+
+Tensor WeightedSumRows(const Tensor& x, const Tensor& weights) {
+  STM_CHECK_EQ(x.rank(), 2u);
+  STM_CHECK_EQ(weights.size(), x.dim(0));
+  const size_t n = x.dim(0);
+  const size_t d = x.dim(1);
+  Tensor out = MakeOp({1, d}, {x, weights}, [n, d](Node& node) {
+    Node* px = node.parents[0].get();
+    Node* pw = node.parents[1].get();
+    if (px->requires_grad) {
+      px->EnsureGrad();
+      for (size_t r = 0; r < n; ++r) {
+        const float w = pw->value[r];
+        float* gx = px->grad.data() + r * d;
+        for (size_t j = 0; j < d; ++j) gx[j] += node.grad[j] * w;
+      }
+    }
+    if (pw->requires_grad) {
+      pw->EnsureGrad();
+      for (size_t r = 0; r < n; ++r) {
+        const float* xr = px->value.data() + r * d;
+        float sum = 0.0f;
+        for (size_t j = 0; j < d; ++j) sum += node.grad[j] * xr[j];
+        pw->grad[r] += sum;
+      }
+    }
+  });
+  for (size_t r = 0; r < n; ++r) {
+    const float w = weights.value()[r];
+    const float* xr = x.value().data() + r * d;
+    for (size_t j = 0; j < d; ++j) out.value()[j] += w * xr[j];
+  }
+  return out;
+}
+
+Tensor SoftmaxLastDim(const Tensor& x) {
+  const size_t d = x.shape().back();
+  const size_t n = x.size() / d;
+  Tensor out = MakeOp(x.shape(), {x}, [n, d](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t r = 0; r < n; ++r) {
+      const float* y = node.value.data() + r * d;
+      const float* g = node.grad.data() + r * d;
+      float dot = 0.0f;
+      for (size_t j = 0; j < d; ++j) dot += y[j] * g[j];
+      float* gx = px->grad.data() + r * d;
+      for (size_t j = 0; j < d; ++j) gx[j] += y[j] * (g[j] - dot);
+    }
+  });
+  for (size_t r = 0; r < n; ++r) {
+    const float* xr = x.value().data() + r * d;
+    float* o = out.value().data() + r * d;
+    float max = xr[0];
+    for (size_t j = 1; j < d; ++j) max = std::max(max, xr[j]);
+    float sum = 0.0f;
+    for (size_t j = 0; j < d; ++j) {
+      o[j] = std::exp(xr[j] - max);
+      sum += o[j];
+    }
+    const float inv = 1.0f / sum;
+    for (size_t j = 0; j < d; ++j) o[j] *= inv;
+  }
+  return out;
+}
+
+Tensor LogSoftmaxLastDim(const Tensor& x) {
+  const size_t d = x.shape().back();
+  const size_t n = x.size() / d;
+  Tensor out = MakeOp(x.shape(), {x}, [n, d](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t r = 0; r < n; ++r) {
+      const float* y = node.value.data() + r * d;  // log softmax
+      const float* g = node.grad.data() + r * d;
+      float gsum = 0.0f;
+      for (size_t j = 0; j < d; ++j) gsum += g[j];
+      float* gx = px->grad.data() + r * d;
+      for (size_t j = 0; j < d; ++j) {
+        gx[j] += g[j] - std::exp(y[j]) * gsum;
+      }
+    }
+  });
+  for (size_t r = 0; r < n; ++r) {
+    const float* xr = x.value().data() + r * d;
+    float* o = out.value().data() + r * d;
+    float max = xr[0];
+    for (size_t j = 1; j < d; ++j) max = std::max(max, xr[j]);
+    float sum = 0.0f;
+    for (size_t j = 0; j < d; ++j) sum += std::exp(xr[j] - max);
+    const float lse = max + std::log(sum);
+    for (size_t j = 0; j < d; ++j) o[j] = xr[j] - lse;
+  }
+  return out;
+}
+
+Tensor NormalizeRowsOp(const Tensor& x) {
+  STM_CHECK_EQ(x.rank(), 2u);
+  const size_t n = x.dim(0);
+  const size_t d = x.dim(1);
+  auto norms = std::make_shared<std::vector<float>>(n, 0.0f);
+  Tensor out = MakeOp({n, d}, {x}, [n, d, norms](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t r = 0; r < n; ++r) {
+      const float norm = (*norms)[r];
+      if (norm == 0.0f) {
+        for (size_t j = 0; j < d; ++j) {
+          px->grad[r * d + j] += node.grad[r * d + j];
+        }
+        continue;
+      }
+      const float* y = node.value.data() + r * d;
+      const float* g = node.grad.data() + r * d;
+      float dot = 0.0f;
+      for (size_t j = 0; j < d; ++j) dot += g[j] * y[j];
+      float* gx = px->grad.data() + r * d;
+      for (size_t j = 0; j < d; ++j) {
+        gx[j] += (g[j] - dot * y[j]) / norm;
+      }
+    }
+  });
+  for (size_t r = 0; r < n; ++r) {
+    const float* xr = x.value().data() + r * d;
+    float norm = 0.0f;
+    for (size_t j = 0; j < d; ++j) norm += xr[j] * xr[j];
+    norm = std::sqrt(norm);
+    (*norms)[r] = norm;
+    float* o = out.value().data() + r * d;
+    const float inv = norm > 0.0f ? 1.0f / norm : 1.0f;
+    for (size_t j = 0; j < d; ++j) o[j] = xr[j] * inv;
+  }
+  return out;
+}
+
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  STM_CHECK_EQ(gamma.rank(), 1u);
+  STM_CHECK_EQ(beta.rank(), 1u);
+  const size_t d = gamma.dim(0);
+  STM_CHECK_EQ(beta.dim(0), d);
+  STM_CHECK_EQ(x.size() % d, 0u);
+  const size_t n = x.size() / d;
+  // Cache per-row mean and inverse stddev for backward.
+  auto mean = std::make_shared<std::vector<float>>(n);
+  auto rstd = std::make_shared<std::vector<float>>(n);
+  Tensor out = MakeOp(x.shape(), {x, gamma, beta},
+                      [n, d, mean, rstd](Node& node) {
+    Node* px = node.parents[0].get();
+    Node* pg = node.parents[1].get();
+    Node* pb = node.parents[2].get();
+    if (px->requires_grad) px->EnsureGrad();
+    if (pg->requires_grad) pg->EnsureGrad();
+    if (pb->requires_grad) pb->EnsureGrad();
+    for (size_t r = 0; r < n; ++r) {
+      const float* xr = px->value.data() + r * d;
+      const float* g = node.grad.data() + r * d;
+      const float mu = (*mean)[r];
+      const float rs = (*rstd)[r];
+      if (pg->requires_grad || pb->requires_grad) {
+        for (size_t j = 0; j < d; ++j) {
+          const float xhat = (xr[j] - mu) * rs;
+          if (pg->requires_grad) pg->grad[j] += g[j] * xhat;
+          if (pb->requires_grad) pb->grad[j] += g[j];
+        }
+      }
+      if (px->requires_grad) {
+        // dxhat = g * gamma; dx = rs*(dxhat - mean(dxhat)
+        //                              - xhat*mean(dxhat*xhat))
+        float sum_dxhat = 0.0f;
+        float sum_dxhat_xhat = 0.0f;
+        for (size_t j = 0; j < d; ++j) {
+          const float xhat = (xr[j] - mu) * rs;
+          const float dxhat = g[j] * pg->value[j];
+          sum_dxhat += dxhat;
+          sum_dxhat_xhat += dxhat * xhat;
+        }
+        const float inv_d = 1.0f / static_cast<float>(d);
+        float* gx = px->grad.data() + r * d;
+        for (size_t j = 0; j < d; ++j) {
+          const float xhat = (xr[j] - mu) * rs;
+          const float dxhat = g[j] * pg->value[j];
+          gx[j] += rs * (dxhat - inv_d * sum_dxhat -
+                         xhat * inv_d * sum_dxhat_xhat);
+        }
+      }
+    }
+  });
+  for (size_t r = 0; r < n; ++r) {
+    const float* xr = x.value().data() + r * d;
+    float* o = out.value().data() + r * d;
+    float mu = 0.0f;
+    for (size_t j = 0; j < d; ++j) mu += xr[j];
+    mu /= static_cast<float>(d);
+    float var = 0.0f;
+    for (size_t j = 0; j < d; ++j) {
+      const float diff = xr[j] - mu;
+      var += diff * diff;
+    }
+    var /= static_cast<float>(d);
+    const float rs = 1.0f / std::sqrt(var + eps);
+    (*mean)[r] = mu;
+    (*rstd)[r] = rs;
+    for (size_t j = 0; j < d; ++j) {
+      o[j] = (xr[j] - mu) * rs * gamma.value()[j] + beta.value()[j];
+    }
+  }
+  return out;
+}
+
+Tensor Dropout(const Tensor& x, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return x;
+  STM_CHECK_LT(p, 1.0f);
+  auto mask = std::make_shared<std::vector<float>>(x.size());
+  const float scale = 1.0f / (1.0f - p);
+  for (size_t i = 0; i < x.size(); ++i) {
+    (*mask)[i] = rng.Bernoulli(p) ? 0.0f : scale;
+  }
+  Tensor out = MakeOp(x.shape(), {x}, [mask](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      px->grad[i] += node.grad[i] * (*mask)[i];
+    }
+  });
+  for (size_t i = 0; i < x.size(); ++i) {
+    out.value()[i] = x.value()[i] * (*mask)[i];
+  }
+  return out;
+}
+
+Tensor Im2Col(const Tensor& x, size_t batch, size_t seq, size_t width) {
+  STM_CHECK_EQ(x.rank(), 2u);
+  STM_CHECK_EQ(x.dim(0), batch * seq);
+  STM_CHECK_GE(seq, width);
+  const size_t d = x.dim(1);
+  const size_t windows = seq - width + 1;
+  Tensor out = MakeOp({batch * windows, width * d}, {x},
+                      [batch, seq, width, d, windows](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t b = 0; b < batch; ++b) {
+      for (size_t w = 0; w < windows; ++w) {
+        const float* g = node.grad.data() + (b * windows + w) * width * d;
+        for (size_t t = 0; t < width; ++t) {
+          float* gx = px->grad.data() + (b * seq + w + t) * d;
+          for (size_t j = 0; j < d; ++j) gx[j] += g[t * d + j];
+        }
+      }
+    }
+  });
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t w = 0; w < windows; ++w) {
+      float* o = out.value().data() + (b * windows + w) * width * d;
+      for (size_t t = 0; t < width; ++t) {
+        const float* xr = x.value().data() + (b * seq + w + t) * d;
+        for (size_t j = 0; j < d; ++j) o[t * d + j] = xr[j];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace stm::nn

@@ -1,0 +1,115 @@
+#ifndef STM_NN_OPS_H_
+#define STM_NN_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace stm::nn {
+
+// Differentiable operations. All functions build graph nodes; gradients
+// flow to any parent with requires_grad when Backward() runs. Tensors are
+// row-major; "rows" of a rank-2 tensor [n, d] are length-d vectors.
+
+// ---- elementwise ----
+
+Tensor Add(const Tensor& a, const Tensor& b);          // same shape
+Tensor Sub(const Tensor& a, const Tensor& b);          // same shape
+Tensor Mul(const Tensor& a, const Tensor& b);          // same shape
+Tensor Scale(const Tensor& a, float s);
+Tensor AddScalar(const Tensor& a, float s);
+
+// x [n, d] + bias [d], broadcast over rows.
+Tensor AddBias(const Tensor& x, const Tensor& bias);
+
+// x + c where `c` is a non-differentiable constant of the same size
+// (attention masks).
+Tensor AddConstant(const Tensor& x, const std::vector<float>& c);
+
+// ---- activations ----
+
+Tensor Relu(const Tensor& x);
+Tensor Gelu(const Tensor& x);   // tanh approximation
+Tensor Tanh(const Tensor& x);
+Tensor Sigmoid(const Tensor& x);
+
+// ---- matrix products ----
+
+// a [m, k] * b [k, n] -> [m, n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// Batched: a [B, m, k] * b [B, k, n] -> [B, m, n].
+Tensor BMatMul(const Tensor& a, const Tensor& b);
+
+// Batched with transposed rhs: a [B, m, k] * b [B, n, k]^T -> [B, m, n].
+Tensor BMatMulT(const Tensor& a, const Tensor& b);
+
+// ---- shape ----
+
+// Same data, new shape (element count preserved).
+Tensor Reshape(const Tensor& x, std::vector<size_t> shape);
+
+// Axis permutation for rank 2..4 tensors.
+Tensor Permute(const Tensor& x, const std::vector<size_t>& axes);
+
+// Columns [start, start+len) of x [n, d] -> [n, len].
+Tensor SliceCols(const Tensor& x, size_t start, size_t len);
+
+// Rows of x [n, d] selected by `indices` (repeats allowed) -> [k, d].
+// This is also the embedding lookup when x is a parameter table.
+Tensor Rows(const Tensor& x, const std::vector<int32_t>& indices);
+
+// Concatenates along columns: inputs all [n, d_i] -> [n, sum d_i].
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+// Concatenates along rows: inputs all [n_i, d] -> [sum n_i, d].
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+// ---- reductions / pooling ----
+
+Tensor SumAll(const Tensor& x);    // -> scalar
+Tensor MeanAll(const Tensor& x);   // -> scalar
+
+// x [B*S, d] viewed as B sequences of length S; mean over the first
+// `lengths[b]` positions of each -> [B, d]. lengths[b] in [1, S].
+Tensor MaskedMeanPool(const Tensor& x, size_t batch, size_t seq,
+                      const std::vector<int>& lengths);
+
+// Max over rows within each consecutive group of `group` rows:
+// x [B*group, d] -> [B, d]. Gradient routes to the argmax row.
+Tensor MaxPoolRows(const Tensor& x, size_t batch, size_t group);
+
+// Weighted sum of rows: x [n, d], weights [n] (differentiable) -> [1, d].
+Tensor WeightedSumRows(const Tensor& x, const Tensor& weights);
+
+// ---- softmax / normalization ----
+
+// Softmax over the last dimension.
+Tensor SoftmaxLastDim(const Tensor& x);
+
+// Log-softmax over the last dimension (numerically stable).
+Tensor LogSoftmaxLastDim(const Tensor& x);
+
+// L2-normalizes each row of x [n, d] (zero rows pass through).
+Tensor NormalizeRowsOp(const Tensor& x);
+
+// Per-row layer normalization of x [n, d] with learnable gamma/beta [d].
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps = 1e-5f);
+
+// Inverted dropout; identity when !training or p == 0.
+Tensor Dropout(const Tensor& x, float p, Rng& rng, bool training);
+
+// ---- convolution helper ----
+
+// Sliding windows for 1-D convolution over token embeddings.
+// x is [B*S, d] (B sequences of length S); output is
+// [B*(S-width+1), width*d], each row the concatenation of `width`
+// consecutive embedding rows within one sequence.
+Tensor Im2Col(const Tensor& x, size_t batch, size_t seq, size_t width);
+
+}  // namespace stm::nn
+
+#endif  // STM_NN_OPS_H_

@@ -1,0 +1,134 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stm::nn {
+
+Tensor ParameterStore::Register(const std::string& name, Tensor param) {
+  STM_CHECK(param.defined());
+  STM_CHECK(param.requires_grad()) << "parameter " << name
+                                   << " does not require grad";
+  for (const std::string& existing : names_) {
+    STM_CHECK_NE(existing, name) << "duplicate parameter name";
+  }
+  params_.push_back(param);
+  names_.push_back(name);
+  return param;
+}
+
+void ParameterStore::ZeroGrads() {
+  for (Tensor& p : params_) {
+    auto& grad = p.grad();
+    std::fill(grad.begin(), grad.end(), 0.0f);
+  }
+}
+
+size_t ParameterStore::TotalSize() const {
+  size_t total = 0;
+  for (const Tensor& p : params_) total += p.size();
+  return total;
+}
+
+std::vector<float> ParameterStore::Snapshot() const {
+  std::vector<float> snapshot;
+  snapshot.reserve(TotalSize());
+  for (const Tensor& p : params_) {
+    snapshot.insert(snapshot.end(), p.value().begin(), p.value().end());
+  }
+  return snapshot;
+}
+
+void ParameterStore::Restore(const std::vector<float>& snapshot) {
+  STM_CHECK_EQ(snapshot.size(), TotalSize());
+  size_t offset = 0;
+  for (Tensor& p : params_) {
+    std::copy(snapshot.begin() + static_cast<std::ptrdiff_t>(offset),
+              snapshot.begin() + static_cast<std::ptrdiff_t>(offset + p.size()),
+              p.value().begin());
+    offset += p.size();
+  }
+}
+
+AdamOptimizer::AdamOptimizer(ParameterStore* store, OptimizerConfig config)
+    : store_(store), config_(config) {
+  STM_CHECK(store != nullptr);
+  m_.resize(store->params().size());
+  v_.resize(store->params().size());
+  for (size_t i = 0; i < store->params().size(); ++i) {
+    m_[i].assign(store->params()[i].size(), 0.0f);
+    v_[i].assign(store->params()[i].size(), 0.0f);
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++step_;
+  // Optional global gradient clipping.
+  if (config_.grad_clip > 0.0f) {
+    double norm_sq = 0.0;
+    for (const Tensor& p : store_->params()) {
+      if (p.node()->grad.empty()) continue;
+      for (float g : p.node()->grad) norm_sq += static_cast<double>(g) * g;
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.grad_clip) {
+      const float scale = config_.grad_clip / static_cast<float>(norm);
+      for (Tensor& p : const_cast<std::vector<Tensor>&>(store_->params())) {
+        for (float& g : p.grad()) g *= scale;
+      }
+    }
+  }
+  const float bc1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(step_));
+  const float bc2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(step_));
+  auto& params = const_cast<std::vector<Tensor>&>(store_->params());
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = params[i];
+    auto& value = p.value();
+    auto& grad = p.grad();
+    for (size_t j = 0; j < value.size(); ++j) {
+      const float g = grad[j];
+      m_[i][j] = config_.beta1 * m_[i][j] + (1.0f - config_.beta1) * g;
+      v_[i][j] = config_.beta2 * v_[i][j] + (1.0f - config_.beta2) * g * g;
+      const float mhat = m_[i][j] / bc1;
+      const float vhat = v_[i][j] / bc2;
+      float update = config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+      if (config_.weight_decay > 0.0f) {
+        update += config_.lr * config_.weight_decay * value[j];
+      }
+      value[j] -= update;
+      grad[j] = 0.0f;
+    }
+  }
+}
+
+SgdOptimizer::SgdOptimizer(ParameterStore* store, float lr, float momentum)
+    : store_(store), lr_(lr), momentum_(momentum) {
+  STM_CHECK(store != nullptr);
+  velocity_.resize(store->params().size());
+  for (size_t i = 0; i < store->params().size(); ++i) {
+    velocity_[i].assign(store->params()[i].size(), 0.0f);
+  }
+}
+
+void SgdOptimizer::Step() {
+  auto& params = const_cast<std::vector<Tensor>&>(store_->params());
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = params[i];
+    auto& value = p.value();
+    auto& grad = p.grad();
+    for (size_t j = 0; j < value.size(); ++j) {
+      if (momentum_ > 0.0f) {
+        velocity_[i][j] = momentum_ * velocity_[i][j] + grad[j];
+        value[j] -= lr_ * velocity_[i][j];
+      } else {
+        value[j] -= lr_ * grad[j];
+      }
+      grad[j] = 0.0f;
+    }
+  }
+}
+
+}  // namespace stm::nn

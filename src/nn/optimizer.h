@@ -1,0 +1,90 @@
+#ifndef STM_NN_OPTIMIZER_H_
+#define STM_NN_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace stm::nn {
+
+// Named collection of trainable parameters; modules register their
+// parameters here so optimizers and (de)serialization can reach them.
+class ParameterStore {
+ public:
+  // Registers `param` under `name` (names must be unique) and returns it.
+  Tensor Register(const std::string& name, Tensor param);
+
+  const std::vector<Tensor>& params() const { return params_; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  // Zeroes every parameter gradient.
+  void ZeroGrads();
+
+  // Total scalar parameter count.
+  size_t TotalSize() const;
+
+  // Serializes all parameter values (in registration order).
+  std::vector<float> Snapshot() const;
+
+  // Restores values from a Snapshot(); sizes must match.
+  void Restore(const std::vector<float>& snapshot);
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::string> names_;
+};
+
+struct OptimizerConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;  // decoupled (AdamW-style)
+  float grad_clip = 0.0f;     // global L2 clip; 0 = off
+};
+
+// Adam / AdamW over a ParameterStore. SGD is Adam with beta1=beta2=0
+// conceptually; a separate lightweight SGD is provided for the embedding
+// trainers that manage their own updates.
+class AdamOptimizer {
+ public:
+  AdamOptimizer(ParameterStore* store, OptimizerConfig config);
+
+  // Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  // Current step count (for bias correction).
+  int64_t steps() const { return step_; }
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+
+ private:
+  ParameterStore* store_;
+  OptimizerConfig config_;
+  int64_t step_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+// Plain SGD with optional momentum over a ParameterStore.
+class SgdOptimizer {
+ public:
+  SgdOptimizer(ParameterStore* store, float lr, float momentum = 0.0f);
+
+  void Step();
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  ParameterStore* store_;
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace stm::nn
+
+#endif  // STM_NN_OPTIMIZER_H_

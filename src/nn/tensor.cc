@@ -1,0 +1,158 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace stm::nn {
+
+void Node::EnsureGrad() {
+  if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
+}
+
+size_t ShapeSize(const std::vector<size_t>& shape) {
+  size_t total = 1;
+  for (size_t d : shape) total *= d;
+  return total;
+}
+
+Tensor Tensor::Zeros(std::vector<size_t> shape, float fill) {
+  auto node = std::make_shared<Node>();
+  node->value.assign(ShapeSize(shape), fill);
+  node->shape = std::move(shape);
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::FromVector(std::vector<float> values,
+                          std::vector<size_t> shape) {
+  STM_CHECK_EQ(values.size(), ShapeSize(shape));
+  auto node = std::make_shared<Node>();
+  node->value = std::move(values);
+  node->shape = std::move(shape);
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::Param(std::vector<size_t> shape, float stddev, Rng& rng) {
+  Tensor t = Zeros(std::move(shape));
+  for (float& v : t.value()) v = static_cast<float>(rng.Normal(0.0, stddev));
+  t.node()->requires_grad = true;
+  return t;
+}
+
+Tensor Tensor::XavierParam(size_t fan_in, size_t fan_out, Rng& rng) {
+  Tensor t = Zeros({fan_in, fan_out});
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& v : t.value()) {
+    v = static_cast<float>(rng.Uniform(-limit, limit));
+  }
+  t.node()->requires_grad = true;
+  return t;
+}
+
+Tensor Tensor::ZeroParam(std::vector<size_t> shape) {
+  Tensor t = Zeros(std::move(shape));
+  t.node()->requires_grad = true;
+  return t;
+}
+
+Tensor Tensor::OnesParam(std::vector<size_t> shape) {
+  Tensor t = Zeros(std::move(shape), 1.0f);
+  t.node()->requires_grad = true;
+  return t;
+}
+
+const std::vector<size_t>& Tensor::shape() const {
+  STM_CHECK(defined());
+  return node_->shape;
+}
+
+size_t Tensor::size() const {
+  STM_CHECK(defined());
+  return node_->value.size();
+}
+
+size_t Tensor::rank() const { return shape().size(); }
+
+size_t Tensor::dim(size_t axis) const {
+  STM_CHECK_LT(axis, shape().size());
+  return shape()[axis];
+}
+
+std::vector<float>& Tensor::value() {
+  STM_CHECK(defined());
+  return node_->value;
+}
+
+const std::vector<float>& Tensor::value() const {
+  STM_CHECK(defined());
+  return node_->value;
+}
+
+std::vector<float>& Tensor::grad() {
+  STM_CHECK(defined());
+  node_->EnsureGrad();
+  return node_->grad;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  STM_CHECK(defined());
+  return node_->grad;
+}
+
+bool Tensor::requires_grad() const {
+  STM_CHECK(defined());
+  return node_->requires_grad;
+}
+
+float Tensor::item() const {
+  STM_CHECK_EQ(size(), 1u);
+  return value()[0];
+}
+
+namespace {
+
+// Iterative post-order DFS producing a topological order (parents before
+// children in the returned vector; we then walk it in reverse).
+void TopoSort(Node* root, std::vector<Node*>& order) {
+  std::unordered_set<Node*> visited;
+  // Stack of (node, next-parent-index).
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents.size()) {
+      Node* parent = node->parents[idx].get();
+      ++idx;
+      if (parent != nullptr && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Tensor& loss) {
+  STM_CHECK(loss.defined());
+  STM_CHECK_EQ(loss.size(), 1u) << "Backward requires a scalar loss";
+  Node* root = loss.node();
+  root->EnsureGrad();
+  root->grad[0] = 1.0f;
+
+  std::vector<Node*> order;
+  TopoSort(root, order);
+  // Post-order puts ancestors first; propagate from the loss backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward && !node->grad.empty()) node->backward(*node);
+  }
+}
+
+}  // namespace stm::nn

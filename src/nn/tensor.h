@@ -1,0 +1,94 @@
+#ifndef STM_NN_TENSOR_H_
+#define STM_NN_TENSOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace stm::nn {
+
+// Reverse-mode automatic differentiation over dense float tensors.
+//
+// A `Tensor` is a cheap handle (shared_ptr) to a graph node holding the
+// value buffer, an optional gradient buffer, and the backward closure that
+// propagates gradients to its parents. A fresh graph is built every
+// training step; parameters are long-lived leaf nodes whose gradients the
+// optimizer consumes and clears.
+
+struct Node {
+  std::vector<float> value;
+  std::vector<float> grad;           // allocated lazily when needed
+  std::vector<size_t> shape;         // rank <= 4
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::function<void(Node&)> backward;  // propagates this->grad to parents
+
+  size_t size() const { return value.size(); }
+  void EnsureGrad();                  // allocates + zeroes grad if empty
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  // ---- constructors ----
+
+  // Constant (no gradient) tensor filled with `fill`.
+  static Tensor Zeros(std::vector<size_t> shape, float fill = 0.0f);
+
+  // Constant tensor wrapping `values` (copied).
+  static Tensor FromVector(std::vector<float> values,
+                           std::vector<size_t> shape);
+
+  // Trainable parameter initialized from N(0, stddev).
+  static Tensor Param(std::vector<size_t> shape, float stddev, Rng& rng);
+
+  // Trainable parameter with Xavier/Glorot uniform init for a
+  // fan_in x fan_out weight.
+  static Tensor XavierParam(size_t fan_in, size_t fan_out, Rng& rng);
+
+  // Trainable parameter of zeros (biases, layernorm beta).
+  static Tensor ZeroParam(std::vector<size_t> shape);
+
+  // Trainable parameter of ones (layernorm gamma).
+  static Tensor OnesParam(std::vector<size_t> shape);
+
+  // ---- accessors ----
+
+  bool defined() const { return node_ != nullptr; }
+  Node* node() const { return node_.get(); }
+  const std::shared_ptr<Node>& ptr() const { return node_; }
+
+  const std::vector<size_t>& shape() const;
+  size_t size() const;
+  size_t rank() const;
+  size_t dim(size_t axis) const;
+
+  std::vector<float>& value();
+  const std::vector<float>& value() const;
+  std::vector<float>& grad();
+  const std::vector<float>& grad() const;
+  bool requires_grad() const;
+
+  // Scalar convenience: requires size() == 1.
+  float item() const;
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+// Runs reverse-mode differentiation from scalar `loss` (size 1). Gradients
+// accumulate into every reachable node with requires_grad.
+void Backward(const Tensor& loss);
+
+// Number of elements implied by a shape.
+size_t ShapeSize(const std::vector<size_t>& shape);
+
+}  // namespace stm::nn
+
+#endif  // STM_NN_TENSOR_H_

@@ -1,0 +1,382 @@
+#include "nn/text_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/loss.h"
+#include "text/vocabulary.h"
+
+namespace stm::nn {
+
+namespace {
+
+// Pads/truncates each doc to `max_len`, returning the flat id array and the
+// effective lengths. Empty docs get a single [PAD] with length 1 so pooling
+// stays well-defined.
+void PadBatch(const std::vector<std::vector<int32_t>>& docs, size_t begin,
+              size_t count, size_t max_len, std::vector<int32_t>& ids,
+              std::vector<int>& lengths) {
+  ids.assign(count * max_len, text::kPadId);
+  lengths.assign(count, 1);
+  for (size_t i = 0; i < count; ++i) {
+    const auto& doc = docs[begin + i];
+    const size_t len = std::min(doc.size(), max_len);
+    for (size_t t = 0; t < len; ++t) ids[i * max_len + t] = doc[t];
+    lengths[i] = std::max<int>(1, static_cast<int>(len));
+  }
+}
+
+std::vector<float> SliceTargets(const std::vector<float>& soft_targets,
+                                size_t begin, size_t count,
+                                size_t num_classes) {
+  return std::vector<float>(
+      soft_targets.begin() + static_cast<std::ptrdiff_t>(begin * num_classes),
+      soft_targets.begin() +
+          static_cast<std::ptrdiff_t>((begin + count) * num_classes));
+}
+
+}  // namespace
+
+void TextClassifier::InitWordEmbeddings(
+    const std::vector<std::vector<float>>&) {}
+
+std::vector<int> TextClassifier::Predict(
+    const std::vector<std::vector<int32_t>>& docs) {
+  const la::Matrix probs = PredictProbs(docs);
+  std::vector<int> labels(docs.size(), 0);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    const float* row = probs.Row(i);
+    labels[i] = static_cast<int>(
+        std::max_element(row, row + probs.cols()) - row);
+  }
+  return labels;
+}
+
+void TextClassifier::Fit(const std::vector<std::vector<int32_t>>& docs,
+                         const std::vector<int>& labels, int epochs) {
+  STM_CHECK_EQ(docs.size(), labels.size());
+  // Infer class count from PredictProbs' width lazily: callers constructed
+  // the classifier with num_classes, so just build one-hots of that size.
+  // We recover C from a 1-doc prediction to avoid adding a getter.
+  size_t num_classes = 0;
+  if (!docs.empty()) {
+    num_classes = PredictProbs({docs[0]}).cols();
+  }
+  std::vector<float> targets(docs.size() * num_classes, 0.0f);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    STM_CHECK_GE(labels[i], 0);
+    STM_CHECK_LT(static_cast<size_t>(labels[i]), num_classes);
+    targets[i * num_classes + static_cast<size_t>(labels[i])] = 1.0f;
+  }
+  for (int e = 0; e < epochs; ++e) TrainEpoch(docs, targets);
+}
+
+// ---------------- TextCnnClassifier ----------------
+
+TextCnnClassifier::TextCnnClassifier(const ClassifierConfig& config)
+    : config_(config), rng_(config.seed) {
+  STM_CHECK_GT(config.vocab_size, 0u);
+  STM_CHECK_GT(config.num_classes, 0u);
+  embedding_ = std::make_unique<Embedding>(&store_, "embed",
+                                           config.vocab_size,
+                                           config.embed_dim, rng_);
+  for (size_t w : config.conv_widths) {
+    STM_CHECK_LE(w, config.max_len);
+    convs_.push_back(std::make_unique<Linear>(
+        &store_, "conv" + std::to_string(w), w * config.embed_dim,
+        config.filters, rng_));
+  }
+  const size_t pooled = config.filters * config.conv_widths.size();
+  dense_ = std::make_unique<Linear>(&store_, "dense", pooled, config.hidden,
+                                    rng_);
+  out_ = std::make_unique<Linear>(&store_, "out", config.hidden,
+                                  config.num_classes, rng_);
+  OptimizerConfig opt;
+  opt.lr = config.lr;
+  opt.grad_clip = 5.0f;
+  optimizer_ = std::make_unique<AdamOptimizer>(&store_, opt);
+}
+
+void TextCnnClassifier::InitWordEmbeddings(
+    const std::vector<std::vector<float>>& embeddings) {
+  embedding_->LoadRows(embeddings);
+}
+
+Tensor TextCnnClassifier::Logits(
+    const std::vector<std::vector<int32_t>>& docs, size_t begin,
+    size_t count, bool training) {
+  std::vector<int32_t> ids;
+  std::vector<int> lengths;
+  PadBatch(docs, begin, count, config_.max_len, ids, lengths);
+  Tensor embedded = embedding_->Forward(ids);  // [B*S, d]
+  std::vector<Tensor> pooled;
+  for (size_t c = 0; c < convs_.size(); ++c) {
+    const size_t width = config_.conv_widths[c];
+    Tensor cols = Im2Col(embedded, count, config_.max_len, width);
+    Tensor feature = Relu(convs_[c]->Forward(cols));
+    pooled.push_back(
+        MaxPoolRows(feature, count, config_.max_len - width + 1));
+  }
+  Tensor features = ConcatCols(pooled);
+  features = Dropout(features, config_.dropout, rng_, training);
+  Tensor hidden = Relu(dense_->Forward(features));
+  return out_->Forward(hidden);
+}
+
+double TextCnnClassifier::TrainEpoch(
+    const std::vector<std::vector<int32_t>>& docs,
+    const std::vector<float>& soft_targets) {
+  STM_CHECK_EQ(soft_targets.size(), docs.size() * config_.num_classes);
+  const std::vector<size_t> order = rng_.Permutation(docs.size());
+  std::vector<std::vector<int32_t>> shuffled(docs.size());
+  std::vector<float> shuffled_targets(soft_targets.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    shuffled[i] = docs[order[i]];
+    std::copy(soft_targets.begin() +
+                  static_cast<std::ptrdiff_t>(order[i] * config_.num_classes),
+              soft_targets.begin() + static_cast<std::ptrdiff_t>(
+                                         (order[i] + 1) * config_.num_classes),
+              shuffled_targets.begin() +
+                  static_cast<std::ptrdiff_t>(i * config_.num_classes));
+  }
+  double total_loss = 0.0;
+  size_t batches = 0;
+  for (size_t begin = 0; begin < shuffled.size();
+       begin += config_.batch_size) {
+    const size_t count =
+        std::min(config_.batch_size, shuffled.size() - begin);
+    Tensor logits = Logits(shuffled, begin, count, /*training=*/true);
+    Tensor loss = SoftCrossEntropy(
+        logits, SliceTargets(shuffled_targets, begin, count,
+                             config_.num_classes));
+    Backward(loss);
+    optimizer_->Step();
+    total_loss += loss.item();
+    ++batches;
+  }
+  return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
+}
+
+la::Matrix TextCnnClassifier::PredictProbs(
+    const std::vector<std::vector<int32_t>>& docs) {
+  la::Matrix probs(docs.size(), config_.num_classes);
+  for (size_t begin = 0; begin < docs.size(); begin += config_.batch_size) {
+    const size_t count = std::min(config_.batch_size, docs.size() - begin);
+    Tensor p = SoftmaxLastDim(Logits(docs, begin, count, /*training=*/false));
+    for (size_t i = 0; i < count; ++i) {
+      for (size_t c = 0; c < config_.num_classes; ++c) {
+        probs.At(begin + i, c) = p.value()[i * config_.num_classes + c];
+      }
+    }
+  }
+  return probs;
+}
+
+// ---------------- HanClassifier ----------------
+
+HanClassifier::HanClassifier(const ClassifierConfig& config)
+    : config_(config), rng_(config.seed) {
+  STM_CHECK_GT(config.vocab_size, 0u);
+  STM_CHECK_GT(config.num_classes, 0u);
+  embedding_ = std::make_unique<Embedding>(&store_, "embed",
+                                           config.vocab_size,
+                                           config.embed_dim, rng_);
+  proj_ = std::make_unique<Linear>(&store_, "proj", config.embed_dim,
+                                   config.attn_hidden, rng_);
+  attn_ = std::make_unique<Linear>(&store_, "attn", config.attn_hidden, 1,
+                                   rng_);
+  dense_ = std::make_unique<Linear>(&store_, "dense", config.attn_hidden,
+                                    config.hidden, rng_);
+  out_ = std::make_unique<Linear>(&store_, "out", config.hidden,
+                                  config.num_classes, rng_);
+  OptimizerConfig opt;
+  opt.lr = config.lr;
+  opt.grad_clip = 5.0f;
+  optimizer_ = std::make_unique<AdamOptimizer>(&store_, opt);
+}
+
+void HanClassifier::InitWordEmbeddings(
+    const std::vector<std::vector<float>>& embeddings) {
+  embedding_->LoadRows(embeddings);
+}
+
+Tensor HanClassifier::Logits(const std::vector<std::vector<int32_t>>& docs,
+                             size_t begin, size_t count, bool training) {
+  std::vector<int32_t> ids;
+  std::vector<int> lengths;
+  PadBatch(docs, begin, count, config_.max_len, ids, lengths);
+  const size_t seq = config_.max_len;
+  Tensor embedded = embedding_->Forward(ids);            // [B*S, d]
+  Tensor projected = Tanh(proj_->Forward(embedded));     // [B*S, h]
+  Tensor scores = attn_->Forward(projected);             // [B*S, 1]
+  // Mask padding with a large negative constant, softmax per doc.
+  std::vector<float> mask(count * seq, 0.0f);
+  for (size_t b = 0; b < count; ++b) {
+    for (size_t t = static_cast<size_t>(lengths[b]); t < seq; ++t) {
+      mask[b * seq + t] = -1e9f;
+    }
+  }
+  Tensor masked = AddConstant(Reshape(scores, {count, seq}), mask);
+  Tensor weights = SoftmaxLastDim(masked);               // [B, S]
+  // Weighted sum per doc via Rows + WeightedSumRows.
+  std::vector<Tensor> pooled;
+  pooled.reserve(count);
+  for (size_t b = 0; b < count; ++b) {
+    std::vector<int32_t> row_ids(seq);
+    for (size_t t = 0; t < seq; ++t) {
+      row_ids[t] = static_cast<int32_t>(b * seq + t);
+    }
+    Tensor doc_rows = Rows(projected, row_ids);                   // [S, h]
+    std::vector<int32_t> w_ids(seq);
+    for (size_t t = 0; t < seq; ++t) {
+      w_ids[t] = static_cast<int32_t>(b * seq + t);
+    }
+    Tensor doc_weights =
+        Reshape(Rows(Reshape(weights, {count * seq, 1}), w_ids), {seq});
+    pooled.push_back(WeightedSumRows(doc_rows, doc_weights));     // [1, h]
+  }
+  Tensor features = ConcatRows(pooled);                           // [B, h]
+  features = Dropout(features, config_.dropout, rng_, training);
+  Tensor hidden = Relu(dense_->Forward(features));
+  return out_->Forward(hidden);
+}
+
+double HanClassifier::TrainEpoch(
+    const std::vector<std::vector<int32_t>>& docs,
+    const std::vector<float>& soft_targets) {
+  STM_CHECK_EQ(soft_targets.size(), docs.size() * config_.num_classes);
+  const std::vector<size_t> order = rng_.Permutation(docs.size());
+  double total_loss = 0.0;
+  size_t batches = 0;
+  std::vector<std::vector<int32_t>> batch_docs;
+  std::vector<float> batch_targets;
+  for (size_t begin = 0; begin < docs.size(); begin += config_.batch_size) {
+    const size_t count = std::min(config_.batch_size, docs.size() - begin);
+    batch_docs.clear();
+    batch_targets.clear();
+    for (size_t i = 0; i < count; ++i) {
+      const size_t src = order[begin + i];
+      batch_docs.push_back(docs[src]);
+      for (size_t c = 0; c < config_.num_classes; ++c) {
+        batch_targets.push_back(soft_targets[src * config_.num_classes + c]);
+      }
+    }
+    Tensor logits = Logits(batch_docs, 0, count, /*training=*/true);
+    Tensor loss = SoftCrossEntropy(logits, batch_targets);
+    Backward(loss);
+    optimizer_->Step();
+    total_loss += loss.item();
+    ++batches;
+  }
+  return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
+}
+
+la::Matrix HanClassifier::PredictProbs(
+    const std::vector<std::vector<int32_t>>& docs) {
+  la::Matrix probs(docs.size(), config_.num_classes);
+  for (size_t begin = 0; begin < docs.size(); begin += config_.batch_size) {
+    const size_t count = std::min(config_.batch_size, docs.size() - begin);
+    Tensor p = SoftmaxLastDim(Logits(docs, begin, count, /*training=*/false));
+    for (size_t i = 0; i < count; ++i) {
+      for (size_t c = 0; c < config_.num_classes; ++c) {
+        probs.At(begin + i, c) = p.value()[i * config_.num_classes + c];
+      }
+    }
+  }
+  return probs;
+}
+
+// ---------------- BowLogRegClassifier ----------------
+
+BowLogRegClassifier::BowLogRegClassifier(const ClassifierConfig& config)
+    : config_(config), rng_(config.seed) {
+  STM_CHECK_GT(config.vocab_size, 0u);
+  STM_CHECK_GT(config.num_classes, 0u);
+  out_ = std::make_unique<Linear>(&store_, "out", config.vocab_size,
+                                  config.num_classes, rng_);
+  OptimizerConfig opt;
+  opt.lr = config.bow_lr;
+  optimizer_ = std::make_unique<AdamOptimizer>(&store_, opt);
+}
+
+Tensor BowLogRegClassifier::Features(
+    const std::vector<std::vector<int32_t>>& docs, size_t begin,
+    size_t count) const {
+  std::vector<float> features(count * config_.vocab_size, 0.0f);
+  for (size_t i = 0; i < count; ++i) {
+    float* row = features.data() + i * config_.vocab_size;
+    float total = 0.0f;
+    for (int32_t id : docs[begin + i]) {
+      if (id >= text::kNumSpecialTokens &&
+          static_cast<size_t>(id) < config_.vocab_size) {
+        row[id] += 1.0f;
+        total += 1.0f;
+      }
+    }
+    if (total > 0.0f) {
+      for (size_t j = 0; j < config_.vocab_size; ++j) row[j] /= total;
+    }
+  }
+  return Tensor::FromVector(std::move(features),
+                            {count, config_.vocab_size});
+}
+
+double BowLogRegClassifier::TrainEpoch(
+    const std::vector<std::vector<int32_t>>& docs,
+    const std::vector<float>& soft_targets) {
+  STM_CHECK_EQ(soft_targets.size(), docs.size() * config_.num_classes);
+  const std::vector<size_t> order = rng_.Permutation(docs.size());
+  double total_loss = 0.0;
+  size_t batches = 0;
+  std::vector<std::vector<int32_t>> batch_docs;
+  std::vector<float> batch_targets;
+  const size_t batch_size = std::max<size_t>(config_.batch_size, 32);
+  for (size_t begin = 0; begin < docs.size(); begin += batch_size) {
+    const size_t count = std::min(batch_size, docs.size() - begin);
+    batch_docs.clear();
+    batch_targets.clear();
+    for (size_t i = 0; i < count; ++i) {
+      const size_t src = order[begin + i];
+      batch_docs.push_back(docs[src]);
+      for (size_t c = 0; c < config_.num_classes; ++c) {
+        batch_targets.push_back(soft_targets[src * config_.num_classes + c]);
+      }
+    }
+    Tensor logits = out_->Forward(Features(batch_docs, 0, count));
+    Tensor loss = SoftCrossEntropy(logits, batch_targets);
+    Backward(loss);
+    optimizer_->Step();
+    total_loss += loss.item();
+    ++batches;
+  }
+  return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
+}
+
+la::Matrix BowLogRegClassifier::PredictProbs(
+    const std::vector<std::vector<int32_t>>& docs) {
+  la::Matrix probs(docs.size(), config_.num_classes);
+  const size_t batch_size = 64;
+  for (size_t begin = 0; begin < docs.size(); begin += batch_size) {
+    const size_t count = std::min(batch_size, docs.size() - begin);
+    Tensor p =
+        SoftmaxLastDim(out_->Forward(Features(docs, begin, count)));
+    for (size_t i = 0; i < count; ++i) {
+      for (size_t c = 0; c < config_.num_classes; ++c) {
+        probs.At(begin + i, c) = p.value()[i * config_.num_classes + c];
+      }
+    }
+  }
+  return probs;
+}
+
+std::unique_ptr<TextClassifier> MakeClassifier(
+    const std::string& kind, const ClassifierConfig& config) {
+  if (kind == "cnn") return std::make_unique<TextCnnClassifier>(config);
+  if (kind == "han") return std::make_unique<HanClassifier>(config);
+  if (kind == "bow") return std::make_unique<BowLogRegClassifier>(config);
+  STM_CHECK(false) << "unknown classifier kind: " << kind;
+  return nullptr;
+}
+
+}  // namespace stm::nn

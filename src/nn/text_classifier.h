@@ -1,0 +1,147 @@
+#ifndef STM_NN_TEXT_CLASSIFIER_H_
+#define STM_NN_TEXT_CLASSIFIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace stm::nn {
+
+// Configuration shared by the neural document classifiers.
+struct ClassifierConfig {
+  size_t vocab_size = 0;
+  size_t num_classes = 0;
+  size_t embed_dim = 32;
+  size_t max_len = 64;                       // pad/truncate length
+  std::vector<size_t> conv_widths = {2, 3, 4};  // TextCNN only
+  size_t filters = 24;                       // TextCNN filters per width
+  size_t attn_hidden = 32;                   // HAN attention space
+  size_t hidden = 48;                        // classifier MLP hidden
+  float lr = 2e-3f;
+  float bow_lr = 0.1f;  // BowLogRegClassifier learning rate
+  float dropout = 0.1f;
+  size_t batch_size = 16;
+  uint64_t seed = 7;
+};
+
+// Common interface of the trainable document classifiers used by the
+// weakly-supervised methods (WeSTClass CNN/HAN, ConWea, self-training).
+// Training consumes *soft* targets (row-stochastic, n x C flattened) so the
+// same code path serves pseudo-labels and self-training distributions.
+class TextClassifier {
+ public:
+  virtual ~TextClassifier() = default;
+
+  // Optionally seeds the word embedding table from pre-trained static
+  // embeddings (row = token id). Default: no-op for models without one.
+  virtual void InitWordEmbeddings(
+      const std::vector<std::vector<float>>& embeddings);
+
+  // One pass over `docs` in shuffled minibatches; returns the mean loss.
+  virtual double TrainEpoch(const std::vector<std::vector<int32_t>>& docs,
+                            const std::vector<float>& soft_targets) = 0;
+
+  // Class probability matrix [n, C].
+  virtual la::Matrix PredictProbs(
+      const std::vector<std::vector<int32_t>>& docs) = 0;
+
+  // Argmax labels.
+  std::vector<int> Predict(const std::vector<std::vector<int32_t>>& docs);
+
+  // Trains for `epochs` epochs on hard labels (converted to one-hot).
+  void Fit(const std::vector<std::vector<int32_t>>& docs,
+           const std::vector<int>& labels, int epochs);
+};
+
+// Word-level CNN (Kim 2014 style): embedding -> parallel 1-D convolutions
+// -> max-over-time pooling -> MLP. WeSTClass's stronger variant.
+class TextCnnClassifier : public TextClassifier {
+ public:
+  explicit TextCnnClassifier(const ClassifierConfig& config);
+
+  void InitWordEmbeddings(
+      const std::vector<std::vector<float>>& embeddings) override;
+  double TrainEpoch(const std::vector<std::vector<int32_t>>& docs,
+                    const std::vector<float>& soft_targets) override;
+  la::Matrix PredictProbs(
+      const std::vector<std::vector<int32_t>>& docs) override;
+
+ private:
+  Tensor Logits(const std::vector<std::vector<int32_t>>& docs,
+                size_t begin, size_t count, bool training);
+
+  ClassifierConfig config_;
+  Rng rng_;
+  ParameterStore store_;
+  std::unique_ptr<Embedding> embedding_;
+  std::vector<std::unique_ptr<Linear>> convs_;
+  std::unique_ptr<Linear> dense_;
+  std::unique_ptr<Linear> out_;
+  std::unique_ptr<AdamOptimizer> optimizer_;
+};
+
+// Attention network (HAN without the sentence level, which matches the
+// tutorial's use on short documents): embedding -> tanh projection ->
+// context-vector attention -> weighted sum -> MLP.
+class HanClassifier : public TextClassifier {
+ public:
+  explicit HanClassifier(const ClassifierConfig& config);
+
+  void InitWordEmbeddings(
+      const std::vector<std::vector<float>>& embeddings) override;
+  double TrainEpoch(const std::vector<std::vector<int32_t>>& docs,
+                    const std::vector<float>& soft_targets) override;
+  la::Matrix PredictProbs(
+      const std::vector<std::vector<int32_t>>& docs) override;
+
+ private:
+  Tensor Logits(const std::vector<std::vector<int32_t>>& docs,
+                size_t begin, size_t count, bool training);
+
+  ClassifierConfig config_;
+  Rng rng_;
+  ParameterStore store_;
+  std::unique_ptr<Embedding> embedding_;
+  std::unique_ptr<Linear> proj_;
+  std::unique_ptr<Linear> attn_;
+  std::unique_ptr<Linear> dense_;
+  std::unique_ptr<Linear> out_;
+  std::unique_ptr<AdamOptimizer> optimizer_;
+};
+
+// Logistic regression over L1-normalized bag-of-words features. Fast and
+// strong on the synthetic corpora; the default classifier for methods that
+// only need "a text classifier" as a component (ConWea, X-Class,
+// PromptClass head, TaxoClass).
+class BowLogRegClassifier : public TextClassifier {
+ public:
+  explicit BowLogRegClassifier(const ClassifierConfig& config);
+
+  double TrainEpoch(const std::vector<std::vector<int32_t>>& docs,
+                    const std::vector<float>& soft_targets) override;
+  la::Matrix PredictProbs(
+      const std::vector<std::vector<int32_t>>& docs) override;
+
+ private:
+  Tensor Features(const std::vector<std::vector<int32_t>>& docs,
+                  size_t begin, size_t count) const;
+
+  ClassifierConfig config_;
+  Rng rng_;
+  ParameterStore store_;
+  std::unique_ptr<Linear> out_;
+  std::unique_ptr<AdamOptimizer> optimizer_;
+};
+
+// Factory by name: "cnn", "han", "bow".
+std::unique_ptr<TextClassifier> MakeClassifier(const std::string& kind,
+                                               const ClassifierConfig& config);
+
+}  // namespace stm::nn
+
+#endif  // STM_NN_TEXT_CLASSIFIER_H_

@@ -1,0 +1,475 @@
+#include "plm/minilm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/serialize.h"
+#include "common/string_util.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+#include "text/vocabulary.h"
+
+namespace stm::plm {
+
+namespace {
+
+constexpr uint32_t kModelMagic = 0x53544D4C;  // "STML"
+
+}  // namespace
+
+uint64_t MiniLmConfig::Fingerprint() const {
+  uint64_t h = Fnv1a("minilm-v1");
+  h = HashCombine(h, vocab_size);
+  h = HashCombine(h, dim);
+  h = HashCombine(h, layers);
+  h = HashCombine(h, heads);
+  h = HashCombine(h, ffn_dim);
+  h = HashCombine(h, max_seq);
+  h = HashCombine(h, seed);
+  return h;
+}
+
+MiniLm::MiniLm(const MiniLmConfig& config) : config_(config), rng_(config.seed) {
+  STM_CHECK_GT(config.vocab_size, 0u);
+  STM_CHECK_EQ(config.dim % config.heads, 0u);
+  token_embed_ = std::make_unique<nn::Embedding>(
+      &store_, "tok", config.vocab_size, config.dim, rng_);
+  pos_embed_ = std::make_unique<nn::Embedding>(&store_, "pos",
+                                               config.max_seq, config.dim,
+                                               rng_);
+  layers_.resize(config.layers);
+  for (size_t l = 0; l < config.layers; ++l) {
+    const std::string prefix = "layer" + std::to_string(l);
+    Layer& layer = layers_[l];
+    layer.qkv = std::make_unique<nn::Linear>(&store_, prefix + ".qkv",
+                                             config.dim, 3 * config.dim,
+                                             rng_);
+    layer.out = std::make_unique<nn::Linear>(&store_, prefix + ".out",
+                                             config.dim, config.dim, rng_);
+    layer.ffn1 = std::make_unique<nn::Linear>(&store_, prefix + ".ffn1",
+                                              config.dim, config.ffn_dim,
+                                              rng_);
+    layer.ffn2 = std::make_unique<nn::Linear>(&store_, prefix + ".ffn2",
+                                              config.ffn_dim, config.dim,
+                                              rng_);
+    layer.ln1 = std::make_unique<nn::LayerNormModule>(&store_, prefix + ".ln1",
+                                                      config.dim);
+    layer.ln2 = std::make_unique<nn::LayerNormModule>(&store_, prefix + ".ln2",
+                                                      config.dim);
+  }
+  final_ln_ =
+      std::make_unique<nn::LayerNormModule>(&store_, "final_ln", config.dim);
+  mlm_bias_ = store_.Register("mlm_bias",
+                              nn::Tensor::ZeroParam({config.vocab_size}));
+  rtd_head_ =
+      std::make_unique<nn::Linear>(&store_, "rtd", config.dim, 1, rng_);
+}
+
+std::vector<int32_t> MiniLm::Truncate(const std::vector<int32_t>& ids) const {
+  std::vector<int32_t> out = ids;
+  if (out.size() > config_.max_seq) out.resize(config_.max_seq);
+  if (out.empty()) out.push_back(text::kPadId);
+  for (int32_t id : out) {
+    STM_CHECK_GE(id, 0);
+    STM_CHECK_LT(static_cast<size_t>(id), config_.vocab_size);
+  }
+  return out;
+}
+
+nn::Tensor MiniLm::Forward(const std::vector<int32_t>& flat_ids, size_t count,
+                           size_t seq, const std::vector<int>& lengths) {
+  STM_CHECK_EQ(flat_ids.size(), count * seq);
+  STM_CHECK_EQ(lengths.size(), count);
+  const size_t d = config_.dim;
+  const size_t h = config_.heads;
+  const size_t dh = d / h;
+
+  // Token + position embeddings.
+  std::vector<int32_t> pos_ids(count * seq);
+  for (size_t b = 0; b < count; ++b) {
+    for (size_t t = 0; t < seq; ++t) {
+      pos_ids[b * seq + t] = static_cast<int32_t>(t);
+    }
+  }
+  nn::Tensor x = nn::Add(token_embed_->Forward(flat_ids),
+                         pos_embed_->Forward(pos_ids));  // [B*S, d]
+
+  // Additive attention mask: -1e9 on key positions beyond each length,
+  // replicated over B*h batch entries -> [B*h, S, S] flattened.
+  std::vector<float> mask(count * h * seq * seq, 0.0f);
+  for (size_t b = 0; b < count; ++b) {
+    const size_t len = static_cast<size_t>(lengths[b]);
+    for (size_t head = 0; head < h; ++head) {
+      float* block = mask.data() + (b * h + head) * seq * seq;
+      for (size_t q = 0; q < seq; ++q) {
+        for (size_t kpos = len; kpos < seq; ++kpos) {
+          block[q * seq + kpos] = -1e9f;
+        }
+      }
+    }
+  }
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  for (Layer& layer : layers_) {
+    // ---- attention sublayer (pre-LN) ----
+    nn::Tensor normed = layer.ln1->Forward(x);
+    nn::Tensor qkv = layer.qkv->Forward(normed);  // [B*S, 3d]
+    nn::Tensor q = nn::SliceCols(qkv, 0, d);
+    nn::Tensor k = nn::SliceCols(qkv, d, d);
+    nn::Tensor v = nn::SliceCols(qkv, 2 * d, d);
+    // [B*S, d] -> [B, S, h, dh] -> [B, h, S, dh] -> [B*h, S, dh]
+    auto to_heads = [&](const nn::Tensor& t) {
+      return nn::Reshape(
+          nn::Permute(nn::Reshape(t, {count, seq, h, dh}), {0, 2, 1, 3}),
+          {count * h, seq, dh});
+    };
+    nn::Tensor qh = to_heads(q);
+    nn::Tensor kh = to_heads(k);
+    nn::Tensor vh = to_heads(v);
+    nn::Tensor scores = nn::Scale(nn::BMatMulT(qh, kh), scale);
+    scores = nn::AddConstant(scores, mask);
+    nn::Tensor attn = nn::SoftmaxLastDim(scores);       // [B*h, S, S]
+    nn::Tensor ctx = nn::BMatMul(attn, vh);             // [B*h, S, dh]
+    nn::Tensor merged = nn::Reshape(
+        nn::Permute(nn::Reshape(ctx, {count, h, seq, dh}), {0, 2, 1, 3}),
+        {count * seq, d});
+    x = nn::Add(x, layer.out->Forward(merged));
+
+    // ---- feed-forward sublayer ----
+    nn::Tensor normed2 = layer.ln2->Forward(x);
+    nn::Tensor ffn =
+        layer.ffn2->Forward(nn::Gelu(layer.ffn1->Forward(normed2)));
+    x = nn::Add(x, ffn);
+  }
+  return final_ln_->Forward(x);  // [B*S, d]
+}
+
+nn::Tensor MiniLm::MlmLogits(const nn::Tensor& hidden_rows) {
+  // logits = H * E^T + b  via batched matmul-with-transpose.
+  const size_t n = hidden_rows.dim(0);
+  nn::Tensor h3 = nn::Reshape(hidden_rows, {1, n, config_.dim});
+  nn::Tensor e3 = nn::Reshape(token_embed_->table(),
+                              {1, config_.vocab_size, config_.dim});
+  nn::Tensor logits =
+      nn::Reshape(nn::BMatMulT(h3, e3), {n, config_.vocab_size});
+  return nn::AddBias(logits, mlm_bias_);
+}
+
+double MiniLm::Pretrain(const std::vector<std::vector<int32_t>>& corpus_docs,
+                        const PretrainConfig& pretrain) {
+  STM_CHECK(!corpus_docs.empty());
+  Rng rng(pretrain.seed);
+
+  // Unigram distribution for random replacement / RTD corruption.
+  std::vector<double> unigram(config_.vocab_size, 0.0);
+  for (const auto& doc : corpus_docs) {
+    for (int32_t id : doc) {
+      if (id >= text::kNumSpecialTokens &&
+          static_cast<size_t>(id) < config_.vocab_size) {
+        unigram[static_cast<size_t>(id)] += 1.0;
+      }
+    }
+  }
+  bool any = false;
+  for (double w : unigram) any = any || w > 0.0;
+  STM_CHECK(any) << "corpus has no regular tokens";
+  AliasSampler unigram_sampler(unigram);
+
+  // Very frequent tokens (function words) are masked less often so the
+  // model spends its capacity on informative positions.
+  std::vector<bool> frequent(config_.vocab_size, false);
+  {
+    std::vector<std::pair<double, size_t>> ranked;
+    for (size_t i = 0; i < unigram.size(); ++i) {
+      if (unigram[i] > 0.0) ranked.emplace_back(unigram[i], i);
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    if (pretrain.frequency_aware_masking) {
+      for (size_t i = 0; i < ranked.size() && i < 40; ++i) {
+        frequent[ranked[i].second] = true;
+      }
+    }
+  }
+
+  nn::OptimizerConfig opt_config;
+  opt_config.lr = pretrain.lr;
+  opt_config.grad_clip = 5.0f;
+  nn::AdamOptimizer optimizer(&store_, opt_config);
+  const int warmup =
+      std::max(1, static_cast<int>(pretrain.steps * pretrain.warmup_frac));
+
+  const size_t seq = config_.max_seq;
+  double running_mlm = 0.0;
+  for (int step = 0; step < pretrain.steps; ++step) {
+    // Linear warmup.
+    const float lr_scale =
+        step < warmup ? static_cast<float>(step + 1) / warmup : 1.0f;
+    optimizer.set_lr(pretrain.lr * lr_scale);
+
+    // Assemble a batch of windows.
+    const size_t batch = pretrain.batch;
+    std::vector<int32_t> ids(batch * seq, text::kPadId);
+    std::vector<int> lengths(batch, 1);
+    std::vector<int32_t> originals(batch * seq, text::kPadId);
+    for (size_t b = 0; b < batch; ++b) {
+      const auto& doc = corpus_docs[rng.UniformInt(corpus_docs.size())];
+      if (doc.empty()) continue;
+      const size_t start =
+          doc.size() > seq ? rng.UniformInt(doc.size() - seq + 1) : 0;
+      const size_t len = std::min(seq, doc.size() - start);
+      for (size_t t = 0; t < len; ++t) {
+        ids[b * seq + t] = doc[start + t];
+        originals[b * seq + t] = doc[start + t];
+      }
+      lengths[b] = std::max<int>(1, static_cast<int>(len));
+    }
+
+    // ---- MLM corruption ----
+    std::vector<int32_t> masked_rows;
+    std::vector<int> mlm_targets;
+    for (size_t b = 0; b < batch; ++b) {
+      for (size_t t = 0; t < static_cast<size_t>(lengths[b]); ++t) {
+        const size_t pos = b * seq + t;
+        if (originals[pos] < text::kNumSpecialTokens) continue;
+        const double rate =
+            frequent[static_cast<size_t>(originals[pos])]
+                ? 0.3 * pretrain.mask_prob
+                : pretrain.mask_prob;
+        if (!rng.Bernoulli(rate)) continue;
+        masked_rows.push_back(static_cast<int32_t>(pos));
+        mlm_targets.push_back(originals[pos]);
+        const double roll = rng.Uniform();
+        if (roll < 0.8) {
+          ids[pos] = text::kMaskId;
+        } else if (roll < 0.9) {
+          ids[pos] =
+              static_cast<int32_t>(unigram_sampler.Sample(rng));
+        }  // else keep
+      }
+    }
+    if (masked_rows.empty()) continue;
+
+    nn::Tensor hidden = Forward(ids, batch, seq, lengths);
+    nn::Tensor masked_hidden = nn::Rows(hidden, masked_rows);
+    nn::Tensor logits = MlmLogits(masked_hidden);
+    nn::Tensor mlm_loss = nn::CrossEntropy(logits, mlm_targets);
+    nn::Tensor loss = mlm_loss;
+
+    // ---- RTD objective on an independently corrupted copy ----
+    if (pretrain.train_rtd) {
+      std::vector<int32_t> rtd_ids = originals;
+      std::vector<int32_t> all_rows;
+      std::vector<float> rtd_targets;
+      for (size_t b = 0; b < batch; ++b) {
+        for (size_t t = 0; t < static_cast<size_t>(lengths[b]); ++t) {
+          const size_t pos = b * seq + t;
+          if (originals[pos] < text::kNumSpecialTokens) continue;
+          float replaced = 0.0f;
+          if (rng.Bernoulli(pretrain.rtd_corrupt_prob)) {
+            const int32_t sampled =
+                static_cast<int32_t>(unigram_sampler.Sample(rng));
+            if (sampled != originals[pos]) {
+              rtd_ids[pos] = sampled;
+              replaced = 1.0f;
+            }
+          }
+          all_rows.push_back(static_cast<int32_t>(pos));
+          rtd_targets.push_back(replaced);
+        }
+      }
+      if (!all_rows.empty()) {
+        nn::Tensor rtd_hidden = Forward(rtd_ids, batch, seq, lengths);
+        nn::Tensor rtd_logits =
+            nn::Reshape(rtd_head_->Forward(nn::Rows(rtd_hidden, all_rows)),
+                        {all_rows.size()});
+        loss = nn::Add(loss,
+                       nn::Scale(nn::BceWithLogits(rtd_logits, rtd_targets),
+                                 2.0f));
+      }
+    }
+
+    nn::Backward(loss);
+    optimizer.Step();
+    running_mlm = running_mlm == 0.0
+                      ? mlm_loss.item()
+                      : 0.95 * running_mlm + 0.05 * mlm_loss.item();
+    if (pretrain.log_every > 0 && (step + 1) % pretrain.log_every == 0) {
+      std::fprintf(stderr, "[minilm] step %d/%d loss %.3f\n", step + 1,
+                   pretrain.steps, running_mlm);
+    }
+  }
+  return running_mlm;
+}
+
+nn::Tensor MiniLm::EncodeTensor(const std::vector<int32_t>& ids) {
+  const std::vector<int32_t> trunc = Truncate(ids);
+  const std::vector<int> lengths = {static_cast<int>(trunc.size())};
+  return Forward(trunc, 1, trunc.size(), lengths);
+}
+
+nn::Tensor MiniLm::PoolTensor(const std::vector<int32_t>& ids) {
+  const std::vector<int32_t> trunc = Truncate(ids);
+  nn::Tensor hidden = EncodeTensor(ids);
+  return nn::MaskedMeanPool(hidden, 1, trunc.size(),
+                            {static_cast<int>(trunc.size())});
+}
+
+la::Matrix MiniLm::Encode(const std::vector<int32_t>& ids) {
+  nn::Tensor hidden = EncodeTensor(ids);
+  la::Matrix out(hidden.dim(0), hidden.dim(1));
+  std::copy(hidden.value().begin(), hidden.value().end(), out.data());
+  return out;
+}
+
+std::vector<float> MiniLm::Pool(const std::vector<int32_t>& ids) {
+  return PoolTensor(ids).value();
+}
+
+std::vector<int32_t> MiniLm::PredictTopK(const std::vector<int32_t>& ids,
+                                         size_t position, size_t k,
+                                         bool mask_position) {
+  std::vector<int32_t> input = Truncate(ids);
+  STM_CHECK_LT(position, input.size());
+  if (mask_position) input[position] = text::kMaskId;
+  nn::Tensor hidden = EncodeTensor(input);
+  nn::Tensor logits =
+      MlmLogits(nn::Rows(hidden, {static_cast<int32_t>(position)}));
+  std::vector<std::pair<float, int32_t>> scored;
+  scored.reserve(config_.vocab_size);
+  for (size_t i = text::kNumSpecialTokens; i < config_.vocab_size; ++i) {
+    scored.emplace_back(logits.value()[i], static_cast<int32_t>(i));
+  }
+  const size_t keep = std::min(k, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  std::vector<int32_t> top;
+  top.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) top.push_back(scored[i].second);
+  return top;
+}
+
+std::vector<std::vector<int32_t>> MiniLm::PredictTopKAt(
+    const std::vector<int32_t>& ids, const std::vector<size_t>& positions,
+    size_t k) {
+  const std::vector<int32_t> input = Truncate(ids);
+  nn::Tensor hidden = EncodeTensor(input);
+  std::vector<int32_t> rows;
+  rows.reserve(positions.size());
+  for (size_t pos : positions) {
+    STM_CHECK_LT(pos, input.size());
+    rows.push_back(static_cast<int32_t>(pos));
+  }
+  nn::Tensor logits = MlmLogits(nn::Rows(hidden, rows));
+  std::vector<std::vector<int32_t>> result(positions.size());
+  std::vector<std::pair<float, int32_t>> scored;
+  for (size_t r = 0; r < positions.size(); ++r) {
+    scored.clear();
+    const float* row = logits.value().data() + r * config_.vocab_size;
+    for (size_t i = text::kNumSpecialTokens; i < config_.vocab_size; ++i) {
+      scored.emplace_back(row[i], static_cast<int32_t>(i));
+    }
+    const size_t keep = std::min(k, scored.size());
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                      scored.end(), [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    for (size_t i = 0; i < keep; ++i) {
+      result[r].push_back(scored[i].second);
+    }
+  }
+  return result;
+}
+
+std::vector<float> MiniLm::CandidateLogProbs(
+    const std::vector<int32_t>& ids, size_t position,
+    const std::vector<int32_t>& candidates) {
+  std::vector<int32_t> input = Truncate(ids);
+  STM_CHECK_LT(position, input.size());
+  input[position] = text::kMaskId;
+  nn::Tensor hidden = EncodeTensor(input);
+  nn::Tensor logits =
+      MlmLogits(nn::Rows(hidden, {static_cast<int32_t>(position)}));
+  // Log-softmax over the full vocabulary, then gather candidates.
+  float max = logits.value()[0];
+  for (float v : logits.value()) max = std::max(max, v);
+  double sum = 0.0;
+  for (float v : logits.value()) sum += std::exp(v - max);
+  const float lse = max + static_cast<float>(std::log(sum));
+  std::vector<float> out;
+  out.reserve(candidates.size());
+  for (int32_t c : candidates) {
+    STM_CHECK_GE(c, 0);
+    STM_CHECK_LT(static_cast<size_t>(c), config_.vocab_size);
+    out.push_back(logits.value()[static_cast<size_t>(c)] - lse);
+  }
+  return out;
+}
+
+std::vector<float> MiniLm::ReplacedProbs(const std::vector<int32_t>& ids) {
+  const std::vector<int32_t> trunc = Truncate(ids);
+  nn::Tensor hidden = EncodeTensor(trunc);
+  nn::Tensor logits = rtd_head_->Forward(hidden);
+  std::vector<float> probs(trunc.size());
+  for (size_t t = 0; t < trunc.size(); ++t) {
+    probs[t] = 1.0f / (1.0f + std::exp(-logits.value()[t]));
+  }
+  return probs;
+}
+
+bool MiniLm::Save(const std::string& path) const {
+  BinaryWriter writer;
+  writer.WriteU32(kModelMagic);
+  writer.WriteU64(config_.vocab_size);
+  writer.WriteU64(config_.dim);
+  writer.WriteU64(config_.layers);
+  writer.WriteU64(config_.heads);
+  writer.WriteU64(config_.ffn_dim);
+  writer.WriteU64(config_.max_seq);
+  writer.WriteU64(config_.seed);
+  writer.WriteFloats(store_.Snapshot());
+  return writer.Flush(path);
+}
+
+std::unique_ptr<MiniLm> MiniLm::Load(const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok() || reader.ReadU32() != kModelMagic) return nullptr;
+  MiniLmConfig config;
+  config.vocab_size = reader.ReadU64();
+  config.dim = reader.ReadU64();
+  config.layers = reader.ReadU64();
+  config.heads = reader.ReadU64();
+  config.ffn_dim = reader.ReadU64();
+  config.max_seq = reader.ReadU64();
+  config.seed = reader.ReadU64();
+  const std::vector<float> snapshot = reader.ReadFloats();
+  if (!reader.ok()) return nullptr;
+  auto model = std::make_unique<MiniLm>(config);
+  if (snapshot.size() != model->store_.TotalSize()) return nullptr;
+  model->store_.Restore(snapshot);
+  return model;
+}
+
+std::unique_ptr<MiniLm> MiniLm::LoadOrPretrain(
+    const std::string& cache_dir, uint64_t extra_key,
+    const MiniLmConfig& config, const PretrainConfig& pretrain,
+    const std::vector<std::vector<int32_t>>& corpus_docs) {
+  uint64_t key = HashCombine(config.Fingerprint(), extra_key);
+  key = HashCombine(key, static_cast<uint64_t>(pretrain.steps));
+  key = HashCombine(key, pretrain.seed);
+  const std::string path =
+      cache_dir + "/minilm_" + HashToHex(key) + ".bin";
+  if (auto cached = Load(path)) return cached;
+  auto model = std::make_unique<MiniLm>(config);
+  model->Pretrain(corpus_docs, pretrain);
+  model->Save(path);  // best-effort; failure to cache is not fatal
+  return model;
+}
+
+}  // namespace stm::plm

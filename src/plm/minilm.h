@@ -1,0 +1,164 @@
+#ifndef STM_PLM_MINILM_H_
+#define STM_PLM_MINILM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+
+namespace stm::plm {
+
+// MiniLm is the library's stand-in for BERT/RoBERTa/ELECTRA: a from-scratch
+// transformer encoder pre-trained with masked-language-modeling (MLM) and
+// an ELECTRA-style replaced-token-detection (RTD) head on a "general"
+// corpus. Every tutorial method that consumes a pre-trained LM talks to
+// this class through the same interfaces a real PLM would offer:
+//
+//  * contextualized token representations      (ConWea, X-Class, MICoL)
+//  * top-k masked-token prediction             (LOTClass, PromptClass)
+//  * replaced-token-detection scores           (PromptClass, ELECTRA-style)
+//  * pooled document vectors                   (X-Class, TaxoClass, MICoL)
+//
+// The architecture is pre-LN: x + MHSA(LN(x)), x + FFN(LN(x)), final LN.
+// The MLM head ties its projection with the token embedding table.
+
+struct MiniLmConfig {
+  size_t vocab_size = 0;
+  size_t dim = 48;        // model width; must be divisible by heads
+  size_t layers = 2;
+  size_t heads = 4;
+  size_t ffn_dim = 96;
+  size_t max_seq = 48;    // maximum sequence length (incl. specials)
+  uint64_t seed = 1;
+
+  // Stable fingerprint for the on-disk cache.
+  uint64_t Fingerprint() const;
+};
+
+struct PretrainConfig {
+  int steps = 500;
+  size_t batch = 8;
+  float lr = 1e-3f;
+  float warmup_frac = 0.1f;     // linear warmup then constant
+  float mask_prob = 0.15f;      // MLM masking rate
+  float rtd_corrupt_prob = 0.15f;
+  bool train_rtd = true;        // learn the discriminator head too
+  // Mask the 40 most frequent tokens at 0.3x rate so model capacity goes
+  // to informative positions (ablation: set false for uniform masking).
+  bool frequency_aware_masking = true;
+  int log_every = 0;            // 0 = silent
+  uint64_t seed = 13;
+};
+
+class MiniLm {
+ public:
+  explicit MiniLm(const MiniLmConfig& config);
+
+  MiniLm(const MiniLm&) = delete;
+  MiniLm& operator=(const MiniLm&) = delete;
+
+  const MiniLmConfig& config() const { return config_; }
+
+  // ---- pre-training ----
+
+  // Runs MLM (+RTD) pre-training on `corpus_docs` (token id sequences over
+  // the model vocabulary). Returns the final running MLM loss.
+  double Pretrain(const std::vector<std::vector<int32_t>>& corpus_docs,
+                  const PretrainConfig& pretrain);
+
+  // ---- differentiable encoding (for fine-tuning) ----
+
+  // Final hidden states [len, dim] for one sequence (truncated to
+  // max_seq). The graph reaches the model parameters, so losses built on
+  // top fine-tune the encoder.
+  nn::Tensor EncodeTensor(const std::vector<int32_t>& ids);
+
+  // Mean-pooled document vector [1, dim] (differentiable).
+  nn::Tensor PoolTensor(const std::vector<int32_t>& ids);
+
+  // ---- inference conveniences (no gradient bookkeeping kept) ----
+
+  // Contextual token vectors, row t = representation of ids[t].
+  la::Matrix Encode(const std::vector<int32_t>& ids);
+
+  // Average of token vectors — "average-pooled BERT representation".
+  std::vector<float> Pool(const std::vector<int32_t>& ids);
+
+  // Top-k vocabulary predictions at `position` after replacing it with
+  // [MASK] (when `mask_position` is true) or keeping the original token.
+  // Specials are excluded. Returns ids sorted by descending probability.
+  std::vector<int32_t> PredictTopK(const std::vector<int32_t>& ids,
+                                   size_t position, size_t k,
+                                   bool mask_position = true);
+
+  // Top-k predictions at several positions from ONE encoding pass with no
+  // masking (the LOTClass setting: the model predicts which words could
+  // replace the observed word in context). Much cheaper than calling
+  // PredictTopK per position.
+  std::vector<std::vector<int32_t>> PredictTopKAt(
+      const std::vector<int32_t>& ids, const std::vector<size_t>& positions,
+      size_t k);
+
+  // Log-probabilities of `candidates` at `position` (masked). Used for
+  // prompt-based zero-shot classification.
+  std::vector<float> CandidateLogProbs(const std::vector<int32_t>& ids,
+                                       size_t position,
+                                       const std::vector<int32_t>& candidates);
+
+  // RTD head score per token: probability that the token was replaced
+  // (lower = more "original"/plausible in context).
+  std::vector<float> ReplacedProbs(const std::vector<int32_t>& ids);
+
+  // ---- persistence ----
+
+  bool Save(const std::string& path) const;
+  static std::unique_ptr<MiniLm> Load(const std::string& path);
+
+  // Loads from `<cache_dir>/minilm_<fp>.bin` when present; otherwise
+  // pre-trains on `corpus_docs` and saves. `extra_key` folds corpus
+  // identity into the fingerprint.
+  static std::unique_ptr<MiniLm> LoadOrPretrain(
+      const std::string& cache_dir, uint64_t extra_key,
+      const MiniLmConfig& config, const PretrainConfig& pretrain,
+      const std::vector<std::vector<int32_t>>& corpus_docs);
+
+  nn::ParameterStore& store() { return store_; }
+
+ private:
+  struct Layer {
+    std::unique_ptr<nn::Linear> qkv;
+    std::unique_ptr<nn::Linear> out;
+    std::unique_ptr<nn::Linear> ffn1;
+    std::unique_ptr<nn::Linear> ffn2;
+    std::unique_ptr<nn::LayerNormModule> ln1;
+    std::unique_ptr<nn::LayerNormModule> ln2;
+  };
+
+  // Shared forward: `count` sequences of equal padded length `seq`.
+  nn::Tensor Forward(const std::vector<int32_t>& flat_ids, size_t count,
+                     size_t seq, const std::vector<int>& lengths);
+
+  // MLM logits for selected rows of hidden states (tied embeddings).
+  nn::Tensor MlmLogits(const nn::Tensor& hidden_rows);
+
+  std::vector<int32_t> Truncate(const std::vector<int32_t>& ids) const;
+
+  MiniLmConfig config_;
+  Rng rng_;
+  nn::ParameterStore store_;
+  std::unique_ptr<nn::Embedding> token_embed_;
+  std::unique_ptr<nn::Embedding> pos_embed_;
+  std::vector<Layer> layers_;
+  std::unique_ptr<nn::LayerNormModule> final_ln_;
+  nn::Tensor mlm_bias_;                       // [vocab]
+  std::unique_ptr<nn::Linear> rtd_head_;      // dim -> 1
+};
+
+}  // namespace stm::plm
+
+#endif  // STM_PLM_MINILM_H_

@@ -1,0 +1,92 @@
+#include "plm/pair_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/loss.h"
+#include "la/matrix.h"
+#include "nn/ops.h"
+
+namespace stm::plm {
+
+PairScorer::PairScorer(const Config& config)
+    : config_(config), rng_(config.seed) {
+  STM_CHECK_GT(config.encoder_dim, 0u);
+  const size_t interaction_dim = 4 * config.encoder_dim + 1;
+  hidden_ = std::make_unique<nn::Linear>(&store_, "hidden", interaction_dim,
+                                         config.hidden, rng_);
+  out_ = std::make_unique<nn::Linear>(&store_, "out", config.hidden, 1,
+                                      rng_);
+  nn::OptimizerConfig opt;
+  opt.lr = config.lr;
+  opt.grad_clip = 5.0f;
+  optimizer_ = std::make_unique<nn::AdamOptimizer>(&store_, opt);
+}
+
+std::vector<float> PairScorer::Interaction(
+    const std::vector<float>& u, const std::vector<float>& v) const {
+  STM_CHECK_EQ(u.size(), config_.encoder_dim);
+  STM_CHECK_EQ(v.size(), config_.encoder_dim);
+  std::vector<float> features;
+  features.reserve(4 * config_.encoder_dim + 1);
+  features.insert(features.end(), u.begin(), u.end());
+  features.insert(features.end(), v.begin(), v.end());
+  for (size_t i = 0; i < u.size(); ++i) {
+    features.push_back(std::fabs(u[i] - v[i]));
+  }
+  for (size_t i = 0; i < u.size(); ++i) features.push_back(u[i] * v[i]);
+  // Explicit cosine: the single strongest relevance signal; giving it to
+  // the head directly makes the small MLP far more sample-efficient.
+  features.push_back(la::Cosine(u.data(), v.data(), u.size()));
+  return features;
+}
+
+double PairScorer::Train(const std::vector<std::vector<float>>& u,
+                         const std::vector<std::vector<float>>& v,
+                         const std::vector<float>& labels) {
+  STM_CHECK_EQ(u.size(), v.size());
+  STM_CHECK_EQ(u.size(), labels.size());
+  STM_CHECK(!u.empty());
+  double last = 0.0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const std::vector<size_t> order = rng_.Permutation(u.size());
+    double total = 0.0;
+    size_t batches = 0;
+    for (size_t begin = 0; begin < order.size();
+         begin += config_.batch_size) {
+      const size_t count =
+          std::min(config_.batch_size, order.size() - begin);
+      std::vector<float> batch;
+      std::vector<float> targets;
+      batch.reserve(count * 4 * config_.encoder_dim);
+      for (size_t i = 0; i < count; ++i) {
+        const size_t idx = order[begin + i];
+        const std::vector<float> features = Interaction(u[idx], v[idx]);
+        batch.insert(batch.end(), features.begin(), features.end());
+        targets.push_back(labels[idx]);
+      }
+      nn::Tensor x = nn::Tensor::FromVector(
+          std::move(batch), {count, 4 * config_.encoder_dim + 1});
+      nn::Tensor logits = nn::Reshape(
+          out_->Forward(nn::Relu(hidden_->Forward(x))), {count});
+      nn::Tensor loss = nn::BceWithLogits(logits, targets);
+      nn::Backward(loss);
+      optimizer_->Step();
+      total += loss.item();
+      ++batches;
+    }
+    last = batches > 0 ? total / static_cast<double>(batches) : 0.0;
+  }
+  return last;
+}
+
+float PairScorer::Score(const std::vector<float>& u,
+                        const std::vector<float>& v) {
+  nn::Tensor x = nn::Tensor::FromVector(Interaction(u, v),
+                                        {1, 4 * config_.encoder_dim + 1});
+  nn::Tensor logits = out_->Forward(nn::Relu(hidden_->Forward(x)));
+  return 1.0f / (1.0f + std::exp(-logits.value()[0]));
+}
+
+}  // namespace stm::plm

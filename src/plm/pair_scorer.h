@@ -1,0 +1,57 @@
+#ifndef STM_PLM_PAIR_SCORER_H_
+#define STM_PLM_PAIR_SCORER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace stm::plm {
+
+// Sentence-pair relevance head over frozen encoder vectors: an MLP on the
+// standard interaction features [u; v; |u-v|; u*v] with a binary output.
+//
+// This stands in for two pre-trained artifacts of the tutorial:
+//  * TaxoClass's NLI relevance model (roberta-large-mnli): we pre-train
+//    the head on entailment pairs built from auxiliary topics, then apply
+//    it to unseen evaluation classes;
+//  * MICoL's Cross-Encoder: trained on metadata-induced document pairs,
+//    applied to (document, label description) pairs at inference.
+class PairScorer {
+ public:
+  struct Config {
+    size_t encoder_dim = 0;
+    size_t hidden = 48;
+    float lr = 4e-3f;
+    size_t batch_size = 32;
+    int epochs = 8;
+    uint64_t seed = 41;
+  };
+
+  explicit PairScorer(const Config& config);
+
+  // Trains on (u, v, label∈{0,1}) triples for `config.epochs` epochs.
+  // Returns final mean loss.
+  double Train(const std::vector<std::vector<float>>& u,
+               const std::vector<std::vector<float>>& v,
+               const std::vector<float>& labels);
+
+  // Relevance probability in [0, 1].
+  float Score(const std::vector<float>& u, const std::vector<float>& v);
+
+ private:
+  std::vector<float> Interaction(const std::vector<float>& u,
+                                 const std::vector<float>& v) const;
+
+  Config config_;
+  Rng rng_;
+  nn::ParameterStore store_;
+  std::unique_ptr<nn::Linear> hidden_;
+  std::unique_ptr<nn::Linear> out_;
+  std::unique_ptr<nn::AdamOptimizer> optimizer_;
+};
+
+}  // namespace stm::plm
+
+#endif  // STM_PLM_PAIR_SCORER_H_

@@ -1,0 +1,105 @@
+#include "taxonomy/taxonomy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace stm::taxonomy {
+
+int LabelTree::AddNode(const std::string& name, int parent) {
+  const int id = static_cast<int>(names_.size());
+  STM_CHECK_GE(parent, -1);
+  STM_CHECK_LT(parent, id) << "parent must be added before child";
+  names_.push_back(name);
+  parents_.push_back(parent);
+  children_.emplace_back();
+  if (parent >= 0) children_[static_cast<size_t>(parent)].push_back(id);
+  return id;
+}
+
+const std::string& LabelTree::NameOf(int node) const {
+  STM_CHECK_GE(node, 0);
+  STM_CHECK_LT(static_cast<size_t>(node), names_.size());
+  return names_[static_cast<size_t>(node)];
+}
+
+int LabelTree::ParentOf(int node) const {
+  STM_CHECK_GE(node, 0);
+  STM_CHECK_LT(static_cast<size_t>(node), parents_.size());
+  return parents_[static_cast<size_t>(node)];
+}
+
+const std::vector<int>& LabelTree::ChildrenOf(int node) const {
+  STM_CHECK_GE(node, 0);
+  STM_CHECK_LT(static_cast<size_t>(node), children_.size());
+  return children_[static_cast<size_t>(node)];
+}
+
+bool LabelTree::IsLeaf(int node) const { return ChildrenOf(node).empty(); }
+
+std::vector<int> LabelTree::Roots() const {
+  std::vector<int> roots;
+  for (size_t i = 0; i < parents_.size(); ++i) {
+    if (parents_[i] == -1) roots.push_back(static_cast<int>(i));
+  }
+  return roots;
+}
+
+std::vector<int> LabelTree::Leaves() const {
+  std::vector<int> leaves;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].empty()) leaves.push_back(static_cast<int>(i));
+  }
+  return leaves;
+}
+
+std::vector<int> LabelTree::PathTo(int node) const {
+  std::vector<int> path = WithAncestors(node);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<int> LabelTree::WithAncestors(int node) const {
+  std::vector<int> chain;
+  int current = node;
+  while (current != -1) {
+    chain.push_back(current);
+    current = ParentOf(current);
+  }
+  return chain;
+}
+
+std::vector<int> LabelTree::ClosureOf(const std::vector<int>& nodes) const {
+  std::vector<int> closure;
+  for (int node : nodes) {
+    const std::vector<int> chain = WithAncestors(node);
+    closure.insert(closure.end(), chain.begin(), chain.end());
+  }
+  std::sort(closure.begin(), closure.end());
+  closure.erase(std::unique(closure.begin(), closure.end()), closure.end());
+  return closure;
+}
+
+int LabelTree::DepthOf(int node) const {
+  return static_cast<int>(WithAncestors(node).size()) - 1;
+}
+
+int LabelTree::MaxDepth() const {
+  int max_depth = 0;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    max_depth = std::max(max_depth, DepthOf(static_cast<int>(i)));
+  }
+  return max_depth;
+}
+
+std::vector<int> LabelTree::NodesAtDepth(int depth) const {
+  std::vector<int> nodes;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (DepthOf(static_cast<int>(i)) == depth) {
+      nodes.push_back(static_cast<int>(i));
+    }
+  }
+  return nodes;
+}
+
+}  // namespace stm::taxonomy

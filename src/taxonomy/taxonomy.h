@@ -1,0 +1,59 @@
+#ifndef STM_TAXONOMY_TAXONOMY_H_
+#define STM_TAXONOMY_TAXONOMY_H_
+
+#include <string>
+#include <vector>
+
+namespace stm::taxonomy {
+
+// A label hierarchy. Nodes are indexed densely; every node has at most one
+// parent here (tree), which covers the tutorial's WeSHClass/X-Class paths;
+// TaxoClass's DAG is represented by the same structure plus the convention
+// that a document may carry several leaves (their ancestor sets may
+// overlap, giving the DAG-like multi-path label sets).
+class LabelTree {
+ public:
+  LabelTree() = default;
+
+  // Adds a node; parent = -1 for roots. Returns the node id.
+  int AddNode(const std::string& name, int parent);
+
+  size_t size() const { return names_.size(); }
+  const std::string& NameOf(int node) const;
+  int ParentOf(int node) const;
+  const std::vector<int>& ChildrenOf(int node) const;
+  bool IsLeaf(int node) const;
+
+  // All root nodes (parent == -1).
+  std::vector<int> Roots() const;
+
+  // All leaf nodes.
+  std::vector<int> Leaves() const;
+
+  // Path from root to `node`, inclusive.
+  std::vector<int> PathTo(int node) const;
+
+  // `node` and all its ancestors.
+  std::vector<int> WithAncestors(int node) const;
+
+  // Union of WithAncestors over `nodes` (deduplicated, sorted).
+  std::vector<int> ClosureOf(const std::vector<int>& nodes) const;
+
+  // Depth of a node (roots have depth 0).
+  int DepthOf(int node) const;
+
+  // Maximum depth over all nodes.
+  int MaxDepth() const;
+
+  // Nodes at exactly `depth`.
+  std::vector<int> NodesAtDepth(int depth) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<int> parents_;
+  std::vector<std::vector<int>> children_;
+};
+
+}  // namespace stm::taxonomy
+
+#endif  // STM_TAXONOMY_TAXONOMY_H_

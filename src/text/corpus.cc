@@ -1,0 +1,71 @@
+#include "text/corpus.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace stm::text {
+
+int Document::Label() const {
+  STM_CHECK_EQ(labels.size(), 1u) << "document is not single-label";
+  return labels[0];
+}
+
+std::vector<int32_t> Corpus::DocumentFrequencies() const {
+  std::vector<int32_t> df(vocab_.size(), 0);
+  std::unordered_set<int32_t> seen;
+  for (const Document& doc : docs_) {
+    seen.clear();
+    for (int32_t id : doc.tokens) {
+      if (seen.insert(id).second) df[static_cast<size_t>(id)]++;
+    }
+  }
+  return df;
+}
+
+std::vector<int64_t> Corpus::TokenCounts() const {
+  std::vector<int64_t> counts(vocab_.size(), 0);
+  for (const Document& doc : docs_) {
+    for (int32_t id : doc.tokens) counts[static_cast<size_t>(id)]++;
+  }
+  return counts;
+}
+
+std::vector<int> Corpus::GoldLabels() const {
+  std::vector<int> labels;
+  labels.reserve(docs_.size());
+  for (const Document& doc : docs_) labels.push_back(doc.Label());
+  return labels;
+}
+
+std::vector<std::pair<size_t, size_t>> Corpus::Occurrences(
+    int32_t token_id, size_t max_occurrences) const {
+  std::vector<std::pair<size_t, size_t>> hits;
+  for (size_t d = 0; d < docs_.size(); ++d) {
+    const auto& tokens = docs_[d].tokens;
+    for (size_t t = 0; t < tokens.size(); ++t) {
+      if (tokens[t] == token_id) {
+        hits.emplace_back(d, t);
+        if (max_occurrences > 0 && hits.size() >= max_occurrences) {
+          return hits;
+        }
+      }
+    }
+  }
+  return hits;
+}
+
+Split MakeSplit(size_t num_docs, double test_fraction, uint64_t seed) {
+  STM_CHECK_GE(test_fraction, 0.0);
+  STM_CHECK_LE(test_fraction, 1.0);
+  Rng rng(seed);
+  std::vector<size_t> perm = rng.Permutation(num_docs);
+  const size_t num_test = static_cast<size_t>(test_fraction * num_docs);
+  Split split;
+  split.test.assign(perm.begin(), perm.begin() + num_test);
+  split.train.assign(perm.begin() + num_test, perm.end());
+  return split;
+}
+
+}  // namespace stm::text

@@ -1,0 +1,99 @@
+#ifndef STM_TEXT_CORPUS_H_
+#define STM_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace stm::text {
+
+// One text unit: a token-id sequence plus gold labels and optional
+// metadata. Labels index into the owning corpus' `label_names`. Multi-label
+// documents carry several labels; hierarchical datasets store the full
+// root-to-leaf path in `label_path`.
+struct Document {
+  std::vector<int32_t> tokens;
+
+  // Gold labels (indices into Corpus::label_names). Single-label docs have
+  // exactly one entry.
+  std::vector<int> labels;
+
+  // For hierarchical datasets: gold label path from root (coarse) to leaf
+  // (fine). Empty for flat datasets.
+  std::vector<int> label_path;
+
+  // Metadata attributes, e.g. {"user": ["u12"], "tag": ["t3", "t7"]}.
+  // Keys are metadata type names; values are node identifiers.
+  std::map<std::string, std::vector<std::string>> metadata;
+
+  // Convenience: the single gold label; requires exactly one.
+  int Label() const;
+};
+
+// A corpus: shared vocabulary, label space and documents. Weakly-supervised
+// methods receive the corpus *without* labels (labels stay only for
+// evaluation) plus seed information (class names / keywords / a few
+// labeled ids) held separately in `WeakSupervision`.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  Vocabulary& vocab() { return vocab_; }
+  const Vocabulary& vocab() const { return vocab_; }
+
+  std::vector<Document>& docs() { return docs_; }
+  const std::vector<Document>& docs() const { return docs_; }
+
+  std::vector<std::string>& label_names() { return label_names_; }
+  const std::vector<std::string>& label_names() const { return label_names_; }
+
+  size_t num_docs() const { return docs_.size(); }
+  size_t num_labels() const { return label_names_.size(); }
+
+  // Document frequency of every token id (number of docs containing it).
+  std::vector<int32_t> DocumentFrequencies() const;
+
+  // Corpus-wide token occurrence counts.
+  std::vector<int64_t> TokenCounts() const;
+
+  // Gold single-label vector over all docs (requires single-label corpus).
+  std::vector<int> GoldLabels() const;
+
+  // Positions (doc index, token offset) of every occurrence of `token_id`,
+  // capped at `max_occurrences` (0 = unlimited).
+  std::vector<std::pair<size_t, size_t>> Occurrences(
+      int32_t token_id, size_t max_occurrences = 0) const;
+
+ private:
+  Vocabulary vocab_;
+  std::vector<Document> docs_;
+  std::vector<std::string> label_names_;
+};
+
+// The weak supervision available to a method, mirroring the tutorial's
+// three settings: LABELS (category names only), KEYWORDS (a few seed words
+// per class), DOCS (a few labeled documents per class).
+struct WeakSupervision {
+  // Per-class seed keyword token ids (includes the class name token for
+  // the LABELS setting).
+  std::vector<std::vector<int32_t>> class_keywords;
+
+  // Per-class labeled document indices (DOCS setting); empty otherwise.
+  std::vector<std::vector<size_t>> labeled_docs;
+};
+
+// Deterministic train/test split of document indices.
+struct Split {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+// Splits [0, num_docs) with `test_fraction` held out, shuffled by `seed`.
+Split MakeSplit(size_t num_docs, double test_fraction, uint64_t seed);
+
+}  // namespace stm::text
+
+#endif  // STM_TEXT_CORPUS_H_

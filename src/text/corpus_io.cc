@@ -1,0 +1,80 @@
+#include "text/corpus_io.h"
+
+#include <fstream>
+#include <map>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace stm::text {
+
+bool LoadTsv(const std::string& path, Corpus* corpus, size_t* skipped) {
+  std::ifstream in(path);
+  if (!in) return false;
+  size_t bad = 0;
+  std::map<std::string, int> label_ids;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::vector<std::string> columns = ::stm::Split(trimmed, '\t');
+    if (columns.size() < 2) {
+      ++bad;
+      continue;
+    }
+    Document doc;
+    bool ok = true;
+    for (const std::string& label : ::stm::Split(columns[0], '|')) {
+      auto [it, inserted] = label_ids.try_emplace(
+          label, static_cast<int>(corpus->label_names().size()));
+      if (inserted) corpus->label_names().push_back(label);
+      doc.labels.push_back(it->second);
+    }
+    if (doc.labels.empty()) ok = false;
+    doc.tokens = Tokenizer::Encode(columns[1], corpus->vocab(),
+                                   /*grow_vocab=*/true);
+    if (doc.tokens.empty()) ok = false;
+    for (size_t c = 2; c < columns.size(); ++c) {
+      const size_t eq = columns[c].find('=');
+      if (eq == std::string::npos || eq == 0 ||
+          eq + 1 >= columns[c].size()) {
+        ok = false;
+        break;
+      }
+      doc.metadata[columns[c].substr(0, eq)].push_back(
+          columns[c].substr(eq + 1));
+    }
+    if (!ok) {
+      ++bad;
+      continue;
+    }
+    corpus->docs().push_back(std::move(doc));
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return true;
+}
+
+bool SaveTsv(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  for (const Document& doc : corpus.docs()) {
+    std::vector<std::string> labels;
+    for (int label : doc.labels) {
+      labels.push_back(corpus.label_names()[static_cast<size_t>(label)]);
+    }
+    out << Join(labels, "|") << '\t';
+    for (size_t t = 0; t < doc.tokens.size(); ++t) {
+      if (t > 0) out << ' ';
+      out << corpus.vocab().TokenOf(doc.tokens[t]);
+    }
+    for (const auto& [type, values] : doc.metadata) {
+      for (const std::string& value : values) {
+        out << '\t' << type << '=' << value;
+      }
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace stm::text

@@ -1,0 +1,30 @@
+#ifndef STM_TEXT_CORPUS_IO_H_
+#define STM_TEXT_CORPUS_IO_H_
+
+#include <string>
+
+#include "text/corpus.h"
+
+namespace stm::text {
+
+// TSV corpus persistence so users can run the library on their own data.
+//
+// Format (one document per line, UTF-8, tab-separated):
+//   <label-name>  <raw text>  [<meta>=<value> ...]
+// A line may carry several labels separated by '|' in the first column and
+// any number of trailing metadata columns ("user=u1", "tag=nlp", ...).
+// Lines starting with '#' and blank lines are skipped.
+
+// Loads a corpus from `path`, building the vocabulary with the rule-based
+// tokenizer and the label set from the label column (in first-seen order).
+// Returns false on I/O failure; malformed lines are skipped with a count
+// reported through `skipped` when non-null.
+bool LoadTsv(const std::string& path, Corpus* corpus,
+             size_t* skipped = nullptr);
+
+// Writes `corpus` in the same format (tokens are re-joined with spaces).
+bool SaveTsv(const Corpus& corpus, const std::string& path);
+
+}  // namespace stm::text
+
+#endif  // STM_TEXT_CORPUS_IO_H_

@@ -1,0 +1,141 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "text/tokenizer.h"
+
+namespace stm::text {
+
+float SparseCosine(const SparseVector& a, const SparseVector& b) {
+  float dot = 0.0f;
+  float na = 0.0f;
+  float nb = 0.0f;
+  for (float w : a.weights) na += w * w;
+  for (float w : b.weights) nb += w * w;
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.ids.size() && j < b.ids.size()) {
+    if (a.ids[i] == b.ids[j]) {
+      dot += a.weights[i] * b.weights[j];
+      ++i;
+      ++j;
+    } else if (a.ids[i] < b.ids[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return dot / std::sqrt(na * nb);
+}
+
+TfIdf::TfIdf(const Corpus& corpus, bool drop_stopwords) {
+  const size_t vocab_size = corpus.vocab().size();
+  const std::vector<int32_t> df = corpus.DocumentFrequencies();
+  const float n = static_cast<float>(corpus.num_docs());
+  idf_.resize(vocab_size, 0.0f);
+  skip_.resize(vocab_size, false);
+  for (size_t i = 0; i < vocab_size; ++i) {
+    idf_[i] = std::log((1.0f + n) / (1.0f + static_cast<float>(df[i]))) + 1.0f;
+    const int32_t id = static_cast<int32_t>(i);
+    if (Vocabulary::IsSpecial(id) ||
+        (drop_stopwords && IsStopword(corpus.vocab().TokenOf(id)))) {
+      skip_[i] = true;
+    }
+  }
+}
+
+SparseVector TfIdf::Transform(const std::vector<int32_t>& tokens) const {
+  std::unordered_map<int32_t, int> tf;
+  for (int32_t id : tokens) {
+    if (id >= 0 && static_cast<size_t>(id) < skip_.size() &&
+        !skip_[static_cast<size_t>(id)]) {
+      tf[id]++;
+    }
+  }
+  SparseVector vec;
+  vec.ids.reserve(tf.size());
+  for (const auto& [id, _] : tf) vec.ids.push_back(id);
+  std::sort(vec.ids.begin(), vec.ids.end());
+  vec.weights.reserve(vec.ids.size());
+  float norm_sq = 0.0f;
+  for (int32_t id : vec.ids) {
+    const float weight =
+        (1.0f + std::log(static_cast<float>(tf[id]))) *
+        idf_[static_cast<size_t>(id)];
+    vec.weights.push_back(weight);
+    norm_sq += weight * weight;
+  }
+  if (norm_sq > 0.0f) {
+    const float inv = 1.0f / std::sqrt(norm_sq);
+    for (float& w : vec.weights) w *= inv;
+  }
+  return vec;
+}
+
+std::vector<SparseVector> TfIdf::TransformAll(const Corpus& corpus) const {
+  std::vector<SparseVector> vecs;
+  vecs.reserve(corpus.num_docs());
+  for (const Document& doc : corpus.docs()) {
+    vecs.push_back(Transform(doc.tokens));
+  }
+  return vecs;
+}
+
+SparseVector TfIdf::KeywordQuery(
+    const std::vector<int32_t>& keyword_ids) const {
+  std::vector<int32_t> ids = keyword_ids;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  SparseVector vec;
+  float norm_sq = 0.0f;
+  for (int32_t id : ids) {
+    if (id < 0 || static_cast<size_t>(id) >= idf_.size()) continue;
+    const float weight = idf_[static_cast<size_t>(id)];
+    vec.ids.push_back(id);
+    vec.weights.push_back(weight);
+    norm_sq += weight * weight;
+  }
+  if (norm_sq > 0.0f) {
+    const float inv = 1.0f / std::sqrt(norm_sq);
+    for (float& w : vec.weights) w *= inv;
+  }
+  return vec;
+}
+
+std::vector<int32_t> TfIdf::TopTerms(const std::vector<int32_t>& tokens,
+                                     size_t k) const {
+  const SparseVector vec = Transform(tokens);
+  std::vector<size_t> order(vec.ids.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&vec](size_t a, size_t b) {
+    return vec.weights[a] > vec.weights[b];
+  });
+  std::vector<int32_t> top;
+  for (size_t i = 0; i < order.size() && i < k; ++i) {
+    top.push_back(vec.ids[order[i]]);
+  }
+  return top;
+}
+
+float TfIdf::IdfOf(int32_t id) const {
+  STM_CHECK_GE(id, 0);
+  STM_CHECK_LT(static_cast<size_t>(id), idf_.size());
+  return idf_[static_cast<size_t>(id)];
+}
+
+std::vector<float> BagOfWords(const std::vector<int32_t>& tokens,
+                              size_t vocab_size) {
+  std::vector<float> counts(vocab_size, 0.0f);
+  for (int32_t id : tokens) {
+    if (id >= 0 && static_cast<size_t>(id) < vocab_size) {
+      counts[static_cast<size_t>(id)] += 1.0f;
+    }
+  }
+  return counts;
+}
+
+}  // namespace stm::text

@@ -1,0 +1,57 @@
+#ifndef STM_TEXT_TFIDF_H_
+#define STM_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/corpus.h"
+
+namespace stm::text {
+
+// Sparse document vector: sorted (token id, weight) pairs.
+struct SparseVector {
+  std::vector<int32_t> ids;      // ascending
+  std::vector<float> weights;    // parallel to ids
+
+  size_t size() const { return ids.size(); }
+};
+
+// Cosine similarity between two sparse vectors.
+float SparseCosine(const SparseVector& a, const SparseVector& b);
+
+// TF-IDF vectorizer: fit IDF on a corpus, transform documents into
+// L2-normalized sparse vectors. Used by the IR baseline, the Dataless
+// baseline's keyword queries, and the NoST/ConWea classifiers' features.
+class TfIdf {
+ public:
+  // Smoothed IDF: log((1 + N) / (1 + df)) + 1.
+  explicit TfIdf(const Corpus& corpus, bool drop_stopwords = true);
+
+  // Transforms a token sequence; tf is log-scaled (1 + log tf).
+  SparseVector Transform(const std::vector<int32_t>& tokens) const;
+
+  // Transforms every document in a corpus.
+  std::vector<SparseVector> TransformAll(const Corpus& corpus) const;
+
+  // Builds a unit query vector from keyword ids (each with weight idf).
+  SparseVector KeywordQuery(const std::vector<int32_t>& keyword_ids) const;
+
+  // Top-`k` highest TF-IDF token ids of a document (used to harvest
+  // keywords from labeled docs, per WeSTClass's DOCS setting).
+  std::vector<int32_t> TopTerms(const std::vector<int32_t>& tokens,
+                                size_t k) const;
+
+  float IdfOf(int32_t id) const;
+
+ private:
+  std::vector<float> idf_;
+  std::vector<bool> skip_;  // stopwords / specials to ignore
+};
+
+// Dense bag-of-words count vector over the vocabulary (float).
+std::vector<float> BagOfWords(const std::vector<int32_t>& tokens,
+                              size_t vocab_size);
+
+}  // namespace stm::text
+
+#endif  // STM_TEXT_TFIDF_H_

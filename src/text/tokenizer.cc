@@ -1,0 +1,94 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace stm::text {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+         c == '\'' || c == '_';
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Words(std::string_view raw) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : raw) {
+    if (IsWordChar(c)) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      words.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  // Strip leading/trailing hyphens and apostrophes left by punctuation runs.
+  for (std::string& w : words) {
+    size_t begin = 0;
+    size_t end = w.size();
+    while (begin < end && !std::isalnum(static_cast<unsigned char>(w[begin])))
+      ++begin;
+    while (end > begin && !std::isalnum(static_cast<unsigned char>(w[end - 1])))
+      --end;
+    w = w.substr(begin, end - begin);
+  }
+  std::vector<std::string> out;
+  out.reserve(words.size());
+  for (std::string& w : words) {
+    if (!w.empty()) out.push_back(std::move(w));
+  }
+  return out;
+}
+
+std::vector<int32_t> Tokenizer::Encode(std::string_view raw,
+                                       Vocabulary& vocab, bool grow_vocab) {
+  std::vector<int32_t> ids;
+  for (const std::string& w : Words(raw)) {
+    ids.push_back(grow_vocab ? vocab.AddToken(w) : vocab.IdOf(w));
+  }
+  return ids;
+}
+
+std::vector<int32_t> Tokenizer::Encode(std::string_view raw,
+                                       const Vocabulary& vocab) {
+  std::vector<int32_t> ids;
+  for (const std::string& w : Words(raw)) ids.push_back(vocab.IdOf(w));
+  return ids;
+}
+
+const std::vector<std::string>& Stopwords() {
+  static const std::vector<std::string>* const kStopwords =
+      new std::vector<std::string>{
+          "a",     "an",    "and",   "are",   "as",    "at",    "be",
+          "but",   "by",    "for",   "from",  "had",   "has",   "have",
+          "he",    "her",   "his",   "i",     "if",    "in",    "into",
+          "is",    "it",    "its",   "my",    "no",    "not",   "of",
+          "on",    "or",    "our",   "she",   "so",    "that",  "the",
+          "their", "them",  "then",  "there", "these", "they",  "this",
+          "those", "to",    "was",   "we",    "were",  "what",  "when",
+          "which", "while", "who",   "will",  "with",  "would", "you",
+          "your",  "said",  "also",  "more",  "most",  "such",  "than",
+          "very",  "can",   "could", "about", "after", "all",   "any",
+          "been",  "being", "do",    "does",  "did",   "how",   "just",
+          "like",  "made",  "make",  "many",  "may",   "much",  "new",
+          "now",   "only",  "other", "out",   "over",  "some",  "time",
+          "two",   "up",    "us",    "use",   "used",  "way",   "well",
+          "where", "both",  "each",  "even",  "first", "get",   "one"};
+  return *kStopwords;
+}
+
+bool IsStopword(std::string_view word) {
+  static const std::unordered_set<std::string>* const kSet = [] {
+    auto* set = new std::unordered_set<std::string>();
+    for (const std::string& w : Stopwords()) set->insert(w);
+    return set;
+  }();
+  return kSet->count(std::string(word)) > 0;
+}
+
+}  // namespace stm::text

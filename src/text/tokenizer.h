@@ -1,0 +1,40 @@
+#ifndef STM_TEXT_TOKENIZER_H_
+#define STM_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace stm::text {
+
+// Rule-based word tokenizer: lower-cases, strips punctuation (keeping
+// intra-word hyphens/apostrophes), splits on whitespace. The synthetic
+// corpora are generated directly as token streams; this tokenizer exists so
+// examples and users can feed raw text through the same pipeline.
+class Tokenizer {
+ public:
+  // Tokenizes `raw` into word strings.
+  static std::vector<std::string> Words(std::string_view raw);
+
+  // Tokenizes and maps to ids, optionally inserting unseen words into
+  // `vocab` (when `grow_vocab` is true) or mapping them to [UNK].
+  static std::vector<int32_t> Encode(std::string_view raw, Vocabulary& vocab,
+                                     bool grow_vocab);
+
+  // Id mapping against a frozen vocabulary.
+  static std::vector<int32_t> Encode(std::string_view raw,
+                                     const Vocabulary& vocab);
+};
+
+// The default English stopword list used by TF-IDF weighting and the
+// category-vocabulary filters (LOTClass, ConWea).
+const std::vector<std::string>& Stopwords();
+
+// True if `word` is in the stopword list.
+bool IsStopword(std::string_view word);
+
+}  // namespace stm::text
+
+#endif  // STM_TEXT_TOKENIZER_H_

@@ -1,0 +1,86 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace stm::text {
+
+Vocabulary::Vocabulary() {
+  const char* kSpecials[] = {"[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]"};
+  for (const char* token : kSpecials) {
+    const int32_t id = static_cast<int32_t>(tokens_.size());
+    tokens_.emplace_back(token);
+    counts_.push_back(0);
+    index_.emplace(token, id);
+  }
+}
+
+int32_t Vocabulary::AddToken(std::string_view token, int64_t count) {
+  auto it = index_.find(std::string(token));
+  if (it != index_.end()) {
+    counts_[static_cast<size_t>(it->second)] += count;
+    return it->second;
+  }
+  const int32_t id = static_cast<int32_t>(tokens_.size());
+  tokens_.emplace_back(token);
+  counts_.push_back(count);
+  index_.emplace(std::string(token), id);
+  return id;
+}
+
+int32_t Vocabulary::IdOf(std::string_view token) const {
+  auto it = index_.find(std::string(token));
+  return it == index_.end() ? kUnkId : it->second;
+}
+
+bool Vocabulary::Contains(std::string_view token) const {
+  return index_.count(std::string(token)) > 0;
+}
+
+const std::string& Vocabulary::TokenOf(int32_t id) const {
+  STM_CHECK_GE(id, 0);
+  STM_CHECK_LT(static_cast<size_t>(id), tokens_.size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+int64_t Vocabulary::CountOf(int32_t id) const {
+  STM_CHECK_GE(id, 0);
+  STM_CHECK_LT(static_cast<size_t>(id), counts_.size());
+  return counts_[static_cast<size_t>(id)];
+}
+
+void Vocabulary::AddCount(int32_t id, int64_t delta) {
+  STM_CHECK_GE(id, 0);
+  STM_CHECK_LT(static_cast<size_t>(id), counts_.size());
+  counts_[static_cast<size_t>(id)] += delta;
+}
+
+int64_t Vocabulary::TotalCount() const {
+  int64_t total = 0;
+  for (size_t i = kNumSpecialTokens; i < counts_.size(); ++i) {
+    total += counts_[i];
+  }
+  return total;
+}
+
+Vocabulary Vocabulary::Pruned(int64_t min_count, size_t max_size) const {
+  std::vector<int32_t> kept;
+  for (size_t i = kNumSpecialTokens; i < tokens_.size(); ++i) {
+    if (counts_[i] >= min_count) kept.push_back(static_cast<int32_t>(i));
+  }
+  std::stable_sort(kept.begin(), kept.end(), [this](int32_t a, int32_t b) {
+    return counts_[static_cast<size_t>(a)] > counts_[static_cast<size_t>(b)];
+  });
+  if (max_size > 0 && kept.size() + kNumSpecialTokens > max_size) {
+    kept.resize(max_size - kNumSpecialTokens);
+  }
+  Vocabulary pruned;
+  for (int32_t id : kept) {
+    pruned.AddToken(tokens_[static_cast<size_t>(id)],
+                    counts_[static_cast<size_t>(id)]);
+  }
+  return pruned;
+}
+
+}  // namespace stm::text

@@ -1,0 +1,67 @@
+#ifndef STM_TEXT_VOCABULARY_H_
+#define STM_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace stm::text {
+
+// Token ids reserved in every vocabulary, in this order.
+inline constexpr int32_t kPadId = 0;
+inline constexpr int32_t kUnkId = 1;
+inline constexpr int32_t kClsId = 2;
+inline constexpr int32_t kSepId = 3;
+inline constexpr int32_t kMaskId = 4;
+inline constexpr int32_t kNumSpecialTokens = 5;
+
+// Bidirectional token <-> id map with frequency counts. Ids are dense and
+// stable in insertion order; the five special tokens above always occupy
+// ids 0..4.
+class Vocabulary {
+ public:
+  Vocabulary();
+
+  // Returns the id of `token`, inserting it if absent.
+  int32_t AddToken(std::string_view token, int64_t count = 1);
+
+  // Returns the id of `token`, or kUnkId if unknown. Does not insert.
+  int32_t IdOf(std::string_view token) const;
+
+  // True if `token` is present.
+  bool Contains(std::string_view token) const;
+
+  // Token string for `id`. Requires a valid id.
+  const std::string& TokenOf(int32_t id) const;
+
+  // Occurrence count recorded for `id`.
+  int64_t CountOf(int32_t id) const;
+
+  // Adds `delta` to the count of an existing token id.
+  void AddCount(int32_t id, int64_t delta);
+
+  // Number of tokens including specials.
+  size_t size() const { return tokens_.size(); }
+
+  // Total count mass over non-special tokens.
+  int64_t TotalCount() const;
+
+  // Returns a vocabulary containing the special tokens plus every token
+  // with count >= `min_count`, keeping at most `max_size` tokens total
+  // (0 = unlimited), preferring higher counts.
+  Vocabulary Pruned(int64_t min_count, size_t max_size = 0) const;
+
+  // True for ids < kNumSpecialTokens.
+  static bool IsSpecial(int32_t id) { return id < kNumSpecialTokens; }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::vector<int64_t> counts_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace stm::text
+
+#endif  // STM_TEXT_VOCABULARY_H_

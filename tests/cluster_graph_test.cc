@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "datasets/specs.h"
+#include "graph/hin.h"
+
+namespace stm {
+namespace {
+
+// Three well-separated Gaussian blobs in 2-D.
+la::Matrix Blobs(std::vector<int>* gold, uint64_t seed) {
+  Rng rng(seed);
+  const float centers[3][2] = {{0, 0}, {8, 0}, {0, 8}};
+  la::Matrix data(150, 2);
+  gold->resize(150);
+  for (size_t i = 0; i < 150; ++i) {
+    const size_t c = i % 3;
+    (*gold)[i] = static_cast<int>(c);
+    data.At(i, 0) = centers[c][0] + static_cast<float>(rng.Normal(0, 0.5));
+    data.At(i, 1) = centers[c][1] + static_cast<float>(rng.Normal(0, 0.5));
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversBlobs) {
+  std::vector<int> gold;
+  la::Matrix data = Blobs(&gold, 1);
+  cluster::KMeansOptions options;
+  options.k = 3;
+  auto result = cluster::KMeans(data, options);
+  auto mapping = cluster::AlignClusters(result.assignment, gold, 3);
+  size_t correct = 0;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    correct += mapping[static_cast<size_t>(result.assignment[i])] == gold[i];
+  }
+  EXPECT_GT(static_cast<double>(correct) / gold.size(), 0.95);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  std::vector<int> gold;
+  la::Matrix data = Blobs(&gold, 2);
+  cluster::KMeansOptions k1;
+  k1.k = 1;
+  cluster::KMeansOptions k3;
+  k3.k = 3;
+  EXPECT_GT(cluster::KMeans(data, k1).inertia,
+            cluster::KMeans(data, k3).inertia);
+}
+
+TEST(KMeansTest, SphericalHandlesUnnormalizedInput) {
+  std::vector<int> gold;
+  la::Matrix data = Blobs(&gold, 3);
+  // Shift away from origin so directions differ.
+  for (size_t i = 0; i < data.rows(); ++i) {
+    data.At(i, 0) += 2.0f;
+    data.At(i, 1) += 2.0f;
+  }
+  cluster::KMeansOptions options;
+  options.k = 3;
+  options.spherical = true;
+  auto result = cluster::KMeans(data, options);
+  std::set<int> used(result.assignment.begin(), result.assignment.end());
+  EXPECT_GE(used.size(), 2u);
+}
+
+TEST(SilhouetteTest, GoodClusteringScoresHigher) {
+  std::vector<int> gold;
+  la::Matrix data = Blobs(&gold, 4);
+  std::vector<int> bad(gold.size());
+  for (size_t i = 0; i < bad.size(); ++i) bad[i] = static_cast<int>(i % 3);
+  // `bad` splits each blob across clusters randomly-ish (since points
+  // alternate blobs, bad == gold here; rotate instead).
+  for (size_t i = 0; i < bad.size(); ++i) {
+    bad[i] = (gold[i] + static_cast<int>(i % 2)) % 3;
+  }
+  EXPECT_GT(cluster::Silhouette(data, gold, 3),
+            cluster::Silhouette(data, bad, 3));
+}
+
+TEST(GmmTest, PosteriorsSumToOneAndRecoverBlobs) {
+  std::vector<int> gold;
+  la::Matrix data = Blobs(&gold, 5);
+  la::Matrix init(3, 2);
+  init.SetRow(0, {0.5f, 0.5f});
+  init.SetRow(1, {7.0f, 0.5f});
+  init.SetRow(2, {0.5f, 7.0f});
+  cluster::GmmOptions options;
+  auto result = cluster::GmmFit(data, init, options);
+  size_t correct = 0;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    float sum = 0.0f;
+    for (size_t c = 0; c < 3; ++c) sum += result.posteriors.At(i, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+    correct += result.assignment[i] == gold[i];
+  }
+  EXPECT_GT(static_cast<double>(correct) / gold.size(), 0.95);
+}
+
+TEST(AlignClustersTest, PermutedLabelsFullyRecovered) {
+  const std::vector<int> gold = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> clusters = {2, 2, 0, 0, 1, 1};
+  const auto mapping = cluster::AlignClusters(clusters, gold, 3);
+  EXPECT_EQ(mapping[2], 0);
+  EXPECT_EQ(mapping[0], 1);
+  EXPECT_EQ(mapping[1], 2);
+}
+
+TEST(HinTest, BuildFromMetadataCorpus) {
+  auto data = datasets::Generate(datasets::GithubBioSpec(1));
+  graph::HinBuildOptions options;
+  graph::Hin hin = graph::BuildHin(data.corpus, options);
+  EXPECT_GE(hin.num_nodes(), data.corpus.num_docs());
+  // Doc 0 must connect to its user and tags.
+  const auto users = hin.NeighborsOfType(0, "user");
+  const auto tags = hin.NeighborsOfType(0, "tag");
+  EXPECT_EQ(users.size(),
+            data.corpus.docs()[0].metadata.at("user").size());
+  EXPECT_EQ(tags.size(), data.corpus.docs()[0].metadata.at("tag").size());
+}
+
+TEST(HinTest, MetaPathWalksRespectTypes) {
+  auto data = datasets::Generate(datasets::GithubBioSpec(2));
+  graph::HinBuildOptions options;
+  graph::Hin hin = graph::BuildHin(data.corpus, options);
+  auto walks = graph::MetaPathWalks(hin, {"doc", "tag", "doc"}, 1, 7, 3);
+  ASSERT_FALSE(walks.empty());
+  for (const auto& walk : walks) {
+    for (size_t i = 0; i < walk.size(); ++i) {
+      EXPECT_EQ(hin.TypeOf(walk[i]), i % 2 == 0 ? "doc" : "tag");
+    }
+  }
+}
+
+TEST(HinTest, NodeEmbeddingsGroupSameClassDocs) {
+  auto data = datasets::Generate(datasets::GithubSecSpec(3));
+  graph::HinBuildOptions options;
+  graph::Hin hin = graph::BuildHin(data.corpus, options);
+  auto walks = graph::MetaPathWalks(hin, {"doc", "tag", "doc"}, 2, 9, 4);
+  graph::NodeEmbeddingConfig config;
+  config.epochs = 2;
+  la::Matrix emb = graph::TrainNodeEmbeddings(walks, hin.num_nodes(), config);
+  double same = 0.0;
+  double cross = 0.0;
+  size_t same_n = 0;
+  size_t cross_n = 0;
+  for (size_t i = 0; i < 80; ++i) {
+    for (size_t j = i + 1; j < 80; ++j) {
+      const float sim = la::Cosine(emb.Row(i), emb.Row(j), emb.cols());
+      if (data.corpus.docs()[i].labels[0] ==
+          data.corpus.docs()[j].labels[0]) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST(MinePairsTest, MetapathsYieldMostlySameClassPairs) {
+  auto data = datasets::Generate(datasets::MagCsSpec(4));
+  for (const char* metapath :
+       {"P->P<-P", "P<-(PP)->P", "P-V-P", "P-A-P"}) {
+    auto pairs = graph::MinePairs(data.corpus, metapath, 500, 5);
+    ASSERT_FALSE(pairs.empty()) << metapath;
+    size_t same = 0;
+    for (const auto& [a, b] : pairs) {
+      same += data.corpus.docs()[a].labels[0] ==
+              data.corpus.docs()[b].labels[0];
+    }
+    EXPECT_GT(static_cast<double>(same) / pairs.size(), 0.5) << metapath;
+  }
+}
+
+TEST(MinePairsTest, PairsAreDistinctAndCapped) {
+  auto data = datasets::Generate(datasets::MagCsSpec(5));
+  auto pairs = graph::MinePairs(data.corpus, "P->P<-P", 50, 6);
+  EXPECT_LE(pairs.size(), 50u);
+  std::set<std::pair<size_t, size_t>> unique(pairs.begin(), pairs.end());
+  EXPECT_EQ(unique.size(), pairs.size());
+}
+
+}  // namespace
+}  // namespace stm

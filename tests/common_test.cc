@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/string_util.h"
+
+namespace stm {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next64() == b.Next64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.UniformInt(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NormalMomentsRoughlyStandard) {
+  Rng rng(5);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, DiscreteFollowsWeights) {
+  Rng rng(9);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[rng.Discrete(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(3);
+  auto perm = rng.Permutation(50);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(3);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  std::set<size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 30u);
+  for (size_t s : seen) EXPECT_LT(s, 100u);
+}
+
+TEST(AliasSamplerTest, MatchesDistribution) {
+  Rng rng(17);
+  std::vector<double> weights = {5.0, 1.0, 0.0, 4.0};
+  AliasSampler sampler(weights);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[sampler.Sample(rng)]++;
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.4, 0.02);
+}
+
+TEST(StringUtilTest, SplitBasics) {
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(Split("", ',').empty());
+  EXPECT_EQ(SplitWhitespace("  hello   world\t\n"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> pieces = {"x", "y", "z"};
+  EXPECT_EQ(Join(pieces, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringUtilTest, CaseAndTrim) {
+  EXPECT_EQ(ToLower("HeLLo"), "hello");
+  EXPECT_EQ(Trim("  pad  "), "pad");
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_TRUE(EndsWith("file.bin", ".bin"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+}
+
+TEST(HashTest, StableAndDistinct) {
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
+  EXPECT_EQ(HashToHex(0).size(), 16u);
+  EXPECT_EQ(HashToHex(0xDEADBEEFULL), "00000000deadbeef");
+}
+
+TEST(SerializeTest, RoundTrip) {
+  BinaryWriter writer;
+  writer.WriteU32(42);
+  writer.WriteU64(1ULL << 40);
+  writer.WriteF32(3.25f);
+  writer.WriteString("hello");
+  writer.WriteFloats({1.0f, -2.0f, 0.5f});
+
+  const std::string path = testing::TempDir() + "/stm_serialize_test.bin";
+  ASSERT_TRUE(writer.Flush(path));
+
+  BinaryReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.ReadU32(), 42u);
+  EXPECT_EQ(reader.ReadU64(), 1ULL << 40);
+  EXPECT_FLOAT_EQ(reader.ReadF32(), 3.25f);
+  EXPECT_EQ(reader.ReadString(), "hello");
+  EXPECT_EQ(reader.ReadFloats(), (std::vector<float>{1.0f, -2.0f, 0.5f}));
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(SerializeTest, MissingFileNotOk) {
+  BinaryReader reader("/nonexistent/definitely_missing.bin");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(SerializeTest, TruncatedReadFailsGracefully) {
+  BinaryWriter writer;
+  writer.WriteU32(1);
+  const std::string path = testing::TempDir() + "/stm_trunc_test.bin";
+  ASSERT_TRUE(writer.Flush(path));
+  BinaryReader reader(path);
+  reader.ReadU64();  // larger than what was written
+  EXPECT_FALSE(reader.ok());
+}
+
+}  // namespace
+}  // namespace stm

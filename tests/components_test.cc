@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+#include "nn/feature_classifier.h"
+#include "nn/ops.h"
+#include "plm/pair_scorer.h"
+
+namespace stm {
+namespace {
+
+TEST(RngDistributionsTest, GammaMeanMatchesShape) {
+  Rng rng(3);
+  for (double shape : {0.5, 2.0, 8.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.Gamma(shape);
+    EXPECT_NEAR(sum / n, shape, shape * 0.05) << "shape " << shape;
+  }
+}
+
+TEST(RngDistributionsTest, BetaInUnitIntervalWithRightMean) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Beta(2.0, 6.0);
+    ASSERT_GT(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);  // mean = a/(a+b)
+}
+
+TEST(NormalizeRowsOpTest, ForwardUnitNorm) {
+  nn::Tensor x = nn::Tensor::FromVector({3, 4, 0, 0, 5, 12}, {3, 2});
+  nn::Tensor y = nn::NormalizeRowsOp(x);
+  EXPECT_NEAR(la::Norm(y.value().data(), 2), 1.0f, 1e-5f);
+  // Zero row passes through unchanged.
+  EXPECT_FLOAT_EQ(y.value()[2], 0.0f);
+  EXPECT_FLOAT_EQ(y.value()[3], 0.0f);
+}
+
+TEST(NormalizeRowsOpTest, GradientMatchesNumeric) {
+  Rng rng(7);
+  nn::Tensor x = nn::Tensor::Param({2, 3}, 0.7f, rng);
+  nn::Tensor w = nn::Tensor::FromVector({0.3f, -0.8f, 0.5f, 0.2f, 0.9f,
+                                         -0.4f},
+                                        {2, 3});
+  auto loss_fn = [&] {
+    return nn::SumAll(nn::Mul(nn::NormalizeRowsOp(x), w));
+  };
+  nn::Tensor loss = loss_fn();
+  for (float& g : x.grad()) g = 0.0f;
+  nn::Backward(loss);
+  const auto analytic = x.grad();
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const float saved = x.value()[i];
+    x.value()[i] = saved + eps;
+    const float plus = loss_fn().item();
+    x.value()[i] = saved - eps;
+    const float minus = loss_fn().item();
+    x.value()[i] = saved;
+    EXPECT_NEAR(analytic[i], (plus - minus) / (2 * eps), 2e-2f);
+  }
+}
+
+TEST(PairScorerTest, LearnsCosineSeparablePairs) {
+  Rng rng(11);
+  const size_t dim = 8;
+  // Positives: v = u + noise; negatives: independent random v.
+  std::vector<std::vector<float>> u;
+  std::vector<std::vector<float>> v;
+  std::vector<float> labels;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<float> a(dim);
+    for (float& x : a) x = static_cast<float>(rng.Normal());
+    la::NormalizeInPlace(a.data(), dim);
+    std::vector<float> b = a;
+    for (float& x : b) x += static_cast<float>(rng.Normal(0.0, 0.2));
+    la::NormalizeInPlace(b.data(), dim);
+    u.push_back(a);
+    v.push_back(b);
+    labels.push_back(1.0f);
+    std::vector<float> c(dim);
+    for (float& x : c) x = static_cast<float>(rng.Normal());
+    la::NormalizeInPlace(c.data(), dim);
+    u.push_back(a);
+    v.push_back(c);
+    labels.push_back(0.0f);
+  }
+  plm::PairScorer::Config config;
+  config.encoder_dim = dim;
+  config.epochs = 10;
+  plm::PairScorer scorer(config);
+  const double loss = scorer.Train(u, v, labels);
+  EXPECT_LT(loss, 0.5);
+  // Held-out check.
+  int correct = 0;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<float> a(dim);
+    for (float& x : a) x = static_cast<float>(rng.Normal());
+    la::NormalizeInPlace(a.data(), dim);
+    std::vector<float> b = a;
+    for (float& x : b) x += static_cast<float>(rng.Normal(0.0, 0.2));
+    la::NormalizeInPlace(b.data(), dim);
+    std::vector<float> c(dim);
+    for (float& x : c) x = static_cast<float>(rng.Normal());
+    la::NormalizeInPlace(c.data(), dim);
+    correct += scorer.Score(a, b) > scorer.Score(a, c);
+  }
+  EXPECT_GE(correct, 40);
+}
+
+la::Matrix BlobFeatures(std::vector<int>* labels, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix features(n, 4);
+  labels->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(i % 3);
+    (*labels)[i] = c;
+    for (size_t j = 0; j < 4; ++j) {
+      features.At(i, j) = static_cast<float>(
+          rng.Normal(j == static_cast<size_t>(c) ? 2.0 : 0.0, 0.4));
+    }
+  }
+  return features;
+}
+
+TEST(FeatureMlpTest, LearnsSoftmaxTask) {
+  std::vector<int> labels;
+  la::Matrix features = BlobFeatures(&labels, 150, 5);
+  la::Matrix targets(150, 3);
+  for (size_t i = 0; i < 150; ++i) {
+    targets.At(i, static_cast<size_t>(labels[i])) = 1.0f;
+  }
+  nn::FeatureMlpClassifier::Config config;
+  config.input_dim = 4;
+  config.num_classes = 3;
+  config.hidden = 16;
+  nn::FeatureMlpClassifier clf(config);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    clf.TrainEpoch(features, targets);
+  }
+  const auto pred = clf.Predict(features);
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) correct += pred[i] == labels[i];
+  EXPECT_GT(static_cast<double>(correct) / pred.size(), 0.9);
+}
+
+TEST(FeatureMlpTest, MultiLabelSigmoidsAreIndependent) {
+  std::vector<int> labels;
+  la::Matrix features = BlobFeatures(&labels, 150, 6);
+  // Multi-label: class c and class (c+1)%3 both on.
+  la::Matrix targets(150, 3);
+  for (size_t i = 0; i < 150; ++i) {
+    targets.At(i, static_cast<size_t>(labels[i])) = 1.0f;
+    targets.At(i, static_cast<size_t>((labels[i] + 1) % 3)) = 1.0f;
+  }
+  nn::FeatureMlpClassifier::Config config;
+  config.input_dim = 4;
+  config.num_classes = 3;
+  config.hidden = 16;
+  config.multi_label = true;
+  nn::FeatureMlpClassifier clf(config);
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    clf.TrainEpoch(features, targets);
+  }
+  const la::Matrix probs = clf.PredictProbs(features);
+  // Rows need not sum to 1 (independent sigmoids); both true labels should
+  // score above the false one on average.
+  double true_mass = 0.0;
+  double false_mass = 0.0;
+  for (size_t i = 0; i < probs.rows(); ++i) {
+    for (size_t c = 0; c < 3; ++c) {
+      if (targets.At(i, c) > 0.0f) {
+        true_mass += probs.At(i, c);
+      } else {
+        false_mass += probs.At(i, c);
+      }
+    }
+  }
+  EXPECT_GT(true_mass / (2 * probs.rows()),
+            false_mass / probs.rows() + 0.2);
+}
+
+TEST(FeatureMlpTest, LinearModeWithoutHidden) {
+  std::vector<int> labels;
+  la::Matrix features = BlobFeatures(&labels, 90, 7);
+  la::Matrix targets(90, 3);
+  for (size_t i = 0; i < 90; ++i) {
+    targets.At(i, static_cast<size_t>(labels[i])) = 1.0f;
+  }
+  nn::FeatureMlpClassifier::Config config;
+  config.input_dim = 4;
+  config.num_classes = 3;
+  config.hidden = 0;  // pure linear
+  nn::FeatureMlpClassifier clf(config);
+  for (int epoch = 0; epoch < 80; ++epoch) {
+    clf.TrainEpoch(features, targets);
+  }
+  const auto pred = clf.Predict(features);
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) correct += pred[i] == labels[i];
+  EXPECT_GT(static_cast<double>(correct) / pred.size(), 0.85);
+}
+
+}  // namespace
+}  // namespace stm

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "datasets/specs.h"
+#include "text/corpus_io.h"
+
+namespace stm::text {
+namespace {
+
+std::string WriteFile(const std::string& name, const std::string& body) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << body;
+  return path;
+}
+
+TEST(CorpusIoTest, LoadBasicTsv) {
+  const std::string path = WriteFile("basic.tsv",
+                                     "sports\tthe game was great\n"
+                                     "law\tthe court ruled today\n"
+                                     "# a comment line\n"
+                                     "\n"
+                                     "sports\tanother match report\n");
+  Corpus corpus;
+  size_t skipped = 99;
+  ASSERT_TRUE(LoadTsv(path, &corpus, &skipped));
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(corpus.num_docs(), 3u);
+  EXPECT_EQ(corpus.label_names(),
+            (std::vector<std::string>{"sports", "law"}));
+  EXPECT_EQ(corpus.docs()[0].Label(), 0);
+  EXPECT_EQ(corpus.docs()[1].Label(), 1);
+  EXPECT_EQ(corpus.docs()[2].Label(), 0);
+  EXPECT_EQ(corpus.vocab().TokenOf(corpus.docs()[0].tokens[1]), "game");
+}
+
+TEST(CorpusIoTest, MultiLabelAndMetadata) {
+  const std::string path = WriteFile(
+      "meta.tsv",
+      "ml|systems\tdistributed training of models\tuser=alice\ttag=gpu\n");
+  Corpus corpus;
+  ASSERT_TRUE(LoadTsv(path, &corpus, nullptr));
+  ASSERT_EQ(corpus.num_docs(), 1u);
+  EXPECT_EQ(corpus.docs()[0].labels, (std::vector<int>{0, 1}));
+  EXPECT_EQ(corpus.docs()[0].metadata.at("user"),
+            (std::vector<std::string>{"alice"}));
+  EXPECT_EQ(corpus.docs()[0].metadata.at("tag"),
+            (std::vector<std::string>{"gpu"}));
+}
+
+TEST(CorpusIoTest, SkipsMalformedLines) {
+  const std::string path = WriteFile("bad.tsv",
+                                     "only-one-column\n"
+                                     "ok\tsome text\n"
+                                     "bad\ttext\tno-equals-meta\n");
+  Corpus corpus;
+  size_t skipped = 0;
+  ASSERT_TRUE(LoadTsv(path, &corpus, &skipped));
+  EXPECT_EQ(corpus.num_docs(), 1u);
+  EXPECT_EQ(skipped, 2u);
+}
+
+TEST(CorpusIoTest, MissingFileFails) {
+  Corpus corpus;
+  EXPECT_FALSE(LoadTsv("/nonexistent/nope.tsv", &corpus, nullptr));
+}
+
+TEST(CorpusIoTest, RoundTripPreservesStructure) {
+  datasets::SyntheticSpec spec = datasets::GithubBioSpec(23);
+  spec.num_docs = 40;
+  spec.pretrain_docs = 0;
+  const auto data = datasets::Generate(spec);
+  const std::string path = testing::TempDir() + "/roundtrip.tsv";
+  ASSERT_TRUE(SaveTsv(data.corpus, path));
+
+  Corpus loaded;
+  ASSERT_TRUE(LoadTsv(path, &loaded, nullptr));
+  ASSERT_EQ(loaded.num_docs(), data.corpus.num_docs());
+  for (size_t d = 0; d < loaded.num_docs(); ++d) {
+    const auto& a = data.corpus.docs()[d];
+    const auto& b = loaded.docs()[d];
+    ASSERT_EQ(a.tokens.size(), b.tokens.size()) << "doc " << d;
+    for (size_t t = 0; t < a.tokens.size(); ++t) {
+      EXPECT_EQ(data.corpus.vocab().TokenOf(a.tokens[t]),
+                loaded.vocab().TokenOf(b.tokens[t]));
+    }
+    // Label names match (ids may be renumbered by first-seen order).
+    ASSERT_EQ(a.labels.size(), b.labels.size());
+    for (size_t l = 0; l < a.labels.size(); ++l) {
+      EXPECT_EQ(
+          data.corpus.label_names()[static_cast<size_t>(a.labels[l])],
+          loaded.label_names()[static_cast<size_t>(b.labels[l])]);
+    }
+    EXPECT_EQ(a.metadata, b.metadata);
+  }
+}
+
+}  // namespace
+}  // namespace stm::text

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datasets/specs.h"
+#include "datasets/synthetic.h"
+#include "taxonomy/taxonomy.h"
+
+namespace stm::datasets {
+namespace {
+
+TEST(LabelTreeTest, StructureQueries) {
+  taxonomy::LabelTree tree;
+  const int root = tree.AddNode("root", -1);
+  const int a = tree.AddNode("a", root);
+  const int b = tree.AddNode("b", root);
+  const int a1 = tree.AddNode("a1", a);
+  EXPECT_EQ(tree.Roots(), (std::vector<int>{root}));
+  EXPECT_EQ(tree.Leaves(), (std::vector<int>{b, a1}));
+  EXPECT_TRUE(tree.IsLeaf(b));
+  EXPECT_FALSE(tree.IsLeaf(a));
+  EXPECT_EQ(tree.PathTo(a1), (std::vector<int>{root, a, a1}));
+  EXPECT_EQ(tree.DepthOf(a1), 2);
+  EXPECT_EQ(tree.MaxDepth(), 2);
+  EXPECT_EQ(tree.NodesAtDepth(1), (std::vector<int>{a, b}));
+  EXPECT_EQ(tree.ClosureOf({a1, b}), (std::vector<int>{root, a, b, a1}));
+}
+
+TEST(GenerateTest, DeterministicInSeed) {
+  SyntheticDataset a = Generate(AgNewsSpec(5));
+  SyntheticDataset b = Generate(AgNewsSpec(5));
+  ASSERT_EQ(a.corpus.num_docs(), b.corpus.num_docs());
+  EXPECT_EQ(a.corpus.docs()[10].tokens, b.corpus.docs()[10].tokens);
+  EXPECT_EQ(a.corpus.docs()[10].labels, b.corpus.docs()[10].labels);
+  SyntheticDataset c = Generate(AgNewsSpec(6));
+  EXPECT_NE(a.corpus.docs()[10].tokens, c.corpus.docs()[10].tokens);
+}
+
+TEST(GenerateTest, AgNewsBasicShape) {
+  SyntheticDataset data = Generate(AgNewsSpec(1));
+  EXPECT_EQ(data.corpus.num_docs(), 700u);
+  EXPECT_EQ(data.leaf_classes.size(), 4u);
+  EXPECT_EQ(data.supervision.class_keywords.size(), 4u);
+  // Every doc has tokens within vocab and exactly one label.
+  for (const auto& doc : data.corpus.docs()) {
+    EXPECT_EQ(doc.labels.size(), 1u);
+    EXPECT_GE(doc.tokens.size(), 14u);  // doc_len_min
+    for (int32_t id : doc.tokens) {
+      ASSERT_GE(id, 0);
+      ASSERT_LT(static_cast<size_t>(id), data.corpus.vocab().size());
+    }
+  }
+}
+
+TEST(GenerateTest, LabelNamesAppearInOwnClassDocs) {
+  SyntheticDataset data = Generate(AgNewsSpec(2));
+  // The class-name token should occur far more often in docs of its own
+  // class than in other classes (LOTClass precondition).
+  for (size_t c = 0; c < data.leaf_classes.size(); ++c) {
+    const int32_t name_id = data.leaf_name_tokens[c][0];
+    size_t own = 0;
+    size_t other = 0;
+    for (const auto& doc : data.corpus.docs()) {
+      size_t count = 0;
+      for (int32_t id : doc.tokens) count += (id == name_id);
+      if (doc.labels[0] == data.leaf_classes[c]) {
+        own += count;
+      } else {
+        other += count;
+      }
+    }
+    EXPECT_GT(own, other * 2) << "class " << c;
+  }
+}
+
+TEST(GenerateTest, AmbiguousTokensSpanTwoClasses) {
+  SyntheticSpec spec = AgNewsSpec(3);
+  spec.num_ambiguous = 4;
+  SyntheticDataset data = Generate(spec);
+  const int32_t amb = data.corpus.vocab().IdOf("amb0");
+  ASSERT_NE(amb, text::kUnkId);
+  std::set<int> classes_using;
+  for (const auto& doc : data.corpus.docs()) {
+    for (int32_t id : doc.tokens) {
+      if (id == amb) classes_using.insert(doc.labels[0]);
+    }
+  }
+  EXPECT_GE(classes_using.size(), 2u);
+}
+
+TEST(GenerateTest, ImbalancedPriorsRespected) {
+  SyntheticDataset data = Generate(NytTopicSpec(4));
+  std::map<int, size_t> counts;
+  for (const auto& doc : data.corpus.docs()) counts[doc.labels[0]]++;
+  // politics (prior 9.0) must dominate estate (prior 0.33).
+  EXPECT_GT(counts[data.leaf_classes[0]], counts[data.leaf_classes[8]] * 4);
+}
+
+TEST(GenerateTest, HierarchicalPathsConsistent) {
+  SyntheticDataset data = Generate(NytSpec(5));
+  EXPECT_EQ(data.tree.MaxDepth(), 1);
+  EXPECT_EQ(data.leaf_classes.size(), 25u);
+  for (const auto& doc : data.corpus.docs()) {
+    ASSERT_EQ(doc.label_path.size(), 2u);
+    EXPECT_EQ(data.tree.ParentOf(doc.label_path[1]), doc.label_path[0]);
+    EXPECT_EQ(doc.label_path[1], doc.labels[0]);
+  }
+}
+
+TEST(GenerateTest, MultiLabelDatasetsHaveLabelSets) {
+  SyntheticDataset data = Generate(AmazonTaxoSpec(6));
+  size_t multi = 0;
+  for (const auto& doc : data.corpus.docs()) {
+    EXPECT_GE(doc.labels.size(), 1u);
+    EXPECT_LE(doc.labels.size(), 3u);
+    multi += doc.labels.size() > 1;
+    std::set<int> unique(doc.labels.begin(), doc.labels.end());
+    EXPECT_EQ(unique.size(), doc.labels.size());
+    for (int label : doc.labels) EXPECT_TRUE(data.tree.IsLeaf(label));
+  }
+  EXPECT_GT(multi, data.corpus.num_docs() / 4);
+}
+
+TEST(GenerateTest, MetadataCorrelatesWithClass) {
+  SyntheticDataset data = Generate(GithubBioSpec(7));
+  // Tags: count how often a doc's tag maps back to its own class slot.
+  const size_t num_leaves = data.leaf_classes.size();
+  size_t aligned = 0;
+  size_t total = 0;
+  for (const auto& doc : data.corpus.docs()) {
+    auto it = doc.metadata.find("tag");
+    ASSERT_NE(it, doc.metadata.end());
+    const size_t leaf_pos = static_cast<size_t>(doc.labels[0]);
+    for (const std::string& tag : it->second) {
+      const size_t tag_id = std::stoul(tag.substr(1));
+      aligned += (tag_id % num_leaves) == leaf_pos % num_leaves;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(aligned) / total, 0.6);
+}
+
+TEST(GenerateTest, ReferencesMostlySameClass) {
+  SyntheticDataset data = Generate(MagCsSpec(8));
+  size_t same = 0;
+  size_t total = 0;
+  for (size_t d = 0; d < data.corpus.num_docs(); ++d) {
+    const auto& doc = data.corpus.docs()[d];
+    auto it = doc.metadata.find("ref");
+    if (it == doc.metadata.end()) continue;
+    for (const std::string& ref : it->second) {
+      const size_t target = std::stoul(ref.substr(1));
+      same += data.corpus.docs()[target].labels[0] == doc.labels[0];
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(same) / total, 0.7);
+}
+
+TEST(GenerateTest, AuxTopicsDisjointFromEvalClasses) {
+  SyntheticDataset data = Generate(AmazonTaxoSpec(9));
+  EXPECT_EQ(data.aux_topic_names.size(), 8u);
+  EXPECT_EQ(data.aux_docs.size(), 8u * 50u);
+  std::set<std::string> eval_names;
+  for (const auto& name : data.corpus.label_names()) eval_names.insert(name);
+  for (const auto& name : data.aux_topic_names) {
+    EXPECT_FALSE(eval_names.count(name));
+  }
+}
+
+TEST(GenerateTest, PretrainCorpusPresent) {
+  SyntheticDataset data = Generate(AgNewsSpec(10));
+  EXPECT_EQ(data.pretrain_docs.size(), 1200u);
+}
+
+TEST(SampleLabeledDocsTest, CorrectCountsAndLabels) {
+  SyntheticDataset data = Generate(AgNewsSpec(11));
+  auto labeled = SampleLabeledDocs(data.corpus, 5, 3);
+  ASSERT_EQ(labeled.size(), data.corpus.num_labels());
+  for (size_t c = 0; c < labeled.size(); ++c) {
+    if (labeled[c].empty()) continue;
+    EXPECT_EQ(labeled[c].size(), 5u);
+    for (size_t d : labeled[c]) {
+      EXPECT_EQ(data.corpus.docs()[d].labels[0], static_cast<int>(c));
+    }
+  }
+}
+
+TEST(FlattenTest, CoarseViewOfNyt) {
+  SyntheticDataset data = Generate(NytSpec(12));
+  FlatView coarse = FlattenToDepth(data, 0);
+  EXPECT_EQ(coarse.corpus.num_labels(), 5u);
+  EXPECT_EQ(coarse.corpus.num_docs(), data.corpus.num_docs());
+  FlatView fine = FlattenToDepth(data, 1);
+  EXPECT_EQ(fine.corpus.num_labels(), 25u);
+  // Coarse label of each doc must be the parent of its fine label node.
+  for (size_t d = 0; d < data.corpus.num_docs(); ++d) {
+    const int coarse_node =
+        coarse.node_of_label[static_cast<size_t>(
+            coarse.corpus.docs()[d].labels[0])];
+    const int fine_node = fine.node_of_label[static_cast<size_t>(
+        fine.corpus.docs()[d].labels[0])];
+    EXPECT_EQ(data.tree.ParentOf(fine_node), coarse_node);
+  }
+}
+
+}  // namespace
+}  // namespace stm::datasets

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "datasets/synthetic.h"
+#include "embedding/sgns.h"
+#include "embedding/vmf.h"
+#include "la/matrix.h"
+
+namespace stm::embedding {
+namespace {
+
+datasets::SyntheticDataset TwoTopicData(uint64_t seed) {
+  datasets::SyntheticSpec spec;
+  spec.seed = seed;
+  spec.num_docs = 250;
+  spec.pretrain_docs = 0;
+  spec.background_vocab = 100;
+  spec.class_vocab = 10;
+  spec.topical_fraction = 0.55;
+  spec.classes = {{"soccer", {"goal"}, 1.0, -1},
+                  {"court", {"judge"}, 1.0, -1}};
+  return datasets::Generate(spec);
+}
+
+std::vector<std::vector<int32_t>> Docs(const datasets::SyntheticDataset& d) {
+  std::vector<std::vector<int32_t>> docs;
+  for (const auto& doc : d.corpus.docs()) docs.push_back(doc.tokens);
+  return docs;
+}
+
+TEST(SgnsTest, SameTopicWordsCloser) {
+  auto data = TwoTopicData(1);
+  SgnsConfig config;
+  config.epochs = 4;
+  WordEmbeddings emb = WordEmbeddings::Train(
+      Docs(data), data.corpus.vocab().size(), config);
+  const auto& vocab = data.corpus.vocab();
+  const auto soccer = emb.UnitVectorOf(vocab.IdOf("soccer"));
+  const auto goal = emb.UnitVectorOf(vocab.IdOf("goal"));
+  const auto judge = emb.UnitVectorOf(vocab.IdOf("judge"));
+  EXPECT_GT(la::Cosine(soccer, goal), la::Cosine(soccer, judge));
+}
+
+TEST(SgnsTest, MostSimilarFindsTopicalNeighbors) {
+  auto data = TwoTopicData(2);
+  SgnsConfig config;
+  config.epochs = 4;
+  WordEmbeddings emb = WordEmbeddings::Train(
+      Docs(data), data.corpus.vocab().size(), config);
+  const auto& vocab = data.corpus.vocab();
+  const auto neighbors =
+      emb.MostSimilar(emb.UnitVectorOf(vocab.IdOf("soccer")), 8,
+                      {vocab.IdOf("soccer")});
+  ASSERT_EQ(neighbors.size(), 8u);
+  int soccer_theme = 0;
+  for (const auto& [id, sim] : neighbors) {
+    const std::string& token = vocab.TokenOf(id);
+    if (token.rfind("soccer_t", 0) == 0 || token == "goal") ++soccer_theme;
+  }
+  EXPECT_GE(soccer_theme, 4);
+}
+
+TEST(SgnsTest, AverageOfIsUnitNorm) {
+  auto data = TwoTopicData(3);
+  SgnsConfig config;
+  config.epochs = 1;
+  WordEmbeddings emb = WordEmbeddings::Train(
+      Docs(data), data.corpus.vocab().size(), config);
+  auto avg = emb.AverageOf({6, 7, 8});
+  EXPECT_NEAR(la::Norm(avg.data(), avg.size()), 1.0f, 1e-4f);
+}
+
+TEST(DocEmbeddingTest, SameTopicDocsCloser) {
+  auto data = TwoTopicData(4);
+  DocEmbeddingConfig config;
+  config.epochs = 5;
+  la::Matrix docs = TrainDocEmbeddings(
+      Docs(data), data.corpus.vocab().size(), config);
+  double same = 0.0;
+  double cross = 0.0;
+  size_t same_n = 0;
+  size_t cross_n = 0;
+  for (size_t i = 0; i < 60; ++i) {
+    for (size_t j = i + 1; j < 60; ++j) {
+      const float sim =
+          la::Cosine(docs.Row(i), docs.Row(j), docs.cols());
+      if (data.corpus.docs()[i].labels[0] ==
+          data.corpus.docs()[j].labels[0]) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST(VmfTest, FitRecoversMeanDirection) {
+  Rng rng(5);
+  std::vector<float> mu = {0.6f, 0.8f, 0.0f};
+  std::vector<std::vector<float>> samples;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<float> v = mu;
+    for (float& x : v) x += static_cast<float>(rng.Normal(0.0, 0.15));
+    la::NormalizeInPlace(v.data(), v.size());
+    samples.push_back(v);
+  }
+  VonMisesFisher vmf = VonMisesFisher::Fit(samples);
+  EXPECT_GT(la::Cosine(vmf.mu(), mu), 0.99f);
+  EXPECT_GT(vmf.kappa(), 5.0f);
+}
+
+TEST(VmfTest, HigherKappaConcentratesSamples) {
+  Rng rng(6);
+  std::vector<float> mu = {1.0f, 0.0f, 0.0f, 0.0f};
+  VonMisesFisher tight(mu, 200.0f);
+  VonMisesFisher loose(mu, 2.0f);
+  double tight_cos = 0.0;
+  double loose_cos = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    tight_cos += la::Cosine(tight.Sample(rng), mu);
+    loose_cos += la::Cosine(loose.Sample(rng), mu);
+  }
+  EXPECT_GT(tight_cos / 200.0, loose_cos / 200.0);
+  EXPECT_GT(tight_cos / 200.0, 0.9);
+}
+
+TEST(VmfTest, SamplesAreUnitNorm) {
+  Rng rng(7);
+  VonMisesFisher vmf({0.0f, 0.0f, 1.0f}, 20.0f);
+  for (int i = 0; i < 50; ++i) {
+    auto s = vmf.Sample(rng);
+    EXPECT_NEAR(la::Norm(s.data(), s.size()), 1.0f, 1e-4f);
+  }
+}
+
+TEST(VmfTest, ZeroKappaIsRoughlyUniform) {
+  Rng rng(8);
+  VonMisesFisher vmf({1.0f, 0.0f, 0.0f}, 0.0f);
+  double mean_cos = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    mean_cos += la::Cosine(vmf.Sample(rng), vmf.mu());
+  }
+  EXPECT_NEAR(mean_cos / 500.0, 0.0, 0.15);
+}
+
+}  // namespace
+}  // namespace stm::embedding

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace stm::eval {
+namespace {
+
+TEST(AccuracyTest, Basic) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 2}, {0, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(F1Test, PerfectPrediction) {
+  const std::vector<int> labels = {0, 1, 2, 0, 1};
+  EXPECT_DOUBLE_EQ(MicroF1(labels, labels, 3), 1.0);
+  EXPECT_DOUBLE_EQ(MacroF1(labels, labels, 3), 1.0);
+}
+
+TEST(F1Test, MicroEqualsAccuracyForSingleLabel) {
+  const std::vector<int> pred = {0, 1, 2, 2, 1, 0};
+  const std::vector<int> gold = {0, 1, 1, 2, 1, 1};
+  EXPECT_NEAR(MicroF1(pred, gold, 3), Accuracy(pred, gold), 1e-12);
+}
+
+TEST(F1Test, MacroPunishesMinorityErrors) {
+  // 9 correct on class 0, one class-1 doc misclassified.
+  std::vector<int> gold(10, 0);
+  gold[9] = 1;
+  std::vector<int> pred(10, 0);
+  const double micro = MicroF1(pred, gold, 2);
+  const double macro = MacroF1(pred, gold, 2);
+  EXPECT_GT(micro, 0.89);
+  EXPECT_LT(macro, 0.55);
+}
+
+TEST(F1Test, KnownMacroValue) {
+  // Class 0: tp=1 fp=1 fn=0 -> F1 = 2/3; class 1: tp=0 fp=0 fn=1 -> 0;
+  // class 2: tp=1 fp=0 fn=0 -> 1. Macro = (2/3 + 0 + 1)/3.
+  const std::vector<int> gold = {0, 1, 2};
+  const std::vector<int> pred = {0, 0, 2};
+  EXPECT_NEAR(MacroF1(pred, gold, 3), (2.0 / 3.0 + 0.0 + 1.0) / 3.0, 1e-12);
+}
+
+TEST(ConfusionTest, CountsCells) {
+  la::Matrix confusion = ConfusionMatrix({0, 1, 1}, {0, 0, 1}, 2);
+  EXPECT_FLOAT_EQ(confusion.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(confusion.At(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(confusion.At(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(confusion.At(1, 0), 0.0f);
+  const std::string text = FormatConfusion(confusion, {"a", "b"});
+  EXPECT_NE(text.find("a"), std::string::npos);
+}
+
+TEST(ExampleF1Test, PartialOverlap) {
+  // doc0: pred {1,2}, gold {1} -> 2*1/3; doc1: exact -> 1.
+  const double f1 = ExampleF1({{1, 2}, {3}}, {{1}, {3}});
+  EXPECT_NEAR(f1, (2.0 / 3.0 + 1.0) / 2.0, 1e-12);
+}
+
+TEST(ExampleF1Test, EmptyPredictionsScoreZero) {
+  EXPECT_NEAR(ExampleF1({{}}, {{1}}), 0.0, 1e-12);
+}
+
+TEST(PrecisionAtKTest, CountsTopK) {
+  // Ranked: [3 (hit), 5 (miss), 1 (hit)], gold {1, 3}.
+  EXPECT_NEAR(PrecisionAtK({{3, 5, 1}}, {{1, 3}}, 1), 1.0, 1e-12);
+  EXPECT_NEAR(PrecisionAtK({{3, 5, 1}}, {{1, 3}}, 3), 2.0 / 3.0, 1e-12);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  EXPECT_NEAR(NdcgAtK({{1, 2, 9}}, {{1, 2}}, 3), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, LowerWhenHitsAreLate) {
+  const double early = NdcgAtK({{1, 8, 9}}, {{1}}, 3);
+  const double late = NdcgAtK({{8, 9, 1}}, {{1}}, 3);
+  EXPECT_GT(early, late);
+  EXPECT_GT(late, 0.0);
+}
+
+}  // namespace
+}  // namespace stm::eval

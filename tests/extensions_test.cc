@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/xclass.h"
+#include "datasets/specs.h"
+#include "embedding/sgns.h"
+#include "eval/metrics.h"
+
+namespace stm {
+namespace {
+
+TEST(WordEmbeddingsIoTest, SaveLoadRoundTrip) {
+  datasets::SyntheticSpec spec = datasets::AgNewsSpec(51);
+  spec.num_docs = 120;
+  spec.pretrain_docs = 0;
+  const auto data = datasets::Generate(spec);
+  std::vector<std::vector<int32_t>> docs;
+  for (const auto& doc : data.corpus.docs()) docs.push_back(doc.tokens);
+  embedding::SgnsConfig config;
+  config.epochs = 2;
+  const auto emb = embedding::WordEmbeddings::Train(
+      docs, data.corpus.vocab().size(), config);
+
+  const std::string path = testing::TempDir() + "/emb_roundtrip.bin";
+  ASSERT_TRUE(emb.Save(path));
+  const auto loaded = embedding::WordEmbeddings::Load(path);
+  ASSERT_NE(loaded, nullptr);
+  ASSERT_EQ(loaded->vocab_size(), emb.vocab_size());
+  ASSERT_EQ(loaded->dim(), emb.dim());
+  for (size_t i = 0; i < emb.vectors().size(); ++i) {
+    EXPECT_FLOAT_EQ(loaded->vectors().data()[i], emb.vectors().data()[i]);
+  }
+}
+
+TEST(WordEmbeddingsIoTest, LoadRejectsGarbage) {
+  const std::string path = testing::TempDir() + "/emb_garbage.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fputs("garbage", f);
+  fclose(f);
+  EXPECT_EQ(embedding::WordEmbeddings::Load(path), nullptr);
+}
+
+TEST(XClassPathsTest, HierarchicalPathsAreConsistent) {
+  datasets::SyntheticSpec spec = datasets::ArxivSpec(52);
+  spec.num_docs = 220;
+  spec.pretrain_docs = 800;
+  const auto data = datasets::Generate(spec);
+  // Leaf-flattened view so the corpus label space matches the leaves.
+  const auto fine =
+      datasets::FlattenToDepth(data, data.tree.MaxDepth());
+  plm::MiniLmConfig config;
+  config.vocab_size = data.corpus.vocab().size();
+  config.dim = 40;
+  config.layers = 2;
+  config.heads = 4;
+  config.ffn_dim = 80;
+  config.max_seq = 40;
+  plm::PretrainConfig pretrain;
+  pretrain.steps = 1200;
+  pretrain.batch = 8;
+  auto model = plm::MiniLm::LoadOrPretrain(
+      testing::TempDir(), data.fingerprint, config, pretrain,
+      data.pretrain_docs);
+
+  std::vector<std::vector<int32_t>> leaf_names;
+  for (int node : fine.node_of_label) {
+    leaf_names.push_back({fine.corpus.vocab().IdOf(
+        data.tree.NameOf(node))});
+  }
+  core::XClassConfig xconfig;
+  core::XClass method(fine.corpus, model.get(), xconfig);
+  const auto paths =
+      method.RunPaths(data.tree, fine.node_of_label, leaf_names);
+  ASSERT_EQ(paths.size(), data.corpus.num_docs());
+
+  size_t coarse_correct = 0;
+  size_t leaf_correct = 0;
+  for (size_t d = 0; d < paths.size(); ++d) {
+    ASSERT_EQ(paths[d].size(), 2u);
+    // Path is structurally valid.
+    EXPECT_EQ(data.tree.ParentOf(paths[d][1]), paths[d][0]);
+    coarse_correct +=
+        paths[d][0] == data.corpus.docs()[d].label_path[0];
+    leaf_correct += paths[d][1] == data.corpus.docs()[d].label_path[1];
+  }
+  const double coarse =
+      static_cast<double>(coarse_correct) / paths.size();
+  const double leaf = static_cast<double>(leaf_correct) / paths.size();
+  EXPECT_GT(coarse, 0.5);   // 3 coarse classes
+  EXPECT_GT(leaf, 0.3);     // 9 leaves
+  EXPECT_GE(coarse + 1e-9, leaf);
+}
+
+}  // namespace
+}  // namespace stm

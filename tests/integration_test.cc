@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/self_training.h"
+#include "core/westclass.h"
+#include "datasets/specs.h"
+#include "eval/metrics.h"
+#include "graph/hin.h"
+#include "nn/text_classifier.h"
+#include "text/corpus_io.h"
+
+namespace stm {
+namespace {
+
+// End-to-end user workflow: save a corpus as TSV, load it back, classify
+// with weak supervision derived from the label names only.
+TEST(IntegrationTest, TsvRoundTripThenWeaklySupervisedClassification) {
+  datasets::SyntheticSpec spec = datasets::AgNewsSpec(41);
+  spec.num_docs = 250;
+  spec.pretrain_docs = 0;
+  const auto data = datasets::Generate(spec);
+  const std::string path = testing::TempDir() + "/integration.tsv";
+  ASSERT_TRUE(text::SaveTsv(data.corpus, path));
+
+  text::Corpus corpus;
+  ASSERT_TRUE(text::LoadTsv(path, &corpus, nullptr));
+  ASSERT_EQ(corpus.num_docs(), 250u);
+
+  // Weak supervision reconstructed from the label names alone.
+  text::WeakSupervision supervision;
+  supervision.class_keywords.resize(corpus.num_labels());
+  for (size_t c = 0; c < corpus.num_labels(); ++c) {
+    supervision.class_keywords[c].push_back(
+        corpus.vocab().IdOf(corpus.label_names()[c]));
+  }
+  core::WestClassConfig config;
+  config.classifier = "bow";
+  config.seed = 5;
+  core::WestClass method(corpus, config);
+  const auto pred = method.Run(core::Supervision::kLabels, supervision);
+  EXPECT_GT(eval::Accuracy(pred, corpus.GoldLabels()), 0.7);
+}
+
+// Self-training on top of a weakly pre-trained classifier must not
+// degrade, and typically improves, corpus accuracy.
+TEST(IntegrationTest, SelfTrainingImprovesWeakClassifier) {
+  datasets::SyntheticSpec spec = datasets::AgNewsSpec(42);
+  spec.num_docs = 250;
+  spec.pretrain_docs = 0;
+  const auto data = datasets::Generate(spec);
+  const auto gold = data.corpus.GoldLabels();
+
+  // Weak starting point: train on 3 labeled docs per class.
+  nn::ClassifierConfig config;
+  config.vocab_size = data.corpus.vocab().size();
+  config.num_classes = data.corpus.num_labels();
+  config.seed = 3;
+  nn::BowLogRegClassifier classifier(config);
+  const auto labeled = datasets::SampleLabeledDocs(data.corpus, 3, 9);
+  std::vector<std::vector<int32_t>> train_docs;
+  std::vector<int> train_labels;
+  for (size_t c = 0; c < labeled.size(); ++c) {
+    for (size_t d : labeled[c]) {
+      train_docs.push_back(data.corpus.docs()[d].tokens);
+      train_labels.push_back(static_cast<int>(c));
+    }
+  }
+  classifier.Fit(train_docs, train_labels, 10);
+
+  std::vector<std::vector<int32_t>> all_docs;
+  for (const auto& doc : data.corpus.docs()) all_docs.push_back(doc.tokens);
+  const double before =
+      eval::Accuracy(classifier.Predict(all_docs), gold);
+  core::SelfTrainConfig st;
+  const auto after_pred = core::SelfTrain(classifier, all_docs, st);
+  const double after = eval::Accuracy(after_pred, gold);
+  EXPECT_GE(after + 0.02, before);
+  EXPECT_GT(after, 0.6);
+}
+
+// HIN construction with word and label nodes attached.
+TEST(IntegrationTest, HinWithWordsAndLabels) {
+  datasets::SyntheticSpec spec = datasets::GithubSecSpec(43);
+  spec.num_docs = 120;
+  spec.pretrain_docs = 0;
+  const auto data = datasets::Generate(spec);
+  graph::HinBuildOptions options;
+  options.include_words = true;
+  options.min_word_count = 4;
+  options.include_labels = true;
+  const auto labeled = datasets::SampleLabeledDocs(data.corpus, 4, 3);
+  for (const auto& docs : labeled) {
+    options.labeled_docs.insert(options.labeled_docs.end(), docs.begin(),
+                                docs.end());
+  }
+  const graph::Hin hin = graph::BuildHin(data.corpus, options);
+  // Label nodes exist and connect only to their labeled docs.
+  for (size_t c = 0; c < data.corpus.num_labels(); ++c) {
+    const int node =
+        hin.NodeOf("label", data.corpus.label_names()[c]);
+    ASSERT_GE(node, 0);
+    const auto docs = hin.NeighborsOfType(node, "doc");
+    EXPECT_EQ(docs.size(), labeled[c].size());
+    for (int doc_node : docs) {
+      EXPECT_EQ(data.corpus.docs()[static_cast<size_t>(doc_node)].labels[0],
+                static_cast<int>(c));
+    }
+  }
+  // Word nodes exist for frequent words.
+  EXPECT_GE(hin.NodeOf("word", "malware"), 0);
+}
+
+}  // namespace
+}  // namespace stm

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace stm::la {
+namespace {
+
+TEST(MatrixTest, ConstructAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m.At(1, 2), 1.5f);
+  m.At(0, 1) = 7.0f;
+  EXPECT_FLOAT_EQ(m.Row(0)[1], 7.0f);
+}
+
+TEST(MatrixTest, SetRowAndRowVec) {
+  Matrix m(2, 2);
+  m.SetRow(1, {3.0f, 4.0f});
+  EXPECT_EQ(m.RowVec(1), (std::vector<float>{3.0f, 4.0f}));
+}
+
+TEST(VectorOpsTest, DotNormCosine) {
+  const float a[] = {3.0f, 4.0f};
+  const float b[] = {4.0f, 3.0f};
+  EXPECT_FLOAT_EQ(Dot(a, b, 2), 24.0f);
+  EXPECT_FLOAT_EQ(Norm(a, 2), 5.0f);
+  EXPECT_NEAR(Cosine(a, b, 2), 24.0f / 25.0f, 1e-6f);
+}
+
+TEST(VectorOpsTest, NormalizeInPlace) {
+  float v[] = {3.0f, 4.0f};
+  NormalizeInPlace(v, 2);
+  EXPECT_NEAR(Norm(v, 2), 1.0f, 1e-6f);
+  float zero[] = {0.0f, 0.0f};
+  NormalizeInPlace(zero, 2);  // must not NaN
+  EXPECT_FLOAT_EQ(zero[0], 0.0f);
+}
+
+TEST(VectorOpsTest, MeanOf) {
+  std::vector<float> a = {1.0f, 2.0f};
+  std::vector<float> b = {3.0f, 4.0f};
+  auto mean = MeanOf({a.data(), b.data()}, 2);
+  EXPECT_FLOAT_EQ(mean[0], 2.0f);
+  EXPECT_FLOAT_EQ(mean[1], 3.0f);
+}
+
+TEST(GemmTest, SmallProduct) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  float av = 1.0f;
+  for (size_t i = 0; i < a.size(); ++i) a.data()[i] = av++;
+  for (size_t i = 0; i < b.size(); ++i) b.data()[i] = 1.0f;
+  Matrix c;
+  Gemm(a, b, c);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 15.0f);
+}
+
+TEST(GemmTest, TransposedVariantsAgree) {
+  Rng rng(1);
+  Matrix a(4, 3);
+  Matrix b(3, 5);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.Normal());
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>(rng.Normal());
+  }
+  Matrix c_ref;
+  Gemm(a, b, c_ref);
+
+  // GemmBt: a * (b^T)^T with bt = b^T stored as [5 x 3].
+  Matrix bt(5, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 5; ++j) bt.At(j, i) = b.At(i, j);
+  }
+  Matrix c1;
+  GemmBt(a, bt, c1);
+  for (size_t i = 0; i < c_ref.size(); ++i) {
+    EXPECT_NEAR(c1.data()[i], c_ref.data()[i], 1e-5f);
+  }
+
+  // GemmAt: (a^T)^T * b with at = a^T stored as [3 x 4].
+  Matrix at(3, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) at.At(j, i) = a.At(i, j);
+  }
+  Matrix c2;
+  GemmAt(at, b, c2);
+  for (size_t i = 0; i < c_ref.size(); ++i) {
+    EXPECT_NEAR(c2.data()[i], c_ref.data()[i], 1e-5f);
+  }
+}
+
+TEST(GemmTest, AccumulateAddsToExisting) {
+  Matrix a(1, 1, 2.0f);
+  Matrix b(1, 1, 3.0f);
+  Matrix c(1, 1, 10.0f);
+  Gemm(a, b, c, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 16.0f);
+  Gemm(a, b, c, /*accumulate=*/false);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 6.0f);
+}
+
+TEST(NormalizeRowsTest, AllRowsUnit) {
+  Rng rng(2);
+  Matrix m(5, 4);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Normal());
+  }
+  NormalizeRows(m);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    EXPECT_NEAR(Norm(m.Row(r), m.cols()), 1.0f, 1e-5f);
+  }
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points spread along (1, 1, 0) with small noise: the first PC should
+  // separate the two ends.
+  Rng rng(3);
+  const size_t n = 200;
+  Matrix data(n, 3);
+  std::vector<float> ts(n);
+  for (size_t i = 0; i < n; ++i) {
+    const float t = static_cast<float>(rng.Uniform(-5.0, 5.0));
+    ts[i] = t;
+    data.At(i, 0) = t + static_cast<float>(rng.Normal(0.0, 0.05));
+    data.At(i, 1) = t + static_cast<float>(rng.Normal(0.0, 0.05));
+    data.At(i, 2) = static_cast<float>(rng.Normal(0.0, 0.05));
+  }
+  Matrix projected = Pca(data, 2);
+  ASSERT_EQ(projected.rows(), n);
+  ASSERT_EQ(projected.cols(), 2u);
+  // |corr(first PC, t)| should be ~1.
+  double num = 0.0;
+  double den_a = 0.0;
+  double den_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    num += projected.At(i, 0) * ts[i];
+    den_a += projected.At(i, 0) * projected.At(i, 0);
+    den_b += ts[i] * ts[i];
+  }
+  EXPECT_GT(std::fabs(num) / std::sqrt(den_a * den_b), 0.99);
+}
+
+}  // namespace
+}  // namespace stm::la

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/metacat.h"
+#include "core/micol.h"
+#include "core/promptclass.h"
+#include "core/taxoclass.h"
+#include "core/weshclass.h"
+#include "datasets/specs.h"
+#include "common/string_util.h"
+#include "eval/metrics.h"
+#include "graph/hin.h"
+#include "text/tokenizer.h"
+
+namespace stm::core {
+namespace {
+
+using stm::SplitWhitespace;
+
+// ---------- PromptClass ----------
+
+struct PromptWorld {
+  datasets::SyntheticDataset data;
+  std::unique_ptr<plm::MiniLm> model;
+};
+
+PromptWorld MakePromptWorld() {
+  datasets::SyntheticSpec spec = datasets::AgNewsSpec(33);
+  spec.num_docs = 200;
+  spec.pretrain_docs = 700;
+  spec.background_vocab = 300;
+  PromptWorld world;
+  world.data = datasets::Generate(spec);
+  plm::MiniLmConfig config;
+  config.vocab_size = world.data.corpus.vocab().size();
+  config.dim = 40;
+  config.layers = 2;
+  config.heads = 4;
+  config.ffn_dim = 80;
+  config.max_seq = 40;
+  plm::PretrainConfig pretrain;
+  pretrain.steps = 1200;
+  pretrain.batch = 8;
+  world.model = plm::MiniLm::LoadOrPretrain(
+      testing::TempDir(), world.data.fingerprint, config, pretrain,
+      world.data.pretrain_docs);
+  return world;
+}
+
+TEST(PromptClassTest, MlmZeroShotAboveChance) {
+  PromptWorld world = MakePromptWorld();
+  PromptClassConfig config;
+  PromptClass method(world.data.corpus, world.model.get(), config);
+  const la::Matrix scores = method.ZeroShotScores(
+      world.data.leaf_name_tokens, PromptStyle::kMlm);
+  std::vector<int> pred(world.data.corpus.num_docs());
+  for (size_t d = 0; d < pred.size(); ++d) {
+    const float* row = scores.Row(d);
+    pred[d] = static_cast<int>(
+        std::max_element(row, row + scores.cols()) - row);
+  }
+  EXPECT_GT(eval::Accuracy(pred, world.data.corpus.GoldLabels()), 0.4);
+}
+
+TEST(PromptClassTest, FullPipelineBeatsZeroShot) {
+  PromptWorld world = MakePromptWorld();
+  PromptClassConfig config;
+  config.prompt = PromptStyle::kMlm;
+  PromptClass method(world.data.corpus, world.model.get(), config);
+  const auto gold = world.data.corpus.GoldLabels();
+
+  const la::Matrix scores = method.ZeroShotScores(
+      world.data.leaf_name_tokens, PromptStyle::kMlm);
+  std::vector<int> zero_shot(world.data.corpus.num_docs());
+  for (size_t d = 0; d < zero_shot.size(); ++d) {
+    const float* row = scores.Row(d);
+    zero_shot[d] = static_cast<int>(
+        std::max_element(row, row + scores.cols()) - row);
+  }
+  const auto full = method.Run(world.data.leaf_name_tokens);
+  EXPECT_GE(eval::Accuracy(full, gold) + 0.03,
+            eval::Accuracy(zero_shot, gold));
+  EXPECT_GT(eval::Accuracy(full, gold), 0.5);
+}
+
+TEST(PromptClassTest, RtdZeroShotProducesScores) {
+  PromptWorld world = MakePromptWorld();
+  PromptClassConfig config;
+  PromptClass method(world.data.corpus, world.model.get(), config);
+  const la::Matrix scores = method.ZeroShotScores(
+      world.data.leaf_name_tokens, PromptStyle::kRtd);
+  ASSERT_EQ(scores.rows(), world.data.corpus.num_docs());
+  // Scores are z-calibrated per class: every class column has ~zero mean
+  // and unit variance.
+  for (size_t c = 0; c < scores.cols(); ++c) {
+    double mean = 0.0;
+    for (size_t d = 0; d < scores.rows(); ++d) mean += scores.At(d, c);
+    EXPECT_NEAR(mean / scores.rows(), 0.0, 1e-4);
+  }
+}
+
+// ---------- WeSHClass ----------
+
+TEST(WeshClassTest, HierarchicalPathsBeatChance) {
+  datasets::SyntheticSpec spec = datasets::ArxivSpec(44);
+  spec.num_docs = 300;
+  spec.pretrain_docs = 0;
+  auto data = datasets::Generate(spec);
+
+  // Node keywords = name tokens.
+  std::vector<std::vector<int32_t>> keywords(data.tree.size());
+  for (size_t n = 0; n < data.tree.size(); ++n) {
+    for (const auto& part : SplitWhitespace(data.tree.NameOf(
+             static_cast<int>(n)))) {
+      keywords[n].push_back(data.corpus.vocab().IdOf(part));
+    }
+  }
+  WeshClassConfig config;
+  config.classifier = "bow";
+  config.pretrain_epochs = 6;
+  config.self_train.max_iters = 2;
+  WeshClass method(data.corpus, data.tree, keywords, config);
+  const auto paths = method.Run();
+  ASSERT_EQ(paths.size(), data.corpus.num_docs());
+
+  // Level-0 (coarse) and level-1 (leaf) accuracy.
+  size_t coarse_correct = 0;
+  size_t fine_correct = 0;
+  for (size_t d = 0; d < paths.size(); ++d) {
+    ASSERT_EQ(paths[d].size(), 2u);
+    coarse_correct +=
+        paths[d][0] == data.corpus.docs()[d].label_path[0];
+    fine_correct += paths[d][1] == data.corpus.docs()[d].label_path[1];
+  }
+  const double coarse_acc =
+      static_cast<double>(coarse_correct) / paths.size();
+  const double fine_acc = static_cast<double>(fine_correct) / paths.size();
+  EXPECT_GT(coarse_acc, 0.6);   // 3 coarse classes, chance = 1/3
+  EXPECT_GT(fine_acc, 0.35);    // 9 leaves, chance = 1/9
+  EXPECT_GE(coarse_acc, fine_acc);
+}
+
+TEST(WeshClassTest, LeafOfExtractsLastNode) {
+  EXPECT_EQ(WeshClass::LeafOf({{0, 3}, {1, 5}}),
+            (std::vector<int>{3, 5}));
+}
+
+// ---------- TaxoClass ----------
+
+TEST(TaxoClassTest, MultiLabelBeatsFrequencyPrior) {
+  datasets::SyntheticSpec spec = datasets::AmazonTaxoSpec(55);
+  spec.num_docs = 200;
+  spec.pretrain_docs = 600;
+  spec.num_aux_topics = 6;
+  spec.aux_docs_per_topic = 30;
+  auto data = datasets::Generate(spec);
+
+  plm::MiniLmConfig config;
+  config.vocab_size = data.corpus.vocab().size();
+  config.dim = 40;
+  config.layers = 2;
+  config.heads = 4;
+  config.ffn_dim = 80;
+  config.max_seq = 40;
+  plm::PretrainConfig pretrain;
+  pretrain.steps = 1200;
+  pretrain.batch = 8;
+  auto model = plm::MiniLm::LoadOrPretrain(
+      testing::TempDir(), data.fingerprint, config, pretrain,
+      data.pretrain_docs);
+
+  auto relevance = TrainRelevanceModel(model.get(), data.aux_docs,
+                                       data.aux_labels,
+                                       data.aux_topic_name_tokens, 3);
+
+  std::vector<std::vector<int32_t>> node_names(data.tree.size());
+  for (size_t n = 0; n < data.tree.size(); ++n) {
+    for (const auto& part :
+         SplitWhitespace(data.tree.NameOf(static_cast<int>(n)))) {
+      node_names[n].push_back(data.corpus.vocab().IdOf(part));
+    }
+  }
+  TaxoClassConfig taxo_config;
+  TaxoClass method(data.corpus, data.tree, model.get(), relevance.get(),
+                   taxo_config);
+  const auto result = method.Run(node_names);
+
+  // Gold label sets closed under ancestors.
+  std::vector<std::vector<int>> gold;
+  for (const auto& doc : data.corpus.docs()) {
+    gold.push_back(data.tree.ClosureOf(doc.labels));
+  }
+  const double f1 = eval::ExampleF1(result.predicted, gold);
+  const double p1 = eval::PrecisionAtK(result.ranked, gold, 1);
+  EXPECT_GT(f1, 0.22);
+  EXPECT_GT(p1, 0.45);
+  // Candidates shrank the search space.
+  size_t total_candidates = 0;
+  for (const auto& c : method.candidates()) total_candidates += c.size();
+  EXPECT_LT(total_candidates,
+            data.corpus.num_docs() * data.tree.size());
+}
+
+// ---------- MetaCat ----------
+
+TEST(MetaCatTest, MetadataBeatsTextOnlyOnWeakTextCorpus) {
+  datasets::SyntheticSpec spec = datasets::GithubBioSpec(66);
+  spec.num_docs = 220;
+  spec.pretrain_docs = 0;
+  auto data = datasets::Generate(spec);
+  const auto labeled = datasets::SampleLabeledDocs(data.corpus, 6, 5);
+
+  MetaCatConfig with;
+  with.seed = 9;
+  MetaCatConfig without = with;
+  without.use_metadata_features = false;
+  MetaCat m1(data.corpus, with);
+  MetaCat m2(data.corpus, without);
+  const auto gold = data.corpus.GoldLabels();
+  const double f1_meta = eval::MicroF1(m1.Run(labeled), gold,
+                                       data.corpus.num_labels());
+  const double f1_text = eval::MicroF1(m2.Run(labeled), gold,
+                                       data.corpus.num_labels());
+  EXPECT_GT(f1_meta, 0.3);
+  EXPECT_GE(f1_meta + 0.05, f1_text);
+}
+
+// ---------- MICoL ----------
+
+TEST(MicolTest, MetadataPairsBeatRandomRanking) {
+  datasets::SyntheticSpec spec = datasets::MagCsSpec(77);
+  spec.num_docs = 180;
+  spec.pretrain_docs = 500;
+  auto data = datasets::Generate(spec);
+
+  plm::MiniLmConfig config;
+  config.vocab_size = data.corpus.vocab().size();
+  config.dim = 40;
+  config.layers = 2;
+  config.heads = 4;
+  config.ffn_dim = 80;
+  config.max_seq = 40;
+  plm::PretrainConfig pretrain;
+  pretrain.steps = 1200;
+  pretrain.batch = 8;
+  auto model = plm::MiniLm::LoadOrPretrain(
+      testing::TempDir(), data.fingerprint, config, pretrain,
+      data.pretrain_docs);
+
+  // Label texts = name + description tokens (leaf classes only).
+  std::vector<std::vector<int32_t>> label_texts;
+  for (size_t l = 0; l < data.leaf_classes.size(); ++l) {
+    label_texts.push_back(text::Tokenizer::Encode(
+        data.label_descriptions[l], data.corpus.vocab()));
+  }
+  // Gold leaf labels as indices into leaf order.
+  std::vector<std::vector<int>> gold(data.corpus.num_docs());
+  for (size_t d = 0; d < data.corpus.num_docs(); ++d) {
+    for (int label : data.corpus.docs()[d].labels) {
+      const auto it = std::find(data.leaf_classes.begin(),
+                                data.leaf_classes.end(), label);
+      if (it != data.leaf_classes.end()) {
+        gold[d].push_back(
+            static_cast<int>(it - data.leaf_classes.begin()));
+      }
+    }
+  }
+
+  MicolConfig micol_config;
+  micol_config.bi_encoder_steps = 300;
+  Micol micol(data.corpus, model.get(), micol_config);
+  const auto zero = micol.RankByBiEncoder(label_texts);
+  const double p1_zero = eval::PrecisionAtK(zero, gold, 1);
+
+  const auto pairs =
+      graph::MinePairs(data.corpus, "P->P<-P", 400, 7);
+  ASSERT_GT(pairs.size(), 30u);
+  micol.FineTuneBiEncoder(pairs);
+  const auto tuned = micol.RankByBiEncoder(label_texts);
+  const double p1_tuned = eval::PrecisionAtK(tuned, gold, 1);
+
+  // The evaluation domain is out-of-distribution for the pre-trained
+  // encoder, so metadata-induced contrastive fine-tuning must help — the
+  // paper's central claim.
+  const double chance = 1.0 / static_cast<double>(label_texts.size());
+  EXPECT_GT(p1_tuned, chance * 3);
+  EXPECT_GT(p1_tuned, p1_zero);
+}
+
+TEST(MicolTest, AugmentationsPreserveLengthApproximately) {
+  Rng rng(5);
+  std::vector<int32_t> tokens(40, 7);
+  const auto eda = AugmentEda(tokens, rng);
+  EXPECT_GT(eda.size(), 20u);
+  EXPECT_LE(eda.size(), 40u);
+  std::vector<double> unigram(10, 1.0);
+  const auto uda = AugmentUda(tokens, unigram, rng);
+  EXPECT_EQ(uda.size(), 40u);
+  size_t changed = 0;
+  for (int32_t id : uda) changed += id != 7;
+  EXPECT_GT(changed, 0u);
+}
+
+}  // namespace
+}  // namespace stm::core

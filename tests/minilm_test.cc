@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datasets/synthetic.h"
+#include "la/matrix.h"
+#include "plm/minilm.h"
+#include "text/vocabulary.h"
+
+namespace stm::plm {
+namespace {
+
+// Small two-topic world shared by the tests in this file.
+class MiniLmTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datasets::SyntheticSpec spec;
+    spec.dataset_name = "minilm-test";
+    spec.seed = 42;
+    spec.num_docs = 60;
+    spec.pretrain_docs = 500;
+    spec.background_vocab = 120;
+    spec.class_vocab = 12;
+    spec.doc_len_min = 15;
+    spec.doc_len_max = 30;
+    spec.topical_fraction = 0.6;
+    spec.classes = {
+        {"soccer", {"goal", "match"}, 1.0, -1},
+        {"court", {"judge", "law"}, 1.0, -1},
+    };
+    data_ = new datasets::SyntheticDataset(datasets::Generate(spec));
+
+    MiniLmConfig config;
+    config.vocab_size = data_->corpus.vocab().size();
+    config.dim = 32;
+    config.layers = 1;
+    config.heads = 2;
+    config.ffn_dim = 64;
+    config.max_seq = 32;
+    model_ = new MiniLm(config);
+    PretrainConfig pretrain;
+    pretrain.steps = 400;
+    pretrain.batch = 6;
+    pretrain.train_rtd = true;
+    final_loss_ = model_->Pretrain(data_->pretrain_docs, pretrain);
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete data_;
+    model_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static datasets::SyntheticDataset* data_;
+  static MiniLm* model_;
+  static double final_loss_;
+};
+
+datasets::SyntheticDataset* MiniLmTest::data_ = nullptr;
+MiniLm* MiniLmTest::model_ = nullptr;
+double MiniLmTest::final_loss_ = 0.0;
+
+TEST_F(MiniLmTest, PretrainingReducesLoss) {
+  // Untrained cross entropy is ~log(vocab) ≈ 5.3; frequency-aware masking
+  // concentrates targets on rare tokens, so the bar sits just below that.
+  EXPECT_LT(final_loss_, 5.1);
+}
+
+TEST_F(MiniLmTest, EncodeShape) {
+  la::Matrix hidden = model_->Encode({6, 7, 8});
+  EXPECT_EQ(hidden.rows(), 3u);
+  EXPECT_EQ(hidden.cols(), 32u);
+}
+
+TEST_F(MiniLmTest, PooledRepsSeparateTopics) {
+  // Mean cosine similarity of same-topic doc pairs should exceed
+  // cross-topic pairs.
+  std::vector<std::vector<float>> pooled;
+  std::vector<int> labels;
+  for (size_t d = 0; d < 30; ++d) {
+    const auto& doc = data_->corpus.docs()[d];
+    pooled.push_back(model_->Pool(doc.tokens));
+    labels.push_back(doc.labels[0]);
+  }
+  double same = 0.0;
+  double cross = 0.0;
+  size_t same_n = 0;
+  size_t cross_n = 0;
+  for (size_t i = 0; i < pooled.size(); ++i) {
+    for (size_t j = i + 1; j < pooled.size(); ++j) {
+      const float sim = la::Cosine(pooled[i], pooled[j]);
+      if (labels[i] == labels[j]) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0u);
+  ASSERT_GT(cross_n, 0u);
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST_F(MiniLmTest, MaskedPredictionPrefersTopicalWords) {
+  // Build a soccer-topic context and mask one topical slot: the top-k
+  // predictions should contain more soccer-theme tokens than court-theme.
+  const auto& vocab = data_->corpus.vocab();
+  std::vector<int32_t> context;
+  for (const char* w : {"soccer", "goal", "match", "soccer_t0", "soccer_t1",
+                        "soccer_t2", "goal", "soccer"}) {
+    context.push_back(vocab.IdOf(w));
+  }
+  auto top = model_->PredictTopK(context, 3, 10);
+  std::set<std::string> soccer_theme = {"soccer", "goal", "match"};
+  for (int i = 0; i < 12; ++i) {
+    soccer_theme.insert("soccer_t" + std::to_string(i));
+  }
+  std::set<std::string> court_theme = {"court", "judge", "law"};
+  for (int i = 0; i < 12; ++i) {
+    court_theme.insert("court_t" + std::to_string(i));
+  }
+  int soccer_hits = 0;
+  int court_hits = 0;
+  for (int32_t id : top) {
+    const std::string& token = vocab.TokenOf(id);
+    soccer_hits += soccer_theme.count(token);
+    court_hits += court_theme.count(token);
+  }
+  EXPECT_GT(soccer_hits, court_hits);
+}
+
+TEST_F(MiniLmTest, CandidateLogProbsAreLogProbs) {
+  std::vector<int32_t> ids = {6, 7, 8, 9};
+  auto lp = model_->CandidateLogProbs(ids, 1, {6, 7});
+  ASSERT_EQ(lp.size(), 2u);
+  EXPECT_LT(lp[0], 0.0f);
+  EXPECT_LT(lp[1], 0.0f);
+}
+
+TEST_F(MiniLmTest, ReplacedProbsInUnitInterval) {
+  auto probs = model_->ReplacedProbs(data_->corpus.docs()[0].tokens);
+  for (float p : probs) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST_F(MiniLmTest, RtdFlagsCorruptedTokensOnAverage) {
+  // Statistical check: average replaced-probability at corrupted slots
+  // (cross-topic substitution) should exceed the average at the same slots
+  // when left intact.
+  const auto& vocab = data_->corpus.vocab();
+  double p_intact = 0.0;
+  double p_corrupt = 0.0;
+  int n = 0;
+  for (size_t d = 0; d < 20; ++d) {
+    const auto& doc = data_->corpus.docs()[d];
+    if (doc.labels[0] != 0 || doc.tokens.size() < 8) continue;
+    std::vector<int32_t> corrupted(doc.tokens.begin(),
+                                   doc.tokens.begin() + 8);
+    const size_t slot = 4;
+    const auto before = model_->ReplacedProbs(corrupted);
+    corrupted[slot] = vocab.IdOf("court_t" + std::to_string(n % 8));
+    const auto after = model_->ReplacedProbs(corrupted);
+    p_intact += before[slot];
+    p_corrupt += after[slot];
+    ++n;
+  }
+  ASSERT_GT(n, 3);
+  EXPECT_GT(p_corrupt / n, p_intact / n);
+}
+
+TEST_F(MiniLmTest, PredictTopKAtReturnsPerPosition) {
+  const auto& doc = data_->corpus.docs()[0];
+  std::vector<size_t> positions = {0, 2, 4};
+  const auto tops = model_->PredictTopKAt(doc.tokens, positions, 7);
+  ASSERT_EQ(tops.size(), 3u);
+  for (const auto& top : tops) {
+    ASSERT_EQ(top.size(), 7u);
+    std::set<int32_t> unique(top.begin(), top.end());
+    EXPECT_EQ(unique.size(), top.size());
+    for (int32_t id : top) {
+      EXPECT_GE(id, text::kNumSpecialTokens);  // specials excluded
+    }
+  }
+}
+
+TEST_F(MiniLmTest, SaveLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "/minilm_roundtrip.bin";
+  ASSERT_TRUE(model_->Save(path));
+  auto loaded = MiniLm::Load(path);
+  ASSERT_NE(loaded, nullptr);
+  const std::vector<int32_t> ids = {6, 7, 8, 9, 10};
+  const auto a = model_->Pool(ids);
+  const auto b = loaded->Pool(ids);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST_F(MiniLmTest, LoadRejectsGarbage) {
+  const std::string path = testing::TempDir() + "/minilm_garbage.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fputs("not a model", f);
+  fclose(f);
+  EXPECT_EQ(MiniLm::Load(path), nullptr);
+}
+
+TEST_F(MiniLmTest, TruncatesLongInput) {
+  std::vector<int32_t> longdoc(500, 6);
+  la::Matrix hidden = model_->Encode(longdoc);
+  EXPECT_EQ(hidden.rows(), 32u);  // max_seq
+}
+
+TEST(MiniLmCacheTest, LoadOrPretrainUsesCache) {
+  datasets::SyntheticSpec spec;
+  spec.seed = 9;
+  spec.num_docs = 10;
+  spec.pretrain_docs = 80;
+  spec.background_vocab = 60;
+  spec.class_vocab = 6;
+  spec.classes = {{"alpha", {}, 1.0, -1}, {"beta", {}, 1.0, -1}};
+  auto data = datasets::Generate(spec);
+  MiniLmConfig config;
+  config.vocab_size = data.corpus.vocab().size();
+  config.dim = 16;
+  config.layers = 1;
+  config.heads = 2;
+  config.ffn_dim = 32;
+  config.max_seq = 16;
+  PretrainConfig pretrain;
+  pretrain.steps = 20;
+  pretrain.batch = 4;
+  const std::string dir = testing::TempDir();
+  auto first = MiniLm::LoadOrPretrain(dir, data.fingerprint, config,
+                                      pretrain, data.pretrain_docs);
+  ASSERT_NE(first, nullptr);
+  auto second = MiniLm::LoadOrPretrain(dir, data.fingerprint, config,
+                                       pretrain, data.pretrain_docs);
+  ASSERT_NE(second, nullptr);
+  const std::vector<int32_t> ids = {6, 7, 8};
+  const auto a = first->Pool(ids);
+  const auto b = second->Pool(ids);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace stm::plm

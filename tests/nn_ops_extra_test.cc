@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace stm::nn {
+namespace {
+
+void CheckGradients(Tensor param, const std::function<Tensor()>& loss_fn,
+                    float tol = 2e-2f, float eps = 1e-3f) {
+  Tensor loss = loss_fn();
+  for (float& g : param.grad()) g = 0.0f;
+  Backward(loss);
+  const std::vector<float> analytic = param.grad();
+  for (size_t i = 0; i < param.size(); ++i) {
+    const float saved = param.value()[i];
+    param.value()[i] = saved + eps;
+    const float plus = loss_fn().item();
+    param.value()[i] = saved - eps;
+    const float minus = loss_fn().item();
+    param.value()[i] = saved;
+    const float numeric = (plus - minus) / (2.0f * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tol * std::max(1.0f, std::fabs(numeric)))
+        << "element " << i;
+  }
+}
+
+TEST(NnOpsExtraTest, AddConstantGradientPassesThrough) {
+  Rng rng(1);
+  Tensor x = Tensor::Param({2, 2}, 0.5f, rng);
+  std::vector<float> c = {1.0f, -2.0f, 3.0f, -4.0f};
+  CheckGradients(x, [&] { return SumAll(Tanh(AddConstant(x, c))); });
+}
+
+TEST(NnOpsExtraTest, ConcatRowsGradientSplitsCorrectly) {
+  Rng rng(2);
+  Tensor a = Tensor::Param({2, 3}, 0.5f, rng);
+  Tensor b = Tensor::Param({1, 3}, 0.5f, rng);
+  auto loss = [&] { return SumAll(Tanh(ConcatRows({a, b}))); };
+  CheckGradients(a, loss);
+  CheckGradients(b, loss);
+}
+
+TEST(NnOpsExtraTest, ReshapeGradientIsIdentity) {
+  Rng rng(3);
+  Tensor x = Tensor::Param({2, 6}, 0.5f, rng);
+  CheckGradients(
+      x, [&] { return SumAll(Tanh(Reshape(x, {3, 4}))); });
+}
+
+TEST(NnOpsExtraTest, AddScalarAndScaleCompose) {
+  Rng rng(4);
+  Tensor x = Tensor::Param({5}, 0.5f, rng);
+  CheckGradients(
+      x, [&] { return SumAll(Scale(AddScalar(x, 3.0f), -0.5f)); });
+}
+
+TEST(NnOpsExtraTest, SoftmaxStableUnderLargeLogits) {
+  Tensor x = Tensor::FromVector({1000.0f, 1001.0f, 999.0f}, {1, 3});
+  Tensor y = SoftmaxLastDim(x);
+  float sum = 0.0f;
+  for (float v : y.value()) {
+    ASSERT_FALSE(std::isnan(v));
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  EXPECT_GT(y.value()[1], y.value()[0]);
+}
+
+TEST(NnOpsExtraTest, LogSoftmaxStableUnderLargeNegativeLogits) {
+  Tensor x = Tensor::FromVector({-1000.0f, 0.0f}, {1, 2});
+  Tensor y = LogSoftmaxLastDim(x);
+  ASSERT_FALSE(std::isnan(y.value()[0]));
+  EXPECT_NEAR(y.value()[1], 0.0f, 1e-5f);
+}
+
+TEST(NnOpsExtraTest, BceStableUnderExtremeLogits) {
+  Tensor logits = Tensor::FromVector({50.0f, -50.0f}, {2});
+  logits.node()->requires_grad = true;
+  Tensor loss = BceWithLogits(logits, {1.0f, 0.0f});
+  EXPECT_NEAR(loss.item(), 0.0f, 1e-5f);
+  Backward(loss);
+  for (float g : logits.grad()) ASSERT_FALSE(std::isnan(g));
+
+  Tensor bad = Tensor::FromVector({-50.0f, 50.0f}, {2});
+  bad.node()->requires_grad = true;
+  Tensor big = BceWithLogits(bad, {1.0f, 0.0f});
+  EXPECT_NEAR(big.item(), 50.0f, 1e-3f);
+}
+
+TEST(NnOpsExtraTest, CrossEntropyUniformLogitsIsLogC) {
+  Tensor logits = Tensor::Zeros({4, 7});
+  Tensor loss = CrossEntropy(logits, {0, 1, 2, 3});
+  EXPECT_NEAR(loss.item(), std::log(7.0f), 1e-5f);
+}
+
+TEST(NnOpsExtraTest, MeanAllMatchesSumScale) {
+  Rng rng(5);
+  Tensor x = Tensor::Param({3, 4}, 0.5f, rng);
+  EXPECT_NEAR(MeanAll(x).item(), SumAll(x).item() / 12.0f, 1e-6f);
+  CheckGradients(x, [&] { return MeanAll(Mul(x, x)); });
+}
+
+TEST(NnOpsExtraTest, SliceColsGradOnlyInWindow) {
+  Rng rng(6);
+  Tensor x = Tensor::Param({2, 5}, 0.5f, rng);
+  Tensor loss = SumAll(SliceCols(x, 1, 2));
+  Backward(loss);
+  // Gradient is 1 inside columns [1,3), 0 outside.
+  for (size_t r = 0; r < 2; ++r) {
+    EXPECT_FLOAT_EQ(x.grad()[r * 5 + 0], 0.0f);
+    EXPECT_FLOAT_EQ(x.grad()[r * 5 + 1], 1.0f);
+    EXPECT_FLOAT_EQ(x.grad()[r * 5 + 2], 1.0f);
+    EXPECT_FLOAT_EQ(x.grad()[r * 5 + 3], 0.0f);
+  }
+}
+
+TEST(NnOpsExtraTest, InfoNceGradientFlows) {
+  Rng rng(7);
+  Tensor sim = Tensor::Param({3, 3}, 0.5f, rng);
+  CheckGradients(sim, [&] { return InfoNce(sim, 0.5f); });
+}
+
+}  // namespace
+}  // namespace stm::nn

@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+
+namespace stm::nn {
+namespace {
+
+// Checks autograd gradients of `loss_fn` (rebuilt per evaluation) against
+// central differences w.r.t. every element of `param`.
+void CheckGradients(Tensor param, const std::function<Tensor()>& loss_fn,
+                    float tol = 2e-2f, float eps = 1e-3f) {
+  Tensor loss = loss_fn();
+  for (float& g : param.grad()) g = 0.0f;
+  Backward(loss);
+  const std::vector<float> analytic = param.grad();
+  for (size_t i = 0; i < param.size(); ++i) {
+    const float saved = param.value()[i];
+    param.value()[i] = saved + eps;
+    const float plus = loss_fn().item();
+    param.value()[i] = saved - eps;
+    const float minus = loss_fn().item();
+    param.value()[i] = saved;
+    const float numeric = (plus - minus) / (2.0f * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tol * std::max(1.0f, std::fabs(numeric)))
+        << "at element " << i;
+  }
+}
+
+Tensor RandomParam(std::vector<size_t> shape, uint64_t seed,
+                   float stddev = 0.5f) {
+  Rng rng(seed);
+  return Tensor::Param(std::move(shape), stddev, rng);
+}
+
+TEST(TensorTest, ConstructorsAndAccessors) {
+  Tensor z = Tensor::Zeros({2, 3}, 1.5f);
+  EXPECT_EQ(z.rank(), 2u);
+  EXPECT_EQ(z.size(), 6u);
+  EXPECT_FLOAT_EQ(z.value()[5], 1.5f);
+  EXPECT_FALSE(z.requires_grad());
+
+  Tensor v = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  EXPECT_FLOAT_EQ(v.value()[3], 4.0f);
+
+  Rng rng(1);
+  Tensor p = Tensor::Param({4}, 0.1f, rng);
+  EXPECT_TRUE(p.requires_grad());
+}
+
+TEST(TensorTest, ScalarItem) {
+  Tensor s = Tensor::FromVector({42.0f}, {1});
+  EXPECT_FLOAT_EQ(s.item(), 42.0f);
+}
+
+TEST(OpsTest, AddSubMulForward) {
+  Tensor a = Tensor::FromVector({1, 2, 3}, {3});
+  Tensor b = Tensor::FromVector({4, 5, 6}, {3});
+  EXPECT_FLOAT_EQ(Add(a, b).value()[1], 7.0f);
+  EXPECT_FLOAT_EQ(Sub(a, b).value()[2], -3.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b).value()[0], 4.0f);
+  EXPECT_FLOAT_EQ(Scale(a, 2.0f).value()[2], 6.0f);
+  EXPECT_FLOAT_EQ(AddScalar(a, 1.0f).value()[0], 2.0f);
+}
+
+TEST(OpsTest, MatMulForward) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  Tensor b = Tensor::FromVector({5, 6, 7, 8}, {2, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.value()[0], 19.0f);
+  EXPECT_FLOAT_EQ(c.value()[1], 22.0f);
+  EXPECT_FLOAT_EQ(c.value()[2], 43.0f);
+  EXPECT_FLOAT_EQ(c.value()[3], 50.0f);
+}
+
+TEST(OpsTest, MatMulGradient) {
+  Tensor a = RandomParam({3, 4}, 11);
+  Tensor b = RandomParam({4, 2}, 12);
+  CheckGradients(a, [&] { return SumAll(Tanh(MatMul(a, b))); });
+  CheckGradients(b, [&] { return SumAll(Tanh(MatMul(a, b))); });
+}
+
+TEST(OpsTest, BMatMulMatchesLoopedMatMul) {
+  Rng rng(3);
+  Tensor a = Tensor::Param({2, 3, 4}, 0.5f, rng);
+  Tensor b = Tensor::Param({2, 4, 5}, 0.5f, rng);
+  Tensor c = BMatMul(a, b);
+  ASSERT_EQ(c.shape(), (std::vector<size_t>{2, 3, 5}));
+  // Compare batch 1 against an explicit 2-D matmul.
+  Tensor a1 = Tensor::FromVector(
+      std::vector<float>(a.value().begin() + 12, a.value().end()), {3, 4});
+  Tensor b1 = Tensor::FromVector(
+      std::vector<float>(b.value().begin() + 20, b.value().end()), {4, 5});
+  Tensor c1 = MatMul(a1, b1);
+  for (size_t i = 0; i < 15; ++i) {
+    EXPECT_NEAR(c.value()[15 + i], c1.value()[i], 1e-5f);
+  }
+}
+
+TEST(OpsTest, BMatMulGradient) {
+  Tensor a = RandomParam({2, 2, 3}, 21);
+  Tensor b = RandomParam({2, 3, 2}, 22);
+  CheckGradients(a, [&] { return SumAll(Tanh(BMatMul(a, b))); });
+  CheckGradients(b, [&] { return SumAll(Tanh(BMatMul(a, b))); });
+}
+
+TEST(OpsTest, BMatMulTMatchesExplicitTranspose) {
+  Rng rng(4);
+  Tensor a = Tensor::Param({2, 3, 4}, 0.5f, rng);
+  Tensor b = Tensor::Param({2, 5, 4}, 0.5f, rng);
+  Tensor c = BMatMulT(a, b);
+  Tensor bt = Permute(b, {0, 2, 1});
+  Tensor c2 = BMatMul(a, bt);
+  ASSERT_EQ(c.shape(), c2.shape());
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.value()[i], c2.value()[i], 1e-5f);
+  }
+}
+
+TEST(OpsTest, BMatMulTGradient) {
+  Tensor a = RandomParam({2, 2, 3}, 31);
+  Tensor b = RandomParam({2, 4, 3}, 32);
+  CheckGradients(a, [&] { return SumAll(Tanh(BMatMulT(a, b))); });
+  CheckGradients(b, [&] { return SumAll(Tanh(BMatMulT(a, b))); });
+}
+
+TEST(OpsTest, ActivationGradients) {
+  Tensor x = RandomParam({2, 3}, 41);
+  CheckGradients(x, [&] { return SumAll(Relu(x)); });
+  CheckGradients(x, [&] { return SumAll(Gelu(x)); });
+  CheckGradients(x, [&] { return SumAll(Tanh(x)); });
+  CheckGradients(x, [&] { return SumAll(Sigmoid(x)); });
+}
+
+TEST(OpsTest, AddBiasGradient) {
+  Tensor x = RandomParam({3, 2}, 51);
+  Tensor b = RandomParam({2}, 52);
+  CheckGradients(x, [&] { return SumAll(Tanh(AddBias(x, b))); });
+  CheckGradients(b, [&] { return SumAll(Tanh(AddBias(x, b))); });
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor x = RandomParam({4, 5}, 61);
+  Tensor y = SoftmaxLastDim(x);
+  for (size_t r = 0; r < 4; ++r) {
+    float sum = 0.0f;
+    for (size_t j = 0; j < 5; ++j) sum += y.value()[r * 5 + j];
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, SoftmaxGradient) {
+  Tensor x = RandomParam({2, 4}, 62);
+  Tensor w = Tensor::FromVector({0.3f, -0.2f, 0.5f, 0.1f, 0.9f, -0.7f,
+                                 0.2f, 0.4f},
+                                {2, 4});
+  CheckGradients(x, [&] { return SumAll(Mul(SoftmaxLastDim(x), w)); });
+}
+
+TEST(OpsTest, LogSoftmaxGradient) {
+  Tensor x = RandomParam({2, 3}, 63);
+  Tensor w = Tensor::FromVector({0.3f, -0.2f, 0.5f, 0.1f, 0.9f, -0.7f},
+                                {2, 3});
+  CheckGradients(x, [&] { return SumAll(Mul(LogSoftmaxLastDim(x), w)); });
+}
+
+TEST(OpsTest, LayerNormForwardNormalizes) {
+  Tensor x = RandomParam({3, 8}, 71);
+  Tensor gamma = Tensor::OnesParam({8});
+  Tensor beta = Tensor::ZeroParam({8});
+  Tensor y = LayerNorm(x, gamma, beta);
+  for (size_t r = 0; r < 3; ++r) {
+    float mean = 0.0f;
+    for (size_t j = 0; j < 8; ++j) mean += y.value()[r * 8 + j];
+    mean /= 8.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-5f);
+    float var = 0.0f;
+    for (size_t j = 0; j < 8; ++j) {
+      var += (y.value()[r * 8 + j] - mean) * (y.value()[r * 8 + j] - mean);
+    }
+    EXPECT_NEAR(var / 8.0f, 1.0f, 1e-3f);
+  }
+}
+
+TEST(OpsTest, LayerNormGradients) {
+  Tensor x = RandomParam({2, 4}, 72);
+  Tensor gamma = RandomParam({4}, 73, 0.3f);
+  Tensor beta = RandomParam({4}, 74, 0.3f);
+  for (float& v : gamma.value()) v += 1.0f;
+  auto loss = [&] { return SumAll(Tanh(LayerNorm(x, gamma, beta))); };
+  CheckGradients(x, loss);
+  CheckGradients(gamma, loss);
+  CheckGradients(beta, loss);
+}
+
+TEST(OpsTest, RowsGradientAccumulatesRepeats) {
+  Tensor table = RandomParam({5, 3}, 81);
+  std::vector<int32_t> ids = {1, 1, 4};
+  Tensor out = Rows(table, ids);
+  Tensor loss = SumAll(out);
+  Backward(loss);
+  // Row 1 referenced twice -> grad 2, row 4 once -> 1, others 0.
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(table.grad()[1 * 3 + j], 2.0f);
+    EXPECT_FLOAT_EQ(table.grad()[4 * 3 + j], 1.0f);
+    EXPECT_FLOAT_EQ(table.grad()[0 * 3 + j], 0.0f);
+  }
+}
+
+TEST(OpsTest, SliceConcatRoundTrip) {
+  Tensor x = RandomParam({2, 6}, 91);
+  Tensor left = SliceCols(x, 0, 3);
+  Tensor right = SliceCols(x, 3, 3);
+  Tensor both = ConcatCols({left, right});
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(both.value()[i], x.value()[i]);
+  }
+  CheckGradients(x, [&] {
+    return SumAll(Tanh(ConcatCols(
+        {SliceCols(x, 0, 3), SliceCols(x, 3, 3)})));
+  });
+}
+
+TEST(OpsTest, ConcatRowsStacks) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({3, 4, 5, 6}, {2, 2});
+  Tensor c = ConcatRows({a, b});
+  EXPECT_EQ(c.shape(), (std::vector<size_t>{3, 2}));
+  EXPECT_FLOAT_EQ(c.value()[4], 5.0f);
+}
+
+TEST(OpsTest, PermuteRank3) {
+  Tensor x = Tensor::FromVector({0, 1, 2, 3, 4, 5}, {1, 2, 3});
+  Tensor y = Permute(x, {0, 2, 1});
+  EXPECT_EQ(y.shape(), (std::vector<size_t>{1, 3, 2}));
+  // x[0, i, j] == y[0, j, i]
+  EXPECT_FLOAT_EQ(y.value()[0 * 2 + 0], 0.0f);  // y[0,0,0] = x[0,0,0]
+  EXPECT_FLOAT_EQ(y.value()[0 * 2 + 1], 3.0f);  // y[0,0,1] = x[0,1,0]
+  EXPECT_FLOAT_EQ(y.value()[1 * 2 + 0], 1.0f);  // y[0,1,0] = x[0,0,1]
+}
+
+TEST(OpsTest, PermuteGradient) {
+  Tensor x = RandomParam({2, 3, 2}, 92);
+  CheckGradients(x, [&] { return SumAll(Tanh(Permute(x, {2, 0, 1}))); });
+}
+
+TEST(OpsTest, PermuteRank4RoundTrip) {
+  Tensor x = RandomParam({2, 3, 2, 2}, 93);
+  Tensor y = Permute(Permute(x, {0, 2, 1, 3}), {0, 2, 1, 3});
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(y.value()[i], x.value()[i]);
+  }
+}
+
+TEST(OpsTest, MaskedMeanPool) {
+  Tensor x = Tensor::FromVector({1, 1, 3, 3, 100, 100, 2, 2, 4, 4, 6, 6},
+                                {6, 2});
+  // batch=2, seq=3; first doc length 2 (ignores the 100s), second length 3.
+  Tensor pooled = MaskedMeanPool(x, 2, 3, {2, 3});
+  EXPECT_FLOAT_EQ(pooled.value()[0], 2.0f);
+  EXPECT_FLOAT_EQ(pooled.value()[2], 4.0f);
+}
+
+TEST(OpsTest, MaskedMeanPoolGradient) {
+  Tensor x = RandomParam({6, 2}, 94);
+  CheckGradients(
+      x, [&] { return SumAll(Tanh(MaskedMeanPool(x, 2, 3, {2, 3}))); });
+}
+
+TEST(OpsTest, MaxPoolRows) {
+  Tensor x = Tensor::FromVector({1, 9, 5, 2, 7, 3}, {3, 2});
+  Tensor pooled = MaxPoolRows(x, 1, 3);
+  EXPECT_FLOAT_EQ(pooled.value()[0], 7.0f);
+  EXPECT_FLOAT_EQ(pooled.value()[1], 9.0f);
+}
+
+TEST(OpsTest, MaxPoolRowsGradientRoutesToArgmax) {
+  Tensor x = RandomParam({4, 3}, 95);
+  CheckGradients(x, [&] { return SumAll(Tanh(MaxPoolRows(x, 2, 2))); });
+}
+
+TEST(OpsTest, WeightedSumRowsGradient) {
+  Tensor x = RandomParam({3, 2}, 96);
+  Tensor w = RandomParam({3}, 97);
+  auto loss = [&] { return SumAll(Tanh(WeightedSumRows(x, w))); };
+  CheckGradients(x, loss);
+  CheckGradients(w, loss);
+}
+
+TEST(OpsTest, Im2ColShapeAndGradient) {
+  Tensor x = RandomParam({6, 2}, 98);  // batch=2, seq=3, d=2
+  Tensor cols = Im2Col(x, 2, 3, 2);
+  EXPECT_EQ(cols.shape(), (std::vector<size_t>{4, 4}));
+  CheckGradients(x, [&] { return SumAll(Tanh(Im2Col(x, 2, 3, 2))); });
+}
+
+TEST(OpsTest, DropoutTrainingZeroesAndScales) {
+  Rng rng(123);
+  Tensor x = Tensor::FromVector(std::vector<float>(1000, 1.0f), {1000});
+  x.node()->requires_grad = true;
+  Tensor y = Dropout(x, 0.5f, rng, /*training=*/true);
+  int zeros = 0;
+  for (float v : y.value()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);
+    }
+  }
+  EXPECT_NEAR(zeros, 500, 60);
+}
+
+TEST(OpsTest, DropoutEvalIsIdentity) {
+  Rng rng(123);
+  Tensor x = Tensor::FromVector({1, 2, 3}, {3});
+  Tensor y = Dropout(x, 0.5f, rng, /*training=*/false);
+  EXPECT_EQ(y.node(), x.node());
+}
+
+TEST(LossTest, CrossEntropyMatchesManual) {
+  Tensor logits = Tensor::FromVector({2.0f, 0.0f, 0.0f, 3.0f}, {2, 2});
+  Tensor loss = CrossEntropy(logits, {0, 1});
+  const float l0 = -std::log(std::exp(2.0f) / (std::exp(2.0f) + 1.0f));
+  const float l1 = -std::log(std::exp(3.0f) / (std::exp(3.0f) + 1.0f));
+  EXPECT_NEAR(loss.item(), (l0 + l1) / 2.0f, 1e-5f);
+}
+
+TEST(LossTest, CrossEntropyGradient) {
+  Tensor logits = RandomParam({3, 4}, 101);
+  CheckGradients(logits, [&] { return CrossEntropy(logits, {1, 3, 0}); });
+}
+
+TEST(LossTest, SoftCrossEntropyGradient) {
+  Tensor logits = RandomParam({2, 3}, 102);
+  std::vector<float> probs = {0.7f, 0.2f, 0.1f, 0.1f, 0.1f, 0.8f};
+  CheckGradients(logits, [&] { return SoftCrossEntropy(logits, probs); });
+}
+
+TEST(LossTest, BceWithLogitsGradient) {
+  Tensor logits = RandomParam({5}, 103);
+  std::vector<float> targets = {1, 0, 1, 1, 0};
+  CheckGradients(logits, [&] { return BceWithLogits(logits, targets); });
+}
+
+TEST(LossTest, BceMatchesManual) {
+  Tensor logits = Tensor::FromVector({0.0f}, {1});
+  Tensor loss = BceWithLogits(logits, {1.0f});
+  EXPECT_NEAR(loss.item(), std::log(2.0f), 1e-5f);
+}
+
+TEST(LossTest, InfoNceDecreasesWithBetterAlignment) {
+  // Identity similarity (perfect) should score better than uniform.
+  Tensor good = Tensor::FromVector({5, 0, 0, 5}, {2, 2});
+  Tensor flat = Tensor::FromVector({1, 1, 1, 1}, {2, 2});
+  EXPECT_LT(InfoNce(good, 1.0f).item(), InfoNce(flat, 1.0f).item());
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  Rng rng(7);
+  ParameterStore store;
+  Tensor w = store.Register("w", Tensor::Param({4}, 1.0f, rng));
+  OptimizerConfig config;
+  config.lr = 0.1f;
+  AdamOptimizer opt(&store, config);
+  for (int step = 0; step < 300; ++step) {
+    Tensor loss = SumAll(Mul(w, w));
+    Backward(loss);
+    opt.Step();
+  }
+  for (float v : w.value()) EXPECT_NEAR(v, 0.0f, 1e-2f);
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  Rng rng(8);
+  ParameterStore store;
+  Tensor w = store.Register("w", Tensor::Param({3}, 1.0f, rng));
+  SgdOptimizer opt(&store, 0.1f, 0.5f);
+  for (int step = 0; step < 200; ++step) {
+    Tensor loss = SumAll(Mul(w, w));
+    Backward(loss);
+    opt.Step();
+  }
+  for (float v : w.value()) EXPECT_NEAR(v, 0.0f, 1e-3f);
+}
+
+TEST(OptimizerTest, SnapshotRestoreRoundTrip) {
+  Rng rng(9);
+  ParameterStore store;
+  Tensor a = store.Register("a", Tensor::Param({2, 2}, 1.0f, rng));
+  Tensor b = store.Register("b", Tensor::Param({3}, 1.0f, rng));
+  const std::vector<float> snap = store.Snapshot();
+  const float a0 = a.value()[0];
+  a.value()[0] = 99.0f;
+  b.value()[2] = -99.0f;
+  store.Restore(snap);
+  EXPECT_FLOAT_EQ(a.value()[0], a0);
+  EXPECT_NE(b.value()[2], -99.0f);
+}
+
+TEST(BackwardTest, DiamondGraphAccumulates) {
+  // loss = sum(x*x) + sum(x) -> dx = 2x + 1.
+  Tensor x = RandomParam({3}, 111);
+  Tensor loss = Add(SumAll(Mul(x, x)), SumAll(x));
+  Backward(loss);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x.grad()[i], 2.0f * x.value()[i] + 1.0f, 1e-4f);
+  }
+}
+
+TEST(BackwardTest, NoGradThroughConstants) {
+  Tensor x = Tensor::FromVector({1, 2}, {2});  // constant
+  Tensor w = RandomParam({2}, 112);
+  Tensor loss = SumAll(Mul(x, w));
+  Backward(loss);
+  EXPECT_TRUE(x.node()->grad.empty());
+}
+
+}  // namespace
+}  // namespace stm::nn

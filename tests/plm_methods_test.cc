@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/baselines.h"
+#include "core/conwea.h"
+#include "core/lotclass.h"
+#include "core/xclass.h"
+#include "datasets/specs.h"
+#include "eval/metrics.h"
+
+namespace stm::core {
+namespace {
+
+// Shared small corpus + cached MiniLm. LoadOrPretrain caches the model on
+// disk, so only the first test process pays for pre-training.
+struct World {
+  datasets::SyntheticDataset data;
+  std::unique_ptr<plm::MiniLm> model;
+};
+
+World MakeWorld() {
+  datasets::SyntheticSpec spec = datasets::AgNewsSpec(21);
+  spec.num_docs = 300;
+  spec.pretrain_docs = 900;
+  spec.background_vocab = 300;
+  World world;
+  world.data = datasets::Generate(spec);
+  plm::MiniLmConfig config;
+  config.vocab_size = world.data.corpus.vocab().size();
+  config.dim = 40;
+  config.layers = 2;
+  config.heads = 4;
+  config.ffn_dim = 80;
+  config.max_seq = 40;
+  plm::PretrainConfig pretrain;
+  pretrain.steps = 1200;
+  pretrain.batch = 8;
+  world.model = plm::MiniLm::LoadOrPretrain(
+      testing::TempDir(), world.data.fingerprint, config, pretrain,
+      world.data.pretrain_docs);
+  return world;
+}
+
+double GoldMicroF1(const World& world, const std::vector<int>& pred) {
+  return eval::MicroF1(pred, world.data.corpus.GoldLabels(),
+                       world.data.corpus.num_labels());
+}
+
+TEST(ConWeaTest, BeatsChanceAndProducesSenses) {
+  World world = MakeWorld();
+  ConWeaConfig config;
+  config.iterations = 2;
+  config.max_occurrences = 20;
+  ConWea method(world.data.corpus, world.model.get(), config);
+  const auto pred = method.Run(world.data.supervision);
+  EXPECT_GT(GoldMicroF1(world, pred), 0.6);
+  // Expansion grew the seed sets.
+  size_t total_seeds = 0;
+  for (const auto& seeds : method.final_seeds()) total_seeds += seeds.size();
+  size_t original = 0;
+  for (const auto& seeds : world.data.supervision.class_keywords) {
+    original += seeds.size();
+  }
+  EXPECT_GT(total_seeds, original);
+}
+
+TEST(ConWeaTest, ContextualizationBeatsNoCon) {
+  World world = MakeWorld();
+  ConWeaConfig with;
+  with.iterations = 2;
+  with.max_occurrences = 20;
+  ConWeaConfig without = with;
+  without.enable_contextualization = false;
+  ConWea m1(world.data.corpus, world.model.get(), with);
+  ConWea m2(world.data.corpus, world.model.get(), without);
+  const double f1_with = GoldMicroF1(world, m1.Run(world.data.supervision));
+  const double f1_without =
+      GoldMicroF1(world, m2.Run(world.data.supervision));
+  // Ambiguous seeds make contextualization matter; allow slack since the
+  // corpus is small.
+  EXPECT_GE(f1_with + 0.05, f1_without);
+}
+
+TEST(LotClassTest, CategoryVocabIsTopical) {
+  World world = MakeWorld();
+  LotClassConfig config;
+  LotClass method(world.data.corpus, world.model.get(), config);
+  method.BuildCategoryVocab(world.data.leaf_name_tokens);
+  const auto& vocab = method.category_vocab();
+  ASSERT_EQ(vocab.size(), 4u);
+  // Class 1 = "sports": most of its category vocabulary should be
+  // sports-theme tokens.
+  size_t topical = 0;
+  for (int32_t id : vocab[1]) {
+    const std::string& token = world.data.corpus.vocab().TokenOf(id);
+    if (token.rfind("sports", 0) == 0 || token == "game" ||
+        token == "team" || token == "championship") {
+      ++topical;
+    }
+  }
+  EXPECT_GT(vocab[1].size(), 5u);
+  EXPECT_GT(topical * 2, vocab[1].size());
+}
+
+TEST(LotClassTest, ClassifiesAboveIrBaseline) {
+  World world = MakeWorld();
+  LotClassConfig config;
+  LotClass method(world.data.corpus, world.model.get(), config);
+  const auto pred = method.Run(world.data.leaf_name_tokens);
+  const double lot_f1 = GoldMicroF1(world, pred);
+  std::vector<std::vector<int32_t>> name_only;
+  for (const auto& names : world.data.leaf_name_tokens) {
+    name_only.push_back(names);
+  }
+  const double ir_f1 = GoldMicroF1(
+      world, IrTfIdfClassify(world.data.corpus, name_only));
+  EXPECT_GT(lot_f1, 0.6);
+  EXPECT_GT(lot_f1 + 0.05, ir_f1);
+}
+
+TEST(XClassTest, PipelineAndAblationOrdering) {
+  World world = MakeWorld();
+  XClassConfig config;
+  XClass method(world.data.corpus, world.model.get(), config);
+  const auto pred = method.Run(world.data.leaf_name_tokens);
+  const double full = GoldMicroF1(world, pred);
+  const double rep = GoldMicroF1(world, method.RepOnly());
+  const double align = GoldMicroF1(world, method.AlignOnly());
+  EXPECT_GT(full, 0.6);
+  // Paper ordering: full >= align >= rep (allow small slack).
+  EXPECT_GE(full + 0.08, align);
+  EXPECT_GE(align + 0.08, rep);
+}
+
+TEST(XClassTest, DocRepsClusterByClass) {
+  World world = MakeWorld();
+  XClassConfig config;
+  XClass method(world.data.corpus, world.model.get(), config);
+  method.Run(world.data.leaf_name_tokens);
+  const la::Matrix& reps = method.doc_reps();
+  double same = 0.0;
+  double cross = 0.0;
+  size_t same_n = 0;
+  size_t cross_n = 0;
+  const auto gold = world.data.corpus.GoldLabels();
+  for (size_t i = 0; i < 60; ++i) {
+    for (size_t j = i + 1; j < 60; ++j) {
+      const float sim = la::Cosine(reps.Row(i), reps.Row(j), reps.cols());
+      if (gold[i] == gold[j]) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n + 0.05);
+}
+
+TEST(PlmBaselineTest, SimpleMatchAboveChance) {
+  World world = MakeWorld();
+  const auto pred = PlmSimpleMatchClassify(
+      world.data.corpus, *world.model, world.data.leaf_name_tokens);
+  EXPECT_GT(GoldMicroF1(world, pred), 0.4);
+}
+
+}  // namespace
+}  // namespace stm::core

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "datasets/specs.h"
+#include "eval/metrics.h"
+
+namespace stm {
+namespace {
+
+// ---------- generator invariants over every canned spec ----------
+
+using SpecFactory = datasets::SyntheticSpec (*)(uint64_t);
+
+struct NamedSpec {
+  const char* name;
+  SpecFactory factory;
+};
+
+class SpecPropertyTest : public ::testing::TestWithParam<NamedSpec> {};
+
+datasets::SyntheticSpec SmallVariant(const NamedSpec& named) {
+  datasets::SyntheticSpec spec = named.factory(97);
+  spec.num_docs = 60;
+  spec.pretrain_docs = std::min<size_t>(spec.pretrain_docs, 40);
+  spec.aux_docs_per_topic = std::min<size_t>(spec.aux_docs_per_topic, 5);
+  return spec;
+}
+
+TEST_P(SpecPropertyTest, TokensAndLabelsWellFormed) {
+  const datasets::SyntheticDataset data =
+      datasets::Generate(SmallVariant(GetParam()));
+  ASSERT_EQ(data.corpus.num_docs(), 60u);
+  for (const auto& doc : data.corpus.docs()) {
+    ASSERT_FALSE(doc.labels.empty());
+    for (int label : doc.labels) {
+      ASSERT_GE(label, 0);
+      ASSERT_LT(static_cast<size_t>(label), data.corpus.num_labels());
+      ASSERT_TRUE(data.tree.IsLeaf(label));
+    }
+    ASSERT_FALSE(doc.tokens.empty());
+    for (int32_t id : doc.tokens) {
+      ASSERT_GE(id, text::kNumSpecialTokens);
+      ASSERT_LT(static_cast<size_t>(id), data.corpus.vocab().size());
+    }
+    // label_path is a real root-to-leaf chain for the primary label.
+    ASSERT_FALSE(doc.label_path.empty());
+    EXPECT_EQ(doc.label_path.back(), doc.labels[0]);
+    EXPECT_EQ(data.tree.ParentOf(doc.label_path.front()), -1);
+  }
+}
+
+TEST_P(SpecPropertyTest, SupervisionCoversEveryLeaf) {
+  const datasets::SyntheticDataset data =
+      datasets::Generate(SmallVariant(GetParam()));
+  ASSERT_EQ(data.supervision.class_keywords.size(),
+            data.leaf_classes.size());
+  for (size_t c = 0; c < data.leaf_classes.size(); ++c) {
+    ASSERT_FALSE(data.supervision.class_keywords[c].empty());
+    // First seed is the class-name token.
+    EXPECT_EQ(data.supervision.class_keywords[c][0],
+              data.leaf_name_tokens[c][0]);
+  }
+  EXPECT_EQ(data.label_descriptions.size(), data.leaf_classes.size());
+}
+
+TEST_P(SpecPropertyTest, DeterministicAcrossCalls) {
+  const datasets::SyntheticDataset a =
+      datasets::Generate(SmallVariant(GetParam()));
+  const datasets::SyntheticDataset b =
+      datasets::Generate(SmallVariant(GetParam()));
+  ASSERT_EQ(a.fingerprint, b.fingerprint);
+  for (size_t d = 0; d < a.corpus.num_docs(); ++d) {
+    ASSERT_EQ(a.corpus.docs()[d].tokens, b.corpus.docs()[d].tokens);
+    ASSERT_EQ(a.corpus.docs()[d].labels, b.corpus.docs()[d].labels);
+    ASSERT_EQ(a.corpus.docs()[d].metadata, b.corpus.docs()[d].metadata);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecs, SpecPropertyTest,
+    ::testing::Values(
+        NamedSpec{"agnews", datasets::AgNewsSpec},
+        NamedSpec{"nyt", datasets::NytSpec},
+        NamedSpec{"twentynews", datasets::TwentyNewsSpec},
+        NamedSpec{"nyt_topic", datasets::NytTopicSpec},
+        NamedSpec{"nyt_location", datasets::NytLocationSpec},
+        NamedSpec{"yelp", datasets::YelpSpec},
+        NamedSpec{"imdb", datasets::ImdbSpec},
+        NamedSpec{"dbpedia", datasets::DbpediaSpec},
+        NamedSpec{"amazon_flat", datasets::AmazonFlatSpec},
+        NamedSpec{"arxiv", datasets::ArxivSpec},
+        NamedSpec{"yelp_hier", datasets::YelpHierSpec},
+        NamedSpec{"amazon_taxo", datasets::AmazonTaxoSpec},
+        NamedSpec{"dbpedia_taxo", datasets::DbpediaTaxoSpec},
+        NamedSpec{"github_bio", datasets::GithubBioSpec},
+        NamedSpec{"github_ai", datasets::GithubAiSpec},
+        NamedSpec{"github_sec", datasets::GithubSecSpec},
+        NamedSpec{"amazon_meta", datasets::AmazonMetaSpec},
+        NamedSpec{"twitter", datasets::TwitterSpec},
+        NamedSpec{"mag_cs", datasets::MagCsSpec},
+        NamedSpec{"pubmed", datasets::PubMedSpec}),
+    [](const ::testing::TestParamInfo<NamedSpec>& info) {
+      return std::string(info.param.name);
+    });
+
+// ---------- metric properties over random label assignments ----------
+
+class MetricPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricPropertyTest, SingleLabelMetricInvariants) {
+  Rng rng(GetParam());
+  const size_t n = 120;
+  const size_t c = 2 + rng.UniformInt(8);
+  std::vector<int> gold(n);
+  std::vector<int> pred(n);
+  for (size_t i = 0; i < n; ++i) {
+    gold[i] = static_cast<int>(rng.UniformInt(c));
+    pred[i] = static_cast<int>(rng.UniformInt(c));
+  }
+  const double acc = eval::Accuracy(pred, gold);
+  const double micro = eval::MicroF1(pred, gold, c);
+  const double macro = eval::MacroF1(pred, gold, c);
+  // Micro-F1 equals accuracy for single-label multi-class.
+  EXPECT_NEAR(micro, acc, 1e-9);
+  EXPECT_GE(macro, 0.0);
+  EXPECT_LE(macro, 1.0);
+  // Perfect prediction dominates every random prediction.
+  EXPECT_GE(eval::MicroF1(gold, gold, c), micro);
+  EXPECT_GE(eval::MacroF1(gold, gold, c) + 1e-12, macro);
+}
+
+TEST_P(MetricPropertyTest, RankingMetricInvariants) {
+  Rng rng(GetParam() + 1000);
+  const size_t n = 60;
+  const size_t num_labels = 12;
+  std::vector<std::vector<int>> gold(n);
+  std::vector<std::vector<int>> ranked(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t k = 1 + rng.UniformInt(3);
+    for (size_t j : rng.SampleWithoutReplacement(num_labels, k)) {
+      gold[i].push_back(static_cast<int>(j));
+    }
+    for (size_t j : rng.Permutation(num_labels)) {
+      ranked[i].push_back(static_cast<int>(j));
+    }
+  }
+  // P@k and NDCG@k lie in [0,1]; NDCG of a ranking that lists the gold
+  // labels first is 1.
+  for (size_t k : {1, 3, 5}) {
+    const double p = eval::PrecisionAtK(ranked, gold, k);
+    const double ndcg = eval::NdcgAtK(ranked, gold, k);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_GE(ndcg, 0.0);
+    EXPECT_LE(ndcg, 1.0 + 1e-12);
+  }
+  std::vector<std::vector<int>> ideal(n);
+  for (size_t i = 0; i < n; ++i) {
+    ideal[i] = gold[i];
+    for (size_t j = 0; j < num_labels; ++j) {
+      if (std::find(gold[i].begin(), gold[i].end(), static_cast<int>(j)) ==
+          gold[i].end()) {
+        ideal[i].push_back(static_cast<int>(j));
+      }
+    }
+  }
+  EXPECT_NEAR(eval::NdcgAtK(ideal, gold, 5), 1.0, 1e-12);
+  // Example-F1 of gold against itself is 1.
+  EXPECT_NEAR(eval::ExampleF1(gold, gold), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace stm

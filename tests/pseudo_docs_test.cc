@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/pseudo_docs.h"
+#include "datasets/specs.h"
+#include "embedding/sgns.h"
+#include "text/tokenizer.h"
+
+namespace stm::core {
+namespace {
+
+struct Fixture {
+  datasets::SyntheticDataset data;
+  std::unique_ptr<embedding::WordEmbeddings> embeddings;
+  std::vector<double> background;
+};
+
+Fixture MakeFixture() {
+  datasets::SyntheticSpec spec = datasets::AgNewsSpec(31);
+  spec.num_docs = 250;
+  spec.pretrain_docs = 0;
+  Fixture fixture;
+  fixture.data = datasets::Generate(spec);
+  std::vector<std::vector<int32_t>> docs;
+  for (const auto& doc : fixture.data.corpus.docs()) {
+    docs.push_back(doc.tokens);
+  }
+  embedding::SgnsConfig sgns;
+  sgns.epochs = 5;
+  fixture.embeddings = std::make_unique<embedding::WordEmbeddings>(
+      embedding::WordEmbeddings::Train(
+          docs, fixture.data.corpus.vocab().size(), sgns));
+  const auto counts = fixture.data.corpus.TokenCounts();
+  fixture.background.assign(counts.size(), 0.0);
+  for (size_t i = text::kNumSpecialTokens; i < counts.size(); ++i) {
+    fixture.background[i] = static_cast<double>(counts[i]);
+  }
+  return fixture;
+}
+
+TEST(PseudoDocGeneratorTest, DocsHaveRequestedShape) {
+  Fixture fixture = MakeFixture();
+  PseudoDocOptions options;
+  options.docs_per_class = 12;
+  options.doc_len = 25;
+  PseudoDocGenerator generator(fixture.embeddings.get(),
+                               fixture.background, options);
+  Rng rng(3);
+  const auto docs =
+      generator.Generate(fixture.data.supervision.class_keywords[0], rng);
+  ASSERT_EQ(docs.size(), 12u);
+  for (const auto& doc : docs) EXPECT_EQ(doc.size(), 25u);
+}
+
+TEST(PseudoDocGeneratorTest, VmfDocsAreClassTopical) {
+  Fixture fixture = MakeFixture();
+  PseudoDocOptions options;
+  options.docs_per_class = 20;
+  options.doc_len = 30;
+  PseudoDocGenerator generator(fixture.embeddings.get(),
+                               fixture.background, options);
+  Rng rng(4);
+  // Class 1 = sports. Most non-background tokens should be sports-theme.
+  const auto docs =
+      generator.Generate(fixture.data.supervision.class_keywords[1], rng);
+  size_t sports_like = 0;
+  size_t total = 0;
+  const auto& vocab = fixture.data.corpus.vocab();
+  for (const auto& doc : docs) {
+    for (int32_t id : doc) {
+      const std::string& token = vocab.TokenOf(id);
+      if (token.rfind("bg", 0) == 0 || text::IsStopword(token)) continue;
+      ++total;
+      if (token.rfind("sports", 0) == 0 || token == "game" ||
+          token == "team" || token == "championship" ||
+          token.rfind("amb", 0) == 0) {
+        ++sports_like;
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(sports_like) / total, 0.5);
+}
+
+TEST(PseudoDocGeneratorTest, SeedsAppearInVmfDocs) {
+  // Dispersed seed sets must still surface in the generated documents
+  // (the anchoring behaviour that fixes the DOCS supervision mode).
+  Fixture fixture = MakeFixture();
+  PseudoDocOptions options;
+  options.docs_per_class = 30;
+  options.doc_len = 30;
+  PseudoDocGenerator generator(fixture.embeddings.get(),
+                               fixture.background, options);
+  Rng rng(5);
+  std::vector<int32_t> seeds = fixture.data.supervision.class_keywords[2];
+  const auto docs = generator.Generate(seeds, rng);
+  std::map<int32_t, int> counts;
+  for (const auto& doc : docs) {
+    for (int32_t id : doc) counts[id]++;
+  }
+  size_t seeds_present = 0;
+  for (int32_t id : seeds) seeds_present += counts[id] > 0;
+  EXPECT_GE(seeds_present * 2, seeds.size());
+}
+
+TEST(PseudoDocGeneratorTest, NoVmfModeUsesSeedsOnly) {
+  Fixture fixture = MakeFixture();
+  PseudoDocOptions options;
+  options.docs_per_class = 10;
+  options.doc_len = 20;
+  options.enable_vmf = false;
+  options.background_alpha = 0.0f;
+  PseudoDocGenerator generator(fixture.embeddings.get(),
+                               fixture.background, options);
+  Rng rng(6);
+  const std::vector<int32_t> seeds =
+      fixture.data.supervision.class_keywords[3];
+  const auto docs = generator.Generate(seeds, rng);
+  for (const auto& doc : docs) {
+    for (int32_t id : doc) {
+      EXPECT_NE(std::find(seeds.begin(), seeds.end(), id), seeds.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stm::core

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "core/self_training.h"
+#include "embedding/vmf.h"
+#include "eval/metrics.h"
+#include "nn/text_classifier.h"
+#include "taxonomy/taxonomy.h"
+#include "text/tfidf.h"
+
+namespace stm {
+namespace {
+
+TEST(RobustnessTest, KMeansMoreClustersThanPoints) {
+  la::Matrix data(2, 3);
+  data.SetRow(0, {1.0f, 0.0f, 0.0f});
+  data.SetRow(1, {0.0f, 1.0f, 0.0f});
+  cluster::KMeansOptions options;
+  options.k = 5;  // clamped to n
+  const auto result = cluster::KMeans(data, options);
+  EXPECT_EQ(result.assignment.size(), 2u);
+  EXPECT_LE(result.centroids.rows(), 2u);
+}
+
+TEST(RobustnessTest, KMeansIdenticalPoints) {
+  la::Matrix data(6, 2, 1.0f);  // all identical
+  cluster::KMeansOptions options;
+  options.k = 2;
+  const auto result = cluster::KMeans(data, options);
+  // Must terminate and assign every point.
+  EXPECT_EQ(result.assignment.size(), 6u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-6);
+}
+
+TEST(RobustnessTest, GmmSinglePointPerCluster) {
+  la::Matrix data(2, 2);
+  data.SetRow(0, {0.0f, 0.0f});
+  data.SetRow(1, {10.0f, 10.0f});
+  la::Matrix init = data;
+  cluster::GmmOptions options;
+  const auto result = cluster::GmmFit(data, init, options);
+  EXPECT_EQ(result.assignment[0], 0);
+  EXPECT_EQ(result.assignment[1], 1);
+  for (float v : result.variances) EXPECT_GE(v, options.min_variance);
+}
+
+TEST(RobustnessTest, VmfSingleSeedUsesFallbackKappa) {
+  std::vector<std::vector<float>> units = {{0.0f, 1.0f, 0.0f}};
+  const auto vmf = embedding::VonMisesFisher::Fit(units, 77.0f);
+  EXPECT_FLOAT_EQ(vmf.kappa(), 77.0f);
+  Rng rng(1);
+  const auto sample = vmf.Sample(rng);
+  EXPECT_NEAR(la::Norm(sample.data(), sample.size()), 1.0f, 1e-4f);
+}
+
+TEST(RobustnessTest, TfIdfEmptyDocument) {
+  text::Corpus corpus;
+  text::Document doc;
+  doc.tokens = {corpus.vocab().AddToken("word")};
+  doc.labels = {0};
+  corpus.label_names() = {"a"};
+  corpus.docs().push_back(doc);
+  text::TfIdf tfidf(corpus);
+  const auto vec = tfidf.Transform({});
+  EXPECT_EQ(vec.size(), 0u);
+  EXPECT_FLOAT_EQ(text::SparseCosine(vec, vec), 0.0f);
+}
+
+TEST(RobustnessTest, ClassifierSingleDocumentFit) {
+  nn::ClassifierConfig config;
+  config.vocab_size = 10;
+  config.num_classes = 2;
+  config.max_len = 4;
+  config.embed_dim = 4;
+  nn::TextCnnClassifier clf(config);
+  clf.Fit({{5, 6}}, {1}, 3);
+  const auto pred = clf.Predict({{5, 6}});
+  EXPECT_EQ(pred.size(), 1u);
+}
+
+TEST(RobustnessTest, SelfTrainOnUniformClassifierTerminates) {
+  nn::ClassifierConfig config;
+  config.vocab_size = 12;
+  config.num_classes = 3;
+  nn::BowLogRegClassifier clf(config);
+  std::vector<std::vector<int32_t>> docs(10, std::vector<int32_t>{6, 7});
+  core::SelfTrainConfig st;
+  st.max_iters = 3;
+  const auto pred = core::SelfTrain(clf, docs, st);
+  EXPECT_EQ(pred.size(), 10u);
+}
+
+TEST(RobustnessTest, LabelTreeSingleNode) {
+  taxonomy::LabelTree tree;
+  const int root = tree.AddNode("only", -1);
+  EXPECT_TRUE(tree.IsLeaf(root));
+  EXPECT_EQ(tree.MaxDepth(), 0);
+  EXPECT_EQ(tree.PathTo(root), (std::vector<int>{root}));
+  EXPECT_EQ(tree.ClosureOf({root}), (std::vector<int>{root}));
+}
+
+TEST(RobustnessTest, MetricsHandleSingleClass) {
+  const std::vector<int> pred = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(eval::MicroF1(pred, pred, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eval::MacroF1(pred, pred, 1), 1.0);
+}
+
+TEST(RobustnessTest, AliasSamplerSingleOutcome) {
+  AliasSampler sampler(std::vector<double>{3.0});
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace stm

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+#include "nn/text_classifier.h"
+#include "text/vocabulary.h"
+
+namespace stm::nn {
+namespace {
+
+// Builds a tiny separable task: class 0 docs use ids [5, 15), class 1 docs
+// use ids [15, 25), with shared noise ids [25, 30).
+struct ToyTask {
+  std::vector<std::vector<int32_t>> docs;
+  std::vector<int> labels;
+  std::vector<float> one_hot;
+  size_t vocab_size = 30;
+};
+
+ToyTask MakeToyTask(size_t n_per_class, uint64_t seed) {
+  Rng rng(seed);
+  ToyTask task;
+  for (int label = 0; label < 2; ++label) {
+    for (size_t i = 0; i < n_per_class; ++i) {
+      std::vector<int32_t> doc;
+      const int32_t base = label == 0 ? 5 : 15;
+      for (int t = 0; t < 12; ++t) {
+        if (rng.Bernoulli(0.7)) {
+          doc.push_back(base + static_cast<int32_t>(rng.UniformInt(10)));
+        } else {
+          doc.push_back(25 + static_cast<int32_t>(rng.UniformInt(5)));
+        }
+      }
+      task.docs.push_back(std::move(doc));
+      task.labels.push_back(label);
+      task.one_hot.push_back(label == 0 ? 1.0f : 0.0f);
+      task.one_hot.push_back(label == 1 ? 1.0f : 0.0f);
+    }
+  }
+  return task;
+}
+
+double Accuracy(const std::vector<int>& pred, const std::vector<int>& gold) {
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) correct += (pred[i] == gold[i]);
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+class ClassifierKindTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ClassifierKindTest, LearnsSeparableTask) {
+  ToyTask task = MakeToyTask(40, 11);
+  ClassifierConfig config;
+  config.vocab_size = task.vocab_size;
+  config.num_classes = 2;
+  config.max_len = 16;
+  config.embed_dim = 16;
+  config.seed = 3;
+  auto clf = MakeClassifier(GetParam(), config);
+  double last_loss = 1e9;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    last_loss = clf->TrainEpoch(task.docs, task.one_hot);
+  }
+  EXPECT_LT(last_loss, 0.5);
+  ToyTask held_out = MakeToyTask(20, 99);
+  EXPECT_GE(Accuracy(clf->Predict(held_out.docs), held_out.labels), 0.9);
+}
+
+TEST_P(ClassifierKindTest, ProbsAreDistributions) {
+  ToyTask task = MakeToyTask(10, 21);
+  ClassifierConfig config;
+  config.vocab_size = task.vocab_size;
+  config.num_classes = 2;
+  config.max_len = 16;
+  config.embed_dim = 8;
+  auto clf = MakeClassifier(GetParam(), config);
+  la::Matrix probs = clf->PredictProbs(task.docs);
+  ASSERT_EQ(probs.rows(), task.docs.size());
+  ASSERT_EQ(probs.cols(), 2u);
+  for (size_t i = 0; i < probs.rows(); ++i) {
+    EXPECT_NEAR(probs.At(i, 0) + probs.At(i, 1), 1.0f, 1e-4f);
+    EXPECT_GE(probs.At(i, 0), 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ClassifierKindTest,
+                         ::testing::Values("cnn", "han", "bow"));
+
+TEST(TextCnnTest, HandlesEmptyAndLongDocs) {
+  ClassifierConfig config;
+  config.vocab_size = 10;
+  config.num_classes = 2;
+  config.max_len = 8;
+  config.embed_dim = 8;
+  TextCnnClassifier clf(config);
+  std::vector<std::vector<int32_t>> docs = {
+      {},                                          // empty
+      std::vector<int32_t>(100, 6),                // longer than max_len
+  };
+  la::Matrix probs = clf.PredictProbs(docs);
+  for (size_t i = 0; i < probs.rows(); ++i) {
+    EXPECT_FALSE(std::isnan(probs.At(i, 0)));
+  }
+}
+
+TEST(TextCnnTest, FitTrainsOnHardLabels) {
+  ToyTask task = MakeToyTask(30, 31);
+  ClassifierConfig config;
+  config.vocab_size = task.vocab_size;
+  config.num_classes = 2;
+  config.max_len = 16;
+  config.embed_dim = 16;
+  TextCnnClassifier clf(config);
+  clf.Fit(task.docs, task.labels, 10);
+  EXPECT_GE(Accuracy(clf.Predict(task.docs), task.labels), 0.95);
+}
+
+TEST(TextCnnTest, InitWordEmbeddingsAppliesRows) {
+  ClassifierConfig config;
+  config.vocab_size = 6;
+  config.num_classes = 2;
+  config.embed_dim = 4;
+  config.max_len = 4;
+  TextCnnClassifier clf(config);
+  std::vector<std::vector<float>> pretrained(6,
+                                             std::vector<float>(4, 0.25f));
+  clf.InitWordEmbeddings(pretrained);
+  // Behavioural check: predictions on identical docs stay identical after
+  // the deterministic re-init (no crash, deterministic path).
+  la::Matrix p1 = clf.PredictProbs({{5, 5}});
+  la::Matrix p2 = clf.PredictProbs({{5, 5}});
+  EXPECT_FLOAT_EQ(p1.At(0, 0), p2.At(0, 0));
+}
+
+}  // namespace
+}  // namespace stm::nn

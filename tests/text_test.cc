@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "text/corpus.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace stm::text {
+namespace {
+
+TEST(VocabularyTest, SpecialTokensPresent) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.size(), static_cast<size_t>(kNumSpecialTokens));
+  EXPECT_EQ(vocab.IdOf("[PAD]"), kPadId);
+  EXPECT_EQ(vocab.IdOf("[MASK]"), kMaskId);
+  EXPECT_TRUE(Vocabulary::IsSpecial(kClsId));
+}
+
+TEST(VocabularyTest, AddAndLookup) {
+  Vocabulary vocab;
+  const int32_t id = vocab.AddToken("soccer", 3);
+  EXPECT_EQ(vocab.IdOf("soccer"), id);
+  EXPECT_EQ(vocab.TokenOf(id), "soccer");
+  EXPECT_EQ(vocab.CountOf(id), 3);
+  vocab.AddToken("soccer", 2);
+  EXPECT_EQ(vocab.CountOf(id), 5);
+  EXPECT_EQ(vocab.IdOf("unknown-token"), kUnkId);
+  EXPECT_FALSE(vocab.Contains("unknown-token"));
+}
+
+TEST(VocabularyTest, PrunedKeepsFrequent) {
+  Vocabulary vocab;
+  vocab.AddToken("rare", 1);
+  vocab.AddToken("common", 100);
+  vocab.AddToken("mid", 10);
+  Vocabulary pruned = vocab.Pruned(5);
+  EXPECT_TRUE(pruned.Contains("common"));
+  EXPECT_TRUE(pruned.Contains("mid"));
+  EXPECT_FALSE(pruned.Contains("rare"));
+  // Frequency order after specials.
+  EXPECT_LT(pruned.IdOf("common"), pruned.IdOf("mid"));
+}
+
+TEST(VocabularyTest, PrunedMaxSize) {
+  Vocabulary vocab;
+  for (int i = 0; i < 20; ++i) {
+    vocab.AddToken("w" + std::to_string(i), 20 - i);
+  }
+  Vocabulary pruned = vocab.Pruned(1, kNumSpecialTokens + 5);
+  EXPECT_EQ(pruned.size(), static_cast<size_t>(kNumSpecialTokens + 5));
+  EXPECT_TRUE(pruned.Contains("w0"));
+  EXPECT_FALSE(pruned.Contains("w10"));
+}
+
+TEST(TokenizerTest, BasicTokenization) {
+  auto words = Tokenizer::Words("Hello, World! It's CNN-style. ");
+  EXPECT_EQ(words,
+            (std::vector<std::string>{"hello", "world", "it's",
+                                      "cnn-style"}));
+}
+
+TEST(TokenizerTest, EncodeGrowsVocab) {
+  Vocabulary vocab;
+  auto ids = Tokenizer::Encode("alpha beta alpha", vocab, true);
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], ids[2]);
+  EXPECT_EQ(vocab.CountOf(ids[0]), 2);
+}
+
+TEST(TokenizerTest, EncodeFrozenMapsUnknownToUnk) {
+  Vocabulary vocab;
+  vocab.AddToken("known");
+  auto ids = Tokenizer::Encode("known unknown", vocab);
+  EXPECT_EQ(ids[0], vocab.IdOf("known"));
+  EXPECT_EQ(ids[1], kUnkId);
+}
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_FALSE(IsStopword("soccer"));
+}
+
+Corpus MakeTinyCorpus() {
+  Corpus corpus;
+  corpus.label_names() = {"sports", "law"};
+  auto add_doc = [&corpus](const std::string& body, int label) {
+    Document doc;
+    doc.tokens = Tokenizer::Encode(body, corpus.vocab(), true);
+    doc.labels = {label};
+    corpus.docs().push_back(std::move(doc));
+  };
+  add_doc("soccer goal penalty match", 0);
+  add_doc("soccer match stadium goal", 0);
+  add_doc("judge court law penalty", 1);
+  add_doc("court ruling law judge verdict", 1);
+  return corpus;
+}
+
+TEST(CorpusTest, DocumentFrequencies) {
+  Corpus corpus = MakeTinyCorpus();
+  auto df = corpus.DocumentFrequencies();
+  EXPECT_EQ(df[static_cast<size_t>(corpus.vocab().IdOf("soccer"))], 2);
+  EXPECT_EQ(df[static_cast<size_t>(corpus.vocab().IdOf("penalty"))], 2);
+  EXPECT_EQ(df[static_cast<size_t>(corpus.vocab().IdOf("verdict"))], 1);
+}
+
+TEST(CorpusTest, OccurrencesFindsAll) {
+  Corpus corpus = MakeTinyCorpus();
+  const int32_t penalty = corpus.vocab().IdOf("penalty");
+  auto hits = corpus.Occurrences(penalty);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].first, 0u);
+  EXPECT_EQ(hits[1].first, 2u);
+}
+
+TEST(CorpusTest, GoldLabels) {
+  Corpus corpus = MakeTinyCorpus();
+  EXPECT_EQ(corpus.GoldLabels(), (std::vector<int>{0, 0, 1, 1}));
+}
+
+TEST(SplitTest, DeterministicAndDisjoint) {
+  Split a = MakeSplit(100, 0.2, 7);
+  Split b = MakeSplit(100, 0.2, 7);
+  EXPECT_EQ(a.test, b.test);
+  EXPECT_EQ(a.test.size(), 20u);
+  EXPECT_EQ(a.train.size(), 80u);
+  std::set<size_t> all(a.test.begin(), a.test.end());
+  all.insert(a.train.begin(), a.train.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(TfIdfTest, QueryMatchesRightDocs) {
+  Corpus corpus = MakeTinyCorpus();
+  TfIdf tfidf(corpus);
+  auto vecs = tfidf.TransformAll(corpus);
+  SparseVector sports_query = tfidf.KeywordQuery(
+      {corpus.vocab().IdOf("soccer"), corpus.vocab().IdOf("goal")});
+  // Sports docs should score higher than law docs.
+  const float s0 = SparseCosine(sports_query, vecs[0]);
+  const float s2 = SparseCosine(sports_query, vecs[2]);
+  EXPECT_GT(s0, s2);
+}
+
+TEST(TfIdfTest, TransformIsUnitNorm) {
+  Corpus corpus = MakeTinyCorpus();
+  TfIdf tfidf(corpus);
+  SparseVector vec = tfidf.Transform(corpus.docs()[0].tokens);
+  float norm_sq = 0.0f;
+  for (float w : vec.weights) norm_sq += w * w;
+  EXPECT_NEAR(norm_sq, 1.0f, 1e-5f);
+}
+
+TEST(TfIdfTest, TopTermsPrefersDistinctive) {
+  Corpus corpus = MakeTinyCorpus();
+  TfIdf tfidf(corpus);
+  auto top = tfidf.TopTerms(corpus.docs()[3].tokens, 2);
+  ASSERT_EQ(top.size(), 2u);
+  // "verdict" and "ruling" appear only in this doc -> highest idf.
+  std::set<std::string> names;
+  for (int32_t id : top) names.insert(corpus.vocab().TokenOf(id));
+  EXPECT_TRUE(names.count("verdict") || names.count("ruling"));
+}
+
+TEST(TfIdfTest, SparseCosineOrthogonalAndIdentical) {
+  SparseVector a{{1, 3}, {0.6f, 0.8f}};
+  SparseVector b{{2, 4}, {1.0f, 1.0f}};
+  EXPECT_FLOAT_EQ(SparseCosine(a, b), 0.0f);
+  EXPECT_NEAR(SparseCosine(a, a), 1.0f, 1e-6f);
+}
+
+TEST(BagOfWordsTest, CountsTokens) {
+  auto bow = BagOfWords({5, 5, 6}, 8);
+  EXPECT_FLOAT_EQ(bow[5], 2.0f);
+  EXPECT_FLOAT_EQ(bow[6], 1.0f);
+  EXPECT_FLOAT_EQ(bow[7], 0.0f);
+}
+
+}  // namespace
+}  // namespace stm::text

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/self_training.h"
+#include "core/westclass.h"
+#include "datasets/specs.h"
+#include "eval/metrics.h"
+
+namespace stm::core {
+namespace {
+
+datasets::SyntheticDataset SmallAgNews(uint64_t seed) {
+  datasets::SyntheticSpec spec = datasets::AgNewsSpec(seed);
+  spec.num_docs = 320;
+  spec.pretrain_docs = 0;
+  return datasets::Generate(spec);
+}
+
+TEST(SharpenTargetsTest, RowsAreDistributionsAndSharper) {
+  la::Matrix probs(2, 2);
+  probs.SetRow(0, {0.7f, 0.3f});
+  probs.SetRow(1, {0.6f, 0.4f});
+  const auto targets = SharpenTargets(probs);
+  EXPECT_NEAR(targets[0] + targets[1], 1.0f, 1e-5f);
+  EXPECT_NEAR(targets[2] + targets[3], 1.0f, 1e-5f);
+  EXPECT_GT(targets[0], 0.7f);  // sharpened toward the dominant class
+}
+
+TEST(WestClassTest, LabelsSupervisionBeatsIrBaseline) {
+  auto data = SmallAgNews(3);
+  WestClassConfig config;
+  config.classifier = "bow";
+  config.pretrain_epochs = 6;
+  config.seed = 7;
+  WestClass method(data.corpus, config);
+  const auto pred = method.Run(Supervision::kLabels, data.supervision);
+  const auto gold = data.corpus.GoldLabels();
+  const double west_f1 =
+      eval::MicroF1(pred, gold, data.corpus.num_labels());
+
+  // Name-only IR baseline (queries = name token only).
+  std::vector<std::vector<int32_t>> name_only;
+  for (const auto& seeds : data.supervision.class_keywords) {
+    name_only.push_back({seeds[0]});
+  }
+  const auto ir = IrTfIdfClassify(data.corpus, name_only);
+  const double ir_f1 = eval::MicroF1(ir, gold, data.corpus.num_labels());
+
+  EXPECT_GT(west_f1, 0.6);
+  EXPECT_GT(west_f1, ir_f1);
+}
+
+TEST(WestClassTest, SeedExpansionFindsTopicalWords) {
+  auto data = SmallAgNews(4);
+  WestClassConfig config;
+  config.classifier = "bow";
+  config.pretrain_epochs = 2;
+  config.self_train.max_iters = 1;
+  WestClass method(data.corpus, config);
+  method.Run(Supervision::kLabels, data.supervision);
+  const auto& expanded = method.expanded_seeds();
+  ASSERT_EQ(expanded.size(), 4u);
+  for (const auto& seeds : expanded) {
+    EXPECT_GE(seeds.size(), 10u);
+  }
+  // At least half of class 1 ("sports") seeds should be sports-themed.
+  size_t sports_like = 0;
+  for (int32_t id : expanded[1]) {
+    const std::string& token = data.corpus.vocab().TokenOf(id);
+    if (token.rfind("sports", 0) == 0 || token == "game" ||
+        token == "team" || token == "championship") {
+      ++sports_like;
+    }
+  }
+  EXPECT_GE(sports_like * 2, expanded[1].size());
+}
+
+TEST(WestClassTest, DocsSupervisionWorks) {
+  auto data = SmallAgNews(5);
+  auto supervision = data.supervision;
+  supervision.labeled_docs =
+      datasets::SampleLabeledDocs(data.corpus, 5, 11);
+  WestClassConfig config;
+  config.classifier = "bow";
+  config.pretrain_epochs = 6;
+  WestClass method(data.corpus, config);
+  const auto pred = method.Run(Supervision::kDocs, supervision);
+  const double f1 = eval::MicroF1(pred, data.corpus.GoldLabels(),
+                                  data.corpus.num_labels());
+  EXPECT_GT(f1, 0.6);
+}
+
+TEST(WestClassTest, SelfTrainingHelps) {
+  auto data = SmallAgNews(6);
+  WestClassConfig with;
+  with.classifier = "bow";
+  with.pretrain_epochs = 4;
+  with.seed = 13;
+  WestClassConfig without = with;
+  without.enable_self_training = false;
+  const auto gold = data.corpus.GoldLabels();
+  WestClass m1(data.corpus, with);
+  WestClass m2(data.corpus, without);
+  const double f1_with = eval::MicroF1(
+      m1.Run(Supervision::kKeywords, data.supervision), gold, 4);
+  const double f1_without = eval::MicroF1(
+      m2.Run(Supervision::kKeywords, data.supervision), gold, 4);
+  // Self-training should not hurt; usually it helps on this corpus.
+  EXPECT_GE(f1_with + 0.02, f1_without);
+}
+
+TEST(BaselinesTest, IrTfIdfAboveChanceWithKeywords) {
+  auto data = SmallAgNews(7);
+  const auto pred =
+      IrTfIdfClassify(data.corpus, data.supervision.class_keywords);
+  EXPECT_GT(eval::Accuracy(pred, data.corpus.GoldLabels()), 0.4);
+}
+
+TEST(BaselinesTest, LdaClassifyAboveChance) {
+  auto data = SmallAgNews(8);
+  LdaConfig config;
+  config.iterations = 30;
+  const auto pred =
+      LdaClassify(data.corpus, data.supervision.class_keywords, config);
+  EXPECT_GT(eval::Accuracy(pred, data.corpus.GoldLabels()), 0.4);
+}
+
+TEST(BaselinesTest, SupervisedBoundIsStrong) {
+  auto data = SmallAgNews(9);
+  std::vector<size_t> train;
+  for (size_t d = 0; d < data.corpus.num_docs(); d += 2) train.push_back(d);
+  const auto pred = SupervisedBound(data.corpus, train, "bow", 12, 3);
+  EXPECT_GT(eval::Accuracy(pred, data.corpus.GoldLabels()), 0.85);
+}
+
+TEST(BaselinesTest, EmbeddingSimilarityUsesSeeds) {
+  auto data = SmallAgNews(10);
+  std::vector<std::vector<int32_t>> docs;
+  for (const auto& doc : data.corpus.docs()) docs.push_back(doc.tokens);
+  embedding::SgnsConfig sgns;
+  sgns.epochs = 4;
+  auto emb = embedding::WordEmbeddings::Train(
+      docs, data.corpus.vocab().size(), sgns);
+  const auto pred = EmbeddingSimilarityClassify(
+      data.corpus, emb, data.supervision.class_keywords);
+  EXPECT_GT(eval::Accuracy(pred, data.corpus.GoldLabels()), 0.5);
+}
+
+}  // namespace
+}  // namespace stm::core
