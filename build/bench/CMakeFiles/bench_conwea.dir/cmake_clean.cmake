@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conwea.dir/bench_conwea.cc.o"
+  "CMakeFiles/bench_conwea.dir/bench_conwea.cc.o.d"
+  "bench_conwea"
+  "bench_conwea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conwea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lotclass.dir/bench_lotclass.cc.o"
+  "CMakeFiles/bench_lotclass.dir/bench_lotclass.cc.o.d"
+  "bench_lotclass"
+  "bench_lotclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lotclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metacat.dir/bench_metacat.cc.o"
+  "CMakeFiles/bench_metacat.dir/bench_metacat.cc.o.d"
+  "bench_metacat"
+  "bench_metacat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metacat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

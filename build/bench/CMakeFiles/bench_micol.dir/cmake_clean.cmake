@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micol.dir/bench_micol.cc.o"
+  "CMakeFiles/bench_micol.dir/bench_micol.cc.o.d"
+  "bench_micol"
+  "bench_micol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

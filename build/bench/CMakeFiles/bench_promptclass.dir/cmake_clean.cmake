@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_promptclass.dir/bench_promptclass.cc.o"
+  "CMakeFiles/bench_promptclass.dir/bench_promptclass.cc.o.d"
+  "bench_promptclass"
+  "bench_promptclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_promptclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_taxoclass.dir/bench_taxoclass.cc.o"
+  "CMakeFiles/bench_taxoclass.dir/bench_taxoclass.cc.o.d"
+  "bench_taxoclass"
+  "bench_taxoclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_taxoclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weshclass.dir/bench_weshclass.cc.o"
+  "CMakeFiles/bench_weshclass.dir/bench_weshclass.cc.o.d"
+  "bench_weshclass"
+  "bench_weshclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weshclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_westclass.dir/bench_westclass.cc.o"
+  "CMakeFiles/bench_westclass.dir/bench_westclass.cc.o.d"
+  "bench_westclass"
+  "bench_westclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_westclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

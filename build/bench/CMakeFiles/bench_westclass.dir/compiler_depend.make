@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_westclass.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xclass.dir/bench_xclass.cc.o"
+  "CMakeFiles/bench_xclass.dir/bench_xclass.cc.o.d"
+  "bench_xclass"
+  "bench_xclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_classify_tsv.dir/classify_tsv.cc.o"
+  "CMakeFiles/example_classify_tsv.dir/classify_tsv.cc.o.d"
+  "example_classify_tsv"
+  "example_classify_tsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_classify_tsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

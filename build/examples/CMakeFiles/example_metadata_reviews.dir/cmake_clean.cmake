@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_metadata_reviews.dir/metadata_reviews.cc.o"
+  "CMakeFiles/example_metadata_reviews.dir/metadata_reviews.cc.o.d"
+  "example_metadata_reviews"
+  "example_metadata_reviews.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_metadata_reviews.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

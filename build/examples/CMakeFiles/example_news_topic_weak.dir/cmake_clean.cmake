@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_news_topic_weak.dir/news_topic_weak.cc.o"
+  "CMakeFiles/example_news_topic_weak.dir/news_topic_weak.cc.o.d"
+  "example_news_topic_weak"
+  "example_news_topic_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_news_topic_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_news_topic_weak.
+# This may be replaced when dependencies are built.

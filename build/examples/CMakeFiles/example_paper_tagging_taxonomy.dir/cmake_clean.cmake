@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_paper_tagging_taxonomy.dir/paper_tagging_taxonomy.cc.o"
+  "CMakeFiles/example_paper_tagging_taxonomy.dir/paper_tagging_taxonomy.cc.o.d"
+  "example_paper_tagging_taxonomy"
+  "example_paper_tagging_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_paper_tagging_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/stm.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/stm.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/stm.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/stm.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/stm.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/stm.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/serialize.cc" "src/CMakeFiles/stm.dir/common/serialize.cc.o" "gcc" "src/CMakeFiles/stm.dir/common/serialize.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/stm.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/stm.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/stm.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/stm.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/conwea.cc" "src/CMakeFiles/stm.dir/core/conwea.cc.o" "gcc" "src/CMakeFiles/stm.dir/core/conwea.cc.o.d"
+  "/root/repo/src/core/lotclass.cc" "src/CMakeFiles/stm.dir/core/lotclass.cc.o" "gcc" "src/CMakeFiles/stm.dir/core/lotclass.cc.o.d"
+  "/root/repo/src/core/metacat.cc" "src/CMakeFiles/stm.dir/core/metacat.cc.o" "gcc" "src/CMakeFiles/stm.dir/core/metacat.cc.o.d"
+  "/root/repo/src/core/micol.cc" "src/CMakeFiles/stm.dir/core/micol.cc.o" "gcc" "src/CMakeFiles/stm.dir/core/micol.cc.o.d"
+  "/root/repo/src/core/promptclass.cc" "src/CMakeFiles/stm.dir/core/promptclass.cc.o" "gcc" "src/CMakeFiles/stm.dir/core/promptclass.cc.o.d"
+  "/root/repo/src/core/pseudo_docs.cc" "src/CMakeFiles/stm.dir/core/pseudo_docs.cc.o" "gcc" "src/CMakeFiles/stm.dir/core/pseudo_docs.cc.o.d"
+  "/root/repo/src/core/self_training.cc" "src/CMakeFiles/stm.dir/core/self_training.cc.o" "gcc" "src/CMakeFiles/stm.dir/core/self_training.cc.o.d"
+  "/root/repo/src/core/taxoclass.cc" "src/CMakeFiles/stm.dir/core/taxoclass.cc.o" "gcc" "src/CMakeFiles/stm.dir/core/taxoclass.cc.o.d"
+  "/root/repo/src/core/weshclass.cc" "src/CMakeFiles/stm.dir/core/weshclass.cc.o" "gcc" "src/CMakeFiles/stm.dir/core/weshclass.cc.o.d"
+  "/root/repo/src/core/westclass.cc" "src/CMakeFiles/stm.dir/core/westclass.cc.o" "gcc" "src/CMakeFiles/stm.dir/core/westclass.cc.o.d"
+  "/root/repo/src/core/xclass.cc" "src/CMakeFiles/stm.dir/core/xclass.cc.o" "gcc" "src/CMakeFiles/stm.dir/core/xclass.cc.o.d"
+  "/root/repo/src/datasets/specs.cc" "src/CMakeFiles/stm.dir/datasets/specs.cc.o" "gcc" "src/CMakeFiles/stm.dir/datasets/specs.cc.o.d"
+  "/root/repo/src/datasets/synthetic.cc" "src/CMakeFiles/stm.dir/datasets/synthetic.cc.o" "gcc" "src/CMakeFiles/stm.dir/datasets/synthetic.cc.o.d"
+  "/root/repo/src/embedding/sgns.cc" "src/CMakeFiles/stm.dir/embedding/sgns.cc.o" "gcc" "src/CMakeFiles/stm.dir/embedding/sgns.cc.o.d"
+  "/root/repo/src/embedding/vmf.cc" "src/CMakeFiles/stm.dir/embedding/vmf.cc.o" "gcc" "src/CMakeFiles/stm.dir/embedding/vmf.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/stm.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/stm.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/graph/hin.cc" "src/CMakeFiles/stm.dir/graph/hin.cc.o" "gcc" "src/CMakeFiles/stm.dir/graph/hin.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "src/CMakeFiles/stm.dir/la/matrix.cc.o" "gcc" "src/CMakeFiles/stm.dir/la/matrix.cc.o.d"
+  "/root/repo/src/nn/feature_classifier.cc" "src/CMakeFiles/stm.dir/nn/feature_classifier.cc.o" "gcc" "src/CMakeFiles/stm.dir/nn/feature_classifier.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/stm.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/stm.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/stm.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/stm.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/CMakeFiles/stm.dir/nn/ops.cc.o" "gcc" "src/CMakeFiles/stm.dir/nn/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/stm.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/stm.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/CMakeFiles/stm.dir/nn/tensor.cc.o" "gcc" "src/CMakeFiles/stm.dir/nn/tensor.cc.o.d"
+  "/root/repo/src/nn/text_classifier.cc" "src/CMakeFiles/stm.dir/nn/text_classifier.cc.o" "gcc" "src/CMakeFiles/stm.dir/nn/text_classifier.cc.o.d"
+  "/root/repo/src/plm/minilm.cc" "src/CMakeFiles/stm.dir/plm/minilm.cc.o" "gcc" "src/CMakeFiles/stm.dir/plm/minilm.cc.o.d"
+  "/root/repo/src/plm/pair_scorer.cc" "src/CMakeFiles/stm.dir/plm/pair_scorer.cc.o" "gcc" "src/CMakeFiles/stm.dir/plm/pair_scorer.cc.o.d"
+  "/root/repo/src/taxonomy/taxonomy.cc" "src/CMakeFiles/stm.dir/taxonomy/taxonomy.cc.o" "gcc" "src/CMakeFiles/stm.dir/taxonomy/taxonomy.cc.o.d"
+  "/root/repo/src/text/corpus.cc" "src/CMakeFiles/stm.dir/text/corpus.cc.o" "gcc" "src/CMakeFiles/stm.dir/text/corpus.cc.o.d"
+  "/root/repo/src/text/corpus_io.cc" "src/CMakeFiles/stm.dir/text/corpus_io.cc.o" "gcc" "src/CMakeFiles/stm.dir/text/corpus_io.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/CMakeFiles/stm.dir/text/tfidf.cc.o" "gcc" "src/CMakeFiles/stm.dir/text/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/stm.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/stm.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/stm.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/stm.dir/text/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster_graph_test.cc" "tests/CMakeFiles/stm_tests.dir/cluster_graph_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/cluster_graph_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/stm_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/components_test.cc" "tests/CMakeFiles/stm_tests.dir/components_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/components_test.cc.o.d"
+  "/root/repo/tests/corpus_io_test.cc" "tests/CMakeFiles/stm_tests.dir/corpus_io_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/corpus_io_test.cc.o.d"
+  "/root/repo/tests/datasets_test.cc" "tests/CMakeFiles/stm_tests.dir/datasets_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/datasets_test.cc.o.d"
+  "/root/repo/tests/embedding_test.cc" "tests/CMakeFiles/stm_tests.dir/embedding_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/embedding_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/stm_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/stm_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/stm_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/la_test.cc" "tests/CMakeFiles/stm_tests.dir/la_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/la_test.cc.o.d"
+  "/root/repo/tests/methods2_test.cc" "tests/CMakeFiles/stm_tests.dir/methods2_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/methods2_test.cc.o.d"
+  "/root/repo/tests/minilm_test.cc" "tests/CMakeFiles/stm_tests.dir/minilm_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/minilm_test.cc.o.d"
+  "/root/repo/tests/nn_ops_extra_test.cc" "tests/CMakeFiles/stm_tests.dir/nn_ops_extra_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/nn_ops_extra_test.cc.o.d"
+  "/root/repo/tests/nn_ops_test.cc" "tests/CMakeFiles/stm_tests.dir/nn_ops_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/nn_ops_test.cc.o.d"
+  "/root/repo/tests/plm_methods_test.cc" "tests/CMakeFiles/stm_tests.dir/plm_methods_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/plm_methods_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/stm_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/pseudo_docs_test.cc" "tests/CMakeFiles/stm_tests.dir/pseudo_docs_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/pseudo_docs_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/stm_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/text_classifier_test.cc" "tests/CMakeFiles/stm_tests.dir/text_classifier_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/text_classifier_test.cc.o.d"
+  "/root/repo/tests/text_test.cc" "tests/CMakeFiles/stm_tests.dir/text_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/text_test.cc.o.d"
+  "/root/repo/tests/westclass_test.cc" "tests/CMakeFiles/stm_tests.dir/westclass_test.cc.o" "gcc" "tests/CMakeFiles/stm_tests.dir/westclass_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
