@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "common/thread_pool.h"
 #include "core/micol.h"
 #include "core/taxoclass.h"
 #include "embedding/sgns.h"
@@ -149,23 +150,28 @@ int Main() {
       for (const auto& doc : corpus.docs()) {
         corpus_tokens.push_back(doc.tokens);
       }
+      const la::Matrix label_rep_rows = model->PoolBatch(entry.label_texts);
       std::vector<std::vector<float>> label_reps(num_labels);
       for (size_t l = 0; l < num_labels; ++l) {
-        label_reps[l] = model->Pool(entry.label_texts[l]);
+        label_reps[l] = label_rep_rows.RowVec(l);
       }
+      // Documents score independently (encoder and relevance model are
+      // read-only here), so the loop parallelizes without reordering.
       std::vector<std::vector<int>> ranked(num_docs);
-      for (size_t d = 0; d < num_docs; ++d) {
-        const la::Matrix hidden = model->Encode(corpus_tokens[d]);
-        std::vector<std::pair<float, int>> scored;
-        for (size_t l = 0; l < num_labels; ++l) {
-          const auto evidence =
-              core::TopTokenContext(hidden, label_reps[l]);
-          scored.emplace_back(relevance->Score(evidence, label_reps[l]),
-                              static_cast<int>(l));
+      stm::ParallelFor(0, num_docs, 1, [&](size_t begin, size_t end) {
+        for (size_t d = begin; d < end; ++d) {
+          const la::Matrix hidden = model->Encode(corpus_tokens[d]);
+          std::vector<std::pair<float, int>> scored;
+          for (size_t l = 0; l < num_labels; ++l) {
+            const auto evidence =
+                core::TopTokenContext(hidden, label_reps[l]);
+            scored.emplace_back(relevance->Score(evidence, label_reps[l]),
+                                static_cast<int>(l));
+          }
+          std::sort(scored.rbegin(), scored.rend());
+          for (const auto& [s, label] : scored) ranked[d].push_back(label);
         }
-        std::sort(scored.rbegin(), scored.rend());
-        for (const auto& [s, label] : scored) ranked[d].push_back(label);
-      }
+      });
       table.AddRow("ZeroShot-Entail", RankScores(ranked, entry.gold));
     }
 

@@ -1,0 +1,122 @@
+// Thread-pool scaling bench: times the parallelized hot paths (Gemm,
+// k-means, TF-IDF vectorization, MiniLm batch pooling) at the thread
+// count given by STM_NUM_THREADS. Run it twice to measure scaling, e.g.
+//
+//   STM_NUM_THREADS=1 ./bench_parallel
+//   STM_NUM_THREADS=8 ./bench_parallel
+//
+// Outputs one table row per workload (seconds, lower is better); with
+// STM_BENCH_JSON=<path> the rows are also written as JSON for scripted
+// comparison. All workloads are deterministic: the numbers produced at
+// any thread count are bit-identical (see DESIGN.md, "Threading model").
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "la/matrix.h"
+#include "plm/minilm.h"
+#include "text/corpus.h"
+#include "text/tfidf.h"
+
+namespace stm {
+namespace {
+
+la::Matrix RandomMatrix(size_t rows, size_t cols, Rng& rng) {
+  la::Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Uniform() * 2.0 - 1.0);
+  }
+  return m;
+}
+
+double TimeGemm(const std::string& table) {
+  Rng rng(7);
+  const la::Matrix a = RandomMatrix(256, 256, rng);
+  const la::Matrix b = RandomMatrix(256, 256, rng);
+  la::Matrix c;
+  bench::MethodTimer timer(table, "gemm_256");
+  for (int rep = 0; rep < 20; ++rep) la::Gemm(a, b, c);
+  return timer.Seconds();
+}
+
+double TimeKMeans(const std::string& table) {
+  Rng rng(11);
+  const la::Matrix data = RandomMatrix(4000, 32, rng);
+  cluster::KMeansOptions options;
+  options.k = 16;
+  options.max_iters = 25;
+  bench::MethodTimer timer(table, "kmeans_4000x32_k16");
+  const cluster::KMeansResult result = cluster::KMeans(data, options);
+  (void)result;
+  return timer.Seconds();
+}
+
+double TimeTfIdf(const std::string& table) {
+  Rng rng(13);
+  text::Corpus corpus;
+  for (int w = 0; w < 600; ++w) {
+    corpus.vocab().AddToken("w" + std::to_string(w));
+  }
+  const size_t vocab = corpus.vocab().size();
+  for (int d = 0; d < 2000; ++d) {
+    text::Document doc;
+    for (int t = 0; t < 80; ++t) {
+      doc.tokens.push_back(static_cast<int32_t>(
+          text::kNumSpecialTokens +
+          rng.UniformInt(vocab - text::kNumSpecialTokens)));
+    }
+    corpus.docs().push_back(std::move(doc));
+  }
+  const text::TfIdf tfidf(corpus);
+  bench::MethodTimer timer(table, "tfidf_transform_all_2000");
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto vecs = tfidf.TransformAll(corpus);
+    (void)vecs;
+  }
+  return timer.Seconds();
+}
+
+double TimePoolBatch(const std::string& table) {
+  Rng rng(17);
+  plm::MiniLmConfig config;
+  config.vocab_size = 200;
+  config.dim = 40;
+  config.layers = 2;
+  config.heads = 4;
+  config.ffn_dim = 80;
+  config.max_seq = 32;
+  plm::MiniLm model(config);  // random init; inference cost is identical
+  std::vector<std::vector<int32_t>> docs(64);
+  for (auto& doc : docs) {
+    for (int t = 0; t < 32; ++t) {
+      doc.push_back(static_cast<int32_t>(
+          text::kNumSpecialTokens +
+          rng.UniformInt(config.vocab_size - text::kNumSpecialTokens)));
+    }
+  }
+  bench::MethodTimer timer(table, "minilm_pool_batch_64");
+  const la::Matrix pooled = model.PoolBatch(docs);
+  (void)pooled;
+  return timer.Seconds();
+}
+
+}  // namespace
+}  // namespace stm
+
+int main() {
+  using namespace stm;
+  const std::string table =
+      "Parallel hot paths @ " +
+      std::to_string(ThreadPool::Global().threads()) + " threads";
+  bench::Table out(table, {"seconds"});
+  out.AddRow("gemm_256", {TimeGemm(table)});
+  out.AddRow("kmeans_4000x32_k16", {TimeKMeans(table)});
+  out.AddRow("tfidf_transform_all_2000", {TimeTfIdf(table)});
+  out.AddRow("minilm_pool_batch_64", {TimePoolBatch(table)});
+  out.Print();
+  return 0;
+}

@@ -14,6 +14,7 @@
 
 #include "bench/harness.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/taxoclass.h"
 #include "core/weshclass.h"
 #include "eval/metrics.h"
@@ -183,31 +184,35 @@ int Main() {
         class_reps[n] = core::OccurrenceAverageRep(
             model.get(), corpus_tokens, entry.node_names[n]);
       }
+      // Documents score independently (encoder and relevance model are
+      // read-only here), so the loop parallelizes without reordering.
       std::vector<std::vector<int>> pred(num_docs);
       std::vector<std::vector<int>> ranked(num_docs);
-      for (size_t d = 0; d < num_docs; ++d) {
-        const la::Matrix hidden = model->Encode(corpus_tokens[d]);
-        std::vector<std::pair<float, int>> scored;
-        for (int leaf : entry.data.tree.Leaves()) {
-          const size_t n = static_cast<size_t>(leaf);
-          const auto evidence =
-              core::TopTokenContext(hidden, class_reps[n]);
-          scored.emplace_back(relevance->Score(evidence, class_reps[n]),
-                              leaf);
-        }
-        std::sort(scored.rbegin(), scored.rend());
-        for (const auto& [p, node] : scored) ranked[d].push_back(node);
-        // Predict top-2 leaves with their ancestors.
-        std::set<int> set;
-        for (size_t i = 0; i < 2 && i < scored.size(); ++i) {
-          if (i > 0 && scored[i].first < 0.65f * scored[0].first) break;
-          for (int anc :
-               entry.data.tree.WithAncestors(scored[i].second)) {
-            set.insert(anc);
+      ParallelFor(0, num_docs, 1, [&](size_t begin, size_t end) {
+        for (size_t d = begin; d < end; ++d) {
+          const la::Matrix hidden = model->Encode(corpus_tokens[d]);
+          std::vector<std::pair<float, int>> scored;
+          for (int leaf : entry.data.tree.Leaves()) {
+            const size_t n = static_cast<size_t>(leaf);
+            const auto evidence =
+                core::TopTokenContext(hidden, class_reps[n]);
+            scored.emplace_back(relevance->Score(evidence, class_reps[n]),
+                                leaf);
           }
+          std::sort(scored.rbegin(), scored.rend());
+          for (const auto& [p, node] : scored) ranked[d].push_back(node);
+          // Predict top-2 leaves with their ancestors.
+          std::set<int> set;
+          for (size_t i = 0; i < 2 && i < scored.size(); ++i) {
+            if (i > 0 && scored[i].first < 0.65f * scored[0].first) break;
+            for (int anc :
+                 entry.data.tree.WithAncestors(scored[i].second)) {
+              set.insert(anc);
+            }
+          }
+          pred[d].assign(set.begin(), set.end());
         }
-        pred[d].assign(set.begin(), set.end());
-      }
+      });
       put(2, pred, ranked);
     }
 

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,93 @@ class Table {
 inline void Progress(const std::string& message) {
   std::fprintf(stderr, "[bench] %s\n", message.c_str());
 }
+
+// Optional per-method wall-time recording. When STM_BENCH_JSON=<path> is
+// set, every MethodTimer appends {"table", "method", "seconds"} to an
+// in-process list that is written to <path> as a JSON array at exit.
+// With the variable unset, recording is a no-op.
+class BenchJsonWriter {
+ public:
+  static BenchJsonWriter& Instance() {
+    static BenchJsonWriter writer;
+    return writer;
+  }
+
+  void Record(const std::string& table, const std::string& method,
+              double seconds) {
+    if (path_.empty()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back({table, method, seconds});
+  }
+
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+ private:
+  struct Entry {
+    std::string table;
+    std::string method;
+    double seconds;
+  };
+
+  BenchJsonWriter() {
+    const char* env = std::getenv("STM_BENCH_JSON");
+    if (env != nullptr) path_ = env;
+  }
+
+  ~BenchJsonWriter() { Flush(); }
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  void Flush() {
+    if (path_.empty() || entries_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f,
+                   "  {\"table\": \"%s\", \"method\": \"%s\", "
+                   "\"seconds\": %.6f}%s\n",
+                   Escaped(entries_[i].table).c_str(),
+                   Escaped(entries_[i].method).c_str(), entries_[i].seconds,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+
+  std::string path_;
+  std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+// Scope guard timing one method row; records into BenchJsonWriter on
+// destruction (no-op unless STM_BENCH_JSON is set).
+class MethodTimer {
+ public:
+  MethodTimer(std::string table, std::string method)
+      : table_(std::move(table)), method_(std::move(method)) {}
+  ~MethodTimer() {
+    BenchJsonWriter::Instance().Record(table_, method_, timer_.Seconds());
+  }
+
+  MethodTimer(const MethodTimer&) = delete;
+  MethodTimer& operator=(const MethodTimer&) = delete;
+
+  double Seconds() const { return timer_.Seconds(); }
+
+ private:
+  std::string table_;
+  std::string method_;
+  WallTimer timer_;
+};
 
 }  // namespace stm::bench
 

@@ -1,15 +1,22 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace stm::cluster {
 
 namespace {
+
+// Points per chunk for the parallel passes over the data. Fixed (never a
+// function of the thread count) so the chunk-ordered reductions below are
+// bit-identical at any STM_NUM_THREADS.
+constexpr size_t kPointsGrain = 256;
 
 double SquaredDistance(const float* a, const float* b, size_t d) {
   double sum = 0.0;
@@ -18,6 +25,16 @@ double SquaredDistance(const float* a, const float* b, size_t d) {
     sum += diff * diff;
   }
   return sum;
+}
+
+// Index of the point with the largest squared distance to its assigned
+// centroid (ties -> smallest index). Used for deterministic re-seeding.
+size_t FarthestPoint(const std::vector<double>& dists) {
+  size_t best = 0;
+  for (size_t i = 1; i < dists.size(); ++i) {
+    if (dists[i] > dists[best]) best = i;
+  }
+  return best;
 }
 
 }  // namespace
@@ -33,77 +50,142 @@ KMeansResult KMeans(const la::Matrix& data, const KMeansOptions& options) {
   la::Matrix points = data;
   if (options.spherical) la::NormalizeRows(points);
 
-  // k-means++ seeding.
+  // k-means++ seeding. Points at distance zero from an existing centroid
+  // (the chosen points themselves and any duplicates of them) are
+  // excluded from the draw so a centroid can never be selected twice;
+  // when every remaining point coincides with a centroid the fallback
+  // takes the farthest not-yet-chosen index instead of a uniform draw
+  // over all points.
   la::Matrix centroids(k, d);
   std::vector<double> min_dist(n, std::numeric_limits<double>::max());
-  size_t first = rng.UniformInt(n);
+  std::vector<bool> is_centroid(n, false);
+  const size_t first = rng.UniformInt(n);
+  is_centroid[first] = true;
   centroids.SetRow(0, points.RowVec(first));
   for (size_t c = 1; c < k; ++c) {
-    for (size_t i = 0; i < n; ++i) {
-      min_dist[i] = std::min(
-          min_dist[i], SquaredDistance(points.Row(i), centroids.Row(c - 1), d));
-    }
+    ParallelFor(0, n, kPointsGrain, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        min_dist[i] =
+            std::min(min_dist[i],
+                     SquaredDistance(points.Row(i), centroids.Row(c - 1), d));
+      }
+    });
     double total = 0.0;
-    for (double v : min_dist) total += v;
-    size_t chosen = rng.UniformInt(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (!is_centroid[i]) total += min_dist[i];
+    }
+    size_t chosen = n;
     if (total > 0.0) {
       double target = rng.Uniform() * total;
       for (size_t i = 0; i < n; ++i) {
+        if (is_centroid[i] || min_dist[i] <= 0.0) continue;
         target -= min_dist[i];
-        if (target <= 0.0) {
+        chosen = i;  // last eligible point absorbs rounding drift
+        if (target <= 0.0) break;
+      }
+    }
+    if (chosen == n) {
+      // All remaining mass is zero: take the farthest unchosen point
+      // (with all distances zero this is the smallest unchosen index).
+      double best = -1.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (is_centroid[i]) continue;
+        if (min_dist[i] > best) {
+          best = min_dist[i];
           chosen = i;
-          break;
         }
       }
     }
+    STM_CHECK_LT(chosen, n);
+    is_centroid[chosen] = true;
     centroids.SetRow(c, points.RowVec(chosen));
   }
 
   KMeansResult result;
   result.assignment.assign(n, 0);
+  std::vector<double> dists(n, 0.0);
   std::vector<size_t> counts(k, 0);
+  const size_t chunks = ParallelChunkCount(0, n, kPointsGrain);
+  // Per-chunk centroid partial sums and counts, merged in chunk order so
+  // the float accumulation is identical at every thread count.
+  std::vector<la::Matrix> partial_sums(chunks);
+  std::vector<std::vector<size_t>> partial_counts(chunks);
   for (int iter = 0; iter < options.max_iters; ++iter) {
-    bool changed = false;
-    result.inertia = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::max();
-      int best_c = 0;
-      for (size_t c = 0; c < k; ++c) {
-        const double dist =
-            SquaredDistance(points.Row(i), centroids.Row(c), d);
-        if (dist < best) {
-          best = dist;
-          best_c = static_cast<int>(c);
+    std::atomic<bool> changed{false};
+    // Assignment step: each point's nearest centroid, plus the per-chunk
+    // centroid partials for the update step.
+    ParallelForChunks(0, n, kPointsGrain,
+                      [&](size_t chunk, size_t b, size_t e) {
+      la::Matrix& sums = partial_sums[chunk];
+      std::vector<size_t>& cnts = partial_counts[chunk];
+      if (sums.rows() != k || sums.cols() != d) sums = la::Matrix(k, d);
+      sums.Fill(0.0f);
+      cnts.assign(k, 0);
+      bool chunk_changed = false;
+      for (size_t i = b; i < e; ++i) {
+        double best = std::numeric_limits<double>::max();
+        int best_c = 0;
+        for (size_t c = 0; c < k; ++c) {
+          const double dist =
+              SquaredDistance(points.Row(i), centroids.Row(c), d);
+          if (dist < best) {
+            best = dist;
+            best_c = static_cast<int>(c);
+          }
         }
+        if (result.assignment[i] != best_c) {
+          result.assignment[i] = best_c;
+          chunk_changed = true;
+        }
+        dists[i] = best;
+        la::Axpy(1.0f, points.Row(i),
+                 sums.Row(static_cast<size_t>(best_c)), d);
+        cnts[static_cast<size_t>(best_c)]++;
       }
-      if (result.assignment[i] != best_c) {
-        result.assignment[i] = best_c;
-        changed = true;
-      }
-      result.inertia += best;
-    }
-    // Recompute centroids.
+      if (chunk_changed) changed.store(true, std::memory_order_relaxed);
+    });
+    // Inertia: serial fold in point order (cheap, and independent of the
+    // chunking entirely).
+    result.inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) result.inertia += dists[i];
+    // Merge the per-chunk partials in chunk order.
     centroids.Fill(0.0f);
     std::fill(counts.begin(), counts.end(), 0);
-    for (size_t i = 0; i < n; ++i) {
-      const size_t c = static_cast<size_t>(result.assignment[i]);
-      la::Axpy(1.0f, points.Row(i), centroids.Row(c), d);
-      counts[c]++;
+    for (size_t chunk = 0; chunk < chunks; ++chunk) {
+      for (size_t c = 0; c < k; ++c) {
+        la::Axpy(1.0f, partial_sums[chunk].Row(c), centroids.Row(c), d);
+        counts[c] += partial_counts[chunk][c];
+      }
     }
+    // Empty clusters re-seed from the point currently farthest from its
+    // centroid — a deterministic choice (unlike a draw from `rng`, whose
+    // position in the stream would depend on the iteration count).
+    std::vector<double> reseed_dists;
     for (size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
-        // Re-seed an empty cluster at a random point.
-        centroids.SetRow(c, points.RowVec(rng.UniformInt(n)));
+        if (reseed_dists.empty()) reseed_dists = dists;
+        const size_t far = FarthestPoint(reseed_dists);
+        reseed_dists[far] = -1.0;  // each empty cluster gets its own point
+        centroids.SetRow(c, points.RowVec(far));
         continue;
       }
       la::ScaleInPlace(centroids.Row(c), d,
                        1.0f / static_cast<float>(counts[c]));
       if (options.spherical) la::NormalizeInPlace(centroids.Row(c), d);
     }
-    if (!changed && iter > 0) break;
+    if (!changed.load(std::memory_order_relaxed) && iter > 0) break;
   }
   result.centroids = std::move(centroids);
   return result;
+}
+
+size_t SilhouetteStride(size_t n, size_t max_points) {
+  STM_CHECK_GT(max_points, 0u);
+  if (n <= max_points) return 1;
+  // Ceiling division: floor could keep up to 2x max_points samples
+  // (e.g. n = 1999, max_points = 1000 -> stride 1 -> 1999 samples),
+  // blowing up the O(sample^2) cost below.
+  return (n + max_points - 1) / max_points;
 }
 
 double Silhouette(const la::Matrix& data, const std::vector<int>& assignment,
@@ -113,39 +195,52 @@ double Silhouette(const la::Matrix& data, const std::vector<int>& assignment,
   if (n < 2 || k < 2) return 0.0;
   // Deterministic subsample: stride.
   std::vector<size_t> sample;
-  const size_t stride = std::max<size_t>(1, n / max_points);
+  const size_t stride = SilhouetteStride(n, max_points);
   for (size_t i = 0; i < n; i += stride) sample.push_back(i);
 
+  // Per-sample silhouette values, computed independently in parallel and
+  // folded serially in sample order afterwards.
+  std::vector<double> scores(sample.size(), 0.0);
+  std::vector<char> counted(sample.size(), 0);
+  ParallelFor(0, sample.size(), 16, [&](size_t s0, size_t s1) {
+    std::vector<double> dist_sum(k, 0.0);
+    std::vector<size_t> dist_count(k, 0);  // per-worker-chunk scratch
+    for (size_t s = s0; s < s1; ++s) {
+      const size_t i = sample[s];
+      std::fill(dist_sum.begin(), dist_sum.end(), 0.0);
+      std::fill(dist_count.begin(), dist_count.end(), 0);
+      for (size_t j : sample) {
+        if (i == j) continue;
+        const size_t c = static_cast<size_t>(assignment[j]);
+        dist_sum[c] += std::sqrt(
+            SquaredDistance(data.Row(i), data.Row(j), data.cols()));
+        dist_count[c]++;
+      }
+      const size_t own = static_cast<size_t>(assignment[i]);
+      if (dist_count[own] == 0) continue;
+      const double a = dist_sum[own] / static_cast<double>(dist_count[own]);
+      double b = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < k; ++c) {
+        if (c == own || dist_count[c] == 0) continue;
+        b = std::min(b, dist_sum[c] / static_cast<double>(dist_count[c]));
+      }
+      if (b == std::numeric_limits<double>::max()) continue;
+      const double denom = std::max(a, b);
+      if (denom > 0.0) {
+        scores[s] = (b - a) / denom;
+        counted[s] = 1;
+      }
+    }
+  });
   double total = 0.0;
-  size_t counted = 0;
-  std::vector<double> dist_sum(k, 0.0);
-  std::vector<size_t> dist_count(k, 0);
-  for (size_t i : sample) {
-    std::fill(dist_sum.begin(), dist_sum.end(), 0.0);
-    std::fill(dist_count.begin(), dist_count.end(), 0);
-    for (size_t j : sample) {
-      if (i == j) continue;
-      const size_t c = static_cast<size_t>(assignment[j]);
-      dist_sum[c] += std::sqrt(
-          SquaredDistance(data.Row(i), data.Row(j), data.cols()));
-      dist_count[c]++;
-    }
-    const size_t own = static_cast<size_t>(assignment[i]);
-    if (dist_count[own] == 0) continue;
-    const double a = dist_sum[own] / static_cast<double>(dist_count[own]);
-    double b = std::numeric_limits<double>::max();
-    for (size_t c = 0; c < k; ++c) {
-      if (c == own || dist_count[c] == 0) continue;
-      b = std::min(b, dist_sum[c] / static_cast<double>(dist_count[c]));
-    }
-    if (b == std::numeric_limits<double>::max()) continue;
-    const double denom = std::max(a, b);
-    if (denom > 0.0) {
-      total += (b - a) / denom;
-      ++counted;
+  size_t used = 0;
+  for (size_t s = 0; s < sample.size(); ++s) {
+    if (counted[s]) {
+      total += scores[s];
+      ++used;
     }
   }
-  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+  return used > 0 ? total / static_cast<double>(used) : 0.0;
 }
 
 GmmResult GmmFit(const la::Matrix& data, const la::Matrix& init_means,

@@ -29,6 +29,11 @@ struct KMeansOptions {
 // Lloyd's algorithm with k-means++ seeding.
 KMeansResult KMeans(const la::Matrix& data, const KMeansOptions& options);
 
+// Subsampling stride Silhouette() uses so at most `max_points` points
+// enter the O(sample^2) distance pass (ceiling division; exposed for the
+// regression test on the sample size).
+size_t SilhouetteStride(size_t n, size_t max_points);
+
 // Mean silhouette coefficient of a clustering (subsampled for large n).
 double Silhouette(const la::Matrix& data, const std::vector<int>& assignment,
                   size_t k, size_t max_points = 400);

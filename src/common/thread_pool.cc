@@ -1,0 +1,172 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace stm {
+
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+std::mutex& GlobalMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+// One parallel region: a dense index space [0, count) drained by the
+// caller plus any workers that pick the region up. `task` points to the
+// caller's stack frame; Run() blocks until done == count, so the pointer
+// is never dereferenced after Run returns (next >= count by then, and
+// DrainRegion checks next before touching task).
+struct ThreadPool::Region {
+  size_t count = 0;
+  const std::function<void(size_t)>* task = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable finished;
+  std::exception_ptr error;  // first exception observed; guarded by mutex
+};
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  auto& pool = GlobalSlot();
+  if (!pool) pool = std::make_unique<ThreadPool>(ConfiguredThreads());
+  return *pool;
+}
+
+void ThreadPool::Reset(size_t threads) {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  GlobalSlot().reset();
+  GlobalSlot() = std::make_unique<ThreadPool>(std::max<size_t>(1, threads));
+}
+
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
+size_t ThreadPool::ConfiguredThreads() {
+  const char* env = std::getenv("STM_NUM_THREADS");
+  if (env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void ThreadPool::Run(size_t count, const std::function<void(size_t)>& task) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1 || InWorker()) {
+    // Serial path; also the nested-submit rejection: a worker never
+    // enqueues into the pool it is draining.
+    for (size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  auto region = std::make_shared<Region>();
+  region->count = count;
+  region->task = &task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    regions_.push_back(region);
+  }
+  wake_.notify_all();
+  DrainRegion(*region);  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(region->mutex);
+    region->finished.wait(
+        lock, [&] { return region->done.load() == region->count; });
+    if (region->error) std::rethrow_exception(region->error);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
+  for (;;) {
+    std::shared_ptr<Region> region;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || !regions_.empty(); });
+      if (stop_) return;
+      region = regions_.front();
+      if (region->next.load() >= region->count) {
+        // Exhausted region (all indices claimed); retire it.
+        regions_.erase(regions_.begin());
+        continue;
+      }
+    }
+    DrainRegion(*region);
+  }
+}
+
+void ThreadPool::DrainRegion(Region& region) {
+  for (;;) {
+    const size_t index = region.next.fetch_add(1);
+    if (index >= region.count) return;
+    try {
+      (*region.task)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(region.mutex);
+      if (!region.error) region.error = std::current_exception();
+    }
+    if (region.done.fetch_add(1) + 1 == region.count) {
+      std::lock_guard<std::mutex> lock(region.mutex);
+      region.finished.notify_all();
+    }
+  }
+}
+
+size_t ParallelChunkCount(size_t begin, size_t end, size_t grain) {
+  if (end <= begin) return 0;
+  const size_t g = std::max<size_t>(1, grain);
+  return (end - begin + g - 1) / g;
+}
+
+void ParallelForChunks(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  const size_t chunks = ParallelChunkCount(begin, end, grain);
+  if (chunks == 0) return;
+  if (chunks == 1) {
+    fn(0, begin, end);
+    return;
+  }
+  const size_t g = std::max<size_t>(1, grain);
+  ThreadPool::Global().Run(chunks, [&](size_t c) {
+    const size_t b = begin + c * g;
+    fn(c, b, std::min(end, b + g));
+  });
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  ParallelForChunks(begin, end, grain,
+                    [&](size_t, size_t b, size_t e) { fn(b, e); });
+}
+
+}  // namespace stm

@@ -1,0 +1,117 @@
+#ifndef STM_COMMON_THREAD_POOL_H_
+#define STM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace stm {
+
+// Shared worker pool behind the ParallelFor / ParallelReduce primitives
+// below. The pool is lazily created on first use and sized by the
+// STM_NUM_THREADS environment variable (unset or 0 -> hardware
+// concurrency; 1 -> everything runs inline on the calling thread).
+//
+// Determinism contract (see DESIGN.md, "Threading model"):
+//  * the chunk decomposition of a range depends only on
+//    (begin, end, grain), never on the thread count;
+//  * chunks either write to disjoint state or are reduced in chunk-index
+//    order (ParallelReduce);
+//  * workers never share an Rng.
+// Under this contract every parallel region produces bit-identical output
+// for any STM_NUM_THREADS value, including the forced-serial value 1.
+class ThreadPool {
+ public:
+  // Spawns `threads - 1` workers; the calling thread participates in every
+  // region, so `threads == 1` (or 0) means fully inline execution.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total thread count of the pool (workers + the calling thread).
+  size_t threads() const { return workers_.size() + 1; }
+
+  // The process-wide pool, created on first use with ConfiguredThreads().
+  static ThreadPool& Global();
+
+  // Destroys and re-creates the global pool with `threads` total threads
+  // (testing hook; must not be called while a parallel region is active).
+  static void Reset(size_t threads);
+
+  // True when called from inside a pool worker. Nested parallel regions
+  // are rejected from the queue and run inline on the worker instead, so
+  // nesting can never deadlock or change results.
+  static bool InWorker();
+
+  // Thread count implied by STM_NUM_THREADS (see class comment).
+  static size_t ConfiguredThreads();
+
+  // Runs task(0) .. task(count - 1), distributing indices over the
+  // workers and the calling thread, and blocks until all of them have
+  // finished. Called from a worker, runs everything inline. The first
+  // exception thrown by any index is rethrown on the calling thread
+  // (after all indices have been drained).
+  void Run(size_t count, const std::function<void(size_t)>& task);
+
+ private:
+  struct Region;
+
+  void WorkerLoop();
+  static void DrainRegion(Region& region);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<std::shared_ptr<Region>> regions_;  // active, FIFO
+  bool stop_ = false;
+};
+
+// Number of chunks ParallelFor splits [begin, end) into: ceil(n / grain).
+size_t ParallelChunkCount(size_t begin, size_t end, size_t grain);
+
+// Calls fn(chunk_begin, chunk_end) for consecutive chunks of at most
+// `grain` indices covering [begin, end), possibly concurrently. Empty
+// ranges are a no-op. The chunk boundaries depend only on the arguments,
+// so any state written per-index or per-chunk is thread-count-invariant.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+// As ParallelFor but also passes the chunk index (chunks are numbered in
+// range order); the building block for chunk-ordered reductions.
+void ParallelForChunks(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn);
+
+// Chunk-ordered parallel reduction: `chunk(b, e)` folds one chunk
+// serially and returns its partial; partials are then combined
+// left-to-right in chunk-index order. Because both the chunking and the
+// combine order are fixed, the result is bit-identical for any thread
+// count (float addition is reassociated relative to a plain serial loop,
+// but always reassociated the same way).
+template <typename T, typename ChunkFn, typename CombineFn>
+T ParallelReduce(size_t begin, size_t end, size_t grain, T identity,
+                 ChunkFn chunk, CombineFn combine) {
+  const size_t chunks = ParallelChunkCount(begin, end, grain);
+  if (chunks == 0) return identity;
+  std::vector<T> partials(chunks, identity);
+  ParallelForChunks(begin, end, grain,
+                    [&](size_t index, size_t b, size_t e) {
+                      partials[index] = chunk(b, e);
+                    });
+  T acc = std::move(identity);
+  for (size_t i = 0; i < chunks; ++i) {
+    acc = combine(std::move(acc), std::move(partials[i]));
+  }
+  return acc;
+}
+
+}  // namespace stm
+
+#endif  // STM_COMMON_THREAD_POOL_H_

@@ -160,16 +160,17 @@ std::vector<int> EmbeddingSimilarityClassify(
 std::vector<int> PlmSimpleMatchClassify(
     const text::Corpus& corpus, plm::MiniLm& model,
     const std::vector<std::vector<int32_t>>& class_name_tokens) {
-  std::vector<std::vector<float>> class_reps;
-  for (const auto& tokens : class_name_tokens) {
-    class_reps.push_back(model.Pool(tokens));
-  }
+  const la::Matrix class_reps = model.PoolBatch(class_name_tokens);
+  std::vector<std::vector<int32_t>> doc_tokens;
+  doc_tokens.reserve(corpus.num_docs());
+  for (const auto& doc : corpus.docs()) doc_tokens.push_back(doc.tokens);
+  const la::Matrix doc_reps = model.PoolBatch(doc_tokens);
+  const size_t dim = doc_reps.cols();
   std::vector<int> predictions(corpus.num_docs(), 0);
   for (size_t d = 0; d < corpus.num_docs(); ++d) {
-    const std::vector<float> doc_rep = model.Pool(corpus.docs()[d].tokens);
     float best = -2.0f;
-    for (size_t c = 0; c < class_reps.size(); ++c) {
-      const float sim = la::Cosine(doc_rep, class_reps[c]);
+    for (size_t c = 0; c < class_reps.rows(); ++c) {
+      const float sim = la::Cosine(doc_reps.Row(d), class_reps.Row(c), dim);
       if (sim > best) {
         best = sim;
         predictions[d] = static_cast<int>(c);

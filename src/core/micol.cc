@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "nn/loss.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
@@ -51,13 +52,16 @@ double Micol::FineTuneBiEncoder(
   nn::AdamOptimizer optimizer(
       config_.projection_head ? &proj_store_ : &model_->store(), opt_config);
 
-  // Projection mode: pre-compute frozen pooled vectors once.
+  // Projection mode: pre-compute frozen pooled vectors once (parallel
+  // across documents; pure inference).
   std::vector<std::vector<float>> pooled_cache;
   if (config_.projection_head) {
-    pooled_cache.reserve(corpus_.num_docs());
-    for (const auto& doc : corpus_.docs()) {
-      pooled_cache.push_back(model_->Pool(doc.tokens));
-    }
+    pooled_cache.resize(corpus_.num_docs());
+    ParallelFor(0, corpus_.num_docs(), 1, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        pooled_cache[i] = model_->Pool(corpus_.docs()[i].tokens);
+      }
+    });
   }
 
   double last = 0.0;
@@ -110,17 +114,37 @@ std::unique_ptr<plm::PairScorer> Micol::TrainCrossEncoder(
     const std::vector<std::pair<size_t, size_t>>& pairs) {
   STM_CHECK(!pairs.empty());
   Rng rng(config_.seed + 1);
+  // Draw all negatives first (one draw per pair, in pair order, so the
+  // rng sequence matches the old interleaved loop), then pool each
+  // involved document once, in parallel.
+  std::vector<size_t> negatives;
+  negatives.reserve(pairs.size());
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    negatives.push_back(rng.UniformInt(corpus_.num_docs()));
+  }
+  std::vector<std::vector<float>> pooled(corpus_.num_docs());
+  std::vector<bool> needed(corpus_.num_docs(), false);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    needed[pairs[p].first] = true;
+    needed[pairs[p].second] = true;
+    needed[negatives[p]] = true;
+  }
+  ParallelFor(0, corpus_.num_docs(), 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      if (needed[i]) pooled[i] = model_->Pool(corpus_.docs()[i].tokens);
+    }
+  });
   std::vector<std::vector<float>> u;
   std::vector<std::vector<float>> v;
   std::vector<float> labels;
-  for (const auto& [i, j] : pairs) {
-    u.push_back(model_->Pool(corpus_.docs()[i].tokens));
-    v.push_back(model_->Pool(corpus_.docs()[j].tokens));
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const auto& [i, j] = pairs[p];
+    u.push_back(pooled[i]);
+    v.push_back(pooled[j]);
     labels.push_back(1.0f);
     // Random negative partner for the same anchor.
-    const size_t neg = rng.UniformInt(corpus_.num_docs());
-    u.push_back(u[u.size() - 1]);
-    v.push_back(model_->Pool(corpus_.docs()[neg].tokens));
+    u.push_back(pooled[i]);
+    v.push_back(pooled[negatives[p]]);
     labels.push_back(0.0f);
   }
   plm::PairScorer::Config config;
@@ -134,22 +158,35 @@ std::unique_ptr<plm::PairScorer> Micol::TrainCrossEncoder(
 
 namespace {
 
+// Sorts label indices for one document by descending score (ties keep the
+// original reverse-pair order: equal scores rank the larger label first).
+std::vector<int> RankOne(std::vector<std::pair<float, int>>& scored) {
+  std::sort(scored.rbegin(), scored.rend());
+  std::vector<int> ranked;
+  ranked.reserve(scored.size());
+  for (const auto& [_, label] : scored) ranked.push_back(label);
+  return ranked;
+}
+
 std::vector<std::vector<int>> RankAll(
     const std::vector<std::vector<float>>& doc_reps,
     const std::vector<std::vector<float>>& label_reps,
     const std::function<float(const std::vector<float>&,
                               const std::vector<float>&)>& score) {
+  // Documents rank independently; `score` must be safe to call
+  // concurrently (cosine and PairScorer inference both are).
   std::vector<std::vector<int>> ranked(doc_reps.size());
-  for (size_t d = 0; d < doc_reps.size(); ++d) {
-    std::vector<std::pair<float, int>> scored;
-    scored.reserve(label_reps.size());
-    for (size_t l = 0; l < label_reps.size(); ++l) {
-      scored.emplace_back(score(doc_reps[d], label_reps[l]),
-                          static_cast<int>(l));
+  ParallelFor(0, doc_reps.size(), 4, [&](size_t begin, size_t end) {
+    for (size_t d = begin; d < end; ++d) {
+      std::vector<std::pair<float, int>> scored;
+      scored.reserve(label_reps.size());
+      for (size_t l = 0; l < label_reps.size(); ++l) {
+        scored.emplace_back(score(doc_reps[d], label_reps[l]),
+                            static_cast<int>(l));
+      }
+      ranked[d] = RankOne(scored);
     }
-    std::sort(scored.rbegin(), scored.rend());
-    for (const auto& [_, label] : scored) ranked[d].push_back(label);
-  }
+  });
   return ranked;
 }
 
@@ -157,15 +194,16 @@ std::vector<std::vector<int>> RankAll(
 
 std::vector<std::vector<int>> Micol::RankByBiEncoder(
     const std::vector<std::vector<int32_t>>& label_texts) {
-  std::vector<std::vector<float>> doc_reps;
-  doc_reps.reserve(corpus_.num_docs());
-  for (const auto& doc : corpus_.docs()) {
-    doc_reps.push_back(Represent(doc.tokens));
-  }
-  std::vector<std::vector<float>> label_reps;
-  for (const auto& tokens : label_texts) {
-    label_reps.push_back(Represent(tokens));
-  }
+  std::vector<std::vector<float>> doc_reps(corpus_.num_docs());
+  ParallelFor(0, corpus_.num_docs(), 1, [&](size_t b, size_t e) {
+    for (size_t d = b; d < e; ++d) {
+      doc_reps[d] = Represent(corpus_.docs()[d].tokens);
+    }
+  });
+  std::vector<std::vector<float>> label_reps(label_texts.size());
+  ParallelFor(0, label_texts.size(), 1, [&](size_t b, size_t e) {
+    for (size_t l = b; l < e; ++l) label_reps[l] = Represent(label_texts[l]);
+  });
   return RankAll(doc_reps, label_reps,
                  [](const std::vector<float>& a,
                     const std::vector<float>& b) {
@@ -177,20 +215,36 @@ std::vector<std::vector<int>> Micol::RankByCrossEncoder(
     plm::PairScorer* scorer,
     const std::vector<std::vector<int32_t>>& label_texts) {
   STM_CHECK(scorer != nullptr);
-  std::vector<std::vector<float>> doc_reps;
-  doc_reps.reserve(corpus_.num_docs());
-  for (const auto& doc : corpus_.docs()) {
-    doc_reps.push_back(model_->Pool(doc.tokens));
+  std::vector<std::vector<int32_t>> doc_tokens;
+  doc_tokens.reserve(corpus_.num_docs());
+  for (const auto& doc : corpus_.docs()) doc_tokens.push_back(doc.tokens);
+  const la::Matrix doc_reps = model_->PoolBatch(doc_tokens);
+  const la::Matrix label_reps = model_->PoolBatch(label_texts);
+
+  // Score every (document, label) pair in one parallel batch, then rank
+  // per document with the same tie order as the pairwise path.
+  const size_t num_labels = label_reps.rows();
+  std::vector<std::vector<float>> u;
+  std::vector<std::vector<float>> v;
+  u.reserve(doc_reps.rows() * num_labels);
+  v.reserve(doc_reps.rows() * num_labels);
+  for (size_t d = 0; d < doc_reps.rows(); ++d) {
+    for (size_t l = 0; l < num_labels; ++l) {
+      u.push_back(doc_reps.RowVec(d));
+      v.push_back(label_reps.RowVec(l));
+    }
   }
-  std::vector<std::vector<float>> label_reps;
-  for (const auto& tokens : label_texts) {
-    label_reps.push_back(model_->Pool(tokens));
+  const std::vector<float> scores = scorer->ScoreBatch(u, v);
+  std::vector<std::vector<int>> ranked(doc_reps.rows());
+  for (size_t d = 0; d < doc_reps.rows(); ++d) {
+    std::vector<std::pair<float, int>> scored;
+    scored.reserve(num_labels);
+    for (size_t l = 0; l < num_labels; ++l) {
+      scored.emplace_back(scores[d * num_labels + l], static_cast<int>(l));
+    }
+    ranked[d] = RankOne(scored);
   }
-  return RankAll(doc_reps, label_reps,
-                 [scorer](const std::vector<float>& a,
-                          const std::vector<float>& b) {
-                   return scorer->Score(a, b);
-                 });
+  return ranked;
 }
 
 std::vector<int32_t> AugmentEda(const std::vector<int32_t>& tokens,

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "nn/feature_classifier.h"
 #include "text/tfidf.h"
 
@@ -140,16 +141,17 @@ TaxoClass::Result TaxoClass::Run(
   }
 
   // One encoding pass; hidden states reused for every class.
-  std::vector<la::Matrix> hidden(num_docs);
-  for (size_t d = 0; d < num_docs; ++d) {
-    hidden[d] = model_->Encode(corpus_tokens[d]);
-  }
+  const std::vector<la::Matrix> hidden = model_->EncodeBatch(corpus_tokens);
 
   // ---- top-down exploration with the relevance model ----
+  // Documents explore independently: each iteration writes only row d of
+  // `relevance` and slot d of `candidates_`, and the relevance model is
+  // read-only here, so the parallel loop matches the serial one exactly.
   candidates_.assign(num_docs, {});
   la::Matrix relevance(num_docs, num_nodes);
   relevance.Fill(-1.0f);  // -1 = unexplored
-  for (size_t d = 0; d < num_docs; ++d) {
+  ParallelFor(0, num_docs, 1, [&](size_t doc_begin, size_t doc_end) {
+  for (size_t d = doc_begin; d < doc_end; ++d) {
     std::vector<int> frontier = tree_.Roots();
     std::set<int> explored;
     while (!frontier.empty()) {
@@ -174,6 +176,7 @@ TaxoClass::Result TaxoClass::Run(
     }
     candidates_[d].assign(explored.begin(), explored.end());
   }
+  });
 
   // ---- core classes: per class, the most relevant scored docs ----
   la::Matrix targets(num_docs, num_nodes);

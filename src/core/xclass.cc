@@ -29,10 +29,25 @@ std::vector<int> XClass::Run(
   const size_t vocab_size = corpus_.vocab().size();
   la::Matrix word_sum(vocab_size, dim);
   std::vector<int32_t> word_count(vocab_size, 0);
+  {
+    // Parallel encoding pass (empty docs keep an empty cache entry, as
+    // before); the word-sum accumulation below stays serial in d-order so
+    // the float sums match the single-threaded path exactly.
+    std::vector<size_t> doc_index;
+    std::vector<std::vector<int32_t>> to_encode;
+    for (size_t d = 0; d < corpus_.num_docs(); ++d) {
+      if (corpus_.docs()[d].tokens.empty()) continue;
+      doc_index.push_back(d);
+      to_encode.push_back(corpus_.docs()[d].tokens);
+    }
+    std::vector<la::Matrix> encoded = model_->EncodeBatch(to_encode);
+    for (size_t i = 0; i < doc_index.size(); ++i) {
+      hidden_cache[doc_index[i]] = std::move(encoded[i]);
+    }
+  }
   for (size_t d = 0; d < corpus_.num_docs(); ++d) {
     const auto& tokens = corpus_.docs()[d].tokens;
     if (tokens.empty()) continue;
-    hidden_cache[d] = model_->Encode(tokens);
     const size_t len = hidden_cache[d].rows();
     for (size_t t = 0; t < len; ++t) {
       const size_t id = static_cast<size_t>(tokens[t]);
@@ -192,10 +207,16 @@ std::vector<std::vector<int>> XClass::RunPaths(
 la::Matrix XClass::AverageDocReps() {
   const size_t dim = model_->config().dim;
   la::Matrix reps(corpus_.num_docs(), dim);
+  std::vector<size_t> doc_index;
+  std::vector<std::vector<int32_t>> to_pool;
   for (size_t d = 0; d < corpus_.num_docs(); ++d) {
-    const auto& tokens = corpus_.docs()[d].tokens;
-    if (tokens.empty()) continue;
-    reps.SetRow(d, model_->Pool(tokens));
+    if (corpus_.docs()[d].tokens.empty()) continue;  // keep the zero row
+    doc_index.push_back(d);
+    to_pool.push_back(corpus_.docs()[d].tokens);
+  }
+  const la::Matrix pooled = model_->PoolBatch(to_pool);
+  for (size_t i = 0; i < doc_index.size(); ++i) {
+    reps.SetRow(doc_index[i], pooled.RowVec(i));
   }
   return reps;
 }

@@ -1,10 +1,12 @@
 #include "la/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace stm::la {
 
@@ -94,6 +96,64 @@ std::vector<float> MeanOf(const std::vector<const float*>& vecs, size_t n) {
   return mean;
 }
 
+namespace {
+
+// Output rows per chunk, targeting ~64k multiply-adds per chunk so small
+// matrices stay on the serial path. Depends only on the shape, never on
+// the thread count, which keeps the chunking (and thus every float) stable
+// across STM_NUM_THREADS values.
+size_t RowGrain(size_t ops_per_row) {
+  constexpr size_t kTargetOps = size_t{1} << 16;
+  if (ops_per_row == 0) return 1;
+  return std::max<size_t>(1, kTargetOps / ops_per_row);
+}
+
+}  // namespace
+
+void GemmAcc(const float* a, const float* b, float* c, size_t m, size_t k,
+             size_t n) {
+  ParallelFor(0, m, RowGrain(k * n), [=](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * n;
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void GemmBtAcc(const float* a, const float* b, float* c, size_t m, size_t k,
+               size_t n) {
+  ParallelFor(0, m, RowGrain(k * n), [=](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += Dot(arow, b + j * k, k);
+    }
+  });
+}
+
+void GemmAtAcc(const float* a, const float* b, float* c, size_t m, size_t k,
+               size_t n) {
+  // Each worker owns a block of output rows (columns of a); the inner
+  // accumulation stays in ascending-p order per element.
+  ParallelFor(0, m, RowGrain(k * n), [=](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      float* crow = c + i * n;
+      for (size_t p = 0; p < k; ++p) {
+        const float av = a[p * m + i];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * n;
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
 void Gemm(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
   STM_CHECK_EQ(a.cols(), b.rows());
   if (c.rows() != a.rows() || c.cols() != b.cols()) {
@@ -101,19 +161,7 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
   } else if (!accumulate) {
     c.Fill(0.0f);
   }
-  const size_t m = a.rows();
-  const size_t k = a.cols();
-  const size_t n = b.cols();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
-    for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.Row(p);
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  GemmAcc(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
 }
 
 void GemmBt(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
@@ -123,14 +171,7 @@ void GemmBt(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
   } else if (!accumulate) {
     c.Fill(0.0f);
   }
-  const size_t m = a.rows();
-  const size_t k = a.cols();
-  const size_t n = b.rows();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
-    for (size_t j = 0; j < n; ++j) crow[j] += Dot(arow, b.Row(j), k);
-  }
+  GemmBtAcc(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.rows());
 }
 
 void GemmAt(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
@@ -140,19 +181,7 @@ void GemmAt(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
   } else if (!accumulate) {
     c.Fill(0.0f);
   }
-  const size_t k = a.rows();
-  const size_t m = a.cols();
-  const size_t n = b.cols();
-  for (size_t p = 0; p < k; ++p) {
-    const float* arow = a.Row(p);
-    const float* brow = b.Row(p);
-    for (size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.Row(i);
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  GemmAtAcc(a.data(), b.data(), c.data(), a.cols(), a.rows(), b.cols());
 }
 
 void NormalizeRows(Matrix& m) {

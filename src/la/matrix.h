@@ -75,6 +75,26 @@ float Cosine(const std::vector<float>& a, const std::vector<float>& b);
 // Elementwise mean of a set of vectors (all length n). Empty set -> zeros.
 std::vector<float> MeanOf(const std::vector<const float*>& vecs, size_t n);
 
+// ---- raw matmul kernels (row-major, accumulate into c) ----
+//
+// Shared by the Matrix wrappers below and by the nn autograd matmul ops,
+// so the whole library funnels through one set of (parallel) inner loops.
+// All three run row-blocked on the global thread pool; the blocking
+// depends only on the shapes and the per-element accumulation order is
+// fixed, so output is bit-identical for any STM_NUM_THREADS.
+
+// c[m, n] += a[m, k] * b[k, n].
+void GemmAcc(const float* a, const float* b, float* c, size_t m, size_t k,
+             size_t n);
+
+// c[m, n] += a[m, k] * b[n, k]^T.
+void GemmBtAcc(const float* a, const float* b, float* c, size_t m, size_t k,
+               size_t n);
+
+// c[m, n] += a[k, m]^T * b[k, n].
+void GemmAtAcc(const float* a, const float* b, float* c, size_t m, size_t k,
+               size_t n);
+
 // ---- matrix kernels ----
 
 // c := a * b (plus accumulate if `accumulate`). a: m x k, b: k x n,

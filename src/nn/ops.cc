@@ -4,10 +4,21 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "la/matrix.h"
 
 namespace stm::nn {
 
 namespace {
+
+// Batch entries per chunk for the batched matmuls, targeting ~64k
+// multiply-adds per chunk; depends only on the shape so the chunking is
+// identical at every thread count.
+size_t BatchGrain(size_t ops_per_entry) {
+  constexpr size_t kTargetOps = size_t{1} << 16;
+  if (ops_per_entry == 0) return 1;
+  return std::max<size_t>(1, kTargetOps / ops_per_entry);
+}
 
 // Builds an op node over `parents` with `shape`. If any parent requires a
 // gradient, marks the node and installs `backward`.
@@ -265,43 +276,19 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     // dA = dC * B^T
     if (pa->requires_grad) {
       pa->EnsureGrad();
-      for (size_t i = 0; i < m; ++i) {
-        const float* grow = node.grad.data() + i * n;
-        float* garow = pa->grad.data() + i * k;
-        for (size_t p = 0; p < k; ++p) {
-          const float* brow = pb->value.data() + p * n;
-          float sum = 0.0f;
-          for (size_t j = 0; j < n; ++j) sum += grow[j] * brow[j];
-          garow[p] += sum;
-        }
-      }
+      la::GemmBtAcc(node.grad.data(), pb->value.data(), pa->grad.data(), m,
+                    n, k);
     }
     // dB = A^T * dC
     if (pb->requires_grad) {
       pb->EnsureGrad();
-      for (size_t i = 0; i < m; ++i) {
-        const float* arow = pa->value.data() + i * k;
-        const float* grow = node.grad.data() + i * n;
-        for (size_t p = 0; p < k; ++p) {
-          const float av = arow[p];
-          if (av == 0.0f) continue;
-          float* gbrow = pb->grad.data() + p * n;
-          for (size_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
-        }
-      }
+      la::GemmAtAcc(pa->value.data(), node.grad.data(), pb->grad.data(), k,
+                    m, n);
     }
   });
   // C = A * B
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.value().data() + i * k;
-    float* crow = out.value().data() + i * n;
-    for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.value().data() + p * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  la::GemmAcc(a.value().data(), b.value().data(), out.value().data(), m, k,
+              n);
   return out;
 }
 
@@ -319,52 +306,31 @@ Tensor BMatMul(const Tensor& a, const Tensor& b) {
     Node* pb = node.parents[1].get();
     if (pa->requires_grad) pa->EnsureGrad();
     if (pb->requires_grad) pb->EnsureGrad();
-    for (size_t bb = 0; bb < batch; ++bb) {
-      const float* avals = pa->value.data() + bb * m * k;
-      const float* bvals = pb->value.data() + bb * k * n;
-      const float* gvals = node.grad.data() + bb * m * n;
-      if (pa->requires_grad) {
-        float* ga = pa->grad.data() + bb * m * k;
-        for (size_t i = 0; i < m; ++i) {
-          for (size_t p = 0; p < k; ++p) {
-            const float* brow = bvals + p * n;
-            const float* grow = gvals + i * n;
-            float sum = 0.0f;
-            for (size_t j = 0; j < n; ++j) sum += grow[j] * brow[j];
-            ga[i * k + p] += sum;
-          }
+    // Batch entries touch disjoint slices, so the batch loop is the
+    // parallel axis; the per-batch kernels run inline inside it.
+    ParallelFor(0, batch, BatchGrain(m * k * n), [&](size_t b0, size_t b1) {
+      for (size_t bb = b0; bb < b1; ++bb) {
+        const float* avals = pa->value.data() + bb * m * k;
+        const float* bvals = pb->value.data() + bb * k * n;
+        const float* gvals = node.grad.data() + bb * m * n;
+        // dA = dC * B^T
+        if (pa->requires_grad) {
+          la::GemmBtAcc(gvals, bvals, pa->grad.data() + bb * m * k, m, n, k);
+        }
+        // dB = A^T * dC
+        if (pb->requires_grad) {
+          la::GemmAtAcc(avals, gvals, pb->grad.data() + bb * k * n, k, m, n);
         }
       }
-      if (pb->requires_grad) {
-        float* gb = pb->grad.data() + bb * k * n;
-        for (size_t i = 0; i < m; ++i) {
-          const float* arow = avals + i * k;
-          const float* grow = gvals + i * n;
-          for (size_t p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f) continue;
-            float* gbrow = gb + p * n;
-            for (size_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
-          }
-        }
-      }
+    });
+  });
+  ParallelFor(0, batch, BatchGrain(m * k * n), [&](size_t b0, size_t b1) {
+    for (size_t bb = b0; bb < b1; ++bb) {
+      la::GemmAcc(a.value().data() + bb * m * k,
+                  b.value().data() + bb * k * n,
+                  out.value().data() + bb * m * n, m, k, n);
     }
   });
-  for (size_t bb = 0; bb < batch; ++bb) {
-    const float* avals = a.value().data() + bb * m * k;
-    const float* bvals = b.value().data() + bb * k * n;
-    float* cvals = out.value().data() + bb * m * n;
-    for (size_t i = 0; i < m; ++i) {
-      const float* arow = avals + i * k;
-      float* crow = cvals + i * n;
-      for (size_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = bvals + p * n;
-        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  }
   return out;
 }
 
@@ -382,54 +348,28 @@ Tensor BMatMulT(const Tensor& a, const Tensor& b) {
     Node* pb = node.parents[1].get();
     if (pa->requires_grad) pa->EnsureGrad();
     if (pb->requires_grad) pb->EnsureGrad();
-    for (size_t bb = 0; bb < batch; ++bb) {
-      const float* avals = pa->value.data() + bb * m * k;
-      const float* bvals = pb->value.data() + bb * n * k;
-      const float* gvals = node.grad.data() + bb * m * n;
-      // C = A * B^T; dA = dC * B; dB = dC^T * A.
-      if (pa->requires_grad) {
-        float* ga = pa->grad.data() + bb * m * k;
-        for (size_t i = 0; i < m; ++i) {
-          const float* grow = gvals + i * n;
-          float* garow = ga + i * k;
-          for (size_t j = 0; j < n; ++j) {
-            const float gv = grow[j];
-            if (gv == 0.0f) continue;
-            const float* brow = bvals + j * k;
-            for (size_t p = 0; p < k; ++p) garow[p] += gv * brow[p];
-          }
+    // C = A * B^T; dA = dC * B; dB = dC^T * A.
+    ParallelFor(0, batch, BatchGrain(m * k * n), [&](size_t b0, size_t b1) {
+      for (size_t bb = b0; bb < b1; ++bb) {
+        const float* avals = pa->value.data() + bb * m * k;
+        const float* bvals = pb->value.data() + bb * n * k;
+        const float* gvals = node.grad.data() + bb * m * n;
+        if (pa->requires_grad) {
+          la::GemmAcc(gvals, bvals, pa->grad.data() + bb * m * k, m, n, k);
+        }
+        if (pb->requires_grad) {
+          la::GemmAtAcc(gvals, avals, pb->grad.data() + bb * n * k, n, m, k);
         }
       }
-      if (pb->requires_grad) {
-        float* gb = pb->grad.data() + bb * n * k;
-        for (size_t i = 0; i < m; ++i) {
-          const float* grow = gvals + i * n;
-          const float* arow = avals + i * k;
-          for (size_t j = 0; j < n; ++j) {
-            const float gv = grow[j];
-            if (gv == 0.0f) continue;
-            float* gbrow = gb + j * k;
-            for (size_t p = 0; p < k; ++p) gbrow[p] += gv * arow[p];
-          }
-        }
-      }
+    });
+  });
+  ParallelFor(0, batch, BatchGrain(m * k * n), [&](size_t b0, size_t b1) {
+    for (size_t bb = b0; bb < b1; ++bb) {
+      la::GemmBtAcc(a.value().data() + bb * m * k,
+                    b.value().data() + bb * n * k,
+                    out.value().data() + bb * m * n, m, k, n);
     }
   });
-  for (size_t bb = 0; bb < batch; ++bb) {
-    const float* avals = a.value().data() + bb * m * k;
-    const float* bvals = b.value().data() + bb * n * k;
-    float* cvals = out.value().data() + bb * m * n;
-    for (size_t i = 0; i < m; ++i) {
-      const float* arow = avals + i * k;
-      float* crow = cvals + i * n;
-      for (size_t j = 0; j < n; ++j) {
-        const float* brow = bvals + j * k;
-        float sum = 0.0f;
-        for (size_t p = 0; p < k; ++p) sum += arow[p] * brow[p];
-        crow[j] = sum;
-      }
-    }
-  }
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/thread_pool.h"
 #include "common/serialize.h"
 #include "common/string_util.h"
 #include "nn/loss.h"
@@ -326,6 +327,26 @@ la::Matrix MiniLm::Encode(const std::vector<int32_t>& ids) {
 
 std::vector<float> MiniLm::Pool(const std::vector<int32_t>& ids) {
   return PoolTensor(ids).value();
+}
+
+std::vector<la::Matrix> MiniLm::EncodeBatch(
+    const std::vector<std::vector<int32_t>>& docs) {
+  std::vector<la::Matrix> out(docs.size());
+  ParallelFor(0, docs.size(), 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) out[i] = Encode(docs[i]);
+  });
+  return out;
+}
+
+la::Matrix MiniLm::PoolBatch(const std::vector<std::vector<int32_t>>& docs) {
+  la::Matrix out(docs.size(), config_.dim);
+  ParallelFor(0, docs.size(), 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      const std::vector<float> pooled = Pool(docs[i]);
+      std::copy(pooled.begin(), pooled.end(), out.Row(i));
+    }
+  });
+  return out;
 }
 
 std::vector<int32_t> MiniLm::PredictTopK(const std::vector<int32_t>& ids,

@@ -89,6 +89,18 @@ class MiniLm {
   // Average of token vectors — "average-pooled BERT representation".
   std::vector<float> Pool(const std::vector<int32_t>& ids);
 
+  // Batch inference conveniences: encode/pool many documents, parallel
+  // across documents on the global thread pool. Each document builds an
+  // independent forward graph over the (read-only) parameters, so results
+  // are bitwise identical to the per-document calls at any thread count.
+  // Safe for concurrent inference only — must not be interleaved with
+  // Pretrain() or other parameter updates.
+  std::vector<la::Matrix> EncodeBatch(
+      const std::vector<std::vector<int32_t>>& docs);
+
+  // Row i = Pool(docs[i]); returns [docs.size(), dim].
+  la::Matrix PoolBatch(const std::vector<std::vector<int32_t>>& docs);
+
   // Top-k vocabulary predictions at `position` after replacing it with
   // [MASK] (when `mask_position` is true) or keeping the original token.
   // Specials are excluded. Returns ids sorted by descending probability.

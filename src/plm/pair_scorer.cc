@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "nn/loss.h"
 #include "la/matrix.h"
 #include "nn/ops.h"
@@ -87,6 +88,20 @@ float PairScorer::Score(const std::vector<float>& u,
                                         {1, 4 * config_.encoder_dim + 1});
   nn::Tensor logits = out_->Forward(nn::Relu(hidden_->Forward(x)));
   return 1.0f / (1.0f + std::exp(-logits.value()[0]));
+}
+
+std::vector<float> PairScorer::ScoreBatch(
+    const std::vector<std::vector<float>>& u,
+    const std::vector<std::vector<float>>& v) {
+  STM_CHECK_EQ(u.size(), v.size());
+  // Each pair builds its own forward graph over the (read-only) head
+  // parameters, so pairs score independently and in parallel; slot i is
+  // written by exactly one worker.
+  std::vector<float> scores(u.size(), 0.0f);
+  ParallelFor(0, u.size(), 8, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) scores[i] = Score(u[i], v[i]);
+  });
+  return scores;
 }
 
 }  // namespace stm::plm

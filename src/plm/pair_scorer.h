@@ -40,6 +40,12 @@ class PairScorer {
   // Relevance probability in [0, 1].
   float Score(const std::vector<float>& u, const std::vector<float>& v);
 
+  // Scores many pairs at once (parallel across pairs on the global
+  // thread pool). scores[i] == Score(u[i], v[i]) exactly; must not be
+  // interleaved with Train().
+  std::vector<float> ScoreBatch(const std::vector<std::vector<float>>& u,
+                                const std::vector<std::vector<float>>& v);
+
  private:
   std::vector<float> Interaction(const std::vector<float>& u,
                                  const std::vector<float>& v) const;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "text/tokenizer.h"
 
 namespace stm::text {
@@ -77,11 +78,13 @@ SparseVector TfIdf::Transform(const std::vector<int32_t>& tokens) const {
 }
 
 std::vector<SparseVector> TfIdf::TransformAll(const Corpus& corpus) const {
-  std::vector<SparseVector> vecs;
-  vecs.reserve(corpus.num_docs());
-  for (const Document& doc : corpus.docs()) {
-    vecs.push_back(Transform(doc.tokens));
-  }
+  // Documents transform independently; each slot is written by exactly
+  // one worker, so the result is identical at any thread count.
+  std::vector<SparseVector> vecs(corpus.num_docs());
+  const std::vector<Document>& docs = corpus.docs();
+  ParallelFor(0, docs.size(), 16, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) vecs[i] = Transform(docs[i].tokens);
+  });
   return vecs;
 }
 
@@ -111,8 +114,13 @@ std::vector<int32_t> TfIdf::TopTerms(const std::vector<int32_t>& tokens,
   const SparseVector vec = Transform(tokens);
   std::vector<size_t> order(vec.ids.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Ties broken by token id (vec.ids is ascending, so index order is id
+  // order) to keep the output independent of the stdlib sort.
   std::sort(order.begin(), order.end(), [&vec](size_t a, size_t b) {
-    return vec.weights[a] > vec.weights[b];
+    if (vec.weights[a] != vec.weights[b]) {
+      return vec.weights[a] > vec.weights[b];
+    }
+    return a < b;
   });
   std::vector<int32_t> top;
   for (size_t i = 0; i < order.size() && i < k; ++i) {

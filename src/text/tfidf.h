@@ -30,14 +30,16 @@ class TfIdf {
   // Transforms a token sequence; tf is log-scaled (1 + log tf).
   SparseVector Transform(const std::vector<int32_t>& tokens) const;
 
-  // Transforms every document in a corpus.
+  // Transforms every document in a corpus (parallel across documents on
+  // the global thread pool; output is thread-count-invariant).
   std::vector<SparseVector> TransformAll(const Corpus& corpus) const;
 
   // Builds a unit query vector from keyword ids (each with weight idf).
   SparseVector KeywordQuery(const std::vector<int32_t>& keyword_ids) const;
 
   // Top-`k` highest TF-IDF token ids of a document (used to harvest
-  // keywords from labeled docs, per WeSTClass's DOCS setting).
+  // keywords from labeled docs, per WeSTClass's DOCS setting). Equal
+  // weights are ordered by ascending token id.
   std::vector<int32_t> TopTerms(const std::vector<int32_t>& tokens,
                                 size_t k) const;
 

@@ -66,6 +66,72 @@ TEST(KMeansTest, SphericalHandlesUnnormalizedInput) {
   EXPECT_GE(used.size(), 2u);
 }
 
+TEST(KMeansTest, DuplicatePointsSeedDistinctCentroids) {
+  // 3 distinct locations, each duplicated 20 times. k-means++ must not
+  // seed two centroids on the same location (zero-distance points are
+  // excluded from the weighted draw), so the exact solution is found and
+  // the inertia is 0 regardless of the seed.
+  const float locations[3][2] = {{0, 0}, {5, 0}, {0, 5}};
+  la::Matrix data(60, 2);
+  for (size_t i = 0; i < 60; ++i) {
+    data.At(i, 0) = locations[i % 3][0];
+    data.At(i, 1) = locations[i % 3][1];
+  }
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    cluster::KMeansOptions options;
+    options.k = 3;
+    options.seed = seed;
+    const auto result = cluster::KMeans(data, options);
+    EXPECT_EQ(result.inertia, 0.0) << "seed " << seed;
+    std::set<int> used(result.assignment.begin(), result.assignment.end());
+    EXPECT_EQ(used.size(), 3u) << "seed " << seed;
+  }
+}
+
+TEST(KMeansTest, MoreClustersThanDistinctPointsTerminates) {
+  // k exceeds the number of distinct points: the seeding fallback must
+  // still pick k rows (duplicates) without dividing by a zero total.
+  la::Matrix data(10, 1);
+  for (size_t i = 0; i < 10; ++i) data.At(i, 0) = i < 5 ? 0.0f : 1.0f;
+  cluster::KMeansOptions options;
+  options.k = 4;
+  const auto result = cluster::KMeans(data, options);
+  EXPECT_EQ(result.inertia, 0.0);
+  EXPECT_EQ(result.centroids.rows(), 4u);
+}
+
+TEST(KMeansTest, SameSeedSameResult) {
+  std::vector<int> gold;
+  la::Matrix data = Blobs(&gold, 6);
+  cluster::KMeansOptions options;
+  options.k = 5;  // more clusters than blobs -> exercises re-seeding
+  const auto a = cluster::KMeans(data, options);
+  const auto b = cluster::KMeans(data, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.inertia, b.inertia);
+  for (size_t i = 0; i < a.centroids.size(); ++i) {
+    EXPECT_EQ(a.centroids.data()[i], b.centroids.data()[i]);
+  }
+}
+
+TEST(SilhouetteTest, StrideKeepsSampleWithinBudget) {
+  // Regression: floor division let the sample grow to nearly 2x
+  // max_points (n = 1999 -> stride 1 -> 1999 samples). Ceiling division
+  // keeps the O(sample^2) pass bounded.
+  EXPECT_EQ(cluster::SilhouetteStride(1999, 1000), 2u);
+  EXPECT_EQ(cluster::SilhouetteStride(1000, 1000), 1u);
+  EXPECT_EQ(cluster::SilhouetteStride(50, 1000), 1u);
+  for (size_t n : {1u, 999u, 1000u, 1001u, 1999u, 2000u, 2001u, 5500u}) {
+    const size_t stride = cluster::SilhouetteStride(n, 1000);
+    size_t samples = 0;
+    for (size_t i = 0; i < n; i += stride) ++samples;
+    EXPECT_LE(samples, 1000u) << "n = " << n;
+    if (n <= 1000) {
+      EXPECT_EQ(samples, n);
+    }
+  }
+}
+
 TEST(SilhouetteTest, GoodClusteringScoresHigher) {
   std::vector<int> gold;
   la::Matrix data = Blobs(&gold, 4);

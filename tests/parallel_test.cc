@@ -1,0 +1,318 @@
+// Determinism contract of the thread pool (see DESIGN.md, "Threading
+// model"): every parallelized path must produce bit-identical output at
+// any thread count. Each equivalence test computes a baseline on the
+// forced-serial pool (1 thread), then recomputes on 2- and 8-thread pools
+// and compares exactly — no tolerances.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "la/matrix.h"
+#include "plm/minilm.h"
+#include "plm/pair_scorer.h"
+#include "text/corpus.h"
+#include "text/tfidf.h"
+#include "text/vocabulary.h"
+
+namespace stm {
+namespace {
+
+constexpr size_t kThreadCounts[] = {2, 8};
+
+// Restores the pool to its environment-configured size after each test so
+// the rest of the suite is unaffected by Reset() calls made here.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ThreadPool::Reset(ThreadPool::ConfiguredThreads());
+  }
+};
+
+void ExpectSameMatrix(const la::Matrix& a, const la::Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+la::Matrix RandomMatrix(size_t rows, size_t cols, Rng& rng) {
+  la::Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Uniform() * 2.0 - 1.0);
+  }
+  return m;
+}
+
+// ---- pool mechanics ----
+
+TEST_F(ParallelTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool::Reset(8);
+  std::vector<int> hits(1000, 0);
+  ParallelFor(0, hits.size(), 7, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST_F(ParallelTest, ZeroLengthRangeIsNoOp) {
+  ThreadPool::Reset(8);
+  bool called = false;
+  ParallelFor(5, 5, 4, [&](size_t, size_t) { called = true; });
+  ParallelFor(7, 3, 4, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(ParallelChunkCount(5, 5, 4), 0u);
+}
+
+TEST_F(ParallelTest, ChunkBoundariesIgnoreThreadCount) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool::Reset(threads);
+    std::vector<std::pair<size_t, size_t>> chunks(
+        ParallelChunkCount(3, 50, 9));
+    ParallelForChunks(3, 50, 9, [&](size_t index, size_t b, size_t e) {
+      chunks[index] = {b, e};
+    });
+    size_t expect_begin = 3;
+    for (const auto& [b, e] : chunks) {
+      EXPECT_EQ(b, expect_begin);
+      EXPECT_LE(e - b, 9u);
+      expect_begin = e;
+    }
+    EXPECT_EQ(expect_begin, 50u);
+  }
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInline) {
+  ThreadPool::Reset(8);
+  std::vector<int> sums(64, 0);
+  ParallelFor(0, sums.size(), 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      // Nested region: must execute inline on the worker, not deadlock.
+      int local = 0;
+      ParallelFor(0, 10, 3, [&](size_t nb, size_t ne) {
+        for (size_t j = nb; j < ne; ++j) local += static_cast<int>(j);
+      });
+      sums[i] = local;
+    }
+  });
+  for (int s : sums) EXPECT_EQ(s, 45);
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesToCaller) {
+  ThreadPool::Reset(8);
+  EXPECT_THROW(
+      ParallelFor(0, 100, 1,
+                  [&](size_t b, size_t) {
+                    if (b == 57) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The pool must still be usable after the failed region.
+  std::vector<int> hits(10, 0);
+  ParallelFor(0, hits.size(), 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST_F(ParallelTest, ParallelReduceIsChunkOrdered) {
+  // Left-to-right combine over string partials exposes any reordering.
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool::Reset(threads);
+    const std::string folded = ParallelReduce(
+        0, 10, 3, std::string(),
+        [](size_t b, size_t e) {
+          std::string s;
+          for (size_t i = b; i < e; ++i) s += std::to_string(i);
+          return s;
+        },
+        [](std::string acc, std::string part) { return acc + part; });
+    EXPECT_EQ(folded, "0123456789");
+  }
+}
+
+// ---- hot-path equivalence ----
+
+TEST_F(ParallelTest, GemmMatchesSerial) {
+  Rng rng(3);
+  const la::Matrix a = RandomMatrix(33, 17, rng);
+  const la::Matrix b = RandomMatrix(17, 29, rng);
+  const la::Matrix bt = RandomMatrix(29, 17, rng);
+  const la::Matrix at = RandomMatrix(17, 33, rng);
+
+  ThreadPool::Reset(1);
+  la::Matrix c1, ct1, cat1;
+  la::Gemm(a, b, c1);
+  la::GemmBt(a, bt, ct1);
+  la::GemmAt(at, b, cat1);
+
+  for (size_t threads : kThreadCounts) {
+    ThreadPool::Reset(threads);
+    la::Matrix c, ct, cat;
+    la::Gemm(a, b, c);
+    la::GemmBt(a, bt, ct);
+    la::GemmAt(at, b, cat);
+    ExpectSameMatrix(c1, c);
+    ExpectSameMatrix(ct1, ct);
+    ExpectSameMatrix(cat1, cat);
+  }
+}
+
+TEST_F(ParallelTest, GemmAccumulateMatchesSerial) {
+  Rng rng(5);
+  const la::Matrix a = RandomMatrix(640, 3, rng);  // forces several chunks
+  const la::Matrix b = RandomMatrix(3, 4, rng);
+  ThreadPool::Reset(1);
+  la::Matrix c1(640, 4, 0.5f);
+  la::Gemm(a, b, c1, /*accumulate=*/true);
+  for (size_t threads : kThreadCounts) {
+    ThreadPool::Reset(threads);
+    la::Matrix c(640, 4, 0.5f);
+    la::Gemm(a, b, c, /*accumulate=*/true);
+    ExpectSameMatrix(c1, c);
+  }
+}
+
+TEST_F(ParallelTest, KMeansMatchesSerial) {
+  Rng rng(7);
+  const la::Matrix data = RandomMatrix(700, 8, rng);
+  cluster::KMeansOptions options;
+  options.k = 6;
+  options.max_iters = 30;
+
+  ThreadPool::Reset(1);
+  const cluster::KMeansResult base = cluster::KMeans(data, options);
+
+  for (size_t threads : kThreadCounts) {
+    ThreadPool::Reset(threads);
+    const cluster::KMeansResult result = cluster::KMeans(data, options);
+    EXPECT_EQ(base.assignment, result.assignment);
+    EXPECT_EQ(base.inertia, result.inertia);
+    ExpectSameMatrix(base.centroids, result.centroids);
+  }
+}
+
+TEST_F(ParallelTest, SilhouetteMatchesSerial) {
+  Rng rng(9);
+  const la::Matrix data = RandomMatrix(300, 4, rng);
+  std::vector<int> assignment(300);
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    assignment[i] = static_cast<int>(i % 3);
+  }
+  ThreadPool::Reset(1);
+  const double base = cluster::Silhouette(data, assignment, 3, 120);
+  for (size_t threads : kThreadCounts) {
+    ThreadPool::Reset(threads);
+    EXPECT_EQ(base, cluster::Silhouette(data, assignment, 3, 120));
+  }
+}
+
+text::Corpus SmallCorpus() {
+  Rng rng(11);
+  text::Corpus corpus;
+  for (int w = 0; w < 40; ++w) {
+    corpus.vocab().AddToken("w" + std::to_string(w));
+  }
+  const size_t vocab = corpus.vocab().size();
+  for (int d = 0; d < 60; ++d) {
+    text::Document doc;
+    const size_t len = 3 + rng.UniformInt(20);
+    for (size_t t = 0; t < len; ++t) {
+      doc.tokens.push_back(static_cast<int32_t>(
+          text::kNumSpecialTokens +
+          rng.UniformInt(vocab - text::kNumSpecialTokens)));
+    }
+    corpus.docs().push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+TEST_F(ParallelTest, TfIdfTransformAllMatchesSerial) {
+  const text::Corpus corpus = SmallCorpus();
+  const text::TfIdf tfidf(corpus);
+
+  ThreadPool::Reset(1);
+  const std::vector<text::SparseVector> base = tfidf.TransformAll(corpus);
+
+  for (size_t threads : kThreadCounts) {
+    ThreadPool::Reset(threads);
+    const std::vector<text::SparseVector> vecs = tfidf.TransformAll(corpus);
+    ASSERT_EQ(base.size(), vecs.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(base[i].ids, vecs[i].ids);
+      EXPECT_EQ(base[i].weights, vecs[i].weights);
+    }
+  }
+}
+
+TEST_F(ParallelTest, MiniLmBatchEncodingMatchesSerial) {
+  plm::MiniLmConfig config;
+  config.vocab_size = 60;
+  config.dim = 16;
+  config.layers = 1;
+  config.heads = 2;
+  config.ffn_dim = 32;
+  config.max_seq = 12;
+  plm::MiniLm model(config);  // random init is fine for equivalence
+
+  Rng rng(13);
+  std::vector<std::vector<int32_t>> docs(17);
+  for (auto& doc : docs) {
+    const size_t len = 1 + rng.UniformInt(12);
+    for (size_t t = 0; t < len; ++t) {
+      doc.push_back(static_cast<int32_t>(
+          text::kNumSpecialTokens +
+          rng.UniformInt(config.vocab_size - text::kNumSpecialTokens)));
+    }
+  }
+
+  ThreadPool::Reset(1);
+  std::vector<la::Matrix> base_encoded;
+  for (const auto& doc : docs) base_encoded.push_back(model.Encode(doc));
+  la::Matrix base_pooled(docs.size(), config.dim);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    base_pooled.SetRow(i, model.Pool(docs[i]));
+  }
+
+  for (size_t threads : kThreadCounts) {
+    ThreadPool::Reset(threads);
+    const std::vector<la::Matrix> encoded = model.EncodeBatch(docs);
+    ASSERT_EQ(encoded.size(), base_encoded.size());
+    for (size_t i = 0; i < encoded.size(); ++i) {
+      ExpectSameMatrix(base_encoded[i], encoded[i]);
+    }
+    ExpectSameMatrix(base_pooled, model.PoolBatch(docs));
+  }
+}
+
+TEST_F(ParallelTest, PairScorerScoreBatchMatchesSerial) {
+  plm::PairScorer::Config config;
+  config.encoder_dim = 12;
+  config.epochs = 1;
+  plm::PairScorer scorer(config);
+
+  Rng rng(17);
+  std::vector<std::vector<float>> u(25), v(25);
+  for (size_t i = 0; i < u.size(); ++i) {
+    for (size_t j = 0; j < config.encoder_dim; ++j) {
+      u[i].push_back(static_cast<float>(rng.Uniform()));
+      v[i].push_back(static_cast<float>(rng.Uniform()));
+    }
+  }
+
+  ThreadPool::Reset(1);
+  std::vector<float> base;
+  for (size_t i = 0; i < u.size(); ++i) base.push_back(scorer.Score(u[i], v[i]));
+
+  for (size_t threads : kThreadCounts) {
+    ThreadPool::Reset(threads);
+    EXPECT_EQ(base, scorer.ScoreBatch(u, v));
+  }
+}
+
+}  // namespace
+}  // namespace stm

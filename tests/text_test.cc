@@ -162,6 +162,27 @@ TEST(TfIdfTest, TopTermsPrefersDistinctive) {
   EXPECT_TRUE(names.count("verdict") || names.count("ruling"));
 }
 
+TEST(TfIdfTest, TopTermsBreaksTiesByTokenId) {
+  // One document, every token appearing exactly once: all weights are
+  // equal (same tf, same idf), so the ranking must fall back to ascending
+  // token id instead of whatever order the sort left equal keys in.
+  Corpus corpus;
+  std::vector<int32_t> tokens;
+  for (const char* word : {"delta", "alpha", "echo", "bravo", "charlie"}) {
+    tokens.push_back(corpus.vocab().AddToken(word));
+  }
+  Document doc;
+  doc.tokens = tokens;
+  corpus.docs().push_back(doc);
+  TfIdf tfidf(corpus, /*drop_stopwords=*/false);
+  const auto top = tfidf.TopTerms(doc.tokens, 3);
+  ASSERT_EQ(top.size(), 3u);
+  // Insertion order above is the id order: delta < alpha < echo ids.
+  EXPECT_EQ(top[0], corpus.vocab().IdOf("delta"));
+  EXPECT_EQ(top[1], corpus.vocab().IdOf("alpha"));
+  EXPECT_EQ(top[2], corpus.vocab().IdOf("echo"));
+}
+
 TEST(TfIdfTest, SparseCosineOrthogonalAndIdentical) {
   SparseVector a{{1, 3}, {0.6f, 0.8f}};
   SparseVector b{{2, 4}, {1.0f, 1.0f}};
