@@ -1,0 +1,203 @@
+// GEMM kernel bench: times the seed's serial scalar loops ("reference")
+// against the blocked, packed kernel library ("packed", see
+// la/gemm_kernels.h) over the shapes the encoder actually runs — QKV and
+// output projections (rows x 384 x 384), the FFN up/down projections
+// (384 <-> 1536), and the three transpose variants. One table row per
+// shape; with STM_BENCH_JSON=<path> every reference/packed timing is
+// also recorded for scripted before/after comparison (see
+// bench/run_benches.sh).
+//
+//   ./bench_gemm            full sweep (respects STM_NUM_THREADS)
+//   ./bench_gemm --smoke    seconds-long correctness pass used by ctest;
+//                           exits non-zero if packed and reference
+//                           disagree beyond float reassociation
+//
+// The packed path is deterministic per the DESIGN.md contract: rerunning
+// at any thread count reproduces the same floats bit-for-bit.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "la/gemm_kernels.h"
+#include "la/matrix.h"
+
+namespace stm {
+namespace {
+
+enum class Variant { kNN, kNT, kTN };  // B, B^T, A^T operand layouts
+
+const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kNN: return "nn";
+    case Variant::kNT: return "nt";
+    case Variant::kTN: return "tn";
+  }
+  return "?";
+}
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.Uniform() * 2.0 - 1.0);
+  return v;
+}
+
+void RunReference(Variant v, const float* a, const float* b, float* c,
+                  size_t m, size_t k, size_t n) {
+  switch (v) {
+    case Variant::kNN: la::ReferenceGemmAcc(a, b, c, m, k, n); return;
+    case Variant::kNT: la::ReferenceGemmBtAcc(a, b, c, m, k, n); return;
+    case Variant::kTN: la::ReferenceGemmAtAcc(a, b, c, m, k, n); return;
+  }
+}
+
+void RunPacked(Variant v, const float* a, const float* b, float* c,
+               size_t m, size_t k, size_t n) {
+  switch (v) {
+    case Variant::kNN:
+      la::PackedGemmAcc(a, k, 1, b, n, 1, c, m, k, n);
+      return;
+    case Variant::kNT:
+      la::PackedGemmAcc(a, k, 1, b, 1, k, c, m, k, n);
+      return;
+    case Variant::kTN:
+      la::PackedGemmAcc(a, 1, m, b, n, 1, c, m, k, n);
+      return;
+  }
+}
+
+struct Operands {
+  std::vector<float> a, b, c;
+};
+
+Operands MakeOperands(Variant v, size_t m, size_t k, size_t n,
+                      uint64_t seed) {
+  Operands ops;
+  ops.a = RandomVec(v == Variant::kTN ? k * m : m * k, seed);
+  ops.b = RandomVec(v == Variant::kNT ? n * k : k * n, seed + 1);
+  ops.c.assign(m * n, 0.0f);
+  return ops;
+}
+
+std::string ShapeName(Variant v, size_t m, size_t k, size_t n) {
+  return "gemm_" + std::to_string(m) + "x" + std::to_string(k) + "x" +
+         std::to_string(n) + "_" + VariantName(v);
+}
+
+// ---- timed sweep ----
+
+struct ShapeSpec {
+  size_t m, k, n;
+  Variant variant;
+};
+
+// Repetitions sized for ~4e8 multiply-adds per timed method, so each row
+// runs long enough to be stable without dragging the sweep out.
+int RepsFor(size_t m, size_t k, size_t n) {
+  const size_t ops = m * k * n;
+  const size_t target = size_t{4} * 100 * 1000 * 1000;
+  const size_t reps = ops == 0 ? 1 : target / ops;
+  return static_cast<int>(reps < 1 ? 1 : reps);
+}
+
+int RunSweep() {
+  const ShapeSpec shapes[] = {
+      {256, 384, 384, Variant::kNN},   // acceptance shape: B*S x d x d
+      {256, 384, 384, Variant::kNT},
+      {256, 384, 384, Variant::kTN},
+      {384, 384, 1536, Variant::kNN},  // FFN up-projection
+      {384, 1536, 384, Variant::kNN},  // FFN down-projection
+      {128, 64, 128, Variant::kNT},    // attention-score shape
+  };
+  const std::string table =
+      std::string("GEMM kernels (") + la::GemmKernelIsa() + ") @ " +
+      std::to_string(ThreadPool::Global().threads()) + " threads";
+  bench::Table out(table, {"ref_s", "packed_s", "speedup", "gflops"});
+  for (const ShapeSpec& s : shapes) {
+    const std::string name = ShapeName(s.variant, s.m, s.k, s.n);
+    Operands ops = MakeOperands(s.variant, s.m, s.k, s.n, 7);
+    const int reps = RepsFor(s.m, s.k, s.n);
+
+    double ref_s = 0.0;
+    {
+      bench::MethodTimer timer(table, name + "_reference");
+      for (int r = 0; r < reps; ++r) {
+        RunReference(s.variant, ops.a.data(), ops.b.data(), ops.c.data(),
+                     s.m, s.k, s.n);
+      }
+      ref_s = timer.Seconds() / reps;
+    }
+    double packed_s = 0.0;
+    {
+      bench::MethodTimer timer(table, name + "_packed");
+      for (int r = 0; r < reps; ++r) {
+        RunPacked(s.variant, ops.a.data(), ops.b.data(), ops.c.data(),
+                  s.m, s.k, s.n);
+      }
+      packed_s = timer.Seconds() / reps;
+    }
+    const double flop = 2.0 * static_cast<double>(s.m * s.k * s.n);
+    out.AddRow(name, {ref_s, packed_s, ref_s / packed_s,
+                      flop / packed_s * 1e-9});
+    bench::Progress(name + " done");
+  }
+  out.Print();
+  return 0;
+}
+
+// ---- smoke mode (ctest) ----
+
+// Small full-coverage pass: every variant over ragged and aligned shapes
+// plus one shape big enough to split across pool workers, so TSan builds
+// exercise the shared packed-B buffer and the workspace recycling.
+int RunSmoke() {
+  const size_t dims[] = {1, 5, 8, 13, 32};
+  int failures = 0;
+  auto check = [&](Variant v, size_t m, size_t k, size_t n) {
+    Operands ops = MakeOperands(v, m, k, n, 31 + m + k + n);
+    std::vector<float> want = ops.c;
+    RunReference(v, ops.a.data(), ops.b.data(), want.data(), m, k, n);
+    RunPacked(v, ops.a.data(), ops.b.data(), ops.c.data(), m, k, n);
+    const float tol = 1e-6f * static_cast<float>(k + 1);
+    for (size_t i = 0; i < want.size(); ++i) {
+      const float diff = std::fabs(want[i] - ops.c[i]);
+      if (diff > tol + tol * std::fabs(want[i])) {
+        std::fprintf(stderr,
+                     "[bench] smoke MISMATCH %s elem %zu: ref %g packed %g\n",
+                     ShapeName(v, m, k, n).c_str(), i,
+                     static_cast<double>(want[i]),
+                     static_cast<double>(ops.c[i]));
+        ++failures;
+        break;
+      }
+    }
+  };
+  for (Variant v : {Variant::kNN, Variant::kNT, Variant::kTN}) {
+    for (size_t m : dims) {
+      for (size_t k : dims) {
+        for (size_t n : dims) check(v, m, k, n);
+      }
+    }
+    check(v, 96, 64, 96);  // multi-chunk parallel path
+  }
+  if (failures == 0) {
+    std::fprintf(stderr, "[bench] smoke ok (isa=%s, %zu threads)\n",
+                 la::GemmKernelIsa(), ThreadPool::Global().threads());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace stm
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--smoke") {
+    return stm::RunSmoke();
+  }
+  return stm::RunSweep();
+}

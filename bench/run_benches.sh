@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerates every committed BENCH_*.json from the bench binaries.
+#
+#   bench/run_benches.sh [build_dir] [bench ...]
+#
+# With no bench names, every bench_* binary found in <build_dir>/bench is
+# run; each writes <repo>/BENCH_<name>.json via the STM_BENCH_JSON hook
+# (see bench/harness.h). STM_NUM_THREADS defaults to 1 so committed
+# numbers are single-thread and comparable across machines; override it
+# in the environment to record scaling runs. Pre-trained MiniLm weights
+# are cached under plm_cache/, so the first run of the experiment benches
+# is the slow one.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+
+if [[ ! -d "${build_dir}/bench" ]]; then
+  echo "error: ${build_dir}/bench not found; build the project first" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+if [[ $# -gt 0 ]]; then
+  benches=("$@")
+else
+  benches=()
+  for bin in "${build_dir}"/bench/bench_*; do
+    [[ -x "${bin}" && ! -d "${bin}" ]] && benches+=("$(basename "${bin}")")
+  done
+fi
+
+export STM_NUM_THREADS="${STM_NUM_THREADS:-1}"
+
+for bench in "${benches[@]}"; do
+  bin="${build_dir}/bench/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not found or not executable" >&2
+    exit 1
+  fi
+  short="${bench#bench_}"
+  out="${repo_root}/BENCH_${short}.json"
+  echo "[run_benches] ${bench} -> ${out} (STM_NUM_THREADS=${STM_NUM_THREADS})"
+  STM_BENCH_JSON="${out}" "${bin}"
+done

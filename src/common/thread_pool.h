@@ -1,6 +1,7 @@
 #ifndef STM_COMMON_THREAD_POOL_H_
 #define STM_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -72,6 +73,19 @@ class ThreadPool {
   std::vector<std::shared_ptr<Region>> regions_;  // active, FIFO
   bool stop_ = false;
 };
+
+// Items per chunk targeting ~64k operations per chunk given the cost of
+// one item, so small workloads stay on the serial path and large ones
+// split finely enough to balance. Depends only on the per-item cost —
+// never on the thread count — which keeps the chunk decomposition (and
+// thus every float written under the determinism contract) stable across
+// STM_NUM_THREADS values. Shared by the la:: row-blocked kernels and the
+// nn:: batched matmuls.
+inline size_t GrainForOps(size_t ops_per_item) {
+  constexpr size_t kTargetOps = size_t{1} << 16;
+  if (ops_per_item == 0) return 1;
+  return std::max<size_t>(1, kTargetOps / ops_per_item);
+}
 
 // Number of chunks ParallelFor splits [begin, end) into: ceil(n / grain).
 size_t ParallelChunkCount(size_t begin, size_t end, size_t grain);

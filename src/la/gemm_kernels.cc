@@ -1,0 +1,136 @@
+#include "la/gemm_kernels.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "la/workspace.h"
+
+namespace stm::la {
+
+namespace detail {
+
+// Per-ISA builds of the packed kernels (gemm_kernels_impl.h expanded in
+// gemm_kernels_generic.cc / gemm_kernels_avx2.cc).
+namespace generic {
+void PackBPanels(const float* b, size_t rs, size_t cs, size_t k, size_t n,
+                 size_t jp0, size_t jp1, float* out);
+void RunRowChunk(const float* a, size_t a_rs, size_t a_cs,
+                 const float* bpack, float* c, size_t k, size_t n, size_t r0,
+                 size_t r1);
+}  // namespace generic
+
+#ifdef STM_HAVE_AVX2_KERNELS
+namespace avx2 {
+void PackBPanels(const float* b, size_t rs, size_t cs, size_t k, size_t n,
+                 size_t jp0, size_t jp1, float* out);
+void RunRowChunk(const float* a, size_t a_rs, size_t a_cs,
+                 const float* bpack, float* c, size_t k, size_t n, size_t r0,
+                 size_t r1);
+}  // namespace avx2
+#endif
+
+const GemmKernelFns& ActiveGemmKernels() {
+  // Selected once per process from cpuid: constant for the lifetime of
+  // the program, so every GEMM (at any thread count) runs the same
+  // micro-kernel.
+  static const GemmKernelFns fns = [] {
+#ifdef STM_HAVE_AVX2_KERNELS
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return GemmKernelFns{&avx2::PackBPanels, &avx2::RunRowChunk,
+                           "avx2+fma"};
+    }
+#endif
+    return GemmKernelFns{&generic::PackBPanels, &generic::RunRowChunk,
+                         "generic"};
+  }();
+  return fns;
+}
+
+}  // namespace detail
+
+const char* GemmKernelIsa() { return detail::ActiveGemmKernels().name; }
+
+// ---- serial scalar reference kernels (the seed inner loops) ----
+
+void ReferenceGemmAcc(const float* a, const float* b, float* c, size_t m,
+                      size_t k, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void ReferenceGemmBtAcc(const float* a, const float* b, float* c, size_t m,
+                        size_t k, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float sum = 0.0f;
+      for (size_t p = 0; p < k; ++p) sum += arow[p] * brow[p];
+      crow[j] += sum;
+    }
+  }
+}
+
+void ReferenceGemmAtAcc(const float* a, const float* b, float* c, size_t m,
+                        size_t k, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a[p * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// ---- packed driver ----
+
+bool UsePackedGemm(size_t m, size_t k, size_t n) {
+  return m * k * n >= kGemmPackedMinOps;
+}
+
+namespace {
+
+// Output rows per parallel chunk: ~1M multiply-adds, rounded to whole
+// micro-panels. Shape-only, like every grain in the library.
+size_t PackedRowGrain(size_t k, size_t n) {
+  constexpr size_t kTargetOps = size_t{1} << 20;
+  const size_t ops_per_row = k * n;
+  if (ops_per_row == 0) return kGemmMr;
+  const size_t rows = kTargetOps / ops_per_row;
+  return detail::RoundUp(rows < 1 ? 1 : rows, kGemmMr);
+}
+
+}  // namespace
+
+void PackedGemmAcc(const float* a, size_t a_rs, size_t a_cs, const float* b,
+                   size_t b_rs, size_t b_cs, float* c, size_t m, size_t k,
+                   size_t n) {
+  if (m == 0 || n == 0 || k == 0) return;
+  const detail::GemmKernelFns& fns = detail::ActiveGemmKernels();
+  const size_t npanels = detail::CeilDiv(n, kGemmNr);
+  std::vector<float> bpack = AcquireVec(npanels * k * kGemmNr);
+  // Panels are disjoint writes, so packing parallelizes cleanly; the
+  // panel contents depend only on B, never on the thread count.
+  ParallelFor(0, npanels, GrainForOps(k * kGemmNr),
+              [&](size_t jp0, size_t jp1) {
+                fns.pack_b(b, b_rs, b_cs, k, n, jp0, jp1, bpack.data());
+              });
+  ParallelFor(0, m, PackedRowGrain(k, n), [&](size_t r0, size_t r1) {
+    fns.run_rows(a, a_rs, a_cs, bpack.data(), c, k, n, r0, r1);
+  });
+  ReleaseVec(std::move(bpack));
+}
+
+}  // namespace stm::la

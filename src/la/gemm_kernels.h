@@ -1,0 +1,109 @@
+#ifndef STM_LA_GEMM_KERNELS_H_
+#define STM_LA_GEMM_KERNELS_H_
+
+#include <cstddef>
+
+namespace stm::la {
+
+// Cache-blocked, register-tiled GEMM kernel library.
+//
+// Layout (see DESIGN.md, "Kernel library"):
+//  * B is packed once per call into column panels of kGemmNr columns,
+//    stored p-major (panel jp holds B[p][jp*Nr .. jp*Nr+Nr) for every p,
+//    zero-padded at the right edge);
+//  * A is packed per row block into panels of kGemmMr rows, also p-major
+//    and zero-padded, sized so a block stays L2-resident;
+//  * the micro-kernel accumulates a kGemmMr x kGemmNr output tile in
+//    registers over the full k extent, then adds the tile into C.
+//
+// Two micro-kernel builds exist: a portable one and (on x86-64) one
+// compiled for AVX2+FMA, selected once at startup via cpuid. Dispatch
+// depends on the machine, never on the thread count, so output is
+// bit-identical across STM_NUM_THREADS on any given machine (it may
+// legitimately differ from the scalar reference and across machines).
+
+// Micro-tile extents. Part of the pack layout; identical in every ISA
+// build.
+inline constexpr size_t kGemmMr = 4;
+inline constexpr size_t kGemmNr = 8;
+
+// Shapes below this many multiply-adds run the serial scalar reference
+// (packing overhead would dominate). Shape-only, so the dispatch is
+// thread-count invariant.
+inline constexpr size_t kGemmPackedMinOps = size_t{1} << 15;
+
+// ---- serial scalar reference kernels ----
+//
+// The seed implementation, kept as the correctness baseline for tests and
+// bench, and as the execution path for tiny shapes.
+
+// c[m, n] += a[m, k] * b[k, n].
+void ReferenceGemmAcc(const float* a, const float* b, float* c, size_t m,
+                      size_t k, size_t n);
+
+// c[m, n] += a[m, k] * b[n, k]^T.
+void ReferenceGemmBtAcc(const float* a, const float* b, float* c, size_t m,
+                        size_t k, size_t n);
+
+// c[m, n] += a[k, m]^T * b[k, n].
+void ReferenceGemmAtAcc(const float* a, const float* b, float* c, size_t m,
+                        size_t k, size_t n);
+
+// ---- packed kernels ----
+
+// True when (m, k, n) takes the packed path.
+bool UsePackedGemm(size_t m, size_t k, size_t n);
+
+// c[m, n] += A * B over strided operands: A[i][p] = a[i*a_rs + p*a_cs],
+// B[p][j] = b[p*b_rs + j*b_cs], C row-major with leading dimension n.
+// The three transpose variants of the library map onto it as:
+//   Gemm:   A = (a, k, 1),  B = (b, n, 1)
+//   GemmBt: A = (a, k, 1),  B = (b, 1, k)   (B^T view of an n x k array)
+//   GemmAt: A = (a, 1, m),  B = (b, n, 1)   (A^T view of a k x m array)
+// Parallel over row blocks on the global thread pool; chunking and
+// accumulation order depend only on the shape.
+void PackedGemmAcc(const float* a, size_t a_rs, size_t a_cs, const float* b,
+                   size_t b_rs, size_t b_cs, float* c, size_t m, size_t k,
+                   size_t n);
+
+// Name of the micro-kernel build selected at startup ("avx2+fma" or
+// "generic").
+const char* GemmKernelIsa();
+
+namespace detail {
+
+inline constexpr size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / b; }
+inline constexpr size_t RoundUp(size_t a, size_t b) {
+  return CeilDiv(a, b) * b;
+}
+
+// Rows per packed A block: keeps block_rows * k floats around 256KB
+// (L2-resident) and a multiple of kGemmMr.
+inline size_t GemmABlockRows(size_t k) {
+  constexpr size_t kBlockFloats = size_t{64} * 1024;
+  const size_t rows = kBlockFloats / (k == 0 ? 1 : k);
+  return rows < kGemmMr ? kGemmMr
+                        : (rows / kGemmMr) * kGemmMr;
+}
+
+// Per-ISA entry points (one namespace per micro-kernel build; see
+// gemm_kernels_impl.h).
+struct GemmKernelFns {
+  // Packs B panels [jp0, jp1) of the strided operand into `out` (panel jp
+  // at offset jp * k * kGemmNr).
+  void (*pack_b)(const float* b, size_t rs, size_t cs, size_t k, size_t n,
+                 size_t jp0, size_t jp1, float* out);
+  // Computes C rows [r0, r1) from the strided A operand and packed B.
+  void (*run_rows)(const float* a, size_t a_rs, size_t a_cs,
+                   const float* bpack, float* c, size_t k, size_t n,
+                   size_t r0, size_t r1);
+  const char* name;
+};
+
+const GemmKernelFns& ActiveGemmKernels();
+
+}  // namespace detail
+
+}  // namespace stm::la
+
+#endif  // STM_LA_GEMM_KERNELS_H_

@@ -1,0 +1,6 @@
+// Portable micro-kernel build: compiled with the project's baseline
+// architecture flags. The dispatch in gemm_kernels.cc falls back to this
+// namespace when no wider ISA build is available at runtime.
+
+#define STM_GEMM_KERNEL_NAMESPACE generic
+#include "la/gemm_kernels_impl.h"

@@ -1,0 +1,117 @@
+// ISA-generic body of the packed GEMM kernels. Included (twice) by
+// gemm_kernels_generic.cc and gemm_kernels_avx2.cc with
+// STM_GEMM_KERNEL_NAMESPACE set; the including translation unit supplies
+// the compiler flags (-mavx2 -mfma for the AVX2 build), and the plain
+// fixed-trip-count loops below are written so GCC/Clang auto-vectorize
+// the kGemmNr-wide inner dimension into the widest available vectors.
+//
+// NO include guard: this file is a template expanded once per ISA
+// namespace. Do not include it outside the two kernel translation units.
+
+#ifndef STM_GEMM_KERNEL_NAMESPACE
+#error "define STM_GEMM_KERNEL_NAMESPACE before including gemm_kernels_impl.h"
+#endif
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "la/gemm_kernels.h"
+#include "la/workspace.h"
+
+namespace stm::la::detail::STM_GEMM_KERNEL_NAMESPACE {
+
+// Packs B panels [jp0, jp1): panel jp holds, p-major, the kGemmNr columns
+// starting at jp * kGemmNr, zero-padded past n. Strided reads make the
+// same routine serve both B and B^T operands.
+void PackBPanels(const float* b, size_t rs, size_t cs, size_t k,
+                 size_t n, size_t jp0, size_t jp1, float* out) {
+  for (size_t jp = jp0; jp < jp1; ++jp) {
+    const size_t j0 = jp * kGemmNr;
+    const size_t nr = n - j0 < kGemmNr ? n - j0 : kGemmNr;
+    float* panel = out + jp * k * kGemmNr;
+    for (size_t p = 0; p < k; ++p) {
+      const float* src = b + p * rs + j0 * cs;
+      float* dst = panel + p * kGemmNr;
+      for (size_t jj = 0; jj < nr; ++jj) dst[jj] = src[jj * cs];
+      for (size_t jj = nr; jj < kGemmNr; ++jj) dst[jj] = 0.0f;
+    }
+  }
+}
+
+// Packs rows [i0, i0 + mr) of the strided A operand into one p-major
+// micro-panel (kGemmMr floats per p, zero-padded past mr).
+inline void PackAPanel(const float* a, size_t rs, size_t cs, size_t k,
+                       size_t i0, size_t mr, float* out) {
+  for (size_t p = 0; p < k; ++p) {
+    float* dst = out + p * kGemmMr;
+    const float* src = a + i0 * rs + p * cs;
+    for (size_t ii = 0; ii < mr; ++ii) dst[ii] = src[ii * rs];
+    for (size_t ii = mr; ii < kGemmMr; ++ii) dst[ii] = 0.0f;
+  }
+}
+
+// Register-tiled micro-kernel: acc[kGemmMr][kGemmNr] += Apanel * Bpanel
+// over the full k extent (ascending p — the fixed accumulation order the
+// determinism contract relies on), then C[mr, nr] += acc.
+inline void MicroKernel(const float* apanel, const float* bpanel, size_t k,
+                        float* c, size_t ldc, size_t mr, size_t nr) {
+  float acc[kGemmMr][kGemmNr] = {};
+  for (size_t p = 0; p < k; ++p) {
+    const float* av = apanel + p * kGemmMr;
+    const float* bv = bpanel + p * kGemmNr;
+    for (size_t ii = 0; ii < kGemmMr; ++ii) {
+      const float aval = av[ii];
+      for (size_t jj = 0; jj < kGemmNr; ++jj) {
+        acc[ii][jj] += aval * bv[jj];
+      }
+    }
+  }
+  if (mr == kGemmMr && nr == kGemmNr) {
+    for (size_t ii = 0; ii < kGemmMr; ++ii) {
+      float* crow = c + ii * ldc;
+      for (size_t jj = 0; jj < kGemmNr; ++jj) crow[jj] += acc[ii][jj];
+    }
+  } else {
+    for (size_t ii = 0; ii < mr; ++ii) {
+      float* crow = c + ii * ldc;
+      for (size_t jj = 0; jj < nr; ++jj) crow[jj] += acc[ii][jj];
+    }
+  }
+}
+
+// Computes C rows [r0, r1): packs A in L2-sized row blocks (buffer
+// borrowed from the calling thread's workspace) and sweeps every B panel
+// per block. Writes are confined to C rows [r0, r1), so concurrent chunks
+// never touch the same output.
+void RunRowChunk(const float* a, size_t a_rs, size_t a_cs,
+                 const float* bpack, float* c, size_t k, size_t n,
+                 size_t r0, size_t r1) {
+  const size_t npanels = CeilDiv(n, kGemmNr);
+  const size_t block_rows = GemmABlockRows(k);
+  std::vector<float> apack =
+      AcquireVec(RoundUp(block_rows < r1 - r0 ? block_rows : r1 - r0,
+                         kGemmMr) *
+                 k);
+  for (size_t ic = r0; ic < r1; ic += block_rows) {
+    const size_t ie = ic + block_rows < r1 ? ic + block_rows : r1;
+    for (size_t i0 = ic; i0 < ie; i0 += kGemmMr) {
+      const size_t mr = ie - i0 < kGemmMr ? ie - i0 : kGemmMr;
+      PackAPanel(a, a_rs, a_cs, k, i0, mr,
+                 apack.data() + ((i0 - ic) / kGemmMr) * k * kGemmMr);
+    }
+    for (size_t jp = 0; jp < npanels; ++jp) {
+      const size_t j0 = jp * kGemmNr;
+      const size_t nr = n - j0 < kGemmNr ? n - j0 : kGemmNr;
+      const float* bpanel = bpack + jp * k * kGemmNr;
+      for (size_t i0 = ic; i0 < ie; i0 += kGemmMr) {
+        const size_t mr = ie - i0 < kGemmMr ? ie - i0 : kGemmMr;
+        MicroKernel(apack.data() + ((i0 - ic) / kGemmMr) * k * kGemmMr,
+                    bpanel, k, c + i0 * n + j0, n, mr, nr);
+      }
+    }
+  }
+  ReleaseVec(std::move(apack));
+}
+
+}  // namespace stm::la::detail::STM_GEMM_KERNEL_NAMESPACE

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "la/gemm_kernels.h"
 
 namespace stm::la {
 
@@ -96,62 +97,37 @@ std::vector<float> MeanOf(const std::vector<const float*>& vecs, size_t n) {
   return mean;
 }
 
-namespace {
-
-// Output rows per chunk, targeting ~64k multiply-adds per chunk so small
-// matrices stay on the serial path. Depends only on the shape, never on
-// the thread count, which keeps the chunking (and thus every float) stable
-// across STM_NUM_THREADS values.
-size_t RowGrain(size_t ops_per_row) {
-  constexpr size_t kTargetOps = size_t{1} << 16;
-  if (ops_per_row == 0) return 1;
-  return std::max<size_t>(1, kTargetOps / ops_per_row);
-}
-
-}  // namespace
+// The three transpose variants funnel into the packed, register-tiled
+// kernel library (gemm_kernels.h) via strided operand views; shapes too
+// small to amortize packing run the serial scalar reference instead.
+// Both the dispatch and the packed chunking are shape-only, so output is
+// bit-identical across STM_NUM_THREADS either way.
 
 void GemmAcc(const float* a, const float* b, float* c, size_t m, size_t k,
              size_t n) {
-  ParallelFor(0, m, RowGrain(k * n), [=](size_t r0, size_t r1) {
-    for (size_t i = r0; i < r1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (size_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b + p * n;
-        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  if (UsePackedGemm(m, k, n)) {
+    PackedGemmAcc(a, k, 1, b, n, 1, c, m, k, n);
+  } else {
+    ReferenceGemmAcc(a, b, c, m, k, n);
+  }
 }
 
 void GemmBtAcc(const float* a, const float* b, float* c, size_t m, size_t k,
                size_t n) {
-  ParallelFor(0, m, RowGrain(k * n), [=](size_t r0, size_t r1) {
-    for (size_t i = r0; i < r1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += Dot(arow, b + j * k, k);
-    }
-  });
+  if (UsePackedGemm(m, k, n)) {
+    PackedGemmAcc(a, k, 1, b, 1, k, c, m, k, n);
+  } else {
+    ReferenceGemmBtAcc(a, b, c, m, k, n);
+  }
 }
 
 void GemmAtAcc(const float* a, const float* b, float* c, size_t m, size_t k,
                size_t n) {
-  // Each worker owns a block of output rows (columns of a); the inner
-  // accumulation stays in ascending-p order per element.
-  ParallelFor(0, m, RowGrain(k * n), [=](size_t r0, size_t r1) {
-    for (size_t i = r0; i < r1; ++i) {
-      float* crow = c + i * n;
-      for (size_t p = 0; p < k; ++p) {
-        const float av = a[p * m + i];
-        if (av == 0.0f) continue;
-        const float* brow = b + p * n;
-        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  if (UsePackedGemm(m, k, n)) {
+    PackedGemmAcc(a, 1, m, b, n, 1, c, m, k, n);
+  } else {
+    ReferenceGemmAtAcc(a, b, c, m, k, n);
+  }
 }
 
 void Gemm(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
@@ -185,7 +161,12 @@ void GemmAt(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
 }
 
 void NormalizeRows(Matrix& m) {
-  for (size_t r = 0; r < m.rows(); ++r) NormalizeInPlace(m.Row(r), m.cols());
+  // Rows are disjoint, so the row loop is the parallel axis.
+  float* data = m.data();
+  const size_t cols = m.cols();
+  ParallelFor(0, m.rows(), GrainForOps(cols), [=](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) NormalizeInPlace(data + r * cols, cols);
+  });
 }
 
 Matrix Pca(const Matrix& data, size_t k, int power_iters) {
@@ -194,16 +175,19 @@ Matrix Pca(const Matrix& data, size_t k, int power_iters) {
   const size_t n = data.rows();
   const size_t d = data.cols();
 
-  // Center the data.
+  // Center the data (row chunks are disjoint; the mean stays serial so
+  // its accumulation order is fixed).
   std::vector<float> mean(d, 0.0f);
   for (size_t i = 0; i < n; ++i) Axpy(1.0f, data.Row(i), mean.data(), d);
   ScaleInPlace(mean.data(), d, 1.0f / static_cast<float>(n));
   Matrix centered(n, d);
-  for (size_t i = 0; i < n; ++i) {
-    const float* src = data.Row(i);
-    float* dst = centered.Row(i);
-    for (size_t j = 0; j < d; ++j) dst[j] = src[j] - mean[j];
-  }
+  ParallelFor(0, n, GrainForOps(d), [&](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      const float* src = data.Row(i);
+      float* dst = centered.Row(i);
+      for (size_t j = 0; j < d; ++j) dst[j] = src[j] - mean[j];
+    }
+  });
 
   // Covariance (d x d).
   Matrix cov;
@@ -220,30 +204,31 @@ Matrix Pca(const Matrix& data, size_t k, int power_iters) {
       components.At(c, j) = static_cast<float>(rng.Normal());
     }
   }
-  std::vector<float> next(d);
+  // Each iteration multiplies every component by the covariance in one
+  // (parallel) GEMM. cov is symmetric, so cov * v_c is row c of
+  // components * cov^T; component c is only overwritten in its own
+  // deflation step below, which reads next.Row(c) computed from the
+  // previous iterate — exactly the per-component update order of the
+  // serial power iteration.
+  Matrix next;
   for (int iter = 0; iter < power_iters; ++iter) {
+    GemmBt(components, cov, next);  // next[c] = cov * components[c]
     for (size_t c = 0; c < k; ++c) {
-      float* v = components.Row(c);
-      // next := cov * v
-      for (size_t i = 0; i < d; ++i) next[i] = Dot(cov.Row(i), v, d);
-      // Deflate against earlier components (Gram-Schmidt).
+      float* v = next.Row(c);
+      // Deflate against earlier (already updated) components.
       for (size_t prev = 0; prev < c; ++prev) {
-        const float proj = Dot(next.data(), components.Row(prev), d);
-        Axpy(-proj, components.Row(prev), next.data(), d);
+        const float proj = Dot(v, components.Row(prev), d);
+        Axpy(-proj, components.Row(prev), v, d);
       }
-      NormalizeInPlace(next.data(), d);
-      std::memcpy(v, next.data(), d * sizeof(float));
+      NormalizeInPlace(v, d);
+      std::memcpy(components.Row(c), v, d * sizeof(float));
     }
   }
 
-  // Project.
-  Matrix projected(n, k);
-  for (size_t i = 0; i < n; ++i) {
-    const float* row = centered.Row(i);
-    for (size_t c = 0; c < k; ++c) {
-      projected.At(i, c) = Dot(row, components.Row(c), d);
-    }
-  }
+  // Project: centered (n x d) times components^T (d x k), one parallel
+  // GEMM instead of n*k serial dot products.
+  Matrix projected;
+  GemmBt(centered, components, projected);
   return projected;
 }
 

@@ -1,0 +1,92 @@
+#include "la/workspace.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace stm::la {
+
+namespace {
+
+// Bounds on the per-thread cache. A MiniLm encode graph holds a few
+// hundred buffers; the float cap (16M floats = 64MB) covers the largest
+// attention graphs in the benches while keeping idle threads cheap.
+constexpr size_t kMaxBuffers = 512;
+constexpr size_t kMaxFloats = size_t{16} * 1024 * 1024;
+
+// Thread-local slot with an explicit destroyed flag so Release during
+// thread teardown (static destruction order) degrades to a plain free
+// instead of touching a dead object.
+struct TlsSlot {
+  Workspace workspace;
+  bool alive = true;
+  ~TlsSlot() { alive = false; }
+};
+
+TlsSlot& Slot() {
+  static thread_local TlsSlot slot;
+  return slot;
+}
+
+}  // namespace
+
+Workspace* Workspace::ThreadLocalOrNull() {
+  TlsSlot& slot = Slot();
+  return slot.alive ? &slot.workspace : nullptr;
+}
+
+std::vector<float> Workspace::Acquire(size_t n) {
+  // Best fit: smallest cached capacity that still holds n floats.
+  auto it = std::lower_bound(
+      pool_.begin(), pool_.end(), n,
+      [](const std::vector<float>& buf, size_t need) {
+        return buf.capacity() < need;
+      });
+  if (it == pool_.end()) return std::vector<float>(n);
+  std::vector<float> buf = std::move(*it);
+  pool_.erase(it);
+  cached_floats_ -= buf.capacity();
+  buf.resize(n);
+  return buf;
+}
+
+void Workspace::Release(std::vector<float>&& buf) {
+  if (buf.capacity() == 0) return;
+  cached_floats_ += buf.capacity();
+  auto it = std::lower_bound(
+      pool_.begin(), pool_.end(), buf.capacity(),
+      [](const std::vector<float>& cached, size_t cap) {
+        return cached.capacity() < cap;
+      });
+  pool_.insert(it, std::move(buf));
+  // Evict smallest-capacity buffers first: large panels are the expensive
+  // ones to reallocate.
+  while (pool_.size() > kMaxBuffers || cached_floats_ > kMaxFloats) {
+    cached_floats_ -= pool_.front().capacity();
+    pool_.erase(pool_.begin());
+  }
+}
+
+void Workspace::Clear() {
+  pool_.clear();
+  cached_floats_ = 0;
+}
+
+std::vector<float> AcquireVec(size_t n) {
+  if (Workspace* ws = Workspace::ThreadLocalOrNull()) return ws->Acquire(n);
+  return std::vector<float>(n);
+}
+
+std::vector<float> AcquireZeroedVec(size_t n) {
+  std::vector<float> buf = AcquireVec(n);
+  std::fill(buf.begin(), buf.end(), 0.0f);
+  return buf;
+}
+
+void ReleaseVec(std::vector<float>&& buf) {
+  if (Workspace* ws = Workspace::ThreadLocalOrNull()) {
+    ws->Release(std::move(buf));
+  }
+  // else: vector destructor frees it normally.
+}
+
+}  // namespace stm::la

@@ -1,0 +1,69 @@
+#ifndef STM_LA_WORKSPACE_H_
+#define STM_LA_WORKSPACE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace stm::la {
+
+// Thread-local arena of reusable float buffers.
+//
+// The GEMM kernels borrow packing panels from it on every call, and the
+// nn autograd recycles Node value/grad buffers through it (see
+// nn/tensor.cc), so a MiniLm encode re-uses the same allocations across
+// layers and across consecutive Encode/EncodeBatch calls instead of
+// hitting the allocator dozens of times per document.
+//
+// Lifetime rules (see DESIGN.md, "Kernel library"):
+//  * every buffer is owned by exactly one thread's workspace at a time;
+//    Acquire/Release never share buffers across threads, so the arena
+//    needs no locks and is trivially race-free;
+//  * a buffer Acquired on one thread may be Released on another (a graph
+//    built by a pool worker can be destroyed by the caller) — it simply
+//    joins the releasing thread's pool;
+//  * Release after thread exit degrades to an ordinary free, never a
+//    crash, so static-destruction order does not matter;
+//  * the cache is bounded (entry count and total floats); eviction drops
+//    the smallest buffers first.
+//
+// Buffer contents are unspecified on Acquire; use AcquireZeroedVec when
+// zeros are required. Pooling never changes results: only the allocation
+// is recycled, every element is written (or zeroed) before use.
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // The calling thread's workspace, or nullptr when the thread is
+  // shutting down and the workspace has already been destroyed.
+  static Workspace* ThreadLocalOrNull();
+
+  // Buffer of size n (capacity may be larger); contents unspecified.
+  std::vector<float> Acquire(size_t n);
+
+  // Returns a buffer to the pool.
+  void Release(std::vector<float>&& buf);
+
+  // Drops every cached buffer (testing hook).
+  void Clear();
+
+  size_t cached_buffers() const { return pool_.size(); }
+  size_t cached_floats() const { return cached_floats_; }
+
+ private:
+  // Sorted by capacity, ascending; Acquire takes the best (smallest
+  // sufficient) fit.
+  std::vector<std::vector<float>> pool_;
+  size_t cached_floats_ = 0;
+};
+
+// Convenience wrappers over the calling thread's workspace; they fall
+// back to plain allocation/free when the workspace is gone (thread exit).
+std::vector<float> AcquireVec(size_t n);
+std::vector<float> AcquireZeroedVec(size_t n);
+void ReleaseVec(std::vector<float>&& buf);
+
+}  // namespace stm::la
+
+#endif  // STM_LA_WORKSPACE_H_

@@ -6,26 +6,18 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "la/matrix.h"
+#include "la/workspace.h"
 
 namespace stm::nn {
 
 namespace {
-
-// Batch entries per chunk for the batched matmuls, targeting ~64k
-// multiply-adds per chunk; depends only on the shape so the chunking is
-// identical at every thread count.
-size_t BatchGrain(size_t ops_per_entry) {
-  constexpr size_t kTargetOps = size_t{1} << 16;
-  if (ops_per_entry == 0) return 1;
-  return std::max<size_t>(1, kTargetOps / ops_per_entry);
-}
 
 // Builds an op node over `parents` with `shape`. If any parent requires a
 // gradient, marks the node and installs `backward`.
 Tensor MakeOp(std::vector<size_t> shape, std::vector<Tensor> parents,
               std::function<void(Node&)> backward) {
   auto node = std::make_shared<Node>();
-  node->value.assign(ShapeSize(shape), 0.0f);
+  node->value = la::AcquireZeroedVec(ShapeSize(shape));
   node->shape = std::move(shape);
   bool needs_grad = false;
   node->parents.reserve(parents.size());
@@ -308,7 +300,7 @@ Tensor BMatMul(const Tensor& a, const Tensor& b) {
     if (pb->requires_grad) pb->EnsureGrad();
     // Batch entries touch disjoint slices, so the batch loop is the
     // parallel axis; the per-batch kernels run inline inside it.
-    ParallelFor(0, batch, BatchGrain(m * k * n), [&](size_t b0, size_t b1) {
+    ParallelFor(0, batch, GrainForOps(m * k * n), [&](size_t b0, size_t b1) {
       for (size_t bb = b0; bb < b1; ++bb) {
         const float* avals = pa->value.data() + bb * m * k;
         const float* bvals = pb->value.data() + bb * k * n;
@@ -324,7 +316,7 @@ Tensor BMatMul(const Tensor& a, const Tensor& b) {
       }
     });
   });
-  ParallelFor(0, batch, BatchGrain(m * k * n), [&](size_t b0, size_t b1) {
+  ParallelFor(0, batch, GrainForOps(m * k * n), [&](size_t b0, size_t b1) {
     for (size_t bb = b0; bb < b1; ++bb) {
       la::GemmAcc(a.value().data() + bb * m * k,
                   b.value().data() + bb * k * n,
@@ -349,7 +341,7 @@ Tensor BMatMulT(const Tensor& a, const Tensor& b) {
     if (pa->requires_grad) pa->EnsureGrad();
     if (pb->requires_grad) pb->EnsureGrad();
     // C = A * B^T; dA = dC * B; dB = dC^T * A.
-    ParallelFor(0, batch, BatchGrain(m * k * n), [&](size_t b0, size_t b1) {
+    ParallelFor(0, batch, GrainForOps(m * k * n), [&](size_t b0, size_t b1) {
       for (size_t bb = b0; bb < b1; ++bb) {
         const float* avals = pa->value.data() + bb * m * k;
         const float* bvals = pb->value.data() + bb * n * k;
@@ -363,7 +355,7 @@ Tensor BMatMulT(const Tensor& a, const Tensor& b) {
       }
     });
   });
-  ParallelFor(0, batch, BatchGrain(m * k * n), [&](size_t b0, size_t b1) {
+  ParallelFor(0, batch, GrainForOps(m * k * n), [&](size_t b0, size_t b1) {
     for (size_t bb = b0; bb < b1; ++bb) {
       la::GemmBtAcc(a.value().data() + bb * m * k,
                     b.value().data() + bb * n * k,

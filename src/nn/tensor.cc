@@ -1,14 +1,23 @@
 #include "nn/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 
 #include "common/check.h"
+#include "la/workspace.h"
 
 namespace stm::nn {
 
+Node::~Node() {
+  la::ReleaseVec(std::move(value));
+  la::ReleaseVec(std::move(grad));
+}
+
 void Node::EnsureGrad() {
-  if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
+  if (grad.size() == value.size()) return;
+  la::ReleaseVec(std::move(grad));
+  grad = la::AcquireZeroedVec(value.size());
 }
 
 size_t ShapeSize(const std::vector<size_t>& shape) {
@@ -19,7 +28,8 @@ size_t ShapeSize(const std::vector<size_t>& shape) {
 
 Tensor Tensor::Zeros(std::vector<size_t> shape, float fill) {
   auto node = std::make_shared<Node>();
-  node->value.assign(ShapeSize(shape), fill);
+  node->value = la::AcquireVec(ShapeSize(shape));
+  std::fill(node->value.begin(), node->value.end(), fill);
   node->shape = std::move(shape);
   return Tensor(std::move(node));
 }

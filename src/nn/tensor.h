@@ -27,6 +27,10 @@ struct Node {
   std::vector<std::shared_ptr<Node>> parents;
   std::function<void(Node&)> backward;  // propagates this->grad to parents
 
+  // Returns value/grad to the thread-local la::Workspace so the next
+  // graph (or the next Encode call) reuses the allocations.
+  ~Node();
+
   size_t size() const { return value.size(); }
   void EnsureGrad();                  // allocates + zeroes grad if empty
 };

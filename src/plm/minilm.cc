@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "common/serialize.h"
 #include "common/string_util.h"
+#include "la/workspace.h"
 #include "nn/loss.h"
 #include "nn/ops.h"
 #include "text/vocabulary.h"
@@ -99,8 +100,10 @@ nn::Tensor MiniLm::Forward(const std::vector<int32_t>& flat_ids, size_t count,
                          pos_embed_->Forward(pos_ids));  // [B*S, d]
 
   // Additive attention mask: -1e9 on key positions beyond each length,
-  // replicated over B*h batch entries -> [B*h, S, S] flattened.
-  std::vector<float> mask(count * h * seq * seq, 0.0f);
+  // replicated over B*h batch entries -> [B*h, S, S] flattened. Borrowed
+  // from the workspace, so consecutive Forward calls at the same shape
+  // reuse one allocation (AddConstant copies what it needs).
+  std::vector<float> mask = la::AcquireZeroedVec(count * h * seq * seq);
   for (size_t b = 0; b < count; ++b) {
     const size_t len = static_cast<size_t>(lengths[b]);
     for (size_t head = 0; head < h; ++head) {
@@ -145,6 +148,7 @@ nn::Tensor MiniLm::Forward(const std::vector<int32_t>& flat_ids, size_t count,
         layer.ffn2->Forward(nn::Gelu(layer.ffn1->Forward(normed2)));
     x = nn::Add(x, ffn);
   }
+  la::ReleaseVec(std::move(mask));
   return final_ln_->Forward(x);  // [B*S, d]
 }
 

@@ -1,0 +1,181 @@
+// Packed GEMM kernel library (la/gemm_kernels.h): the blocked,
+// register-tiled kernels must agree with the serial scalar reference on
+// every shape class (full tiles, ragged edges, degenerate dims) up to
+// float reassociation, and must be bit-identical to themselves across
+// thread counts — the packed path reassociates differently from the
+// reference, so cross-kernel checks use a tolerance while cross-thread
+// checks are exact.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "la/gemm_kernels.h"
+#include "la/matrix.h"
+#include "la/workspace.h"
+
+namespace stm::la {
+namespace {
+
+constexpr size_t kDims[] = {1, 3, 7, 8, 9, 17, 64, 65};
+
+class GemmKernelTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ThreadPool::Reset(ThreadPool::ConfiguredThreads());
+  }
+};
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.Uniform() * 2.0 - 1.0);
+  return v;
+}
+
+// Absolute-plus-relative bound scaled by the k reductions feeding each
+// output element.
+void ExpectClose(const std::vector<float>& want,
+                 const std::vector<float>& got, size_t k) {
+  ASSERT_EQ(want.size(), got.size());
+  const float tol = 1e-6f * static_cast<float>(k + 1);
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(want[i], got[i], tol + tol * std::fabs(want[i]))
+        << "element " << i;
+  }
+}
+
+void ExpectSame(const std::vector<float>& want,
+                const std::vector<float>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i], got[i]) << "element " << i;
+  }
+}
+
+TEST_F(GemmKernelTest, PackedMatchesReferenceOverShapeSweep) {
+  for (size_t m : kDims) {
+    for (size_t k : kDims) {
+      for (size_t n : kDims) {
+        const std::vector<float> a = RandomVec(m * k, 1 + m * 131 + k);
+        const std::vector<float> b = RandomVec(k * n, 2 + k * 131 + n);
+        const std::vector<float> c0 = RandomVec(m * n, 3 + m * 131 + n);
+
+        // Plain A (m x k) times B (k x n).
+        std::vector<float> want = c0;
+        ReferenceGemmAcc(a.data(), b.data(), want.data(), m, k, n);
+        std::vector<float> got = c0;
+        PackedGemmAcc(a.data(), k, 1, b.data(), n, 1, got.data(), m, k, n);
+        ExpectClose(want, got, k);
+
+        // B^T operand: b holds an n x k matrix read with strides (1, k).
+        const std::vector<float> bt = RandomVec(n * k, 4 + k * 131 + n);
+        want = c0;
+        ReferenceGemmBtAcc(a.data(), bt.data(), want.data(), m, k, n);
+        got = c0;
+        PackedGemmAcc(a.data(), k, 1, bt.data(), 1, k, got.data(), m, k, n);
+        ExpectClose(want, got, k);
+
+        // A^T operand: a holds a k x m matrix read with strides (1, m).
+        const std::vector<float> at = RandomVec(k * m, 5 + m * 131 + k);
+        want = c0;
+        ReferenceGemmAtAcc(at.data(), b.data(), want.data(), m, k, n);
+        got = c0;
+        PackedGemmAcc(at.data(), 1, m, b.data(), n, 1, got.data(), m, k, n);
+        ExpectClose(want, got, k);
+      }
+    }
+  }
+}
+
+TEST_F(GemmKernelTest, AccumulateAddsOntoExistingOutput) {
+  // 32^3 = 32768 ops reaches the packed path through the Gemm wrappers.
+  const size_t d = 32;
+  ASSERT_TRUE(UsePackedGemm(d, d, d));
+  Rng rng(99);
+  Matrix a(d, d), b(d, d);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.Uniform() * 2.0 - 1.0);
+    b.data()[i] = static_cast<float>(rng.Uniform() * 2.0 - 1.0);
+  }
+  Matrix once, twice;
+  Gemm(a, b, once, /*accumulate=*/false);
+  Gemm(a, b, twice, /*accumulate=*/false);
+  Gemm(a, b, twice, /*accumulate=*/true);
+  for (size_t i = 0; i < once.size(); ++i) {
+    ASSERT_EQ(twice.data()[i], 2.0f * once.data()[i]) << "element " << i;
+  }
+  // Overwrite mode really overwrites: a third non-accumulating call on
+  // the dirty output reproduces the first result exactly.
+  Gemm(a, b, twice, /*accumulate=*/false);
+  for (size_t i = 0; i < once.size(); ++i) {
+    ASSERT_EQ(twice.data()[i], once.data()[i]) << "element " << i;
+  }
+}
+
+TEST_F(GemmKernelTest, BitIdenticalAcrossThreadCounts) {
+  // Ragged shape: exercises partial micro-tiles and multiple row chunks.
+  const size_t m = 45, k = 64, n = 70;
+  const std::vector<float> a = RandomVec(m * k, 11);
+  const std::vector<float> b = RandomVec(k * n, 12);
+  const std::vector<float> at = RandomVec(k * m, 13);
+  const std::vector<float> bt = RandomVec(n * k, 14);
+
+  auto run_all = [&]() {
+    std::vector<std::vector<float>> out(3,
+                                        std::vector<float>(m * n, 0.0f));
+    PackedGemmAcc(a.data(), k, 1, b.data(), n, 1, out[0].data(), m, k, n);
+    PackedGemmAcc(a.data(), k, 1, bt.data(), 1, k, out[1].data(), m, k, n);
+    PackedGemmAcc(at.data(), 1, m, b.data(), n, 1, out[2].data(), m, k, n);
+    return out;
+  };
+
+  ThreadPool::Reset(1);
+  const std::vector<std::vector<float>> base = run_all();
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    ThreadPool::Reset(threads);
+    const std::vector<std::vector<float>> got = run_all();
+    for (size_t v = 0; v < base.size(); ++v) ExpectSame(base[v], got[v]);
+  }
+}
+
+TEST_F(GemmKernelTest, DegenerateDimsAreNoOps) {
+  std::vector<float> c(6, 42.0f);
+  const std::vector<float> a = RandomVec(12, 7);
+  PackedGemmAcc(a.data(), 2, 1, a.data(), 3, 1, c.data(), 0, 2, 3);
+  PackedGemmAcc(a.data(), 0, 1, a.data(), 3, 1, c.data(), 2, 0, 3);
+  for (float v : c) EXPECT_EQ(v, 42.0f);
+}
+
+TEST_F(GemmKernelTest, KernelIsaIsStable) {
+  const char* isa = GemmKernelIsa();
+  ASSERT_NE(isa, nullptr);
+  // Repeated queries (and queries after pool resets) never change the
+  // selected kernel — the dispatch is per-process, not per-thread.
+  ThreadPool::Reset(2);
+  EXPECT_STREQ(isa, GemmKernelIsa());
+}
+
+TEST_F(GemmKernelTest, WorkspaceRecyclesBuffers) {
+  Workspace* ws = Workspace::ThreadLocalOrNull();
+  ASSERT_NE(ws, nullptr);
+  ws->Clear();
+  std::vector<float> buf = ws->Acquire(1024);
+  EXPECT_EQ(buf.size(), 1024u);
+  const float* p = buf.data();
+  ws->Release(std::move(buf));
+  EXPECT_EQ(ws->cached_buffers(), 1u);
+  std::vector<float> again = ws->Acquire(512);
+  EXPECT_EQ(again.data(), p);  // best fit reuses the released buffer
+  EXPECT_EQ(ws->cached_buffers(), 0u);
+  ws->Release(std::move(again));
+  ws->Clear();
+  EXPECT_EQ(ws->cached_floats(), 0u);
+}
+
+}  // namespace
+}  // namespace stm::la

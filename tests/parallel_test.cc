@@ -12,6 +12,9 @@
 #include "cluster/cluster.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "core/xclass.h"
+#include "datasets/specs.h"
+#include "datasets/synthetic.h"
 #include "la/matrix.h"
 #include "plm/minilm.h"
 #include "plm/pair_scorer.h"
@@ -286,6 +289,77 @@ TEST_F(ParallelTest, MiniLmBatchEncodingMatchesSerial) {
       ExpectSameMatrix(base_encoded[i], encoded[i]);
     }
     ExpectSameMatrix(base_pooled, model.PoolBatch(docs));
+  }
+}
+
+TEST_F(ParallelTest, MiniLmEncodeBatchReusesWorkspaceDeterministically) {
+  // Consecutive EncodeBatch calls recycle Node buffers through the
+  // thread-local la::Workspace; reuse must never leak state between
+  // calls, so a second pass is bit-identical to the first at every
+  // thread count.
+  plm::MiniLmConfig config;
+  config.vocab_size = 60;
+  config.dim = 16;
+  config.layers = 2;
+  config.heads = 2;
+  config.ffn_dim = 32;
+  config.max_seq = 12;
+  plm::MiniLm model(config);
+
+  Rng rng(29);
+  std::vector<std::vector<int32_t>> docs(9);
+  for (auto& doc : docs) {
+    const size_t len = 1 + rng.UniformInt(12);
+    for (size_t t = 0; t < len; ++t) {
+      doc.push_back(static_cast<int32_t>(
+          text::kNumSpecialTokens +
+          rng.UniformInt(config.vocab_size - text::kNumSpecialTokens)));
+    }
+  }
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool::Reset(threads);
+    const std::vector<la::Matrix> first = model.EncodeBatch(docs);
+    const std::vector<la::Matrix> second = model.EncodeBatch(docs);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+      ExpectSameMatrix(first[i], second[i]);
+    }
+  }
+}
+
+TEST_F(ParallelTest, XClassFullRunMatchesSerial) {
+  // End-to-end pin for the determinism contract: the whole X-Class
+  // pipeline (batch encoding through the packed GEMMs, PCA, GMM
+  // alignment, final classifier) must produce bit-identical document
+  // representations and identical predictions at any thread count.
+  datasets::SyntheticSpec spec = datasets::AgNewsSpec(33);
+  spec.num_docs = 60;
+  spec.pretrain_docs = 1;
+  spec.background_vocab = 120;
+  const datasets::SyntheticDataset data = datasets::Generate(spec);
+
+  plm::MiniLmConfig config;
+  config.vocab_size = data.corpus.vocab().size();
+  config.dim = 16;
+  config.layers = 1;
+  config.heads = 2;
+  config.ffn_dim = 32;
+  config.max_seq = 24;
+  plm::MiniLm model(config);  // random init is fine for equivalence
+
+  ThreadPool::Reset(1);
+  core::XClassConfig xconfig;
+  core::XClass base(data.corpus, &model, xconfig);
+  const std::vector<int> base_pred = base.Run(data.leaf_name_tokens);
+  const la::Matrix base_reps = base.doc_reps();
+
+  for (size_t threads : kThreadCounts) {
+    ThreadPool::Reset(threads);
+    core::XClass method(data.corpus, &model, xconfig);
+    const std::vector<int> pred = method.Run(data.leaf_name_tokens);
+    EXPECT_EQ(base_pred, pred);
+    ExpectSameMatrix(base_reps, method.doc_reps());
   }
 }
 
