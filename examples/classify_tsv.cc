@@ -15,6 +15,7 @@
 // it, so the example is executable out of the box.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -34,7 +35,13 @@ std::string WriteDemoCorpus() {
   spec.pretrain_docs = 0;
   const auto data = stm::datasets::Generate(spec);
   const std::string path = "/tmp/stm_demo.tsv";
-  stm::text::SaveTsv(data.corpus, path);
+  const stm::Status saved =
+      stm::text::SaveTsv(stm::Env::Default(), data.corpus, path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "cannot write demo corpus: %s\n",
+                 saved.ToString().c_str());
+    std::exit(1);
+  }
   std::printf("(no corpus given; wrote a demo corpus to %s)\n",
               path.c_str());
   return path;
@@ -47,15 +54,21 @@ int main(int argc, char** argv) {
   const std::string method = argc > 2 ? argv[2] : "westclass";
 
   stm::text::Corpus corpus;
-  size_t skipped = 0;
-  if (!stm::text::LoadTsv(path, &corpus, &skipped)) {
-    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+  stm::text::TsvReadReport report;
+  const stm::Status loaded =
+      stm::text::LoadTsv(stm::Env::Default(), path, &corpus, &report);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+                 loaded.ToString().c_str());
     return 1;
   }
   std::printf("loaded %zu documents, %zu classes, vocab %zu (%zu lines "
               "skipped)\n",
               corpus.num_docs(), corpus.num_labels(),
-              corpus.vocab().size(), skipped);
+              corpus.vocab().size(), report.skipped);
+  for (size_t line : report.skipped_lines) {
+    std::fprintf(stderr, "  skipped malformed line %zu\n", line);
+  }
   if (corpus.num_docs() == 0 || corpus.num_labels() < 2) {
     std::fprintf(stderr, "need at least 2 classes and 1 document\n");
     return 1;

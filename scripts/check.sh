@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 suite, then the robustness suites
+# (fault-injection + serialize/status/env) rebuilt under AddressSanitizer.
+#
+# Usage: scripts/check.sh
+#   BUILD_DIR       tier-1 build directory      (default: build)
+#   ASAN_BUILD_DIR  sanitizer build directory   (default: build-asan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
+JOBS=$(nproc)
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== robustness suites under AddressSanitizer =="
+# The fault-injection tests push torn, truncated and bit-flipped artifacts
+# through every load path — exactly where an out-of-bounds read would hide,
+# so they run a second time with ASan watching.
+cmake -B "$ASAN_BUILD_DIR" -S . -DSTM_SANITIZE=address
+cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target stm_robustness_tests
+ctest --test-dir "$ASAN_BUILD_DIR" -L robustness --output-on-failure -j "$JOBS"
+
+echo "== all checks passed =="

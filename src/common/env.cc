@@ -1,0 +1,212 @@
+#include "common/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace stm {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  const std::string message =
+      StrFormat("%s failed: %s (%s)", op, path.c_str(), std::strerror(err));
+  if (err == ENOENT || err == ENOTDIR) return UnavailableError(message);
+  return IoError(message);
+}
+
+class PosixEnv : public Env {
+ public:
+  StatusOr<std::string> ReadFile(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    std::string data;
+    char buffer[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        return ErrnoStatus("read", path, err);
+      }
+      if (n == 0) break;
+      data.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return data;
+  }
+
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view data) override {
+    const std::string temp = StrFormat(
+        "%s.tmp-%d-%llu", path.c_str(), static_cast<int>(::getpid()),
+        static_cast<unsigned long long>(
+            temp_counter_.fetch_add(1, std::memory_order_relaxed)));
+    const int fd = ::open(temp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return ErrnoStatus("open", temp, errno);
+    size_t written = 0;
+    while (written < data.size()) {
+      const ssize_t n =
+          ::write(fd, data.data() + written, data.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        ::unlink(temp.c_str());
+        return ErrnoStatus("write", temp, err);
+      }
+      written += static_cast<size_t>(n);
+    }
+    // Flush file contents before the rename so a crash cannot publish a
+    // name pointing at unwritten data.
+    if (::fsync(fd) != 0) {
+      const int err = errno;
+      ::close(fd);
+      ::unlink(temp.c_str());
+      return ErrnoStatus("fsync", temp, err);
+    }
+    if (::close(fd) != 0) {
+      const int err = errno;
+      ::unlink(temp.c_str());
+      return ErrnoStatus("close", temp, err);
+    }
+    if (::rename(temp.c_str(), path.c_str()) != 0) {
+      const int err = errno;
+      ::unlink(temp.c_str());
+      return ErrnoStatus("rename", path, err);
+    }
+    return Status::Ok();
+  }
+
+  Status Delete(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path, errno);
+    return Status::Ok();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from, errno);
+    }
+    return Status::Ok();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+ private:
+  std::atomic<uint64_t> temp_counter_{0};
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+Status WriteFileAtomicWithRetry(Env* env, const std::string& path,
+                                std::string_view data,
+                                const RetryOptions& retry) {
+  Status status;
+  int backoff_ms = retry.initial_backoff_ms;
+  const int attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    status = env->WriteFileAtomic(path, data);
+    // Only kUnavailable is worth retrying; kIoError is deterministic.
+    if (status.ok() || status.code() != StatusCode::kUnavailable) break;
+  }
+  return status;
+}
+
+bool FaultInjectingEnv::MaybeInjectOpFault(const char* op,
+                                           const std::string& path,
+                                           Status* out) {
+  const int index = op_count_++;
+  if (fail_op_at_ >= 0 && index == fail_op_at_) {
+    fail_op_at_ = -1;
+    ++injected_failures_;
+    *out = Status(fail_op_code_,
+                  StrFormat("injected fault on %s: %s", op, path.c_str()));
+    return true;
+  }
+  return false;
+}
+
+StatusOr<std::string> FaultInjectingEnv::ReadFile(const std::string& path) {
+  Status fault;
+  if (MaybeInjectOpFault("ReadFile", path, &fault)) return fault;
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectingEnv::WriteFileAtomic(const std::string& path,
+                                          std::string_view data) {
+  ++write_count_;
+  Status fault;
+  if (MaybeInjectOpFault("WriteFileAtomic", path, &fault)) return fault;
+  if (fail_writes_remaining_ > 0) {
+    --fail_writes_remaining_;
+    ++injected_failures_;
+    return Status(fail_write_code_,
+                  StrFormat("injected write fault: %s", path.c_str()));
+  }
+  if (crash_write_armed_) {
+    crash_write_armed_ = false;
+    ++injected_failures_;
+    // Simulate dying between the temp write and the rename: the partial
+    // temp file exists, the destination is untouched.
+    (void)base_->WriteFileAtomic(path + ".crashtmp",
+                                 data.substr(0, data.size() / 2));
+    return IoError(
+        StrFormat("injected crash before rename: %s", path.c_str()));
+  }
+  if (short_write_armed_) {
+    short_write_armed_ = false;
+    ++injected_failures_;
+    return base_->WriteFileAtomic(
+        path, data.substr(0, std::min(short_write_keep_, data.size())));
+  }
+  if (truncate_armed_) {
+    truncate_armed_ = false;
+    ++injected_failures_;
+    const size_t keep =
+        data.size() >= truncate_drop_ ? data.size() - truncate_drop_ : 0;
+    return base_->WriteFileAtomic(path, data.substr(0, keep));
+  }
+  return base_->WriteFileAtomic(path, data);
+}
+
+Status FaultInjectingEnv::Delete(const std::string& path) {
+  Status fault;
+  if (MaybeInjectOpFault("Delete", path, &fault)) return fault;
+  return base_->Delete(path);
+}
+
+Status FaultInjectingEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  Status fault;
+  if (MaybeInjectOpFault("Rename", from, &fault)) return fault;
+  return base_->Rename(from, to);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+}  // namespace stm

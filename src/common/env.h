@@ -1,0 +1,128 @@
+#ifndef STM_COMMON_ENV_H_
+#define STM_COMMON_ENV_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace stm {
+
+// Filesystem seam. All artifact I/O (model caches, embedding tables, TSV
+// corpora) goes through an Env so tests can inject faults and production
+// code gets atomic, durable writes in one place. Methods return Status:
+// kUnavailable for a missing file or transient condition (retry may help),
+// kIoError for everything else the filesystem refuses to do.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Reads the whole file into a string.
+  virtual StatusOr<std::string> ReadFile(const std::string& path) = 0;
+
+  // Writes `data` to a temporary file in the same directory, fsyncs, then
+  // renames it over `path`. Readers never observe a partially written
+  // file at `path`: they see the old bytes or the new bytes.
+  virtual Status WriteFileAtomic(const std::string& path,
+                                 std::string_view data) = 0;
+
+  // Removes `path`. Deleting a non-existent file is kUnavailable.
+  virtual Status Delete(const std::string& path) = 0;
+
+  // Atomically renames `from` to `to` (same filesystem).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  // Process-wide POSIX-backed instance. Never null; do not delete.
+  static Env* Default();
+};
+
+// Bounded retry for transient (kUnavailable) write failures; backoff
+// doubles per retry starting at `initial_backoff_ms`. Non-transient errors
+// and exhaustion return the last Status unchanged.
+struct RetryOptions {
+  int max_attempts = 3;
+  int initial_backoff_ms = 2;
+};
+
+Status WriteFileAtomicWithRetry(Env* env, const std::string& path,
+                                std::string_view data,
+                                const RetryOptions& retry = RetryOptions());
+
+// Test double wrapping another Env. Faults are one-shot triggers armed by
+// the test; unarmed operations pass through to the base env. See
+// tests/fault_injection_test.cc for usage.
+class FaultInjectingEnv : public Env {
+ public:
+  explicit FaultInjectingEnv(Env* base) : base_(base) {}
+
+  StatusOr<std::string> ReadFile(const std::string& path) override;
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view data) override;
+  Status Delete(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  bool FileExists(const std::string& path) override;
+
+  // Fails the next `count` WriteFileAtomic calls with `code` (transient by
+  // default, so retry loops can be exercised).
+  void FailNextWrites(int count,
+                      StatusCode code = StatusCode::kUnavailable) {
+    fail_writes_remaining_ = count;
+    fail_write_code_ = code;
+  }
+
+  // Fails the Nth operation from now (0 = the very next one), counting
+  // every ReadFile/WriteFileAtomic/Delete/Rename.
+  void FailNthOp(int n, StatusCode code = StatusCode::kIoError) {
+    fail_op_at_ = op_count_ + n;
+    fail_op_code_ = code;
+  }
+
+  // The next WriteFileAtomic publishes only the first `keep_bytes` bytes —
+  // a torn write that still got renamed into place.
+  void ShortWriteNext(size_t keep_bytes) {
+    short_write_armed_ = true;
+    short_write_keep_ = keep_bytes;
+  }
+
+  // The next WriteFileAtomic publishes all but the last `drop_bytes` bytes.
+  void TruncateNext(size_t drop_bytes) {
+    truncate_armed_ = true;
+    truncate_drop_ = drop_bytes;
+  }
+
+  // The next WriteFileAtomic "crashes" after writing the temp file but
+  // before the rename: a stray `<path>.crashtmp` is left behind, nothing
+  // appears at `path`, and kIoError is returned.
+  void CrashNextWrite() { crash_write_armed_ = true; }
+
+  int op_count() const { return op_count_; }
+  int write_count() const { return write_count_; }
+  int injected_failures() const { return injected_failures_; }
+
+ private:
+  // Returns true (and fills `out`) when a generic op fault is armed.
+  bool MaybeInjectOpFault(const char* op, const std::string& path,
+                          Status* out);
+
+  Env* base_;
+  int op_count_ = 0;
+  int write_count_ = 0;
+  int injected_failures_ = 0;
+
+  int fail_writes_remaining_ = 0;
+  StatusCode fail_write_code_ = StatusCode::kUnavailable;
+  int fail_op_at_ = -1;
+  StatusCode fail_op_code_ = StatusCode::kIoError;
+  bool short_write_armed_ = false;
+  size_t short_write_keep_ = 0;
+  bool truncate_armed_ = false;
+  size_t truncate_drop_ = 0;
+  bool crash_write_armed_ = false;
+};
+
+}  // namespace stm
+
+#endif  // STM_COMMON_ENV_H_

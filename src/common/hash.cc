@@ -1,6 +1,26 @@
 #include "common/hash.h"
 
+#include <array>
+
 namespace stm {
+
+namespace {
+
+// Byte-at-a-time lookup table for the Castagnoli polynomial (reflected
+// form 0x82F63B78), built once at first use.
+std::array<uint32_t, 256> BuildCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
 
 std::string HashToHex(uint64_t hash) {
   static const char kDigits[] = "0123456789abcdef";
@@ -10,6 +30,15 @@ std::string HashToHex(uint64_t hash) {
     hash >>= 4;
   }
   return out;
+}
+
+uint32_t Crc32c(std::string_view data, uint32_t crc) {
+  static const std::array<uint32_t, 256> kTable = BuildCrc32cTable();
+  crc = ~crc;
+  for (char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<uint8_t>(c)) & 0xFF];
+  }
+  return ~crc;
 }
 
 }  // namespace stm

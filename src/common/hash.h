@@ -26,6 +26,11 @@ inline uint64_t HashCombine(uint64_t a, uint64_t b) {
 // Hex rendering of a hash for use in file names.
 std::string HashToHex(uint64_t hash);
 
+// CRC32C (Castagnoli polynomial), the checksum protecting on-disk artifact
+// payloads (see common/serialize.h). Software table implementation; call
+// with `crc` = a previous return value to checksum data in chunks.
+uint32_t Crc32c(std::string_view data, uint32_t crc = 0);
+
 }  // namespace stm
 
 #endif  // STM_COMMON_HASH_H_

@@ -1,19 +1,33 @@
 #include "common/serialize.h"
 
 #include <cstring>
-#include <fstream>
 
 #include "common/check.h"
+#include "common/hash.h"
+#include "common/string_util.h"
 
 namespace stm {
 
 namespace {
+
+// Frame layout around the payload (all little-endian):
+//   u32 container magic, u32 version, u32 artifact magic, u32 reserved,
+//   u64 payload size, payload, u32 CRC32C(payload).
+constexpr size_t kHeaderSize = 4 * sizeof(uint32_t) + sizeof(uint64_t);
+constexpr size_t kTrailerSize = sizeof(uint32_t);
 
 template <typename T>
 void AppendRaw(std::string& buffer, T value) {
   char bytes[sizeof(T)];
   std::memcpy(bytes, &value, sizeof(T));
   buffer.append(bytes, sizeof(T));
+}
+
+template <typename T>
+T LoadRaw(const std::string& buffer, size_t offset) {
+  T value;
+  std::memcpy(&value, buffer.data() + offset, sizeof(T));
+  return value;
 }
 
 }  // namespace
@@ -35,80 +49,201 @@ void BinaryWriter::WriteFloats(const std::vector<float>& values) {
   if (bytes > 0) std::memcpy(buffer_.data() + old, values.data(), bytes);
 }
 
+Status BinaryWriter::FlushToEnv(Env* env, const std::string& path,
+                                uint32_t artifact_magic,
+                                const RetryOptions& retry) const {
+  std::string framed;
+  framed.reserve(kHeaderSize + buffer_.size() + kTrailerSize);
+  AppendRaw(framed, kContainerMagic);
+  AppendRaw(framed, kContainerVersion);
+  AppendRaw(framed, artifact_magic);
+  AppendRaw(framed, uint32_t{0});  // reserved
+  AppendRaw(framed, static_cast<uint64_t>(buffer_.size()));
+  framed.append(buffer_);
+  AppendRaw(framed, Crc32c(buffer_));
+  return WriteFileAtomicWithRetry(env, path, framed, retry)
+      .WithContext(StrFormat("writing artifact %s", path.c_str()));
+}
+
 bool BinaryWriter::Flush(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-  return static_cast<bool>(out);
+  return Env::Default()->WriteFileAtomic(path, buffer_).ok();
 }
 
 BinaryReader::BinaryReader(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return;
-  in.seekg(0, std::ios::end);
-  const std::streamoff size = in.tellg();
-  if (size < 0) return;
-  in.seekg(0, std::ios::beg);
-  buffer_.resize(static_cast<size_t>(size));
-  in.read(buffer_.data(), size);
-  ok_ = static_cast<bool>(in);
+  StatusOr<std::string> data = Env::Default()->ReadFile(path);
+  if (!data.ok()) {
+    status_ = data.status();
+    return;
+  }
+  buffer_ = std::move(data).value();
+}
+
+StatusOr<BinaryReader> BinaryReader::OpenArtifact(Env* env,
+                                                  const std::string& path,
+                                                  uint32_t artifact_magic) {
+  STM_ASSIGN_OR_RETURN(std::string data, env->ReadFile(path));
+  const auto corrupt = [&path](const std::string& what) {
+    return CorruptDataError(
+        StrFormat("%s: %s", path.c_str(), what.c_str()));
+  };
+  if (data.size() < kHeaderSize + kTrailerSize) {
+    return corrupt(StrFormat("file too small for artifact frame (%zu bytes)",
+                             data.size()));
+  }
+  if (LoadRaw<uint32_t>(data, 0) != kContainerMagic) {
+    return corrupt("bad container magic");
+  }
+  const uint32_t version = LoadRaw<uint32_t>(data, 4);
+  if (version != kContainerVersion) {
+    return corrupt(StrFormat("unsupported format version %u", version));
+  }
+  const uint32_t magic = LoadRaw<uint32_t>(data, 8);
+  if (magic != artifact_magic) {
+    return corrupt(StrFormat("artifact magic mismatch (got 0x%08x, want "
+                             "0x%08x)",
+                             magic, artifact_magic));
+  }
+  // The reserved field is outside the payload CRC, so it must be checked
+  // explicitly or a flipped bit there would go unnoticed.
+  if (LoadRaw<uint32_t>(data, 12) != 0) {
+    return corrupt("nonzero reserved header field");
+  }
+  const uint64_t payload_size = LoadRaw<uint64_t>(data, 16);
+  if (payload_size != data.size() - kHeaderSize - kTrailerSize) {
+    return corrupt(StrFormat(
+        "payload size mismatch (header says %llu, file holds %zu)",
+        static_cast<unsigned long long>(payload_size),
+        data.size() - kHeaderSize - kTrailerSize));
+  }
+  const std::string payload =
+      data.substr(kHeaderSize, static_cast<size_t>(payload_size));
+  const uint32_t stored_crc =
+      LoadRaw<uint32_t>(data, kHeaderSize + payload.size());
+  const uint32_t actual_crc = Crc32c(payload);
+  if (stored_crc != actual_crc) {
+    return corrupt(StrFormat("CRC32C mismatch (stored 0x%08x, computed "
+                             "0x%08x)",
+                             stored_crc, actual_crc));
+  }
+  BinaryReader reader;
+  reader.buffer_ = payload;
+  return reader;
 }
 
 bool BinaryReader::Ensure(size_t bytes) {
-  if (!ok_ || pos_ + bytes > buffer_.size()) {
-    ok_ = false;
+  if (!status_.ok()) return false;
+  // pos_ <= buffer_.size() always holds, so the subtraction cannot wrap;
+  // comparing this way (instead of pos_ + bytes) is overflow-safe for any
+  // untrusted `bytes`.
+  if (bytes > buffer_.size() - pos_) {
+    status_ = CorruptDataError(
+        StrFormat("unexpected end of data at offset %zu (need %zu more "
+                  "bytes, %zu available)",
+                  pos_, bytes, buffer_.size() - pos_));
     return false;
   }
   return true;
 }
 
+Status BinaryReader::Read(uint32_t* value) {
+  *value = 0;
+  if (Ensure(sizeof(*value))) {
+    std::memcpy(value, buffer_.data() + pos_, sizeof(*value));
+    pos_ += sizeof(*value);
+  }
+  return status_;
+}
+
+Status BinaryReader::Read(uint64_t* value) {
+  *value = 0;
+  if (Ensure(sizeof(*value))) {
+    std::memcpy(value, buffer_.data() + pos_, sizeof(*value));
+    pos_ += sizeof(*value);
+  }
+  return status_;
+}
+
+Status BinaryReader::Read(float* value) {
+  *value = 0.0f;
+  if (Ensure(sizeof(*value))) {
+    std::memcpy(value, buffer_.data() + pos_, sizeof(*value));
+    pos_ += sizeof(*value);
+  }
+  return status_;
+}
+
+Status BinaryReader::Read(std::string* value) {
+  value->clear();
+  uint64_t size = 0;
+  STM_RETURN_IF_ERROR(Read(&size));
+  if (Ensure(static_cast<size_t>(size))) {
+    value->assign(buffer_.data() + pos_, static_cast<size_t>(size));
+    pos_ += static_cast<size_t>(size);
+  }
+  return status_;
+}
+
+Status BinaryReader::Read(std::vector<float>* values) {
+  values->clear();
+  uint64_t count = 0;
+  STM_RETURN_IF_ERROR(Read(&count));
+  // Reject before multiplying: `count * sizeof(float)` wraps for
+  // count >= 2^62, which would turn a hostile length into a passing
+  // bounds check and a multi-GB allocation.
+  if (count > (buffer_.size() - pos_) / sizeof(float)) {
+    status_ = CorruptDataError(
+        StrFormat("float array length %llu exceeds remaining payload (%zu "
+                  "bytes)",
+                  static_cast<unsigned long long>(count),
+                  buffer_.size() - pos_));
+    return status_;
+  }
+  const size_t bytes = static_cast<size_t>(count) * sizeof(float);
+  values->resize(static_cast<size_t>(count));
+  if (bytes > 0) {
+    std::memcpy(values->data(), buffer_.data() + pos_, bytes);
+    pos_ += bytes;
+  }
+  return status_;
+}
+
 uint32_t BinaryReader::ReadU32() {
   uint32_t value = 0;
-  if (Ensure(sizeof(value))) {
-    std::memcpy(&value, buffer_.data() + pos_, sizeof(value));
-    pos_ += sizeof(value);
-  }
+  (void)Read(&value);
   return value;
 }
 
 uint64_t BinaryReader::ReadU64() {
   uint64_t value = 0;
-  if (Ensure(sizeof(value))) {
-    std::memcpy(&value, buffer_.data() + pos_, sizeof(value));
-    pos_ += sizeof(value);
-  }
+  (void)Read(&value);
   return value;
 }
 
 float BinaryReader::ReadF32() {
   float value = 0.0f;
-  if (Ensure(sizeof(value))) {
-    std::memcpy(&value, buffer_.data() + pos_, sizeof(value));
-    pos_ += sizeof(value);
-  }
+  (void)Read(&value);
   return value;
 }
 
 std::string BinaryReader::ReadString() {
-  const uint64_t size = ReadU64();
   std::string value;
-  if (Ensure(size)) {
-    value.assign(buffer_.data() + pos_, size);
-    pos_ += size;
-  }
+  (void)Read(&value);
   return value;
 }
 
 std::vector<float> BinaryReader::ReadFloats() {
-  const uint64_t count = ReadU64();
   std::vector<float> values;
-  const size_t bytes = count * sizeof(float);
-  if (Ensure(bytes)) {
-    values.resize(count);
-    if (bytes > 0) std::memcpy(values.data(), buffer_.data() + pos_, bytes);
-    pos_ += bytes;
-  }
+  (void)Read(&values);
   return values;
+}
+
+Status BinaryReader::Finish() const {
+  STM_RETURN_IF_ERROR(status_);
+  if (pos_ != buffer_.size()) {
+    return CorruptDataError(
+        StrFormat("%zu trailing bytes after payload", buffer_.size() - pos_));
+  }
+  return Status::Ok();
 }
 
 }  // namespace stm

@@ -5,11 +5,28 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
+#include "common/status.h"
+
 namespace stm {
 
-// Minimal little-endian binary (de)serialization used by the model caches
-// (pre-trained MiniLm weights, embedding tables). The format is a private
-// implementation detail of this library: a magic tag plus raw scalars.
+// Little-endian binary (de)serialization for the on-disk artifact caches
+// (pre-trained MiniLm weights, embedding tables). Artifacts are written in
+// a framed container so torn, truncated, or bit-flipped files are detected
+// on load instead of silently restored:
+//
+//   u32 container magic "STMC"   u32 format version
+//   u32 artifact magic           u32 reserved (0)
+//   u64 payload size             <payload bytes>
+//   u32 CRC32C(payload)
+//
+// Writers build the payload with BinaryWriter and publish it atomically
+// via BinaryWriter::FlushToEnv; readers open with BinaryReader::OpenArtifact
+// which verifies the frame and checksum before any field is decoded. See
+// DESIGN.md "Error handling & durability".
+
+inline constexpr uint32_t kContainerMagic = 0x434D5453;  // "STMC"
+inline constexpr uint32_t kContainerVersion = 1;
 
 class BinaryWriter {
  public:
@@ -21,7 +38,14 @@ class BinaryWriter {
 
   const std::string& buffer() const { return buffer_; }
 
-  // Writes the accumulated buffer to `path`; returns false on I/O error.
+  // Frames buffer() (header + CRC32C trailer) and writes it atomically via
+  // `env`, retrying transient failures per `retry`.
+  Status FlushToEnv(Env* env, const std::string& path,
+                    uint32_t artifact_magic,
+                    const RetryOptions& retry = RetryOptions()) const;
+
+  // Legacy shim: raw unframed write via std::ofstream semantics (atomic
+  // underneath). Returns false on any error. Prefer FlushToEnv.
   bool Flush(const std::string& path) const;
 
  private:
@@ -30,26 +54,54 @@ class BinaryWriter {
 
 class BinaryReader {
  public:
-  // Reads the whole file; `ok()` reports success.
+  // Legacy: reads a raw (unframed) file; `ok()` reports success.
   explicit BinaryReader(const std::string& path);
 
-  bool ok() const { return ok_; }
+  // Reads `path` via `env`, validates the container frame (magic, version,
+  // artifact magic, payload size, CRC32C) and returns a reader positioned
+  // at the payload start. kUnavailable when the file is missing,
+  // kCorruptData when the frame or checksum does not validate.
+  static StatusOr<BinaryReader> OpenArtifact(Env* env,
+                                             const std::string& path,
+                                             uint32_t artifact_magic);
 
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Status-returning reads. After any failure the reader stays failed and
+  // every subsequent read returns the same error.
+  Status Read(uint32_t* value);
+  Status Read(uint64_t* value);
+  Status Read(float* value);
+  Status Read(std::string* value);
+  Status Read(std::vector<float>* values);
+
+  // Value-returning shims for existing call sites; on failure they return
+  // a zero value and flip ok().
   uint32_t ReadU32();
   uint64_t ReadU64();
   float ReadF32();
   std::string ReadString();
   std::vector<float> ReadFloats();
 
-  // True when every read so far stayed in bounds and the file loaded.
-  bool exhausted() const { return pos_ == buffer_.size(); }
+  // True when every read so far stayed in bounds and the whole buffer was
+  // consumed.
+  bool exhausted() const { return ok() && pos_ == buffer_.size(); }
+
+  // OK only when the reader is healthy and fully consumed; trailing bytes
+  // are corruption.
+  Status Finish() const;
 
  private:
+  BinaryReader() = default;
+
+  // Overflow-safe bounds check: fails the reader (kCorruptData) unless
+  // `bytes` more bytes are available.
   bool Ensure(size_t bytes);
 
   std::string buffer_;
   size_t pos_ = 0;
-  bool ok_ = false;
+  Status status_;
 };
 
 }  // namespace stm

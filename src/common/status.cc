@@ -1,0 +1,51 @@
+#include "common/status.h"
+
+namespace stm {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCorruptData:
+      return "CORRUPT_DATA";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string message(context);
+  message += ": ";
+  message += message_;
+  return Status(code_, std::move(message));
+}
+
+Status IoError(std::string_view message) {
+  return Status(StatusCode::kIoError, std::string(message));
+}
+Status CorruptDataError(std::string_view message) {
+  return Status(StatusCode::kCorruptData, std::string(message));
+}
+Status InvalidArgumentError(std::string_view message) {
+  return Status(StatusCode::kInvalidArgument, std::string(message));
+}
+Status UnavailableError(std::string_view message) {
+  return Status(StatusCode::kUnavailable, std::string(message));
+}
+
+}  // namespace stm

@@ -1,0 +1,128 @@
+#ifndef STM_COMMON_STATUS_H_
+#define STM_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/check.h"
+
+namespace stm {
+
+// Error propagation for everything reachable from *external input*: files
+// on disk (model caches, embedding tables, TSV corpora), user-supplied
+// paths, and transient filesystem conditions. Programmer errors (shape
+// mismatches, out-of-range indices) keep aborting via STM_CHECK; see
+// DESIGN.md "Error handling & durability" for the boundary.
+
+enum class StatusCode {
+  kOk = 0,
+  kIoError = 1,          // the filesystem said no (and retrying won't help)
+  kCorruptData = 2,      // bytes were read but failed validation
+  kInvalidArgument = 3,  // caller-supplied data violates the contract
+  kUnavailable = 4,      // missing file or transient failure; retry may help
+};
+
+// Short stable name for a code ("kIoError" -> "IO_ERROR" style).
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "IO_ERROR: open failed: /tmp/x (No such file or directory)".
+  std::string ToString() const;
+
+  // Returns a copy with "context: " prepended to the message, keeping the
+  // code. No-op on OK statuses.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Constructor helpers, mirroring absl naming.
+Status IoError(std::string_view message);
+Status CorruptDataError(std::string_view message);
+Status InvalidArgumentError(std::string_view message);
+Status UnavailableError(std::string_view message);
+
+// Value-or-error: holds a T when ok(), a non-OK Status otherwise.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Implicit from a non-OK status (an OK status without a value is a
+  // programmer error and aborts).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    STM_CHECK(!status_.ok()) << "StatusOr built from an OK Status";
+  }
+
+  // Implicit from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    STM_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    STM_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    STM_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds
+  std::optional<T> value_;
+};
+
+}  // namespace stm
+
+// Evaluates `expr` (a Status expression); returns it from the enclosing
+// function when non-OK.
+#define STM_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::stm::Status stm_status_ = (expr);           \
+    if (!stm_status_.ok()) return stm_status_;    \
+  } while (0)
+
+#define STM_STATUS_CONCAT_INNER_(a, b) a##b
+#define STM_STATUS_CONCAT_(a, b) STM_STATUS_CONCAT_INNER_(a, b)
+
+// Evaluates `expr` (a StatusOr<T> expression); on success assigns the value
+// to `lhs` (which may declare a new variable), otherwise returns the error.
+#define STM_ASSIGN_OR_RETURN(lhs, expr)                             \
+  STM_ASSIGN_OR_RETURN_IMPL_(                                       \
+      STM_STATUS_CONCAT_(stm_statusor_, __LINE__), lhs, expr)
+
+#define STM_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                               \
+  if (!statusor.ok()) return statusor.status();         \
+  lhs = std::move(statusor).value()
+
+#endif  // STM_COMMON_STATUS_H_

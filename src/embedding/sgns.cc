@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/serialize.h"
+#include "common/string_util.h"
 #include "text/vocabulary.h"
 
 namespace stm::embedding {
@@ -176,27 +177,56 @@ std::vector<float> WordEmbeddings::AverageOf(
   return mean;
 }
 
-bool WordEmbeddings::Save(const std::string& path) const {
+namespace {
+
+constexpr uint32_t kEmbeddingMagic = 0x53544D45;  // "STME"
+
+}  // namespace
+
+Status WordEmbeddings::Save(Env* env, const std::string& path) const {
   BinaryWriter writer;
-  writer.WriteU32(0x53544D45);  // "STME"
   writer.WriteU64(vectors_.rows());
   writer.WriteU64(vectors_.cols());
   writer.WriteFloats(std::vector<float>(
       vectors_.data(), vectors_.data() + vectors_.size()));
-  return writer.Flush(path);
+  return writer.FlushToEnv(env, path, kEmbeddingMagic);
+}
+
+StatusOr<std::unique_ptr<WordEmbeddings>> WordEmbeddings::Load(
+    Env* env, const std::string& path) {
+  STM_ASSIGN_OR_RETURN(
+      BinaryReader reader,
+      BinaryReader::OpenArtifact(env, path, kEmbeddingMagic));
+  uint64_t rows = 0, cols = 0;
+  STM_RETURN_IF_ERROR(reader.Read(&rows));
+  STM_RETURN_IF_ERROR(reader.Read(&cols));
+  std::vector<float> values;
+  STM_RETURN_IF_ERROR(reader.Read(&values));
+  STM_RETURN_IF_ERROR(reader.Finish());
+  // Divide instead of multiplying so hostile shapes cannot wrap.
+  if (cols == 0 ? rows != 0 || !values.empty()
+                : rows != values.size() / cols ||
+                      values.size() % cols != 0) {
+    return CorruptDataError(
+        StrFormat("%s: embedding shape %llux%llu does not match %zu stored "
+                  "values",
+                  path.c_str(), static_cast<unsigned long long>(rows),
+                  static_cast<unsigned long long>(cols), values.size()));
+  }
+  la::Matrix table(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  std::copy(values.begin(), values.end(), table.data());
+  return std::make_unique<WordEmbeddings>(std::move(table));
+}
+
+bool WordEmbeddings::Save(const std::string& path) const {
+  return Save(Env::Default(), path).ok();
 }
 
 std::unique_ptr<WordEmbeddings> WordEmbeddings::Load(
     const std::string& path) {
-  BinaryReader reader(path);
-  if (!reader.ok() || reader.ReadU32() != 0x53544D45) return nullptr;
-  const size_t rows = reader.ReadU64();
-  const size_t cols = reader.ReadU64();
-  const std::vector<float> values = reader.ReadFloats();
-  if (!reader.ok() || values.size() != rows * cols) return nullptr;
-  la::Matrix table(rows, cols);
-  std::copy(values.begin(), values.end(), table.data());
-  return std::make_unique<WordEmbeddings>(std::move(table));
+  StatusOr<std::unique_ptr<WordEmbeddings>> result =
+      Load(Env::Default(), path);
+  return result.ok() ? std::move(result).value() : nullptr;
 }
 
 la::Matrix TrainDocEmbeddings(const std::vector<std::vector<int32_t>>& docs,

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/env.h"
+#include "common/status.h"
 #include "la/matrix.h"
 
 namespace stm::embedding {
@@ -51,6 +53,14 @@ class WordEmbeddings {
   std::vector<float> AverageOf(const std::vector<int32_t>& ids) const;
 
   // Binary persistence (embedding tables are expensive to retrain).
+  // Framed + CRC32C-protected artifacts written atomically via `env`;
+  // Load returns kUnavailable for a missing file, kCorruptData for one
+  // that fails frame/checksum/shape validation.
+  Status Save(Env* env, const std::string& path) const;
+  static StatusOr<std::unique_ptr<WordEmbeddings>> Load(
+      Env* env, const std::string& path);
+
+  // Legacy bool/nullptr shims over the Status API (Env::Default()).
   bool Save(const std::string& path) const;
   static std::unique_ptr<WordEmbeddings> Load(const std::string& path);
 

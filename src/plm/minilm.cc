@@ -448,9 +448,8 @@ std::vector<float> MiniLm::ReplacedProbs(const std::vector<int32_t>& ids) {
   return probs;
 }
 
-bool MiniLm::Save(const std::string& path) const {
+Status MiniLm::Save(Env* env, const std::string& path) const {
   BinaryWriter writer;
-  writer.WriteU32(kModelMagic);
   writer.WriteU64(config_.vocab_size);
   writer.WriteU64(config_.dim);
   writer.WriteU64(config_.layers);
@@ -459,30 +458,77 @@ bool MiniLm::Save(const std::string& path) const {
   writer.WriteU64(config_.max_seq);
   writer.WriteU64(config_.seed);
   writer.WriteFloats(store_.Snapshot());
-  return writer.Flush(path);
+  return writer.FlushToEnv(env, path, kModelMagic);
 }
 
-std::unique_ptr<MiniLm> MiniLm::Load(const std::string& path) {
-  BinaryReader reader(path);
-  if (!reader.ok() || reader.ReadU32() != kModelMagic) return nullptr;
+StatusOr<std::unique_ptr<MiniLm>> MiniLm::Load(Env* env,
+                                               const std::string& path) {
+  STM_ASSIGN_OR_RETURN(BinaryReader reader,
+                       BinaryReader::OpenArtifact(env, path, kModelMagic));
   MiniLmConfig config;
-  config.vocab_size = reader.ReadU64();
-  config.dim = reader.ReadU64();
-  config.layers = reader.ReadU64();
-  config.heads = reader.ReadU64();
-  config.ffn_dim = reader.ReadU64();
-  config.max_seq = reader.ReadU64();
-  config.seed = reader.ReadU64();
-  const std::vector<float> snapshot = reader.ReadFloats();
-  if (!reader.ok()) return nullptr;
+  uint64_t vocab_size = 0, dim = 0, layers = 0, heads = 0;
+  uint64_t ffn_dim = 0, max_seq = 0;
+  STM_RETURN_IF_ERROR(reader.Read(&vocab_size));
+  STM_RETURN_IF_ERROR(reader.Read(&dim));
+  STM_RETURN_IF_ERROR(reader.Read(&layers));
+  STM_RETURN_IF_ERROR(reader.Read(&heads));
+  STM_RETURN_IF_ERROR(reader.Read(&ffn_dim));
+  STM_RETURN_IF_ERROR(reader.Read(&max_seq));
+  STM_RETURN_IF_ERROR(reader.Read(&config.seed));
+  std::vector<float> snapshot;
+  STM_RETURN_IF_ERROR(reader.Read(&snapshot));
+  STM_RETURN_IF_ERROR(reader.Finish());
+  // The CRC only proves the file is what some writer produced; a crafted
+  // file can still carry a hostile config. Validate everything the MiniLm
+  // constructor would otherwise STM_CHECK (abort) on, and bound each shape
+  // by the parameter count actually present so a tiny file cannot request
+  // a multi-GB allocation.
+  const auto corrupt = [&path](const char* what) {
+    return CorruptDataError(StrFormat("%s: %s", path.c_str(), what));
+  };
+  if (vocab_size == 0 || dim == 0 || heads == 0 || max_seq == 0 ||
+      dim % heads != 0) {
+    return corrupt("implausible model config");
+  }
+  // Every real model satisfies these (the token/position embeddings, the
+  // qkv projection and the FFN weights all fit in the snapshot), and
+  // together they bound construction-time allocation by O(file size). All
+  // comparisons divide instead of multiplying so hostile values cannot
+  // wrap.
+  const uint64_t params = snapshot.size();
+  if (vocab_size > params / dim || max_seq > params / dim ||
+      dim > params / dim || ffn_dim > params / dim) {
+    return corrupt("model config larger than stored parameters");
+  }
+  const uint64_t per_layer = 3 * dim * dim + dim * ffn_dim;
+  if (layers > 0 && layers > params / per_layer) {
+    return corrupt("model config larger than stored parameters");
+  }
+  config.vocab_size = vocab_size;
+  config.dim = dim;
+  config.layers = layers;
+  config.heads = heads;
+  config.ffn_dim = ffn_dim;
+  config.max_seq = max_seq;
   auto model = std::make_unique<MiniLm>(config);
-  if (snapshot.size() != model->store_.TotalSize()) return nullptr;
+  if (snapshot.size() != model->store_.TotalSize()) {
+    return corrupt("parameter count does not match model config");
+  }
   model->store_.Restore(snapshot);
   return model;
 }
 
-std::unique_ptr<MiniLm> MiniLm::LoadOrPretrain(
-    const std::string& cache_dir, uint64_t extra_key,
+bool MiniLm::Save(const std::string& path) const {
+  return Save(Env::Default(), path).ok();
+}
+
+std::unique_ptr<MiniLm> MiniLm::Load(const std::string& path) {
+  StatusOr<std::unique_ptr<MiniLm>> model = Load(Env::Default(), path);
+  return model.ok() ? std::move(model).value() : nullptr;
+}
+
+StatusOr<std::unique_ptr<MiniLm>> MiniLm::LoadOrPretrain(
+    Env* env, const std::string& cache_dir, uint64_t extra_key,
     const MiniLmConfig& config, const PretrainConfig& pretrain,
     const std::vector<std::vector<int32_t>>& corpus_docs) {
   uint64_t key = HashCombine(config.Fingerprint(), extra_key);
@@ -490,11 +536,36 @@ std::unique_ptr<MiniLm> MiniLm::LoadOrPretrain(
   key = HashCombine(key, pretrain.seed);
   const std::string path =
       cache_dir + "/minilm_" + HashToHex(key) + ".bin";
-  if (auto cached = Load(path)) return cached;
+  StatusOr<std::unique_ptr<MiniLm>> cached = Load(env, path);
+  if (cached.ok()) return cached;
+  if (env->FileExists(path)) {
+    // The cache exists but would not load (torn write, bit rot, stale
+    // format): quarantine it so the bad bytes stay inspectable, then fall
+    // through to re-pretraining.
+    const std::string quarantine = path + ".corrupt";
+    std::fprintf(stderr, "[stm] quarantining bad MiniLm cache %s -> %s (%s)\n",
+                 path.c_str(), quarantine.c_str(),
+                 cached.status().ToString().c_str());
+    if (!env->Rename(path, quarantine).ok()) (void)env->Delete(path);
+  }
   auto model = std::make_unique<MiniLm>(config);
   model->Pretrain(corpus_docs, pretrain);
-  model->Save(path);  // best-effort; failure to cache is not fatal
+  const Status saved = model->Save(env, path);
+  if (!saved.ok()) {
+    // Failure to cache is not fatal, but say why the next run will retrain.
+    std::fprintf(stderr, "[stm] could not cache MiniLm: %s\n",
+                 saved.ToString().c_str());
+  }
   return model;
+}
+
+std::unique_ptr<MiniLm> MiniLm::LoadOrPretrain(
+    const std::string& cache_dir, uint64_t extra_key,
+    const MiniLmConfig& config, const PretrainConfig& pretrain,
+    const std::vector<std::vector<int32_t>>& corpus_docs) {
+  return LoadOrPretrain(Env::Default(), cache_dir, extra_key, config,
+                        pretrain, corpus_docs)
+      .value();
 }
 
 }  // namespace stm::plm

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
+#include "common/status.h"
 #include "la/matrix.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
@@ -128,12 +130,31 @@ class MiniLm {
 
   // ---- persistence ----
 
+  // Writes the model as a framed, CRC32C-protected artifact (see
+  // common/serialize.h) atomically via `env`.
+  Status Save(Env* env, const std::string& path) const;
+
+  // Loads a model saved by Save. Never aborts on external input: a
+  // missing file is kUnavailable; a torn, truncated, bit-flipped, or
+  // otherwise implausible file is kCorruptData.
+  static StatusOr<std::unique_ptr<MiniLm>> Load(Env* env,
+                                                const std::string& path);
+
+  // Legacy bool/nullptr shims over the Status API (Env::Default()).
   bool Save(const std::string& path) const;
   static std::unique_ptr<MiniLm> Load(const std::string& path);
 
   // Loads from `<cache_dir>/minilm_<fp>.bin` when present; otherwise
   // pre-trains on `corpus_docs` and saves. `extra_key` folds corpus
-  // identity into the fingerprint.
+  // identity into the fingerprint. A cache that exists but fails to load
+  // (bad CRC, bad decode) is quarantined as `<path>.corrupt` and the
+  // model is re-pretrained — never crashed on or silently half-loaded.
+  static StatusOr<std::unique_ptr<MiniLm>> LoadOrPretrain(
+      Env* env, const std::string& cache_dir, uint64_t extra_key,
+      const MiniLmConfig& config, const PretrainConfig& pretrain,
+      const std::vector<std::vector<int32_t>>& corpus_docs);
+
+  // Legacy shim (Env::Default()).
   static std::unique_ptr<MiniLm> LoadOrPretrain(
       const std::string& cache_dir, uint64_t extra_key,
       const MiniLmConfig& config, const PretrainConfig& pretrain,

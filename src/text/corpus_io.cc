@@ -1,80 +1,219 @@
 #include "text/corpus_io.h"
 
-#include <fstream>
 #include <map>
+#include <string_view>
 
 #include "common/string_util.h"
 #include "text/tokenizer.h"
 
 namespace stm::text {
 
-bool LoadTsv(const std::string& path, Corpus* corpus, size_t* skipped) {
-  std::ifstream in(path);
-  if (!in) return false;
-  size_t bad = 0;
-  std::map<std::string, int> label_ids;
-  std::string line;
-  while (std::getline(in, line)) {
-    const std::string trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
-    const std::vector<std::string> columns = ::stm::Split(trimmed, '\t');
-    if (columns.size() < 2) {
-      ++bad;
+namespace {
+
+// Backslash escaping for label names and metadata keys/values. The mapped
+// characters are exactly the ones with structural meaning in the format:
+// line and column separators, the label separator '|' and the metadata
+// separator '='.
+std::string EscapeField(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '|': out += "\\p"; break;
+      case '=': out += "\\e"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\' || i + 1 == escaped.size()) {
+      out.push_back(escaped[i]);
       continue;
     }
+    ++i;
+    switch (escaped[i]) {
+      case '\\': out.push_back('\\'); break;
+      case 't': out.push_back('\t'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 'p': out.push_back('|'); break;
+      case 'e': out.push_back('='); break;
+      default:
+        // Unknown escape: keep both characters (legacy files never
+        // contain backslashes followed by these letters by construction).
+        out.push_back('\\');
+        out.push_back(escaped[i]);
+    }
+  }
+  return out;
+}
+
+// A token survives the TSV round trip iff the tokenizer re-tokenizes it to
+// exactly itself (one word, same bytes): no whitespace, no separators, no
+// punctuation the tokenizer strips, no upper case it would fold.
+bool TokenRoundTrips(const std::string& token) {
+  const std::vector<std::string> words = Tokenizer::Words(token);
+  return words.size() == 1 && words[0] == token;
+}
+
+// One parsed-but-not-committed line.
+struct PendingDocument {
+  std::vector<std::string> labels;
+  std::vector<std::string> words;
+  std::map<std::string, std::vector<std::string>> metadata;
+};
+
+bool ParseLine(const std::string& trimmed, PendingDocument* pending) {
+  const std::vector<std::string> columns = ::stm::Split(trimmed, '\t');
+  if (columns.size() < 2) return false;
+  for (const std::string& label : ::stm::Split(columns[0], '|')) {
+    pending->labels.push_back(UnescapeField(label));
+  }
+  if (pending->labels.empty()) return false;
+  pending->words = Tokenizer::Words(columns[1]);
+  if (pending->words.empty()) return false;
+  for (size_t c = 2; c < columns.size(); ++c) {
+    const size_t eq = columns[c].find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= columns[c].size()) {
+      return false;
+    }
+    pending->metadata[UnescapeField(columns[c].substr(0, eq))].push_back(
+        UnescapeField(columns[c].substr(eq + 1)));
+  }
+  return true;
+}
+
+}  // namespace
+
+Status LoadTsv(Env* env, const std::string& path, Corpus* corpus,
+               TsvReadReport* report) {
+  STM_ASSIGN_OR_RETURN(std::string data, env->ReadFile(path));
+  TsvReadReport local_report;
+  TsvReadReport* out = report != nullptr ? report : &local_report;
+  out->skipped = 0;
+  out->skipped_lines.clear();
+
+  std::map<std::string, int> label_ids;
+  for (size_t i = 0; i < corpus->label_names().size(); ++i) {
+    label_ids[corpus->label_names()[i]] = static_cast<int>(i);
+  }
+
+  size_t line_number = 0;
+  size_t begin = 0;
+  while (begin <= data.size()) {
+    size_t end = data.find('\n', begin);
+    if (end == std::string::npos) {
+      if (begin == data.size()) break;
+      end = data.size();
+    }
+    const std::string line = data.substr(begin, end - begin);
+    begin = end + 1;
+    ++line_number;
+
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+
+    // Parse into locals first; the corpus (label set and vocabulary) is
+    // only touched after the whole line validates, so a rejected line
+    // cannot leave phantom labels or tokens behind.
+    PendingDocument pending;
+    if (!ParseLine(trimmed, &pending)) {
+      ++out->skipped;
+      out->skipped_lines.push_back(line_number);
+      continue;
+    }
+
     Document doc;
-    bool ok = true;
-    for (const std::string& label : ::stm::Split(columns[0], '|')) {
+    for (const std::string& label : pending.labels) {
       auto [it, inserted] = label_ids.try_emplace(
           label, static_cast<int>(corpus->label_names().size()));
       if (inserted) corpus->label_names().push_back(label);
       doc.labels.push_back(it->second);
     }
-    if (doc.labels.empty()) ok = false;
-    doc.tokens = Tokenizer::Encode(columns[1], corpus->vocab(),
-                                   /*grow_vocab=*/true);
-    if (doc.tokens.empty()) ok = false;
-    for (size_t c = 2; c < columns.size(); ++c) {
-      const size_t eq = columns[c].find('=');
-      if (eq == std::string::npos || eq == 0 ||
-          eq + 1 >= columns[c].size()) {
-        ok = false;
-        break;
-      }
-      doc.metadata[columns[c].substr(0, eq)].push_back(
-          columns[c].substr(eq + 1));
+    doc.tokens.reserve(pending.words.size());
+    for (const std::string& word : pending.words) {
+      doc.tokens.push_back(corpus->vocab().AddToken(word));
     }
-    if (!ok) {
-      ++bad;
-      continue;
-    }
+    doc.metadata = std::move(pending.metadata);
     corpus->docs().push_back(std::move(doc));
   }
-  if (skipped != nullptr) *skipped = bad;
-  return true;
+  return Status::Ok();
+}
+
+Status SaveTsv(Env* env, const Corpus& corpus, const std::string& path) {
+  std::string out;
+  // Memoized per-id round-trip verdict (0 = unknown, 1 = ok).
+  std::vector<uint8_t> token_ok(corpus.vocab().size(), 0);
+  for (size_t d = 0; d < corpus.docs().size(); ++d) {
+    const Document& doc = corpus.docs()[d];
+    std::vector<std::string> labels;
+    for (int label : doc.labels) {
+      const std::string& name =
+          corpus.label_names()[static_cast<size_t>(label)];
+      if (name.empty()) {
+        return InvalidArgumentError(
+            StrFormat("document %zu has an empty label name", d));
+      }
+      labels.push_back(EscapeField(name));
+    }
+    out += Join(labels, "|");
+    out += '\t';
+    for (size_t t = 0; t < doc.tokens.size(); ++t) {
+      const int32_t id = doc.tokens[t];
+      const std::string& token = corpus.vocab().TokenOf(id);
+      if (token_ok[static_cast<size_t>(id)] == 0) {
+        if (!TokenRoundTrips(token)) {
+          return InvalidArgumentError(StrFormat(
+              "token '%s' (document %zu) would not survive a TSV round "
+              "trip; clean the corpus before saving",
+              token.c_str(), d));
+        }
+        token_ok[static_cast<size_t>(id)] = 1;
+      }
+      if (t > 0) out += ' ';
+      out += token;
+    }
+    for (const auto& [type, values] : doc.metadata) {
+      if (type.empty()) {
+        return InvalidArgumentError(
+            StrFormat("document %zu has an empty metadata key", d));
+      }
+      for (const std::string& value : values) {
+        if (value.empty()) {
+          return InvalidArgumentError(StrFormat(
+              "document %zu has an empty metadata value for key '%s'", d,
+              type.c_str()));
+        }
+        out += '\t';
+        out += EscapeField(type);
+        out += '=';
+        out += EscapeField(value);
+      }
+    }
+    out += '\n';
+  }
+  return WriteFileAtomicWithRetry(env, path, out)
+      .WithContext(StrFormat("writing corpus %s", path.c_str()));
+}
+
+bool LoadTsv(const std::string& path, Corpus* corpus, size_t* skipped) {
+  TsvReadReport report;
+  const Status status = LoadTsv(Env::Default(), path, corpus, &report);
+  if (skipped != nullptr) *skipped = report.skipped;
+  return status.ok();
 }
 
 bool SaveTsv(const Corpus& corpus, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
-  for (const Document& doc : corpus.docs()) {
-    std::vector<std::string> labels;
-    for (int label : doc.labels) {
-      labels.push_back(corpus.label_names()[static_cast<size_t>(label)]);
-    }
-    out << Join(labels, "|") << '\t';
-    for (size_t t = 0; t < doc.tokens.size(); ++t) {
-      if (t > 0) out << ' ';
-      out << corpus.vocab().TokenOf(doc.tokens[t]);
-    }
-    for (const auto& [type, values] : doc.metadata) {
-      for (const std::string& value : values) {
-        out << '\t' << type << '=' << value;
-      }
-    }
-    out << '\n';
-  }
-  return static_cast<bool>(out);
+  return SaveTsv(Env::Default(), corpus, path).ok();
 }
 
 }  // namespace stm::text

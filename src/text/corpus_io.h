@@ -1,8 +1,12 @@
 #ifndef STM_TEXT_CORPUS_IO_H_
 #define STM_TEXT_CORPUS_IO_H_
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
+#include "common/env.h"
+#include "common/status.h"
 #include "text/corpus.h"
 
 namespace stm::text {
@@ -14,15 +18,38 @@ namespace stm::text {
 // A line may carry several labels separated by '|' in the first column and
 // any number of trailing metadata columns ("user=u1", "tag=nlp", ...).
 // Lines starting with '#' and blank lines are skipped.
+//
+// Label names and metadata keys/values are backslash-escaped on save
+// (\\, \t, \n, \r, \p for '|', \e for '=') and unescaped on load, so
+// names containing the format's structural characters round-trip exactly.
+// Tokens in the text column pass through the rule-based tokenizer on load,
+// so SaveTsv rejects (kInvalidArgument) any token the tokenizer would not
+// reproduce verbatim — a saved corpus always reloads to an equal corpus.
 
-// Loads a corpus from `path`, building the vocabulary with the rule-based
-// tokenizer and the label set from the label column (in first-seen order).
-// Returns false on I/O failure; malformed lines are skipped with a count
-// reported through `skipped` when non-null.
+// Per-load diagnostics: which input lines were rejected (1-based numbers).
+struct TsvReadReport {
+  size_t skipped = 0;
+  std::vector<size_t> skipped_lines;
+};
+
+// Loads a corpus from `path` via `env`, building the vocabulary with the
+// rule-based tokenizer and the label set from the label column (in
+// first-seen order). Malformed lines are skipped and reported through
+// `report`; a rejected line leaves no trace in the corpus (no phantom
+// labels or vocabulary entries). kUnavailable when the file is missing.
+Status LoadTsv(Env* env, const std::string& path, Corpus* corpus,
+               TsvReadReport* report = nullptr);
+
+// Writes `corpus` in the same format (tokens re-joined with spaces)
+// atomically via `env`. kInvalidArgument when the corpus contains a token,
+// label, or metadata entry that cannot round-trip.
+Status SaveTsv(Env* env, const Corpus& corpus, const std::string& path);
+
+// Legacy bool shims over the Status API (Env::Default()). LoadTsv returns
+// false on I/O failure; malformed lines are skipped with a count reported
+// through `skipped` when non-null.
 bool LoadTsv(const std::string& path, Corpus* corpus,
              size_t* skipped = nullptr);
-
-// Writes `corpus` in the same format (tokens are re-joined with spaces).
 bool SaveTsv(const Corpus& corpus, const std::string& path);
 
 }  // namespace stm::text

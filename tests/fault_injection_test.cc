@@ -1,0 +1,267 @@
+// Fault-injection suite for the durable artifact store: every truncation
+// point and hundreds of random bit flips of a saved MiniLm / embedding
+// cache must yield a clean kCorruptData Status (never a crash, never a
+// silently restored model), LoadOrPretrain must recover by re-pretraining,
+// and atomic writes must never publish a partial file. Runs in the
+// `robustness` ctest label (see tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "embedding/sgns.h"
+#include "plm/minilm.h"
+
+namespace stm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+plm::MiniLmConfig SmallConfig() {
+  plm::MiniLmConfig config;
+  config.vocab_size = 30;
+  config.dim = 8;
+  config.layers = 1;
+  config.heads = 2;
+  config.ffn_dim = 16;
+  config.max_seq = 12;
+  return config;
+}
+
+std::vector<std::vector<int32_t>> SmallDocs() {
+  std::vector<std::vector<int32_t>> docs;
+  Rng rng(7);
+  for (int d = 0; d < 10; ++d) {
+    std::vector<int32_t> doc;
+    for (int t = 0; t < 8; ++t) {
+      doc.push_back(5 + static_cast<int32_t>(rng.UniformInt(25)));
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+bool PoolIsFinite(plm::MiniLm* model) {
+  for (float v : model->Pool({6, 7, 8})) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+// Saves a fresh (un-pretrained) small model and returns the file bytes.
+std::string SavedModelBytes(Env* env, const std::string& path) {
+  plm::MiniLm model(SmallConfig());
+  EXPECT_TRUE(model.Save(env, path).ok());
+  StatusOr<std::string> bytes = env->ReadFile(path);
+  EXPECT_TRUE(bytes.ok());
+  return bytes.value();
+}
+
+TEST(FaultInjectionTest, MiniLmLoadSurvivesEveryTruncationPoint) {
+  Env* env = Env::Default();
+  const std::string bytes =
+      SavedModelBytes(env, TempPath("fi_minilm_full.bin"));
+  ASSERT_GT(bytes.size(), 128u);
+  const std::string path = TempPath("fi_minilm_truncated.bin");
+  for (size_t length = 0; length < bytes.size(); length += 64) {
+    ASSERT_TRUE(env->WriteFileAtomic(path, bytes.substr(0, length)).ok());
+    StatusOr<std::unique_ptr<plm::MiniLm>> loaded =
+        plm::MiniLm::Load(env, path);
+    ASSERT_FALSE(loaded.ok()) << "truncated to " << length << " bytes";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptData)
+        << "truncated to " << length << " bytes: "
+        << loaded.status().ToString();
+  }
+}
+
+TEST(FaultInjectionTest, MiniLmLoadSurvivesRandomBitFlips) {
+  Env* env = Env::Default();
+  const std::string bytes =
+      SavedModelBytes(env, TempPath("fi_minilm_flip_src.bin"));
+  const std::string path = TempPath("fi_minilm_flipped.bin");
+  Rng rng(42);
+  for (int trial = 0; trial < 250; ++trial) {
+    std::string corrupted = bytes;
+    const size_t byte = rng.UniformInt(corrupted.size());
+    const int bit = static_cast<int>(rng.UniformInt(8));
+    corrupted[byte] = static_cast<char>(corrupted[byte] ^ (1 << bit));
+    ASSERT_TRUE(env->WriteFileAtomic(path, corrupted).ok());
+    StatusOr<std::unique_ptr<plm::MiniLm>> loaded =
+        plm::MiniLm::Load(env, path);
+    ASSERT_FALSE(loaded.ok())
+        << "bit " << bit << " of byte " << byte << " flipped";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptData)
+        << loaded.status().ToString();
+  }
+}
+
+TEST(FaultInjectionTest, EmbeddingLoadSurvivesTruncationAndBitFlips) {
+  Env* env = Env::Default();
+  const std::string full = TempPath("fi_emb_full.bin");
+  la::Matrix table(40, 16);
+  Rng init(3);
+  for (size_t i = 0; i < table.size(); ++i) {
+    table.data()[i] = static_cast<float>(init.Uniform(-1.0, 1.0));
+  }
+  embedding::WordEmbeddings embeddings(std::move(table));
+  ASSERT_TRUE(embeddings.Save(env, full).ok());
+  const std::string bytes = env->ReadFile(full).value();
+
+  const std::string path = TempPath("fi_emb_bad.bin");
+  for (size_t length = 0; length < bytes.size(); length += 64) {
+    ASSERT_TRUE(env->WriteFileAtomic(path, bytes.substr(0, length)).ok());
+    StatusOr<std::unique_ptr<embedding::WordEmbeddings>> loaded =
+        embedding::WordEmbeddings::Load(env, path);
+    ASSERT_FALSE(loaded.ok()) << "truncated to " << length;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptData);
+  }
+  Rng rng(11);
+  for (int trial = 0; trial < 250; ++trial) {
+    std::string corrupted = bytes;
+    const size_t byte = rng.UniformInt(corrupted.size());
+    corrupted[byte] =
+        static_cast<char>(corrupted[byte] ^ (1 << rng.UniformInt(8)));
+    ASSERT_TRUE(env->WriteFileAtomic(path, corrupted).ok());
+    StatusOr<std::unique_ptr<embedding::WordEmbeddings>> loaded =
+        embedding::WordEmbeddings::Load(env, path);
+    ASSERT_FALSE(loaded.ok())
+        << "flip in byte " << byte << " went undetected";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptData);
+  }
+}
+
+TEST(FaultInjectionTest, LoadOrPretrainRecoversFromCorruptCache) {
+  Env* env = Env::Default();
+  const std::string dir = TempPath("fi_cache_dir");
+  std::filesystem::remove_all(dir);  // stale state from earlier runs
+  std::filesystem::create_directory(dir);
+  const auto docs = SmallDocs();
+  plm::PretrainConfig pretrain;
+  pretrain.steps = 3;
+  pretrain.batch = 2;
+
+  StatusOr<std::unique_ptr<plm::MiniLm>> first = plm::MiniLm::LoadOrPretrain(
+      env, dir, /*extra_key=*/99, SmallConfig(), pretrain, docs);
+  ASSERT_TRUE(first.ok());
+  // Find the cache file LoadOrPretrain just wrote.
+  std::string cache_path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    cache_path = entry.path().string();
+  }
+  ASSERT_FALSE(cache_path.empty());
+
+  // Corrupt it (single byte in the middle of the weights) and reload: the
+  // bad cache must be quarantined and the model re-pretrained, with
+  // identical results (same seeds, same data).
+  std::string bytes = env->ReadFile(cache_path).value();
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+  ASSERT_TRUE(env->WriteFileAtomic(cache_path, bytes).ok());
+
+  StatusOr<std::unique_ptr<plm::MiniLm>> second = plm::MiniLm::LoadOrPretrain(
+      env, dir, /*extra_key=*/99, SmallConfig(), pretrain, docs);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(PoolIsFinite(second.value().get()));
+  EXPECT_TRUE(env->FileExists(cache_path + ".corrupt"));
+  // The re-pretrained model matches the original run bit for bit.
+  const auto a = first.value()->Pool({6, 7, 8});
+  const auto b = second.value()->Pool({6, 7, 8});
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+
+  // Third call hits the rewritten (healthy) cache.
+  StatusOr<std::unique_ptr<plm::MiniLm>> third = plm::MiniLm::LoadOrPretrain(
+      env, dir, /*extra_key=*/99, SmallConfig(), pretrain, docs);
+  ASSERT_TRUE(third.ok());
+  const auto c = third.value()->Pool({6, 7, 8});
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], c[i]);
+}
+
+TEST(FaultInjectionTest, CrashBeforeRenameLeavesOldFileIntact) {
+  FaultInjectingEnv env(Env::Default());
+  const std::string path = TempPath("fi_crash_consistency.bin");
+  ASSERT_TRUE(env.WriteFileAtomic(path, "old artifact bytes").ok());
+  env.CrashNextWrite();
+  const Status status = env.WriteFileAtomic(path, "new artifact bytes");
+  ASSERT_FALSE(status.ok());
+  // The old content is still what readers see — no partial file at the
+  // final path.
+  EXPECT_EQ(env.ReadFile(path).value(), "old artifact bytes");
+}
+
+TEST(FaultInjectionTest, CrashBeforeRenamePublishesNothingWhenFileIsNew) {
+  FaultInjectingEnv env(Env::Default());
+  const std::string path = TempPath("fi_crash_fresh.bin");
+  env.CrashNextWrite();
+  ASSERT_FALSE(env.WriteFileAtomic(path, "never visible").ok());
+  EXPECT_FALSE(env.FileExists(path));
+}
+
+TEST(FaultInjectionTest, TornWriteIsCaughtByChecksumOnLoad) {
+  // A short write that still got renamed into place (e.g. a full disk at
+  // flush time on a filesystem without atomic rename durability) must be
+  // rejected by the CRC, not half-loaded.
+  FaultInjectingEnv env(Env::Default());
+  const std::string path = TempPath("fi_torn.bin");
+  plm::MiniLm model(SmallConfig());
+  env.ShortWriteNext(200);
+  ASSERT_TRUE(model.Save(&env, path).ok());  // the torn publish "succeeds"
+  StatusOr<std::unique_ptr<plm::MiniLm>> loaded =
+      plm::MiniLm::Load(&env, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptData);
+
+  env.TruncateNext(33);
+  ASSERT_TRUE(model.Save(&env, path).ok());
+  loaded = plm::MiniLm::Load(&env, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(FaultInjectionTest, SaveRetriesTransientWriteFailures) {
+  FaultInjectingEnv env(Env::Default());
+  const std::string path = TempPath("fi_retry_save.bin");
+  plm::MiniLm model(SmallConfig());
+  env.FailNextWrites(2, StatusCode::kUnavailable);
+  ASSERT_TRUE(model.Save(&env, path).ok());  // third attempt lands
+  EXPECT_EQ(env.write_count(), 3);
+  EXPECT_TRUE(plm::MiniLm::Load(&env, path).ok());
+}
+
+TEST(FaultInjectionTest, RetryExhaustionSurfacesTransientError) {
+  FaultInjectingEnv env(Env::Default());
+  const std::string path = TempPath("fi_retry_exhausted.bin");
+  plm::MiniLm model(SmallConfig());
+  env.FailNextWrites(100, StatusCode::kUnavailable);
+  const Status status = model.Save(&env, path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(env.write_count(), 3);  // default RetryOptions budget
+  EXPECT_FALSE(env.FileExists(path));
+}
+
+TEST(FaultInjectionTest, InjectedReadFaultPropagatesAsStatus) {
+  FaultInjectingEnv env(Env::Default());
+  const std::string path = TempPath("fi_read_fault.bin");
+  plm::MiniLm model(SmallConfig());
+  ASSERT_TRUE(model.Save(&env, path).ok());
+  env.FailNthOp(0, StatusCode::kIoError);
+  StatusOr<std::unique_ptr<plm::MiniLm>> loaded =
+      plm::MiniLm::Load(&env, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  // Without the fault the same file loads fine.
+  EXPECT_TRUE(plm::MiniLm::Load(&env, path).ok());
+}
+
+}  // namespace
+}  // namespace stm

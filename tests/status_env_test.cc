@@ -1,0 +1,471 @@
+// Unit tests for the error-propagation and durable-I/O subsystem:
+// Status/StatusOr, the Env filesystem seam, the framed artifact format in
+// common/serialize, and the TSV round-trip hardening. Runs in the
+// `robustness` ctest label (see tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "text/corpus_io.h"
+
+namespace stm {
+namespace {
+
+// ---- Status / StatusOr ----
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = CorruptDataError("bad crc");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruptData);
+  EXPECT_EQ(status.message(), "bad crc");
+  EXPECT_EQ(status.ToString(), "CORRUPT_DATA: bad crc");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  const Status status = IoError("disk on fire").WithContext("saving model");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(status.message(), "saving model: disk on fire");
+  EXPECT_TRUE(Status::Ok().WithContext("ignored").ok());
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  StatusOr<int> bad = UnavailableError("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusOrTest, SupportsMoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+Status FailsThrough(StatusCode code) {
+  STM_RETURN_IF_ERROR(Status(code, "inner"));
+  return Status::Ok();
+}
+
+StatusOr<int> DoublesOrFails(StatusOr<int> input) {
+  STM_ASSIGN_OR_RETURN(const int value, std::move(input));
+  return value * 2;
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(FailsThrough(StatusCode::kOk).ok());
+  EXPECT_EQ(FailsThrough(StatusCode::kIoError).code(), StatusCode::kIoError);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(DoublesOrFails(21).value(), 42);
+  EXPECT_EQ(DoublesOrFails(InvalidArgumentError("no")).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---- CRC32C ----
+
+TEST(Crc32cTest, MatchesKnownVector) {
+  // The iSCSI/RFC 3720 check value for "123456789".
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+}
+
+TEST(Crc32cTest, ChunkedEqualsWhole) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data);
+  const uint32_t chunked = Crc32c(data.substr(10), Crc32c(data.substr(0, 10)));
+  EXPECT_EQ(chunked, whole);
+  EXPECT_NE(Crc32c("almost the same data"), Crc32c("almost the sane data"));
+}
+
+// ---- Env ----
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(EnvTest, WriteReadRoundTrip) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("env_roundtrip.bin");
+  const std::string payload("binary\0data\xFFwith nul", 20);
+  ASSERT_TRUE(env->WriteFileAtomic(path, payload).ok());
+  StatusOr<std::string> read = env->ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), payload);
+}
+
+TEST(EnvTest, MissingFileIsUnavailable) {
+  StatusOr<std::string> read =
+      Env::Default()->ReadFile(TempPath("does_not_exist"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(EnvTest, AtomicWriteReplacesAndLeavesNoTempFiles) {
+  Env* env = Env::Default();
+  const std::string dir = TempPath("atomic_dir");
+  std::filesystem::create_directory(dir);
+  const std::string path = dir + "/file.bin";
+  ASSERT_TRUE(env->WriteFileAtomic(path, "old").ok());
+  ASSERT_TRUE(env->WriteFileAtomic(path, "new").ok());
+  EXPECT_EQ(env->ReadFile(path).value(), "new");
+  size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);  // no stray temp files
+}
+
+TEST(EnvTest, DeleteAndRename) {
+  Env* env = Env::Default();
+  const std::string a = TempPath("env_a.bin");
+  const std::string b = TempPath("env_b.bin");
+  ASSERT_TRUE(env->WriteFileAtomic(a, "payload").ok());
+  ASSERT_TRUE(env->Rename(a, b).ok());
+  EXPECT_FALSE(env->FileExists(a));
+  ASSERT_TRUE(env->FileExists(b));
+  ASSERT_TRUE(env->Delete(b).ok());
+  EXPECT_FALSE(env->FileExists(b));
+  EXPECT_EQ(env->Delete(b).code(), StatusCode::kUnavailable);
+}
+
+TEST(EnvTest, RetrySucceedsAfterTransientFailures) {
+  FaultInjectingEnv env(Env::Default());
+  const std::string path = TempPath("env_retry_ok.bin");
+  env.FailNextWrites(2, StatusCode::kUnavailable);
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_ms = 0;
+  ASSERT_TRUE(WriteFileAtomicWithRetry(&env, path, "data", retry).ok());
+  EXPECT_EQ(env.write_count(), 3);
+  EXPECT_EQ(env.injected_failures(), 2);
+}
+
+TEST(EnvTest, RetryDoesNotRetryDeterministicErrors) {
+  FaultInjectingEnv env(Env::Default());
+  env.FailNextWrites(1, StatusCode::kIoError);
+  RetryOptions retry;
+  retry.max_attempts = 5;
+  retry.initial_backoff_ms = 0;
+  const Status status = WriteFileAtomicWithRetry(
+      &env, TempPath("env_retry_hard.bin"), "data", retry);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(env.write_count(), 1);
+}
+
+// ---- serialize: framed artifacts ----
+
+constexpr uint32_t kTestMagic = 0x54534554;  // "TEST"
+
+TEST(SerializeTest, FramedRoundTrip) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("artifact_roundtrip.bin");
+  BinaryWriter writer;
+  writer.WriteU32(123);
+  writer.WriteU64(1ULL << 40);
+  writer.WriteF32(2.5f);
+  writer.WriteString("hello world");
+  writer.WriteFloats({1.0f, -2.0f, 3.0f});
+  ASSERT_TRUE(writer.FlushToEnv(env, path, kTestMagic).ok());
+
+  StatusOr<BinaryReader> opened =
+      BinaryReader::OpenArtifact(env, path, kTestMagic);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  BinaryReader reader = std::move(opened).value();
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  float f32 = 0.0f;
+  std::string text;
+  std::vector<float> floats;
+  ASSERT_TRUE(reader.Read(&u32).ok());
+  ASSERT_TRUE(reader.Read(&u64).ok());
+  ASSERT_TRUE(reader.Read(&f32).ok());
+  ASSERT_TRUE(reader.Read(&text).ok());
+  ASSERT_TRUE(reader.Read(&floats).ok());
+  EXPECT_EQ(u32, 123u);
+  EXPECT_EQ(u64, 1ULL << 40);
+  EXPECT_FLOAT_EQ(f32, 2.5f);
+  EXPECT_EQ(text, "hello world");
+  EXPECT_EQ(floats, (std::vector<float>{1.0f, -2.0f, 3.0f}));
+  EXPECT_TRUE(reader.Finish().ok());
+}
+
+TEST(SerializeTest, MissingArtifactIsUnavailable) {
+  StatusOr<BinaryReader> opened = BinaryReader::OpenArtifact(
+      Env::Default(), TempPath("no_such_artifact.bin"), kTestMagic);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SerializeTest, WrongArtifactMagicIsCorrupt) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("artifact_wrong_magic.bin");
+  BinaryWriter writer;
+  writer.WriteU32(7);
+  ASSERT_TRUE(writer.FlushToEnv(env, path, kTestMagic).ok());
+  StatusOr<BinaryReader> opened =
+      BinaryReader::OpenArtifact(env, path, kTestMagic + 1);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(SerializeTest, FlippedPayloadByteFailsCrc) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("artifact_flip.bin");
+  BinaryWriter writer;
+  writer.WriteFloats(std::vector<float>(64, 1.25f));
+  ASSERT_TRUE(writer.FlushToEnv(env, path, kTestMagic).ok());
+  std::string bytes = env->ReadFile(path).value();
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  ASSERT_TRUE(env->WriteFileAtomic(path, bytes).ok());
+  StatusOr<BinaryReader> opened =
+      BinaryReader::OpenArtifact(env, path, kTestMagic);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(SerializeTest, FinishRejectsTrailingBytes) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("artifact_trailing.bin");
+  BinaryWriter writer;
+  writer.WriteU32(1);
+  writer.WriteU32(2);
+  ASSERT_TRUE(writer.FlushToEnv(env, path, kTestMagic).ok());
+  BinaryReader reader =
+      BinaryReader::OpenArtifact(env, path, kTestMagic).value();
+  uint32_t value = 0;
+  ASSERT_TRUE(reader.Read(&value).ok());
+  EXPECT_EQ(reader.Finish().code(), StatusCode::kCorruptData);
+}
+
+TEST(SerializeTest, ReaderStaysFailedAfterFirstError) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("artifact_sticky.bin");
+  BinaryWriter writer;
+  writer.WriteU32(1);
+  ASSERT_TRUE(writer.FlushToEnv(env, path, kTestMagic).ok());
+  BinaryReader reader =
+      BinaryReader::OpenArtifact(env, path, kTestMagic).value();
+  uint64_t too_big = 0;
+  EXPECT_FALSE(reader.Read(&too_big).ok());  // only 4 bytes present
+  uint32_t after = 9;
+  EXPECT_FALSE(reader.Read(&after).ok());
+  EXPECT_EQ(after, 0u);
+  EXPECT_FALSE(reader.ok());
+}
+
+// ---- serialize: untrusted length fields must not wrap or allocate ----
+
+// Writes `writer`'s raw (unframed) buffer so the legacy reader sees the
+// hostile bytes directly, bypassing the CRC that would otherwise reject
+// them before decoding.
+std::string WriteRaw(const BinaryWriter& writer, const std::string& name) {
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(Env::Default()->WriteFileAtomic(path, writer.buffer()).ok());
+  return path;
+}
+
+TEST(SerializeOverflowTest, HugeFloatCountIsRejectedNotAllocated) {
+  // count * sizeof(float) wraps to 4 for this count; the old bounds check
+  // passed and the resize attempted a multi-exabyte allocation.
+  BinaryWriter writer;
+  writer.WriteU64((1ULL << 62) + 1);
+  BinaryReader reader(WriteRaw(writer, "overflow_floats.bin"));
+  ASSERT_TRUE(reader.ok());
+  std::vector<float> values;
+  EXPECT_EQ(reader.Read(&values).code(), StatusCode::kCorruptData);
+  EXPECT_TRUE(values.empty());
+}
+
+TEST(SerializeOverflowTest, HugeStringLengthIsRejected) {
+  BinaryWriter writer;
+  writer.WriteU64(~0ULL - 3);
+  BinaryReader reader(WriteRaw(writer, "overflow_string.bin"));
+  ASSERT_TRUE(reader.ok());
+  std::string value;
+  EXPECT_EQ(reader.Read(&value).code(), StatusCode::kCorruptData);
+  EXPECT_TRUE(value.empty());
+}
+
+TEST(SerializeOverflowTest, LegacyValueReadsReportViaOk) {
+  BinaryWriter writer;
+  writer.WriteU64(1ULL << 63);
+  BinaryReader reader(WriteRaw(writer, "overflow_legacy.bin"));
+  ASSERT_TRUE(reader.ok());
+  const std::vector<float> values = reader.ReadFloats();
+  EXPECT_TRUE(values.empty());
+  EXPECT_FALSE(reader.ok());
+  EXPECT_FALSE(reader.exhausted());
+}
+
+// ---- TSV round-trip hardening ----
+
+text::Corpus MakeCorpus(const std::vector<std::string>& labels,
+                        const std::vector<std::vector<std::string>>& docs) {
+  text::Corpus corpus;
+  corpus.label_names() = labels;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    text::Document doc;
+    doc.labels.push_back(static_cast<int>(d % labels.size()));
+    for (const std::string& token : docs[d]) {
+      doc.tokens.push_back(corpus.vocab().AddToken(token));
+    }
+    corpus.docs().push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+void ExpectCorporaEqual(const text::Corpus& a, const text::Corpus& b) {
+  ASSERT_EQ(a.num_docs(), b.num_docs());
+  for (size_t d = 0; d < a.num_docs(); ++d) {
+    const text::Document& da = a.docs()[d];
+    const text::Document& db = b.docs()[d];
+    ASSERT_EQ(da.tokens.size(), db.tokens.size()) << "doc " << d;
+    for (size_t t = 0; t < da.tokens.size(); ++t) {
+      EXPECT_EQ(a.vocab().TokenOf(da.tokens[t]),
+                b.vocab().TokenOf(db.tokens[t]));
+    }
+    ASSERT_EQ(da.labels.size(), db.labels.size()) << "doc " << d;
+    for (size_t l = 0; l < da.labels.size(); ++l) {
+      EXPECT_EQ(a.label_names()[static_cast<size_t>(da.labels[l])],
+                b.label_names()[static_cast<size_t>(db.labels[l])]);
+    }
+    EXPECT_EQ(da.metadata, db.metadata) << "doc " << d;
+  }
+}
+
+TEST(TsvHardeningTest, StructuralCharactersInLabelsAndMetadataRoundTrip) {
+  text::Corpus corpus =
+      MakeCorpus({"comp.sys=x86|legacy", "tab\there\nand newline"},
+                 {{"alpha", "beta"}, {"gamma"}});
+  corpus.docs()[0].metadata["path=dir"].push_back("a|b\tc=d\\e");
+  corpus.docs()[1].metadata["note"].push_back("line1\nline2");
+
+  Env* env = Env::Default();
+  const std::string path = TempPath("tsv_structural.tsv");
+  ASSERT_TRUE(text::SaveTsv(env, corpus, path).ok());
+  text::Corpus loaded;
+  text::TsvReadReport report;
+  ASSERT_TRUE(text::LoadTsv(env, path, &loaded, &report).ok());
+  EXPECT_EQ(report.skipped, 0u);
+  ExpectCorporaEqual(corpus, loaded);
+}
+
+TEST(TsvHardeningTest, UnsafeTokenIsRejectedWithClearStatus) {
+  text::Corpus corpus = MakeCorpus({"label"}, {{"good", "bad\ttoken"}});
+  const Status status =
+      text::SaveTsv(Env::Default(), corpus, TempPath("tsv_unsafe.tsv"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bad\ttoken"), std::string::npos);
+}
+
+TEST(TsvHardeningTest, RejectedLineLeavesNoPhantomState) {
+  // The third column is malformed, so the line must be skipped — and the
+  // label "phantom" and the tokens "ghost"/"words" must NOT leak into the
+  // corpus (they did before the commit-on-success fix).
+  Env* env = Env::Default();
+  const std::string path = TempPath("tsv_phantom.tsv");
+  ASSERT_TRUE(env->WriteFileAtomic(path,
+                                   "real\tsolid text here\n"
+                                   "phantom\tghost words\tbroken-meta\n")
+                  .ok());
+  text::Corpus corpus;
+  text::TsvReadReport report;
+  ASSERT_TRUE(text::LoadTsv(env, path, &corpus, &report).ok());
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.skipped_lines, (std::vector<size_t>{2}));
+  EXPECT_EQ(corpus.num_docs(), 1u);
+  EXPECT_EQ(corpus.label_names(), (std::vector<std::string>{"real"}));
+  EXPECT_FALSE(corpus.vocab().Contains("ghost"));
+  EXPECT_FALSE(corpus.vocab().Contains("words"));
+}
+
+TEST(TsvHardeningTest, SkippedLineNumbersAreExact) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("tsv_line_numbers.tsv");
+  ASSERT_TRUE(env->WriteFileAtomic(path,
+                                   "# comment\n"
+                                   "only-one-column\n"
+                                   "ok\tfine text\n"
+                                   "\n"
+                                   "bad\ttext\tno-equals\n")
+                  .ok());
+  text::Corpus corpus;
+  text::TsvReadReport report;
+  ASSERT_TRUE(text::LoadTsv(env, path, &corpus, &report).ok());
+  EXPECT_EQ(report.skipped, 2u);
+  EXPECT_EQ(report.skipped_lines, (std::vector<size_t>{2, 5}));
+}
+
+// Property test: corpora whose labels and metadata are random strings over
+// an alphabet heavy in structural characters always round-trip to an equal
+// corpus (tokens stay tokenizer-safe, as the format requires).
+TEST(TsvHardeningTest, PropertyRandomStructuralFieldsRoundTrip) {
+  const std::string kNasty = "ab|=\t\\c=|d\n.e ";
+  Rng rng(1234);
+  for (int round = 0; round < 25; ++round) {
+    auto random_field = [&rng, &kNasty]() {
+      const size_t length = 1 + rng.UniformInt(8);
+      std::string field;
+      for (size_t i = 0; i < length; ++i) {
+        field.push_back(kNasty[rng.UniformInt(kNasty.size())]);
+      }
+      return field;
+    };
+    // Labels must be distinct and non-empty after Trim (leading/trailing
+    // whitespace would not survive the line Trim on load).
+    std::vector<std::string> labels;
+    while (labels.size() < 2) {
+      std::string label = random_field();
+      if (label.find_first_not_of(" \t\n") == std::string::npos) continue;
+      label = "x" + label + "x";  // anchor ends so Trim cannot eat them
+      if (std::find(labels.begin(), labels.end(), label) == labels.end()) {
+        labels.push_back(label);
+      }
+    }
+    text::Corpus corpus =
+        MakeCorpus(labels, {{"alpha", "beta"}, {"gamma", "delta"}});
+    for (auto& doc : corpus.docs()) {
+      const size_t entries = rng.UniformInt(3);
+      for (size_t i = 0; i < entries; ++i) {
+        doc.metadata["k" + random_field() + "k"].push_back(
+            "v" + random_field() + "v");
+      }
+    }
+    Env* env = Env::Default();
+    const std::string path = TempPath("tsv_property.tsv");
+    ASSERT_TRUE(text::SaveTsv(env, corpus, path).ok());
+    text::Corpus loaded;
+    text::TsvReadReport report;
+    ASSERT_TRUE(text::LoadTsv(env, path, &loaded, &report).ok());
+    EXPECT_EQ(report.skipped, 0u) << "round " << round;
+    ExpectCorporaEqual(corpus, loaded);
+  }
+}
+
+}  // namespace
+}  // namespace stm
