@@ -2,9 +2,11 @@
 // against the blocked, packed kernel library ("packed", see
 // la/gemm_kernels.h) over the shapes the encoder actually runs — QKV and
 // output projections (rows x 384 x 384), the FFN up/down projections
-// (384 <-> 1536), and the three transpose variants. One table row per
-// shape; with STM_BENCH_JSON=<path> every reference/packed timing is
-// also recorded for scripted before/after comparison (see
+// (384 <-> 1536), and the three transpose variants. Inference-layout
+// shapes (nn/nt) also time the int8 quantized kernel ("int8", see
+// la/qgemm.h) with B pre-packed as a frozen weight. One table row per
+// shape; with STM_BENCH_JSON=<path> every reference/packed/int8 timing
+// is also recorded for scripted before/after comparison (see
 // bench/run_benches.sh).
 //
 //   ./bench_gemm            full sweep (respects STM_NUM_THREADS)
@@ -25,6 +27,7 @@
 #include "common/thread_pool.h"
 #include "la/gemm_kernels.h"
 #include "la/matrix.h"
+#include "la/qgemm.h"
 
 namespace stm {
 namespace {
@@ -75,6 +78,25 @@ struct Operands {
   std::vector<float> a, b, c;
 };
 
+// Packs B for the int8 path, honoring the variant's operand layout. The
+// quantized kernel only covers inference shapes — activations [m, k]
+// times a pre-packed weight — so kTN (a transposed-A gradient shape) has
+// no int8 counterpart and returns false.
+bool PackInt8Operand(Variant v, const float* b, size_t k, size_t n,
+                     la::Int8PackedB* packed) {
+  switch (v) {
+    case Variant::kNN:
+      *packed = la::PackInt8B(b, n, 1, k, n);
+      return true;
+    case Variant::kNT:
+      *packed = la::PackInt8B(b, 1, k, k, n);
+      return true;
+    case Variant::kTN:
+      return false;
+  }
+  return false;
+}
+
 Operands MakeOperands(Variant v, size_t m, size_t k, size_t n,
                       uint64_t seed) {
   Operands ops;
@@ -117,7 +139,8 @@ int RunSweep() {
   const std::string table =
       std::string("GEMM kernels (") + la::GemmKernelIsa() + ") @ " +
       std::to_string(ThreadPool::Global().threads()) + " threads";
-  bench::Table out(table, {"ref_s", "packed_s", "speedup", "gflops"});
+  bench::Table out(table, {"ref_s", "packed_s", "speedup", "gflops",
+                           "int8_s", "int8_x"});
   for (const ShapeSpec& s : shapes) {
     const std::string name = ShapeName(s.variant, s.m, s.k, s.n);
     Operands ops = MakeOperands(s.variant, s.m, s.k, s.n, 7);
@@ -141,9 +164,23 @@ int RunSweep() {
       }
       packed_s = timer.Seconds() / reps;
     }
+    // Int8 path: B is quantized and packed ONCE outside the timer — that
+    // is the serving configuration (frozen weights pre-packed at
+    // Freeze()), and the fp32 packed row amortizes its packing across the
+    // loop the same way.
+    double int8_s = -1.0;
+    la::Int8PackedB bq;
+    if (PackInt8Operand(s.variant, ops.b.data(), s.k, s.n, &bq)) {
+      bench::MethodTimer timer(table, name + "_int8");
+      for (int r = 0; r < reps; ++r) {
+        la::Int8GemmAcc(ops.a.data(), s.m, bq, ops.c.data());
+      }
+      int8_s = timer.Seconds() / reps;
+    }
     const double flop = 2.0 * static_cast<double>(s.m * s.k * s.n);
     out.AddRow(name, {ref_s, packed_s, ref_s / packed_s,
-                      flop / packed_s * 1e-9});
+                      flop / packed_s * 1e-9, int8_s,
+                      int8_s > 0 ? packed_s / int8_s : -1.0});
     bench::Progress(name + " done");
   }
   out.Print();
@@ -177,13 +214,61 @@ int RunSmoke() {
       }
     }
   };
+  // Int8 path vs fp32 reference, bounded by the quantization error model:
+  // per element, half an activation step times the column's |b| mass,
+  // half a weight step times the row's |a| mass, plus the cross term
+  // (see la/qgemm.h for the scale definitions).
+  auto check_int8 = [&](Variant v, size_t m, size_t k, size_t n) {
+    Operands ops = MakeOperands(v, m, k, n, 131 + m + k + n);
+    la::Int8PackedB bq;
+    if (!PackInt8Operand(v, ops.b.data(), k, n, &bq)) return;
+    std::vector<float> want = ops.c;
+    RunReference(v, ops.a.data(), ops.b.data(), want.data(), m, k, n);
+    la::Int8GemmAcc(ops.a.data(), m, bq, ops.c.data());
+    const auto bat = [&](size_t p, size_t j) {
+      return v == Variant::kNT ? ops.b[j * k + p] : ops.b[p * n + j];
+    };
+    std::vector<float> col_mass(n, 0.0f);
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t p = 0; p < k; ++p) col_mass[j] += std::fabs(bat(p, j));
+    }
+    for (size_t i = 0; i < m; ++i) {
+      float amax = 0.0f, row_mass = 0.0f;
+      for (size_t p = 0; p < k; ++p) {
+        amax = std::max(amax, std::fabs(ops.a[i * k + p]));
+        row_mass += std::fabs(ops.a[i * k + p]);
+      }
+      const float sa = amax / static_cast<float>(la::kInt8AMax);
+      for (size_t j = 0; j < n; ++j) {
+        const float sb = bq.scales[j];
+        const float bound = 0.5f * sb * row_mass + 0.5f * sa * col_mass[j] +
+                            0.25f * static_cast<float>(k) * sa * sb + 1e-5f;
+        const float diff = std::fabs(want[i * n + j] - ops.c[i * n + j]);
+        if (diff > bound) {
+          std::fprintf(stderr,
+                       "[bench] smoke int8 MISMATCH %s elem (%zu,%zu): ref "
+                       "%g int8 %g bound %g\n",
+                       ShapeName(v, m, k, n).c_str(), i, j,
+                       static_cast<double>(want[i * n + j]),
+                       static_cast<double>(ops.c[i * n + j]),
+                       static_cast<double>(bound));
+          ++failures;
+          return;
+        }
+      }
+    }
+  };
   for (Variant v : {Variant::kNN, Variant::kNT, Variant::kTN}) {
     for (size_t m : dims) {
       for (size_t k : dims) {
-        for (size_t n : dims) check(v, m, k, n);
+        for (size_t n : dims) {
+          check(v, m, k, n);
+          check_int8(v, m, k, n);
+        }
       }
     }
     check(v, 96, 64, 96);  // multi-chunk parallel path
+    check_int8(v, 96, 64, 96);
   }
   if (failures == 0) {
     std::fprintf(stderr, "[bench] smoke ok (isa=%s, %zu threads)\n",

@@ -27,6 +27,15 @@ inline std::string CacheDir() {
   const std::string dir = env != nullptr ? env : "plm_cache";
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    // Returning the uncreatable directory anyway would make every cache
+    // write fail with a confusing downstream error; fall back to the
+    // current directory, which the bench is already running from.
+    std::fprintf(stderr,
+                 "[bench] cannot create cache dir '%s': %s; caching in .\n",
+                 dir.c_str(), ec.message().c_str());
+    return ".";
+  }
   return dir;
 }
 

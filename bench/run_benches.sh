@@ -41,6 +41,15 @@ for bench in "${benches[@]}"; do
   fi
   short="${bench#bench_}"
   out="${repo_root}/BENCH_${short}.json"
+  tmp="${out}.tmp"
   echo "[run_benches] ${bench} -> ${out} (STM_NUM_THREADS=${STM_NUM_THREADS})"
-  STM_BENCH_JSON="${out}" "${bin}"
+  # Write to a temp file and rename only on success: a crashing bench must
+  # fail the script loudly, not leave a stale or truncated BENCH_*.json
+  # that silently masquerades as fresh numbers.
+  if ! STM_BENCH_JSON="${tmp}" "${bin}"; then
+    echo "error: ${bench} exited non-zero; ${out} left untouched" >&2
+    rm -f "${tmp}"
+    exit 1
+  fi
+  mv "${tmp}" "${out}"
 done

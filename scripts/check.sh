@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Full verification: the tier-1 suite, then the robustness suites
-# (fault-injection + serialize/status/env) rebuilt under AddressSanitizer.
+# Full verification: the tier-1 suite, then the robustness and quantized-
+# inference suites rebuilt under AddressSanitizer.
 #
 # Usage: scripts/check.sh
 #   BUILD_DIR       tier-1 build directory      (default: build)
@@ -17,12 +17,16 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== robustness suites under AddressSanitizer =="
+echo "== robustness + quant suites under AddressSanitizer =="
 # The fault-injection tests push torn, truncated and bit-flipped artifacts
 # through every load path — exactly where an out-of-bounds read would hide,
-# so they run a second time with ASan watching.
+# so they run a second time with ASan watching. The quant suite joins them:
+# the int8 pack/micro-kernel code is exactly the kind of byte-offset
+# arithmetic ASan is for.
 cmake -B "$ASAN_BUILD_DIR" -S . -DSTM_SANITIZE=address
-cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target stm_robustness_tests
-ctest --test-dir "$ASAN_BUILD_DIR" -L robustness --output-on-failure -j "$JOBS"
+cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target stm_robustness_tests \
+  --target stm_quant_tests
+ctest --test-dir "$ASAN_BUILD_DIR" -L 'robustness|quant' --output-on-failure \
+  -j "$JOBS"
 
 echo "== all checks passed =="

@@ -49,6 +49,15 @@ void BinaryWriter::WriteFloats(const std::vector<float>& values) {
   if (bytes > 0) std::memcpy(buffer_.data() + old, values.data(), bytes);
 }
 
+void BinaryWriter::WriteBytes(const std::vector<int8_t>& values) {
+  WriteU64(values.size());
+  const size_t old = buffer_.size();
+  buffer_.resize(old + values.size());
+  if (!values.empty()) {
+    std::memcpy(buffer_.data() + old, values.data(), values.size());
+  }
+}
+
 Status BinaryWriter::FlushToEnv(Env* env, const std::string& path,
                                 uint32_t artifact_magic,
                                 const RetryOptions& retry) const {
@@ -203,6 +212,23 @@ Status BinaryReader::Read(std::vector<float>* values) {
   if (bytes > 0) {
     std::memcpy(values->data(), buffer_.data() + pos_, bytes);
     pos_ += bytes;
+  }
+  return status_;
+}
+
+Status BinaryReader::Read(std::vector<int8_t>* values) {
+  values->clear();
+  uint64_t count = 0;
+  STM_RETURN_IF_ERROR(Read(&count));
+  // One byte per element, so the overflow-safe Ensure suffices as the
+  // hostile-length bound here.
+  if (Ensure(static_cast<size_t>(count))) {
+    values->resize(static_cast<size_t>(count));
+    if (count > 0) {
+      std::memcpy(values->data(), buffer_.data() + pos_,
+                  static_cast<size_t>(count));
+      pos_ += static_cast<size_t>(count);
+    }
   }
   return status_;
 }

@@ -35,6 +35,8 @@ class BinaryWriter {
   void WriteF32(float value);
   void WriteString(const std::string& value);
   void WriteFloats(const std::vector<float>& values);
+  // Length-prefixed raw int8 array (quantized weights).
+  void WriteBytes(const std::vector<int8_t>& values);
 
   const std::string& buffer() const { return buffer_; }
 
@@ -75,6 +77,7 @@ class BinaryReader {
   Status Read(float* value);
   Status Read(std::string* value);
   Status Read(std::vector<float>* values);
+  Status Read(std::vector<int8_t>* values);
 
   // Value-returning shims for existing call sites; on failure they return
   // a zero value and flip ok().

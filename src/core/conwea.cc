@@ -20,17 +20,35 @@ ConWea::ConWea(const text::Corpus& corpus, plm::MiniLm* model,
 }
 
 std::vector<float> ConWea::ContextVector(size_t doc, size_t pos) {
-  const auto& tokens = corpus_.docs()[doc].tokens;
-  STM_CHECK_LT(pos, tokens.size());
-  // Window around the occurrence, sized to the model's max sequence.
+  return ContextVectors({{doc, pos}})[0];
+}
+
+std::vector<std::vector<float>> ConWea::ContextVectors(
+    const std::vector<std::pair<size_t, size_t>>& occurrences) {
+  // Window around each occurrence, sized to the model's max sequence.
   const size_t max_seq = model_->config().max_seq;
   const size_t half = max_seq / 2;
-  const size_t begin = pos > half ? pos - half : 0;
-  const size_t end = std::min(tokens.size(), begin + max_seq);
-  std::vector<int32_t> window(tokens.begin() + static_cast<std::ptrdiff_t>(begin),
-                              tokens.begin() + static_cast<std::ptrdiff_t>(end));
-  const la::Matrix hidden = model_->Encode(window);
-  return hidden.RowVec(pos - begin);
+  std::vector<std::vector<int32_t>> windows;
+  std::vector<size_t> offsets;
+  windows.reserve(occurrences.size());
+  offsets.reserve(occurrences.size());
+  for (const auto& [doc, pos] : occurrences) {
+    const auto& tokens = corpus_.docs()[doc].tokens;
+    STM_CHECK_LT(pos, tokens.size());
+    const size_t begin = pos > half ? pos - half : 0;
+    const size_t end = std::min(tokens.size(), begin + max_seq);
+    windows.emplace_back(
+        tokens.begin() + static_cast<std::ptrdiff_t>(begin),
+        tokens.begin() + static_cast<std::ptrdiff_t>(end));
+    offsets.push_back(pos - begin);
+  }
+  const std::vector<la::Matrix> hiddens = model_->EncodeBatch(windows);
+  std::vector<std::vector<float>> vectors;
+  vectors.reserve(occurrences.size());
+  for (size_t i = 0; i < hiddens.size(); ++i) {
+    vectors.push_back(hiddens[i].RowVec(offsets[i]));
+  }
+  return vectors;
 }
 
 ConWea::SenseFilter ConWea::FilterSenses(
@@ -47,11 +65,11 @@ ConWea::SenseFilter ConWea::FilterSenses(
     return filter;
   }
 
-  // Contextual vectors for each occurrence.
+  // Contextual vectors for each occurrence, one batched encoding pass.
+  const std::vector<std::vector<float>> context = ContextVectors(occurrences);
   la::Matrix vectors(occurrences.size(), model_->config().dim);
   for (size_t i = 0; i < occurrences.size(); ++i) {
-    vectors.SetRow(i, ContextVector(occurrences[i].first,
-                                    occurrences[i].second));
+    vectors.SetRow(i, context[i]);
   }
 
   cluster::KMeansOptions options;
@@ -107,16 +125,18 @@ std::vector<int> ConWea::Run(const text::WeakSupervision& supervision) {
         num_classes, std::vector<float>(model_->config().dim, 0.0f));
     if (config_.enable_contextualization) {
       for (size_t c = 0; c < num_classes; ++c) {
-        size_t used = 0;
+        std::vector<std::pair<size_t, size_t>> class_occurrences;
         for (int32_t word : seeds_[c]) {
-          for (const auto& [doc, pos] :
-               corpus_.Occurrences(word, 10)) {
-            const std::vector<float> vec = ContextVector(doc, pos);
-            la::Axpy(1.0f, vec.data(), centroids[c].data(), vec.size());
-            ++used;
-          }
+          const auto occurrences = corpus_.Occurrences(word, 10);
+          class_occurrences.insert(class_occurrences.end(),
+                                   occurrences.begin(), occurrences.end());
         }
-        if (used > 0) {
+        // One batched pass per class; the accumulation order matches the
+        // old per-occurrence loop, so centroids are unchanged.
+        for (const auto& vec : ContextVectors(class_occurrences)) {
+          la::Axpy(1.0f, vec.data(), centroids[c].data(), vec.size());
+        }
+        if (!class_occurrences.empty()) {
           la::NormalizeInPlace(centroids[c].data(), centroids[c].size());
         }
       }

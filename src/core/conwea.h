@@ -67,6 +67,12 @@ class ConWea {
   // Contextual vector of the token at (doc, pos).
   std::vector<float> ContextVector(size_t doc, size_t pos);
 
+  // Contextual vectors for many occurrences in one batched encoding pass
+  // (row i corresponds to occurrences[i]); bitwise identical to calling
+  // ContextVector per occurrence, just parallel across windows.
+  std::vector<std::vector<float>> ContextVectors(
+      const std::vector<std::pair<size_t, size_t>>& occurrences);
+
   const text::Corpus& corpus_;
   plm::MiniLm* model_;
   ConWeaConfig config_;

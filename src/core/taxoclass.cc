@@ -17,15 +17,33 @@ std::vector<float> OccurrenceAverageRep(
     const std::vector<int32_t>& name_tokens, size_t max_occurrences) {
   STM_CHECK(!name_tokens.empty());
   const size_t dim = model->config().dim;
-  std::vector<float> rep(dim, 0.0f);
-  size_t used = 0;
+  const size_t max_seq = model->config().max_seq;
   const int32_t target = name_tokens[0];
+  // Select the same documents the old serial per-doc loop would have
+  // encoded (in corpus order, until the cumulative occurrence count over
+  // truncated prefixes reaches the cap), then encode them in ONE parallel
+  // batch. The accumulation below walks rows in the original order, so
+  // the representation is bitwise identical to the serial version.
+  std::vector<std::vector<int32_t>> batch;
+  std::vector<const std::vector<int32_t>*> selected;
+  size_t planned = 0;
   for (const auto& doc : docs) {
-    if (used >= max_occurrences) break;
+    if (planned >= max_occurrences) break;
     bool contains = false;
     for (int32_t id : doc) contains = contains || id == target;
     if (!contains) continue;
-    const la::Matrix hidden = model->Encode(doc);
+    selected.push_back(&doc);
+    const size_t len = std::min(doc.size(), max_seq);
+    for (size_t t = 0; t < len; ++t) planned += doc[t] == target ? 1 : 0;
+  }
+  batch.reserve(selected.size());
+  for (const auto* doc : selected) batch.push_back(*doc);
+  const std::vector<la::Matrix> hiddens = model->EncodeBatch(batch);
+  std::vector<float> rep(dim, 0.0f);
+  size_t used = 0;
+  for (size_t d = 0; d < selected.size(); ++d) {
+    const auto& doc = *selected[d];
+    const la::Matrix& hidden = hiddens[d];
     for (size_t t = 0; t < hidden.rows() && used < max_occurrences; ++t) {
       if (doc[t] == target) {
         la::Axpy(1.0f, hidden.Row(t), rep.data(), dim);
@@ -79,11 +97,16 @@ std::unique_ptr<plm::PairScorer> TrainRelevanceModel(
     topic_reps.push_back(OccurrenceAverageRep(model, aux_docs, tokens));
   }
 
+  // One batched encoding pass over the aux corpus; the training-pair
+  // construction below consumes rows in the same order as before, so the
+  // pairs (and the scorer trained on them) are unchanged.
+  const std::vector<la::Matrix> hiddens = model->EncodeBatch(aux_docs);
+
   std::vector<std::vector<float>> u;
   std::vector<std::vector<float>> v;
   std::vector<float> labels;
   for (size_t d = 0; d < aux_docs.size(); ++d) {
-    const la::Matrix hidden = model->Encode(aux_docs[d]);
+    const la::Matrix& hidden = hiddens[d];
     const size_t pos = static_cast<size_t>(aux_labels[d]);
     u.push_back(TopTokenContext(hidden, topic_reps[pos]));
     v.push_back(topic_reps[pos]);

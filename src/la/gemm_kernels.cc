@@ -18,6 +18,10 @@ void PackBPanels(const float* b, size_t rs, size_t cs, size_t k, size_t n,
 void RunRowChunk(const float* a, size_t a_rs, size_t a_cs,
                  const float* bpack, float* c, size_t k, size_t n, size_t r0,
                  size_t r1);
+void Int8RunRowChunk(const uint8_t* aoff, const float* a_scales,
+                     const int8_t* bpanels, const float* b_scales,
+                     const int32_t* b_colsums, float* c, size_t k, size_t n,
+                     size_t r0, size_t r1);
 }  // namespace generic
 
 #ifdef STM_HAVE_AVX2_KERNELS
@@ -27,6 +31,10 @@ void PackBPanels(const float* b, size_t rs, size_t cs, size_t k, size_t n,
 void RunRowChunk(const float* a, size_t a_rs, size_t a_cs,
                  const float* bpack, float* c, size_t k, size_t n, size_t r0,
                  size_t r1);
+void Int8RunRowChunk(const uint8_t* aoff, const float* a_scales,
+                     const int8_t* bpanels, const float* b_scales,
+                     const int32_t* b_colsums, float* c, size_t k, size_t n,
+                     size_t r0, size_t r1);
 }  // namespace avx2
 #endif
 
@@ -38,11 +46,11 @@ const GemmKernelFns& ActiveGemmKernels() {
 #ifdef STM_HAVE_AVX2_KERNELS
     if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
       return GemmKernelFns{&avx2::PackBPanels, &avx2::RunRowChunk,
-                           "avx2+fma"};
+                           &avx2::Int8RunRowChunk, "avx2+fma"};
     }
 #endif
     return GemmKernelFns{&generic::PackBPanels, &generic::RunRowChunk,
-                         "generic"};
+                         &generic::Int8RunRowChunk, "generic"};
   }();
   return fns;
 }
@@ -100,20 +108,6 @@ bool UsePackedGemm(size_t m, size_t k, size_t n) {
   return m * k * n >= kGemmPackedMinOps;
 }
 
-namespace {
-
-// Output rows per parallel chunk: ~1M multiply-adds, rounded to whole
-// micro-panels. Shape-only, like every grain in the library.
-size_t PackedRowGrain(size_t k, size_t n) {
-  constexpr size_t kTargetOps = size_t{1} << 20;
-  const size_t ops_per_row = k * n;
-  if (ops_per_row == 0) return kGemmMr;
-  const size_t rows = kTargetOps / ops_per_row;
-  return detail::RoundUp(rows < 1 ? 1 : rows, kGemmMr);
-}
-
-}  // namespace
-
 void PackedGemmAcc(const float* a, size_t a_rs, size_t a_cs, const float* b,
                    size_t b_rs, size_t b_cs, float* c, size_t m, size_t k,
                    size_t n) {
@@ -127,7 +121,7 @@ void PackedGemmAcc(const float* a, size_t a_rs, size_t a_cs, const float* b,
               [&](size_t jp0, size_t jp1) {
                 fns.pack_b(b, b_rs, b_cs, k, n, jp0, jp1, bpack.data());
               });
-  ParallelFor(0, m, PackedRowGrain(k, n), [&](size_t r0, size_t r1) {
+  ParallelFor(0, m, detail::PackedRowGrain(k, n), [&](size_t r0, size_t r1) {
     fns.run_rows(a, a_rs, a_cs, bpack.data(), c, k, n, r0, r1);
   });
   ReleaseVec(std::move(bpack));

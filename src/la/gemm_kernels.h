@@ -2,6 +2,7 @@
 #define STM_LA_GEMM_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace stm::la {
 
@@ -86,6 +87,17 @@ inline size_t GemmABlockRows(size_t k) {
                         : (rows / kGemmMr) * kGemmMr;
 }
 
+// Output rows per parallel chunk: ~1M multiply-adds, rounded to whole
+// micro-panels. Shape-only, like every grain in the library; shared by
+// the fp32 and int8 packed drivers.
+inline size_t PackedRowGrain(size_t k, size_t n) {
+  constexpr size_t kTargetOps = size_t{1} << 20;
+  const size_t ops_per_row = k * n;
+  if (ops_per_row == 0) return kGemmMr;
+  const size_t rows = kTargetOps / ops_per_row;
+  return RoundUp(rows < 1 ? 1 : rows, kGemmMr);
+}
+
 // Per-ISA entry points (one namespace per micro-kernel build; see
 // gemm_kernels_impl.h).
 struct GemmKernelFns {
@@ -97,6 +109,14 @@ struct GemmKernelFns {
   void (*run_rows)(const float* a, size_t a_rs, size_t a_cs,
                    const float* bpack, float* c, size_t k, size_t n,
                    size_t r0, size_t r1);
+  // Int8 path (see la/qgemm.h): computes C rows [r0, r1) from row-major
+  // offset-quantized A bytes (aq + 64, stride k) and an Int8PackedB's
+  // panels/scales/colsums. Both ISA builds produce identical int32
+  // accumulators, so dequantized output matches bit-for-bit.
+  void (*int8_run_rows)(const uint8_t* aoff, const float* a_scales,
+                        const int8_t* bpanels, const float* b_scales,
+                        const int32_t* b_colsums, float* c, size_t k,
+                        size_t n, size_t r0, size_t r1);
   const char* name;
 };
 

@@ -13,11 +13,18 @@
 #endif
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <utility>
 #include <vector>
 
 #include "la/gemm_kernels.h"
+#include "la/qgemm.h"
 #include "la/workspace.h"
+
+#ifdef __AVX2__
+#include <immintrin.h>
+#endif
 
 namespace stm::la::detail::STM_GEMM_KERNEL_NAMESPACE {
 
@@ -112,6 +119,172 @@ void RunRowChunk(const float* a, size_t a_rs, size_t a_cs,
     }
   }
   ReleaseVec(std::move(apack));
+}
+
+// ---- int8 quantized path (see la/qgemm.h for the layout contract) ----
+
+// Packs rows [i0, i0 + mr) of the row-major offset-quantized A bytes
+// (stride k) into one micro-panel: group g holds kGemmMr * kInt8KGroup
+// bytes, byte (ii * 4 + t) = aoff[i0 + ii][g*4 + t]. Padding (past mr or
+// k) is filled with the offset byte kInt8AZero, i.e. quantized zero, so
+// padded lanes contribute exactly the colsum correction term and cancel.
+inline void PackInt8APanel(const uint8_t* aoff, size_t k, size_t i0,
+                           size_t mr, uint8_t* out) {
+  const size_t kgroups = CeilDiv(k, kInt8KGroup);
+  for (size_t g = 0; g < kgroups; ++g) {
+    uint8_t* dst = out + g * kGemmMr * kInt8KGroup;
+    const size_t p0 = g * kInt8KGroup;
+    for (size_t ii = 0; ii < kGemmMr; ++ii) {
+      const uint8_t* src = ii < mr ? aoff + (i0 + ii) * k : nullptr;
+      for (size_t t = 0; t < kInt8KGroup; ++t) {
+        dst[ii * kInt8KGroup + t] =
+            (src != nullptr && p0 + t < k)
+                ? src[p0 + t]
+                : static_cast<uint8_t>(kInt8AZero);
+      }
+    }
+  }
+}
+
+// acc[ii][jj] = sum_p (aq[i0+ii][p] + 64) * bq[p][j0+jj] over all k
+// groups, then C[mr, nr] += a_scale * b_scale * (acc - 64 * colsum). The
+// integer phase is exact in both builds (the offset keeps maddubs inside
+// int16 range — see qgemm.h), so dequantized output is identical across
+// ISAs up to the final float rounding of this expression.
+inline void MicroKernelInt8(const uint8_t* apanel, const int8_t* bpanel,
+                            size_t kgroups, const float* a_scales,
+                            const float* b_scales, const int32_t* b_colsums,
+                            float* c, size_t ldc, size_t mr, size_t nr) {
+  int32_t acc[kGemmMr][kGemmNr];
+#ifdef __AVX2__
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  __m256i vacc0 = _mm256_setzero_si256();
+  __m256i vacc1 = _mm256_setzero_si256();
+  __m256i vacc2 = _mm256_setzero_si256();
+  __m256i vacc3 = _mm256_setzero_si256();
+  for (size_t g = 0; g < kgroups; ++g) {
+    const __m256i bv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bpanel + g * kGemmNr * kInt8KGroup));
+    const uint8_t* ap = apanel + g * kGemmMr * kInt8KGroup;
+    int32_t a0, a1, a2, a3;
+    std::memcpy(&a0, ap + 0 * kInt8KGroup, sizeof(a0));
+    std::memcpy(&a1, ap + 1 * kInt8KGroup, sizeof(a1));
+    std::memcpy(&a2, ap + 2 * kInt8KGroup, sizeof(a2));
+    std::memcpy(&a3, ap + 3 * kInt8KGroup, sizeof(a3));
+    // maddubs: u8 x s8 pairs -> i16 (never saturates here); madd with 1s
+    // widens the 4-byte group dot product to exact i32 lanes, one per
+    // output column.
+    vacc0 = _mm256_add_epi32(
+        vacc0, _mm256_madd_epi16(
+                   _mm256_maddubs_epi16(_mm256_set1_epi32(a0), bv), ones16));
+    vacc1 = _mm256_add_epi32(
+        vacc1, _mm256_madd_epi16(
+                   _mm256_maddubs_epi16(_mm256_set1_epi32(a1), bv), ones16));
+    vacc2 = _mm256_add_epi32(
+        vacc2, _mm256_madd_epi16(
+                   _mm256_maddubs_epi16(_mm256_set1_epi32(a2), bv), ones16));
+    vacc3 = _mm256_add_epi32(
+        vacc3, _mm256_madd_epi16(
+                   _mm256_maddubs_epi16(_mm256_set1_epi32(a3), bv), ones16));
+  }
+  if (mr == kGemmMr && nr == kGemmNr) {
+    // Full-tile fast path: dequantize straight from the accumulator
+    // registers (the scalar epilogue's store/reload round-trip costs as
+    // much as the whole integer loop for small k). acc - 64*colsum fits
+    // int32 up to k ~ 88k — far beyond where acc itself would overflow —
+    // and the multiply order (sa*sb)*q matches the scalar expression
+    // below, so both epilogues round identically.
+    const __m256i voff = _mm256_slli_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b_colsums)), 6);
+    const __m256 vsb = _mm256_loadu_ps(b_scales);
+    const __m256 q0 = _mm256_cvtepi32_ps(_mm256_sub_epi32(vacc0, voff));
+    const __m256 q1 = _mm256_cvtepi32_ps(_mm256_sub_epi32(vacc1, voff));
+    const __m256 q2 = _mm256_cvtepi32_ps(_mm256_sub_epi32(vacc2, voff));
+    const __m256 q3 = _mm256_cvtepi32_ps(_mm256_sub_epi32(vacc3, voff));
+    const auto store_row = [&](float* crow, float sa, __m256 q) {
+      const __m256 scaled =
+          _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(sa), vsb), q);
+      _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), scaled));
+    };
+    store_row(c + 0 * ldc, a_scales[0], q0);
+    store_row(c + 1 * ldc, a_scales[1], q1);
+    store_row(c + 2 * ldc, a_scales[2], q2);
+    store_row(c + 3 * ldc, a_scales[3], q3);
+    return;
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc[0]), vacc0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc[1]), vacc1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc[2]), vacc2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc[3]), vacc3);
+#else
+  for (size_t ii = 0; ii < kGemmMr; ++ii) {
+    for (size_t jj = 0; jj < kGemmNr; ++jj) acc[ii][jj] = 0;
+  }
+  for (size_t g = 0; g < kgroups; ++g) {
+    const uint8_t* ap = apanel + g * kGemmMr * kInt8KGroup;
+    const int8_t* bp = bpanel + g * kGemmNr * kInt8KGroup;
+    for (size_t ii = 0; ii < kGemmMr; ++ii) {
+      for (size_t jj = 0; jj < kGemmNr; ++jj) {
+        int32_t sum = 0;
+        for (size_t t = 0; t < kInt8KGroup; ++t) {
+          sum += static_cast<int32_t>(ap[ii * kInt8KGroup + t]) *
+                 static_cast<int32_t>(bp[jj * kInt8KGroup + t]);
+        }
+        acc[ii][jj] += sum;
+      }
+    }
+  }
+#endif
+  for (size_t ii = 0; ii < mr; ++ii) {
+    float* crow = c + ii * ldc;
+    const float sa = a_scales[ii];
+    for (size_t jj = 0; jj < nr; ++jj) {
+      // int64 keeps the offset correction exact even for extreme k; the
+      // magnitude is <= k * 63 * 127, exact in float for k <= 2097.
+      const int64_t q = static_cast<int64_t>(acc[ii][jj]) -
+                        int64_t{kInt8AZero} * b_colsums[jj];
+      crow[jj] += sa * b_scales[jj] * static_cast<float>(q);
+    }
+  }
+}
+
+// Int8 analogue of RunRowChunk: packs offset-quantized A rows in L2-sized
+// blocks (byte panels carved out of a workspace float buffer) and sweeps
+// every B panel per block. Writes are confined to C rows [r0, r1).
+void Int8RunRowChunk(const uint8_t* aoff, const float* a_scales,
+                     const int8_t* bpanels, const float* b_scales,
+                     const int32_t* b_colsums, float* c, size_t k, size_t n,
+                     size_t r0, size_t r1) {
+  const size_t kgroups = CeilDiv(k, kInt8KGroup);
+  const size_t npanels = CeilDiv(n, kGemmNr);
+  const size_t panel_bytes = kgroups * kGemmNr * kInt8KGroup;
+  const size_t tile_bytes = kgroups * kGemmMr * kInt8KGroup;
+  const size_t block_rows = GemmABlockRows(k);
+  const size_t max_rows =
+      RoundUp(block_rows < r1 - r0 ? block_rows : r1 - r0, kGemmMr);
+  std::vector<float> apackf =
+      AcquireVec(CeilDiv((max_rows / kGemmMr) * tile_bytes, sizeof(float)));
+  uint8_t* apack = reinterpret_cast<uint8_t*>(apackf.data());
+  for (size_t ic = r0; ic < r1; ic += block_rows) {
+    const size_t ie = ic + block_rows < r1 ? ic + block_rows : r1;
+    for (size_t i0 = ic; i0 < ie; i0 += kGemmMr) {
+      const size_t mr = ie - i0 < kGemmMr ? ie - i0 : kGemmMr;
+      PackInt8APanel(aoff, k, i0, mr,
+                     apack + ((i0 - ic) / kGemmMr) * tile_bytes);
+    }
+    for (size_t jp = 0; jp < npanels; ++jp) {
+      const size_t j0 = jp * kGemmNr;
+      const size_t nr = n - j0 < kGemmNr ? n - j0 : kGemmNr;
+      const int8_t* bpanel = bpanels + jp * panel_bytes;
+      for (size_t i0 = ic; i0 < ie; i0 += kGemmMr) {
+        const size_t mr = ie - i0 < kGemmMr ? ie - i0 : kGemmMr;
+        MicroKernelInt8(apack + ((i0 - ic) / kGemmMr) * tile_bytes, bpanel,
+                        kgroups, a_scales + i0, b_scales + j0,
+                        b_colsums + j0, c + i0 * n + j0, n, mr, nr);
+      }
+    }
+  }
+  ReleaseVec(std::move(apackf));
 }
 
 }  // namespace stm::la::detail::STM_GEMM_KERNEL_NAMESPACE

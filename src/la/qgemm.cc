@@ -1,0 +1,169 @@
+#include "la/qgemm.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "la/gemm_kernels.h"
+#include "la/workspace.h"
+
+namespace stm::la {
+
+namespace {
+
+// absmax(row) / qmax; 0 for an all-zero (or empty) row so the quantized
+// row is all zeros instead of NaN.
+float RowAbsmaxScale(const float* row, size_t k, int qmax) {
+  float absmax = 0.0f;
+  for (size_t p = 0; p < k; ++p) {
+    const float a = std::fabs(row[p]);
+    if (a > absmax) absmax = a;
+  }
+  return absmax > 0.0f ? absmax / static_cast<float>(qmax) : 0.0f;
+}
+
+int32_t QuantValue(float x, float inv_scale, int qmax) {
+  const long q = std::lrintf(x * inv_scale);
+  if (q > qmax) return qmax;
+  if (q < -qmax) return -qmax;
+  return static_cast<int32_t>(q);
+}
+
+// Rebuilds colsums and the micro-kernel panel layout from the row-major
+// quantized values. Serial and value-only, so the result is the same no
+// matter which thread (or thread count) runs it.
+void FinishPack(Int8PackedB* b) {
+  const size_t k = b->k;
+  const size_t n = b->n;
+  const size_t kgroups = detail::CeilDiv(k, kInt8KGroup);
+  const size_t npanels = detail::CeilDiv(n, kGemmNr);
+  b->colsums.assign(n, 0);
+  for (size_t p = 0; p < k; ++p) {
+    const int8_t* row = b->rowmajor.data() + p * n;
+    for (size_t j = 0; j < n; ++j) {
+      b->colsums[j] += static_cast<int32_t>(row[j]);
+    }
+  }
+  b->panels.assign(npanels * kgroups * kGemmNr * kInt8KGroup, 0);
+  for (size_t jp = 0; jp < npanels; ++jp) {
+    const size_t j0 = jp * kGemmNr;
+    const size_t nr = n - j0 < kGemmNr ? n - j0 : kGemmNr;
+    int8_t* panel = b->panels.data() + jp * kgroups * kGemmNr * kInt8KGroup;
+    for (size_t g = 0; g < kgroups; ++g) {
+      int8_t* chunk = panel + g * kGemmNr * kInt8KGroup;
+      for (size_t jj = 0; jj < nr; ++jj) {
+        for (size_t t = 0; t < kInt8KGroup; ++t) {
+          const size_t p = g * kInt8KGroup + t;
+          if (p < k) {
+            chunk[jj * kInt8KGroup + t] = b->rowmajor[p * n + (j0 + jj)];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void QuantizeRowWithScale(const float* row, size_t k, float scale, int qmax,
+                          int8_t* q) {
+  if (!(scale > 0.0f)) {
+    for (size_t p = 0; p < k; ++p) q[p] = 0;
+    return;
+  }
+  const float inv = 1.0f / scale;
+  for (size_t p = 0; p < k; ++p) {
+    q[p] = static_cast<int8_t>(QuantValue(row[p], inv, qmax));
+  }
+}
+
+void QuantizeRowsAbsmax(const float* a, size_t rows, size_t k, int qmax,
+                        int8_t* q, float* scales) {
+  for (size_t i = 0; i < rows; ++i) {
+    scales[i] = RowAbsmaxScale(a + i * k, k, qmax);
+    QuantizeRowWithScale(a + i * k, k, scales[i], qmax, q + i * k);
+  }
+}
+
+Int8PackedB PackInt8B(const float* b, size_t rs, size_t cs, size_t k,
+                      size_t n) {
+  Int8PackedB out;
+  out.k = k;
+  out.n = n;
+  out.scales.resize(n);
+  out.rowmajor.assign(k * n, 0);
+  for (size_t j = 0; j < n; ++j) {
+    float absmax = 0.0f;
+    for (size_t p = 0; p < k; ++p) {
+      const float v = std::fabs(b[p * rs + j * cs]);
+      if (v > absmax) absmax = v;
+    }
+    const float scale =
+        absmax > 0.0f ? absmax / static_cast<float>(kInt8BMax) : 0.0f;
+    out.scales[j] = scale;
+    if (scale > 0.0f) {
+      const float inv = 1.0f / scale;
+      for (size_t p = 0; p < k; ++p) {
+        out.rowmajor[p * n + j] = static_cast<int8_t>(
+            QuantValue(b[p * rs + j * cs], inv, kInt8BMax));
+      }
+    }
+  }
+  FinishPack(&out);
+  return out;
+}
+
+Int8PackedB RepackInt8B(std::vector<int8_t> rowmajor,
+                        std::vector<float> scales, size_t k, size_t n) {
+  Int8PackedB out;
+  out.k = k;
+  out.n = n;
+  out.rowmajor = std::move(rowmajor);
+  out.scales = std::move(scales);
+  FinishPack(&out);
+  return out;
+}
+
+void Int8GemmAcc(const float* a, size_t m, const Int8PackedB& b, float* c) {
+  const size_t k = b.k;
+  const size_t n = b.n;
+  if (m == 0 || n == 0 || k == 0) return;
+  const detail::GemmKernelFns& fns = detail::ActiveGemmKernels();
+  // Per-row quantization over the whole A matrix, before any row-chunk
+  // split: the scales (and therefore every quantized byte) depend only on
+  // the tensor, never on the thread count. The byte buffer is carved out
+  // of a workspace float allocation (unsigned char access is always
+  // aliasing-legal).
+  std::vector<float> scales = AcquireVec(m);
+  std::vector<float> aoff_f = AcquireVec(detail::CeilDiv(m * k, sizeof(float)));
+  uint8_t* aoff = reinterpret_cast<uint8_t*>(aoff_f.data());
+  ParallelFor(0, m, GrainForOps(2 * k), [&](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      const float* row = a + i * k;
+      uint8_t* out = aoff + i * k;
+      const float scale = RowAbsmaxScale(row, k, kInt8AMax);
+      scales[i] = scale;
+      if (scale > 0.0f) {
+        const float inv = 1.0f / scale;
+        for (size_t p = 0; p < k; ++p) {
+          out[p] = static_cast<uint8_t>(QuantValue(row[p], inv, kInt8AMax) +
+                                        kInt8AZero);
+        }
+      } else {
+        for (size_t p = 0; p < k; ++p) {
+          out[p] = static_cast<uint8_t>(kInt8AZero);
+        }
+      }
+    }
+  });
+  ParallelFor(0, m, detail::PackedRowGrain(k, n),
+              [&](size_t r0, size_t r1) {
+                fns.int8_run_rows(aoff, scales.data(), b.panels.data(),
+                                  b.scales.data(), b.colsums.data(), c, k, n,
+                                  r0, r1);
+              });
+  ReleaseVec(std::move(aoff_f));
+  ReleaseVec(std::move(scales));
+}
+
+}  // namespace stm::la

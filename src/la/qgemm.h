@@ -1,0 +1,94 @@
+#ifndef STM_LA_QGEMM_H_
+#define STM_LA_QGEMM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stm::la {
+
+// Int8 quantized GEMM for frozen-weight inference (see DESIGN.md,
+// "Quantized inference").
+//
+// Scale scheme — symmetric absmax, chosen per tensor so the dispatch and
+// the quantized values never depend on the thread count:
+//  * B (the weight) is quantized per COLUMN to [-127, 127]:
+//      b_scale[j] = absmax(B[:, j]) / 127,   bq = round(b / b_scale[j]).
+//  * A (the activation) is quantized per ROW to [-63, 63] and stored with
+//    a +64 offset as unsigned bytes in [1, 127]:
+//      a_scale[i] = absmax(A[i, :]) / 63,    aq = round(a / a_scale[i]),
+//      stored byte = aq + 64.
+// An all-zero row/column gets scale 0 and quantized value 0.
+//
+// The offset lets the AVX2 micro-kernel use `_mm256_maddubs_epi16`
+// (unsigned x signed byte pairs -> saturating int16): with the unsigned
+// operand capped at 127 the worst pair sum is 127*127*2 = 32258 < 32767,
+// so the saturating instruction never actually saturates and the integer
+// arithmetic is exact. The generic build computes the same integers with
+// scalar loops, so both ISAs dequantize identical accumulators:
+//
+//   sum_p (aq + 64) * bq = sum_p aq*bq + 64 * colsum_q(B[:, j])
+//   C[i][j] += a_scale[i] * b_scale[j] * (acc[i][j] - 64 * colsum[j])
+//
+// |sum_p aq*bq| <= k * 63 * 127, exact in int32 for any realistic k and
+// exact in float for k <= 2097 (< 2^24), so the only error left is the
+// quantization rounding itself.
+
+// Quantization extents. Part of the pack layout; identical in every ISA
+// build.
+inline constexpr int kInt8AMax = 63;    // |aq| bound (7 bits effective)
+inline constexpr int kInt8BMax = 127;   // |bq| bound
+inline constexpr int kInt8AZero = 64;   // unsigned-byte offset added to aq
+inline constexpr size_t kInt8KGroup = 4;  // k values consumed per maddubs
+
+// scales[i] = absmax(a[i, :]) / qmax (0 for an all-zero row), then each
+// row is quantized with QuantizeRowWithScale. `q` is row-major [rows, k].
+void QuantizeRowsAbsmax(const float* a, size_t rows, size_t k, int qmax,
+                        int8_t* q, float* scales);
+
+// q[p] = clamp(round(row[p] / scale), -qmax, qmax); all zeros when
+// scale <= 0. Exposed so tests can force saturation with an undersized
+// scale.
+void QuantizeRowWithScale(const float* row, size_t k, float scale, int qmax,
+                          int8_t* q);
+
+// A quantized, packed B operand, built once (at MiniLm::Freeze time) and
+// reused across every GEMM against it.
+struct Int8PackedB {
+  size_t k = 0;  // rows of B (the contraction extent)
+  size_t n = 0;  // columns of B
+
+  // Row-major [k, n] quantized values — the serialization and test view.
+  std::vector<int8_t> rowmajor;
+  // Per-column dequantization scales [n].
+  std::vector<float> scales;
+  // Per-column sums of the quantized values [n] (the +64 offset
+  // correction term); recomputed from `rowmajor`, never stored on disk.
+  std::vector<int32_t> colsums;
+  // Micro-kernel layout: kGemmNr-column panels, k in groups of
+  // kInt8KGroup. Panel jp, group g is a 32-byte chunk whose byte
+  // (jj * 4 + t) holds bq[g*4 + t][jp*8 + jj] (zero past the k/n edges).
+  std::vector<int8_t> panels;
+};
+
+// Quantizes and packs the strided operand B[p][j] = b[p*rs + j*cs]
+// (rs/cs in floats). Serial per column; the result depends only on B.
+Int8PackedB PackInt8B(const float* b, size_t rs, size_t cs, size_t k,
+                      size_t n);
+
+// Rebuilds panels and colsums from stored row-major quantized values (the
+// artifact load path; see plm/quantized_minilm.cc). `rowmajor` must hold
+// k*n values and `scales` n entries.
+Int8PackedB RepackInt8B(std::vector<int8_t> rowmajor,
+                        std::vector<float> scales, size_t k, size_t n);
+
+// c[m, b.n] += dequant(quant(a) * B) for row-major a[m, b.k]. A is
+// quantized per row over the whole matrix before the row-parallel sweep,
+// so the output is bit-identical across thread counts. Dispatches to the
+// AVX2 or generic micro-kernel through the same one-time cpuid selection
+// as the fp32 packed path.
+void Int8GemmAcc(const float* a, size_t m, const Int8PackedB& b, float* c);
+
+}  // namespace stm::la
+
+#endif  // STM_LA_QGEMM_H_

@@ -1,0 +1,65 @@
+#include "nn/infer_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stm::nn {
+
+float GeluScalar(float x) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  const float inner = kC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+void GeluInplace(float* x, size_t count) {
+  for (size_t i = 0; i < count; ++i) x[i] = GeluScalar(x[i]);
+}
+
+void ReluInplace(float* x, size_t count) {
+  for (size_t i = 0; i < count; ++i) x[i] = std::max(x[i], 0.0f);
+}
+
+void AddBiasRows(float* x, size_t rows, size_t d, const float* bias) {
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = x + r * d;
+    for (size_t j = 0; j < d; ++j) row[j] += bias[j];
+  }
+}
+
+void LayerNormRows(const float* x, size_t rows, size_t d, const float* gamma,
+                   const float* beta, float eps, float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * d;
+    float* o = out + r * d;
+    float mu = 0.0f;
+    for (size_t j = 0; j < d; ++j) mu += xr[j];
+    mu /= static_cast<float>(d);
+    float var = 0.0f;
+    for (size_t j = 0; j < d; ++j) {
+      const float diff = xr[j] - mu;
+      var += diff * diff;
+    }
+    var /= static_cast<float>(d);
+    const float rs = 1.0f / std::sqrt(var + eps);
+    for (size_t j = 0; j < d; ++j) {
+      o[j] = (xr[j] - mu) * rs * gamma[j] + beta[j];
+    }
+  }
+}
+
+void SoftmaxRowsInplace(float* x, size_t rows, size_t d) {
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = x + r * d;
+    float max = row[0];
+    for (size_t j = 1; j < d; ++j) max = std::max(max, row[j]);
+    float sum = 0.0f;
+    for (size_t j = 0; j < d; ++j) {
+      row[j] = std::exp(row[j] - max);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (size_t j = 0; j < d; ++j) row[j] *= inv;
+  }
+}
+
+}  // namespace stm::nn

@@ -1,0 +1,40 @@
+#ifndef STM_NN_INFER_OPS_H_
+#define STM_NN_INFER_OPS_H_
+
+#include <cstddef>
+
+namespace stm::nn {
+
+// Inference-only forward kernels over raw float buffers. These replicate
+// the forward math of the autograd ops in nn/ops.cc exactly (same
+// constants, same accumulation order) so a frozen-weight forward pass
+// (plm::QuantizedMiniLm) differs from the fp32 graph only by weight
+// quantization, never by activation-function drift. No Node construction,
+// no gradient bookkeeping.
+
+// The tanh-approximation GELU used by both the autograd op and the
+// inference path.
+float GeluScalar(float x);
+
+// x[i] = GeluScalar(x[i]) for i in [0, count).
+void GeluInplace(float* x, size_t count);
+
+// x[i] = max(x[i], 0).
+void ReluInplace(float* x, size_t count);
+
+// Adds bias[j] to every row of the row-major x[rows, d].
+void AddBiasRows(float* x, size_t rows, size_t d, const float* bias);
+
+// Row-wise layer norm of x[rows, d] into out[rows, d] (may not alias x):
+// out = (x - mean) * rsqrt(var + eps) * gamma + beta with the biased
+// variance, matching nn::LayerNorm's forward.
+void LayerNormRows(const float* x, size_t rows, size_t d, const float* gamma,
+                   const float* beta, float eps, float* out);
+
+// In-place row-wise softmax of x[rows, d] with max subtraction, matching
+// nn::SoftmaxLastDim's forward.
+void SoftmaxRowsInplace(float* x, size_t rows, size_t d);
+
+}  // namespace stm::nn
+
+#endif  // STM_NN_INFER_OPS_H_

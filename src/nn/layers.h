@@ -58,6 +58,9 @@ class LayerNormModule {
 
   Tensor Forward(const Tensor& x) const;
 
+  const Tensor& gamma() const { return gamma_; }
+  const Tensor& beta() const { return beta_; }
+
  private:
   Tensor gamma_;
   Tensor beta_;

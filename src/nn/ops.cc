@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "la/matrix.h"
 #include "la/workspace.h"
+#include "nn/infer_ops.h"
 
 namespace stm::nn {
 
@@ -37,11 +38,9 @@ bool SameShape(const Tensor& a, const Tensor& b) {
   return a.shape() == b.shape();
 }
 
-float GeluValue(float x) {
-  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-  const float inner = kC * (x + 0.044715f * x * x * x);
-  return 0.5f * x * (1.0f + std::tanh(inner));
-}
+// Forward value shared with the inference path (nn/infer_ops.h) so the
+// quantized encoder applies the exact same activation.
+float GeluValue(float x) { return GeluScalar(x); }
 
 float GeluGrad(float x) {
   constexpr float kC = 0.7978845608028654f;

@@ -9,9 +9,11 @@
 #include "common/thread_pool.h"
 #include "common/serialize.h"
 #include "common/string_util.h"
+#include "la/qgemm.h"
 #include "la/workspace.h"
 #include "nn/loss.h"
 #include "nn/ops.h"
+#include "plm/quantized_minilm.h"
 #include "text/vocabulary.h"
 
 namespace stm::plm {
@@ -166,6 +168,8 @@ nn::Tensor MiniLm::MlmLogits(const nn::Tensor& hidden_rows) {
 double MiniLm::Pretrain(const std::vector<std::vector<int32_t>>& corpus_docs,
                         const PretrainConfig& pretrain) {
   STM_CHECK(!corpus_docs.empty());
+  // Any previously frozen int8 snapshot is about to go stale.
+  InvalidateFrozen();
   Rng rng(pretrain.seed);
 
   // Unigram distribution for random replacement / RTD corruption.
@@ -306,6 +310,8 @@ double MiniLm::Pretrain(const std::vector<std::vector<int32_t>>& corpus_docs,
                    pretrain.steps, running_mlm);
     }
   }
+  // Parameters changed: the next quantized-inference call re-freezes.
+  InvalidateFrozen();
   return running_mlm;
 }
 
@@ -323,6 +329,7 @@ nn::Tensor MiniLm::PoolTensor(const std::vector<int32_t>& ids) {
 }
 
 la::Matrix MiniLm::Encode(const std::vector<int32_t>& ids) {
+  if (QuantInferenceEnabled()) return Frozen()->Encode(ids);
   nn::Tensor hidden = EncodeTensor(ids);
   la::Matrix out(hidden.dim(0), hidden.dim(1));
   std::copy(hidden.value().begin(), hidden.value().end(), out.data());
@@ -330,11 +337,13 @@ la::Matrix MiniLm::Encode(const std::vector<int32_t>& ids) {
 }
 
 std::vector<float> MiniLm::Pool(const std::vector<int32_t>& ids) {
+  if (QuantInferenceEnabled()) return Frozen()->Pool(ids);
   return PoolTensor(ids).value();
 }
 
 std::vector<la::Matrix> MiniLm::EncodeBatch(
     const std::vector<std::vector<int32_t>>& docs) {
+  if (QuantInferenceEnabled()) return Frozen()->EncodeBatch(docs);
   std::vector<la::Matrix> out(docs.size());
   ParallelFor(0, docs.size(), 1, [&](size_t b, size_t e) {
     for (size_t i = b; i < e; ++i) out[i] = Encode(docs[i]);
@@ -343,6 +352,7 @@ std::vector<la::Matrix> MiniLm::EncodeBatch(
 }
 
 la::Matrix MiniLm::PoolBatch(const std::vector<std::vector<int32_t>>& docs) {
+  if (QuantInferenceEnabled()) return Frozen()->PoolBatch(docs);
   la::Matrix out(docs.size(), config_.dim);
   ParallelFor(0, docs.size(), 1, [&](size_t b, size_t e) {
     for (size_t i = b; i < e; ++i) {
@@ -351,6 +361,54 @@ la::Matrix MiniLm::PoolBatch(const std::vector<std::vector<int32_t>>& docs) {
     }
   });
   return out;
+}
+
+// ---- quantized inference ----
+
+std::unique_ptr<QuantizedMiniLm> MiniLm::Freeze() const {
+  auto frozen = std::unique_ptr<QuantizedMiniLm>(new QuantizedMiniLm());
+  frozen->config_ = config_;
+  frozen->token_table_ = token_embed_->table().value();
+  frozen->pos_table_ = pos_embed_->table().value();
+  frozen->final_gamma_ = final_ln_->gamma().value();
+  frozen->final_beta_ = final_ln_->beta().value();
+  // Linear weights are stored row-major [in, out]: row stride `out`,
+  // column stride 1, contraction extent `in`.
+  const auto pack = [](const nn::Linear& lin, size_t in, size_t out) {
+    QuantizedMiniLm::QuantLinear q;
+    q.weight = la::PackInt8B(lin.weight().value().data(), out, 1, in, out);
+    q.bias = lin.bias().value();
+    return q;
+  };
+  const size_t d = config_.dim;
+  frozen->layers_.resize(config_.layers);
+  for (size_t l = 0; l < config_.layers; ++l) {
+    const Layer& src = layers_[l];
+    auto& dst = frozen->layers_[l];
+    dst.qkv = pack(*src.qkv, d, 3 * d);
+    dst.out = pack(*src.out, d, d);
+    dst.ffn1 = pack(*src.ffn1, d, config_.ffn_dim);
+    dst.ffn2 = pack(*src.ffn2, config_.ffn_dim, d);
+    dst.ln1_gamma = src.ln1->gamma().value();
+    dst.ln1_beta = src.ln1->beta().value();
+    dst.ln2_gamma = src.ln2->gamma().value();
+    dst.ln2_beta = src.ln2->beta().value();
+  }
+  return frozen;
+}
+
+const QuantizedMiniLm* MiniLm::Frozen() const {
+  // Pool/Encode are called concurrently from pool workers (e.g. MICoL's
+  // parallel label encoding), so the lazy freeze is mutex-guarded; after
+  // the first call everyone reads the same immutable snapshot.
+  std::lock_guard<std::mutex> lock(freeze_mu_);
+  if (!frozen_) frozen_ = Freeze();
+  return frozen_.get();
+}
+
+void MiniLm::InvalidateFrozen() {
+  std::lock_guard<std::mutex> lock(freeze_mu_);
+  frozen_.reset();
 }
 
 std::vector<int32_t> MiniLm::PredictTopK(const std::vector<int32_t>& ids,

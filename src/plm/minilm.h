@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,8 @@
 #include "nn/tensor.h"
 
 namespace stm::plm {
+
+class QuantizedMiniLm;
 
 // MiniLm is the library's stand-in for BERT/RoBERTa/ELECTRA: a from-scratch
 // transformer encoder pre-trained with masked-language-modeling (MLM) and
@@ -84,6 +87,13 @@ class MiniLm {
   nn::Tensor PoolTensor(const std::vector<int32_t>& ids);
 
   // ---- inference conveniences (no gradient bookkeeping kept) ----
+  //
+  // When quantized inference is enabled (STM_QUANT env var or
+  // plm::SetQuantInference, see plm/quantized_minilm.h), Encode/Pool/
+  // EncodeBatch/PoolBatch route through a lazily built frozen int8 model
+  // instead of the fp32 autograd graph. The MLM/RTD heads (PredictTopK,
+  // CandidateLogProbs, ReplacedProbs) and the differentiable
+  // EncodeTensor/PoolTensor always stay fp32.
 
   // Contextual token vectors, row t = representation of ids[t].
   la::Matrix Encode(const std::vector<int32_t>& ids);
@@ -127,6 +137,14 @@ class MiniLm {
   // RTD head score per token: probability that the token was replaced
   // (lower = more "original"/plausible in context).
   std::vector<float> ReplacedProbs(const std::vector<int32_t>& ids);
+
+  // ---- quantized inference ----
+
+  // Builds a frozen int8 inference model from the current parameters:
+  // attention/FFN projection weights quantized per output column and
+  // packed once into the micro-kernel layout (see plm/quantized_minilm.h).
+  // Snapshot semantics — later training does not update the result.
+  std::unique_ptr<QuantizedMiniLm> Freeze() const;
 
   // ---- persistence ----
 
@@ -181,6 +199,12 @@ class MiniLm {
 
   std::vector<int32_t> Truncate(const std::vector<int32_t>& ids) const;
 
+  // Lazily built frozen model behind the STM_QUANT switch. Guarded by a
+  // mutex because Pool/Encode may be called concurrently from pool
+  // workers; invalidated whenever training updates the parameters.
+  const QuantizedMiniLm* Frozen() const;
+  void InvalidateFrozen();
+
   MiniLmConfig config_;
   Rng rng_;
   nn::ParameterStore store_;
@@ -190,6 +214,8 @@ class MiniLm {
   std::unique_ptr<nn::LayerNormModule> final_ln_;
   nn::Tensor mlm_bias_;                       // [vocab]
   std::unique_ptr<nn::Linear> rtd_head_;      // dim -> 1
+  mutable std::mutex freeze_mu_;
+  mutable std::shared_ptr<const QuantizedMiniLm> frozen_;
 };
 
 }  // namespace stm::plm

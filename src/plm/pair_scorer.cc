@@ -7,7 +7,9 @@
 #include "common/thread_pool.h"
 #include "nn/loss.h"
 #include "la/matrix.h"
+#include "nn/infer_ops.h"
 #include "nn/ops.h"
+#include "plm/quantized_minilm.h"
 
 namespace stm::plm {
 
@@ -49,6 +51,7 @@ double PairScorer::Train(const std::vector<std::vector<float>>& u,
   STM_CHECK_EQ(u.size(), v.size());
   STM_CHECK_EQ(u.size(), labels.size());
   STM_CHECK(!u.empty());
+  InvalidateFrozen();
   double last = 0.0;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     const std::vector<size_t> order = rng_.Permutation(u.size());
@@ -94,6 +97,32 @@ std::vector<float> PairScorer::ScoreBatch(
     const std::vector<std::vector<float>>& u,
     const std::vector<std::vector<float>>& v) {
   STM_CHECK_EQ(u.size(), v.size());
+  if (QuantInferenceEnabled() && !u.empty()) {
+    const FrozenHead* head = Frozen();
+    const size_t n = u.size();
+    const size_t feat = 4 * config_.encoder_dim + 1;
+    // One interaction-feature matrix, then the whole head as two int8
+    // GEMMs; feature rows are independent, so the parallel fill is
+    // deterministic at any thread count.
+    std::vector<float> features(n * feat);
+    ParallelFor(0, n, 8, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        const std::vector<float> row = Interaction(u[i], v[i]);
+        std::copy(row.begin(), row.end(), features.data() + i * feat);
+      }
+    });
+    std::vector<float> hidden(n * config_.hidden, 0.0f);
+    la::Int8GemmAcc(features.data(), n, head->w1, hidden.data());
+    nn::AddBiasRows(hidden.data(), n, config_.hidden, head->b1.data());
+    nn::ReluInplace(hidden.data(), hidden.size());
+    std::vector<float> logits(n, 0.0f);
+    la::Int8GemmAcc(hidden.data(), n, head->w2, logits.data());
+    std::vector<float> scores(n);
+    for (size_t i = 0; i < n; ++i) {
+      scores[i] = 1.0f / (1.0f + std::exp(-(logits[i] + head->b2[0])));
+    }
+    return scores;
+  }
   // Each pair builds its own forward graph over the (read-only) head
   // parameters, so pairs score independently and in parallel; slot i is
   // written by exactly one worker.
@@ -102,6 +131,29 @@ std::vector<float> PairScorer::ScoreBatch(
     for (size_t i = b; i < e; ++i) scores[i] = Score(u[i], v[i]);
   });
   return scores;
+}
+
+const PairScorer::FrozenHead* PairScorer::Frozen() {
+  std::lock_guard<std::mutex> lock(freeze_mu_);
+  if (!frozen_) {
+    auto head = std::make_shared<FrozenHead>();
+    const size_t feat = 4 * config_.encoder_dim + 1;
+    // nn::Linear weights are row-major [in, out]: row stride n, column
+    // stride 1, contraction extent in.
+    head->w1 = la::PackInt8B(hidden_->weight().value().data(),
+                             config_.hidden, 1, feat, config_.hidden);
+    head->b1 = hidden_->bias().value();
+    head->w2 = la::PackInt8B(out_->weight().value().data(), 1, 1,
+                             config_.hidden, 1);
+    head->b2 = out_->bias().value();
+    frozen_ = std::move(head);
+  }
+  return frozen_.get();
+}
+
+void PairScorer::InvalidateFrozen() {
+  std::lock_guard<std::mutex> lock(freeze_mu_);
+  frozen_.reset();
 }
 
 }  // namespace stm::plm

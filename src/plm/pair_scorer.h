@@ -2,8 +2,10 @@
 #define STM_PLM_PAIR_SCORER_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "la/qgemm.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 
@@ -41,14 +43,28 @@ class PairScorer {
   float Score(const std::vector<float>& u, const std::vector<float>& v);
 
   // Scores many pairs at once (parallel across pairs on the global
-  // thread pool). scores[i] == Score(u[i], v[i]) exactly; must not be
-  // interleaved with Train().
+  // thread pool). Must not be interleaved with Train(). In fp32 mode
+  // scores[i] == Score(u[i], v[i]) exactly; when quantized inference is
+  // enabled (STM_QUANT / plm::SetQuantInference) the batch runs the head
+  // as two int8 GEMMs over a lazily frozen weight snapshot — scores then
+  // match Score() to quantization error, not bitwise, but are themselves
+  // bit-identical across thread counts and batch splits.
   std::vector<float> ScoreBatch(const std::vector<std::vector<float>>& u,
                                 const std::vector<std::vector<float>>& v);
 
  private:
+  // Int8 snapshot of the two Linear layers, built lazily on the first
+  // quantized ScoreBatch and invalidated by Train().
+  struct FrozenHead {
+    la::Int8PackedB w1, w2;
+    std::vector<float> b1, b2;
+  };
+
   std::vector<float> Interaction(const std::vector<float>& u,
                                  const std::vector<float>& v) const;
+
+  const FrozenHead* Frozen();
+  void InvalidateFrozen();
 
   Config config_;
   Rng rng_;
@@ -56,6 +72,8 @@ class PairScorer {
   std::unique_ptr<nn::Linear> hidden_;
   std::unique_ptr<nn::Linear> out_;
   std::unique_ptr<nn::AdamOptimizer> optimizer_;
+  std::mutex freeze_mu_;
+  std::shared_ptr<const FrozenHead> frozen_;
 };
 
 }  // namespace stm::plm

@@ -1,0 +1,345 @@
+#include "plm/quantized_minilm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/serialize.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "la/workspace.h"
+#include "nn/infer_ops.h"
+#include "text/vocabulary.h"
+
+namespace stm::plm {
+
+namespace {
+
+constexpr uint32_t kQuantModelMagic = 0x53544D51;  // "STMQ"
+constexpr uint32_t kQuantFormatVersion = 1;
+constexpr float kLayerNormEps = 1e-5f;  // must match nn::LayerNorm
+
+std::atomic<int> g_quant_override{-1};
+
+bool EnvQuantEnabled() {
+  // Parsed once; the switch is process-wide so every call site (at any
+  // thread count) takes the same path.
+  static const bool enabled = [] {
+    const char* v = std::getenv("STM_QUANT");
+    return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool QuantInferenceEnabled() {
+  const int mode = g_quant_override.load(std::memory_order_relaxed);
+  if (mode >= 0) return mode != 0;
+  return EnvQuantEnabled();
+}
+
+void SetQuantInference(int mode) {
+  g_quant_override.store(mode < 0 ? -1 : (mode != 0 ? 1 : 0),
+                         std::memory_order_relaxed);
+}
+
+std::vector<int32_t> QuantizedMiniLm::Truncate(
+    const std::vector<int32_t>& ids) const {
+  // Mirrors MiniLm::Truncate so both paths see identical inputs.
+  std::vector<int32_t> out = ids;
+  if (out.size() > config_.max_seq) out.resize(config_.max_seq);
+  if (out.empty()) out.push_back(text::kPadId);
+  for (int32_t id : out) {
+    STM_CHECK_GE(id, 0);
+    STM_CHECK_LT(static_cast<size_t>(id), config_.vocab_size);
+  }
+  return out;
+}
+
+void QuantizedMiniLm::ApplyQuantLinear(const float* x, size_t rows,
+                                       const QuantLinear& w, float* out) {
+  const size_t n = w.weight.n;
+  std::fill(out, out + rows * n, 0.0f);
+  la::Int8GemmAcc(x, rows, w.weight, out);
+  nn::AddBiasRows(out, rows, n, w.bias.data());
+}
+
+la::Matrix QuantizedMiniLm::Encode(const std::vector<int32_t>& ids) const {
+  const std::vector<int32_t> trunc = Truncate(ids);
+  const size_t S = trunc.size();
+  const size_t d = config_.dim;
+  const size_t h = config_.heads;
+  const size_t dh = d / h;
+  const size_t f = config_.ffn_dim;
+  const float att_scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // Token + position embeddings (fp32, exact).
+  std::vector<float> x = la::AcquireVec(S * d);
+  for (size_t t = 0; t < S; ++t) {
+    const float* tok =
+        token_table_.data() + static_cast<size_t>(trunc[t]) * d;
+    const float* pos = pos_table_.data() + t * d;
+    float* row = x.data() + t * d;
+    for (size_t j = 0; j < d; ++j) row[j] = tok[j] + pos[j];
+  }
+
+  std::vector<float> normed = la::AcquireVec(S * d);
+  std::vector<float> qkv = la::AcquireVec(S * 3 * d);
+  std::vector<float> merged = la::AcquireVec(S * d);
+  std::vector<float> proj = la::AcquireVec(S * d);
+  std::vector<float> ffn = la::AcquireVec(S * f);
+  std::vector<float> qh = la::AcquireVec(S * dh);
+  std::vector<float> kh = la::AcquireVec(S * dh);
+  std::vector<float> vh = la::AcquireVec(S * dh);
+  std::vector<float> scores = la::AcquireVec(S * S);
+  std::vector<float> ctx = la::AcquireVec(S * dh);
+
+  for (const QuantLayer& layer : layers_) {
+    // ---- attention sublayer (pre-LN) ----
+    nn::LayerNormRows(x.data(), S, d, layer.ln1_gamma.data(),
+                      layer.ln1_beta.data(), kLayerNormEps, normed.data());
+    ApplyQuantLinear(normed.data(), S, layer.qkv, qkv.data());
+    // Per-head fp32 attention. A single full-length sequence needs no
+    // additive mask (every key position is live), so this matches the
+    // masked fp32 graph exactly.
+    for (size_t head = 0; head < h; ++head) {
+      const size_t off = head * dh;
+      for (size_t t = 0; t < S; ++t) {
+        const float* row = qkv.data() + t * 3 * d;
+        for (size_t j = 0; j < dh; ++j) {
+          qh[t * dh + j] = row[off + j];
+          kh[t * dh + j] = row[d + off + j];
+          vh[t * dh + j] = row[2 * d + off + j];
+        }
+      }
+      std::fill(scores.begin(), scores.end(), 0.0f);
+      la::GemmBtAcc(qh.data(), kh.data(), scores.data(), S, dh, S);
+      for (size_t i = 0; i < S * S; ++i) scores[i] *= att_scale;
+      nn::SoftmaxRowsInplace(scores.data(), S, S);
+      std::fill(ctx.begin(), ctx.end(), 0.0f);
+      la::GemmAcc(scores.data(), vh.data(), ctx.data(), S, S, dh);
+      for (size_t t = 0; t < S; ++t) {
+        float* mrow = merged.data() + t * d + off;
+        const float* crow = ctx.data() + t * dh;
+        for (size_t j = 0; j < dh; ++j) mrow[j] = crow[j];
+      }
+    }
+    ApplyQuantLinear(merged.data(), S, layer.out, proj.data());
+    for (size_t i = 0; i < S * d; ++i) x[i] += proj[i];
+
+    // ---- feed-forward sublayer ----
+    nn::LayerNormRows(x.data(), S, d, layer.ln2_gamma.data(),
+                      layer.ln2_beta.data(), kLayerNormEps, normed.data());
+    ApplyQuantLinear(normed.data(), S, layer.ffn1, ffn.data());
+    nn::GeluInplace(ffn.data(), S * f);
+    ApplyQuantLinear(ffn.data(), S, layer.ffn2, proj.data());
+    for (size_t i = 0; i < S * d; ++i) x[i] += proj[i];
+  }
+
+  la::Matrix out(S, d);
+  nn::LayerNormRows(x.data(), S, d, final_gamma_.data(), final_beta_.data(),
+                    kLayerNormEps, out.data());
+
+  la::ReleaseVec(std::move(ctx));
+  la::ReleaseVec(std::move(scores));
+  la::ReleaseVec(std::move(vh));
+  la::ReleaseVec(std::move(kh));
+  la::ReleaseVec(std::move(qh));
+  la::ReleaseVec(std::move(ffn));
+  la::ReleaseVec(std::move(proj));
+  la::ReleaseVec(std::move(merged));
+  la::ReleaseVec(std::move(qkv));
+  la::ReleaseVec(std::move(normed));
+  la::ReleaseVec(std::move(x));
+  return out;
+}
+
+std::vector<float> QuantizedMiniLm::Pool(
+    const std::vector<int32_t>& ids) const {
+  const la::Matrix hidden = Encode(ids);
+  const size_t d = config_.dim;
+  std::vector<float> pooled(d, 0.0f);
+  for (size_t t = 0; t < hidden.rows(); ++t) {
+    const float* row = hidden.Row(t);
+    for (size_t j = 0; j < d; ++j) pooled[j] += row[j];
+  }
+  const float inv = 1.0f / static_cast<float>(hidden.rows());
+  for (size_t j = 0; j < d; ++j) pooled[j] *= inv;
+  return pooled;
+}
+
+std::vector<la::Matrix> QuantizedMiniLm::EncodeBatch(
+    const std::vector<std::vector<int32_t>>& docs) const {
+  std::vector<la::Matrix> out(docs.size());
+  ParallelFor(0, docs.size(), 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) out[i] = Encode(docs[i]);
+  });
+  return out;
+}
+
+la::Matrix QuantizedMiniLm::PoolBatch(
+    const std::vector<std::vector<int32_t>>& docs) const {
+  la::Matrix out(docs.size(), config_.dim);
+  ParallelFor(0, docs.size(), 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      const std::vector<float> pooled = Pool(docs[i]);
+      std::copy(pooled.begin(), pooled.end(), out.Row(i));
+    }
+  });
+  return out;
+}
+
+// ---- persistence ----
+
+namespace {
+
+void WriteQuantLinear(BinaryWriter* writer,
+                      const QuantizedMiniLm::QuantLinear& w) {
+  writer->WriteU64(w.weight.k);
+  writer->WriteU64(w.weight.n);
+  writer->WriteBytes(w.weight.rowmajor);
+  writer->WriteFloats(w.weight.scales);
+  writer->WriteFloats(w.bias);
+}
+
+Status ReadQuantLinear(BinaryReader* reader, const std::string& path,
+                       size_t want_k, size_t want_n,
+                       QuantizedMiniLm::QuantLinear* w) {
+  uint64_t k = 0, n = 0;
+  std::vector<int8_t> rowmajor;
+  std::vector<float> scales;
+  STM_RETURN_IF_ERROR(reader->Read(&k));
+  STM_RETURN_IF_ERROR(reader->Read(&n));
+  STM_RETURN_IF_ERROR(reader->Read(&rowmajor));
+  STM_RETURN_IF_ERROR(reader->Read(&scales));
+  STM_RETURN_IF_ERROR(reader->Read(&w->bias));
+  // Shapes are fully determined by the (already validated) config, so a
+  // crafted file cannot request an oversized repack; the array lengths
+  // were bounds-checked against the payload during Read.
+  if (k != want_k || n != want_n || scales.size() != n ||
+      w->bias.size() != n || (n != 0 && rowmajor.size() / n != k) ||
+      (n != 0 && rowmajor.size() % n != 0)) {
+    return CorruptDataError(
+        StrFormat("%s: quantized matrix shape mismatch", path.c_str()));
+  }
+  for (float s : scales) {
+    if (!std::isfinite(s) || s < 0.0f) {
+      return CorruptDataError(
+          StrFormat("%s: implausible quantization scale", path.c_str()));
+    }
+  }
+  w->weight = la::RepackInt8B(std::move(rowmajor), std::move(scales),
+                              static_cast<size_t>(k),
+                              static_cast<size_t>(n));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status QuantizedMiniLm::Save(Env* env, const std::string& path) const {
+  BinaryWriter writer;
+  writer.WriteU32(kQuantFormatVersion);
+  writer.WriteU64(config_.vocab_size);
+  writer.WriteU64(config_.dim);
+  writer.WriteU64(config_.layers);
+  writer.WriteU64(config_.heads);
+  writer.WriteU64(config_.ffn_dim);
+  writer.WriteU64(config_.max_seq);
+  writer.WriteU64(config_.seed);
+  writer.WriteFloats(token_table_);
+  writer.WriteFloats(pos_table_);
+  writer.WriteFloats(final_gamma_);
+  writer.WriteFloats(final_beta_);
+  for (const QuantLayer& layer : layers_) {
+    writer.WriteFloats(layer.ln1_gamma);
+    writer.WriteFloats(layer.ln1_beta);
+    writer.WriteFloats(layer.ln2_gamma);
+    writer.WriteFloats(layer.ln2_beta);
+    WriteQuantLinear(&writer, layer.qkv);
+    WriteQuantLinear(&writer, layer.out);
+    WriteQuantLinear(&writer, layer.ffn1);
+    WriteQuantLinear(&writer, layer.ffn2);
+  }
+  return writer.FlushToEnv(env, path, kQuantModelMagic);
+}
+
+StatusOr<std::unique_ptr<QuantizedMiniLm>> QuantizedMiniLm::Load(
+    Env* env, const std::string& path) {
+  STM_ASSIGN_OR_RETURN(
+      BinaryReader reader,
+      BinaryReader::OpenArtifact(env, path, kQuantModelMagic));
+  const auto corrupt = [&path](const char* what) {
+    return CorruptDataError(StrFormat("%s: %s", path.c_str(), what));
+  };
+  uint32_t version = 0;
+  STM_RETURN_IF_ERROR(reader.Read(&version));
+  if (version != kQuantFormatVersion) {
+    return corrupt("unsupported quantized-model version");
+  }
+  uint64_t vocab_size = 0, dim = 0, layers = 0, heads = 0;
+  uint64_t ffn_dim = 0, max_seq = 0, seed = 0;
+  STM_RETURN_IF_ERROR(reader.Read(&vocab_size));
+  STM_RETURN_IF_ERROR(reader.Read(&dim));
+  STM_RETURN_IF_ERROR(reader.Read(&layers));
+  STM_RETURN_IF_ERROR(reader.Read(&heads));
+  STM_RETURN_IF_ERROR(reader.Read(&ffn_dim));
+  STM_RETURN_IF_ERROR(reader.Read(&max_seq));
+  STM_RETURN_IF_ERROR(reader.Read(&seed));
+  // Hard caps first so every size product below fits without overflow;
+  // then every array length is cross-checked against the config. The CRC
+  // only proves some writer produced the bytes, not that they are sane.
+  if (vocab_size == 0 || dim == 0 || heads == 0 || max_seq == 0 ||
+      layers == 0 || ffn_dim == 0 || dim % heads != 0 ||
+      vocab_size > (uint64_t{1} << 28) || dim > (uint64_t{1} << 16) ||
+      ffn_dim > (uint64_t{1} << 20) || max_seq > (uint64_t{1} << 16) ||
+      layers > 4096) {
+    return corrupt("implausible quantized-model config");
+  }
+  auto model = std::unique_ptr<QuantizedMiniLm>(new QuantizedMiniLm());
+  model->config_.vocab_size = static_cast<size_t>(vocab_size);
+  model->config_.dim = static_cast<size_t>(dim);
+  model->config_.layers = static_cast<size_t>(layers);
+  model->config_.heads = static_cast<size_t>(heads);
+  model->config_.ffn_dim = static_cast<size_t>(ffn_dim);
+  model->config_.max_seq = static_cast<size_t>(max_seq);
+  model->config_.seed = seed;
+  STM_RETURN_IF_ERROR(reader.Read(&model->token_table_));
+  STM_RETURN_IF_ERROR(reader.Read(&model->pos_table_));
+  STM_RETURN_IF_ERROR(reader.Read(&model->final_gamma_));
+  STM_RETURN_IF_ERROR(reader.Read(&model->final_beta_));
+  const size_t d = model->config_.dim;
+  if (model->token_table_.size() != model->config_.vocab_size * d ||
+      model->pos_table_.size() != model->config_.max_seq * d ||
+      model->final_gamma_.size() != d || model->final_beta_.size() != d) {
+    return corrupt("embedding/norm table size mismatch");
+  }
+  model->layers_.resize(model->config_.layers);
+  for (QuantLayer& layer : model->layers_) {
+    STM_RETURN_IF_ERROR(reader.Read(&layer.ln1_gamma));
+    STM_RETURN_IF_ERROR(reader.Read(&layer.ln1_beta));
+    STM_RETURN_IF_ERROR(reader.Read(&layer.ln2_gamma));
+    STM_RETURN_IF_ERROR(reader.Read(&layer.ln2_beta));
+    if (layer.ln1_gamma.size() != d || layer.ln1_beta.size() != d ||
+        layer.ln2_gamma.size() != d || layer.ln2_beta.size() != d) {
+      return corrupt("layer-norm parameter size mismatch");
+    }
+    STM_RETURN_IF_ERROR(
+        ReadQuantLinear(&reader, path, d, 3 * d, &layer.qkv));
+    STM_RETURN_IF_ERROR(ReadQuantLinear(&reader, path, d, d, &layer.out));
+    STM_RETURN_IF_ERROR(ReadQuantLinear(&reader, path, d,
+                                        model->config_.ffn_dim,
+                                        &layer.ffn1));
+    STM_RETURN_IF_ERROR(ReadQuantLinear(&reader, path,
+                                        model->config_.ffn_dim, d,
+                                        &layer.ffn2));
+  }
+  STM_RETURN_IF_ERROR(reader.Finish());
+  return model;
+}
+
+}  // namespace stm::plm

@@ -1,0 +1,96 @@
+#ifndef STM_PLM_QUANTIZED_MINILM_H_
+#define STM_PLM_QUANTIZED_MINILM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/qgemm.h"
+#include "plm/minilm.h"
+
+namespace stm::plm {
+
+// ---- STM_QUANT switch ----
+//
+// When enabled, MiniLm::Encode/Pool/EncodeBatch/PoolBatch and
+// PairScorer::ScoreBatch route through the frozen int8 path below. The
+// setting is process-wide: read once from the STM_QUANT environment
+// variable ("" / "0" disables, anything else enables), overridable
+// programmatically for tests and embedding servers.
+bool QuantInferenceEnabled();
+
+// 1 = force on, 0 = force off, -1 = follow STM_QUANT (the default).
+void SetQuantInference(int mode);
+
+// Frozen-weight int8 inference encoder, produced by MiniLm::Freeze().
+//
+// The attention/FFN projection weights are quantized per output column
+// and packed once into the la::Int8PackedB micro-kernel layout; biases,
+// layer-norm parameters and the embedding tables stay fp32 (they are
+// O(dim), not worth quantizing, and keeping them exact is what holds the
+// pooled-vector cosine vs fp32 at >= 0.99). The forward pass runs on raw
+// workspace buffers — no autograd Node construction — with fp32
+// attention (seq x seq x head_dim is tiny next to the projections) and
+// int8 GEMMs for qkv/out/ffn1/ffn2.
+//
+// Determinism: weights are quantized at Freeze() time and activations per
+// row of the whole tensor (see la/qgemm.h), so output is bit-identical
+// across STM_NUM_THREADS settings, matching the PR 1 contract.
+class QuantizedMiniLm {
+ public:
+  struct QuantLinear {
+    la::Int8PackedB weight;     // packed [in, out]
+    std::vector<float> bias;    // [out], fp32
+  };
+
+  const MiniLmConfig& config() const { return config_; }
+
+  // Inference API mirroring MiniLm's (same truncation, same shapes).
+  la::Matrix Encode(const std::vector<int32_t>& ids) const;
+  std::vector<float> Pool(const std::vector<int32_t>& ids) const;
+  std::vector<la::Matrix> EncodeBatch(
+      const std::vector<std::vector<int32_t>>& docs) const;
+  la::Matrix PoolBatch(const std::vector<std::vector<int32_t>>& docs) const;
+
+  // Scores hidden @ W + b for row-major features [rows, w.weight.k] into
+  // out [rows, w.weight.n] (zeroed first). Exposed for PairScorer.
+  static void ApplyQuantLinear(const float* x, size_t rows,
+                               const QuantLinear& w, float* out);
+
+  // ---- persistence ----
+  //
+  // The int8 model serializes as its own framed artifact ("STMQ" magic,
+  // CRC32C-checked container, see common/serialize.h): row-major
+  // quantized weights + per-column scales + fp32 biases/norms/embeddings.
+  // A server can load it directly — no fp32 MiniLm weights needed.
+  Status Save(Env* env, const std::string& path) const;
+  static StatusOr<std::unique_ptr<QuantizedMiniLm>> Load(
+      Env* env, const std::string& path);
+
+ private:
+  friend class MiniLm;
+
+  struct QuantLayer {
+    QuantLinear qkv, out, ffn1, ffn2;
+    std::vector<float> ln1_gamma, ln1_beta;
+    std::vector<float> ln2_gamma, ln2_beta;
+  };
+
+  QuantizedMiniLm() = default;
+
+  std::vector<int32_t> Truncate(const std::vector<int32_t>& ids) const;
+
+  MiniLmConfig config_;
+  std::vector<float> token_table_;  // [vocab, dim]
+  std::vector<float> pos_table_;    // [max_seq, dim]
+  std::vector<QuantLayer> layers_;
+  std::vector<float> final_gamma_, final_beta_;
+};
+
+}  // namespace stm::plm
+
+#endif  // STM_PLM_QUANTIZED_MINILM_H_

@@ -1,0 +1,383 @@
+// Tests for the int8 quantized inference path (la/qgemm.h,
+// plm/quantized_minilm.h): quantization round-trip properties, the int8
+// kernel against the fp32 reference under the scale-derived error bound,
+// the frozen encoder's accuracy guardrails vs fp32, thread-count
+// invariance, and the STMQ artifact round-trip. Built as its own binary
+// (stm_quant_tests, ctest label "quant") so scripts/check.sh can run the
+// suite under ASan in isolation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/baselines.h"
+#include "datasets/synthetic.h"
+#include "eval/metrics.h"
+#include "la/gemm_kernels.h"
+#include "la/matrix.h"
+#include "la/qgemm.h"
+#include "plm/minilm.h"
+#include "plm/pair_scorer.h"
+#include "plm/quantized_minilm.h"
+
+namespace stm {
+namespace {
+
+// Restores the global quant switch and thread pool no matter how a test
+// exits, so a failing assertion can't leak state into later tests.
+struct QuantGuard {
+  ~QuantGuard() {
+    plm::SetQuantInference(-1);
+    ThreadPool::Reset(ThreadPool::ConfiguredThreads());
+  }
+};
+
+std::vector<float> RandomVec(size_t n, uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) {
+    x = scale * static_cast<float>(rng.Uniform() * 2.0 - 1.0);
+  }
+  return v;
+}
+
+// ---- quantization round-trip properties ----
+
+TEST(QuantizeTest, RowScaleRecoveryWithinHalfStep) {
+  const size_t k = 37;
+  const std::vector<float> a = RandomVec(4 * k, 11, 3.0f);
+  std::vector<int8_t> q(4 * k);
+  std::vector<float> scales(4);
+  la::QuantizeRowsAbsmax(a.data(), 4, k, la::kInt8BMax, q.data(),
+                         scales.data());
+  for (size_t i = 0; i < 4; ++i) {
+    float absmax = 0.0f;
+    for (size_t p = 0; p < k; ++p) {
+      absmax = std::max(absmax, std::fabs(a[i * k + p]));
+    }
+    EXPECT_FLOAT_EQ(scales[i], absmax / la::kInt8BMax);
+    for (size_t p = 0; p < k; ++p) {
+      EXPECT_LE(std::abs(q[i * k + p]), la::kInt8BMax);
+      // Dequantized value recovers the input within half a step.
+      const float back = scales[i] * static_cast<float>(q[i * k + p]);
+      EXPECT_LE(std::fabs(back - a[i * k + p]), 0.5f * scales[i] + 1e-7f);
+    }
+  }
+}
+
+TEST(QuantizeTest, SaturatesAtQmaxWithUndersizedScale) {
+  const std::vector<float> row = {10.0f, -20.0f, 127.4f, 3.0f};
+  std::vector<int8_t> q(row.size());
+  la::QuantizeRowWithScale(row.data(), row.size(), 0.1f, la::kInt8BMax,
+                           q.data());
+  EXPECT_EQ(q[0], 100);
+  EXPECT_EQ(q[1], -127);  // -200 clamps
+  EXPECT_EQ(q[2], 127);   // 1274 clamps
+  EXPECT_EQ(q[3], 30);
+}
+
+TEST(QuantizeTest, ZeroRowGetsZeroScaleAndZeroValues) {
+  const std::vector<float> a(16, 0.0f);
+  std::vector<int8_t> q(16, 1);
+  std::vector<float> scales(1, 1.0f);
+  la::QuantizeRowsAbsmax(a.data(), 1, 16, la::kInt8AMax, q.data(),
+                         scales.data());
+  EXPECT_EQ(scales[0], 0.0f);
+  for (int8_t v : q) EXPECT_EQ(v, 0);
+}
+
+TEST(QuantizeTest, PackedBZeroColumnIsHarmless) {
+  // One all-zero column among normal ones: scale 0, contributes exactly 0.
+  const size_t k = 9, n = 5;
+  std::vector<float> b = RandomVec(k * n, 17);
+  for (size_t p = 0; p < k; ++p) b[p * n + 2] = 0.0f;
+  const la::Int8PackedB bq = la::PackInt8B(b.data(), n, 1, k, n);
+  EXPECT_EQ(bq.scales[2], 0.0f);
+  const std::vector<float> a = RandomVec(3 * k, 19);
+  std::vector<float> c(3 * n, 0.0f);
+  la::Int8GemmAcc(a.data(), 3, bq, c.data());
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(c[i * n + 2], 0.0f);
+}
+
+// ---- int8 kernel vs fp32 reference ----
+
+// |err(i,j)| <= half an activation step times the column's |b| mass plus
+// half a weight step times the row's |a| mass plus the rounding cross
+// term (each of the k products can be off by at most half a step on
+// either factor).
+void CheckInt8AgainstReference(size_t m, size_t k, size_t n,
+                               uint64_t seed) {
+  const std::vector<float> a = RandomVec(m * k, seed);
+  const std::vector<float> b = RandomVec(k * n, seed + 1);
+  std::vector<float> want(m * n, 0.0f);
+  la::ReferenceGemmAcc(a.data(), b.data(), want.data(), m, k, n);
+  const la::Int8PackedB bq = la::PackInt8B(b.data(), n, 1, k, n);
+  std::vector<float> got(m * n, 0.0f);
+  la::Int8GemmAcc(a.data(), m, bq, got.data());
+  std::vector<float> col_mass(n, 0.0f);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t p = 0; p < k; ++p) col_mass[j] += std::fabs(b[p * n + j]);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    float amax = 0.0f, row_mass = 0.0f;
+    for (size_t p = 0; p < k; ++p) {
+      amax = std::max(amax, std::fabs(a[i * k + p]));
+      row_mass += std::fabs(a[i * k + p]);
+    }
+    const float sa = amax / static_cast<float>(la::kInt8AMax);
+    for (size_t j = 0; j < n; ++j) {
+      const float sb = bq.scales[j];
+      const float bound = 0.5f * sb * row_mass + 0.5f * sa * col_mass[j] +
+                          0.25f * static_cast<float>(k) * sa * sb + 1e-5f;
+      ASSERT_LE(std::fabs(want[i * n + j] - got[i * n + j]), bound)
+          << m << "x" << k << "x" << n << " elem (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Int8GemmTest, MatchesReferenceAcrossShapeSweep) {
+  const size_t dims[] = {1, 3, 5, 8, 13, 33};
+  for (size_t m : dims) {
+    for (size_t k : dims) {
+      for (size_t n : dims) CheckInt8AgainstReference(m, k, n, 7 + m + k + n);
+    }
+  }
+  CheckInt8AgainstReference(96, 64, 96, 23);  // multi-chunk parallel path
+}
+
+TEST(Int8GemmTest, BitIdenticalAcrossThreadCounts) {
+  QuantGuard guard;
+  const size_t m = 61, k = 53, n = 47;
+  const std::vector<float> a = RandomVec(m * k, 29);
+  const std::vector<float> b = RandomVec(k * n, 31);
+  const la::Int8PackedB bq = la::PackInt8B(b.data(), n, 1, k, n);
+  std::vector<std::vector<float>> results;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool::Reset(threads);
+    std::vector<float> c(m * n, 0.0f);
+    la::Int8GemmAcc(a.data(), m, bq, c.data());
+    results.push_back(std::move(c));
+  }
+  ASSERT_EQ(std::memcmp(results[0].data(), results[1].data(),
+                        m * n * sizeof(float)),
+            0);
+}
+
+TEST(Int8GemmTest, RepackMatchesPack) {
+  const size_t k = 21, n = 13;
+  const std::vector<float> b = RandomVec(k * n, 37);
+  const la::Int8PackedB packed = la::PackInt8B(b.data(), n, 1, k, n);
+  const la::Int8PackedB repacked =
+      la::RepackInt8B(packed.rowmajor, packed.scales, k, n);
+  EXPECT_EQ(packed.panels, repacked.panels);
+  EXPECT_EQ(packed.colsums, repacked.colsums);
+}
+
+// ---- frozen encoder: accuracy guardrails and invariance ----
+
+class QuantMiniLmTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datasets::SyntheticSpec spec;
+    spec.dataset_name = "quant-test";
+    spec.seed = 42;
+    spec.num_docs = 60;
+    spec.pretrain_docs = 500;
+    spec.background_vocab = 120;
+    spec.class_vocab = 12;
+    spec.doc_len_min = 15;
+    spec.doc_len_max = 30;
+    spec.topical_fraction = 0.6;
+    spec.classes = {
+        {"soccer", {"goal", "match"}, 1.0, -1},
+        {"court", {"judge", "law"}, 1.0, -1},
+    };
+    data_ = new datasets::SyntheticDataset(datasets::Generate(spec));
+
+    plm::MiniLmConfig config;
+    config.vocab_size = data_->corpus.vocab().size();
+    config.dim = 32;
+    config.layers = 2;
+    config.heads = 2;
+    config.ffn_dim = 64;
+    config.max_seq = 32;
+    model_ = new plm::MiniLm(config);
+    plm::PretrainConfig pretrain;
+    pretrain.steps = 400;
+    pretrain.batch = 6;
+    model_->Pretrain(data_->pretrain_docs, pretrain);
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete data_;
+    model_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static std::vector<std::vector<int32_t>> Docs(size_t count) {
+    std::vector<std::vector<int32_t>> docs;
+    for (size_t d = 0; d < count && d < data_->corpus.num_docs(); ++d) {
+      docs.push_back(data_->corpus.docs()[d].tokens);
+    }
+    return docs;
+  }
+
+  static datasets::SyntheticDataset* data_;
+  static plm::MiniLm* model_;
+};
+
+datasets::SyntheticDataset* QuantMiniLmTest::data_ = nullptr;
+plm::MiniLm* QuantMiniLmTest::model_ = nullptr;
+
+TEST_F(QuantMiniLmTest, PooledCosineVsFp32AtLeast99) {
+  const auto docs = Docs(40);
+  const la::Matrix fp32 = model_->PoolBatch(docs);
+  const auto frozen = model_->Freeze();
+  const la::Matrix quant = frozen->PoolBatch(docs);
+  ASSERT_EQ(fp32.rows(), quant.rows());
+  for (size_t d = 0; d < fp32.rows(); ++d) {
+    EXPECT_GE(la::Cosine(fp32.Row(d), quant.Row(d), fp32.cols()), 0.99f)
+        << "doc " << d;
+  }
+}
+
+TEST_F(QuantMiniLmTest, MacroF1WithinOnePointOfFp32) {
+  QuantGuard guard;
+  const auto& vocab = data_->corpus.vocab();
+  const std::vector<std::vector<int32_t>> class_names = {
+      {vocab.IdOf("soccer")}, {vocab.IdOf("court")}};
+  std::vector<int> gold;
+  for (const auto& doc : data_->corpus.docs()) gold.push_back(doc.labels[0]);
+  plm::SetQuantInference(0);
+  const std::vector<int> fp32_pred =
+      core::PlmSimpleMatchClassify(data_->corpus, *model_, class_names);
+  plm::SetQuantInference(1);
+  const std::vector<int> quant_pred =
+      core::PlmSimpleMatchClassify(data_->corpus, *model_, class_names);
+  const double fp32_f1 = eval::MacroF1(fp32_pred, gold, 2);
+  const double quant_f1 = eval::MacroF1(quant_pred, gold, 2);
+  EXPECT_GE(quant_f1, fp32_f1 - 0.01);
+}
+
+TEST_F(QuantMiniLmTest, QuantEncoderBitIdenticalAcrossThreadCounts) {
+  QuantGuard guard;
+  plm::SetQuantInference(1);
+  const auto docs = Docs(16);
+  std::vector<la::Matrix> pooled;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool::Reset(threads);
+    pooled.push_back(model_->PoolBatch(docs));
+  }
+  ASSERT_EQ(pooled[0].rows(), pooled[1].rows());
+  ASSERT_EQ(std::memcmp(pooled[0].data(), pooled[1].data(),
+                        pooled[0].rows() * pooled[0].cols() * sizeof(float)),
+            0);
+}
+
+TEST_F(QuantMiniLmTest, RoutingMatchesExplicitFreeze) {
+  QuantGuard guard;
+  const std::vector<int32_t> ids = data_->corpus.docs()[3].tokens;
+  const auto frozen = model_->Freeze();
+  plm::SetQuantInference(1);
+  const la::Matrix routed = model_->Encode(ids);
+  const la::Matrix direct = frozen->Encode(ids);
+  ASSERT_EQ(routed.rows(), direct.rows());
+  ASSERT_EQ(std::memcmp(routed.data(), direct.data(),
+                        routed.rows() * routed.cols() * sizeof(float)),
+            0);
+  // And the fp32 path still differs from quant only by quantization
+  // noise, not wholesale (sanity that routing actually switched).
+  plm::SetQuantInference(0);
+  const la::Matrix fp32 = model_->Encode(ids);
+  EXPECT_NE(std::memcmp(fp32.data(), routed.data(),
+                        fp32.rows() * fp32.cols() * sizeof(float)),
+            0);
+}
+
+TEST_F(QuantMiniLmTest, ArtifactRoundTripIsBitwise) {
+  const std::string path = testing::TempDir() + "/quant_roundtrip.bin";
+  const auto frozen = model_->Freeze();
+  ASSERT_TRUE(frozen->Save(Env::Default(), path).ok());
+  auto loaded = plm::QuantizedMiniLm::Load(Env::Default(), path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const auto docs = Docs(8);
+  const la::Matrix a = frozen->PoolBatch(docs);
+  const la::Matrix b = loaded.value()->PoolBatch(docs);
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                        a.rows() * a.cols() * sizeof(float)),
+            0);
+}
+
+TEST_F(QuantMiniLmTest, LoadRejectsBitFlipAndGarbage) {
+  const std::string path = testing::TempDir() + "/quant_corrupt.bin";
+  ASSERT_TRUE(model_->Freeze()->Save(Env::Default(), path).ok());
+  StatusOr<std::string> data = Env::Default()->ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  std::string flipped = data.value();
+  flipped[flipped.size() / 2] ^= 0x20;
+  ASSERT_TRUE(Env::Default()->WriteFileAtomic(path, flipped).ok());
+  EXPECT_FALSE(plm::QuantizedMiniLm::Load(Env::Default(), path).ok());
+
+  const std::string garbage = testing::TempDir() + "/quant_garbage.bin";
+  ASSERT_TRUE(Env::Default()->WriteFileAtomic(garbage, "not a model").ok());
+  EXPECT_FALSE(plm::QuantizedMiniLm::Load(Env::Default(), garbage).ok());
+}
+
+// ---- pair scorer quant path ----
+
+TEST(PairScorerQuantTest, QuantScoresTrackFp32AndAreThreadInvariant) {
+  QuantGuard guard;
+  const size_t dim = 12;
+  plm::PairScorer::Config config;
+  config.encoder_dim = dim;
+  config.epochs = 4;
+  plm::PairScorer scorer(config);
+  Rng rng(5);
+  std::vector<std::vector<float>> u, v;
+  std::vector<float> labels;
+  for (size_t i = 0; i < 64; ++i) {
+    u.push_back(RandomVec(dim, 100 + i));
+    // Positives share direction with u, negatives are independent.
+    if (i % 2 == 0) {
+      v.push_back(u.back());
+      for (float& x : v.back()) {
+        x += 0.1f * static_cast<float>(rng.Uniform() - 0.5);
+      }
+      labels.push_back(1.0f);
+    } else {
+      v.push_back(RandomVec(dim, 500 + i));
+      labels.push_back(0.0f);
+    }
+  }
+  scorer.Train(u, v, labels);
+
+  plm::SetQuantInference(0);
+  const std::vector<float> fp32 = scorer.ScoreBatch(u, v);
+  plm::SetQuantInference(1);
+  const std::vector<float> quant = scorer.ScoreBatch(u, v);
+  ASSERT_EQ(fp32.size(), quant.size());
+  for (size_t i = 0; i < fp32.size(); ++i) {
+    EXPECT_NEAR(fp32[i], quant[i], 0.05f) << "pair " << i;
+  }
+
+  std::vector<std::vector<float>> runs;
+  for (size_t threads : {size_t{1}, size_t{3}}) {
+    ThreadPool::Reset(threads);
+    runs.push_back(scorer.ScoreBatch(u, v));
+  }
+  ASSERT_EQ(std::memcmp(runs[0].data(), runs[1].data(),
+                        runs[0].size() * sizeof(float)),
+            0);
+}
+
+}  // namespace
+}  // namespace stm
