@@ -1,0 +1,201 @@
+// Batch-encoding bench: padded vs length-bucketed batching vs the
+// embedding cache, over a mixed-length corpus shaped like the tutorial
+// datasets (mostly short documents with a long tail). One row per
+// execution mode in fp32 and int8 (STM_QUANT path); the "cached" row
+// times a warm PoolBatch pass against an in-memory EncodeCache. With
+// STM_BENCH_JSON=<path>, every timing plus the derived speedup ratios is
+// recorded for scripted before/after comparison (see bench/run_benches.sh,
+// which commits the single-thread numbers as BENCH_encode.json).
+//
+//   ./bench_encode            full sweep (respects STM_NUM_THREADS)
+//   ./bench_encode --smoke    fast correctness pass used by ctest; exits
+//                             non-zero if bucketed/padded/cached outputs
+//                             are not BIT-identical to per-document calls
+//                             in both fp32 and int8
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "la/matrix.h"
+#include "plm/batch_scheduler.h"
+#include "plm/encode_cache.h"
+#include "plm/minilm.h"
+#include "plm/quantized_minilm.h"
+#include "text/vocabulary.h"
+
+namespace stm {
+namespace {
+
+// Tutorial-shaped length mix: 70% short (4-12 tokens), 25% medium
+// (13-28), 5% near the max_seq cap — the regime where padding to the
+// global max wastes most of the batch.
+std::vector<std::vector<int32_t>> SkewedCorpus(size_t count, size_t vocab,
+                                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> docs(count);
+  for (auto& doc : docs) {
+    size_t len;
+    const double r = rng.Uniform();
+    if (r < 0.70) {
+      len = 4 + rng.UniformInt(9);
+    } else if (r < 0.95) {
+      len = 13 + rng.UniformInt(16);
+    } else {
+      len = 36 + rng.UniformInt(13);
+    }
+    doc.resize(len);
+    for (int32_t& id : doc) {
+      id = text::kNumSpecialTokens +
+           static_cast<int32_t>(
+               rng.UniformInt(vocab - text::kNumSpecialTokens));
+    }
+  }
+  return docs;
+}
+
+std::unique_ptr<plm::MiniLm> BenchModel(size_t vocab) {
+  plm::MiniLmConfig config;
+  config.vocab_size = vocab;
+  config.dim = 40;
+  config.layers = 2;
+  config.heads = 4;
+  config.ffn_dim = 80;
+  config.max_seq = 48;
+  config.seed = 17;
+  // Random init: batching/caching speed and bit-identity are independent
+  // of training, and skipping pre-training keeps the bench self-contained.
+  return std::make_unique<plm::MiniLm>(config);
+}
+
+void SetMode(plm::BatchMode mode) {
+  plm::BatchOptions options;
+  options.mode = mode;
+  plm::SetBatchOptions(options);
+}
+
+double TimePoolBatch(plm::MiniLm& model,
+                     const std::vector<std::vector<int32_t>>& docs,
+                     const std::string& json_method) {
+  WallTimer timer;
+  {
+    bench::MethodTimer method("encode", json_method);
+    const la::Matrix pooled = model.PoolBatch(docs);
+    // Keep the result alive so the pass cannot be optimized away.
+    if (pooled.rows() != docs.size()) std::abort();
+  }
+  return timer.Seconds();
+}
+
+void RecordRatio(const std::string& name, double ratio) {
+  bench::BenchJsonWriter::Instance().Record("encode", name, ratio);
+}
+
+int RunSweep() {
+  const size_t kVocab = 1000;
+  const auto docs = SkewedCorpus(1400, kVocab, 99);
+  auto model = BenchModel(kVocab);
+
+  bench::Table table("Batch encoding: padded vs bucketed vs cached "
+                     "(PoolBatch seconds, lower is better)",
+                     {"perdoc_s", "padded_s", "bucket_s", "speedup",
+                      "cached_s", "cache_x"});
+
+  for (const bool quant : {false, true}) {
+    const std::string prefix = quant ? "int8" : "fp32";
+    plm::SetQuantInference(quant ? 1 : 0);
+    bench::Progress(prefix + ": warmup");
+    SetMode(plm::BatchMode::kBucketed);
+    (void)model->PoolBatch({docs[0], docs[1]});  // freeze/pack once
+
+    SetMode(plm::BatchMode::kPerDoc);
+    const double perdoc = TimePoolBatch(*model, docs, prefix + "_perdoc");
+    bench::Progress(prefix + ": perdoc " + std::to_string(perdoc) + "s");
+    SetMode(plm::BatchMode::kPadded);
+    const double padded = TimePoolBatch(*model, docs, prefix + "_padded");
+    bench::Progress(prefix + ": padded " + std::to_string(padded) + "s");
+    SetMode(plm::BatchMode::kBucketed);
+    const double bucketed =
+        TimePoolBatch(*model, docs, prefix + "_bucketed");
+    bench::Progress(prefix + ": bucketed " + std::to_string(bucketed) +
+                    "s");
+
+    // Warm-cache pass: fill once, then time a pure-hit run.
+    plm::EncodeCache::Config cache_config;
+    cache_config.max_bytes = size_t{512} * 1024 * 1024;
+    model->SetEncodeCache(std::make_shared<plm::EncodeCache>(cache_config));
+    (void)model->PoolBatch(docs);
+    const double cached = TimePoolBatch(*model, docs, prefix + "_cached");
+    bench::Progress(prefix + ": cached " + std::to_string(cached) + "s");
+    model->SetEncodeCache(nullptr);
+
+    const double speedup = bucketed > 0 ? padded / bucketed : 0.0;
+    const double cache_x = cached > 0 ? bucketed / cached : 0.0;
+    RecordRatio(prefix + "_bucketed_speedup", speedup);
+    RecordRatio(prefix + "_cache_speedup", cache_x);
+    table.AddRow(prefix, {perdoc, padded, bucketed, speedup, cached,
+                          cache_x});
+  }
+  plm::SetQuantInference(-1);
+  SetMode(plm::BatchMode::kBucketed);
+  table.Print();
+  return 0;
+}
+
+// Fast ctest pass: every batch mode and the cache must reproduce the
+// per-document outputs bit-for-bit in both precisions.
+int RunSmoke() {
+  const size_t kVocab = 200;
+  const auto docs = SkewedCorpus(48, kVocab, 7);
+  auto model = BenchModel(kVocab);
+  int failures = 0;
+
+  for (const bool quant : {false, true}) {
+    plm::SetQuantInference(quant ? 1 : 0);
+    SetMode(plm::BatchMode::kPerDoc);
+    const la::Matrix want = model->PoolBatch(docs);
+    for (const plm::BatchMode mode :
+         {plm::BatchMode::kPadded, plm::BatchMode::kBucketed}) {
+      SetMode(mode);
+      const la::Matrix got = model->PoolBatch(docs);
+      if (std::memcmp(want.data(), got.data(),
+                      want.size() * sizeof(float)) != 0) {
+        std::fprintf(stderr,
+                     "FAIL: quant=%d mode=%d differs from perdoc\n",
+                     quant ? 1 : 0, static_cast<int>(mode));
+        ++failures;
+      }
+    }
+    SetMode(plm::BatchMode::kBucketed);
+    model->SetEncodeCache(std::make_shared<plm::EncodeCache>(
+        plm::EncodeCache::Config{}));
+    (void)model->PoolBatch(docs);  // fill
+    const la::Matrix cached = model->PoolBatch(docs);  // pure hits
+    if (std::memcmp(want.data(), cached.data(),
+                    want.size() * sizeof(float)) != 0) {
+      std::fprintf(stderr, "FAIL: quant=%d cached differs from perdoc\n",
+                   quant ? 1 : 0);
+      ++failures;
+    }
+    model->SetEncodeCache(nullptr);
+  }
+  plm::SetQuantInference(-1);
+  if (failures == 0) std::printf("bench_encode --smoke: OK\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace stm
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--smoke") {
+    return stm::RunSmoke();
+  }
+  return stm::RunSweep();
+}

@@ -17,16 +17,18 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== robustness + quant suites under AddressSanitizer =="
+echo "== robustness + quant + encode suites under AddressSanitizer =="
 # The fault-injection tests push torn, truncated and bit-flipped artifacts
 # through every load path — exactly where an out-of-bounds read would hide,
 # so they run a second time with ASan watching. The quant suite joins them:
 # the int8 pack/micro-kernel code is exactly the kind of byte-offset
-# arithmetic ASan is for.
+# arithmetic ASan is for. The encode suite covers the bucketed batch
+# scatter/gather and the cache's disk spill/quarantine paths, both heavy on
+# raw buffer offsets.
 cmake -B "$ASAN_BUILD_DIR" -S . -DSTM_SANITIZE=address
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target stm_robustness_tests \
-  --target stm_quant_tests
-ctest --test-dir "$ASAN_BUILD_DIR" -L 'robustness|quant' --output-on-failure \
-  -j "$JOBS"
+  --target stm_quant_tests --target stm_encode_tests
+ctest --test-dir "$ASAN_BUILD_DIR" -L 'robustness|quant|encode' \
+  --output-on-failure -j "$JOBS"
 
 echo "== all checks passed =="

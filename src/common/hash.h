@@ -1,6 +1,7 @@
 #ifndef STM_COMMON_HASH_H_
 #define STM_COMMON_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -16,6 +17,14 @@ inline uint64_t Fnv1a(std::string_view data,
     hash *= 0x100000001B3ULL;
   }
   return hash;
+}
+
+// FNV-1a over an arbitrary byte span (cache keys over binary payloads
+// such as token-id arrays).
+inline uint64_t Fnv1aBytes(const void* data, size_t size,
+                           uint64_t seed = 0xCBF29CE484222325ULL) {
+  return Fnv1a(
+      std::string_view(static_cast<const char*>(data), size), seed);
 }
 
 // Order-dependent combination of two hashes.

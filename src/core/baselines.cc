@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "la/matrix.h"
 #include "nn/text_classifier.h"
+#include "plm/encode_cache.h"
 #include "text/tfidf.h"
 #include "text/vocabulary.h"
 
@@ -160,6 +161,7 @@ std::vector<int> EmbeddingSimilarityClassify(
 std::vector<int> PlmSimpleMatchClassify(
     const text::Corpus& corpus, plm::MiniLm& model,
     const std::vector<std::vector<int32_t>>& class_name_tokens) {
+  plm::ScopedEncodeCache encode_cache(&model);
   const la::Matrix class_reps = model.PoolBatch(class_name_tokens);
   std::vector<std::vector<int32_t>> doc_tokens;
   doc_tokens.reserve(corpus.num_docs());

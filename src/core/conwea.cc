@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "la/matrix.h"
 #include "nn/text_classifier.h"
+#include "plm/encode_cache.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
 
@@ -117,6 +118,11 @@ std::vector<int> ConWea::Run(const text::WeakSupervision& supervision) {
   const size_t num_classes = corpus_.num_labels();
   STM_CHECK_EQ(supervision.class_keywords.size(), num_classes);
   seeds_ = supervision.class_keywords;
+
+  // Seed words recur across iterations (and across classes), so their
+  // context windows are re-encoded every round; a scoped cache makes each
+  // distinct window cost one encode for the whole run.
+  plm::ScopedEncodeCache encode_cache(model_);
 
   std::vector<int> predictions(corpus_.num_docs(), 0);
   for (int iteration = 0; iteration < config_.iterations; ++iteration) {

@@ -9,6 +9,7 @@
 #include "nn/loss.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
+#include "plm/encode_cache.h"
 #include "text/vocabulary.h"
 
 namespace stm::core {
@@ -114,6 +115,11 @@ std::unique_ptr<plm::PairScorer> Micol::TrainCrossEncoder(
     const std::vector<std::pair<size_t, size_t>>& pairs) {
   STM_CHECK(!pairs.empty());
   Rng rng(config_.seed + 1);
+  // Pure inference over the (frozen-at-this-point) encoder; anchors recur
+  // across pairs, so the cache collapses repeated pools. Scoped to this
+  // function only: FineTuneBiEncoder without a projection head mutates the
+  // encoder weights, so a run-wide cache would serve stale vectors.
+  plm::ScopedEncodeCache encode_cache(model_);
   // Draw all negatives first (one draw per pair, in pair order, so the
   // rng sequence matches the old interleaved loop), then pool each
   // involved document once, in parallel.
@@ -194,6 +200,7 @@ std::vector<std::vector<int>> RankAll(
 
 std::vector<std::vector<int>> Micol::RankByBiEncoder(
     const std::vector<std::vector<int32_t>>& label_texts) {
+  plm::ScopedEncodeCache encode_cache(model_);
   std::vector<std::vector<float>> doc_reps(corpus_.num_docs());
   ParallelFor(0, corpus_.num_docs(), 1, [&](size_t b, size_t e) {
     for (size_t d = b; d < e; ++d) {
@@ -215,6 +222,7 @@ std::vector<std::vector<int>> Micol::RankByCrossEncoder(
     plm::PairScorer* scorer,
     const std::vector<std::vector<int32_t>>& label_texts) {
   STM_CHECK(scorer != nullptr);
+  plm::ScopedEncodeCache encode_cache(model_);
   std::vector<std::vector<int32_t>> doc_tokens;
   doc_tokens.reserve(corpus_.num_docs());
   for (const auto& doc : corpus_.docs()) doc_tokens.push_back(doc.tokens);

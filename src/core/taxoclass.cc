@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "nn/feature_classifier.h"
+#include "plm/encode_cache.h"
 #include "text/tfidf.h"
 
 namespace stm::core {
@@ -91,6 +92,12 @@ std::unique_ptr<plm::PairScorer> TrainRelevanceModel(
   STM_CHECK(!aux_topic_name_tokens.empty());
   Rng rng(seed);
 
+  // Every topic rep below re-encodes the subset of aux docs containing
+  // its name, and the pair-construction pass re-encodes all of them; a
+  // scoped cache collapses those overlapping passes into one encode per
+  // distinct document.
+  plm::ScopedEncodeCache encode_cache(model);
+
   // Occurrence-averaged topic representations over the aux corpus.
   std::vector<std::vector<float>> topic_reps;
   for (const auto& tokens : aux_topic_name_tokens) {
@@ -151,6 +158,11 @@ TaxoClass::Result TaxoClass::Run(
   STM_CHECK_EQ(label_name_tokens.size(), tree_.size());
   const size_t num_nodes = tree_.size();
   const size_t num_docs = corpus_.num_docs();
+
+  // Per-node occurrence reps each encode the documents containing that
+  // node's name, and the relevance pass encodes the full corpus; cache
+  // the hidden states so every distinct document is encoded once.
+  plm::ScopedEncodeCache encode_cache(model_);
 
   // Occurrence-averaged class representations over the target corpus
   // (class names only — no labels involved).

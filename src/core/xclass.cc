@@ -7,6 +7,7 @@
 #include "cluster/cluster.h"
 #include "common/check.h"
 #include "nn/text_classifier.h"
+#include "plm/encode_cache.h"
 #include "text/vocabulary.h"
 
 namespace stm::core {
@@ -22,6 +23,11 @@ std::vector<int> XClass::Run(
   const size_t num_classes = label_names.size();
   STM_CHECK_EQ(num_classes, corpus_.num_labels());
   const size_t dim = model_->config().dim;
+
+  // The hidden-state pass below and AverageDocReps' PoolBatch cover the
+  // same documents; with a cache in scope the pooled vectors are derived
+  // from the cached hidden rows instead of a second full encode.
+  plm::ScopedEncodeCache encode_cache(model_);
 
   // ---- one encoding pass: cache hidden states, accumulate static word
   //      representations (mean contextual vector per word) ----

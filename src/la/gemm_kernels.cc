@@ -22,6 +22,12 @@ void Int8RunRowChunk(const uint8_t* aoff, const float* a_scales,
                      const int8_t* bpanels, const float* b_scales,
                      const int32_t* b_colsums, float* c, size_t k, size_t n,
                      size_t r0, size_t r1);
+void ReferenceGemmAcc(const float* a, const float* b, float* c, size_t m,
+                      size_t k, size_t n);
+void ReferenceGemmBtAcc(const float* a, const float* b, float* c, size_t m,
+                        size_t k, size_t n);
+void ReferenceGemmAtAcc(const float* a, const float* b, float* c, size_t m,
+                        size_t k, size_t n);
 }  // namespace generic
 
 #ifdef STM_HAVE_AVX2_KERNELS
@@ -35,6 +41,12 @@ void Int8RunRowChunk(const uint8_t* aoff, const float* a_scales,
                      const int8_t* bpanels, const float* b_scales,
                      const int32_t* b_colsums, float* c, size_t k, size_t n,
                      size_t r0, size_t r1);
+void ReferenceGemmAcc(const float* a, const float* b, float* c, size_t m,
+                      size_t k, size_t n);
+void ReferenceGemmBtAcc(const float* a, const float* b, float* c, size_t m,
+                        size_t k, size_t n);
+void ReferenceGemmAtAcc(const float* a, const float* b, float* c, size_t m,
+                        size_t k, size_t n);
 }  // namespace avx2
 #endif
 
@@ -45,12 +57,19 @@ const GemmKernelFns& ActiveGemmKernels() {
   static const GemmKernelFns fns = [] {
 #ifdef STM_HAVE_AVX2_KERNELS
     if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-      return GemmKernelFns{&avx2::PackBPanels, &avx2::RunRowChunk,
-                           &avx2::Int8RunRowChunk, "avx2+fma"};
+      return GemmKernelFns{&avx2::PackBPanels,        &avx2::RunRowChunk,
+                           &avx2::Int8RunRowChunk,    &avx2::ReferenceGemmAcc,
+                           &avx2::ReferenceGemmBtAcc, &avx2::ReferenceGemmAtAcc,
+                           "avx2+fma"};
     }
 #endif
-    return GemmKernelFns{&generic::PackBPanels, &generic::RunRowChunk,
-                         &generic::Int8RunRowChunk, "generic"};
+    return GemmKernelFns{&generic::PackBPanels,
+                         &generic::RunRowChunk,
+                         &generic::Int8RunRowChunk,
+                         &generic::ReferenceGemmAcc,
+                         &generic::ReferenceGemmBtAcc,
+                         &generic::ReferenceGemmAtAcc,
+                         "generic"};
   }();
   return fns;
 }
@@ -60,46 +79,25 @@ const GemmKernelFns& ActiveGemmKernels() {
 const char* GemmKernelIsa() { return detail::ActiveGemmKernels().name; }
 
 // ---- serial scalar reference kernels (the seed inner loops) ----
+//
+// The bodies live in gemm_kernels_impl.h, built per ISA namespace, so the
+// reference loops and the packed micro-kernel share one FP-contraction
+// regime: whichever side of the UsePackedGemm threshold a shape lands on,
+// the per-cell accumulation chain rounds identically.
 
 void ReferenceGemmAcc(const float* a, const float* b, float* c, size_t m,
                       size_t k, size_t n) {
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  detail::ActiveGemmKernels().reference_gemm_acc(a, b, c, m, k, n);
 }
 
 void ReferenceGemmBtAcc(const float* a, const float* b, float* c, size_t m,
                         size_t k, size_t n) {
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float sum = 0.0f;
-      for (size_t p = 0; p < k; ++p) sum += arow[p] * brow[p];
-      crow[j] += sum;
-    }
-  }
+  detail::ActiveGemmKernels().reference_gemm_bt_acc(a, b, c, m, k, n);
 }
 
 void ReferenceGemmAtAcc(const float* a, const float* b, float* c, size_t m,
                         size_t k, size_t n) {
-  for (size_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    for (size_t p = 0; p < k; ++p) {
-      const float av = a[p * m + i];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  detail::ActiveGemmKernels().reference_gemm_at_acc(a, b, c, m, k, n);
 }
 
 // ---- packed driver ----

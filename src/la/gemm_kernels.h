@@ -117,6 +117,16 @@ struct GemmKernelFns {
                         const int8_t* bpanels, const float* b_scales,
                         const int32_t* b_colsums, float* c, size_t k,
                         size_t n, size_t r0, size_t r1);
+  // Serial scalar kernels built in the same TU as the micro-kernel so
+  // both sides of the UsePackedGemm dispatch share one FP-contraction
+  // regime (see gemm_kernels_impl.h) — a shape change can move a GEMM
+  // across the dispatch threshold without changing a single output bit.
+  void (*reference_gemm_acc)(const float* a, const float* b, float* c,
+                             size_t m, size_t k, size_t n);
+  void (*reference_gemm_bt_acc)(const float* a, const float* b, float* c,
+                                size_t m, size_t k, size_t n);
+  void (*reference_gemm_at_acc)(const float* a, const float* b, float* c,
+                                size_t m, size_t k, size_t n);
   const char* name;
 };
 

@@ -121,6 +121,58 @@ void RunRowChunk(const float* a, size_t a_rs, size_t a_cs,
   ReleaseVec(std::move(apack));
 }
 
+// ---- serial scalar reference kernels ----
+//
+// Compiled once per ISA namespace so they see the SAME floating-point
+// contraction flags as the packed micro-kernel above (the AVX2 TU builds
+// with -mfma, where GCC fuses `c += a * b` into one rounding). That keeps
+// every per-cell accumulation chain — one accumulator, ascending p —
+// bitwise identical between the reference and packed kernels, so the
+// shape-based UsePackedGemm dispatch can never change output bits: a
+// per-document call (small m, reference) and a length-bucketed batch
+// (large m, packed) of the same row produce the same floats.
+
+void ReferenceGemmAcc(const float* a, const float* b, float* c, size_t m,
+                      size_t k, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void ReferenceGemmBtAcc(const float* a, const float* b, float* c, size_t m,
+                        size_t k, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float sum = 0.0f;
+      for (size_t p = 0; p < k; ++p) sum += arow[p] * brow[p];
+      crow[j] += sum;
+    }
+  }
+}
+
+void ReferenceGemmAtAcc(const float* a, const float* b, float* c, size_t m,
+                        size_t k, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a[p * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
 // ---- int8 quantized path (see la/qgemm.h for the layout contract) ----
 
 // Packs rows [i0, i0 + mr) of the row-major offset-quantized A bytes

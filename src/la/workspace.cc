@@ -12,6 +12,9 @@ namespace {
 // attention graphs in the benches while keeping idle threads cheap.
 constexpr size_t kMaxBuffers = 512;
 constexpr size_t kMaxFloats = size_t{16} * 1024 * 1024;
+// Hard ceiling on ReserveThreadFloats hints (64M floats = 256MB): a
+// batch scheduler sizing buckets can raise the cap, but never past this.
+constexpr size_t kMaxReservedFloats = size_t{64} * 1024 * 1024;
 
 // Thread-local slot with an explicit destroyed flag so Release during
 // thread teardown (static destruction order) degrades to a plain free
@@ -60,10 +63,18 @@ void Workspace::Release(std::vector<float>&& buf) {
   pool_.insert(it, std::move(buf));
   // Evict smallest-capacity buffers first: large panels are the expensive
   // ones to reallocate.
-  while (pool_.size() > kMaxBuffers || cached_floats_ > kMaxFloats) {
+  const size_t cap = max_floats_ > 0 ? max_floats_ : kMaxFloats;
+  while (pool_.size() > kMaxBuffers || cached_floats_ > cap) {
     cached_floats_ -= pool_.front().capacity();
     pool_.erase(pool_.begin());
   }
+}
+
+void Workspace::ReserveThreadFloats(size_t floats) {
+  Workspace* ws = ThreadLocalOrNull();
+  if (ws == nullptr) return;
+  const size_t want = std::min(floats, kMaxReservedFloats);
+  ws->max_floats_ = std::max(std::max(ws->max_floats_, kMaxFloats), want);
 }
 
 void Workspace::Clear() {

@@ -48,14 +48,23 @@ class Workspace {
   // Drops every cached buffer (testing hook).
   void Clear();
 
+  // Raises the calling thread's float-cache cap so a large working set —
+  // e.g. one length bucket's encoder graph (see plm/batch_scheduler.h) —
+  // stays pooled across consecutive forwards instead of being evicted
+  // and reallocated each time. Only ever grows the cap, and is clamped
+  // to a hard ceiling so a hostile hint cannot pin unbounded memory.
+  static void ReserveThreadFloats(size_t floats);
+
   size_t cached_buffers() const { return pool_.size(); }
   size_t cached_floats() const { return cached_floats_; }
+  size_t max_floats() const { return max_floats_; }
 
  private:
   // Sorted by capacity, ascending; Acquire takes the best (smallest
   // sufficient) fit.
   std::vector<std::vector<float>> pool_;
   size_t cached_floats_ = 0;
+  size_t max_floats_ = 0;  // 0 = default cap (set on first Release)
 };
 
 // Convenience wrappers over the calling thread's workspace; they fall

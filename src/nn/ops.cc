@@ -192,6 +192,35 @@ Tensor AddConstant(const Tensor& x, const std::vector<float>& c) {
   return out;
 }
 
+Tensor AddConstantBroadcast(const Tensor& x, const std::vector<float>& c,
+                            size_t repeat, size_t block) {
+  STM_CHECK_GT(repeat, 0u);
+  STM_CHECK_GT(block, 0u);
+  STM_CHECK_EQ(c.size() % block, 0u);
+  const size_t groups = c.size() / block;
+  STM_CHECK_EQ(x.size(), groups * repeat * block);
+  // The constant does not take gradient, so backward is the same
+  // pass-through as AddConstant.
+  Tensor out = MakeOp(x.shape(), {x}, [](Node& node) {
+    Node* px = node.parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      px->grad[i] += node.grad[i];
+    }
+  });
+  for (size_t g = 0; g < groups; ++g) {
+    const float* cb = c.data() + g * block;
+    for (size_t r = 0; r < repeat; ++r) {
+      const size_t base = (g * repeat + r) * block;
+      const float* xb = x.value().data() + base;
+      float* ob = out.value().data() + base;
+      for (size_t i = 0; i < block; ++i) ob[i] = xb[i] + cb[i];
+    }
+  }
+  return out;
+}
+
 Tensor Relu(const Tensor& x) {
   Tensor out = MakeOp(x.shape(), {x}, [](Node& node) {
     Node* px = node.parents[0].get();

@@ -28,6 +28,13 @@ Tensor AddBias(const Tensor& x, const Tensor& bias);
 // (attention masks).
 Tensor AddConstant(const Tensor& x, const std::vector<float>& c);
 
+// x + c with each `block`-sized slab of `c` broadcast over `repeat`
+// consecutive slabs of x: x is G*repeat blocks, c is G blocks, and
+// x-block g*repeat + r receives c-block g. Lets the attention mask store
+// one seq*seq slab per sequence instead of one per (sequence, head).
+Tensor AddConstantBroadcast(const Tensor& x, const std::vector<float>& c,
+                            size_t repeat, size_t block);
+
 // ---- activations ----
 
 Tensor Relu(const Tensor& x);

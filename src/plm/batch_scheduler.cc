@@ -1,0 +1,145 @@
+#include "plm/batch_scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <string>
+
+#include "common/check.h"
+
+namespace stm::plm {
+
+namespace {
+
+BatchOptions OptionsFromEnv() {
+  BatchOptions options;
+  if (const char* mode = std::getenv("STM_ENCODE_BATCH")) {
+    const std::string value(mode);
+    if (value == "perdoc") {
+      options.mode = BatchMode::kPerDoc;
+    } else if (value == "padded") {
+      options.mode = BatchMode::kPadded;
+    } else if (!value.empty() && value != "bucketed") {
+      std::fprintf(stderr,
+                   "[stm] unknown STM_ENCODE_BATCH '%s'; using bucketed\n",
+                   value.c_str());
+    }
+  }
+  if (const char* waste = std::getenv("STM_ENCODE_BUCKET_WASTE")) {
+    const float value = std::strtof(waste, nullptr);
+    if (value >= 0.0f && value <= 1.0f) options.max_waste = value;
+  }
+  if (const char* tokens = std::getenv("STM_ENCODE_BUCKET_TOKENS")) {
+    const unsigned long long value = std::strtoull(tokens, nullptr, 10);
+    if (value > 0) options.max_bucket_tokens = static_cast<size_t>(value);
+  }
+  return options;
+}
+
+std::mutex& OptionsMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+BatchOptions& GlobalOptions() {
+  static BatchOptions options = OptionsFromEnv();
+  return options;
+}
+
+}  // namespace
+
+BatchOptions GetBatchOptions() {
+  std::lock_guard<std::mutex> lock(OptionsMutex());
+  return GlobalOptions();
+}
+
+void SetBatchOptions(const BatchOptions& options) {
+  STM_CHECK_GE(options.max_waste, 0.0f);
+  STM_CHECK_LE(options.max_waste, 1.0f);
+  STM_CHECK_GT(options.max_bucket_tokens, 0u);
+  std::lock_guard<std::mutex> lock(OptionsMutex());
+  GlobalOptions() = options;
+}
+
+BatchPlan PlanBuckets(const std::vector<size_t>& lengths,
+                      const BatchOptions& options) {
+  BatchPlan plan;
+  const size_t n = lengths.size();
+  if (n == 0) return plan;
+  for (size_t len : lengths) {
+    STM_CHECK_GT(len, 0u);
+    plan.real_tokens += len;
+  }
+
+  if (options.mode == BatchMode::kPerDoc) {
+    plan.buckets.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      plan.buckets.push_back({lengths[i], {i}});
+      plan.padded_tokens += lengths[i];
+    }
+    return plan;
+  }
+
+  if (options.mode == BatchMode::kPadded) {
+    // Everything runs at the global max length; the token bound only
+    // chunks the batch (in input order) so activation memory stays flat —
+    // the per-document padding bill is the same in every chunk.
+    const size_t seq = *std::max_element(lengths.begin(), lengths.end());
+    const size_t per_bucket =
+        std::max<size_t>(1, options.max_bucket_tokens / seq);
+    for (size_t start = 0; start < n; start += per_bucket) {
+      EncodeBucket bucket;
+      bucket.seq = seq;
+      for (size_t i = start; i < std::min(n, start + per_bucket); ++i) {
+        bucket.docs.push_back(i);
+      }
+      plan.padded_tokens += seq * bucket.docs.size();
+      plan.buckets.push_back(std::move(bucket));
+    }
+    return plan;
+  }
+
+  // Bucketed: sort by (length desc, index asc) — the index tie-break keeps
+  // the plan deterministic — then greedily fill. A bucket's padded length
+  // is fixed by its first (longest) member, so appending a document only
+  // ever adds `seq - len` pad tokens; the bucket closes when the next
+  // document would push the pad fraction past max_waste or the token
+  // count past max_bucket_tokens.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (lengths[a] != lengths[b]) return lengths[a] > lengths[b];
+    return a < b;
+  });
+
+  EncodeBucket bucket;
+  size_t bucket_real = 0;
+  const auto flush = [&]() {
+    if (bucket.docs.empty()) return;
+    plan.padded_tokens += bucket.seq * bucket.docs.size();
+    plan.buckets.push_back(std::move(bucket));
+    bucket = EncodeBucket();
+    bucket_real = 0;
+  };
+  for (size_t i : order) {
+    const size_t len = lengths[i];
+    if (!bucket.docs.empty()) {
+      const size_t count = bucket.docs.size() + 1;
+      const size_t padded = bucket.seq * count;
+      const float waste = static_cast<float>(padded - (bucket_real + len)) /
+                          static_cast<float>(padded);
+      if (padded > options.max_bucket_tokens || waste > options.max_waste) {
+        flush();
+      }
+    }
+    if (bucket.docs.empty()) bucket.seq = len;
+    bucket.docs.push_back(i);
+    bucket_real += len;
+  }
+  flush();
+  return plan;
+}
+
+}  // namespace stm::plm

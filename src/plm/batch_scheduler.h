@@ -1,0 +1,67 @@
+#ifndef STM_PLM_BATCH_SCHEDULER_H_
+#define STM_PLM_BATCH_SCHEDULER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace stm::plm {
+
+// Length-bucketed batch planning for the frozen encoder path.
+//
+// Attention cost is quadratic in the padded length, so padding a batch of
+// mostly-short documents to the longest one makes every short document
+// pay the long document's bill. PlanBuckets sorts documents by length and
+// groups them into buckets whose padded length is the longest member, with
+// the fraction of pad tokens per bucket bounded by `max_waste`. Results
+// are scattered back to input order by the callers (MiniLm::EncodeBatch /
+// QuantizedMiniLm::EncodeBatch), so bucketing is invisible to them except
+// for speed: every output is bit-identical to the per-document call (the
+// kernels accumulate in a fixed order over exactly the same extents, and
+// masked/pad positions never contribute to live rows).
+
+enum class BatchMode {
+  kPerDoc,    // one forward pass per document (the pre-bucketing behavior)
+  kPadded,    // every document padded to the longest in the batch
+  kBucketed,  // length-sorted buckets with bounded padding waste
+};
+
+struct BatchOptions {
+  BatchMode mode = BatchMode::kBucketed;
+  // Upper bound on the fraction of pad tokens a bucket may carry
+  // (pad / (count * seq)); a document longer than every open bucket
+  // always starts its own, so the bound can never strand a document.
+  float max_waste = 0.25f;
+  // Upper bound on count * seq tokens materialized by one bucket forward,
+  // keeping activation memory flat no matter how large the batch is.
+  size_t max_bucket_tokens = 4096;
+};
+
+// Process-wide options, defaulted from the environment on first use:
+//   STM_ENCODE_BATCH         perdoc | padded | bucketed   (default bucketed)
+//   STM_ENCODE_BUCKET_WASTE  max pad fraction in [0, 1]   (default 0.25)
+//   STM_ENCODE_BUCKET_TOKENS max tokens per bucket        (default 4096)
+// SetBatchOptions overrides them programmatically (benches, tests).
+BatchOptions GetBatchOptions();
+void SetBatchOptions(const BatchOptions& options);
+
+struct EncodeBucket {
+  size_t seq = 0;            // padded length every member runs at
+  std::vector<size_t> docs;  // indices into the planned batch
+};
+
+struct BatchPlan {
+  std::vector<EncodeBucket> buckets;
+  size_t real_tokens = 0;    // sum of document lengths
+  size_t padded_tokens = 0;  // sum over buckets of seq * member count
+};
+
+// Plans buckets over per-document lengths (each >= 1, already truncated).
+// Every index in [0, lengths.size()) appears in exactly one bucket.
+// Deterministic: the plan depends only on `lengths` and `options`, never
+// on thread count or timing.
+BatchPlan PlanBuckets(const std::vector<size_t>& lengths,
+                      const BatchOptions& options);
+
+}  // namespace stm::plm
+
+#endif  // STM_PLM_BATCH_SCHEDULER_H_

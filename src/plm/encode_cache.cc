@@ -1,0 +1,225 @@
+#include "plm/encode_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "common/hash.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "plm/minilm.h"
+
+namespace stm::plm {
+
+namespace {
+
+constexpr uint32_t kEncodeCacheMagic = 0x53544D45;  // "STME"
+
+// Flat LRU accounting: payload floats plus map/list node overhead.
+size_t EntryBytes(const la::Matrix& value) {
+  return value.size() * sizeof(float) + 64;
+}
+
+}  // namespace
+
+EncodeCache::EncodeCache(const Config& config)
+    : max_bytes_(config.max_bytes),
+      dir_(config.dir),
+      env_(config.env != nullptr ? config.env : Env::Default()) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+      std::fprintf(stderr,
+                   "[stm] cannot create encode-cache dir '%s': %s; "
+                   "running memory-only\n",
+                   dir_.c_str(), ec.message().c_str());
+      dir_.clear();
+    }
+  }
+}
+
+EncodeCache::Key EncodeCache::MakeKey(uint64_t weights_fingerprint,
+                                      bool quantized, Kind kind,
+                                      const int32_t* ids, size_t len) {
+  // Two independently seeded 64-bit FNV-1a streams over the token ids;
+  // 128 bits makes an accidental collision (which would silently serve
+  // the wrong document's embedding) astronomically unlikely.
+  uint64_t seed = HashCombine(weights_fingerprint,
+                              static_cast<uint64_t>(quantized ? 1 : 0));
+  seed = HashCombine(seed, static_cast<uint64_t>(kind));
+  Key key;
+  key.hi = Fnv1aBytes(ids, len * sizeof(int32_t), seed);
+  key.lo = Fnv1aBytes(ids, len * sizeof(int32_t),
+                      HashCombine(seed, 0xA076'1D64'78BD'642FULL));
+  return key;
+}
+
+bool EncodeCache::Lookup(const Key& key, la::Matrix* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      *out = it->second->second;
+      ++stats_.memory_hits;
+      return true;
+    }
+  }
+  if (!dir_.empty() && LoadFromDisk(key, out)) {
+    InsertMemory(key, *out);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_hits;
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  return false;
+}
+
+void EncodeCache::Insert(const Key& key, const la::Matrix& value) {
+  if (!dir_.empty()) StoreToDisk(key, value);
+  InsertMemory(key, value);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.inserts;
+}
+
+void EncodeCache::InsertMemory(const Key& key, la::Matrix value) {
+  const size_t entry_bytes = EntryBytes(value);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh (identical content in practice; keyed by content hash).
+    bytes_ -= EntryBytes(it->second->second);
+    it->second->second = std::move(value);
+    bytes_ += entry_bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (entry_bytes > max_bytes_) return;  // would evict itself immediately
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  bytes_ += entry_bytes;
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    bytes_ -= EntryBytes(lru_.back().second);
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void EncodeCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+EncodeCache::Stats EncodeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t EncodeCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::string EncodeCache::EntryPath(const Key& key) const {
+  return dir_ + "/enc_" + HashToHex(key.hi) + HashToHex(key.lo) + ".bin";
+}
+
+bool EncodeCache::LoadFromDisk(const Key& key, la::Matrix* out) {
+  const std::string path = EntryPath(key);
+  StatusOr<BinaryReader> opened =
+      BinaryReader::OpenArtifact(env_, path, kEncodeCacheMagic);
+  if (!opened.ok()) {
+    if (opened.status().code() == StatusCode::kUnavailable) return false;
+    // Present but unreadable (torn write, bit rot): quarantine so the bad
+    // bytes stay inspectable, then treat as a miss — the caller simply
+    // re-encodes and overwrites.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_errors;
+    if (!env_->Rename(path, path + ".corrupt").ok()) (void)env_->Delete(path);
+    return false;
+  }
+  BinaryReader reader = std::move(opened).value();
+  uint64_t hi = 0, lo = 0, rows = 0, cols = 0;
+  std::vector<float> values;
+  Status status = reader.Read(&hi);
+  if (status.ok()) status = reader.Read(&lo);
+  if (status.ok()) status = reader.Read(&rows);
+  if (status.ok()) status = reader.Read(&cols);
+  if (status.ok()) status = reader.Read(&values);
+  if (status.ok()) status = reader.Finish();
+  // The CRC already passed, so these only fail on a crafted or truncated
+  // payload; the shape cross-checks bound allocation by the file size.
+  const bool plausible =
+      status.ok() && hi == key.hi && lo == key.lo && rows > 0 && cols > 0 &&
+      values.size() / cols == rows && values.size() % cols == 0;
+  if (!plausible) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_errors;
+    if (!env_->Rename(path, path + ".corrupt").ok()) (void)env_->Delete(path);
+    return false;
+  }
+  la::Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  std::memcpy(m.data(), values.data(), values.size() * sizeof(float));
+  *out = std::move(m);
+  return true;
+}
+
+void EncodeCache::StoreToDisk(const Key& key, const la::Matrix& value) {
+  BinaryWriter writer;
+  writer.WriteU64(key.hi);
+  writer.WriteU64(key.lo);
+  writer.WriteU64(value.rows());
+  writer.WriteU64(value.cols());
+  std::vector<float> values(value.data(), value.data() + value.size());
+  writer.WriteFloats(values);
+  const Status status =
+      writer.FlushToEnv(env_, EntryPath(key), kEncodeCacheMagic);
+  if (!status.ok()) {
+    // Never fatal — the entry still serves from memory; the next run
+    // re-encodes. Counted so tests and operators can see the drops.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_errors;
+  }
+}
+
+std::shared_ptr<EncodeCache> EncodeCache::SharedFromEnv() {
+  static const std::shared_ptr<EncodeCache> shared = [] {
+    const char* value = std::getenv("STM_ENCODE_CACHE");
+    if (value == nullptr || value[0] == '\0' ||
+        std::strcmp(value, "0") == 0) {
+      return std::shared_ptr<EncodeCache>();
+    }
+    Config config;
+    if (const char* mb = std::getenv("STM_ENCODE_CACHE_MB")) {
+      const unsigned long long parsed = std::strtoull(mb, nullptr, 10);
+      if (parsed > 0) config.max_bytes = parsed * 1024 * 1024;
+    }
+    if (std::strcmp(value, "mem") != 0) config.dir = value;
+    return std::make_shared<EncodeCache>(config);
+  }();
+  return shared;
+}
+
+ScopedEncodeCache::ScopedEncodeCache(MiniLm* model, size_t max_bytes)
+    : model_(model) {
+  cache_ = model_->encode_cache();
+  if (cache_ == nullptr) {
+    EncodeCache::Config config;
+    config.max_bytes = max_bytes;
+    cache_ = std::make_shared<EncodeCache>(config);
+    model_->SetEncodeCache(cache_);
+    installed_ = true;
+  }
+}
+
+ScopedEncodeCache::~ScopedEncodeCache() {
+  if (installed_) model_->SetEncodeCache(nullptr);
+}
+
+}  // namespace stm::plm

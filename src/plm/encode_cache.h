@@ -1,0 +1,153 @@
+#ifndef STM_PLM_ENCODE_CACHE_H_
+#define STM_PLM_ENCODE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/env.h"
+#include "la/matrix.h"
+
+namespace stm::plm {
+
+class MiniLm;
+
+// Content-addressed cache for frozen-encoder outputs.
+//
+// Every tutorial method re-encodes the same corpus — often several times
+// within one run (TaxoClass per taxonomy node, MICoL for documents and
+// labels) and always again on the next run. With frozen weights the
+// encoder is a pure function of (weights, quant mode, token ids), so its
+// outputs are safe to memoize under a hash of exactly those inputs:
+//
+//   key = 2 x 64-bit FNV-1a over the token ids, seeded with the model's
+//         weights fingerprint, the quant-mode flag and the output kind
+//         (hidden rows vs pooled vector)
+//
+// Training changes the weights fingerprint (MiniLm::InvalidateFrozen, the
+// same boundary that drops the frozen int8 snapshot), so stale entries
+// simply stop being addressable and age out of the LRU.
+//
+// Entries live in a mutex-guarded in-memory LRU bounded by max_bytes.
+// When a directory is configured, every insert also spills the entry to
+// disk as a CRC32C-checked artifact (common/serialize.h) via the Env
+// seam, and a memory miss falls back to the disk copy — a re-run with an
+// unchanged model skips encoding entirely. Disk failures are never
+// fatal: unreadable or corrupt entry files are quarantined as
+// `<file>.corrupt` and treated as misses, failed writes are counted and
+// dropped. All I/O happens outside the lock.
+class EncodeCache {
+ public:
+  enum class Kind : uint32_t { kHidden = 1, kPooled = 2 };
+
+  struct Key {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+    bool operator==(const Key& other) const {
+      return hi == other.hi && lo == other.lo;
+    }
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return static_cast<size_t>(key.hi ^ (key.lo * 0x9E3779B97F4A7C15ULL));
+    }
+  };
+
+  struct Stats {
+    size_t memory_hits = 0;
+    size_t disk_hits = 0;
+    size_t misses = 0;
+    size_t inserts = 0;
+    size_t evictions = 0;
+    size_t disk_errors = 0;
+    size_t hits() const { return memory_hits + disk_hits; }
+  };
+
+  struct Config {
+    size_t max_bytes = size_t{256} * 1024 * 1024;
+    std::string dir;      // empty = memory-only
+    Env* env = nullptr;   // nullptr = Env::Default()
+  };
+
+  explicit EncodeCache(const Config& config);
+
+  EncodeCache(const EncodeCache&) = delete;
+  EncodeCache& operator=(const EncodeCache&) = delete;
+
+  static Key MakeKey(uint64_t weights_fingerprint, bool quantized, Kind kind,
+                     const int32_t* ids, size_t len);
+
+  // Fills `out` and returns true on a hit (memory first, then disk).
+  bool Lookup(const Key& key, la::Matrix* out);
+
+  // Stores `value` (copied) in memory and, when configured, on disk.
+  void Insert(const Key& key, const la::Matrix& value);
+
+  // Drops the in-memory entries (testing hook); disk files stay.
+  void Clear();
+
+  Stats stats() const;
+  size_t bytes() const;
+  const std::string& dir() const { return dir_; }
+
+  // Process-wide cache configured by the environment, shared by every
+  // MiniLm constructed afterwards:
+  //   STM_ENCODE_CACHE     unset/""/"0" = off, "mem" = memory-only,
+  //                        anything else = spill directory
+  //   STM_ENCODE_CACHE_MB  in-memory LRU bound in MB (default 256)
+  // Returns nullptr when disabled.
+  static std::shared_ptr<EncodeCache> SharedFromEnv();
+
+ private:
+  std::string EntryPath(const Key& key) const;
+  bool LoadFromDisk(const Key& key, la::Matrix* out);
+  void StoreToDisk(const Key& key, const la::Matrix& value);
+  void InsertMemory(const Key& key, la::Matrix value);
+
+  const size_t max_bytes_;
+  std::string dir_;
+  Env* const env_;
+
+  mutable std::mutex mu_;
+  // Front = most recently used. Guarded by mu_, as are index_/bytes_/stats_.
+  std::list<std::pair<Key, la::Matrix>> lru_;
+  std::unordered_map<Key, std::list<std::pair<Key, la::Matrix>>::iterator,
+                     KeyHash>
+      index_;
+  size_t bytes_ = 0;
+  Stats stats_;
+};
+
+// Installs a bounded, memory-only EncodeCache on `model` for the current
+// scope — the pattern for pipeline stages that encode overlapping
+// document sets (TaxoClass node reps, MICoL ranking) without wanting a
+// process-wide cache. When the model already has a cache (e.g. from
+// STM_ENCODE_CACHE), that one is kept and this guard is a no-op; the
+// previous cache (possibly none) is restored on destruction.
+class ScopedEncodeCache {
+ public:
+  explicit ScopedEncodeCache(MiniLm* model,
+                             size_t max_bytes = size_t{64} * 1024 * 1024);
+  ~ScopedEncodeCache();
+
+  ScopedEncodeCache(const ScopedEncodeCache&) = delete;
+  ScopedEncodeCache& operator=(const ScopedEncodeCache&) = delete;
+
+  // The cache the model is using inside this scope (never null).
+  const std::shared_ptr<EncodeCache>& cache() const { return cache_; }
+
+ private:
+  MiniLm* const model_;
+  std::shared_ptr<EncodeCache> cache_;
+  bool installed_ = false;
+};
+
+}  // namespace stm::plm
+
+#endif  // STM_PLM_ENCODE_CACHE_H_

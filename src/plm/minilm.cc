@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 #include "common/hash.h"
@@ -13,6 +17,8 @@
 #include "la/workspace.h"
 #include "nn/loss.h"
 #include "nn/ops.h"
+#include "plm/batch_scheduler.h"
+#include "plm/encode_cache.h"
 #include "plm/quantized_minilm.h"
 #include "text/vocabulary.h"
 
@@ -21,6 +27,22 @@ namespace stm::plm {
 namespace {
 
 constexpr uint32_t kModelMagic = 0x53544D4C;  // "STML"
+
+// Mean over the rows of a cached hidden matrix, reproducing both
+// nn::MaskedMeanPool's forward and QuantizedMiniLm::Pool bit-for-bit:
+// zero accumulator, rows summed in ascending order, then one multiply by
+// 1/rows. Lets PoolBatch serve a pooled vector from a cached hidden
+// entry without re-encoding.
+void PoolRowsFromHidden(const la::Matrix& hidden, float* out) {
+  const size_t d = hidden.cols();
+  std::fill(out, out + d, 0.0f);
+  for (size_t t = 0; t < hidden.rows(); ++t) {
+    const float* row = hidden.Row(t);
+    for (size_t j = 0; j < d; ++j) out[j] += row[j];
+  }
+  const float inv = 1.0f / static_cast<float>(hidden.rows());
+  for (size_t j = 0; j < d; ++j) out[j] *= inv;
+}
 
 }  // namespace
 
@@ -70,6 +92,7 @@ MiniLm::MiniLm(const MiniLmConfig& config) : config_(config), rng_(config.seed) 
                               nn::Tensor::ZeroParam({config.vocab_size}));
   rtd_head_ =
       std::make_unique<nn::Linear>(&store_, "rtd", config.dim, 1, rng_);
+  encode_cache_ = EncodeCache::SharedFromEnv();
 }
 
 std::vector<int32_t> MiniLm::Truncate(const std::vector<int32_t>& ids) const {
@@ -101,19 +124,19 @@ nn::Tensor MiniLm::Forward(const std::vector<int32_t>& flat_ids, size_t count,
   nn::Tensor x = nn::Add(token_embed_->Forward(flat_ids),
                          pos_embed_->Forward(pos_ids));  // [B*S, d]
 
-  // Additive attention mask: -1e9 on key positions beyond each length,
-  // replicated over B*h batch entries -> [B*h, S, S] flattened. Borrowed
-  // from the workspace, so consecutive Forward calls at the same shape
-  // reuse one allocation (AddConstant copies what it needs).
-  std::vector<float> mask = la::AcquireZeroedVec(count * h * seq * seq);
+  // Additive attention mask: -1e9 on key positions beyond each length.
+  // Built as ONE seq*seq block per sequence and broadcast over the h
+  // heads at the AddConstantBroadcast op — every head sees the same key
+  // validity, so materializing the [B*h, S, S] copy would cost h x the
+  // memory for identical bytes. Borrowed from the workspace, so
+  // consecutive Forward calls at the same shape reuse one allocation.
+  std::vector<float> mask = la::AcquireZeroedVec(count * seq * seq);
   for (size_t b = 0; b < count; ++b) {
     const size_t len = static_cast<size_t>(lengths[b]);
-    for (size_t head = 0; head < h; ++head) {
-      float* block = mask.data() + (b * h + head) * seq * seq;
-      for (size_t q = 0; q < seq; ++q) {
-        for (size_t kpos = len; kpos < seq; ++kpos) {
-          block[q * seq + kpos] = -1e9f;
-        }
+    float* block = mask.data() + b * seq * seq;
+    for (size_t q = 0; q < seq; ++q) {
+      for (size_t kpos = len; kpos < seq; ++kpos) {
+        block[q * seq + kpos] = -1e9f;
       }
     }
   }
@@ -136,7 +159,7 @@ nn::Tensor MiniLm::Forward(const std::vector<int32_t>& flat_ids, size_t count,
     nn::Tensor kh = to_heads(k);
     nn::Tensor vh = to_heads(v);
     nn::Tensor scores = nn::Scale(nn::BMatMulT(qh, kh), scale);
-    scores = nn::AddConstant(scores, mask);
+    scores = nn::AddConstantBroadcast(scores, mask, h, seq * seq);
     nn::Tensor attn = nn::SoftmaxLastDim(scores);       // [B*h, S, S]
     nn::Tensor ctx = nn::BMatMul(attn, vh);             // [B*h, S, dh]
     nn::Tensor merged = nn::Reshape(
@@ -328,39 +351,308 @@ nn::Tensor MiniLm::PoolTensor(const std::vector<int32_t>& ids) {
                             {static_cast<int>(trunc.size())});
 }
 
-la::Matrix MiniLm::Encode(const std::vector<int32_t>& ids) {
-  if (QuantInferenceEnabled()) return Frozen()->Encode(ids);
-  nn::Tensor hidden = EncodeTensor(ids);
+la::Matrix MiniLm::EncodeOneFp32(const std::vector<int32_t>& trunc) {
+  nn::Tensor hidden =
+      Forward(trunc, 1, trunc.size(), {static_cast<int>(trunc.size())});
   la::Matrix out(hidden.dim(0), hidden.dim(1));
   std::copy(hidden.value().begin(), hidden.value().end(), out.data());
   return out;
 }
 
+std::vector<float> MiniLm::PoolOneFp32(const std::vector<int32_t>& trunc) {
+  nn::Tensor hidden =
+      Forward(trunc, 1, trunc.size(), {static_cast<int>(trunc.size())});
+  return nn::MaskedMeanPool(hidden, 1, trunc.size(),
+                            {static_cast<int>(trunc.size())})
+      .value();
+}
+
+size_t MiniLm::EncodeGraphFloats(size_t count, size_t seq) const {
+  // Rough upper bound on the autograd graph of one bucket forward: the
+  // per-layer activations (~10 d-wide plus 2 ffn-wide tensors per row)
+  // and the attention score/weight tensors. Only a workspace-budget hint;
+  // over-estimating just raises the cap toward its hard ceiling.
+  const size_t rows = count * seq;
+  const size_t att = count * config_.heads * seq * seq;
+  return config_.layers *
+             (rows * (10 * config_.dim + 2 * config_.ffn_dim) + 4 * att) +
+         8 * rows * config_.dim;
+}
+
+std::vector<la::Matrix> MiniLm::EncodeMissesFp32(
+    const std::vector<std::vector<int32_t>>& trunc_docs) {
+  std::vector<la::Matrix> out(trunc_docs.size());
+  const BatchOptions options = GetBatchOptions();
+  if (options.mode == BatchMode::kPerDoc) {
+    ParallelFor(0, trunc_docs.size(), 1, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) out[i] = EncodeOneFp32(trunc_docs[i]);
+    });
+    return out;
+  }
+  std::vector<size_t> lengths(trunc_docs.size());
+  for (size_t i = 0; i < trunc_docs.size(); ++i) {
+    lengths[i] = trunc_docs[i].size();
+  }
+  const BatchPlan plan = PlanBuckets(lengths, options);
+  for (const EncodeBucket& bucket : plan.buckets) {
+    const size_t count = bucket.docs.size();
+    const size_t seq = bucket.seq;
+    std::vector<int32_t> flat(count * seq, text::kPadId);
+    std::vector<int> lens(count);
+    for (size_t i = 0; i < count; ++i) {
+      const auto& doc = trunc_docs[bucket.docs[i]];
+      std::copy(doc.begin(), doc.end(), flat.begin() + i * seq);
+      lens[i] = static_cast<int>(doc.size());
+    }
+    la::Workspace::ReserveThreadFloats(EncodeGraphFloats(count, seq));
+    nn::Tensor hidden = Forward(flat, count, seq, lens);
+    for (size_t i = 0; i < count; ++i) {
+      const size_t len = trunc_docs[bucket.docs[i]].size();
+      la::Matrix m(len, config_.dim);
+      const float* src = hidden.value().data() + i * seq * config_.dim;
+      std::copy(src, src + len * config_.dim, m.data());
+      out[bucket.docs[i]] = std::move(m);
+    }
+  }
+  return out;
+}
+
+la::Matrix MiniLm::PoolMissesFp32(
+    const std::vector<std::vector<int32_t>>& trunc_docs) {
+  la::Matrix out(trunc_docs.size(), config_.dim);
+  const BatchOptions options = GetBatchOptions();
+  if (options.mode == BatchMode::kPerDoc) {
+    ParallelFor(0, trunc_docs.size(), 1, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        const std::vector<float> pooled = PoolOneFp32(trunc_docs[i]);
+        std::copy(pooled.begin(), pooled.end(), out.Row(i));
+      }
+    });
+    return out;
+  }
+  std::vector<size_t> lengths(trunc_docs.size());
+  for (size_t i = 0; i < trunc_docs.size(); ++i) {
+    lengths[i] = trunc_docs[i].size();
+  }
+  const BatchPlan plan = PlanBuckets(lengths, options);
+  for (const EncodeBucket& bucket : plan.buckets) {
+    const size_t count = bucket.docs.size();
+    const size_t seq = bucket.seq;
+    std::vector<int32_t> flat(count * seq, text::kPadId);
+    std::vector<int> lens(count);
+    for (size_t i = 0; i < count; ++i) {
+      const auto& doc = trunc_docs[bucket.docs[i]];
+      std::copy(doc.begin(), doc.end(), flat.begin() + i * seq);
+      lens[i] = static_cast<int>(doc.size());
+    }
+    la::Workspace::ReserveThreadFloats(EncodeGraphFloats(count, seq));
+    nn::Tensor hidden = Forward(flat, count, seq, lens);
+    nn::Tensor pooled = nn::MaskedMeanPool(hidden, count, seq, lens);
+    for (size_t i = 0; i < count; ++i) {
+      const float* src = pooled.value().data() + i * config_.dim;
+      std::copy(src, src + config_.dim, out.Row(bucket.docs[i]));
+    }
+  }
+  return out;
+}
+
+la::Matrix MiniLm::Encode(const std::vector<int32_t>& ids) {
+  const std::vector<int32_t> trunc = Truncate(ids);
+  const bool quant = QuantInferenceEnabled();
+  std::shared_ptr<EncodeCache> cache = encode_cache();
+  EncodeCache::Key key;
+  if (cache != nullptr) {
+    key = EncodeCache::MakeKey(WeightsFingerprint(), quant,
+                               EncodeCache::Kind::kHidden, trunc.data(),
+                               trunc.size());
+    la::Matrix out;
+    if (cache->Lookup(key, &out)) return out;
+  }
+  la::Matrix out = quant ? Frozen()->Encode(trunc) : EncodeOneFp32(trunc);
+  if (cache != nullptr) cache->Insert(key, out);
+  return out;
+}
+
 std::vector<float> MiniLm::Pool(const std::vector<int32_t>& ids) {
-  if (QuantInferenceEnabled()) return Frozen()->Pool(ids);
-  return PoolTensor(ids).value();
+  const std::vector<int32_t> trunc = Truncate(ids);
+  const bool quant = QuantInferenceEnabled();
+  std::shared_ptr<EncodeCache> cache = encode_cache();
+  EncodeCache::Key key;
+  if (cache != nullptr) {
+    const uint64_t fp = WeightsFingerprint();
+    key = EncodeCache::MakeKey(fp, quant, EncodeCache::Kind::kPooled,
+                               trunc.data(), trunc.size());
+    la::Matrix row;
+    if (cache->Lookup(key, &row)) {
+      return std::vector<float>(row.data(), row.data() + row.size());
+    }
+    // A cached hidden matrix pools to the same bits (see
+    // PoolRowsFromHidden) — cheaper than a fresh forward pass.
+    const EncodeCache::Key hidden_key =
+        EncodeCache::MakeKey(fp, quant, EncodeCache::Kind::kHidden,
+                             trunc.data(), trunc.size());
+    if (cache->Lookup(hidden_key, &row)) {
+      std::vector<float> pooled(config_.dim);
+      PoolRowsFromHidden(row, pooled.data());
+      la::Matrix entry(1, config_.dim);
+      std::copy(pooled.begin(), pooled.end(), entry.data());
+      cache->Insert(key, entry);
+      return pooled;
+    }
+  }
+  std::vector<float> pooled =
+      quant ? Frozen()->Pool(trunc) : PoolOneFp32(trunc);
+  if (cache != nullptr) {
+    la::Matrix entry(1, config_.dim);
+    std::copy(pooled.begin(), pooled.end(), entry.data());
+    cache->Insert(key, entry);
+  }
+  return pooled;
 }
 
 std::vector<la::Matrix> MiniLm::EncodeBatch(
     const std::vector<std::vector<int32_t>>& docs) {
-  if (QuantInferenceEnabled()) return Frozen()->EncodeBatch(docs);
-  std::vector<la::Matrix> out(docs.size());
-  ParallelFor(0, docs.size(), 1, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) out[i] = Encode(docs[i]);
-  });
+  const size_t n = docs.size();
+  const bool quant = QuantInferenceEnabled();
+  std::shared_ptr<EncodeCache> cache = encode_cache();
+  std::vector<std::vector<int32_t>> trunc(n);
+  for (size_t i = 0; i < n; ++i) trunc[i] = Truncate(docs[i]);
+
+  std::vector<la::Matrix> out(n);
+  std::vector<size_t> miss;
+  std::vector<EncodeCache::Key> keys;
+  // Within-batch duplicates (same truncated ids) encode once; resolved
+  // after the compute pass. Only tracked when a cache supplies the keys.
+  std::vector<std::pair<size_t, size_t>> dups;
+  if (cache != nullptr) {
+    keys.resize(n);
+    const uint64_t fp = WeightsFingerprint();
+    std::unordered_map<EncodeCache::Key, size_t, EncodeCache::KeyHash>
+        scheduled;
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = EncodeCache::MakeKey(fp, quant, EncodeCache::Kind::kHidden,
+                                     trunc[i].data(), trunc[i].size());
+      if (cache->Lookup(keys[i], &out[i])) continue;
+      const auto [it, fresh] = scheduled.emplace(keys[i], i);
+      if (fresh) {
+        miss.push_back(i);
+      } else {
+        dups.emplace_back(i, it->second);
+      }
+    }
+  } else {
+    miss.resize(n);
+    std::iota(miss.begin(), miss.end(), size_t{0});
+  }
+
+  if (!miss.empty()) {
+    std::vector<std::vector<int32_t>> miss_docs;
+    miss_docs.reserve(miss.size());
+    for (size_t i : miss) miss_docs.push_back(trunc[i]);
+    std::vector<la::Matrix> fresh =
+        quant ? Frozen()->EncodeBatch(miss_docs) : EncodeMissesFp32(miss_docs);
+    for (size_t j = 0; j < miss.size(); ++j) {
+      out[miss[j]] = std::move(fresh[j]);
+    }
+    if (cache != nullptr) {
+      for (size_t i : miss) cache->Insert(keys[i], out[i]);
+    }
+  }
+  for (const auto& [dst, src] : dups) out[dst] = out[src];
   return out;
 }
 
 la::Matrix MiniLm::PoolBatch(const std::vector<std::vector<int32_t>>& docs) {
-  if (QuantInferenceEnabled()) return Frozen()->PoolBatch(docs);
-  la::Matrix out(docs.size(), config_.dim);
-  ParallelFor(0, docs.size(), 1, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) {
-      const std::vector<float> pooled = Pool(docs[i]);
-      std::copy(pooled.begin(), pooled.end(), out.Row(i));
+  const size_t n = docs.size();
+  const bool quant = QuantInferenceEnabled();
+  std::shared_ptr<EncodeCache> cache = encode_cache();
+  std::vector<std::vector<int32_t>> trunc(n);
+  for (size_t i = 0; i < n; ++i) trunc[i] = Truncate(docs[i]);
+
+  la::Matrix out(n, config_.dim);
+  std::vector<size_t> miss;
+  std::vector<EncodeCache::Key> keys;
+  std::vector<std::pair<size_t, size_t>> dups;
+  if (cache != nullptr) {
+    keys.resize(n);
+    const uint64_t fp = WeightsFingerprint();
+    std::unordered_map<EncodeCache::Key, size_t, EncodeCache::KeyHash>
+        scheduled;
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = EncodeCache::MakeKey(fp, quant, EncodeCache::Kind::kPooled,
+                                     trunc[i].data(), trunc[i].size());
+      la::Matrix row;
+      if (cache->Lookup(keys[i], &row)) {
+        std::copy(row.data(), row.data() + config_.dim, out.Row(i));
+        continue;
+      }
+      const EncodeCache::Key hidden_key =
+          EncodeCache::MakeKey(fp, quant, EncodeCache::Kind::kHidden,
+                               trunc[i].data(), trunc[i].size());
+      if (cache->Lookup(hidden_key, &row)) {
+        PoolRowsFromHidden(row, out.Row(i));
+        la::Matrix entry(1, config_.dim);
+        std::copy(out.Row(i), out.Row(i) + config_.dim, entry.data());
+        cache->Insert(keys[i], entry);
+        continue;
+      }
+      const auto [it, fresh] = scheduled.emplace(keys[i], i);
+      if (fresh) {
+        miss.push_back(i);
+      } else {
+        dups.emplace_back(i, it->second);
+      }
     }
-  });
+  } else {
+    miss.resize(n);
+    std::iota(miss.begin(), miss.end(), size_t{0});
+  }
+
+  if (!miss.empty()) {
+    std::vector<std::vector<int32_t>> miss_docs;
+    miss_docs.reserve(miss.size());
+    for (size_t i : miss) miss_docs.push_back(trunc[i]);
+    const la::Matrix fresh =
+        quant ? Frozen()->PoolBatch(miss_docs) : PoolMissesFp32(miss_docs);
+    for (size_t j = 0; j < miss.size(); ++j) {
+      std::copy(fresh.Row(j), fresh.Row(j) + config_.dim,
+                out.Row(miss[j]));
+    }
+    if (cache != nullptr) {
+      for (size_t j = 0; j < miss.size(); ++j) {
+        la::Matrix entry(1, config_.dim);
+        std::copy(fresh.Row(j), fresh.Row(j) + config_.dim, entry.data());
+        cache->Insert(keys[miss[j]], entry);
+      }
+    }
+  }
+  for (const auto& [dst, src] : dups) {
+    std::copy(out.Row(src), out.Row(src) + config_.dim, out.Row(dst));
+  }
   return out;
+}
+
+std::shared_ptr<EncodeCache> MiniLm::encode_cache() const {
+  std::lock_guard<std::mutex> lock(freeze_mu_);
+  return encode_cache_;
+}
+
+void MiniLm::SetEncodeCache(std::shared_ptr<EncodeCache> cache) {
+  std::lock_guard<std::mutex> lock(freeze_mu_);
+  encode_cache_ = std::move(cache);
+}
+
+uint64_t MiniLm::WeightsFingerprint() const {
+  std::lock_guard<std::mutex> lock(freeze_mu_);
+  if (!weights_fp_valid_) {
+    const std::vector<float> snapshot = store_.Snapshot();
+    weights_fp_ = Fnv1aBytes(snapshot.data(),
+                             snapshot.size() * sizeof(float),
+                             HashCombine(config_.Fingerprint(),
+                                         uint64_t{0x5747u}));  // "WG"
+    weights_fp_valid_ = true;
+  }
+  return weights_fp_;
 }
 
 // ---- quantized inference ----
@@ -409,6 +701,10 @@ const QuantizedMiniLm* MiniLm::Frozen() const {
 void MiniLm::InvalidateFrozen() {
   std::lock_guard<std::mutex> lock(freeze_mu_);
   frozen_.reset();
+  // The weights fingerprint keys the embedding cache; dropping it here —
+  // the same boundary that drops the int8 snapshot — makes every cached
+  // embedding of the old parameters unaddressable.
+  weights_fp_valid_ = false;
 }
 
 std::vector<int32_t> MiniLm::PredictTopK(const std::vector<int32_t>& ids,

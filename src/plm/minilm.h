@@ -16,6 +16,7 @@
 
 namespace stm::plm {
 
+class EncodeCache;
 class QuantizedMiniLm;
 
 // MiniLm is the library's stand-in for BERT/RoBERTa/ELECTRA: a from-scratch
@@ -101,17 +102,36 @@ class MiniLm {
   // Average of token vectors — "average-pooled BERT representation".
   std::vector<float> Pool(const std::vector<int32_t>& ids);
 
-  // Batch inference conveniences: encode/pool many documents, parallel
-  // across documents on the global thread pool. Each document builds an
-  // independent forward graph over the (read-only) parameters, so results
-  // are bitwise identical to the per-document calls at any thread count.
-  // Safe for concurrent inference only — must not be interleaved with
-  // Pretrain() or other parameter updates.
+  // Batch inference conveniences: encode/pool many documents. Documents
+  // are grouped into length buckets with bounded padding waste (see
+  // plm/batch_scheduler.h; STM_ENCODE_BATCH selects perdoc/padded/
+  // bucketed) and each bucket runs one forward pass, parallel inside the
+  // kernels on the global thread pool. Results are scattered back to
+  // input order and are bitwise identical to the per-document calls, at
+  // any thread count and under any input permutation. Safe for concurrent
+  // inference only — must not be interleaved with Pretrain() or other
+  // parameter updates.
   std::vector<la::Matrix> EncodeBatch(
       const std::vector<std::vector<int32_t>>& docs);
 
   // Row i = Pool(docs[i]); returns [docs.size(), dim].
   la::Matrix PoolBatch(const std::vector<std::vector<int32_t>>& docs);
+
+  // ---- embedding cache ----
+  //
+  // When a cache is installed (automatically from STM_ENCODE_CACHE, or
+  // explicitly here / via plm::ScopedEncodeCache), Encode/Pool/
+  // EncodeBatch/PoolBatch consult it before encoding and insert fresh
+  // results after. Entries are keyed by (WeightsFingerprint, quant mode,
+  // output kind, token ids), so training simply makes old entries
+  // unaddressable — see plm/encode_cache.h.
+  std::shared_ptr<EncodeCache> encode_cache() const;
+  void SetEncodeCache(std::shared_ptr<EncodeCache> cache);
+
+  // Stable content hash of the architecture plus every current parameter
+  // value; memoized, recomputed lazily after training invalidates it at
+  // the same boundary as the frozen int8 snapshot.
+  uint64_t WeightsFingerprint() const;
 
   // Top-k vocabulary predictions at `position` after replacing it with
   // [MASK] (when `mask_position` is true) or keeping the original token.
@@ -199,6 +219,22 @@ class MiniLm {
 
   std::vector<int32_t> Truncate(const std::vector<int32_t>& ids) const;
 
+  // fp32 encode/pool of one already-truncated document (no cache, no
+  // quant routing) — the reference semantics every batched path must
+  // reproduce bit-for-bit.
+  la::Matrix EncodeOneFp32(const std::vector<int32_t>& trunc);
+  std::vector<float> PoolOneFp32(const std::vector<int32_t>& trunc);
+
+  // fp32 bucketed/padded/perdoc execution over already-truncated cache
+  // misses, per GetBatchOptions().
+  std::vector<la::Matrix> EncodeMissesFp32(
+      const std::vector<std::vector<int32_t>>& trunc_docs);
+  la::Matrix PoolMissesFp32(
+      const std::vector<std::vector<int32_t>>& trunc_docs);
+
+  // Workspace-budget hint for one bucket's forward graph.
+  size_t EncodeGraphFloats(size_t count, size_t seq) const;
+
   // Lazily built frozen model behind the STM_QUANT switch. Guarded by a
   // mutex because Pool/Encode may be called concurrently from pool
   // workers; invalidated whenever training updates the parameters.
@@ -216,6 +252,11 @@ class MiniLm {
   std::unique_ptr<nn::Linear> rtd_head_;      // dim -> 1
   mutable std::mutex freeze_mu_;
   mutable std::shared_ptr<const QuantizedMiniLm> frozen_;
+  // Guarded by freeze_mu_ (fingerprint and frozen snapshot go stale at
+  // exactly the same parameter-update boundaries).
+  mutable uint64_t weights_fp_ = 0;
+  mutable bool weights_fp_valid_ = false;
+  std::shared_ptr<EncodeCache> encode_cache_;
 };
 
 }  // namespace stm::plm

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -13,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "la/workspace.h"
 #include "nn/infer_ops.h"
+#include "plm/batch_scheduler.h"
 #include "text/vocabulary.h"
 
 namespace stm::plm {
@@ -69,93 +71,140 @@ void QuantizedMiniLm::ApplyQuantLinear(const float* x, size_t rows,
   nn::AddBiasRows(out, rows, n, w.bias.data());
 }
 
-la::Matrix QuantizedMiniLm::Encode(const std::vector<int32_t>& ids) const {
-  const std::vector<int32_t> trunc = Truncate(ids);
-  const size_t S = trunc.size();
+namespace {
+
+// Row-chunked LayerNormRows: per-row math, so chunking is value-neutral
+// and the chunk decomposition is the deterministic ParallelFor one.
+void LayerNormRowsParallel(const float* x, size_t rows, size_t d,
+                           const std::vector<float>& gamma,
+                           const std::vector<float>& beta, float* out) {
+  ParallelFor(0, rows, GrainForOps(8 * d), [&](size_t r0, size_t r1) {
+    nn::LayerNormRows(x + r0 * d, r1 - r0, d, gamma.data(), beta.data(),
+                      kLayerNormEps, out + r0 * d);
+  });
+}
+
+// y[i] += x[i], chunked. Elementwise, so chunking is value-neutral.
+void AddInplaceParallel(float* y, const float* x, size_t n) {
+  ParallelFor(0, n, GrainForOps(2), [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) y[i] += x[i];
+  });
+}
+
+}  // namespace
+
+void QuantizedMiniLm::ForwardBucket(const int32_t* flat, size_t count,
+                                    size_t seq,
+                                    const std::vector<int>& lengths,
+                                    float* out) const {
+  const size_t R = count * seq;
   const size_t d = config_.dim;
   const size_t h = config_.heads;
   const size_t dh = d / h;
   const size_t f = config_.ffn_dim;
   const float att_scale = 1.0f / std::sqrt(static_cast<float>(dh));
 
-  // Token + position embeddings (fp32, exact).
-  std::vector<float> x = la::AcquireVec(S * d);
-  for (size_t t = 0; t < S; ++t) {
-    const float* tok =
-        token_table_.data() + static_cast<size_t>(trunc[t]) * d;
-    const float* pos = pos_table_.data() + t * d;
-    float* row = x.data() + t * d;
-    for (size_t j = 0; j < d; ++j) row[j] = tok[j] + pos[j];
-  }
+  // Token + position embeddings (fp32, exact). Pad rows get real kPadId
+  // embeddings — finite, deterministic values that flow through the
+  // row-local projections but are never read by attention or the caller.
+  std::vector<float> x = la::AcquireVec(R * d);
+  ParallelFor(0, R, GrainForOps(2 * d), [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const float* tok =
+          token_table_.data() + static_cast<size_t>(flat[r]) * d;
+      const float* pos = pos_table_.data() + (r % seq) * d;
+      float* row = x.data() + r * d;
+      for (size_t j = 0; j < d; ++j) row[j] = tok[j] + pos[j];
+    }
+  });
 
-  std::vector<float> normed = la::AcquireVec(S * d);
-  std::vector<float> qkv = la::AcquireVec(S * 3 * d);
-  std::vector<float> merged = la::AcquireVec(S * d);
-  std::vector<float> proj = la::AcquireVec(S * d);
-  std::vector<float> ffn = la::AcquireVec(S * f);
-  std::vector<float> qh = la::AcquireVec(S * dh);
-  std::vector<float> kh = la::AcquireVec(S * dh);
-  std::vector<float> vh = la::AcquireVec(S * dh);
-  std::vector<float> scores = la::AcquireVec(S * S);
-  std::vector<float> ctx = la::AcquireVec(S * dh);
+  std::vector<float> normed = la::AcquireVec(R * d);
+  std::vector<float> qkv = la::AcquireVec(R * 3 * d);
+  // Zeroed once: attention only writes rows t < len, so pad rows stay an
+  // exact 0.0 across layers instead of uninitialized bytes.
+  std::vector<float> merged = la::AcquireZeroedVec(R * d);
+  std::vector<float> proj = la::AcquireVec(R * d);
+  std::vector<float> ffn = la::AcquireVec(R * f);
 
   for (const QuantLayer& layer : layers_) {
     // ---- attention sublayer (pre-LN) ----
-    nn::LayerNormRows(x.data(), S, d, layer.ln1_gamma.data(),
-                      layer.ln1_beta.data(), kLayerNormEps, normed.data());
-    ApplyQuantLinear(normed.data(), S, layer.qkv, qkv.data());
-    // Per-head fp32 attention. A single full-length sequence needs no
-    // additive mask (every key position is live), so this matches the
-    // masked fp32 graph exactly.
-    for (size_t head = 0; head < h; ++head) {
-      const size_t off = head * dh;
-      for (size_t t = 0; t < S; ++t) {
-        const float* row = qkv.data() + t * 3 * d;
-        for (size_t j = 0; j < dh; ++j) {
-          qh[t * dh + j] = row[off + j];
-          kh[t * dh + j] = row[d + off + j];
-          vh[t * dh + j] = row[2 * d + off + j];
-        }
-      }
-      std::fill(scores.begin(), scores.end(), 0.0f);
-      la::GemmBtAcc(qh.data(), kh.data(), scores.data(), S, dh, S);
-      for (size_t i = 0; i < S * S; ++i) scores[i] *= att_scale;
-      nn::SoftmaxRowsInplace(scores.data(), S, S);
-      std::fill(ctx.begin(), ctx.end(), 0.0f);
-      la::GemmAcc(scores.data(), vh.data(), ctx.data(), S, S, dh);
-      for (size_t t = 0; t < S; ++t) {
-        float* mrow = merged.data() + t * d + off;
-        const float* crow = ctx.data() + t * dh;
-        for (size_t j = 0; j < dh; ++j) mrow[j] = crow[j];
-      }
-    }
-    ApplyQuantLinear(merged.data(), S, layer.out, proj.data());
-    for (size_t i = 0; i < S * d; ++i) x[i] += proj[i];
+    LayerNormRowsParallel(x.data(), R, d, layer.ln1_gamma, layer.ln1_beta,
+                          normed.data());
+    ApplyQuantLinear(normed.data(), R, layer.qkv, qkv.data());
+    // Per-document, per-head fp32 attention at the document's exact
+    // length: no additive mask needed, and the GEMM extents match the
+    // per-document call bit-for-bit regardless of bucket composition.
+    ParallelFor(
+        0, count, GrainForOps(2 * h * seq * seq * dh),
+        [&](size_t b0, size_t b1) {
+          for (size_t b = b0; b < b1; ++b) {
+            const size_t len = static_cast<size_t>(lengths[b]);
+            const size_t base = b * seq;
+            std::vector<float> qh = la::AcquireVec(len * dh);
+            std::vector<float> kh = la::AcquireVec(len * dh);
+            std::vector<float> vh = la::AcquireVec(len * dh);
+            std::vector<float> scores = la::AcquireVec(len * len);
+            std::vector<float> ctx = la::AcquireVec(len * dh);
+            for (size_t head = 0; head < h; ++head) {
+              const size_t off = head * dh;
+              for (size_t t = 0; t < len; ++t) {
+                const float* row = qkv.data() + (base + t) * 3 * d;
+                for (size_t j = 0; j < dh; ++j) {
+                  qh[t * dh + j] = row[off + j];
+                  kh[t * dh + j] = row[d + off + j];
+                  vh[t * dh + j] = row[2 * d + off + j];
+                }
+              }
+              std::fill(scores.begin(), scores.end(), 0.0f);
+              la::GemmBtAcc(qh.data(), kh.data(), scores.data(), len, dh,
+                            len);
+              for (size_t i = 0; i < len * len; ++i) scores[i] *= att_scale;
+              nn::SoftmaxRowsInplace(scores.data(), len, len);
+              std::fill(ctx.begin(), ctx.end(), 0.0f);
+              la::GemmAcc(scores.data(), vh.data(), ctx.data(), len, len,
+                          dh);
+              for (size_t t = 0; t < len; ++t) {
+                float* mrow = merged.data() + (base + t) * d + off;
+                const float* crow = ctx.data() + t * dh;
+                for (size_t j = 0; j < dh; ++j) mrow[j] = crow[j];
+              }
+            }
+            la::ReleaseVec(std::move(ctx));
+            la::ReleaseVec(std::move(scores));
+            la::ReleaseVec(std::move(vh));
+            la::ReleaseVec(std::move(kh));
+            la::ReleaseVec(std::move(qh));
+          }
+        });
+    ApplyQuantLinear(merged.data(), R, layer.out, proj.data());
+    AddInplaceParallel(x.data(), proj.data(), R * d);
 
     // ---- feed-forward sublayer ----
-    nn::LayerNormRows(x.data(), S, d, layer.ln2_gamma.data(),
-                      layer.ln2_beta.data(), kLayerNormEps, normed.data());
-    ApplyQuantLinear(normed.data(), S, layer.ffn1, ffn.data());
-    nn::GeluInplace(ffn.data(), S * f);
-    ApplyQuantLinear(ffn.data(), S, layer.ffn2, proj.data());
-    for (size_t i = 0; i < S * d; ++i) x[i] += proj[i];
+    LayerNormRowsParallel(x.data(), R, d, layer.ln2_gamma, layer.ln2_beta,
+                          normed.data());
+    ApplyQuantLinear(normed.data(), R, layer.ffn1, ffn.data());
+    ParallelFor(0, R * f, GrainForOps(8), [&](size_t b, size_t e) {
+      nn::GeluInplace(ffn.data() + b, e - b);
+    });
+    ApplyQuantLinear(ffn.data(), R, layer.ffn2, proj.data());
+    AddInplaceParallel(x.data(), proj.data(), R * d);
   }
 
-  la::Matrix out(S, d);
-  nn::LayerNormRows(x.data(), S, d, final_gamma_.data(), final_beta_.data(),
-                    kLayerNormEps, out.data());
+  LayerNormRowsParallel(x.data(), R, d, final_gamma_, final_beta_, out);
 
-  la::ReleaseVec(std::move(ctx));
-  la::ReleaseVec(std::move(scores));
-  la::ReleaseVec(std::move(vh));
-  la::ReleaseVec(std::move(kh));
-  la::ReleaseVec(std::move(qh));
   la::ReleaseVec(std::move(ffn));
   la::ReleaseVec(std::move(proj));
   la::ReleaseVec(std::move(merged));
   la::ReleaseVec(std::move(qkv));
   la::ReleaseVec(std::move(normed));
   la::ReleaseVec(std::move(x));
+}
+
+la::Matrix QuantizedMiniLm::Encode(const std::vector<int32_t>& ids) const {
+  const std::vector<int32_t> trunc = Truncate(ids);
+  const size_t S = trunc.size();
+  la::Matrix out(S, config_.dim);
+  ForwardBucket(trunc.data(), 1, S, {static_cast<int>(S)}, out.data());
   return out;
 }
 
@@ -173,24 +222,103 @@ std::vector<float> QuantizedMiniLm::Pool(
   return pooled;
 }
 
+namespace {
+
+// Flat kPadId-padded token block plus per-document lengths for one bucket.
+void FillBucketTokens(const std::vector<std::vector<int32_t>>& trunc,
+                      const EncodeBucket& bucket, std::vector<int32_t>* flat,
+                      std::vector<int>* lens) {
+  const size_t count = bucket.docs.size();
+  flat->assign(count * bucket.seq, text::kPadId);
+  lens->resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    const std::vector<int32_t>& doc = trunc[bucket.docs[i]];
+    std::copy(doc.begin(), doc.end(), flat->begin() + i * bucket.seq);
+    (*lens)[i] = static_cast<int>(doc.size());
+  }
+}
+
+}  // namespace
+
 std::vector<la::Matrix> QuantizedMiniLm::EncodeBatch(
     const std::vector<std::vector<int32_t>>& docs) const {
   std::vector<la::Matrix> out(docs.size());
-  ParallelFor(0, docs.size(), 1, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) out[i] = Encode(docs[i]);
-  });
+  const BatchOptions options = GetBatchOptions();
+  if (options.mode == BatchMode::kPerDoc) {
+    ParallelFor(0, docs.size(), 1, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) out[i] = Encode(docs[i]);
+    });
+    return out;
+  }
+  std::vector<std::vector<int32_t>> trunc(docs.size());
+  std::vector<size_t> lengths(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    trunc[i] = Truncate(docs[i]);
+    lengths[i] = trunc[i].size();
+  }
+  const BatchPlan plan = PlanBuckets(lengths, options);
+  const size_t d = config_.dim;
+  std::vector<int32_t> flat;
+  std::vector<int> lens;
+  for (const EncodeBucket& bucket : plan.buckets) {
+    FillBucketTokens(trunc, bucket, &flat, &lens);
+    const size_t count = bucket.docs.size();
+    std::vector<float> hidden = la::AcquireVec(count * bucket.seq * d);
+    ForwardBucket(flat.data(), count, bucket.seq, lens, hidden.data());
+    for (size_t i = 0; i < count; ++i) {
+      const size_t len = static_cast<size_t>(lens[i]);
+      la::Matrix m(len, d);
+      std::memcpy(m.data(), hidden.data() + i * bucket.seq * d,
+                  len * d * sizeof(float));
+      out[bucket.docs[i]] = std::move(m);
+    }
+    la::ReleaseVec(std::move(hidden));
+  }
   return out;
 }
 
 la::Matrix QuantizedMiniLm::PoolBatch(
     const std::vector<std::vector<int32_t>>& docs) const {
   la::Matrix out(docs.size(), config_.dim);
-  ParallelFor(0, docs.size(), 1, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) {
-      const std::vector<float> pooled = Pool(docs[i]);
-      std::copy(pooled.begin(), pooled.end(), out.Row(i));
+  const BatchOptions options = GetBatchOptions();
+  if (options.mode == BatchMode::kPerDoc) {
+    ParallelFor(0, docs.size(), 1, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        const std::vector<float> pooled = Pool(docs[i]);
+        std::copy(pooled.begin(), pooled.end(), out.Row(i));
+      }
+    });
+    return out;
+  }
+  std::vector<std::vector<int32_t>> trunc(docs.size());
+  std::vector<size_t> lengths(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    trunc[i] = Truncate(docs[i]);
+    lengths[i] = trunc[i].size();
+  }
+  const BatchPlan plan = PlanBuckets(lengths, options);
+  const size_t d = config_.dim;
+  std::vector<int32_t> flat;
+  std::vector<int> lens;
+  for (const EncodeBucket& bucket : plan.buckets) {
+    FillBucketTokens(trunc, bucket, &flat, &lens);
+    const size_t count = bucket.docs.size();
+    std::vector<float> hidden = la::AcquireVec(count * bucket.seq * d);
+    ForwardBucket(flat.data(), count, bucket.seq, lens, hidden.data());
+    for (size_t i = 0; i < count; ++i) {
+      const size_t len = static_cast<size_t>(lens[i]);
+      // Same ascending sum + single multiply as Pool(): bit-identical.
+      float* row = out.Row(bucket.docs[i]);
+      std::fill(row, row + d, 0.0f);
+      for (size_t t = 0; t < len; ++t) {
+        const float* hr = hidden.data() + (i * bucket.seq + t) * d;
+        for (size_t j = 0; j < d; ++j) row[j] += hr[j];
+      }
+      const float inv = 1.0f / static_cast<float>(len);
+      for (size_t j = 0; j < d; ++j) row[j] *= inv;
     }
-  });
+    la::ReleaseVec(std::move(hidden));
+  }
   return out;
 }
 

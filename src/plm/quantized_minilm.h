@@ -84,6 +84,17 @@ class QuantizedMiniLm {
 
   std::vector<int32_t> Truncate(const std::vector<int32_t>& ids) const;
 
+  // Forward pass over one padded length bucket: `flat` holds count
+  // sequences of `seq` token ids (kPadId beyond each document's length),
+  // `out` receives the final hidden states as [count * seq, dim] rows.
+  // Attention runs per document at its exact length and pad rows never
+  // feed a live row, so each document's output rows are bit-identical to
+  // a per-document Encode — and, because activation quantization is
+  // per-row (la/qgemm.h), independent of what else shares the bucket.
+  // Rows past a document's length are deterministic but meaningless.
+  void ForwardBucket(const int32_t* flat, size_t count, size_t seq,
+                     const std::vector<int>& lengths, float* out) const;
+
   MiniLmConfig config_;
   std::vector<float> token_table_;  // [vocab, dim]
   std::vector<float> pos_table_;    // [max_seq, dim]

@@ -1,0 +1,326 @@
+// Tests for length-bucketed batch encoding (plm/batch_scheduler.h plus the
+// bucketed EncodeBatch/PoolBatch paths in plm/minilm.cc and
+// plm/quantized_minilm.cc). The contract under test is strict: bucketed and
+// padded outputs are BIT-identical to the per-document calls, under any
+// input permutation and any STM_NUM_THREADS, in both fp32 and int8. Built
+// as its own binary (stm_encode_tests, ctest label "encode") so
+// scripts/check.sh can run the suite under ASan in isolation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "la/matrix.h"
+#include "plm/batch_scheduler.h"
+#include "plm/minilm.h"
+#include "plm/quantized_minilm.h"
+#include "text/vocabulary.h"
+
+namespace stm {
+namespace {
+
+// Restores every process-wide switch the suite touches, no matter how a
+// test exits, so a failing assertion can't leak state into later tests.
+struct BatchGuard {
+  ~BatchGuard() {
+    plm::SetQuantInference(-1);
+    plm::SetBatchOptions(plm::BatchOptions{});
+    ThreadPool::Reset(ThreadPool::ConfiguredThreads());
+  }
+};
+
+plm::BatchOptions Options(plm::BatchMode mode) {
+  plm::BatchOptions options;
+  options.mode = mode;
+  return options;
+}
+
+// Mixed-length corpus: mostly short docs, a long tail, plus the edge
+// cases (empty doc -> single pad token, doc longer than max_seq).
+std::vector<std::vector<int32_t>> MixedDocs(size_t count, size_t vocab,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> docs;
+  docs.push_back({});  // Truncate turns this into one kPadId token
+  for (size_t d = 1; d < count; ++d) {
+    size_t len;
+    const double r = rng.Uniform();
+    if (r < 0.7) {
+      len = 2 + rng.UniformInt(10);
+    } else if (r < 0.95) {
+      len = 12 + rng.UniformInt(14);
+    } else {
+      len = 36 + rng.UniformInt(8);  // truncated to max_seq
+    }
+    std::vector<int32_t> doc(len);
+    for (int32_t& id : doc) {
+      id = text::kNumSpecialTokens +
+           static_cast<int32_t>(
+               rng.UniformInt(vocab - text::kNumSpecialTokens));
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+plm::MiniLmConfig TestConfig(size_t vocab) {
+  plm::MiniLmConfig config;
+  config.vocab_size = vocab;
+  config.dim = 24;
+  config.layers = 2;
+  config.heads = 4;
+  config.ffn_dim = 48;
+  config.max_seq = 32;
+  config.seed = 7;
+  return config;
+}
+
+void ExpectBitwiseEqual(const la::Matrix& want, const la::Matrix& got,
+                        const std::string& what) {
+  ASSERT_EQ(want.rows(), got.rows()) << what;
+  ASSERT_EQ(want.cols(), got.cols()) << what;
+  EXPECT_EQ(0, std::memcmp(want.data(), got.data(),
+                           want.size() * sizeof(float)))
+      << what;
+}
+
+// ---- PlanBuckets unit properties ----
+
+TEST(PlanBucketsTest, EveryDocInExactlyOneBucket) {
+  Rng rng(3);
+  std::vector<size_t> lengths(200);
+  for (size_t& len : lengths) len = 1 + rng.UniformInt(48);
+  const plm::BatchPlan plan =
+      plm::PlanBuckets(lengths, Options(plm::BatchMode::kBucketed));
+  std::vector<int> seen(lengths.size(), 0);
+  for (const plm::EncodeBucket& bucket : plan.buckets) {
+    for (size_t doc : bucket.docs) {
+      ASSERT_LT(doc, lengths.size());
+      ++seen[doc];
+      EXPECT_LE(lengths[doc], bucket.seq);
+    }
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "doc " << i;
+  }
+}
+
+TEST(PlanBucketsTest, RespectsWasteAndTokenBounds) {
+  Rng rng(5);
+  std::vector<size_t> lengths(300);
+  for (size_t& len : lengths) len = 1 + rng.UniformInt(48);
+  plm::BatchOptions options = Options(plm::BatchMode::kBucketed);
+  options.max_waste = 0.25f;
+  options.max_bucket_tokens = 256;
+  const plm::BatchPlan plan = plm::PlanBuckets(lengths, options);
+  size_t real = 0, padded = 0;
+  for (const plm::EncodeBucket& bucket : plan.buckets) {
+    ASSERT_FALSE(bucket.docs.empty());
+    size_t bucket_real = 0;
+    for (size_t doc : bucket.docs) bucket_real += lengths[doc];
+    const size_t bucket_padded = bucket.seq * bucket.docs.size();
+    // A single doc can exceed max_bucket_tokens only if it alone does.
+    if (bucket.docs.size() > 1) {
+      EXPECT_LE(bucket_padded, options.max_bucket_tokens);
+    }
+    const float waste =
+        static_cast<float>(bucket_padded - bucket_real) /
+        static_cast<float>(bucket_padded);
+    EXPECT_LE(waste, options.max_waste + 1e-6f);
+    real += bucket_real;
+    padded += bucket_padded;
+  }
+  EXPECT_EQ(real, plan.real_tokens);
+  EXPECT_EQ(padded, plan.padded_tokens);
+  EXPECT_EQ(real, std::accumulate(lengths.begin(), lengths.end(), size_t{0}));
+}
+
+TEST(PlanBucketsTest, DeterministicAndPermutationConsistent) {
+  Rng rng(9);
+  std::vector<size_t> lengths(80);
+  for (size_t& len : lengths) len = 1 + rng.UniformInt(32);
+  const plm::BatchOptions options = Options(plm::BatchMode::kBucketed);
+  const plm::BatchPlan a = plm::PlanBuckets(lengths, options);
+  const plm::BatchPlan b = plm::PlanBuckets(lengths, options);
+  ASSERT_EQ(a.buckets.size(), b.buckets.size());
+  for (size_t i = 0; i < a.buckets.size(); ++i) {
+    EXPECT_EQ(a.buckets[i].seq, b.buckets[i].seq);
+    EXPECT_EQ(a.buckets[i].docs, b.buckets[i].docs);
+  }
+}
+
+TEST(PlanBucketsTest, PerDocModeKeepsInputOrder) {
+  const std::vector<size_t> lengths = {5, 3, 9, 1};
+  const plm::BatchPlan plan =
+      plm::PlanBuckets(lengths, Options(plm::BatchMode::kPerDoc));
+  ASSERT_EQ(plan.buckets.size(), lengths.size());
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    EXPECT_EQ(plan.buckets[i].seq, lengths[i]);
+    ASSERT_EQ(plan.buckets[i].docs.size(), 1u);
+    EXPECT_EQ(plan.buckets[i].docs[0], i);
+  }
+}
+
+TEST(PlanBucketsTest, PaddedModeUsesGlobalMax) {
+  const std::vector<size_t> lengths = {5, 3, 9, 1};
+  const plm::BatchPlan plan =
+      plm::PlanBuckets(lengths, Options(plm::BatchMode::kPadded));
+  for (const plm::EncodeBucket& bucket : plan.buckets) {
+    EXPECT_EQ(bucket.seq, 9u);
+  }
+}
+
+// ---- batched vs per-document, fp32 and int8 ----
+
+class EncodeBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new plm::MiniLm(TestConfig(kVocab));
+    docs_ = new std::vector<std::vector<int32_t>>(MixedDocs(60, kVocab, 21));
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete docs_;
+    model_ = nullptr;
+    docs_ = nullptr;
+  }
+
+  // Per-document reference outputs under the CURRENT quant setting.
+  static std::vector<la::Matrix> ReferenceEncode() {
+    plm::SetBatchOptions(Options(plm::BatchMode::kPerDoc));
+    std::vector<la::Matrix> out;
+    for (const auto& doc : *docs_) out.push_back(model_->Encode(doc));
+    return out;
+  }
+
+  static la::Matrix ReferencePool() {
+    plm::SetBatchOptions(Options(plm::BatchMode::kPerDoc));
+    la::Matrix out(docs_->size(), model_->config().dim);
+    for (size_t d = 0; d < docs_->size(); ++d) {
+      const std::vector<float> pooled = model_->Pool((*docs_)[d]);
+      std::copy(pooled.begin(), pooled.end(), out.Row(d));
+    }
+    return out;
+  }
+
+  static void CheckModeMatchesPerDoc(plm::BatchMode mode) {
+    const std::vector<la::Matrix> want = ReferenceEncode();
+    const la::Matrix want_pool = ReferencePool();
+    plm::SetBatchOptions(Options(mode));
+    const std::vector<la::Matrix> got = model_->EncodeBatch(*docs_);
+    const la::Matrix got_pool = model_->PoolBatch(*docs_);
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t d = 0; d < want.size(); ++d) {
+      ExpectBitwiseEqual(want[d], got[d], "encode doc " + std::to_string(d));
+    }
+    ExpectBitwiseEqual(want_pool, got_pool, "pool batch");
+  }
+
+  static constexpr size_t kVocab = 120;
+  static plm::MiniLm* model_;
+  static std::vector<std::vector<int32_t>>* docs_;
+};
+
+plm::MiniLm* EncodeBatchTest::model_ = nullptr;
+std::vector<std::vector<int32_t>>* EncodeBatchTest::docs_ = nullptr;
+
+TEST_F(EncodeBatchTest, BucketedMatchesPerDocFp32) {
+  BatchGuard guard;
+  plm::SetQuantInference(0);
+  CheckModeMatchesPerDoc(plm::BatchMode::kBucketed);
+}
+
+TEST_F(EncodeBatchTest, PaddedMatchesPerDocFp32) {
+  BatchGuard guard;
+  plm::SetQuantInference(0);
+  CheckModeMatchesPerDoc(plm::BatchMode::kPadded);
+}
+
+TEST_F(EncodeBatchTest, BucketedMatchesPerDocInt8) {
+  BatchGuard guard;
+  plm::SetQuantInference(1);
+  CheckModeMatchesPerDoc(plm::BatchMode::kBucketed);
+}
+
+TEST_F(EncodeBatchTest, PaddedMatchesPerDocInt8) {
+  BatchGuard guard;
+  plm::SetQuantInference(1);
+  CheckModeMatchesPerDoc(plm::BatchMode::kPadded);
+}
+
+TEST_F(EncodeBatchTest, PermutationInvariantBothPrecisions) {
+  BatchGuard guard;
+  plm::SetBatchOptions(Options(plm::BatchMode::kBucketed));
+  std::vector<size_t> perm(docs_->size());
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  Rng rng(77);
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.UniformInt(i)]);
+  }
+  std::vector<std::vector<int32_t>> shuffled(docs_->size());
+  for (size_t i = 0; i < perm.size(); ++i) shuffled[i] = (*docs_)[perm[i]];
+
+  for (int quant = 0; quant <= 1; ++quant) {
+    plm::SetQuantInference(quant);
+    const std::vector<la::Matrix> base = model_->EncodeBatch(*docs_);
+    const std::vector<la::Matrix> got = model_->EncodeBatch(shuffled);
+    const la::Matrix base_pool = model_->PoolBatch(*docs_);
+    const la::Matrix got_pool = model_->PoolBatch(shuffled);
+    for (size_t i = 0; i < perm.size(); ++i) {
+      ExpectBitwiseEqual(base[perm[i]], got[i],
+                         "quant=" + std::to_string(quant) + " doc " +
+                             std::to_string(i));
+      EXPECT_EQ(0, std::memcmp(base_pool.Row(perm[i]), got_pool.Row(i),
+                               base_pool.cols() * sizeof(float)))
+          << "quant=" << quant << " pooled doc " << i;
+    }
+  }
+}
+
+TEST_F(EncodeBatchTest, ThreadCountInvariantBothPrecisions) {
+  BatchGuard guard;
+  plm::SetBatchOptions(Options(plm::BatchMode::kBucketed));
+  for (int quant = 0; quant <= 1; ++quant) {
+    plm::SetQuantInference(quant);
+    ThreadPool::Reset(1);
+    const std::vector<la::Matrix> single = model_->EncodeBatch(*docs_);
+    const la::Matrix single_pool = model_->PoolBatch(*docs_);
+    ThreadPool::Reset(4);
+    const std::vector<la::Matrix> multi = model_->EncodeBatch(*docs_);
+    const la::Matrix multi_pool = model_->PoolBatch(*docs_);
+    ASSERT_EQ(single.size(), multi.size());
+    for (size_t d = 0; d < single.size(); ++d) {
+      ExpectBitwiseEqual(single[d], multi[d],
+                         "quant=" + std::to_string(quant) + " doc " +
+                             std::to_string(d));
+    }
+    ExpectBitwiseEqual(single_pool, multi_pool,
+                       "quant=" + std::to_string(quant) + " pool");
+  }
+}
+
+TEST_F(EncodeBatchTest, FrozenModelBatchMatchesItsOwnPerDoc) {
+  BatchGuard guard;
+  const auto frozen = model_->Freeze();
+  plm::SetBatchOptions(Options(plm::BatchMode::kBucketed));
+  const std::vector<la::Matrix> batched = frozen->EncodeBatch(*docs_);
+  const la::Matrix batched_pool = frozen->PoolBatch(*docs_);
+  ASSERT_EQ(batched.size(), docs_->size());
+  for (size_t d = 0; d < docs_->size(); ++d) {
+    const la::Matrix want = frozen->Encode((*docs_)[d]);
+    ExpectBitwiseEqual(want, batched[d], "frozen doc " + std::to_string(d));
+    const std::vector<float> want_pool = frozen->Pool((*docs_)[d]);
+    EXPECT_EQ(0, std::memcmp(want_pool.data(), batched_pool.Row(d),
+                             want_pool.size() * sizeof(float)))
+        << "frozen pooled doc " << d;
+  }
+}
+
+}  // namespace
+}  // namespace stm

@@ -1,0 +1,325 @@
+// Tests for the persistent embedding cache (plm/encode_cache.h): memory
+// hit/miss accounting and bitwise-identical cached results, pooled-from-
+// hidden reuse, invalidation at the training boundary, disk spill and
+// reload across cache instances, and disk-failure robustness (corrupt or
+// truncated entry files are quarantined, failed writes are counted and
+// never fatal — the cache always falls back to re-encoding). Part of
+// stm_encode_tests (ctest label "encode").
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "la/matrix.h"
+#include "plm/encode_cache.h"
+#include "plm/minilm.h"
+#include "plm/quantized_minilm.h"
+#include "text/vocabulary.h"
+
+namespace stm {
+namespace {
+
+struct QuantGuard {
+  ~QuantGuard() { plm::SetQuantInference(-1); }
+};
+
+plm::MiniLmConfig SmallConfig() {
+  plm::MiniLmConfig config;
+  config.vocab_size = 80;
+  config.dim = 16;
+  config.layers = 1;
+  config.heads = 2;
+  config.ffn_dim = 32;
+  config.max_seq = 16;
+  config.seed = 3;
+  return config;
+}
+
+std::vector<std::vector<int32_t>> RandomDocs(size_t count, size_t vocab,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> docs(count);
+  for (auto& doc : docs) {
+    const size_t len = 3 + rng.UniformInt(10);
+    for (size_t t = 0; t < len; ++t) {
+      doc.push_back(static_cast<int32_t>(
+          text::kNumSpecialTokens +
+          rng.UniformInt(vocab - text::kNumSpecialTokens)));
+    }
+  }
+  return docs;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// The single entry file a one-insert cache wrote under `dir`.
+std::string OnlyEntryFile(const std::string& dir) {
+  std::string found;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string path = entry.path().string();
+    if (path.size() >= 4 && path.substr(path.size() - 4) == ".bin") {
+      EXPECT_TRUE(found.empty()) << "more than one entry file in " << dir;
+      found = path;
+    }
+  }
+  EXPECT_FALSE(found.empty()) << "no entry file in " << dir;
+  return found;
+}
+
+std::shared_ptr<plm::EncodeCache> MemoryCache() {
+  plm::EncodeCache::Config config;
+  config.max_bytes = 4 * 1024 * 1024;
+  return std::make_shared<plm::EncodeCache>(config);
+}
+
+std::shared_ptr<plm::EncodeCache> DiskCache(const std::string& dir,
+                                            Env* env = nullptr) {
+  plm::EncodeCache::Config config;
+  config.max_bytes = 4 * 1024 * 1024;
+  config.dir = dir;
+  config.env = env;
+  return std::make_shared<plm::EncodeCache>(config);
+}
+
+void ExpectSame(const la::Matrix& want, const la::Matrix& got,
+                const std::string& what) {
+  ASSERT_EQ(want.rows(), got.rows()) << what;
+  ASSERT_EQ(want.cols(), got.cols()) << what;
+  EXPECT_EQ(0, std::memcmp(want.data(), got.data(),
+                           want.size() * sizeof(float)))
+      << what;
+}
+
+TEST(EncodeCacheTest, MemoryHitIsBitwiseIdenticalAndCounted) {
+  plm::MiniLm model(SmallConfig());
+  const auto docs = RandomDocs(6, model.config().vocab_size, 11);
+  const std::vector<la::Matrix> want = model.EncodeBatch(docs);
+
+  auto cache = MemoryCache();
+  model.SetEncodeCache(cache);
+  const std::vector<la::Matrix> first = model.EncodeBatch(docs);
+  const plm::EncodeCache::Stats after_fill = cache->stats();
+  EXPECT_EQ(after_fill.hits(), 0u);
+  EXPECT_EQ(after_fill.misses, docs.size());
+  EXPECT_EQ(after_fill.inserts, docs.size());
+
+  const std::vector<la::Matrix> second = model.EncodeBatch(docs);
+  const plm::EncodeCache::Stats after_hit = cache->stats();
+  EXPECT_EQ(after_hit.memory_hits, docs.size());
+  EXPECT_EQ(after_hit.misses, docs.size());  // unchanged
+
+  for (size_t d = 0; d < docs.size(); ++d) {
+    ExpectSame(want[d], first[d], "fill doc " + std::to_string(d));
+    ExpectSame(want[d], second[d], "hit doc " + std::to_string(d));
+  }
+}
+
+TEST(EncodeCacheTest, PooledVectorReusesCachedHiddenStates) {
+  plm::MiniLm model(SmallConfig());
+  const auto docs = RandomDocs(1, model.config().vocab_size, 13);
+  const std::vector<float> want = model.Pool(docs[0]);
+
+  auto cache = MemoryCache();
+  model.SetEncodeCache(cache);
+  (void)model.Encode(docs[0]);  // caches the hidden rows
+  const size_t misses_before = cache->stats().misses;
+  const std::vector<float> pooled = model.Pool(docs[0]);
+  const plm::EncodeCache::Stats stats = cache->stats();
+  // The pooled key itself missed, but the hidden entry satisfied it —
+  // no re-encode, one memory hit, and bitwise the same pooled vector.
+  EXPECT_EQ(stats.misses, misses_before + 1);
+  EXPECT_GE(stats.memory_hits, 1u);
+  ASSERT_EQ(want.size(), pooled.size());
+  EXPECT_EQ(0,
+            std::memcmp(want.data(), pooled.data(),
+                        want.size() * sizeof(float)));
+
+  // Second Pool is served straight from the pooled entry.
+  const size_t hits_before = cache->stats().memory_hits;
+  const std::vector<float> again = model.Pool(docs[0]);
+  EXPECT_EQ(cache->stats().memory_hits, hits_before + 1);
+  EXPECT_EQ(0,
+            std::memcmp(want.data(), again.data(),
+                        want.size() * sizeof(float)));
+}
+
+TEST(EncodeCacheTest, QuantAndFp32EntriesNeverMix) {
+  QuantGuard guard;
+  plm::MiniLm model(SmallConfig());
+  const auto docs = RandomDocs(1, model.config().vocab_size, 17);
+  auto cache = MemoryCache();
+  model.SetEncodeCache(cache);
+
+  plm::SetQuantInference(0);
+  const la::Matrix fp32 = model.Encode(docs[0]);
+  plm::SetQuantInference(1);
+  const la::Matrix quant = model.Encode(docs[0]);
+  // The int8 call missed (different key) instead of serving fp32 rows.
+  EXPECT_EQ(cache->stats().misses, 2u);
+  const auto frozen = model.Freeze();
+  ExpectSame(frozen->Encode(docs[0]), quant, "quant encode");
+}
+
+TEST(EncodeCacheTest, TrainingInvalidatesCachedEntries) {
+  plm::MiniLm model(SmallConfig());
+  const auto docs = RandomDocs(8, model.config().vocab_size, 19);
+  auto cache = MemoryCache();
+  model.SetEncodeCache(cache);
+
+  const uint64_t fp_before = model.WeightsFingerprint();
+  (void)model.Pool(docs[0]);
+  const size_t misses_before = cache->stats().misses;
+
+  plm::PretrainConfig pretrain;
+  pretrain.steps = 5;
+  pretrain.batch = 2;
+  model.Pretrain(docs, pretrain);
+  EXPECT_NE(model.WeightsFingerprint(), fp_before);
+
+  // Old entries are unaddressable now: the next Pool misses and returns
+  // exactly what an uncached model with the trained weights returns.
+  const std::vector<float> cached_path = model.Pool(docs[0]);
+  EXPECT_GT(cache->stats().misses, misses_before);
+  model.SetEncodeCache(nullptr);
+  const std::vector<float> fresh = model.Pool(docs[0]);
+  ASSERT_EQ(fresh.size(), cached_path.size());
+  EXPECT_EQ(0, std::memcmp(fresh.data(), cached_path.data(),
+                           fresh.size() * sizeof(float)));
+}
+
+TEST(EncodeCacheTest, DiskSpillServesAFreshCacheInstance) {
+  const std::string dir = FreshDir("encode_cache_spill");
+  plm::MiniLm model(SmallConfig());
+  const auto docs = RandomDocs(1, model.config().vocab_size, 23);
+  const la::Matrix want = model.Encode(docs[0]);
+
+  model.SetEncodeCache(DiskCache(dir));
+  (void)model.Encode(docs[0]);
+
+  // A brand-new cache over the same directory — simulating the next
+  // process run — serves the entry from disk without re-encoding.
+  auto cache2 = DiskCache(dir);
+  model.SetEncodeCache(cache2);
+  const la::Matrix reloaded = model.Encode(docs[0]);
+  EXPECT_EQ(cache2->stats().disk_hits, 1u);
+  EXPECT_EQ(cache2->stats().memory_hits, 0u);
+  ExpectSame(want, reloaded, "disk reload");
+}
+
+TEST(EncodeCacheTest, CorruptEntryFileIsQuarantinedAndReencoded) {
+  const std::string dir = FreshDir("encode_cache_corrupt");
+  plm::MiniLm model(SmallConfig());
+  const auto docs = RandomDocs(1, model.config().vocab_size, 29);
+  const la::Matrix want = model.Encode(docs[0]);
+
+  model.SetEncodeCache(DiskCache(dir));
+  (void)model.Encode(docs[0]);
+  const std::string path = OnlyEntryFile(dir);
+
+  // Flip one payload byte: the CRC catches it on the next read.
+  StatusOr<std::string> data = Env::Default()->ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  std::string bytes = std::move(data).value();
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  ASSERT_TRUE(Env::Default()->WriteFileAtomic(path, bytes).ok());
+
+  auto cache2 = DiskCache(dir);
+  model.SetEncodeCache(cache2);
+  const la::Matrix got = model.Encode(docs[0]);
+  ExpectSame(want, got, "re-encode after corruption");
+  EXPECT_GE(cache2->stats().disk_errors, 1u);
+  EXPECT_EQ(cache2->stats().disk_hits, 0u);
+  EXPECT_TRUE(Env::Default()->FileExists(path + ".corrupt"));
+}
+
+TEST(EncodeCacheTest, TruncatedEntryFileIsTreatedAsMiss) {
+  const std::string dir = FreshDir("encode_cache_trunc");
+  plm::MiniLm model(SmallConfig());
+  const auto docs = RandomDocs(1, model.config().vocab_size, 31);
+  const la::Matrix want = model.Encode(docs[0]);
+
+  model.SetEncodeCache(DiskCache(dir));
+  (void)model.Encode(docs[0]);
+  const std::string path = OnlyEntryFile(dir);
+
+  StatusOr<std::string> data = Env::Default()->ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(Env::Default()
+                  ->WriteFileAtomic(path, data.value().substr(0, 10))
+                  .ok());
+
+  auto cache2 = DiskCache(dir);
+  model.SetEncodeCache(cache2);
+  const la::Matrix got = model.Encode(docs[0]);
+  ExpectSame(want, got, "re-encode after truncation");
+  EXPECT_GE(cache2->stats().disk_errors, 1u);
+}
+
+TEST(EncodeCacheTest, FailedSpillWritesAreCountedNotFatal) {
+  const std::string dir = FreshDir("encode_cache_failwrite");
+  FaultInjectingEnv fault(Env::Default());
+  plm::MiniLm model(SmallConfig());
+  const auto docs = RandomDocs(1, model.config().vocab_size, 37);
+  const la::Matrix want = model.Encode(docs[0]);
+
+  auto cache = DiskCache(dir, &fault);
+  model.SetEncodeCache(cache);
+  // kIoError is deterministic, so the serialize layer's retry loop does
+  // not absorb it the way a single transient kUnavailable would be.
+  fault.FailNextWrites(1, StatusCode::kIoError);
+  const la::Matrix got = model.Encode(docs[0]);
+  ExpectSame(want, got, "encode with failed spill");
+  EXPECT_GE(cache->stats().disk_errors, 1u);
+
+  // The entry still serves from memory even though the spill was lost.
+  const la::Matrix again = model.Encode(docs[0]);
+  ExpectSame(want, again, "memory hit after failed spill");
+  EXPECT_GE(cache->stats().memory_hits, 1u);
+}
+
+TEST(EncodeCacheTest, FailingReadFallsBackToReencoding) {
+  const std::string dir = FreshDir("encode_cache_failread");
+  plm::MiniLm model(SmallConfig());
+  const auto docs = RandomDocs(1, model.config().vocab_size, 41);
+  const la::Matrix want = model.Encode(docs[0]);
+
+  model.SetEncodeCache(DiskCache(dir));
+  (void)model.Encode(docs[0]);
+
+  FaultInjectingEnv fault(Env::Default());
+  auto cache2 = DiskCache(dir, &fault);
+  model.SetEncodeCache(cache2);
+  fault.FailNthOp(0, StatusCode::kIoError);  // the entry-file read
+  const la::Matrix got = model.Encode(docs[0]);
+  ExpectSame(want, got, "re-encode after read failure");
+  EXPECT_GE(cache2->stats().disk_errors, 1u);
+}
+
+TEST(EncodeCacheTest, LruEvictsUnderMemoryPressure) {
+  plm::EncodeCache::Config config;
+  config.max_bytes = 2000;  // a few small entries
+  plm::EncodeCache cache(config);
+  la::Matrix value(4, 16);  // 256B payload + overhead
+  for (int i = 0; i < 32; ++i) {
+    const int32_t id = i;
+    cache.Insert(plm::EncodeCache::MakeKey(
+                     1, false, plm::EncodeCache::Kind::kHidden, &id, 1),
+                 value);
+  }
+  EXPECT_LE(cache.bytes(), config.max_bytes);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace stm
