@@ -1,0 +1,362 @@
+// Online-serving bench: dynamic batching under open-loop load. A burst
+// phase measures the server's saturated throughput, then an open-loop
+// generator offers 70% of that rate with paced arrivals (submission times
+// never depend on completions, so queueing delay is measured honestly)
+// and reports achieved QPS, p50/p99 latency and shed count, in fp32 and
+// int8. With STM_BENCH_JSON=<path> every number is recorded for scripted
+// comparison (bench/run_benches.sh commits them as BENCH_serve.json).
+//
+//   ./bench_serve            full sweep (respects STM_NUM_THREADS and the
+//                            STM_SERVE_* knobs; see src/serve/serve.h)
+//   ./bench_serve --smoke    fast correctness pass used by ctest; exits
+//                            non-zero if served predictions are not
+//                            bit-identical to the batch path in fp32 and
+//                            int8, or if admission control fails to shed
+//                            with kUnavailable
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/serve_adapters.h"
+#include "la/matrix.h"
+#include "plm/minilm.h"
+#include "plm/quantized_minilm.h"
+#include "serve/serve.h"
+#include "text/vocabulary.h"
+
+namespace stm {
+namespace {
+
+std::vector<std::vector<int32_t>> SkewedCorpus(size_t count, size_t vocab,
+                                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> docs(count);
+  for (auto& doc : docs) {
+    size_t len;
+    const double r = rng.Uniform();
+    if (r < 0.70) {
+      len = 4 + rng.UniformInt(9);
+    } else if (r < 0.95) {
+      len = 13 + rng.UniformInt(16);
+    } else {
+      len = 36 + rng.UniformInt(13);
+    }
+    doc.resize(len);
+    for (int32_t& id : doc) {
+      id = text::kNumSpecialTokens +
+           static_cast<int32_t>(
+               rng.UniformInt(vocab - text::kNumSpecialTokens));
+    }
+  }
+  return docs;
+}
+
+std::unique_ptr<plm::MiniLm> BenchModel(size_t vocab) {
+  plm::MiniLmConfig config;
+  config.vocab_size = vocab;
+  config.dim = 40;
+  config.layers = 2;
+  config.heads = 4;
+  config.ffn_dim = 80;
+  config.max_seq = 48;
+  config.seed = 17;
+  // Random init: serving throughput and bit-identity are independent of
+  // training, and skipping pre-training keeps the bench self-contained.
+  return std::make_unique<plm::MiniLm>(config);
+}
+
+std::vector<std::vector<int32_t>> ClassNames(size_t classes) {
+  std::vector<std::vector<int32_t>> names;
+  for (size_t c = 0; c < classes; ++c) {
+    names.push_back({static_cast<int32_t>(text::kNumSpecialTokens + c),
+                     static_cast<int32_t>(text::kNumSpecialTokens +
+                                          classes + c)});
+  }
+  return names;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+struct LoadResult {
+  double burst_qps = 0.0;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t shed = 0;
+};
+
+// Saturated throughput: submit everything at once, wait for it all.
+double BurstPhase(serve::Server& server,
+                  const std::vector<std::vector<int32_t>>& docs,
+                  size_t requests) {
+  std::vector<std::future<StatusOr<serve::Prediction>>> futures;
+  futures.reserve(requests);
+  WallTimer timer;
+  for (size_t i = 0; i < requests; ++i) {
+    futures.push_back(server.Submit("match", docs[i % docs.size()]));
+  }
+  size_t completed = 0;
+  for (auto& future : futures) {
+    if (future.get().ok()) ++completed;
+  }
+  const double seconds = timer.Seconds();
+  (void)server.TakeLatenciesMs();  // burst latencies don't enter the report
+  return seconds > 0 ? static_cast<double>(completed) / seconds : 0.0;
+}
+
+// Open loop: arrival times are fixed up front from the offered rate, so a
+// slow server accumulates queueing delay (or sheds) instead of silently
+// slowing the generator down.
+LoadResult OpenLoopPhase(serve::Server& server,
+                         const std::vector<std::vector<int32_t>>& docs,
+                         double offered_qps, double seconds) {
+  using Clock = std::chrono::steady_clock;
+  const size_t requests =
+      static_cast<size_t>(std::max(1.0, offered_qps * seconds));
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / offered_qps));
+
+  std::vector<std::future<StatusOr<serve::Prediction>>> futures;
+  futures.reserve(requests);
+  const Clock::time_point start = Clock::now();
+  WallTimer timer;
+  for (size_t i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(start + interval * i);
+    futures.push_back(server.Submit("match", docs[i % docs.size()]));
+  }
+  size_t completed = 0;
+  uint64_t shed = 0;
+  for (auto& future : futures) {
+    const StatusOr<serve::Prediction> result = future.get();
+    if (result.ok()) {
+      ++completed;
+    } else if (result.status().code() == StatusCode::kUnavailable) {
+      ++shed;
+    }
+  }
+  const double elapsed = timer.Seconds();
+
+  LoadResult result;
+  result.offered_qps = offered_qps;
+  result.achieved_qps =
+      elapsed > 0 ? static_cast<double>(completed) / elapsed : 0.0;
+  const std::vector<double> latencies = server.TakeLatenciesMs();
+  result.p50_ms = Percentile(latencies, 0.50);
+  result.p99_ms = Percentile(latencies, 0.99);
+  result.shed = shed;
+  return result;
+}
+
+int RunSweep() {
+  const size_t kVocab = 1000;
+  const auto docs = SkewedCorpus(512, kVocab, 99);
+  const auto names = ClassNames(8);
+  auto model = BenchModel(kVocab);
+
+  bench::Table table(
+      "Online serving: dynamic batching under open-loop load "
+      "(plm-simple-match route)",
+      {"burst_qps", "offered_qps", "achieved_qps", "p50_ms", "p99_ms",
+       "shed"});
+
+  for (const bool quant : {false, true}) {
+    const std::string prefix = quant ? "int8" : "fp32";
+    plm::SetQuantInference(quant ? 1 : 0);
+
+    serve::ServeOptions options = serve::ServeOptionsFromEnv();
+    options.queue_depth = 4096;
+    serve::Server server(model.get(), options);
+    server.Register("match",
+                    core::MakePlmSimpleMatchServable(model.get(), names));
+
+    bench::Progress(prefix + ": warmup");
+    (void)server.Serve("match", docs[0]);  // freeze/pack once
+    (void)server.TakeLatenciesMs();
+
+    bench::Progress(prefix + ": burst phase");
+    const double burst = BurstPhase(server, docs, 2000);
+    bench::Progress(prefix + ": burst " + std::to_string(burst) + " qps");
+
+    const double offered = 0.7 * burst;
+    bench::Progress(prefix + ": open loop at " + std::to_string(offered) +
+                    " qps");
+    LoadResult load = OpenLoopPhase(server, docs, offered, 2.0);
+    load.burst_qps = burst;
+    bench::Progress(prefix + ": p50 " + std::to_string(load.p50_ms) +
+                    "ms p99 " + std::to_string(load.p99_ms) + "ms");
+
+    auto& json = bench::BenchJsonWriter::Instance();
+    json.Record("serve", prefix + "_burst_qps", load.burst_qps);
+    json.Record("serve", prefix + "_offered_qps", load.offered_qps);
+    json.Record("serve", prefix + "_achieved_qps", load.achieved_qps);
+    json.Record("serve", prefix + "_p50_ms", load.p50_ms);
+    json.Record("serve", prefix + "_p99_ms", load.p99_ms);
+    json.Record("serve", prefix + "_shed", static_cast<double>(load.shed));
+    table.AddRow(prefix,
+                 {load.burst_qps, load.offered_qps, load.achieved_qps,
+                  load.p50_ms, load.p99_ms, static_cast<double>(load.shed)});
+  }
+  plm::SetQuantInference(-1);
+  table.Print();
+  return 0;
+}
+
+// A classifier that parks inside Classify until released, for a
+// deterministic admission-control check.
+class BlockingServable : public serve::Classifier {
+ public:
+  std::string name() const override { return "blocking"; }
+  size_t num_classes() const override { return 1; }
+  Input input() const override { return Input::kTokens; }
+
+  serve::Prediction Classify(const std::vector<int32_t>&, const float*,
+                             const la::Matrix*) const override {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++entered_;
+    entered_cv_.notify_all();
+    release_cv_.wait(lock, [&] { return released_; });
+    return serve::Prediction{};
+  }
+
+  void AwaitEntered() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [&] { return entered_ >= 1; });
+  }
+
+  void Release() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable entered_cv_;
+  mutable std::condition_variable release_cv_;
+  mutable int entered_ = 0;
+  mutable bool released_ = false;
+};
+
+// Fast ctest pass: served predictions must be bit-identical to the batch
+// path in both precisions, and a full queue must shed with kUnavailable.
+int RunSmoke() {
+  const size_t kVocab = 200;
+  const auto docs = SkewedCorpus(32, kVocab, 7);
+  const auto names = ClassNames(4);
+  auto model = BenchModel(kVocab);
+  int failures = 0;
+
+  for (const bool quant : {false, true}) {
+    plm::SetQuantInference(quant ? 1 : 0);
+    // Batch reference: full-corpus PoolBatch + cosine argmax.
+    const la::Matrix class_reps = model->PoolBatch(names);
+    const la::Matrix doc_reps = model->PoolBatch(docs);
+    const size_t dim = doc_reps.cols();
+
+    serve::Server server(model.get(), serve::ServeOptions{});
+    server.Register("match",
+                    core::MakePlmSimpleMatchServable(model.get(), names));
+    std::vector<std::future<StatusOr<serve::Prediction>>> futures;
+    for (const auto& doc : docs) {
+      futures.push_back(server.Submit("match", doc));
+    }
+    for (size_t d = 0; d < docs.size(); ++d) {
+      StatusOr<serve::Prediction> got = futures[d].get();
+      if (!got.ok()) {
+        std::fprintf(stderr, "FAIL: quant=%d doc %zu: %s\n", quant ? 1 : 0,
+                     d, got.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      int want_label = 0;
+      float best = -2.0f;
+      for (size_t c = 0; c < class_reps.rows(); ++c) {
+        const float sim =
+            la::Cosine(doc_reps.Row(d), class_reps.Row(c), dim);
+        if (sim > best) {
+          best = sim;
+          want_label = static_cast<int>(c);
+        }
+        if (std::memcmp(&sim, &got->scores[c], sizeof(float)) != 0) {
+          std::fprintf(stderr,
+                       "FAIL: quant=%d doc %zu class %zu score differs "
+                       "from batch path\n",
+                       quant ? 1 : 0, d, c);
+          ++failures;
+        }
+      }
+      if (got->label != want_label) {
+        std::fprintf(stderr, "FAIL: quant=%d doc %zu label %d != %d\n",
+                     quant ? 1 : 0, d, got->label, want_label);
+        ++failures;
+      }
+    }
+  }
+  plm::SetQuantInference(-1);
+
+  // Admission control: one parked batch + a full queue => kUnavailable.
+  {
+    auto blocking = std::make_shared<BlockingServable>();
+    serve::ServeOptions options;
+    options.max_batch = 1;
+    options.deadline_ms = 0.0;
+    options.queue_depth = 1;
+    options.workers = 1;
+    serve::Server server(model.get(), options);
+    server.Register("block", blocking);
+    const std::vector<int32_t> doc = {text::kNumSpecialTokens};
+    auto parked = server.Submit("block", doc);
+    blocking->AwaitEntered();
+    auto queued = server.Submit("block", doc);
+    StatusOr<serve::Prediction> shed = server.Submit("block", doc).get();
+    if (shed.ok() || shed.status().code() != StatusCode::kUnavailable) {
+      std::fprintf(stderr, "FAIL: full queue did not shed kUnavailable\n");
+      ++failures;
+    }
+    if (server.stats().shed != 1) {
+      std::fprintf(stderr, "FAIL: shed counter not bumped\n");
+      ++failures;
+    }
+    blocking->Release();
+    if (!parked.get().ok() || !queued.get().ok()) {
+      std::fprintf(stderr, "FAIL: admitted requests did not complete\n");
+      ++failures;
+    }
+  }
+
+  if (failures == 0) std::printf("bench_serve --smoke: OK\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace stm
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--smoke") {
+    return stm::RunSmoke();
+  }
+  return stm::RunSweep();
+}

@@ -1,0 +1,131 @@
+#include "common/env_parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace stm {
+
+namespace {
+
+void Warn(const char* name, const char* value, const std::string& detail,
+          const std::string& fallback) {
+  std::fprintf(stderr, "[stm] ignoring %s='%s' (%s); using %s\n", name,
+               value, detail.c_str(), fallback.c_str());
+}
+
+}  // namespace
+
+size_t ParseSizeEnv(const char* name, size_t fallback, size_t min_value,
+                    size_t max_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  const std::string fb = std::to_string(fallback);
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) {
+      Warn(name, value, "not a non-negative integer", fb);
+      return fallback;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (errno == ERANGE || end == value || *end != '\0' ||
+      parsed > std::numeric_limits<size_t>::max()) {
+    Warn(name, value, "integer overflow", fb);
+    return fallback;
+  }
+  const size_t result = static_cast<size_t>(parsed);
+  if (result < min_value || result > max_value) {
+    Warn(name, value,
+         "out of range [" + std::to_string(min_value) + ", " +
+             std::to_string(max_value) + "]",
+         fb);
+    return fallback;
+  }
+  return result;
+}
+
+float ParseFloatEnv(const char* name, float fallback, float min_value,
+                    float max_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  const std::string fb = std::to_string(fallback);
+  // strtof skips leading whitespace; the full-token contract does not.
+  if (std::isspace(static_cast<unsigned char>(value[0]))) {
+    Warn(name, value, "not a number", fb);
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const float parsed = std::strtof(value, &end);
+  if (end == value || *end != '\0') {
+    Warn(name, value, "not a number", fb);
+    return fallback;
+  }
+  if (errno == ERANGE || !std::isfinite(parsed)) {
+    Warn(name, value, "not a finite number", fb);
+    return fallback;
+  }
+  if (parsed < min_value || parsed > max_value) {
+    Warn(name, value,
+         "out of range [" + std::to_string(min_value) + ", " +
+             std::to_string(max_value) + "]",
+         fb);
+    return fallback;
+  }
+  return parsed;
+}
+
+bool ParseBoolEnv(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  std::string token(value);
+  for (char& c : token) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (token == "1" || token == "true" || token == "on" || token == "yes") {
+    return true;
+  }
+  if (token == "0" || token == "false" || token == "off" || token == "no") {
+    return false;
+  }
+  Warn(name, value, "not a boolean (1/0/true/false/on/off/yes/no)",
+       fallback ? "true" : "false");
+  return fallback;
+}
+
+size_t ParseEnumEnv(const char* name,
+                    const std::vector<std::string_view>& values,
+                    size_t fallback_index) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback_index;
+  const std::string_view token(value);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] == token) return i;
+  }
+  std::string accepted;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) accepted += "|";
+    accepted += values[i];
+  }
+  Warn(name, value, "expected one of " + accepted,
+       std::string(values[fallback_index]));
+  return fallback_index;
+}
+
+size_t SaturatingMulSize(size_t a, size_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > std::numeric_limits<size_t>::max() / b) {
+    return std::numeric_limits<size_t>::max();
+  }
+  return a * b;
+}
+
+}  // namespace stm

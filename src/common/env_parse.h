@@ -1,0 +1,54 @@
+#ifndef STM_COMMON_ENV_PARSE_H_
+#define STM_COMMON_ENV_PARSE_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace stm {
+
+// Validated parsing for the STM_* environment knobs.
+//
+// The contract every helper follows:
+//  * variable unset or empty        -> return `fallback`, silently;
+//  * variable set to a valid token  -> return the parsed value;
+//  * anything else (trailing junk, sign on an unsigned knob, overflow,
+//    NaN/Inf, out-of-range value, unknown enum token) -> return
+//    `fallback` and print ONE warning line to stderr naming the variable,
+//    the rejected value and the fallback, matching the existing
+//    STM_ENCODE_BATCH message style.
+//
+// The old call sites passed a null `endptr` to strtof/strtol/strtoull, so
+// `STM_ENCODE_BUCKET_WASTE=0.5x` parsed as 0.5 and `STM_NUM_THREADS=abc`
+// parsed as 0 — both silently. A knob that is set but not understood now
+// always says so.
+
+// Unsigned integer knob. The token must be decimal digits only (no sign,
+// no suffix). Values outside [min_value, max_value] are rejected.
+size_t ParseSizeEnv(const char* name, size_t fallback, size_t min_value,
+                    size_t max_value);
+
+// Float knob. The token must be a finite decimal number fully consumed by
+// strtof (NaN and Inf are rejected). Values outside [min_value, max_value]
+// are rejected.
+float ParseFloatEnv(const char* name, float fallback, float min_value,
+                    float max_value);
+
+// Boolean knob: "1"/"true"/"on"/"yes" -> true, "0"/"false"/"off"/"no" ->
+// false (ASCII case-insensitive). Anything else warns and falls back.
+bool ParseBoolEnv(const char* name, bool fallback);
+
+// Enum knob: returns the index of the token in `values`, or
+// `fallback_index` (with a warning listing the accepted tokens) when the
+// token matches none of them.
+size_t ParseEnumEnv(const char* name,
+                    const std::vector<std::string_view>& values,
+                    size_t fallback_index);
+
+// a * b saturating at SIZE_MAX instead of wrapping — for MB -> bytes
+// style conversions of user-supplied sizes.
+size_t SaturatingMulSize(size_t a, size_t b);
+
+}  // namespace stm
+
+#endif  // STM_COMMON_ENV_PARSE_H_

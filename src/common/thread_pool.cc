@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
+
+#include "common/env_parse.h"
 
 namespace stm {
 
@@ -71,11 +72,11 @@ void ThreadPool::Reset(size_t threads) {
 bool ThreadPool::InWorker() { return tls_in_worker; }
 
 size_t ThreadPool::ConfiguredThreads() {
-  const char* env = std::getenv("STM_NUM_THREADS");
-  if (env != nullptr) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<size_t>(parsed);
-  }
+  // 0 (the fallback for unset or rejected values) means "use the
+  // hardware concurrency"; the 4096 ceiling rejects thread counts that
+  // could only be typos.
+  const size_t parsed = ParseSizeEnv("STM_NUM_THREADS", 0, 0, 4096);
+  if (parsed > 0) return parsed;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
 }

@@ -186,11 +186,12 @@ std::vector<int> ConWea::Run(const text::WeakSupervision& supervision) {
     clf_config.vocab_size = corpus_.vocab().size();
     clf_config.num_classes = num_classes;
     clf_config.seed = config_.seed + static_cast<uint64_t>(iteration);
-    nn::BowLogRegClassifier classifier(clf_config);
-    classifier.Fit(train_docs, train_labels, config_.classifier_epochs);
+    auto classifier = std::make_shared<nn::BowLogRegClassifier>(clf_config);
+    classifier->Fit(train_docs, train_labels, config_.classifier_epochs);
     std::vector<std::vector<int32_t>> all_docs;
     for (const auto& doc : corpus_.docs()) all_docs.push_back(doc.tokens);
-    predictions = classifier.Predict(all_docs);
+    predictions = classifier->Predict(all_docs);
+    classifier_ = std::move(classifier);
 
     // ---- comparative seed expansion ----
     if (!config_.enable_expansion ||

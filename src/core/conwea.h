@@ -2,9 +2,11 @@
 #define STM_CORE_CONWEA_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "nn/text_classifier.h"
 #include "plm/minilm.h"
 #include "text/corpus.h"
 
@@ -51,6 +53,13 @@ class ConWea {
     return seeds_;
   }
 
+  // Classifier trained in the last iteration, shared so the serving layer
+  // (serve::Server) can route single documents through it after Run()
+  // returns. Null until Run() produced at least one training round.
+  std::shared_ptr<nn::TextClassifier> trained_classifier() const {
+    return classifier_;
+  }
+
  private:
   // Occurrence of a seed word with its sense assignment.
   struct SenseFilter {
@@ -77,6 +86,7 @@ class ConWea {
   plm::MiniLm* model_;
   ConWeaConfig config_;
   std::vector<std::vector<int32_t>> seeds_;
+  std::shared_ptr<nn::TextClassifier> classifier_;
 };
 
 }  // namespace stm::core

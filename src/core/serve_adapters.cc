@@ -1,0 +1,152 @@
+#include "core/serve_adapters.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "text/vocabulary.h"
+
+namespace stm::core {
+
+// ---------------- PooledCosineServable ----------------
+
+PooledCosineServable::PooledCosineServable(std::string name,
+                                           la::Matrix class_reps)
+    : name_(std::move(name)), class_reps_(std::move(class_reps)) {
+  STM_CHECK_GT(class_reps_.rows(), 0u);
+}
+
+serve::Prediction PooledCosineServable::Classify(
+    const std::vector<int32_t>& ids, const float* pooled,
+    const la::Matrix* hidden) const {
+  (void)ids;
+  (void)hidden;
+  STM_CHECK(pooled != nullptr);
+  const size_t dim = class_reps_.cols();
+  serve::Prediction prediction;
+  prediction.scores.resize(class_reps_.rows());
+  // Same loop as PlmSimpleMatchClassify: strict > keeps the first of
+  // tied classes, and -2.0f is below any cosine.
+  float best = -2.0f;
+  prediction.label = 0;
+  for (size_t c = 0; c < class_reps_.rows(); ++c) {
+    const float sim = la::Cosine(pooled, class_reps_.Row(c), dim);
+    prediction.scores[c] = sim;
+    if (sim > best) {
+      best = sim;
+      prediction.label = static_cast<int>(c);
+    }
+  }
+  return prediction;
+}
+
+std::shared_ptr<PooledCosineServable> MakePlmSimpleMatchServable(
+    plm::MiniLm* model,
+    const std::vector<std::vector<int32_t>>& class_name_tokens) {
+  STM_CHECK(model != nullptr);
+  return std::make_shared<PooledCosineServable>(
+      "plm-simple-match", model->PoolBatch(class_name_tokens));
+}
+
+// ---------------- TextClassifierServable ----------------
+
+TextClassifierServable::TextClassifierServable(
+    std::string name, std::shared_ptr<nn::TextClassifier> classifier,
+    size_t num_classes)
+    : name_(std::move(name)),
+      classifier_(std::move(classifier)),
+      num_classes_(num_classes) {
+  STM_CHECK(classifier_ != nullptr);
+  STM_CHECK_GT(num_classes_, 0u);
+}
+
+serve::Prediction TextClassifierServable::Classify(
+    const std::vector<int32_t>& ids, const float* pooled,
+    const la::Matrix* hidden) const {
+  (void)pooled;
+  (void)hidden;
+  const la::Matrix probs = classifier_->PredictProbs({ids});
+  STM_CHECK_EQ(probs.cols(), num_classes_);
+  const float* row = probs.Row(0);
+  serve::Prediction prediction;
+  prediction.scores.assign(row, row + num_classes_);
+  // max_element, as in TextClassifier::Predict: first of tied maxima.
+  prediction.label =
+      static_cast<int>(std::max_element(row, row + num_classes_) - row);
+  return prediction;
+}
+
+// ---------------- TaxoClassServable ----------------
+
+TaxoClassServable::TaxoClassServable(
+    std::string name, std::shared_ptr<nn::FeatureMlpClassifier> classifier,
+    const taxonomy::LabelTree* tree, size_t vocab_size,
+    float predict_threshold)
+    : name_(std::move(name)),
+      classifier_(std::move(classifier)),
+      tree_(tree),
+      vocab_size_(vocab_size),
+      predict_threshold_(predict_threshold) {
+  STM_CHECK(classifier_ != nullptr);
+  STM_CHECK(tree_ != nullptr);
+  STM_CHECK_GT(vocab_size_, 0u);
+  STM_CHECK(!tree_->Leaves().empty());
+}
+
+serve::Prediction TaxoClassServable::Classify(
+    const std::vector<int32_t>& ids, const float* pooled,
+    const la::Matrix* hidden) const {
+  (void)pooled;
+  (void)hidden;
+  // L1-normalized bag-of-words row, exactly as TaxoClass::Run builds its
+  // feature matrix (special tokens skipped). Ids outside the classifier's
+  // vocabulary are skipped too: the batch path never sees them (corpus
+  // ids are in range by construction), so skipping preserves identity on
+  // every input the batch path can produce.
+  la::Matrix features(1, vocab_size_);
+  float* row = features.Row(0);
+  float total = 0.0f;
+  for (int32_t id : ids) {
+    if (id < text::kNumSpecialTokens) continue;
+    if (static_cast<size_t>(id) >= vocab_size_) continue;
+    row[id] += 1.0f;
+    total += 1.0f;
+  }
+  if (total > 0.0f) {
+    for (size_t j = 0; j < vocab_size_; ++j) row[j] /= total;
+  }
+
+  const la::Matrix probs = classifier_->PredictProbs(features);
+  const size_t num_nodes = tree_->size();
+  STM_CHECK_EQ(probs.cols(), num_nodes);
+  const float* p = probs.Row(0);
+  serve::Prediction prediction;
+  prediction.scores.assign(p, p + num_nodes);
+
+  // The leaf-decision block from TaxoClass::Run, verbatim.
+  float best_leaf_prob = 0.0f;
+  int best_leaf = tree_->Leaves()[0];
+  for (int leaf : tree_->Leaves()) {
+    const float prob = p[static_cast<size_t>(leaf)];
+    if (prob > best_leaf_prob) {
+      best_leaf_prob = prob;
+      best_leaf = leaf;
+    }
+  }
+  std::set<int> predicted;
+  for (int leaf : tree_->Leaves()) {
+    const float prob = p[static_cast<size_t>(leaf)];
+    if (prob > predict_threshold_ && prob > 0.45f * best_leaf_prob) {
+      for (int anc : tree_->WithAncestors(leaf)) predicted.insert(anc);
+    }
+  }
+  if (predicted.empty()) {
+    for (int anc : tree_->WithAncestors(best_leaf)) predicted.insert(anc);
+  }
+  prediction.label = best_leaf;
+  prediction.labels.assign(predicted.begin(), predicted.end());
+  return prediction;
+}
+
+}  // namespace stm::core

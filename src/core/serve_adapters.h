@@ -1,0 +1,108 @@
+#ifndef STM_CORE_SERVE_ADAPTERS_H_
+#define STM_CORE_SERVE_ADAPTERS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "nn/feature_classifier.h"
+#include "nn/text_classifier.h"
+#include "plm/minilm.h"
+#include "serve/serve.h"
+#include "taxonomy/taxonomy.h"
+
+namespace stm::core {
+
+// serve::Classifier adapters over the trained core methods, so any of
+// them can sit behind serve::Server::Serve(). Each adapter replicates its
+// method's per-document decision rule exactly — same float operations in
+// the same order — so a served prediction is bit-identical to the batch
+// Run() prediction for the same token ids (pinned by tests/serve_test.cc).
+//
+// All adapters are inference-only over frozen parameters and safe to call
+// concurrently from several drain workers.
+
+// Cosine argmax against fixed class representations over the document's
+// pooled vector: the PlmSimpleMatchClassify baseline, and the decision
+// rule X-Class's RepOnly ablation uses. `scores` returns the per-class
+// cosines.
+class PooledCosineServable : public serve::Classifier {
+ public:
+  PooledCosineServable(std::string name, la::Matrix class_reps);
+
+  std::string name() const override { return name_; }
+  size_t num_classes() const override { return class_reps_.rows(); }
+  Input input() const override { return Input::kPooled; }
+
+  serve::Prediction Classify(const std::vector<int32_t>& ids,
+                             const float* pooled,
+                             const la::Matrix* hidden) const override;
+
+ private:
+  std::string name_;
+  la::Matrix class_reps_;
+};
+
+// Pools `class_name_tokens` through `model` (exactly as
+// PlmSimpleMatchClassify does) and wraps the result.
+std::shared_ptr<PooledCosineServable> MakePlmSimpleMatchServable(
+    plm::MiniLm* model,
+    const std::vector<std::vector<int32_t>>& class_name_tokens);
+
+// A trained nn::TextClassifier (ConWea::trained_classifier(),
+// XClass::trained_classifier(), or any WeSTClass model) behind the
+// serve interface. `scores` returns the class probabilities.
+class TextClassifierServable : public serve::Classifier {
+ public:
+  TextClassifierServable(std::string name,
+                         std::shared_ptr<nn::TextClassifier> classifier,
+                         size_t num_classes);
+
+  std::string name() const override { return name_; }
+  size_t num_classes() const override { return num_classes_; }
+  Input input() const override { return Input::kTokens; }
+
+  serve::Prediction Classify(const std::vector<int32_t>& ids,
+                             const float* pooled,
+                             const la::Matrix* hidden) const override;
+
+ private:
+  std::string name_;
+  std::shared_ptr<nn::TextClassifier> classifier_;
+  size_t num_classes_;
+};
+
+// TaxoClass's self-trained multi-label classifier plus its leaf-level
+// decision rule (taxoclass.cc): a leaf is predicted when its probability
+// clears both `predict_threshold` and 0.45x the document's best leaf;
+// the set is closed under ancestors, falling back to the best leaf's
+// path. `label` is the best leaf, `labels` the closed set (ascending),
+// `scores` the per-node probabilities.
+class TaxoClassServable : public serve::Classifier {
+ public:
+  TaxoClassServable(std::string name,
+                    std::shared_ptr<nn::FeatureMlpClassifier> classifier,
+                    const taxonomy::LabelTree* tree, size_t vocab_size,
+                    float predict_threshold);
+
+  std::string name() const override { return name_; }
+  size_t num_classes() const override { return tree_->size(); }
+  Input input() const override { return Input::kTokens; }
+
+  serve::Prediction Classify(const std::vector<int32_t>& ids,
+                             const float* pooled,
+                             const la::Matrix* hidden) const override;
+
+ private:
+  std::string name_;
+  std::shared_ptr<nn::FeatureMlpClassifier> classifier_;
+  const taxonomy::LabelTree* tree_;
+  size_t vocab_size_;
+  float predict_threshold_;
+};
+
+}  // namespace stm::core
+
+#endif  // STM_CORE_SERVE_ADAPTERS_H_

@@ -266,7 +266,8 @@ TaxoClass::Result TaxoClass::Run(
   clf_config.hidden = 64;
   clf_config.multi_label = true;
   clf_config.seed = config_.seed;
-  nn::FeatureMlpClassifier classifier(clf_config);
+  classifier_ = std::make_shared<nn::FeatureMlpClassifier>(clf_config);
+  nn::FeatureMlpClassifier& classifier = *classifier_;
 
   std::vector<size_t> core_docs;
   for (size_t d = 0; d < num_docs; ++d) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "nn/feature_classifier.h"
 #include "plm/minilm.h"
 #include "plm/pair_scorer.h"
 #include "taxonomy/taxonomy.h"
@@ -56,6 +57,13 @@ class TaxoClass {
     return candidates_;
   }
 
+  // Self-trained multi-label classifier, shared so the serving layer
+  // (serve::Server) can route single documents through it. Null before
+  // Run().
+  std::shared_ptr<nn::FeatureMlpClassifier> trained_classifier() const {
+    return classifier_;
+  }
+
  private:
   const text::Corpus& corpus_;
   const taxonomy::LabelTree& tree_;
@@ -63,6 +71,7 @@ class TaxoClass {
   plm::PairScorer* relevance_;
   TaxoClassConfig config_;
   std::vector<std::vector<int>> candidates_;
+  std::shared_ptr<nn::FeatureMlpClassifier> classifier_;
 };
 
 // ---- relevance primitives (shared with the Hier-0Shot-TC baseline) ----

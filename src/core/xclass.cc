@@ -172,11 +172,11 @@ std::vector<int> XClass::Run(
   clf_config.vocab_size = vocab_size;
   clf_config.num_classes = num_classes;
   clf_config.seed = config_.seed + 1;
-  nn::BowLogRegClassifier classifier(clf_config);
-  classifier.Fit(train_docs, train_labels, config_.classifier_epochs);
+  classifier_ = std::make_shared<nn::BowLogRegClassifier>(clf_config);
+  classifier_->Fit(train_docs, train_labels, config_.classifier_epochs);
   std::vector<std::vector<int32_t>> all_docs;
   for (const auto& doc : corpus_.docs()) all_docs.push_back(doc.tokens);
-  return classifier.Predict(all_docs);
+  return classifier_->Predict(all_docs);
 }
 
 std::vector<int> XClass::RepOnly() const {

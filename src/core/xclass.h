@@ -2,9 +2,11 @@
 #define STM_CORE_XCLASS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "la/matrix.h"
+#include "nn/text_classifier.h"
 #include "plm/minilm.h"
 #include "taxonomy/taxonomy.h"
 #include "text/corpus.h"
@@ -53,6 +55,13 @@ class XClass {
   // Plain average-pooled document representations (tutorial Figure 1).
   la::Matrix AverageDocReps();
 
+  // Final confidence-trained classifier, shared so the serving layer
+  // (serve::Server) can route single documents through it. Null before
+  // Run().
+  std::shared_ptr<nn::TextClassifier> trained_classifier() const {
+    return classifier_;
+  }
+
   // Hierarchical mode (the tutorial's summary table lists X-Class as
   // "Flat & Hierarchical / Single-label & Path"): classifies at the leaf
   // level of `tree` and returns each document's root-to-leaf path.
@@ -71,6 +80,7 @@ class XClass {
   la::Matrix doc_reps_;
   la::Matrix class_reps_;
   std::vector<int> gmm_assignment_;
+  std::shared_ptr<nn::TextClassifier> classifier_;
 };
 
 }  // namespace stm::core

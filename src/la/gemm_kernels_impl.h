@@ -28,6 +28,21 @@
 
 namespace stm::la::detail::STM_GEMM_KERNEL_NAMESPACE {
 
+// One multiply-accumulate step of an accumulation chain. The fused/split
+// rounding choice is made HERE, per ISA build, not left to the compiler's
+// contraction pass: sanitizer instrumentation (e.g. -fsanitize=thread)
+// changes which loops GCC contracts, and if the micro-kernel contracted
+// while the reference loops did not, the UsePackedGemm shape dispatch
+// would leak into output bits. With the builtin both sides of the
+// dispatch round identically in every build regime.
+inline float MulAdd(float a, float b, float acc) {
+#if defined(__FMA__) || defined(__ARM_FEATURE_FMA)
+  return __builtin_fmaf(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
+
 // Packs B panels [jp0, jp1): panel jp holds, p-major, the kGemmNr columns
 // starting at jp * kGemmNr, zero-padded past n. Strided reads make the
 // same routine serve both B and B^T operands.
@@ -70,7 +85,7 @@ inline void MicroKernel(const float* apanel, const float* bpanel, size_t k,
     for (size_t ii = 0; ii < kGemmMr; ++ii) {
       const float aval = av[ii];
       for (size_t jj = 0; jj < kGemmNr; ++jj) {
-        acc[ii][jj] += aval * bv[jj];
+        acc[ii][jj] = MulAdd(aval, bv[jj], acc[ii][jj]);
       }
     }
   }
@@ -141,7 +156,7 @@ void ReferenceGemmAcc(const float* a, const float* b, float* c, size_t m,
       const float av = arow[p];
       if (av == 0.0f) continue;
       const float* brow = b + p * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (size_t j = 0; j < n; ++j) crow[j] = MulAdd(av, brow[j], crow[j]);
     }
   }
 }
@@ -154,7 +169,7 @@ void ReferenceGemmBtAcc(const float* a, const float* b, float* c, size_t m,
     for (size_t j = 0; j < n; ++j) {
       const float* brow = b + j * k;
       float sum = 0.0f;
-      for (size_t p = 0; p < k; ++p) sum += arow[p] * brow[p];
+      for (size_t p = 0; p < k; ++p) sum = MulAdd(arow[p], brow[p], sum);
       crow[j] += sum;
     }
   }
@@ -168,7 +183,7 @@ void ReferenceGemmAtAcc(const float* a, const float* b, float* c, size_t m,
       const float av = a[p * m + i];
       if (av == 0.0f) continue;
       const float* brow = b + p * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (size_t j = 0; j < n; ++j) crow[j] = MulAdd(av, brow[j], crow[j]);
     }
   }
 }

@@ -1,13 +1,12 @@
 #include "plm/batch_scheduler.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <numeric>
-#include <string>
 
 #include "common/check.h"
+#include "common/env_parse.h"
 
 namespace stm::plm {
 
@@ -15,26 +14,17 @@ namespace {
 
 BatchOptions OptionsFromEnv() {
   BatchOptions options;
-  if (const char* mode = std::getenv("STM_ENCODE_BATCH")) {
-    const std::string value(mode);
-    if (value == "perdoc") {
-      options.mode = BatchMode::kPerDoc;
-    } else if (value == "padded") {
-      options.mode = BatchMode::kPadded;
-    } else if (!value.empty() && value != "bucketed") {
-      std::fprintf(stderr,
-                   "[stm] unknown STM_ENCODE_BATCH '%s'; using bucketed\n",
-                   value.c_str());
-    }
-  }
-  if (const char* waste = std::getenv("STM_ENCODE_BUCKET_WASTE")) {
-    const float value = std::strtof(waste, nullptr);
-    if (value >= 0.0f && value <= 1.0f) options.max_waste = value;
-  }
-  if (const char* tokens = std::getenv("STM_ENCODE_BUCKET_TOKENS")) {
-    const unsigned long long value = std::strtoull(tokens, nullptr, 10);
-    if (value > 0) options.max_bucket_tokens = static_cast<size_t>(value);
-  }
+  const size_t mode = ParseEnumEnv("STM_ENCODE_BATCH",
+                                   {"perdoc", "padded", "bucketed"},
+                                   /*fallback_index=*/2);
+  options.mode = mode == 0   ? BatchMode::kPerDoc
+                 : mode == 1 ? BatchMode::kPadded
+                             : BatchMode::kBucketed;
+  options.max_waste =
+      ParseFloatEnv("STM_ENCODE_BUCKET_WASTE", options.max_waste, 0.0f, 1.0f);
+  options.max_bucket_tokens =
+      ParseSizeEnv("STM_ENCODE_BUCKET_TOKENS", options.max_bucket_tokens, 1,
+                   std::numeric_limits<size_t>::max());
   return options;
 }
 

@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 
+#include "common/env_parse.h"
 #include "common/hash.h"
 #include "common/serialize.h"
 #include "common/status.h"
@@ -196,10 +198,13 @@ std::shared_ptr<EncodeCache> EncodeCache::SharedFromEnv() {
       return std::shared_ptr<EncodeCache>();
     }
     Config config;
-    if (const char* mb = std::getenv("STM_ENCODE_CACHE_MB")) {
-      const unsigned long long parsed = std::strtoull(mb, nullptr, 10);
-      if (parsed > 0) config.max_bytes = parsed * 1024 * 1024;
-    }
+    // Saturating multiply: a huge STM_ENCODE_CACHE_MB clamps to an
+    // effectively unbounded cache instead of wrapping size_t and
+    // silently configuring a tiny one.
+    const size_t default_mb = config.max_bytes / (1024 * 1024);
+    const size_t mb = ParseSizeEnv("STM_ENCODE_CACHE_MB", default_mb, 1,
+                                   std::numeric_limits<size_t>::max());
+    config.max_bytes = SaturatingMulSize(mb, size_t{1024} * 1024);
     if (std::strcmp(value, "mem") != 0) config.dir = value;
     return std::make_shared<EncodeCache>(config);
   }();

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/env_parse.h"
 #include "common/serialize.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -29,11 +30,10 @@ std::atomic<int> g_quant_override{-1};
 
 bool EnvQuantEnabled() {
   // Parsed once; the switch is process-wide so every call site (at any
-  // thread count) takes the same path.
-  static const bool enabled = [] {
-    const char* v = std::getenv("STM_QUANT");
-    return v != nullptr && v[0] != '\0' && std::string(v) != "0";
-  }();
+  // thread count) takes the same path. A token that is not a boolean
+  // (e.g. STM_QUANT=int8) warns and keeps fp32 instead of silently
+  // enabling quantization.
+  static const bool enabled = ParseBoolEnv("STM_QUANT", false);
   return enabled;
 }
 

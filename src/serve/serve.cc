@@ -1,0 +1,273 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/env_parse.h"
+
+namespace stm::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration MillisDuration(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ServeOptions ServeOptionsFromEnv() {
+  ServeOptions options;
+  options.max_batch =
+      ParseSizeEnv("STM_SERVE_MAX_BATCH", options.max_batch, 1, 4096);
+  options.deadline_ms =
+      ParseFloatEnv("STM_SERVE_DEADLINE_MS",
+                    static_cast<float>(options.deadline_ms), 0.0f, 60000.0f);
+  options.queue_depth = ParseSizeEnv("STM_SERVE_QUEUE_DEPTH",
+                                     options.queue_depth, 1, size_t{1} << 20);
+  options.workers = ParseSizeEnv("STM_SERVE_WORKERS", options.workers, 1, 256);
+  return options;
+}
+
+Server::Server(plm::MiniLm* model, const ServeOptions& options)
+    : model_(model), options_(options) {
+  STM_CHECK(model_ != nullptr);
+  STM_CHECK_GE(options_.max_batch, 1u);
+  STM_CHECK_GE(options_.queue_depth, 1u);
+  STM_CHECK_GE(options_.workers, 1u);
+  STM_CHECK_GE(options_.deadline_ms, 0.0);
+  // Dedicated threads, NOT ThreadPool members: a pool worker calling
+  // ThreadPool::Run executes the region inline (nested-submit rejection),
+  // which would serialize every encoder GEMM a serve worker issues. As
+  // plain threads the workers submit regions to the global pool like any
+  // other caller.
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Register(const std::string& name,
+                      std::shared_ptr<const Classifier> classifier) {
+  STM_CHECK(classifier != nullptr);
+  classifiers_[name] = std::move(classifier);
+}
+
+std::future<StatusOr<Prediction>> Server::Submit(const std::string& model,
+                                                 std::vector<int32_t> ids) {
+  std::promise<StatusOr<Prediction>> rejected;
+  std::future<StatusOr<Prediction>> rejected_future = rejected.get_future();
+
+  const auto it = classifiers_.find(model);
+  if (it == classifiers_.end()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.invalid;
+    }
+    rejected.set_value(InvalidArgumentError("unknown model: " + model));
+    return rejected_future;
+  }
+  // Validated here so a hostile request is a Status, not an STM_CHECK
+  // abort inside a drain worker's Truncate call.
+  const size_t vocab = model_->config().vocab_size;
+  for (const int32_t id : ids) {
+    if (id < 0 || static_cast<size_t>(id) >= vocab) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.invalid;
+      }
+      rejected.set_value(InvalidArgumentError(
+          "token id " + std::to_string(id) + " outside vocabulary of " +
+          std::to_string(vocab)));
+      return rejected_future;
+    }
+  }
+
+  auto request = std::make_unique<Request>();
+  request->ids = std::move(ids);
+  request->classifier = it->second.get();
+  request->enqueued = Clock::now();
+  std::future<StatusOr<Prediction>> future = request->promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      request->promise.set_value(
+          UnavailableError("server is shutting down"));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_depth) {
+      // Admission control: shed instead of queueing without bound.
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.shed;
+      request->promise.set_value(UnavailableError(
+          "queue full (" + std::to_string(options_.queue_depth) +
+          " pending requests); retry later"));
+      return future;
+    }
+    queue_.push_back(std::move(request));
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.accepted;
+    stats_.max_queue = std::max(stats_.max_queue, queue_.size());
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+StatusOr<Prediction> Server::Serve(const std::string& model,
+                                   std::vector<int32_t> ids) {
+  return Submit(model, std::move(ids)).get();
+}
+
+std::vector<std::unique_ptr<Server::Request>> Server::NextBatch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return {};
+      continue;
+    }
+    // Give the batch until the oldest request's deadline to fill; wake
+    // early the moment it is full (or on shutdown).
+    const Clock::time_point deadline =
+        queue_.front()->enqueued + MillisDuration(options_.deadline_ms);
+    queue_cv_.wait_until(lock, deadline, [&] {
+      return stopping_ || queue_.size() >= options_.max_batch;
+    });
+    if (queue_.empty()) continue;  // another worker drained it first
+    const size_t take = std::min(options_.max_batch, queue_.size());
+    std::vector<std::unique_ptr<Request>> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return batch;
+  }
+}
+
+void Server::RunBatch(std::vector<std::unique_ptr<Request>> batch) {
+  const size_t n = batch.size();
+  // One encoder pass per needed representation, over the whole batch:
+  // PoolBatch/EncodeBatch plan length buckets internally (PlanBuckets)
+  // and run one forward per bucket, so coalescing happens here even when
+  // the requests target different registered models.
+  std::vector<size_t> pooled_index, hidden_index;
+  std::vector<std::vector<int32_t>> pooled_docs, hidden_docs;
+  for (size_t i = 0; i < n; ++i) {
+    switch (batch[i]->classifier->input()) {
+      case Classifier::Input::kTokens:
+        break;
+      case Classifier::Input::kPooled:
+        pooled_index.push_back(i);
+        pooled_docs.push_back(batch[i]->ids);
+        break;
+      case Classifier::Input::kHidden:
+        hidden_index.push_back(i);
+        hidden_docs.push_back(batch[i]->ids);
+        break;
+    }
+  }
+
+  try {
+    la::Matrix pooled;
+    if (!pooled_docs.empty()) pooled = model_->PoolBatch(pooled_docs);
+    std::vector<la::Matrix> hidden;
+    if (!hidden_docs.empty()) hidden = model_->EncodeBatch(hidden_docs);
+
+    std::vector<const float*> pooled_of(n, nullptr);
+    std::vector<const la::Matrix*> hidden_of(n, nullptr);
+    for (size_t j = 0; j < pooled_index.size(); ++j) {
+      pooled_of[pooled_index[j]] = pooled.Row(j);
+    }
+    for (size_t j = 0; j < hidden_index.size(); ++j) {
+      hidden_of[hidden_index[j]] = &hidden[j];
+    }
+
+    std::vector<Prediction> predictions;
+    predictions.reserve(n);
+    std::vector<double> latencies;
+    latencies.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Request& request = *batch[i];
+      predictions.push_back(request.classifier->Classify(
+          request.ids, pooled_of[i], hidden_of[i]));
+      latencies.push_back(MillisSince(request.enqueued));
+    }
+    // Stats are updated BEFORE the promises resolve so a caller that
+    // observed its future complete also observes the batch counted.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.batches;
+      stats_.completed += n;
+      latencies_ms_.insert(latencies_ms_.end(), latencies.begin(),
+                           latencies.end());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      batch[i]->promise.set_value(std::move(predictions[i]));
+    }
+  } catch (...) {
+    // A service never lets a batch failure take the process down (an
+    // encode OOM, say): every carried request is failed instead. Any
+    // promise already fulfilled above would throw on set_value, so guard
+    // each one.
+    for (auto& request : batch) {
+      try {
+        request->promise.set_value(
+            UnavailableError("batch execution failed"));
+      } catch (const std::future_error&) {
+      }
+    }
+  }
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    std::vector<std::unique_ptr<Request>> batch = NextBatch();
+    if (batch.empty()) return;  // shutdown
+    RunBatch(std::move(batch));
+  }
+}
+
+void Server::Shutdown() {
+  std::deque<std::unique_ptr<Request>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      orphaned.swap(queue_);
+    }
+  }
+  queue_cv_.notify_all();
+  for (auto& request : orphaned) {
+    request->promise.set_value(UnavailableError("server shut down"));
+  }
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::vector<double> Server::TakeLatenciesMs() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  std::vector<double> out;
+  out.swap(latencies_ms_);
+  return out;
+}
+
+}  // namespace stm::serve

@@ -1,0 +1,211 @@
+#ifndef STM_SERVE_SERVE_H_
+#define STM_SERVE_SERVE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "plm/minilm.h"
+
+namespace stm::serve {
+
+// Online classification service over the library's trained methods.
+//
+// Every core method in this repo runs as a batch `Run()` over a fixed
+// corpus; production traffic is a stream of single documents. The Server
+// below turns a trained method into a request/response service:
+//
+//   request -> bounded queue -> dynamic batch -> shared encoder -> hook
+//
+//  * Incoming single-document requests are coalesced into batches of up
+//    to STM_SERVE_MAX_BATCH documents under a latency deadline of
+//    STM_SERVE_DEADLINE_MS (a lone request under light load waits at
+//    most the deadline before it runs alone).
+//  * A drained batch is encoded through MiniLm::PoolBatch/EncodeBatch —
+//    i.e. through plm::PlanBuckets and the frozen int8 encoder when
+//    STM_QUANT is on, the fp32 graph otherwise — so the serve path reuses
+//    the exact batch machinery (and its bit-identity guarantees) that the
+//    offline Run() paths use.
+//  * Admission control: the queue holds at most STM_SERVE_QUEUE_DEPTH
+//    requests. When it is full, Submit() rejects with kUnavailable and
+//    bumps a shed counter; overload degrades into rejections, never into
+//    unbounded memory growth.
+//  * Routing: any number of Classifier adapters register under model
+//    names; each request names the model it wants.
+//
+// Threading (see DESIGN.md 5h): the drain workers are DEDICATED
+// std::threads owned by the Server, never members of the global
+// ThreadPool. ThreadPool::Run serializes when called from inside a pool
+// worker (the nested-submit rejection in thread_pool.cc), so a serve
+// worker that lived in the pool would run every encoder GEMM single-
+// threaded. As plain threads they *submit* parallel regions to the
+// global pool and participate in draining them, exactly like the batch
+// Run() callers do.
+//
+// Determinism: each document's result depends only on (model weights,
+// quant mode, token ids) — never on what else shared its batch, the
+// timing of arrivals, or STM_NUM_THREADS. This is the PR 5 invariant
+// (bucketed == per-doc, bit-for-bit) plus per-document classify hooks,
+// and is pinned by tests/serve_test.cc and bench_serve --smoke.
+
+// ---- options ----
+
+struct ServeOptions {
+  // Upper bound on documents drained into one batch.
+  size_t max_batch = 32;
+  // How long a drain worker may wait for the batch to fill, measured
+  // from the oldest queued request's arrival. 0 = never wait.
+  double deadline_ms = 2.0;
+  // Admission-control bound on queued (not yet drained) requests.
+  size_t queue_depth = 256;
+  // Dedicated drain threads. More than one lets a second batch encode
+  // while the first is still in its classify hooks.
+  size_t workers = 2;
+};
+
+// Options from the environment (validated via common/env_parse.h; a set
+// but malformed knob warns on stderr and keeps the default):
+//   STM_SERVE_MAX_BATCH    [1, 4096]      default 32
+//   STM_SERVE_DEADLINE_MS  [0, 60000]     default 2.0
+//   STM_SERVE_QUEUE_DEPTH  [1, 1048576]   default 256
+//   STM_SERVE_WORKERS      [1, 256]       default 2
+ServeOptions ServeOptionsFromEnv();
+
+// ---- the routing interface ----
+
+struct Prediction {
+  // Primary (argmax) label.
+  int label = -1;
+  // Multi-label methods (TaxoClass) additionally fill the full predicted
+  // set, closed under taxonomy ancestors, sorted ascending.
+  std::vector<int> labels;
+  // Per-class scores when the method computes them anyway (cosines,
+  // probabilities); empty otherwise.
+  std::vector<float> scores;
+};
+
+// One trained method behind the Server. Implementations declare which
+// encoder output they need; the Server computes it once per batch and
+// hands each document to the per-document hook. Hooks MUST be
+// deterministic pure functions of their inputs and safe to call
+// concurrently from several drain workers (every adapter in
+// core/serve_adapters.h is: inference-only forward passes over frozen
+// parameters).
+class Classifier {
+ public:
+  enum class Input {
+    kTokens,  // raw token ids only (bag-of-words style methods)
+    kPooled,  // mean-pooled document vector from the shared encoder
+    kHidden,  // per-token hidden states from the shared encoder
+  };
+
+  virtual ~Classifier() = default;
+
+  virtual std::string name() const = 0;
+  virtual size_t num_classes() const = 0;
+  virtual Input input() const { return Input::kPooled; }
+
+  // Exactly one of `pooled` / `hidden` is non-null, per input():
+  // `pooled` points at the document's dim-wide PoolBatch row, `hidden`
+  // at its EncodeBatch matrix. Both are bit-identical to what the batch
+  // Run() path computes for the same ids.
+  virtual Prediction Classify(const std::vector<int32_t>& ids,
+                              const float* pooled,
+                              const la::Matrix* hidden) const = 0;
+};
+
+// ---- the server ----
+
+class Server {
+ public:
+  struct Stats {
+    uint64_t accepted = 0;   // requests admitted to the queue
+    uint64_t shed = 0;       // rejected kUnavailable: queue full
+    uint64_t invalid = 0;    // rejected kInvalidArgument
+    uint64_t completed = 0;  // predictions delivered
+    uint64_t batches = 0;    // drained batches
+    size_t max_queue = 0;    // high-water queue depth
+  };
+
+  // `model` is the shared encoder; it must not be trained while the
+  // server is running (same contract as every batch inference path).
+  Server(plm::MiniLm* model, const ServeOptions& options);
+  ~Server();  // Shutdown() + join
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Registers `classifier` under `name`. Not thread-safe against
+  // in-flight Submit calls: register everything before serving traffic.
+  void Register(const std::string& name,
+                std::shared_ptr<const Classifier> classifier);
+
+  // Non-blocking admission. On acceptance the future resolves when the
+  // batch carrying the document completes. Rejections are immediate:
+  //   kInvalidArgument  unknown model name, or a token id outside the
+  //                     encoder's vocabulary (checked here so a bad
+  //                     request can never abort a drain worker);
+  //   kUnavailable      queue at queue_depth (shed), or shutting down.
+  std::future<StatusOr<Prediction>> Submit(const std::string& model,
+                                           std::vector<int32_t> ids);
+
+  // Blocking convenience: Submit + wait.
+  StatusOr<Prediction> Serve(const std::string& model,
+                             std::vector<int32_t> ids);
+
+  // Stops admitting, fails queued-but-undrained requests with
+  // kUnavailable, and joins the workers. Idempotent.
+  void Shutdown();
+
+  Stats stats() const;
+
+  // Per-request latencies (admission -> prediction delivered) in
+  // milliseconds, drained destructively; the load bench derives p50/p99
+  // from these without a lock on the hot path beyond the stats mutex.
+  std::vector<double> TakeLatenciesMs();
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    std::vector<int32_t> ids;
+    const Classifier* classifier = nullptr;
+    std::promise<StatusOr<Prediction>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+  std::vector<std::unique_ptr<Request>> NextBatch();  // empty = shutdown
+  void RunBatch(std::vector<std::unique_ptr<Request>> batch);
+
+  plm::MiniLm* const model_;
+  const ServeOptions options_;
+  std::unordered_map<std::string, std::shared_ptr<const Classifier>>
+      classifiers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // signals arrivals and shutdown
+  std::deque<std::unique_ptr<Request>> queue_;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+  std::vector<double> latencies_ms_;
+
+  std::mutex join_mu_;  // serializes concurrent Shutdown() joins
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace stm::serve
+
+#endif  // STM_SERVE_SERVE_H_

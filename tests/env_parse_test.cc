@@ -1,0 +1,250 @@
+// Tests for common/env_parse.h: every STM_* knob parser must accept valid
+// tokens, reject garbage (trailing junk, signs, overflow, NaN/Inf,
+// out-of-range, unknown enum tokens) by falling back to the default, and
+// never crash or silently mis-parse. Built into stm_serve_tests (ctest
+// label "serve") because the serving knobs were the trigger for hardening
+// the parsing.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/env_parse.h"
+#include "serve/serve.h"
+
+namespace stm {
+namespace {
+
+// Sets an environment variable for one test and restores the previous
+// value (or unsets) on destruction, so tests can't leak knobs into each
+// other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, /*overwrite=*/1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+constexpr const char* kVar = "STM_TEST_ENV_PARSE";
+
+// ---- ParseSizeEnv ----
+
+TEST(ParseSizeEnvTest, UnsetAndEmptyReturnFallback) {
+  {
+    ScopedEnv env(kVar, nullptr);
+    EXPECT_EQ(ParseSizeEnv(kVar, 7, 0, 100), 7u);
+  }
+  {
+    ScopedEnv env(kVar, "");
+    EXPECT_EQ(ParseSizeEnv(kVar, 7, 0, 100), 7u);
+  }
+}
+
+TEST(ParseSizeEnvTest, ValidTokensParse) {
+  {
+    ScopedEnv env(kVar, "0");
+    EXPECT_EQ(ParseSizeEnv(kVar, 7, 0, 100), 0u);
+  }
+  {
+    ScopedEnv env(kVar, "42");
+    EXPECT_EQ(ParseSizeEnv(kVar, 7, 0, 100), 42u);
+  }
+  {
+    ScopedEnv env(kVar, "100");  // inclusive max
+    EXPECT_EQ(ParseSizeEnv(kVar, 7, 0, 100), 100u);
+  }
+}
+
+TEST(ParseSizeEnvTest, GarbageFallsBack) {
+  for (const char* bad : {"abc", "12abc", "1.5", " 12", "12 ", "0x10",
+                          "twelve", "-5", "+5"}) {
+    ScopedEnv env(kVar, bad);
+    EXPECT_EQ(ParseSizeEnv(kVar, 7, 0, 100), 7u) << "token: " << bad;
+  }
+}
+
+TEST(ParseSizeEnvTest, OverflowFallsBack) {
+  // Larger than any uint64: strtoull saturates with ERANGE, which must be
+  // detected rather than returned.
+  ScopedEnv env(kVar, "99999999999999999999999999999999");
+  EXPECT_EQ(ParseSizeEnv(kVar, 7, 0, std::numeric_limits<size_t>::max()),
+            7u);
+}
+
+TEST(ParseSizeEnvTest, OutOfRangeFallsBack) {
+  {
+    ScopedEnv env(kVar, "3");
+    EXPECT_EQ(ParseSizeEnv(kVar, 7, 4, 100), 7u);  // below min
+  }
+  {
+    ScopedEnv env(kVar, "101");
+    EXPECT_EQ(ParseSizeEnv(kVar, 7, 4, 100), 7u);  // above max
+  }
+}
+
+// ---- ParseFloatEnv ----
+
+TEST(ParseFloatEnvTest, ValidTokensParse) {
+  {
+    ScopedEnv env(kVar, "0.25");
+    EXPECT_FLOAT_EQ(ParseFloatEnv(kVar, 1.0f, 0.0f, 2.0f), 0.25f);
+  }
+  {
+    ScopedEnv env(kVar, "2");
+    EXPECT_FLOAT_EQ(ParseFloatEnv(kVar, 1.0f, 0.0f, 2.0f), 2.0f);
+  }
+  {
+    ScopedEnv env(kVar, "1e-1");
+    EXPECT_FLOAT_EQ(ParseFloatEnv(kVar, 1.0f, 0.0f, 2.0f), 0.1f);
+  }
+}
+
+TEST(ParseFloatEnvTest, GarbageFallsBack) {
+  for (const char* bad : {"abc", "0.5x", "1.2.3", "", " 0.5", "--1"}) {
+    ScopedEnv env(kVar, bad);
+    EXPECT_FLOAT_EQ(ParseFloatEnv(kVar, 1.0f, 0.0f, 2.0f), 1.0f)
+        << "token: " << bad;
+  }
+}
+
+TEST(ParseFloatEnvTest, NonFiniteFallsBack) {
+  for (const char* bad : {"nan", "NaN", "inf", "-inf", "INFINITY", "1e99"}) {
+    // 1e99 overflows float to +inf via strtof's ERANGE path.
+    ScopedEnv env(kVar, bad);
+    EXPECT_FLOAT_EQ(ParseFloatEnv(kVar, 1.0f, -10.0f, 10.0f), 1.0f)
+        << "token: " << bad;
+  }
+}
+
+TEST(ParseFloatEnvTest, OutOfRangeFallsBack) {
+  {
+    ScopedEnv env(kVar, "-0.1");
+    EXPECT_FLOAT_EQ(ParseFloatEnv(kVar, 0.5f, 0.0f, 1.0f), 0.5f);
+  }
+  {
+    ScopedEnv env(kVar, "1.5");
+    EXPECT_FLOAT_EQ(ParseFloatEnv(kVar, 0.5f, 0.0f, 1.0f), 0.5f);
+  }
+}
+
+// ---- ParseBoolEnv ----
+
+TEST(ParseBoolEnvTest, AcceptedSpellings) {
+  for (const char* yes : {"1", "true", "TRUE", "on", "On", "yes"}) {
+    ScopedEnv env(kVar, yes);
+    EXPECT_TRUE(ParseBoolEnv(kVar, false)) << "token: " << yes;
+  }
+  for (const char* no : {"0", "false", "False", "off", "OFF", "no"}) {
+    ScopedEnv env(kVar, no);
+    EXPECT_FALSE(ParseBoolEnv(kVar, true)) << "token: " << no;
+  }
+}
+
+TEST(ParseBoolEnvTest, GarbageFallsBack) {
+  for (const char* bad : {"2", "yep", "truee", "10", "-1", "y"}) {
+    ScopedEnv env(kVar, bad);
+    EXPECT_FALSE(ParseBoolEnv(kVar, false)) << "token: " << bad;
+    EXPECT_TRUE(ParseBoolEnv(kVar, true)) << "token: " << bad;
+  }
+}
+
+// ---- ParseEnumEnv ----
+
+TEST(ParseEnumEnvTest, MatchesAndFallsBack) {
+  const std::vector<std::string_view> values = {"perdoc", "padded",
+                                                "bucketed"};
+  {
+    ScopedEnv env(kVar, "padded");
+    EXPECT_EQ(ParseEnumEnv(kVar, values, 2), 1u);
+  }
+  {
+    ScopedEnv env(kVar, "bucket");  // prefix is not a match
+    EXPECT_EQ(ParseEnumEnv(kVar, values, 2), 2u);
+  }
+  {
+    ScopedEnv env(kVar, nullptr);
+    EXPECT_EQ(ParseEnumEnv(kVar, values, 0), 0u);
+  }
+}
+
+// ---- SaturatingMulSize ----
+
+TEST(SaturatingMulSizeTest, NormalAndOverflow) {
+  EXPECT_EQ(SaturatingMulSize(64, 1024 * 1024), size_t{64} << 20);
+  EXPECT_EQ(SaturatingMulSize(0, std::numeric_limits<size_t>::max()), 0u);
+  // The STM_ENCODE_CACHE_MB wrap case: a huge MB count must clamp, not
+  // wrap to a tiny byte budget.
+  EXPECT_EQ(SaturatingMulSize(std::numeric_limits<size_t>::max() / 2,
+                              1024 * 1024),
+            std::numeric_limits<size_t>::max());
+  EXPECT_EQ(SaturatingMulSize(std::numeric_limits<size_t>::max(),
+                              std::numeric_limits<size_t>::max()),
+            std::numeric_limits<size_t>::max());
+}
+
+// ---- the serve knobs end-to-end ----
+
+TEST(ServeOptionsFromEnvTest, DefaultsWhenUnset) {
+  ScopedEnv a("STM_SERVE_MAX_BATCH", nullptr);
+  ScopedEnv b("STM_SERVE_DEADLINE_MS", nullptr);
+  ScopedEnv c("STM_SERVE_QUEUE_DEPTH", nullptr);
+  ScopedEnv d("STM_SERVE_WORKERS", nullptr);
+  const serve::ServeOptions options = serve::ServeOptionsFromEnv();
+  EXPECT_EQ(options.max_batch, 32u);
+  EXPECT_DOUBLE_EQ(options.deadline_ms, 2.0);
+  EXPECT_EQ(options.queue_depth, 256u);
+  EXPECT_EQ(options.workers, 2u);
+}
+
+TEST(ServeOptionsFromEnvTest, ValidKnobsApply) {
+  ScopedEnv a("STM_SERVE_MAX_BATCH", "8");
+  ScopedEnv b("STM_SERVE_DEADLINE_MS", "0.5");
+  ScopedEnv c("STM_SERVE_QUEUE_DEPTH", "16");
+  ScopedEnv d("STM_SERVE_WORKERS", "1");
+  const serve::ServeOptions options = serve::ServeOptionsFromEnv();
+  EXPECT_EQ(options.max_batch, 8u);
+  EXPECT_DOUBLE_EQ(options.deadline_ms, 0.5);
+  EXPECT_EQ(options.queue_depth, 16u);
+  EXPECT_EQ(options.workers, 1u);
+}
+
+TEST(ServeOptionsFromEnvTest, GarbageKnobsKeepDefaults) {
+  ScopedEnv a("STM_SERVE_MAX_BATCH", "8k");
+  ScopedEnv b("STM_SERVE_DEADLINE_MS", "nan");
+  ScopedEnv c("STM_SERVE_QUEUE_DEPTH", "0");  // below the minimum of 1
+  ScopedEnv d("STM_SERVE_WORKERS", "-2");
+  const serve::ServeOptions options = serve::ServeOptionsFromEnv();
+  EXPECT_EQ(options.max_batch, 32u);
+  EXPECT_DOUBLE_EQ(options.deadline_ms, 2.0);
+  EXPECT_EQ(options.queue_depth, 256u);
+  EXPECT_EQ(options.workers, 2u);
+}
+
+}  // namespace
+}  // namespace stm

@@ -1,0 +1,556 @@
+// Tests for the online classification service (serve/serve.h) and its
+// core-method adapters (core/serve_adapters.h). The headline contract:
+// a served prediction is BIT-identical to the batch Run() prediction for
+// the same token ids — independent of batch composition, arrival timing,
+// STM_NUM_THREADS, and quant mode. Admission control must degrade into
+// kUnavailable rejections, never crashes or unbounded queues. Built as
+// stm_serve_tests (ctest label "serve") so scripts/check.sh can run the
+// suite under ASan and TSan in isolation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/serve_adapters.h"
+#include "la/matrix.h"
+#include "nn/feature_classifier.h"
+#include "nn/text_classifier.h"
+#include "plm/batch_scheduler.h"
+#include "plm/minilm.h"
+#include "plm/quantized_minilm.h"
+#include "serve/serve.h"
+#include "taxonomy/taxonomy.h"
+#include "text/vocabulary.h"
+
+namespace stm {
+namespace {
+
+// Restores process-wide switches no matter how a test exits.
+struct ServeGuard {
+  ~ServeGuard() {
+    plm::SetQuantInference(-1);
+    plm::SetBatchOptions(plm::BatchOptions{});
+    ThreadPool::Reset(ThreadPool::ConfiguredThreads());
+  }
+};
+
+plm::MiniLmConfig TestConfig(size_t vocab) {
+  plm::MiniLmConfig config;
+  config.vocab_size = vocab;
+  config.dim = 24;
+  config.layers = 2;
+  config.heads = 4;
+  config.ffn_dim = 48;
+  config.max_seq = 32;
+  config.seed = 7;
+  return config;
+}
+
+// Mixed-length docs including the empty-doc edge case.
+std::vector<std::vector<int32_t>> MixedDocs(size_t count, size_t vocab,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> docs;
+  docs.push_back({});
+  for (size_t d = 1; d < count; ++d) {
+    const size_t len = 2 + rng.UniformInt(30);
+    std::vector<int32_t> doc(len);
+    for (int32_t& id : doc) {
+      id = text::kNumSpecialTokens +
+           static_cast<int32_t>(
+               rng.UniformInt(vocab - text::kNumSpecialTokens));
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+// A classifier that parks inside Classify until released, so tests can
+// hold a drain worker busy and fill the queue deterministically.
+class BlockingClassifier : public serve::Classifier {
+ public:
+  std::string name() const override { return "blocking"; }
+  size_t num_classes() const override { return 1; }
+  Input input() const override { return Input::kTokens; }
+
+  serve::Prediction Classify(const std::vector<int32_t>&, const float*,
+                             const la::Matrix*) const override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++entered_;
+      entered_cv_.notify_all();
+      release_cv_.wait(lock, [&] { return released_; });
+    }
+    serve::Prediction prediction;
+    prediction.label = 0;
+    return prediction;
+  }
+
+  // Blocks until `count` Classify calls are parked inside the hook.
+  void AwaitEntered(int count) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [&] { return entered_ >= count; });
+  }
+
+  void Release() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable entered_cv_;
+  mutable std::condition_variable release_cv_;
+  mutable int entered_ = 0;
+  mutable bool released_ = false;
+};
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new plm::MiniLm(TestConfig(kVocab));
+    docs_ = new std::vector<std::vector<int32_t>>(MixedDocs(48, kVocab, 33));
+    class_names_ = new std::vector<std::vector<int32_t>>();
+    for (size_t c = 0; c < kClasses; ++c) {
+      class_names_->push_back(
+          {static_cast<int32_t>(text::kNumSpecialTokens + c),
+           static_cast<int32_t>(text::kNumSpecialTokens + kClasses + c)});
+    }
+    // A small trained bow classifier (training labels are arbitrary; the
+    // tests only compare serve vs batch on the same weights).
+    nn::ClassifierConfig clf_config;
+    clf_config.vocab_size = kVocab;
+    clf_config.num_classes = kClasses;
+    clf_config.seed = 13;
+    bow_ = new std::shared_ptr<nn::TextClassifier>(
+        std::make_shared<nn::BowLogRegClassifier>(clf_config));
+    std::vector<int> labels;
+    for (size_t d = 0; d < docs_->size(); ++d) {
+      labels.push_back(static_cast<int>(d % kClasses));
+    }
+    (*bow_)->Fit(*docs_, labels, /*epochs=*/3);
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete docs_;
+    delete class_names_;
+    delete bow_;
+    model_ = nullptr;
+    docs_ = nullptr;
+    class_names_ = nullptr;
+    bow_ = nullptr;
+  }
+
+  // Batch-path reference for the simple-match adapter: full-corpus
+  // PoolBatch + cosine argmax, exactly as PlmSimpleMatchClassify.
+  static std::vector<int> BatchSimpleMatch() {
+    const la::Matrix class_reps = model_->PoolBatch(*class_names_);
+    const la::Matrix doc_reps = model_->PoolBatch(*docs_);
+    const size_t dim = doc_reps.cols();
+    std::vector<int> predictions(docs_->size(), 0);
+    for (size_t d = 0; d < docs_->size(); ++d) {
+      float best = -2.0f;
+      for (size_t c = 0; c < class_reps.rows(); ++c) {
+        const float sim =
+            la::Cosine(doc_reps.Row(d), class_reps.Row(c), dim);
+        if (sim > best) {
+          best = sim;
+          predictions[d] = static_cast<int>(c);
+        }
+      }
+    }
+    return predictions;
+  }
+
+  // Submits every doc concurrently (so they coalesce into shared batches)
+  // and checks each result against the batch references.
+  static void CheckServeMatchesBatch() {
+    const std::vector<int> match_want = BatchSimpleMatch();
+    const la::Matrix bow_probs = (*bow_)->PredictProbs(*docs_);
+    const std::vector<int> bow_want = (*bow_)->Predict(*docs_);
+
+    serve::ServeOptions options;
+    options.max_batch = 16;
+    options.deadline_ms = 5.0;
+    options.workers = 2;
+    serve::Server server(model_, options);
+    server.Register("match",
+                    core::MakePlmSimpleMatchServable(model_, *class_names_));
+    server.Register("bow", std::make_shared<core::TextClassifierServable>(
+                               "bow", *bow_, kClasses));
+
+    std::vector<std::future<StatusOr<serve::Prediction>>> match_futures;
+    std::vector<std::future<StatusOr<serve::Prediction>>> bow_futures;
+    for (const auto& doc : *docs_) {
+      match_futures.push_back(server.Submit("match", doc));
+      bow_futures.push_back(server.Submit("bow", doc));
+    }
+    for (size_t d = 0; d < docs_->size(); ++d) {
+      StatusOr<serve::Prediction> match = match_futures[d].get();
+      ASSERT_TRUE(match.ok()) << match.status().ToString();
+      EXPECT_EQ(match->label, match_want[d]) << "match doc " << d;
+
+      StatusOr<serve::Prediction> bow = bow_futures[d].get();
+      ASSERT_TRUE(bow.ok()) << bow.status().ToString();
+      EXPECT_EQ(bow->label, bow_want[d]) << "bow doc " << d;
+      ASSERT_EQ(bow->scores.size(), kClasses);
+      EXPECT_EQ(0, std::memcmp(bow->scores.data(), bow_probs.Row(d),
+                               kClasses * sizeof(float)))
+          << "bow probs doc " << d;
+    }
+    const serve::Server::Stats stats = server.stats();
+    EXPECT_EQ(stats.completed, 2 * docs_->size());
+    EXPECT_EQ(stats.shed, 0u);
+    EXPECT_GE(stats.batches, 1u);
+  }
+
+  static constexpr size_t kVocab = 120;
+  static constexpr size_t kClasses = 4;
+  static plm::MiniLm* model_;
+  static std::vector<std::vector<int32_t>>* docs_;
+  static std::vector<std::vector<int32_t>>* class_names_;
+  static std::shared_ptr<nn::TextClassifier>* bow_;
+};
+
+plm::MiniLm* ServeTest::model_ = nullptr;
+std::vector<std::vector<int32_t>>* ServeTest::docs_ = nullptr;
+std::vector<std::vector<int32_t>>* ServeTest::class_names_ = nullptr;
+std::shared_ptr<nn::TextClassifier>* ServeTest::bow_ = nullptr;
+
+// ---- serve vs batch bit-identity ----
+
+TEST_F(ServeTest, ServeMatchesBatchFp32) {
+  ServeGuard guard;
+  plm::SetQuantInference(0);
+  CheckServeMatchesBatch();
+}
+
+TEST_F(ServeTest, ServeMatchesBatchInt8) {
+  ServeGuard guard;
+  plm::SetQuantInference(1);
+  CheckServeMatchesBatch();
+}
+
+TEST_F(ServeTest, ServeMatchesBatchAnyThreadCount) {
+  ServeGuard guard;
+  plm::SetQuantInference(0);
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool::Reset(threads);
+    CheckServeMatchesBatch();
+  }
+}
+
+TEST_F(ServeTest, PooledScoresBitIdenticalToBatchPool) {
+  // Stronger than label equality: the cosine scores the serve path
+  // computes must be bitwise what the batch path computes, which can only
+  // hold if the pooled vectors themselves are bit-identical.
+  ServeGuard guard;
+  plm::SetQuantInference(0);
+  const la::Matrix class_reps = model_->PoolBatch(*class_names_);
+  const la::Matrix doc_reps = model_->PoolBatch(*docs_);
+  const size_t dim = doc_reps.cols();
+
+  serve::Server server(model_, serve::ServeOptions{});
+  server.Register("match",
+                  core::MakePlmSimpleMatchServable(model_, *class_names_));
+  for (size_t d = 0; d < docs_->size(); ++d) {
+    StatusOr<serve::Prediction> got = server.Serve("match", (*docs_)[d]);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->scores.size(), class_reps.rows());
+    for (size_t c = 0; c < class_reps.rows(); ++c) {
+      const float want = la::Cosine(doc_reps.Row(d), class_reps.Row(c), dim);
+      EXPECT_EQ(std::memcmp(&want, &got->scores[c], sizeof(float)), 0)
+          << "doc " << d << " class " << c;
+    }
+  }
+}
+
+TEST_F(ServeTest, TaxoServableMatchesBatchRule) {
+  // The TaxoClass adapter must reproduce the batch decision block: same
+  // probabilities (row-count-invariant MLP forward), same leaf thresholds,
+  // same ancestor closure.
+  ServeGuard guard;
+  taxonomy::LabelTree tree;
+  const int root = tree.AddNode("root", -1);
+  const int a = tree.AddNode("a", root);
+  const int b = tree.AddNode("b", root);
+  const int a1 = tree.AddNode("a1", a);
+  const int a2 = tree.AddNode("a2", a);
+  const int b1 = tree.AddNode("b1", b);
+  (void)a1;
+  (void)a2;
+  (void)b1;
+  const size_t num_nodes = tree.size();
+
+  nn::FeatureMlpClassifier::Config clf_config;
+  clf_config.input_dim = kVocab;
+  clf_config.num_classes = num_nodes;
+  clf_config.hidden = 16;
+  clf_config.multi_label = true;
+  clf_config.seed = 29;
+  auto classifier = std::make_shared<nn::FeatureMlpClassifier>(clf_config);
+
+  // Train briefly on random multi-label targets over bow features, then
+  // compare the batch decision rule against the served one per doc.
+  la::Matrix features(docs_->size(), kVocab);
+  for (size_t d = 0; d < docs_->size(); ++d) {
+    float total = 0.0f;
+    float* row = features.Row(d);
+    for (int32_t id : (*docs_)[d]) {
+      if (id < text::kNumSpecialTokens) continue;
+      row[id] += 1.0f;
+      total += 1.0f;
+    }
+    if (total > 0.0f) {
+      for (size_t j = 0; j < kVocab; ++j) row[j] /= total;
+    }
+  }
+  Rng rng(31);
+  la::Matrix targets(docs_->size(), num_nodes);
+  for (size_t d = 0; d < docs_->size(); ++d) {
+    const std::vector<int> leaves = tree.Leaves();
+    const int leaf = leaves[rng.UniformInt(leaves.size())];
+    for (int anc : tree.WithAncestors(leaf)) {
+      targets.At(d, static_cast<size_t>(anc)) = 1.0f;
+    }
+  }
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    classifier->TrainEpoch(features, targets);
+  }
+
+  const float threshold = 0.25f;
+  const la::Matrix probs = classifier->PredictProbs(features);
+
+  serve::Server server(model_, serve::ServeOptions{});
+  server.Register("taxo", std::make_shared<core::TaxoClassServable>(
+                              "taxo", classifier, &tree, kVocab, threshold));
+  for (size_t d = 0; d < docs_->size(); ++d) {
+    // Batch rule, as in TaxoClass::Run.
+    float best_leaf_prob = 0.0f;
+    int best_leaf = tree.Leaves()[0];
+    for (int leaf : tree.Leaves()) {
+      const float p = probs.At(d, static_cast<size_t>(leaf));
+      if (p > best_leaf_prob) {
+        best_leaf_prob = p;
+        best_leaf = leaf;
+      }
+    }
+    std::vector<int> want;
+    {
+      std::set<int> predicted;
+      for (int leaf : tree.Leaves()) {
+        const float p = probs.At(d, static_cast<size_t>(leaf));
+        if (p > threshold && p > 0.45f * best_leaf_prob) {
+          for (int anc : tree.WithAncestors(leaf)) predicted.insert(anc);
+        }
+      }
+      if (predicted.empty()) {
+        for (int anc : tree.WithAncestors(best_leaf)) predicted.insert(anc);
+      }
+      want.assign(predicted.begin(), predicted.end());
+    }
+
+    StatusOr<serve::Prediction> got = server.Serve("taxo", (*docs_)[d]);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->label, best_leaf) << "doc " << d;
+    EXPECT_EQ(got->labels, want) << "doc " << d;
+    ASSERT_EQ(got->scores.size(), num_nodes);
+    EXPECT_EQ(0, std::memcmp(got->scores.data(), probs.Row(d),
+                             num_nodes * sizeof(float)))
+        << "probs doc " << d;
+  }
+}
+
+TEST_F(ServeTest, ConcurrentClientsBitIdentical) {
+  // Several client threads hammering the server concurrently: every
+  // result must still match the batch reference (exercised under TSan by
+  // scripts/check.sh).
+  ServeGuard guard;
+  plm::SetQuantInference(0);
+  const std::vector<int> want = BatchSimpleMatch();
+
+  serve::ServeOptions options;
+  options.max_batch = 8;
+  options.deadline_ms = 1.0;
+  options.workers = 3;
+  serve::Server server(model_, options);
+  server.Register("match",
+                  core::MakePlmSimpleMatchServable(model_, *class_names_));
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 24;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(100 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kPerClient; ++i) {
+        const size_t d = rng.UniformInt(docs_->size());
+        StatusOr<serve::Prediction> got = server.Serve("match", (*docs_)[d]);
+        if (!got.ok()) {
+          ++failures;
+        } else if (got->label != want[d]) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server.stats().completed,
+            static_cast<uint64_t>(kClients * kPerClient));
+}
+
+// ---- admission control and failure behavior ----
+
+TEST_F(ServeTest, QueueFullShedsWithUnavailable) {
+  ServeGuard guard;
+  auto blocking = std::make_shared<BlockingClassifier>();
+  serve::ServeOptions options;
+  options.max_batch = 1;
+  options.deadline_ms = 0.0;
+  options.queue_depth = 2;
+  options.workers = 1;
+  serve::Server server(model_, options);
+  server.Register("block", blocking);
+
+  const std::vector<int32_t> doc = {text::kNumSpecialTokens};
+  // First request is drained immediately and parks inside Classify.
+  auto parked = server.Submit("block", doc);
+  blocking->AwaitEntered(1);
+  // The next queue_depth requests fill the queue...
+  std::vector<std::future<StatusOr<serve::Prediction>>> queued;
+  for (size_t i = 0; i < options.queue_depth; ++i) {
+    queued.push_back(server.Submit("block", doc));
+  }
+  // ...and everything beyond that is shed, immediately and non-fatally.
+  for (int i = 0; i < 3; ++i) {
+    StatusOr<serve::Prediction> shed = server.Submit("block", doc).get();
+    ASSERT_FALSE(shed.ok());
+    EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(server.stats().shed, 3u);
+  EXPECT_EQ(server.stats().max_queue, options.queue_depth);
+
+  blocking->Release();
+  EXPECT_TRUE(parked.get().ok());
+  for (auto& future : queued) {
+    EXPECT_TRUE(future.get().ok());
+  }
+  EXPECT_EQ(server.stats().completed, 1u + options.queue_depth);
+}
+
+TEST_F(ServeTest, InvalidRequestsAreStatusesNotCrashes) {
+  ServeGuard guard;
+  serve::Server server(model_, serve::ServeOptions{});
+  server.Register("match",
+                  core::MakePlmSimpleMatchServable(model_, *class_names_));
+
+  StatusOr<serve::Prediction> unknown =
+      server.Serve("no-such-model", {text::kNumSpecialTokens});
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+
+  // Hostile token ids must be rejected at admission, not abort a drain
+  // worker inside Truncate.
+  StatusOr<serve::Prediction> oov =
+      server.Serve("match", {static_cast<int32_t>(kVocab) + 5});
+  ASSERT_FALSE(oov.ok());
+  EXPECT_EQ(oov.status().code(), StatusCode::kInvalidArgument);
+
+  StatusOr<serve::Prediction> negative = server.Serve("match", {-3});
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(server.stats().invalid, 3u);
+  EXPECT_EQ(server.stats().completed, 0u);
+}
+
+TEST_F(ServeTest, ShutdownFailsQueuedAndRejectsNew) {
+  ServeGuard guard;
+  auto blocking = std::make_shared<BlockingClassifier>();
+  serve::ServeOptions options;
+  options.max_batch = 1;
+  options.deadline_ms = 0.0;
+  options.workers = 1;
+  serve::Server server(model_, options);
+  server.Register("block", blocking);
+
+  const std::vector<int32_t> doc = {text::kNumSpecialTokens};
+  auto parked = server.Submit("block", doc);
+  blocking->AwaitEntered(1);
+  auto queued = server.Submit("block", doc);
+
+  // Shutdown from another thread: it fails the queued request right away
+  // but can only join once the parked batch finishes.
+  std::thread shutdown([&] { server.Shutdown(); });
+  StatusOr<serve::Prediction> orphaned = queued.get();
+  ASSERT_FALSE(orphaned.ok());
+  EXPECT_EQ(orphaned.status().code(), StatusCode::kUnavailable);
+
+  blocking->Release();
+  shutdown.join();
+  EXPECT_TRUE(parked.get().ok());
+
+  StatusOr<serve::Prediction> late = server.Serve("block", doc);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ServeTest, DeadlineCoalescesIntoSharedBatches) {
+  ServeGuard guard;
+  serve::ServeOptions options;
+  options.max_batch = 64;
+  options.deadline_ms = 50.0;
+  options.workers = 1;
+  serve::Server server(model_, options);
+  server.Register("match",
+                  core::MakePlmSimpleMatchServable(model_, *class_names_));
+
+  std::vector<std::future<StatusOr<serve::Prediction>>> futures;
+  for (size_t d = 0; d < 8; ++d) {
+    futures.push_back(server.Submit("match", (*docs_)[d]));
+  }
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().ok());
+  }
+  const serve::Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.completed, 8u);
+  // Not all 8 can be asserted into ONE batch (the worker may drain the
+  // first arrival before the rest are queued), but the deadline must have
+  // coalesced at least some of them.
+  EXPECT_LT(stats.batches, 8u);
+  EXPECT_EQ(server.TakeLatenciesMs().size(), 8u);
+  EXPECT_TRUE(server.TakeLatenciesMs().empty());  // drained destructively
+}
+
+TEST_F(ServeTest, DestructorShutsDownCleanly) {
+  ServeGuard guard;
+  for (int i = 0; i < 3; ++i) {
+    serve::Server server(model_, serve::ServeOptions{});
+    server.Register("match",
+                    core::MakePlmSimpleMatchServable(model_, *class_names_));
+    EXPECT_TRUE(server.Serve("match", (*docs_)[1]).ok());
+    // ~Server joins the workers with no explicit Shutdown call.
+  }
+}
+
+}  // namespace
+}  // namespace stm
