@@ -1,0 +1,265 @@
+// ANN retrieval bench: exhaustive scalar scan vs the brute-force GEMM
+// tier vs the LSH tier at corpus scale (N = 100k docs), plus index build
+// time and exact-vs-LSH recall@10. With STM_BENCH_JSON=<path>, the QPS
+// numbers, speedup ratios, recall and build time are recorded for
+// scripted before/after comparison (bench/run_benches.sh commits the
+// single-thread numbers as BENCH_ann.json).
+//
+//   ./bench_ann            full sweep (respects STM_NUM_THREADS)
+//   ./bench_ann --smoke    fast correctness pass used by ctest; exits
+//                          non-zero if the brute tier's ranking is not
+//                          identical to the scalar scan at several thread
+//                          counts, or LSH recall falls below its floor,
+//                          or the STMA artifact does not round-trip
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "index/ann.h"
+#include "la/matrix.h"
+
+namespace stm {
+namespace {
+
+// Clustered corpus embeddings: `clusters` gaussian centers plus noise,
+// the structure X-Class / TaxoClass document representations actually
+// have (documents concentrate around their class).
+la::Matrix ClusteredMatrix(size_t rows, size_t cols, size_t clusters,
+                           uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix centers(clusters, cols);
+  for (size_t i = 0; i < centers.size(); ++i) {
+    centers.data()[i] = static_cast<float>(rng.Normal());
+  }
+  la::Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    const float* center = centers.Row(r % clusters);
+    float* row = m.Row(r);
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] = center[c] + 0.15f * static_cast<float>(rng.Normal());
+    }
+  }
+  return m;
+}
+
+// The replaced hot loop: per-pair la::Cosine over the whole base plus a
+// partial_sort, exactly what taxoclass/xclass/micol/sgns used to run.
+std::vector<std::vector<uint32_t>> ScalarScanTopK(const la::Matrix& queries,
+                                                  const la::Matrix& base,
+                                                  size_t k) {
+  std::vector<std::vector<uint32_t>> results(queries.rows());
+  ParallelFor(0, queries.rows(), 1, [&](size_t q_begin, size_t q_end) {
+    for (size_t q = q_begin; q < q_end; ++q) {
+      std::vector<std::pair<float, uint32_t>> scored;
+      scored.reserve(base.rows());
+      for (size_t r = 0; r < base.rows(); ++r) {
+        scored.emplace_back(
+            la::Cosine(queries.Row(q), base.Row(r), base.cols()),
+            static_cast<uint32_t>(r));
+      }
+      const size_t keep = std::min(k, scored.size());
+      std::partial_sort(
+          scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(keep),
+          scored.end(), [](const auto& a, const auto& b) {
+            return a.first > b.first ||
+                   (a.first == b.first && a.second < b.second);
+          });
+      results[q].reserve(keep);
+      for (size_t i = 0; i < keep; ++i) {
+        results[q].push_back(scored[i].second);
+      }
+    }
+  });
+  return results;
+}
+
+double RecallAtK(const std::vector<std::vector<ann::Neighbor>>& exact,
+                 const std::vector<std::vector<ann::Neighbor>>& approx) {
+  size_t hits = 0;
+  size_t total = 0;
+  for (size_t q = 0; q < exact.size(); ++q) {
+    total += exact[q].size();
+    for (const ann::Neighbor& n : approx[q]) {
+      for (const ann::Neighbor& e : exact[q]) {
+        if (n.id == e.id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+int RunSmoke() {
+  int failures = 0;
+  const size_t kDim = 32;
+  const la::Matrix base = ClusteredMatrix(3000, kDim, 20, /*seed=*/1);
+  const la::Matrix queries = ClusteredMatrix(64, kDim, 20, /*seed=*/1);
+  const size_t k = 10;
+
+  // 1. Brute tier ranking == scalar scan ranking, at several pool sizes.
+  const std::vector<std::vector<uint32_t>> scalar =
+      ScalarScanTopK(queries, base, k);
+  for (const size_t threads : {1, 2, 4}) {
+    ThreadPool::Reset(threads);
+    const std::vector<std::vector<ann::Neighbor>> brute =
+        ann::TopKSimilar(queries, base, k);
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      for (size_t i = 0; i < k; ++i) {
+        if (brute[q][i].id != scalar[q][i]) {
+          std::fprintf(stderr,
+                       "FAIL: threads=%zu query %zu rank %zu: brute id %u "
+                       "!= scalar id %u\n",
+                       threads, q, i, brute[q][i].id, scalar[q][i]);
+          ++failures;
+        }
+      }
+    }
+  }
+  ThreadPool::Reset(0);
+
+  // 2. LSH recall floor on the clustered corpus.
+  ann::IndexOptions options;
+  options.mode = ann::AnnMode::kLsh;
+  options.bits = 256;
+  options.rerank = 200;
+  const ann::Index index = ann::Index::Build(base, options);
+  const double recall = RecallAtK(ann::TopKSimilar(queries, base, k),
+                                  index.TopK(queries, k));
+  if (recall < 0.95) {
+    std::fprintf(stderr, "FAIL: LSH recall@10 %.3f < 0.95\n", recall);
+    ++failures;
+  }
+
+  // 3. STMA round-trip serves identical results.
+  const std::string path = bench::CacheDir() + "/bench_ann_smoke.stma";
+  if (!index.Save(Env::Default(), path).ok()) {
+    std::fprintf(stderr, "FAIL: STMA save failed\n");
+    ++failures;
+  } else {
+    StatusOr<ann::Index> loaded = ann::Index::Load(Env::Default(), path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "FAIL: STMA load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      ++failures;
+    } else {
+      const auto want = index.TopK(queries, k);
+      const auto got = loaded->TopK(queries, k);
+      for (size_t q = 0; q < want.size(); ++q) {
+        for (size_t i = 0; i < want[q].size(); ++i) {
+          if (got[q][i].id != want[q][i].id ||
+              std::memcmp(&got[q][i].score, &want[q][i].score,
+                          sizeof(float)) != 0) {
+            std::fprintf(stderr,
+                         "FAIL: STMA round-trip mismatch at query %zu rank "
+                         "%zu\n",
+                         q, i);
+            ++failures;
+          }
+        }
+      }
+    }
+  }
+
+  if (failures == 0) std::printf("bench_ann --smoke: all checks passed\n");
+  return failures == 0 ? 0 : 1;
+}
+
+int RunFull() {
+  const size_t kDocs = 100000;
+  const size_t kDim = 64;
+  const size_t kQueries = 500;
+  const size_t kK = 10;
+  bench::Progress("generating 100k clustered doc embeddings");
+  const la::Matrix base = ClusteredMatrix(kDocs, kDim, 200, /*seed=*/7);
+  const la::Matrix queries = ClusteredMatrix(kQueries, kDim, 200,
+                                             /*seed=*/7);
+
+  bench::Progress("scalar exhaustive scan");
+  double scalar_seconds = 0.0;
+  {
+    WallTimer timer;
+    const std::vector<std::vector<uint32_t>> scalar =
+        ScalarScanTopK(queries, base, kK);
+    scalar_seconds = timer.Seconds();
+    if (scalar.size() != kQueries) return 1;
+  }
+
+  bench::Progress("brute-force GEMM tier");
+  double brute_seconds = 0.0;
+  std::vector<std::vector<ann::Neighbor>> exact;
+  {
+    WallTimer timer;
+    exact = ann::TopKSimilar(queries, base, kK);
+    brute_seconds = timer.Seconds();
+  }
+
+  bench::Progress("LSH tier (build + query)");
+  ann::IndexOptions options;
+  options.mode = ann::AnnMode::kLsh;
+  options.bits = 128;
+  options.rerank = 512;
+  WallTimer build_timer;
+  const ann::Index index = ann::Index::Build(base, options);
+  const double build_seconds = build_timer.Seconds();
+  double lsh_seconds = 0.0;
+  std::vector<std::vector<ann::Neighbor>> approx;
+  {
+    WallTimer timer;
+    approx = index.TopK(queries, kK);
+    lsh_seconds = timer.Seconds();
+  }
+  const double recall = RecallAtK(exact, approx);
+
+  const double nq = static_cast<double>(kQueries);
+  const double scalar_qps = nq / scalar_seconds;
+  const double brute_qps = nq / brute_seconds;
+  const double lsh_qps = nq / lsh_seconds;
+
+  bench::Table table("ANN top-10 retrieval, N=100k docs, dim=64",
+                     {"QPS", "speedup", "recall@10"});
+  table.AddRow("scalar_scan", {scalar_qps, 1.0, 1.0});
+  table.AddRow("brute_gemm", {brute_qps, brute_qps / scalar_qps, 1.0});
+  table.AddRow("lsh", {lsh_qps, lsh_qps / scalar_qps, recall});
+  table.AddSeparator();
+  table.AddRow("lsh_build_seconds", {build_seconds});
+  table.Print();
+
+  auto& json = bench::BenchJsonWriter::Instance();
+  json.Record("ann", "scalar_scan_qps", scalar_qps);
+  json.Record("ann", "brute_gemm_qps", brute_qps);
+  json.Record("ann", "lsh_qps", lsh_qps);
+  json.Record("ann", "brute_speedup_x", brute_qps / scalar_qps);
+  json.Record("ann", "lsh_speedup_x", lsh_qps / scalar_qps);
+  json.Record("ann", "lsh_recall_at10", recall);
+  json.Record("ann", "lsh_build_seconds", build_seconds);
+  json.Record("ann", "num_docs", static_cast<double>(kDocs));
+
+  if (recall < 0.95) {
+    std::fprintf(stderr, "WARNING: LSH recall@10 %.3f below the 0.95 "
+                 "guardrail\n", recall);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stm
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--smoke") {
+    return stm::RunSmoke();
+  }
+  return stm::RunFull();
+}

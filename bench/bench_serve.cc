@@ -32,6 +32,7 @@
 #include "common/status.h"
 #include "common/timer.h"
 #include "core/serve_adapters.h"
+#include "index/ann.h"
 #include "la/matrix.h"
 #include "plm/minilm.h"
 #include "plm/quantized_minilm.h"
@@ -271,10 +272,11 @@ int RunSmoke() {
 
   for (const bool quant : {false, true}) {
     plm::SetQuantInference(quant ? 1 : 0);
-    // Batch reference: full-corpus PoolBatch + cosine argmax.
+    // Batch reference: full-corpus PoolBatch + retrieval similarity panel
+    // (the exact float path the adapter reproduces per request).
     const la::Matrix class_reps = model->PoolBatch(names);
     const la::Matrix doc_reps = model->PoolBatch(docs);
-    const size_t dim = doc_reps.cols();
+    const la::Matrix panel = stm::ann::SimilarityPanel(doc_reps, class_reps);
 
     serve::Server server(model.get(), serve::ServeOptions{});
     server.Register("match",
@@ -294,8 +296,7 @@ int RunSmoke() {
       int want_label = 0;
       float best = -2.0f;
       for (size_t c = 0; c < class_reps.rows(); ++c) {
-        const float sim =
-            la::Cosine(doc_reps.Row(d), class_reps.Row(c), dim);
+        const float sim = panel.At(d, c);
         if (sim > best) {
           best = sim;
           want_label = static_cast<int>(c);

@@ -17,7 +17,7 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== robustness + quant + encode + serve suites under AddressSanitizer =="
+echo "== robustness + quant + encode + serve + ann suites under AddressSanitizer =="
 # The fault-injection tests push torn, truncated and bit-flipped artifacts
 # through every load path — exactly where an out-of-bounds read would hide,
 # so they run a second time with ASan watching. The quant suite joins them:
@@ -26,20 +26,25 @@ echo "== robustness + quant + encode + serve suites under AddressSanitizer =="
 # scatter/gather and the cache's disk spill/quarantine paths, both heavy on
 # raw buffer offsets. The serve suite adds the dynamic-batching server's
 # request plumbing (promise hand-off, queue draining, shutdown orphaning).
+# The ann suite covers the retrieval tiers' blocked score panels, packed
+# sketch words and STMA payload decoding — more byte-offset arithmetic.
 cmake -B "$ASAN_BUILD_DIR" -S . -DSTM_SANITIZE=address
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target stm_robustness_tests \
   --target stm_quant_tests --target stm_encode_tests \
-  --target stm_serve_tests
-ctest --test-dir "$ASAN_BUILD_DIR" -L 'robustness|quant|encode|serve' \
+  --target stm_serve_tests --target stm_ann_tests
+ctest --test-dir "$ASAN_BUILD_DIR" -L 'robustness|quant|encode|serve|ann' \
   --output-on-failure -j "$JOBS"
 
-echo "== serve suite under ThreadSanitizer =="
+echo "== serve + ann suites under ThreadSanitizer =="
 # The serve workers are dedicated threads submitting into the global pool
 # while clients hammer Submit/Shutdown from outside — the exact
-# cross-thread hand-off pattern TSan exists to vet.
+# cross-thread hand-off pattern TSan exists to vet. The ann suite stresses
+# the parallel heap-select and sketching loops across pool resizes.
 TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 cmake -B "$TSAN_BUILD_DIR" -S . -DSTM_SANITIZE=thread
-cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target stm_serve_tests
-ctest --test-dir "$TSAN_BUILD_DIR" -L 'serve' --output-on-failure -j "$JOBS"
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target stm_serve_tests \
+  --target stm_ann_tests
+ctest --test-dir "$TSAN_BUILD_DIR" -L 'serve|ann' --output-on-failure \
+  -j "$JOBS"
 
 echo "== all checks passed =="

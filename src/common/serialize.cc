@@ -42,8 +42,20 @@ void BinaryWriter::WriteString(const std::string& value) {
 }
 
 void BinaryWriter::WriteFloats(const std::vector<float>& values) {
+  WriteFloats(values.data(), values.size());
+}
+
+void BinaryWriter::WriteFloats(const float* values, size_t count) {
+  WriteU64(count);
+  const size_t bytes = count * sizeof(float);
+  const size_t old = buffer_.size();
+  buffer_.resize(old + bytes);
+  if (bytes > 0) std::memcpy(buffer_.data() + old, values, bytes);
+}
+
+void BinaryWriter::WriteU64s(const std::vector<uint64_t>& values) {
   WriteU64(values.size());
-  const size_t bytes = values.size() * sizeof(float);
+  const size_t bytes = values.size() * sizeof(uint64_t);
   const size_t old = buffer_.size();
   buffer_.resize(old + bytes);
   if (bytes > 0) std::memcpy(buffer_.data() + old, values.data(), bytes);
@@ -229,6 +241,28 @@ Status BinaryReader::Read(std::vector<int8_t>* values) {
                   static_cast<size_t>(count));
       pos_ += static_cast<size_t>(count);
     }
+  }
+  return status_;
+}
+
+Status BinaryReader::Read(std::vector<uint64_t>* values) {
+  values->clear();
+  uint64_t count = 0;
+  STM_RETURN_IF_ERROR(Read(&count));
+  // Division, never multiplication: `count * 8` wraps for hostile counts.
+  if (count > (buffer_.size() - pos_) / sizeof(uint64_t)) {
+    status_ = CorruptDataError(
+        StrFormat("u64 array length %llu exceeds remaining payload (%zu "
+                  "bytes)",
+                  static_cast<unsigned long long>(count),
+                  buffer_.size() - pos_));
+    return status_;
+  }
+  const size_t bytes = static_cast<size_t>(count) * sizeof(uint64_t);
+  values->resize(static_cast<size_t>(count));
+  if (bytes > 0) {
+    std::memcpy(values->data(), buffer_.data() + pos_, bytes);
+    pos_ += bytes;
   }
   return status_;
 }

@@ -35,8 +35,13 @@ class BinaryWriter {
   void WriteF32(float value);
   void WriteString(const std::string& value);
   void WriteFloats(const std::vector<float>& values);
+  // As above over a raw span, so matrix storage can be written without an
+  // intermediate vector copy.
+  void WriteFloats(const float* values, size_t count);
   // Length-prefixed raw int8 array (quantized weights).
   void WriteBytes(const std::vector<int8_t>& values);
+  // Length-prefixed u64 array (packed LSH sketch words).
+  void WriteU64s(const std::vector<uint64_t>& values);
 
   const std::string& buffer() const { return buffer_; }
 
@@ -78,6 +83,7 @@ class BinaryReader {
   Status Read(std::string* value);
   Status Read(std::vector<float>* values);
   Status Read(std::vector<int8_t>* values);
+  Status Read(std::vector<uint64_t>* values);
 
   // Value-returning shims for existing call sites; on failure they return
   // a zero value and flip ok().

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "index/ann.h"
 #include "la/matrix.h"
 #include "nn/text_classifier.h"
 #include "plm/encode_cache.h"
@@ -138,22 +139,22 @@ std::vector<int> LdaClassify(
 std::vector<int> EmbeddingSimilarityClassify(
     const text::Corpus& corpus, const embedding::WordEmbeddings& embeddings,
     const std::vector<std::vector<int32_t>>& class_keywords) {
-  std::vector<std::vector<float>> class_reps;
-  for (const auto& keywords : class_keywords) {
-    class_reps.push_back(embeddings.AverageOf(keywords));
+  STM_CHECK(!class_keywords.empty());
+  la::Matrix class_reps(class_keywords.size(), embeddings.dim());
+  for (size_t c = 0; c < class_keywords.size(); ++c) {
+    class_reps.SetRow(c, embeddings.AverageOf(class_keywords[c]));
   }
+  la::Matrix doc_reps(corpus.num_docs(), embeddings.dim());
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    doc_reps.SetRow(d, embeddings.AverageOf(corpus.docs()[d].tokens));
+  }
+  // One batched top-1 retrieval; zero doc reps tie to class 0 like the
+  // scalar scan they replace.
+  const std::vector<std::vector<ann::Neighbor>> top =
+      ann::TopKSimilar(doc_reps, class_reps, 1);
   std::vector<int> predictions(corpus.num_docs(), 0);
   for (size_t d = 0; d < corpus.num_docs(); ++d) {
-    const std::vector<float> doc_rep =
-        embeddings.AverageOf(corpus.docs()[d].tokens);
-    float best = -2.0f;
-    for (size_t c = 0; c < class_reps.size(); ++c) {
-      const float sim = la::Cosine(doc_rep, class_reps[c]);
-      if (sim > best) {
-        best = sim;
-        predictions[d] = static_cast<int>(c);
-      }
-    }
+    predictions[d] = static_cast<int>(top[d][0].id);
   }
   return predictions;
 }
@@ -167,17 +168,11 @@ std::vector<int> PlmSimpleMatchClassify(
   doc_tokens.reserve(corpus.num_docs());
   for (const auto& doc : corpus.docs()) doc_tokens.push_back(doc.tokens);
   const la::Matrix doc_reps = model.PoolBatch(doc_tokens);
-  const size_t dim = doc_reps.cols();
+  const std::vector<std::vector<ann::Neighbor>> top =
+      ann::TopKSimilar(doc_reps, class_reps, 1);
   std::vector<int> predictions(corpus.num_docs(), 0);
   for (size_t d = 0; d < corpus.num_docs(); ++d) {
-    float best = -2.0f;
-    for (size_t c = 0; c < class_reps.rows(); ++c) {
-      const float sim = la::Cosine(doc_reps.Row(d), class_reps.Row(c), dim);
-      if (sim > best) {
-        best = sim;
-        predictions[d] = static_cast<int>(c);
-      }
-    }
+    predictions[d] = static_cast<int>(top[d][0].id);
   }
   return predictions;
 }

@@ -6,6 +6,7 @@
 
 #include "cluster/cluster.h"
 #include "common/check.h"
+#include "index/ann.h"
 #include "la/matrix.h"
 #include "nn/text_classifier.h"
 #include "plm/encode_cache.h"
@@ -88,17 +89,14 @@ ConWea::SenseFilter ConWea::FilterSenses(
 
   size_t chosen = 0;
   if (config_.class_aware_senses) {
-    // Sense whose centroid is closest to the class's context centroid.
-    float best = -2.0f;
-    for (size_t s = 0; s < clusters.centroids.rows(); ++s) {
-      const float sim = la::Cosine(clusters.centroids.Row(s),
-                                   class_centroids[c].data(),
-                                   model_->config().dim);
-      if (sim > best) {
-        best = sim;
-        chosen = s;
-      }
-    }
+    // Sense whose centroid is closest to the class's context centroid
+    // (batched top-1; equal scores keep the lowest sense, like the old
+    // first-max scan).
+    la::Matrix query(1, model_->config().dim);
+    query.SetRow(0, class_centroids[c]);
+    const std::vector<std::vector<ann::Neighbor>> top =
+        ann::TopKSimilar(query, clusters.centroids, 1);
+    chosen = top[0][0].id;
   } else {
     // Generic WSD stand-in: majority sense regardless of class.
     std::vector<size_t> counts(config_.senses, 0);

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "index/ann.h"
 #include "nn/feature_classifier.h"
 #include "text/vocabulary.h"
 
@@ -64,19 +65,25 @@ std::vector<int> MetaCat::Run(
       word_ids.push_back(corpus_.vocab().IdOf(hin.NameOf(static_cast<int>(n))));
     }
   }
+  // Gather the word-node embeddings once; every class scores against the
+  // same base, so the per-pair cosines become one similarity panel row
+  // per class through the batched brute-force tier.
+  la::Matrix word_mat(word_nodes.size(), node_emb.cols());
+  for (size_t i = 0; i < word_nodes.size(); ++i) {
+    word_mat.SetRow(i, node_emb.RowVec(static_cast<size_t>(word_nodes[i])));
+  }
   std::vector<std::vector<int32_t>> synth_docs;
   std::vector<int> synth_labels;
   for (size_t c = 0; c < num_classes; ++c) {
     const int label_node = hin.NodeOf("label", corpus_.label_names()[c]);
     if (label_node < 0 || word_nodes.empty()) continue;
     // p(w | label) ∝ exp(cos(e_w, e_label) / τ).
+    la::Matrix label_query(1, node_emb.cols());
+    label_query.SetRow(0, node_emb.RowVec(static_cast<size_t>(label_node)));
+    const la::Matrix sims = ann::SimilarityPanel(label_query, word_mat);
     std::vector<double> weights(word_nodes.size());
     for (size_t i = 0; i < word_nodes.size(); ++i) {
-      const float sim = la::Cosine(
-          node_emb.Row(static_cast<size_t>(word_nodes[i])),
-          node_emb.Row(static_cast<size_t>(label_node)),
-          node_emb.cols());
-      weights[i] = std::exp(static_cast<double>(sim) /
+      weights[i] = std::exp(static_cast<double>(sims.At(0, i)) /
                             config_.word_temperature);
     }
     AliasSampler sampler(weights);

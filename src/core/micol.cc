@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "index/ann.h"
 #include "nn/loss.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
@@ -174,28 +174,6 @@ std::vector<int> RankOne(std::vector<std::pair<float, int>>& scored) {
   return ranked;
 }
 
-std::vector<std::vector<int>> RankAll(
-    const std::vector<std::vector<float>>& doc_reps,
-    const std::vector<std::vector<float>>& label_reps,
-    const std::function<float(const std::vector<float>&,
-                              const std::vector<float>&)>& score) {
-  // Documents rank independently; `score` must be safe to call
-  // concurrently (cosine and PairScorer inference both are).
-  std::vector<std::vector<int>> ranked(doc_reps.size());
-  ParallelFor(0, doc_reps.size(), 4, [&](size_t begin, size_t end) {
-    for (size_t d = begin; d < end; ++d) {
-      std::vector<std::pair<float, int>> scored;
-      scored.reserve(label_reps.size());
-      for (size_t l = 0; l < label_reps.size(); ++l) {
-        scored.emplace_back(score(doc_reps[d], label_reps[l]),
-                            static_cast<int>(l));
-      }
-      ranked[d] = RankOne(scored);
-    }
-  });
-  return ranked;
-}
-
 }  // namespace
 
 std::vector<std::vector<int>> Micol::RankByBiEncoder(
@@ -211,11 +189,29 @@ std::vector<std::vector<int>> Micol::RankByBiEncoder(
   ParallelFor(0, label_texts.size(), 1, [&](size_t b, size_t e) {
     for (size_t l = b; l < e; ++l) label_reps[l] = Represent(label_texts[l]);
   });
-  return RankAll(doc_reps, label_reps,
-                 [](const std::vector<float>& a,
-                    const std::vector<float>& b) {
-                   return la::Cosine(a, b);
-                 });
+  // Full ranking = top-k with k = num labels, batched through the
+  // retrieval tier instead of per-pair cosines. Ties now rank the
+  // *smaller* label first (the retrieval contract), where the old
+  // reverse-pair sort ranked the larger one.
+  const size_t dim = model_->config().dim;
+  la::Matrix doc_mat(doc_reps.size(), dim);
+  for (size_t d = 0; d < doc_reps.size(); ++d) {
+    doc_mat.SetRow(d, doc_reps[d]);
+  }
+  la::Matrix label_mat(label_reps.size(), dim);
+  for (size_t l = 0; l < label_reps.size(); ++l) {
+    label_mat.SetRow(l, label_reps[l]);
+  }
+  const std::vector<std::vector<ann::Neighbor>> top =
+      ann::TopKSimilar(doc_mat, label_mat, label_mat.rows());
+  std::vector<std::vector<int>> ranked(doc_reps.size());
+  for (size_t d = 0; d < doc_reps.size(); ++d) {
+    ranked[d].reserve(top[d].size());
+    for (const ann::Neighbor& n : top[d]) {
+      ranked[d].push_back(static_cast<int>(n.id));
+    }
+  }
+  return ranked;
 }
 
 std::vector<std::vector<int>> Micol::RankByCrossEncoder(

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "index/ann.h"
 #include "text/vocabulary.h"
 
 namespace stm::core {
@@ -15,6 +16,11 @@ PooledCosineServable::PooledCosineServable(std::string name,
                                            la::Matrix class_reps)
     : name_(std::move(name)), class_reps_(std::move(class_reps)) {
   STM_CHECK_GT(class_reps_.rows(), 0u);
+  // Normalize the class side exactly once, here. Per-request work is then
+  // one normalize of the pooled vector plus one GEMV — the same float
+  // operations, in the same order, as ann::TopKSimilar's batch panels, so
+  // served scores stay bit-identical to the batch path.
+  la::NormalizeRows(class_reps_);
 }
 
 serve::Prediction PooledCosineServable::Classify(
@@ -26,15 +32,16 @@ serve::Prediction PooledCosineServable::Classify(
   const size_t dim = class_reps_.cols();
   serve::Prediction prediction;
   prediction.scores.resize(class_reps_.rows());
-  // Same loop as PlmSimpleMatchClassify: strict > keeps the first of
-  // tied classes, and -2.0f is below any cosine.
+  std::vector<float> query(pooled, pooled + dim);
+  la::NormalizeInPlace(query.data(), dim);
+  ann::ScoreNormalized(query.data(), class_reps_, prediction.scores.data());
+  // Strict > keeps the first of tied classes (the retrieval tie contract),
+  // and -2.0f is below any similarity.
   float best = -2.0f;
   prediction.label = 0;
   for (size_t c = 0; c < class_reps_.rows(); ++c) {
-    const float sim = la::Cosine(pooled, class_reps_.Row(c), dim);
-    prediction.scores[c] = sim;
-    if (sim > best) {
-      best = sim;
+    if (prediction.scores[c] > best) {
+      best = prediction.scores[c];
       prediction.label = static_cast<int>(c);
     }
   }

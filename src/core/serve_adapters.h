@@ -24,10 +24,13 @@ namespace stm::core {
 // All adapters are inference-only over frozen parameters and safe to call
 // concurrently from several drain workers.
 
-// Cosine argmax against fixed class representations over the document's
-// pooled vector: the PlmSimpleMatchClassify baseline, and the decision
-// rule X-Class's RepOnly ablation uses. `scores` returns the per-class
-// cosines.
+// Similarity argmax against fixed class representations over the
+// document's pooled vector: the PlmSimpleMatchClassify baseline, and the
+// decision rule X-Class's RepOnly ablation uses. Class reps are
+// normalized once at construction; each request is one normalize + one
+// GEMV through the ann retrieval kernels, bit-identical to the batch
+// path's ann::TopKSimilar scores. `scores` returns the per-class
+// similarities.
 class PooledCosineServable : public serve::Classifier {
  public:
   PooledCosineServable(std::string name, la::Matrix class_reps);

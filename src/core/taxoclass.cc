@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "index/ann.h"
 #include "nn/feature_classifier.h"
 #include "plm/encode_cache.h"
 #include "text/tfidf.h"
@@ -62,21 +63,16 @@ std::vector<float> TopTokenContext(const la::Matrix& hidden,
                                    size_t k) {
   STM_CHECK_GT(hidden.rows(), 0u);
   const size_t dim = hidden.cols();
-  std::vector<std::pair<float, size_t>> sims;
-  sims.reserve(hidden.rows());
-  for (size_t t = 0; t < hidden.rows(); ++t) {
-    sims.emplace_back(
-        la::Cosine(hidden.Row(t), class_rep.data(), dim), t);
-  }
-  const size_t keep = std::min(k, sims.size());
-  std::partial_sort(sims.begin(),
-                    sims.begin() + static_cast<std::ptrdiff_t>(keep),
-                    sims.end(), [](const auto& a, const auto& b) {
-                      return a.first > b.first;
-                    });
+  // Batched top-k over the token rows (base side reused per class). The
+  // old partial_sort left equal-similarity token order unspecified; the
+  // retrieval contract pins ties to ascending token position.
+  la::Matrix query(1, dim);
+  query.SetRow(0, class_rep);
+  const std::vector<std::vector<ann::Neighbor>> top =
+      ann::TopKSimilar(query, hidden, k);
   std::vector<float> context(dim, 0.0f);
-  for (size_t i = 0; i < keep; ++i) {
-    la::Axpy(1.0f, hidden.Row(sims[i].second), context.data(), dim);
+  for (const ann::Neighbor& n : top[0]) {
+    la::Axpy(1.0f, hidden.Row(n.id), context.data(), dim);
   }
   la::NormalizeInPlace(context.data(), dim);
   return context;

@@ -6,6 +6,7 @@
 
 #include "cluster/cluster.h"
 #include "common/check.h"
+#include "index/ann.h"
 #include "nn/text_classifier.h"
 #include "plm/encode_cache.h"
 #include "text/vocabulary.h"
@@ -79,6 +80,16 @@ std::vector<int> XClass::Run(
   }
 
   // ---- class representations with iterative absorption ----
+  // The absorption argmax scans every frequent word per round; gather the
+  // frequent rows once and let the batched top-k pick the best
+  // not-yet-absorbed candidate (k = absorbed + 1 guarantees one survives
+  // the skip). Ascending-id ties match the old first-max scan because
+  // `frequent` is built in ascending id order.
+  la::Matrix frequent_reps(frequent.size(), dim);
+  for (size_t i = 0; i < frequent.size(); ++i) {
+    frequent_reps.SetRow(i,
+                         word_reps.RowVec(static_cast<size_t>(frequent[i])));
+  }
   class_reps_ = la::Matrix(num_classes, dim);
   for (size_t c = 0; c < num_classes; ++c) {
     std::vector<float> rep(dim, 0.0f);
@@ -88,19 +99,18 @@ std::vector<int> XClass::Run(
     }
     la::NormalizeInPlace(rep.data(), dim);
     std::vector<int32_t> absorbed = label_names[c];
+    la::Matrix query(1, dim);
     for (size_t round = 1; round <= config_.class_rep_words; ++round) {
-      float best = -2.0f;
+      query.SetRow(0, rep);
+      const std::vector<std::vector<ann::Neighbor>> top = ann::TopKSimilar(
+          query, frequent_reps, absorbed.size() + 1);
       int32_t best_id = -1;
-      for (int32_t id : frequent) {
-        if (std::find(absorbed.begin(), absorbed.end(), id) !=
+      for (const ann::Neighbor& n : top[0]) {
+        const int32_t id = frequent[n.id];
+        if (std::find(absorbed.begin(), absorbed.end(), id) ==
             absorbed.end()) {
-          continue;
-        }
-        const float sim = la::Cosine(
-            rep.data(), word_reps.Row(static_cast<size_t>(id)), dim);
-        if (sim > best) {
-          best = sim;
           best_id = id;
+          break;
         }
       }
       if (best_id < 0) break;
@@ -119,16 +129,15 @@ std::vector<int> XClass::Run(
     const la::Matrix& hidden = hidden_cache[d];
     if (hidden.rows() == 0) continue;
     const size_t len = hidden.rows();
-    // Attention: softmax over (max class similarity / temperature).
+    // Attention: softmax over (max class similarity / temperature). One
+    // batched top-1 over all tokens replaces the per-(token, class)
+    // scalar cosines.
+    const std::vector<std::vector<ann::Neighbor>> best_class =
+        ann::TopKSimilar(hidden, class_reps_, 1);
     std::vector<float> weights(len);
     float max_weight = -1e30f;
     for (size_t t = 0; t < len; ++t) {
-      float best = -2.0f;
-      for (size_t c = 0; c < num_classes; ++c) {
-        best = std::max(best, la::Cosine(hidden.Row(t), class_reps_.Row(c),
-                                         dim));
-      }
-      weights[t] = best / config_.attention_temperature;
+      weights[t] = best_class[t][0].score / config_.attention_temperature;
       max_weight = std::max(max_weight, weights[t]);
     }
     float sum = 0.0f;
@@ -181,17 +190,14 @@ std::vector<int> XClass::Run(
 
 std::vector<int> XClass::RepOnly() const {
   STM_CHECK_GT(doc_reps_.rows(), 0u) << "Run() must be called first";
+  // Batched doc-cluster assignment: one top-1 retrieval over all docs.
+  // Zero (empty-doc) rows score 0 against every class and keep class 0,
+  // exactly as the scalar scan did.
   std::vector<int> predictions(corpus_.num_docs(), 0);
+  const std::vector<std::vector<ann::Neighbor>> top =
+      ann::TopKSimilar(doc_reps_, class_reps_, 1);
   for (size_t d = 0; d < corpus_.num_docs(); ++d) {
-    float best = -2.0f;
-    for (size_t c = 0; c < class_reps_.rows(); ++c) {
-      const float sim = la::Cosine(doc_reps_.Row(d), class_reps_.Row(c),
-                                   doc_reps_.cols());
-      if (sim > best) {
-        best = sim;
-        predictions[d] = static_cast<int>(c);
-      }
-    }
+    predictions[d] = static_cast<int>(top[d][0].id);
   }
   return predictions;
 }

@@ -142,24 +142,32 @@ std::vector<std::pair<int32_t, float>> WordEmbeddings::MostSimilar(
     const std::vector<float>& query, size_t k,
     const std::vector<int32_t>& exclude, int32_t first_regular_id) const {
   STM_CHECK_EQ(query.size(), dim());
+  const ann::Index* index = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    if (!index_) {
+      index_ = std::make_unique<ann::Index>(ann::Index::Build(vectors_));
+    }
+    index = index_.get();
+  }
+  // The index covers the whole table, so over-fetch by the number of ids
+  // the caller filters out; on the exact tier the surviving top-k then
+  // matches the old full scan (LSH stays approximate either way).
+  const size_t skippable =
+      exclude.size() + static_cast<size_t>(std::max(first_regular_id, 0));
+  const std::vector<ann::Neighbor> top =
+      index->TopK1(query.data(), k + skippable);
   std::vector<std::pair<int32_t, float>> scored;
-  for (size_t id = static_cast<size_t>(first_regular_id);
-       id < vectors_.rows(); ++id) {
-    if (std::find(exclude.begin(), exclude.end(),
-                  static_cast<int32_t>(id)) != exclude.end()) {
+  scored.reserve(k);
+  for (const ann::Neighbor& n : top) {
+    if (scored.size() >= k) break;
+    const int32_t id = static_cast<int32_t>(n.id);
+    if (id < first_regular_id) continue;
+    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
       continue;
     }
-    const float sim =
-        la::Cosine(query.data(), vectors_.Row(id), dim());
-    scored.emplace_back(static_cast<int32_t>(id), sim);
+    scored.emplace_back(id, n.score);
   }
-  const size_t keep = std::min(k, scored.size());
-  std::partial_sort(scored.begin(),
-                    scored.begin() + static_cast<std::ptrdiff_t>(keep),
-                    scored.end(), [](const auto& a, const auto& b) {
-                      return a.second > b.second;
-                    });
-  scored.resize(keep);
   return scored;
 }
 

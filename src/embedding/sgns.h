@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/env.h"
 #include "common/status.h"
+#include "index/ann.h"
 #include "la/matrix.h"
 
 namespace stm::embedding {
@@ -34,6 +36,16 @@ class WordEmbeddings {
   // Wraps an existing table (rows = token ids).
   explicit WordEmbeddings(la::Matrix vectors);
 
+  // Movable despite the lazy-index synchronization members; a moved-into
+  // object simply rebuilds its index on the next MostSimilar call.
+  WordEmbeddings(WordEmbeddings&& other) noexcept
+      : vectors_(std::move(other.vectors_)) {}
+  WordEmbeddings& operator=(WordEmbeddings&& other) noexcept {
+    vectors_ = std::move(other.vectors_);
+    index_.reset();
+    return *this;
+  }
+
   size_t dim() const { return vectors_.cols(); }
   size_t vocab_size() const { return vectors_.rows(); }
 
@@ -43,7 +55,9 @@ class WordEmbeddings {
   std::vector<float> UnitVectorOf(int32_t id) const;
 
   // Top-k ids most cosine-similar to `query` (excluding ids in `exclude`
-  // and ids < first_regular_id, i.e. special tokens).
+  // and ids < first_regular_id, i.e. special tokens). Served by an
+  // ann::Index built lazily over the whole table: exact (GEMM-batched)
+  // below the STM_ANN auto cutover, LSH above it.
   std::vector<std::pair<int32_t, float>> MostSimilar(
       const std::vector<float>& query, size_t k,
       const std::vector<int32_t>& exclude = {},
@@ -66,6 +80,11 @@ class WordEmbeddings {
 
  private:
   la::Matrix vectors_;
+  // Lazy retrieval index over vectors_, built under the mutex on the
+  // first MostSimilar call (the table is immutable after construction)
+  // and never reset while queries are in flight.
+  mutable std::mutex index_mutex_;
+  mutable std::unique_ptr<ann::Index> index_;
 };
 
 // PV-DBOW document embeddings (Doc2Vec baseline, MetaCat documents):

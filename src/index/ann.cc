@@ -1,0 +1,463 @@
+#include "index/ann.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+#include "common/env_parse.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "la/gemm_kernels.h"
+
+namespace stm::ann {
+
+namespace {
+
+constexpr uint32_t kAnnIndexMagic = 0x53544D41;  // "STMA"
+
+// Query rows per parallel chunk on the brute tier. Each chunk packs every
+// base block once into GemmBt panels, so wider chunks amortize the packing
+// cost; 16 keeps the score scratch small while making packing ~6% of the
+// multiply work. Constant (shape- and thread-count-independent), so the
+// chunk decomposition obeys the determinism contract.
+constexpr size_t kQueryChunk = 16;
+
+// Base rows per GemmBt panel: bounds the score scratch at
+// kQueryChunk * kBaseBlock floats (256KB) and keeps the packed B panel
+// L2-resident.
+constexpr size_t kBaseBlock = 4096;
+
+// Strict "a ranks before b": higher score first, lower id on ties. Used
+// both as the heap ordering (top = worst kept neighbor) and as the final
+// sort, so every output list is deterministically ordered.
+inline bool BetterNeighbor(const Neighbor& a, const Neighbor& b) {
+  return a.score > b.score || (a.score == b.score && a.id < b.id);
+}
+
+// Row-normalized copy (the zero row stays zero, as in la::Cosine).
+la::Matrix NormalizedCopy(const la::Matrix& m) {
+  la::Matrix out = m;
+  la::NormalizeRows(out);
+  return out;
+}
+
+// Pushes the scores of base ids [b0, b1) for one query into its running
+// top-k heap. Ids arrive in ascending order and the comparison against the
+// current worst is strict, so equal-score candidates keep the lowest id.
+void HeapPushBlock(const float* scores, size_t b0, size_t b1, size_t k,
+                   std::vector<Neighbor>& heap) {
+  for (size_t b = b0; b < b1; ++b) {
+    const Neighbor candidate{static_cast<uint32_t>(b), scores[b - b0]};
+    if (heap.size() < k) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end(), BetterNeighbor);
+    } else if (BetterNeighbor(candidate, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), BetterNeighbor);
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end(), BetterNeighbor);
+    }
+  }
+}
+
+// Hamming candidates rank by (distance asc, id asc); the heap top is the
+// worst kept candidate, mirroring the brute tier's selection.
+struct HammingCandidate {
+  uint32_t id;
+  uint32_t dist;
+};
+
+inline bool BetterCandidate(const HammingCandidate& a,
+                            const HammingCandidate& b) {
+  return a.dist < b.dist || (a.dist == b.dist && a.id < b.id);
+}
+
+// Scans base ids [0, rows) keeping the `shortlist` smallest distances in
+// `heap`. `dist_of(r)` returns row r's Hamming distance to the query.
+// Once the heap is full, `worst` rejects most rows on a single integer
+// compare without touching the heap; rows tying the worst distance still
+// go through the id-aware comparator.
+template <typename DistFn>
+void HammingSelect(size_t rows, size_t shortlist,
+                   std::vector<HammingCandidate>& heap, DistFn dist_of) {
+  uint32_t worst = std::numeric_limits<uint32_t>::max();
+  for (size_t r = 0; r < rows; ++r) {
+    const uint32_t dist = dist_of(r);
+    if (dist > worst) continue;
+    const HammingCandidate candidate{static_cast<uint32_t>(r), dist};
+    if (heap.size() < shortlist) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end(), BetterCandidate);
+    } else if (BetterCandidate(candidate, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), BetterCandidate);
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end(), BetterCandidate);
+    } else {
+      continue;
+    }
+    if (heap.size() >= shortlist) worst = heap.front().dist;
+  }
+}
+
+// Word-count-specialized scan: the query sketch lives in a fixed-size
+// array the compiler keeps in registers and the popcount chain fully
+// unrolls, instead of re-walking a runtime-length loop per base row.
+template <size_t kWords>
+void HammingScanFixed(const uint64_t* codes, size_t rows,
+                      const uint64_t* qcode, size_t shortlist,
+                      std::vector<HammingCandidate>& heap) {
+  uint64_t q[kWords];
+  std::memcpy(q, qcode, sizeof(q));
+  HammingSelect(rows, shortlist, heap, [&](size_t r) {
+    const uint64_t* code = codes + r * kWords;
+    uint32_t dist = 0;
+    for (size_t w = 0; w < kWords; ++w) {
+      dist += static_cast<uint32_t>(__builtin_popcountll(q[w] ^ code[w]));
+    }
+    return dist;
+  });
+}
+
+void HammingScan(const uint64_t* codes, size_t rows, size_t words,
+                 const uint64_t* qcode, size_t shortlist,
+                 std::vector<HammingCandidate>& heap) {
+  switch (words) {
+    case 1:
+      return HammingScanFixed<1>(codes, rows, qcode, shortlist, heap);
+    case 2:
+      return HammingScanFixed<2>(codes, rows, qcode, shortlist, heap);
+    case 3:
+      return HammingScanFixed<3>(codes, rows, qcode, shortlist, heap);
+    case 4:
+      return HammingScanFixed<4>(codes, rows, qcode, shortlist, heap);
+    case 8:
+      return HammingScanFixed<8>(codes, rows, qcode, shortlist, heap);
+    default:
+      break;
+  }
+  HammingSelect(rows, shortlist, heap, [&](size_t r) {
+    const uint64_t* code = codes + r * words;
+    uint32_t dist = 0;
+    for (size_t w = 0; w < words; ++w) {
+      dist += static_cast<uint32_t>(__builtin_popcountll(qcode[w] ^
+                                                         code[w]));
+    }
+    return dist;
+  });
+}
+
+// Exact top-k over already-normalized operands. Parallel over query
+// chunks; each chunk walks base blocks in ascending-id order and selects
+// per query serially, so output depends only on the inputs.
+std::vector<std::vector<Neighbor>> BruteTopK(const la::Matrix& qnorm,
+                                             const la::Matrix& bnorm,
+                                             size_t k) {
+  const size_t num_queries = qnorm.rows();
+  const size_t num_base = bnorm.rows();
+  const size_t dim = qnorm.cols();
+  std::vector<std::vector<Neighbor>> results(num_queries);
+  k = std::min(k, num_base);
+  if (k == 0 || num_queries == 0) return results;
+
+  ParallelFor(0, num_queries, kQueryChunk, [&](size_t q0, size_t q1) {
+    const size_t chunk = q1 - q0;
+    std::vector<float> scores(chunk * kBaseBlock);
+    std::vector<std::vector<Neighbor>> heaps(chunk);
+    for (auto& heap : heaps) heap.reserve(k + 1);
+    for (size_t b0 = 0; b0 < num_base; b0 += kBaseBlock) {
+      const size_t b1 = std::min(num_base, b0 + kBaseBlock);
+      const size_t width = b1 - b0;
+      std::memset(scores.data(), 0, chunk * width * sizeof(float));
+      la::GemmBtAcc(qnorm.Row(q0), bnorm.Row(b0), scores.data(), chunk, dim,
+                    width);
+      for (size_t q = 0; q < chunk; ++q) {
+        HeapPushBlock(scores.data() + q * width, b0, b1, k, heaps[q]);
+      }
+    }
+    for (size_t q = 0; q < chunk; ++q) {
+      std::sort_heap(heaps[q].begin(), heaps[q].end(), BetterNeighbor);
+      results[q0 + q] = std::move(heaps[q]);
+    }
+  });
+  return results;
+}
+
+size_t RoundUpBits(size_t bits) {
+  const size_t words = (std::max<size_t>(bits, 1) + 63) / 64;
+  return words * 64;
+}
+
+}  // namespace
+
+IndexOptions IndexOptionsFromEnv() {
+  IndexOptions options;
+  const size_t mode =
+      ParseEnumEnv("STM_ANN", {"off", "auto", "lsh"}, /*fallback_index=*/1);
+  options.mode = mode == 0   ? AnnMode::kOff
+                 : mode == 2 ? AnnMode::kLsh
+                             : AnnMode::kAuto;
+  options.bits = ParseSizeEnv("STM_ANN_BITS", options.bits, 1, 1 << 14);
+  options.rerank = ParseSizeEnv("STM_ANN_RERANK", options.rerank, 1,
+                                std::numeric_limits<size_t>::max());
+  options.auto_min_rows =
+      ParseSizeEnv("STM_ANN_AUTO_ROWS", options.auto_min_rows, 1,
+                   std::numeric_limits<size_t>::max());
+  return options;
+}
+
+std::vector<std::vector<Neighbor>> TopKSimilar(const la::Matrix& queries,
+                                               const la::Matrix& base,
+                                               size_t k) {
+  if (queries.rows() == 0 || base.rows() == 0) {
+    return std::vector<std::vector<Neighbor>>(queries.rows());
+  }
+  STM_CHECK_EQ(queries.cols(), base.cols());
+  return BruteTopK(NormalizedCopy(queries), NormalizedCopy(base), k);
+}
+
+la::Matrix SimilarityPanel(const la::Matrix& queries, const la::Matrix& base) {
+  la::Matrix panel(queries.rows(), base.rows());
+  if (queries.rows() == 0 || base.rows() == 0) return panel;
+  STM_CHECK_EQ(queries.cols(), base.cols());
+  const la::Matrix qnorm = NormalizedCopy(queries);
+  const la::Matrix bnorm = NormalizedCopy(base);
+  la::GemmBt(qnorm, bnorm, panel);
+  return panel;
+}
+
+void ScoreNormalized(const float* query, const la::Matrix& base,
+                     float* scores) {
+  std::memset(scores, 0, base.rows() * sizeof(float));
+  la::GemmBtAcc(query, base.data(), scores, 1, base.cols(), base.rows());
+}
+
+Index Index::Build(const la::Matrix& base, const IndexOptions& options) {
+  Index index;
+  index.options_ = options;
+  index.options_.bits = RoundUpBits(options.bits);
+  index.base_ = NormalizedCopy(base);
+  index.use_lsh_ =
+      options.mode == AnnMode::kLsh ||
+      (options.mode == AnnMode::kAuto && base.rows() >= options.auto_min_rows);
+  if (!index.use_lsh_ || base.rows() == 0) {
+    index.use_lsh_ = index.use_lsh_ && base.rows() > 0;
+    return index;
+  }
+
+  const size_t bits = index.options_.bits;
+  const size_t dim = base.cols();
+  index.words_ = bits / 64;
+  index.planes_ = la::Matrix(bits, dim);
+  Rng rng(options.seed);
+  for (size_t i = 0; i < index.planes_.size(); ++i) {
+    index.planes_.data()[i] = static_cast<float>(rng.Normal());
+  }
+
+  // Sketch every base row: sign bits of planes * row, packed 64 per word.
+  // Row chunks write disjoint code regions and the projections come from
+  // the thread-count-invariant kernels, so the codes are deterministic.
+  index.codes_.assign(index.base_.rows() * index.words_, 0);
+  const la::Matrix& bnorm = index.base_;
+  la::Matrix& planes = index.planes_;
+  std::vector<uint64_t>& codes = index.codes_;
+  const size_t words = index.words_;
+  ParallelFor(0, bnorm.rows(), kQueryChunk, [&](size_t r0, size_t r1) {
+    const size_t chunk = r1 - r0;
+    std::vector<float> proj(chunk * bits, 0.0f);
+    la::GemmBtAcc(bnorm.Row(r0), planes.data(), proj.data(), chunk, dim,
+                  bits);
+    for (size_t r = 0; r < chunk; ++r) {
+      uint64_t* code = codes.data() + (r0 + r) * words;
+      const float* p = proj.data() + r * bits;
+      for (size_t b = 0; b < bits; ++b) {
+        if (p[b] >= 0.0f) code[b / 64] |= uint64_t{1} << (b % 64);
+      }
+    }
+  });
+  return index;
+}
+
+std::vector<std::vector<Neighbor>> Index::TopK(const la::Matrix& queries,
+                                               size_t k) const {
+  if (queries.rows() == 0 || base_.rows() == 0) {
+    return std::vector<std::vector<Neighbor>>(queries.rows());
+  }
+  STM_CHECK_EQ(queries.cols(), base_.cols());
+  const la::Matrix qnorm = NormalizedCopy(queries);
+  if (!use_lsh_) return BruteTopK(qnorm, base_, k);
+
+  const size_t num_queries = qnorm.rows();
+  const size_t num_base = base_.rows();
+  const size_t dim = base_.cols();
+  const size_t bits = options_.bits;
+  const size_t keep = std::min(k, num_base);
+  const size_t shortlist = std::min(std::max(options_.rerank, keep), num_base);
+  std::vector<std::vector<Neighbor>> results(num_queries);
+  if (keep == 0) return results;
+
+  // Each query is processed start-to-finish by one chunk, so results are
+  // independent of the thread count and of the other queries.
+  ParallelFor(0, num_queries, 1, [&](size_t q_begin, size_t q_end) {
+    std::vector<float> proj(bits);
+    std::vector<uint64_t> qcode(words_);
+    std::vector<HammingCandidate> heap;
+    std::vector<float> gathered;
+    std::vector<float> scores;
+    for (size_t q = q_begin; q < q_end; ++q) {
+      // 1. Sketch the query with the same planes as the base.
+      std::fill(proj.begin(), proj.end(), 0.0f);
+      la::GemmBtAcc(qnorm.Row(q), planes_.data(), proj.data(), 1, dim, bits);
+      std::fill(qcode.begin(), qcode.end(), 0);
+      for (size_t b = 0; b < bits; ++b) {
+        if (proj[b] >= 0.0f) qcode[b / 64] |= uint64_t{1} << (b % 64);
+      }
+
+      // 2. Candidate generation: `shortlist` smallest Hamming distances
+      // over the packed sketches, ascending-id ties.
+      heap.clear();
+      heap.reserve(shortlist + 1);
+      HammingScan(codes_.data(), num_base, words_, qcode.data(), shortlist,
+                  heap);
+
+      // 3. Exact rerank of the shortlist through the shared kernels, in
+      // ascending-id order so ties resolve exactly as the brute tier.
+      std::sort(heap.begin(), heap.end(),
+                [](const HammingCandidate& a, const HammingCandidate& b) {
+                  return a.id < b.id;
+                });
+      const size_t candidates = heap.size();
+      gathered.resize(candidates * dim);
+      for (size_t i = 0; i < candidates; ++i) {
+        std::memcpy(gathered.data() + i * dim, base_.Row(heap[i].id),
+                    dim * sizeof(float));
+      }
+      scores.assign(candidates, 0.0f);
+      la::GemmBtAcc(qnorm.Row(q), gathered.data(), scores.data(), 1, dim,
+                    candidates);
+      std::vector<Neighbor> reranked(candidates);
+      for (size_t i = 0; i < candidates; ++i) {
+        reranked[i] = Neighbor{heap[i].id, scores[i]};
+      }
+      std::sort(reranked.begin(), reranked.end(), BetterNeighbor);
+      reranked.resize(std::min(keep, reranked.size()));
+      results[q] = std::move(reranked);
+    }
+  });
+  return results;
+}
+
+std::vector<Neighbor> Index::TopK1(const float* query, size_t k) const {
+  la::Matrix one(1, dim());
+  std::memcpy(one.Row(0), query, dim() * sizeof(float));
+  std::vector<std::vector<Neighbor>> results = TopK(one, k);
+  return std::move(results[0]);
+}
+
+Status Index::Save(Env* env, const std::string& path) const {
+  BinaryWriter writer;
+  writer.WriteU64(base_.rows());
+  writer.WriteU32(static_cast<uint32_t>(base_.cols()));
+  writer.WriteU32(use_lsh_ ? 1 : 0);
+  writer.WriteU32(static_cast<uint32_t>(options_.bits));
+  writer.WriteU64(options_.rerank);
+  writer.WriteU64(options_.auto_min_rows);
+  writer.WriteU64(options_.seed);
+  writer.WriteFloats(base_.data(), base_.size());
+  if (use_lsh_) {
+    writer.WriteFloats(planes_.data(), planes_.size());
+    writer.WriteU64s(codes_);
+  }
+  return writer.FlushToEnv(env, path, kAnnIndexMagic);
+}
+
+StatusOr<Index> Index::Load(Env* env, const std::string& path) {
+  STM_ASSIGN_OR_RETURN(BinaryReader reader,
+                       BinaryReader::OpenArtifact(env, path, kAnnIndexMagic));
+  const auto corrupt = [&path](const char* what) {
+    return CorruptDataError(StrFormat("%s: %s", path.c_str(), what));
+  };
+  uint64_t rows = 0;
+  uint32_t dim = 0;
+  uint32_t use_lsh = 0;
+  uint32_t bits = 0;
+  Index index;
+  STM_RETURN_IF_ERROR(reader.Read(&rows));
+  STM_RETURN_IF_ERROR(reader.Read(&dim));
+  STM_RETURN_IF_ERROR(reader.Read(&use_lsh));
+  STM_RETURN_IF_ERROR(reader.Read(&bits));
+  STM_RETURN_IF_ERROR(reader.Read(&index.options_.rerank));
+  STM_RETURN_IF_ERROR(reader.Read(&index.options_.auto_min_rows));
+  STM_RETURN_IF_ERROR(reader.Read(&index.options_.seed));
+  if (dim == 0) return corrupt("zero embedding dimension");
+  if (use_lsh > 1) return corrupt("invalid tier flag");
+  if (bits == 0 || bits % 64 != 0) {
+    return corrupt("sketch bits not a positive multiple of 64");
+  }
+  index.options_.bits = bits;
+  index.options_.mode = use_lsh == 1 ? AnnMode::kLsh : AnnMode::kOff;
+  index.use_lsh_ = use_lsh == 1;
+
+  std::vector<float> base;
+  STM_RETURN_IF_ERROR(reader.Read(&base));
+  // Division, never multiplication: rows * dim could wrap for a hostile
+  // header even though the array length itself was bounds-checked.
+  if (rows != base.size() / dim || base.size() % dim != 0) {
+    return corrupt("base row count does not match stored floats");
+  }
+  index.base_ = la::Matrix(static_cast<size_t>(rows), dim);
+  std::memcpy(index.base_.data(), base.data(), base.size() * sizeof(float));
+
+  if (index.use_lsh_) {
+    index.words_ = bits / 64;
+    std::vector<float> planes;
+    STM_RETURN_IF_ERROR(reader.Read(&planes));
+    if (planes.size() != static_cast<size_t>(bits) * dim) {
+      return corrupt("hyperplane count does not match bits x dim");
+    }
+    index.planes_ = la::Matrix(bits, dim);
+    std::memcpy(index.planes_.data(), planes.data(),
+                planes.size() * sizeof(float));
+    STM_RETURN_IF_ERROR(reader.Read(&index.codes_));
+    if (index.codes_.size() != static_cast<size_t>(rows) * index.words_) {
+      return corrupt("sketch word count does not match rows x words");
+    }
+  }
+  STM_RETURN_IF_ERROR(reader.Finish());
+  return index;
+}
+
+Index Index::LoadOrBuild(Env* env, const std::string& path,
+                         const la::Matrix& base,
+                         const IndexOptions& options) {
+  StatusOr<Index> loaded = Load(env, path);
+  if (loaded.ok()) {
+    if (loaded->rows() == base.rows() && loaded->dim() == base.cols()) {
+      return std::move(loaded).value();
+    }
+    std::fprintf(stderr,
+                 "[stm] ANN index %s is for a %zux%zu base (want %zux%zu); "
+                 "rebuilding\n",
+                 path.c_str(), loaded->rows(), loaded->dim(), base.rows(),
+                 base.cols());
+  } else if (env->FileExists(path)) {
+    // Present but unreadable: torn write, bit rot, or stale format. Keep
+    // the bad bytes inspectable and rebuild, exactly as the MiniLm cache.
+    const std::string quarantine = path + ".corrupt";
+    std::fprintf(stderr, "[stm] quarantining bad ANN index %s -> %s (%s)\n",
+                 path.c_str(), quarantine.c_str(),
+                 loaded.status().ToString().c_str());
+    if (!env->Rename(path, quarantine).ok()) (void)env->Delete(path);
+  }
+  Index built = Build(base, options);
+  const Status saved = built.Save(env, path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "[stm] could not cache ANN index: %s\n",
+                 saved.ToString().c_str());
+  }
+  return built;
+}
+
+}  // namespace stm::ann

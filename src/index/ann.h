@@ -1,0 +1,144 @@
+#ifndef STM_INDEX_ANN_H_
+#define STM_INDEX_ANN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace stm::ann {
+
+// Top-k retrieval over dense embedding matrices, replacing the scalar
+// per-pair la::Cosine scans in the core methods. Two tiers:
+//
+//  * Brute force (the default, and the only tier TopKSimilar uses): both
+//    sides are row-normalized once, similarities are computed as blocked
+//    GemmBt panels through the shared kernel library, and each query's
+//    top-k is heap-selected while scanning base ids in ascending order.
+//    Because every (query, base) dot product folds the k extent in a
+//    fixed order through one MulAdd regime (see DESIGN.md 5d), a score is
+//    bit-identical no matter how the call is batched, blocked, or
+//    threaded — the ranking matches the scalar scans it replaces, with
+//    deterministic ties (higher score first, then lower id).
+//
+//  * LSH (Index only): signed random-hyperplane sketches packed into
+//    uint64 words; candidate generation ranks base rows by Hamming
+//    distance via popcount, then the top `rerank` candidates are reranked
+//    with exact dot products computed by the same kernels as the brute
+//    tier. Sublinear in work per query (bits*dim + rows*words versus
+//    rows*dim multiplies) and deterministic for a fixed seed, but
+//    approximate: recall is guarded by tests/ann_test.cc and bench_ann.
+//
+// Tier selection is STM_ANN=off|auto|lsh; `auto` (the default) enables
+// LSH only when the base has at least `auto_min_rows` rows, so the small
+// class-representation bases every core method scores against stay on
+// the exact tier and only genuinely large bases (vocabulary tables,
+// million-document corpora) pay the approximation.
+
+enum class AnnMode {
+  kOff,   // always brute force
+  kAuto,  // LSH when base rows >= auto_min_rows
+  kLsh,   // always LSH
+};
+
+struct IndexOptions {
+  AnnMode mode = AnnMode::kAuto;
+  // Hyperplanes per sketch; rounded up to a multiple of 64 at Build.
+  size_t bits = 128;
+  // Candidates per query that survive Hamming selection into the exact
+  // rerank (raised to k at query time when k is larger).
+  size_t rerank = 128;
+  // `auto` cutover: bases smaller than this stay exact.
+  size_t auto_min_rows = 16384;
+  // Hyperplane RNG seed; part of the index identity.
+  uint64_t seed = 0x414E4E31ULL;
+};
+
+// Options from the STM_ANN, STM_ANN_BITS, STM_ANN_RERANK and
+// STM_ANN_AUTO_ROWS knobs (validated via common/env_parse; a malformed
+// value warns once and keeps the default).
+IndexOptions IndexOptionsFromEnv();
+
+struct Neighbor {
+  uint32_t id = 0;
+  float score = 0.0f;
+};
+
+// Exact batched top-k: for every query row, the `k` base rows with the
+// highest cosine similarity (computed as dot products of row-normalized
+// copies), sorted by descending score with ascending-id ties. `k` is
+// clamped to base.rows(). Output is bit-identical for any STM_NUM_THREADS
+// and any permutation of the query rows. Zero rows score 0 against
+// everything, matching la::Cosine's zero-vector contract.
+std::vector<std::vector<Neighbor>> TopKSimilar(const la::Matrix& queries,
+                                               const la::Matrix& base,
+                                               size_t k);
+
+// Full similarity panel (queries.rows() x base.rows()) over row-normalized
+// copies of both sides, for call sites that need every score rather than a
+// top-k (attention weights, sampling temperatures). Same blocked kernels
+// and bit-identity guarantees as TopKSimilar.
+la::Matrix SimilarityPanel(const la::Matrix& queries, const la::Matrix& base);
+
+// Scores one already-normalized query row against every row of an
+// already-normalized base — the single-request serving path. `scores`
+// must hold base.rows() floats. Bit-identical to the corresponding row of
+// SimilarityPanel over the raw matrices when `query` / `base` were
+// normalized exactly once.
+void ScoreNormalized(const float* query, const la::Matrix& base,
+                     float* scores);
+
+// A reusable index over one base matrix. Build normalizes (a copy of) the
+// base once and, when the LSH tier is selected, sketches it; queries then
+// pay O(rows * dim) GEMM work on the brute tier or
+// O(bits * dim + rows * words + rerank * dim) on the LSH tier.
+class Index {
+ public:
+  Index() = default;
+
+  static Index Build(const la::Matrix& base,
+                     const IndexOptions& options = IndexOptionsFromEnv());
+
+  size_t rows() const { return base_.rows(); }
+  size_t dim() const { return base_.cols(); }
+  bool lsh_enabled() const { return use_lsh_; }
+  const IndexOptions& options() const { return options_; }
+
+  // Top-k per query row; same contract as TopKSimilar on the brute tier.
+  // On the LSH tier results are deterministic (thread count, query order)
+  // but approximate.
+  std::vector<std::vector<Neighbor>> TopK(const la::Matrix& queries,
+                                          size_t k) const;
+
+  // Single-query convenience; `query` has dim() entries.
+  std::vector<Neighbor> TopK1(const float* query, size_t k) const;
+
+  // ---- durable "STMA" artifact (framed container, see common/serialize)
+  // so a large index is built once and loaded at serve startup. ----
+  Status Save(Env* env, const std::string& path) const;
+  static StatusOr<Index> Load(Env* env, const std::string& path);
+
+  // Loads `path` when it exists and matches `base`'s shape; otherwise
+  // builds from `base` and saves. A file that exists but will not load
+  // (torn write, bit rot) is quarantined as <path>.corrupt and rebuilt —
+  // never trusted, never fatal.
+  static Index LoadOrBuild(Env* env, const std::string& path,
+                           const la::Matrix& base,
+                           const IndexOptions& options = IndexOptionsFromEnv());
+
+ private:
+  IndexOptions options_;
+  bool use_lsh_ = false;
+  la::Matrix base_;    // row-normalized copy of the build input
+  la::Matrix planes_;  // bits x dim gaussian hyperplanes (LSH tier only)
+  std::vector<uint64_t> codes_;  // rows() * words_ packed sign sketches
+  size_t words_ = 0;             // uint64 words per sketch (= bits / 64)
+};
+
+}  // namespace stm::ann
+
+#endif  // STM_INDEX_ANN_H_

@@ -1,0 +1,445 @@
+// Recall and determinism guardrails for the src/index retrieval tiers:
+// the brute-force tier must rank exactly like the scalar la::Cosine scans
+// it replaced (same argmax ids, lowest-id ties) bitwise-identically at any
+// thread count and under query permutation; the LSH tier must hold
+// recall@10 >= 0.95 on clustered embeddings; and the STMA artifact must
+// round-trip bitwise and quarantine (never crash on) corrupted bytes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "index/ann.h"
+#include "la/matrix.h"
+
+namespace stm {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// Restores one environment variable on scope exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = ::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, /*overwrite=*/1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+// Restores the pool to the ambient default when a test resizes it.
+class ScopedThreads {
+ public:
+  ~ScopedThreads() { ThreadPool::Reset(0); }
+};
+
+la::Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  la::Matrix m(rows, cols);
+  Rng rng(seed);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Normal());
+  }
+  return m;
+}
+
+// Clustered synthetic embeddings: `clusters` gaussian centers, points =
+// center + small noise. Returns the data; true neighbors of a point
+// concentrate in its own cluster, the regime LSH must handle.
+la::Matrix ClusteredMatrix(size_t rows, size_t cols, size_t clusters,
+                           uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix centers(clusters, cols);
+  for (size_t i = 0; i < centers.size(); ++i) {
+    centers.data()[i] = static_cast<float>(rng.Normal());
+  }
+  la::Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    const float* center = centers.Row(r % clusters);
+    float* row = m.Row(r);
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] = center[c] + 0.15f * static_cast<float>(rng.Normal());
+    }
+  }
+  return m;
+}
+
+// The scalar scan every converted call site used to run: la::Cosine per
+// pair, strict > argmax (first maximum wins).
+size_t ScalarArgmax(const float* query, const la::Matrix& base) {
+  float best = -2.0f;
+  size_t best_id = 0;
+  for (size_t r = 0; r < base.rows(); ++r) {
+    const float sim = la::Cosine(query, base.Row(r), base.cols());
+    if (sim > best) {
+      best = sim;
+      best_id = r;
+    }
+  }
+  return best_id;
+}
+
+TEST(AnnBruteTest, MatchesScalarArgmax) {
+  const la::Matrix queries = RandomMatrix(40, 24, /*seed=*/1);
+  const la::Matrix base = RandomMatrix(300, 24, /*seed=*/2);
+  const std::vector<std::vector<ann::Neighbor>> top =
+      ann::TopKSimilar(queries, base, 1);
+  ASSERT_EQ(top.size(), queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    ASSERT_EQ(top[q].size(), 1u);
+    EXPECT_EQ(top[q][0].id, ScalarArgmax(queries.Row(q), base))
+        << "query " << q;
+  }
+}
+
+TEST(AnnBruteTest, MatchesScalarFullRanking) {
+  // Full ordering, not just the argmax: k = rows must reproduce the
+  // scalar sort by (similarity desc, id asc).
+  const la::Matrix queries = RandomMatrix(10, 16, /*seed=*/3);
+  const la::Matrix base = RandomMatrix(64, 16, /*seed=*/4);
+  const std::vector<std::vector<ann::Neighbor>> top =
+      ann::TopKSimilar(queries, base, base.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    std::vector<std::pair<float, size_t>> scored;
+    for (size_t r = 0; r < base.rows(); ++r) {
+      scored.emplace_back(
+          la::Cosine(queries.Row(q), base.Row(r), base.cols()), r);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a,
+                                               const auto& b) {
+      return a.first > b.first || (a.first == b.first && a.second < b.second);
+    });
+    ASSERT_EQ(top[q].size(), base.rows());
+    for (size_t i = 0; i < base.rows(); ++i) {
+      EXPECT_EQ(top[q][i].id, scored[i].second)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST(AnnBruteTest, TiesResolveToLowestId) {
+  // Rows 3 and 7 are identical; both tie exactly (identical float inputs
+  // produce identical scores), so 3 must rank ahead of 7.
+  la::Matrix base = RandomMatrix(10, 8, /*seed=*/5);
+  base.SetRow(7, base.RowVec(3));
+  la::Matrix query(1, 8);
+  query.SetRow(0, base.RowVec(3));
+  const std::vector<std::vector<ann::Neighbor>> top =
+      ann::TopKSimilar(query, base, 2);
+  ASSERT_EQ(top[0].size(), 2u);
+  EXPECT_EQ(top[0][0].id, 3u);
+  EXPECT_EQ(top[0][1].id, 7u);
+  EXPECT_EQ(std::memcmp(&top[0][0].score, &top[0][1].score, sizeof(float)),
+            0);
+}
+
+TEST(AnnBruteTest, BitwiseDeterministicAcrossThreadCounts) {
+  const la::Matrix queries = RandomMatrix(33, 48, /*seed=*/6);
+  const la::Matrix base = RandomMatrix(500, 48, /*seed=*/7);
+  ScopedThreads guard;
+  ThreadPool::Reset(1);
+  const std::vector<std::vector<ann::Neighbor>> want =
+      ann::TopKSimilar(queries, base, 5);
+  for (const size_t threads : {2, 4}) {
+    ThreadPool::Reset(threads);
+    const std::vector<std::vector<ann::Neighbor>> got =
+        ann::TopKSimilar(queries, base, 5);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t q = 0; q < want.size(); ++q) {
+      ASSERT_EQ(got[q].size(), want[q].size());
+      for (size_t i = 0; i < want[q].size(); ++i) {
+        EXPECT_EQ(got[q][i].id, want[q][i].id);
+        EXPECT_EQ(std::memcmp(&got[q][i].score, &want[q][i].score,
+                              sizeof(float)),
+                  0)
+            << threads << " threads, query " << q << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST(AnnBruteTest, BitwiseInvariantUnderQueryPermutation) {
+  const la::Matrix queries = RandomMatrix(21, 32, /*seed=*/8);
+  const la::Matrix base = RandomMatrix(200, 32, /*seed=*/9);
+  const std::vector<std::vector<ann::Neighbor>> want =
+      ann::TopKSimilar(queries, base, 3);
+
+  Rng rng(10);
+  const std::vector<size_t> perm = rng.Permutation(queries.rows());
+  la::Matrix shuffled(queries.rows(), queries.cols());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    shuffled.SetRow(q, queries.RowVec(perm[q]));
+  }
+  const std::vector<std::vector<ann::Neighbor>> got =
+      ann::TopKSimilar(shuffled, base, 3);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    ASSERT_EQ(got[q].size(), want[perm[q]].size());
+    for (size_t i = 0; i < got[q].size(); ++i) {
+      EXPECT_EQ(got[q][i].id, want[perm[q]][i].id);
+      EXPECT_EQ(std::memcmp(&got[q][i].score, &want[perm[q]][i].score,
+                            sizeof(float)),
+                0);
+    }
+  }
+}
+
+TEST(AnnBruteTest, ClampsAndEdgeCases) {
+  const la::Matrix base = RandomMatrix(4, 8, /*seed=*/11);
+  la::Matrix queries = RandomMatrix(2, 8, /*seed=*/12);
+  // k larger than the base clamps.
+  EXPECT_EQ(ann::TopKSimilar(queries, base, 99)[0].size(), base.rows());
+  // Empty query set.
+  EXPECT_TRUE(ann::TopKSimilar(la::Matrix(0, 8), base, 3).empty());
+  // A zero query scores 0 everywhere (la::Cosine's zero-vector contract)
+  // and ties resolve to ascending ids.
+  queries.SetRow(0, std::vector<float>(8, 0.0f));
+  const std::vector<std::vector<ann::Neighbor>> top =
+      ann::TopKSimilar(queries, base, 2);
+  EXPECT_EQ(top[0][0].score, 0.0f);
+  EXPECT_EQ(top[0][0].id, 0u);
+  EXPECT_EQ(top[0][1].id, 1u);
+}
+
+TEST(AnnLshTest, RecallAtTenOnClusteredEmbeddings) {
+  const size_t kRows = 4000;
+  const size_t kDim = 32;
+  const size_t kQueries = 100;
+  const size_t kK = 10;
+  // Base and queries drawn from the same cluster structure (one sample,
+  // split), so each query's true neighbors concentrate in its cluster.
+  const la::Matrix all = ClusteredMatrix(kRows + kQueries, kDim,
+                                         /*clusters=*/25, /*seed=*/13);
+  la::Matrix base(kRows, kDim);
+  la::Matrix queries(kQueries, kDim);
+  for (size_t r = 0; r < kRows; ++r) base.SetRow(r, all.RowVec(r));
+  for (size_t q = 0; q < kQueries; ++q) {
+    queries.SetRow(q, all.RowVec(kRows + q));
+  }
+
+  ann::IndexOptions options;
+  options.mode = ann::AnnMode::kLsh;
+  options.bits = 256;
+  options.rerank = 200;
+  const ann::Index index = ann::Index::Build(base, options);
+  ASSERT_TRUE(index.lsh_enabled());
+
+  const std::vector<std::vector<ann::Neighbor>> exact =
+      ann::TopKSimilar(queries, base, kK);
+  const std::vector<std::vector<ann::Neighbor>> approx =
+      index.TopK(queries, kK);
+  size_t hits = 0;
+  for (size_t q = 0; q < kQueries; ++q) {
+    ASSERT_EQ(approx[q].size(), kK);
+    for (const ann::Neighbor& n : approx[q]) {
+      for (const ann::Neighbor& e : exact[q]) {
+        if (n.id == e.id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  const double recall =
+      static_cast<double>(hits) / static_cast<double>(kQueries * kK);
+  EXPECT_GE(recall, 0.95) << "recall@10 over clustered embeddings";
+}
+
+TEST(AnnLshTest, DeterministicForFixedSeed) {
+  const la::Matrix base = ClusteredMatrix(1000, 16, 10, /*seed=*/15);
+  const la::Matrix queries = ClusteredMatrix(20, 16, 10, /*seed=*/16);
+  ann::IndexOptions options;
+  options.mode = ann::AnnMode::kLsh;
+  const ann::Index index = ann::Index::Build(base, options);
+
+  ScopedThreads guard;
+  ThreadPool::Reset(1);
+  const std::vector<std::vector<ann::Neighbor>> want =
+      index.TopK(queries, 7);
+  ThreadPool::Reset(4);
+  const std::vector<std::vector<ann::Neighbor>> got = index.TopK(queries, 7);
+  for (size_t q = 0; q < want.size(); ++q) {
+    ASSERT_EQ(got[q].size(), want[q].size());
+    for (size_t i = 0; i < want[q].size(); ++i) {
+      EXPECT_EQ(got[q][i].id, want[q][i].id);
+      EXPECT_EQ(std::memcmp(&got[q][i].score, &want[q][i].score,
+                            sizeof(float)),
+                0);
+    }
+  }
+}
+
+TEST(AnnLshTest, AutoCutoverSelectsTier) {
+  ann::IndexOptions options;
+  options.mode = ann::AnnMode::kAuto;
+  options.auto_min_rows = 64;
+  EXPECT_FALSE(
+      ann::Index::Build(RandomMatrix(63, 8, 17), options).lsh_enabled());
+  EXPECT_TRUE(
+      ann::Index::Build(RandomMatrix(64, 8, 18), options).lsh_enabled());
+  options.mode = ann::AnnMode::kOff;
+  EXPECT_FALSE(
+      ann::Index::Build(RandomMatrix(64, 8, 19), options).lsh_enabled());
+}
+
+TEST(AnnArtifactTest, RoundTripIsBitwiseIdentical) {
+  Env* env = Env::Default();
+  for (const bool lsh : {false, true}) {
+    const la::Matrix base = ClusteredMatrix(300, 12, 6, /*seed=*/20);
+    const la::Matrix queries = ClusteredMatrix(15, 12, 6, /*seed=*/21);
+    ann::IndexOptions options;
+    options.mode = lsh ? ann::AnnMode::kLsh : ann::AnnMode::kOff;
+    const ann::Index built = ann::Index::Build(base, options);
+    const std::string path =
+        TestPath(lsh ? "ann_rt_lsh.stma" : "ann_rt_brute.stma");
+    ASSERT_TRUE(built.Save(env, path).ok());
+
+    StatusOr<ann::Index> loaded = ann::Index::Load(env, path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->rows(), built.rows());
+    EXPECT_EQ(loaded->dim(), built.dim());
+    EXPECT_EQ(loaded->lsh_enabled(), lsh);
+
+    const std::vector<std::vector<ann::Neighbor>> want =
+        built.TopK(queries, 5);
+    const std::vector<std::vector<ann::Neighbor>> got =
+        loaded->TopK(queries, 5);
+    for (size_t q = 0; q < want.size(); ++q) {
+      ASSERT_EQ(got[q].size(), want[q].size());
+      for (size_t i = 0; i < want[q].size(); ++i) {
+        EXPECT_EQ(got[q][i].id, want[q][i].id);
+        EXPECT_EQ(std::memcmp(&got[q][i].score, &want[q][i].score,
+                              sizeof(float)),
+                  0);
+      }
+    }
+  }
+}
+
+TEST(AnnArtifactTest, CorruptedBytesYieldCorruptDataNeverCrash) {
+  Env* env = Env::Default();
+  const la::Matrix base = ClusteredMatrix(200, 8, 4, /*seed=*/22);
+  ann::IndexOptions options;
+  options.mode = ann::AnnMode::kLsh;
+  const std::string path = TestPath("ann_corrupt.stma");
+  ASSERT_TRUE(ann::Index::Build(base, options).Save(env, path).ok());
+
+  StatusOr<std::string> bytes = env->ReadFile(path);
+  ASSERT_TRUE(bytes.ok());
+  // Flip one byte at every stride through the file: frame, header fields,
+  // payload arrays and trailer all get hit.
+  for (size_t pos = 0; pos < bytes->size(); pos += 97) {
+    std::string mutated = *bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x40);
+    ASSERT_TRUE(env->WriteFileAtomic(path, mutated).ok());
+    StatusOr<ann::Index> loaded = ann::Index::Load(env, path);
+    EXPECT_FALSE(loaded.ok()) << "flip at " << pos;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptData)
+        << "flip at " << pos;
+  }
+
+  // Truncations at every boundary must also be rejected cleanly.
+  for (const size_t keep : {0u, 3u, 17u, 40u}) {
+    ASSERT_TRUE(
+        env->WriteFileAtomic(path, bytes->substr(0, keep)).ok());
+    StatusOr<ann::Index> loaded = ann::Index::Load(env, path);
+    EXPECT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptData);
+  }
+}
+
+TEST(AnnArtifactTest, LoadOrBuildQuarantinesTornWriteAndRebuilds) {
+  Env* base_env = Env::Default();
+  FaultInjectingEnv env(base_env);
+  const la::Matrix base = ClusteredMatrix(150, 8, 3, /*seed=*/23);
+  ann::IndexOptions options;
+  options.mode = ann::AnnMode::kLsh;
+  const std::string path = TestPath("ann_torn.stma");
+  (void)base_env->Delete(path);
+  (void)base_env->Delete(path + ".corrupt");
+
+  // A torn write leaves a half-published artifact behind.
+  env.ShortWriteNext(64);
+  ASSERT_TRUE(ann::Index::Build(base, options).Save(&env, path).ok());
+  ASSERT_TRUE(ann::Index::Load(&env, path).status().code() ==
+              StatusCode::kCorruptData);
+
+  // LoadOrBuild must quarantine the bad file, rebuild, and re-save a
+  // loadable index.
+  const ann::Index rebuilt = ann::Index::LoadOrBuild(&env, path, base,
+                                                     options);
+  EXPECT_EQ(rebuilt.rows(), base.rows());
+  EXPECT_TRUE(env.FileExists(path + ".corrupt"));
+  StatusOr<ann::Index> reloaded = ann::Index::Load(&env, path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->rows(), base.rows());
+
+  // A cached index for a different base shape is rebuilt, not served.
+  const la::Matrix other = ClusteredMatrix(75, 8, 3, /*seed=*/24);
+  const ann::Index reshaped = ann::Index::LoadOrBuild(&env, path, other,
+                                                      options);
+  EXPECT_EQ(reshaped.rows(), other.rows());
+}
+
+TEST(AnnEnvTest, KnobsParseThroughEnvParse) {
+  {
+    ScopedEnv mode("STM_ANN", "lsh");
+    ScopedEnv bits("STM_ANN_BITS", "192");
+    ScopedEnv rerank("STM_ANN_RERANK", "64");
+    ScopedEnv auto_rows("STM_ANN_AUTO_ROWS", "1000");
+    const ann::IndexOptions options = ann::IndexOptionsFromEnv();
+    EXPECT_EQ(options.mode, ann::AnnMode::kLsh);
+    EXPECT_EQ(options.bits, 192u);
+    EXPECT_EQ(options.rerank, 64u);
+    EXPECT_EQ(options.auto_min_rows, 1000u);
+  }
+  {
+    ScopedEnv mode("STM_ANN", "off");
+    EXPECT_EQ(ann::IndexOptionsFromEnv().mode, ann::AnnMode::kOff);
+  }
+  {
+    // Malformed values warn and keep the defaults.
+    ScopedEnv mode("STM_ANN", "bogus");
+    ScopedEnv bits("STM_ANN_BITS", "not-a-number");
+    const ann::IndexOptions options = ann::IndexOptionsFromEnv();
+    const ann::IndexOptions defaults;
+    EXPECT_EQ(options.mode, defaults.mode);
+    EXPECT_EQ(options.bits, defaults.bits);
+  }
+  {
+    // Non-multiple-of-64 bit widths round up at Build.
+    ScopedEnv mode("STM_ANN", "lsh");
+    ScopedEnv bits("STM_ANN_BITS", "100");
+    const ann::Index index =
+        ann::Index::Build(RandomMatrix(32, 8, 25), ann::IndexOptionsFromEnv());
+    EXPECT_EQ(index.options().bits, 128u);
+  }
+}
+
+}  // namespace
+}  // namespace stm

@@ -25,6 +25,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/serve_adapters.h"
+#include "index/ann.h"
 #include "la/matrix.h"
 #include "nn/feature_classifier.h"
 #include "nn/text_classifier.h"
@@ -157,22 +158,15 @@ class ServeTest : public ::testing::Test {
   }
 
   // Batch-path reference for the simple-match adapter: full-corpus
-  // PoolBatch + cosine argmax, exactly as PlmSimpleMatchClassify.
+  // PoolBatch + batched top-1 retrieval, exactly as PlmSimpleMatchClassify.
   static std::vector<int> BatchSimpleMatch() {
     const la::Matrix class_reps = model_->PoolBatch(*class_names_);
     const la::Matrix doc_reps = model_->PoolBatch(*docs_);
-    const size_t dim = doc_reps.cols();
+    const std::vector<std::vector<ann::Neighbor>> top =
+        ann::TopKSimilar(doc_reps, class_reps, 1);
     std::vector<int> predictions(docs_->size(), 0);
     for (size_t d = 0; d < docs_->size(); ++d) {
-      float best = -2.0f;
-      for (size_t c = 0; c < class_reps.rows(); ++c) {
-        const float sim =
-            la::Cosine(doc_reps.Row(d), class_reps.Row(c), dim);
-        if (sim > best) {
-          best = sim;
-          predictions[d] = static_cast<int>(c);
-        }
-      }
+      predictions[d] = static_cast<int>(top[d][0].id);
     }
     return predictions;
   }
@@ -256,14 +250,16 @@ TEST_F(ServeTest, ServeMatchesBatchAnyThreadCount) {
 }
 
 TEST_F(ServeTest, PooledScoresBitIdenticalToBatchPool) {
-  // Stronger than label equality: the cosine scores the serve path
-  // computes must be bitwise what the batch path computes, which can only
-  // hold if the pooled vectors themselves are bit-identical.
+  // Stronger than label equality: the similarity scores the serve path
+  // computes (one normalize + GEMV per request) must be bitwise what the
+  // batch retrieval panel computes over the full corpus, which can only
+  // hold if the pooled vectors themselves are bit-identical AND both
+  // paths run the same normalize-once + kernel-dot float operations.
   ServeGuard guard;
   plm::SetQuantInference(0);
   const la::Matrix class_reps = model_->PoolBatch(*class_names_);
   const la::Matrix doc_reps = model_->PoolBatch(*docs_);
-  const size_t dim = doc_reps.cols();
+  const la::Matrix panel = ann::SimilarityPanel(doc_reps, class_reps);
 
   serve::Server server(model_, serve::ServeOptions{});
   server.Register("match",
@@ -273,7 +269,7 @@ TEST_F(ServeTest, PooledScoresBitIdenticalToBatchPool) {
     ASSERT_TRUE(got.ok());
     ASSERT_EQ(got->scores.size(), class_reps.rows());
     for (size_t c = 0; c < class_reps.rows(); ++c) {
-      const float want = la::Cosine(doc_reps.Row(d), class_reps.Row(c), dim);
+      const float want = panel.At(d, c);
       EXPECT_EQ(std::memcmp(&want, &got->scores[c], sizeof(float)), 0)
           << "doc " << d << " class " << c;
     }
