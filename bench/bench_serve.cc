@@ -3,8 +3,12 @@
 // generator offers 70% of that rate with paced arrivals (submission times
 // never depend on completions, so queueing delay is measured honestly)
 // and reports achieved QPS, p50/p99 latency and shed count, in fp32 and
-// int8. With STM_BENCH_JSON=<path> every number is recorded for scripted
-// comparison (bench/run_benches.sh commits them as BENCH_serve.json).
+// int8. A final overload phase offers 1.5x the fp32 saturated rate with a
+// 25 ms client deadline and compares a shed-only server against the
+// degradation ladder (STM_SERVE_DEGRADE=auto), reporting goodput, shed
+// rate and deadline-miss rate. With STM_BENCH_JSON=<path> every number is
+// recorded for scripted comparison (bench/run_benches.sh commits them as
+// BENCH_serve.json).
 //
 //   ./bench_serve            full sweep (respects STM_NUM_THREADS and the
 //                            STM_SERVE_* knobs; see src/serve/serve.h)
@@ -15,6 +19,7 @@
 //                            with kUnavailable
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -88,6 +93,18 @@ std::vector<std::vector<int32_t>> ClassNames(size_t classes) {
                                           classes + c)});
   }
   return names;
+}
+
+// Registration happens before the first Submit, so a failure here is a
+// bench bug; report it and let the caller abort the run.
+bool MustRegister(serve::Server& server, const std::string& name,
+                  std::shared_ptr<const serve::Classifier> classifier) {
+  const Status status = server.Register(name, std::move(classifier));
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAIL: Register(%s): %s\n", name.c_str(),
+                 status.ToString().c_str());
+  }
+  return status.ok();
 }
 
 double Percentile(std::vector<double> values, double q) {
@@ -171,6 +188,96 @@ LoadResult OpenLoopPhase(serve::Server& server,
   return result;
 }
 
+struct OverloadResult {
+  double offered_qps = 0.0;
+  double goodput_qps = 0.0;  // ok answers delivered within the deadline
+  double shed_rate = 0.0;    // kUnavailable rejections / offered
+  double miss_rate = 0.0;    // kDeadlineExceeded + late-ok / offered
+  double p50_ms = 0.0;       // client-side latency of ok answers
+  double p99_ms = 0.0;
+  uint64_t degraded = 0;     // ok answers with Prediction::degraded set
+};
+
+// Overload: the offered rate exceeds what the server can sustain, so the
+// question is what the excess turns into. Goodput counts an answer only
+// if it arrived ok within `deadline_ms` measured CLIENT-side (Submit to
+// future-ready) — the number an end user experiences, stricter than the
+// server-side admission-to-delivery latency. A collector thread waits on
+// futures in submission order while the generator paces arrivals;
+// batching drains FIFO, so order-based ready timestamps overestimate
+// latency only marginally.
+OverloadResult OverloadPhase(serve::Server& server,
+                             const std::vector<std::vector<int32_t>>& docs,
+                             double offered_qps, double seconds,
+                             double deadline_ms, bool with_deadline) {
+  using Clock = std::chrono::steady_clock;
+  const size_t requests =
+      static_cast<size_t>(std::max(1.0, offered_qps * seconds));
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / offered_qps));
+
+  std::vector<std::future<StatusOr<serve::Prediction>>> futures(requests);
+  std::vector<Clock::time_point> submitted(requests);
+  std::atomic<size_t> produced{0};
+
+  size_t good = 0;
+  size_t shed = 0;
+  size_t missed = 0;
+  uint64_t degraded = 0;
+  std::vector<double> ok_latency_ms;
+  std::thread collector([&] {
+    for (size_t i = 0; i < requests; ++i) {
+      while (produced.load(std::memory_order_acquire) <= i) {
+        std::this_thread::yield();
+      }
+      const StatusOr<serve::Prediction> result = futures[i].get();
+      const double ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - submitted[i])
+                            .count();
+      if (result.ok()) {
+        ok_latency_ms.push_back(ms);
+        if (result->degraded) ++degraded;
+        if (ms <= deadline_ms) {
+          ++good;
+        } else {
+          ++missed;  // delivered, but past the client's deadline
+        }
+      } else if (result.status().code() == StatusCode::kUnavailable) {
+        ++shed;
+      } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+        ++missed;
+      }
+    }
+  });
+
+  serve::SubmitOptions submit;
+  if (with_deadline) submit.deadline_ms = deadline_ms;
+  const Clock::time_point start = Clock::now();
+  WallTimer timer;
+  for (size_t i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(start + interval * i);
+    submitted[i] = Clock::now();
+    futures[i] = server.Submit("match", docs[i % docs.size()], submit);
+    produced.store(i + 1, std::memory_order_release);
+  }
+  collector.join();
+  const double elapsed = timer.Seconds();
+  (void)server.TakeLatenciesMs();  // the report uses client-side numbers
+
+  OverloadResult result;
+  result.offered_qps = offered_qps;
+  result.goodput_qps =
+      elapsed > 0 ? static_cast<double>(good) / elapsed : 0.0;
+  result.shed_rate =
+      static_cast<double>(shed) / static_cast<double>(requests);
+  result.miss_rate =
+      static_cast<double>(missed) / static_cast<double>(requests);
+  result.p50_ms = Percentile(ok_latency_ms, 0.50);
+  result.p99_ms = Percentile(ok_latency_ms, 0.99);
+  result.degraded = degraded;
+  return result;
+}
+
 int RunSweep() {
   const size_t kVocab = 1000;
   const auto docs = SkewedCorpus(512, kVocab, 99);
@@ -183,6 +290,9 @@ int RunSweep() {
       {"burst_qps", "offered_qps", "achieved_qps", "p50_ms", "p99_ms",
        "shed"});
 
+  double fp32_burst = 0.0;
+  double fp32_goodput = 0.0;  // pre-overload achieved qps at 0.7x burst
+
   for (const bool quant : {false, true}) {
     const std::string prefix = quant ? "int8" : "fp32";
     plm::SetQuantInference(quant ? 1 : 0);
@@ -190,8 +300,10 @@ int RunSweep() {
     serve::ServeOptions options = serve::ServeOptionsFromEnv();
     options.queue_depth = 4096;
     serve::Server server(model.get(), options);
-    server.Register("match",
-                    core::MakePlmSimpleMatchServable(model.get(), names));
+    if (!MustRegister(server, "match", core::MakePlmSimpleMatchServable(
+                                           model.get(), names))) {
+      return 1;
+    }
 
     bench::Progress(prefix + ": warmup");
     (void)server.Serve("match", docs[0]);  // freeze/pack once
@@ -206,6 +318,10 @@ int RunSweep() {
                     " qps");
     LoadResult load = OpenLoopPhase(server, docs, offered, 2.0);
     load.burst_qps = burst;
+    if (!quant) {
+      fp32_burst = burst;
+      fp32_goodput = load.achieved_qps;
+    }
     bench::Progress(prefix + ": p50 " + std::to_string(load.p50_ms) +
                     "ms p99 " + std::to_string(load.p99_ms) + "ms");
 
@@ -220,8 +336,86 @@ int RunSweep() {
                  {load.burst_qps, load.offered_qps, load.achieved_qps,
                   load.p50_ms, load.p99_ms, static_cast<double>(load.shed)});
   }
+
+  // ---- overload comparison: shed-only vs the degradation ladder ----
+  //
+  // Offered load is 1.5x the fp32 saturated rate with a 25 ms client
+  // deadline. "off" is the shed-only server: no request deadlines, no
+  // ladder; the queue fills, every queued answer arrives tens of
+  // milliseconds late, and goodput collapses to the handful of requests
+  // served before the backlog built. "auto" submits the same stream with
+  // 25 ms deadlines against a degrade_auto server: requests that expired
+  // while queued are failed cheaply at drain (never encoded), sustained
+  // pressure steps the encoder down the ladder to int8, and goodput
+  // should hold at >= 80% of the pre-overload (0.7x burst) rate.
+  plm::SetQuantInference(0);  // the ladder's full tier is fp32
+  const double kClientDeadlineMs = 25.0;
+  const double overload_qps = 1.5 * fp32_burst;
+  bench::Table overload_table(
+      "Overload (1.5x fp32 burst, 25 ms client deadline): shed-only vs "
+      "degradation ladder",
+      {"offered_qps", "goodput_qps", "shed_rate", "miss_rate", "p50_ms",
+       "p99_ms"});
+  auto& json = bench::BenchJsonWriter::Instance();
+  json.Record("serve", "overload_offered_qps", overload_qps);
+  json.Record("serve", "overload_pre_goodput_qps", fp32_goodput);
+
+  for (const bool ladder : {false, true}) {
+    const std::string mode = ladder ? "auto" : "off";
+    serve::ServeOptions options = serve::ServeOptionsFromEnv();
+    options.queue_depth = 128;
+    if (ladder) {
+      options.degrade_auto = true;
+      options.degrade_alpha = 0.05;
+      options.degrade_high_water = 0.5;
+      options.degrade_low_water = 0.1;
+      // Pressure samples arrive at the offered rate (thousands/s), so
+      // dwell counts translate to wall time: 256 up-samples ~ 80 ms,
+      // long enough for the int8 tier to drain the fp32 backlog before
+      // the ladder concludes it needs the next step down.
+      options.degrade_dwell_up = 256;
+      options.degrade_dwell_down = 4096;
+    }
+    serve::Server server(model.get(), options);
+    if (!MustRegister(server, "match", core::MakePlmSimpleMatchServable(
+                                           model.get(), names))) {
+      return 1;
+    }
+    bench::Progress("overload " + mode + ": warmup");
+    (void)server.Serve("match", docs[0]);  // freeze/pack once
+    (void)server.TakeLatenciesMs();
+
+    bench::Progress("overload " + mode + ": open loop at " +
+                    std::to_string(overload_qps) + " qps");
+    const OverloadResult overload = OverloadPhase(
+        server, docs, overload_qps, 2.0, kClientDeadlineMs, ladder);
+    const serve::Server::Stats stats = server.stats();
+    bench::Progress("overload " + mode + ": goodput " +
+                    std::to_string(overload.goodput_qps) + " qps, shed " +
+                    std::to_string(overload.shed_rate) + ", miss " +
+                    std::to_string(overload.miss_rate));
+
+    json.Record("serve", "overload_" + mode + "_goodput_qps",
+                overload.goodput_qps);
+    json.Record("serve", "overload_" + mode + "_shed_rate",
+                overload.shed_rate);
+    json.Record("serve", "overload_" + mode + "_miss_rate",
+                overload.miss_rate);
+    json.Record("serve", "overload_" + mode + "_p50_ms", overload.p50_ms);
+    json.Record("serve", "overload_" + mode + "_p99_ms", overload.p99_ms);
+    json.Record("serve", "overload_" + mode + "_degraded",
+                static_cast<double>(overload.degraded));
+    json.Record("serve", "overload_" + mode + "_degrade_up",
+                static_cast<double>(stats.degrade_up));
+    overload_table.AddRow(mode,
+                          {overload.offered_qps, overload.goodput_qps,
+                           overload.shed_rate, overload.miss_rate,
+                           overload.p50_ms, overload.p99_ms});
+  }
+
   plm::SetQuantInference(-1);
   table.Print();
+  overload_table.Print();
   return 0;
 }
 
@@ -279,8 +473,10 @@ int RunSmoke() {
     const la::Matrix panel = stm::ann::SimilarityPanel(doc_reps, class_reps);
 
     serve::Server server(model.get(), serve::ServeOptions{});
-    server.Register("match",
-                    core::MakePlmSimpleMatchServable(model.get(), names));
+    if (!MustRegister(server, "match", core::MakePlmSimpleMatchServable(
+                                           model.get(), names))) {
+      return 1;
+    }
     std::vector<std::future<StatusOr<serve::Prediction>>> futures;
     for (const auto& doc : docs) {
       futures.push_back(server.Submit("match", doc));
@@ -327,7 +523,7 @@ int RunSmoke() {
     options.queue_depth = 1;
     options.workers = 1;
     serve::Server server(model.get(), options);
-    server.Register("block", blocking);
+    if (!MustRegister(server, "block", blocking)) return 1;
     const std::vector<int32_t> doc = {text::kNumSpecialTokens};
     auto parked = server.Submit("block", doc);
     blocking->AwaitEntered();

@@ -25,7 +25,10 @@ echo "== robustness + quant + encode + serve + ann suites under AddressSanitizer
 # arithmetic ASan is for. The encode suite covers the bucketed batch
 # scatter/gather and the cache's disk spill/quarantine paths, both heavy on
 # raw buffer offsets. The serve suite adds the dynamic-batching server's
-# request plumbing (promise hand-off, queue draining, shutdown orphaning).
+# request plumbing (promise hand-off, queue draining, shutdown orphaning)
+# plus the overload-resilience chaos storm (serve_chaos_test.cc): fault-
+# injected hooks, deadlines, cancellation and the degradation ladder all
+# racing — promise lifetime bugs would surface here first.
 # The ann suite covers the retrieval tiers' blocked score panels, packed
 # sketch words and STMA payload decoding — more byte-offset arithmetic.
 cmake -B "$ASAN_BUILD_DIR" -S . -DSTM_SANITIZE=address
@@ -38,8 +41,12 @@ ctest --test-dir "$ASAN_BUILD_DIR" -L 'robustness|quant|encode|serve|ann' \
 echo "== serve + ann suites under ThreadSanitizer =="
 # The serve workers are dedicated threads submitting into the global pool
 # while clients hammer Submit/Shutdown from outside — the exact
-# cross-thread hand-off pattern TSan exists to vet. The ann suite stresses
-# the parallel heap-select and sketching loops across pool resizes.
+# cross-thread hand-off pattern TSan exists to vet. That now includes the
+# chaos storm's concurrent cancellations, deadline expiries and ladder
+# transitions (tier atomics vs the degrade_mu_/mu_ lock order), and the
+# watchdog's heartbeat reads against worker stores. The ann suite
+# stresses the parallel heap-select and sketching loops across pool
+# resizes.
 TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 cmake -B "$TSAN_BUILD_DIR" -S . -DSTM_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target stm_serve_tests \

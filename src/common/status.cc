@@ -14,6 +14,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "INVALID_ARGUMENT";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }
@@ -46,6 +50,12 @@ Status InvalidArgumentError(std::string_view message) {
 }
 Status UnavailableError(std::string_view message) {
   return Status(StatusCode::kUnavailable, std::string(message));
+}
+Status DeadlineExceededError(std::string_view message) {
+  return Status(StatusCode::kDeadlineExceeded, std::string(message));
+}
+Status CancelledError(std::string_view message) {
+  return Status(StatusCode::kCancelled, std::string(message));
 }
 
 }  // namespace stm

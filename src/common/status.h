@@ -18,10 +18,13 @@ namespace stm {
 
 enum class StatusCode {
   kOk = 0,
-  kIoError = 1,          // the filesystem said no (and retrying won't help)
-  kCorruptData = 2,      // bytes were read but failed validation
-  kInvalidArgument = 3,  // caller-supplied data violates the contract
-  kUnavailable = 4,      // missing file or transient failure; retry may help
+  kIoError = 1,           // the filesystem said no (and retrying won't help)
+  kCorruptData = 2,       // bytes were read but failed validation
+  kInvalidArgument = 3,   // caller-supplied data violates the contract
+  kUnavailable = 4,       // missing file or transient failure; retry may help
+  kDeadlineExceeded = 5,  // the request's deadline passed before completion;
+                          // retrying the same deadline cannot help
+  kCancelled = 6,         // the caller cancelled the request; never retried
 };
 
 // Short stable name for a code ("kIoError" -> "IO_ERROR" style).
@@ -61,6 +64,8 @@ Status IoError(std::string_view message);
 Status CorruptDataError(std::string_view message);
 Status InvalidArgumentError(std::string_view message);
 Status UnavailableError(std::string_view message);
+Status DeadlineExceededError(std::string_view message);
+Status CancelledError(std::string_view message);
 
 // Value-or-error: holds a T when ok(), a non-OK Status otherwise.
 template <typename T>

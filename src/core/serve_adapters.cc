@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
 #include <utility>
 
 #include "common/check.h"
@@ -28,7 +29,13 @@ serve::Prediction PooledCosineServable::Classify(
     const la::Matrix* hidden) const {
   (void)ids;
   (void)hidden;
-  STM_CHECK(pooled != nullptr);
+  // Invariant violations inside a Classify hook throw instead of
+  // STM_CHECK-aborting: the server's promise machinery converts the
+  // exception into a kUnavailable for THIS request (see serve.h), so a
+  // wiring bug costs one answer, not the process.
+  if (pooled == nullptr) {
+    throw std::logic_error(name_ + ": pooled input missing");
+  }
   const size_t dim = class_reps_.cols();
   serve::Prediction prediction;
   prediction.scores.resize(class_reps_.rows());
@@ -74,7 +81,12 @@ serve::Prediction TextClassifierServable::Classify(
   (void)pooled;
   (void)hidden;
   const la::Matrix probs = classifier_->PredictProbs({ids});
-  STM_CHECK_EQ(probs.cols(), num_classes_);
+  if (probs.cols() != num_classes_) {
+    throw std::logic_error(name_ + ": classifier produced " +
+                           std::to_string(probs.cols()) +
+                           " classes, expected " +
+                           std::to_string(num_classes_));
+  }
   const float* row = probs.Row(0);
   serve::Prediction prediction;
   prediction.scores.assign(row, row + num_classes_);
@@ -126,7 +138,12 @@ serve::Prediction TaxoClassServable::Classify(
 
   const la::Matrix probs = classifier_->PredictProbs(features);
   const size_t num_nodes = tree_->size();
-  STM_CHECK_EQ(probs.cols(), num_nodes);
+  if (probs.cols() != num_nodes) {
+    throw std::logic_error(name_ + ": classifier produced " +
+                           std::to_string(probs.cols()) +
+                           " node scores, expected " +
+                           std::to_string(num_nodes));
+  }
   const float* p = probs.Row(0);
   serve::Prediction prediction;
   prediction.scores.assign(p, p + num_nodes);

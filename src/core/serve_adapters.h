@@ -22,7 +22,12 @@ namespace stm::core {
 // Run() prediction for the same token ids (pinned by tests/serve_test.cc).
 //
 // All adapters are inference-only over frozen parameters and safe to call
-// concurrently from several drain workers.
+// concurrently from several drain workers. Invariant violations inside a
+// hook (missing encoder input, a classifier producing the wrong shape)
+// throw std::logic_error rather than STM_CHECK-aborting: the Server
+// isolates hook exceptions and fails only the affected request with a
+// Status (serve.h), so a wiring bug degrades one answer instead of
+// killing the process.
 
 // Similarity argmax against fixed class representations over the
 // document's pooled vector: the PlmSimpleMatchClassify baseline, and the

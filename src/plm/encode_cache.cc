@@ -59,6 +59,13 @@ EncodeCache::Key EncodeCache::MakeKey(uint64_t weights_fingerprint,
 }
 
 bool EncodeCache::Lookup(const Key& key, la::Matrix* out) {
+  if (Probe(key, out)) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  return false;
+}
+
+bool EncodeCache::Probe(const Key& key, la::Matrix* out) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
@@ -75,8 +82,6 @@ bool EncodeCache::Lookup(const Key& key, la::Matrix* out) {
     ++stats_.disk_hits;
     return true;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.misses;
   return false;
 }
 

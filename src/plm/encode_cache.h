@@ -86,6 +86,14 @@ class EncodeCache {
   // Fills `out` and returns true on a hit (memory first, then disk).
   bool Lookup(const Key& key, la::Matrix* out);
 
+  // Lookup that never records a miss. The serve layer's cache-only
+  // degradation tier probes speculatively — answer from the cache or shed,
+  // never encode — and those probes must not skew the hit-rate stats the
+  // offline paths report. Hits still count (memory or disk) and refresh
+  // LRU recency, so sustained cache-only serving keeps its working set
+  // resident.
+  bool Probe(const Key& key, la::Matrix* out);
+
   // Stores `value` (copied) in memory and, when configured, on disk.
   void Insert(const Key& key, const la::Matrix& value);
 

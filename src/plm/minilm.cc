@@ -632,6 +632,44 @@ la::Matrix MiniLm::PoolBatch(const std::vector<std::vector<int32_t>>& docs) {
   return out;
 }
 
+bool MiniLm::TryCachedPool(const std::vector<int32_t>& ids,
+                           std::vector<float>* out) {
+  std::shared_ptr<EncodeCache> cache = encode_cache();
+  if (cache == nullptr) return false;
+  const std::vector<int32_t> trunc = Truncate(ids);
+  const bool quant = QuantInferenceEnabled();
+  const uint64_t fp = WeightsFingerprint();
+  la::Matrix row;
+  const EncodeCache::Key pooled_key = EncodeCache::MakeKey(
+      fp, quant, EncodeCache::Kind::kPooled, trunc.data(), trunc.size());
+  if (cache->Probe(pooled_key, &row)) {
+    out->assign(row.data(), row.data() + row.size());
+    return true;
+  }
+  const EncodeCache::Key hidden_key = EncodeCache::MakeKey(
+      fp, quant, EncodeCache::Kind::kHidden, trunc.data(), trunc.size());
+  if (cache->Probe(hidden_key, &row)) {
+    out->assign(config_.dim, 0.0f);
+    PoolRowsFromHidden(row, out->data());
+    la::Matrix entry(1, config_.dim);
+    std::copy(out->begin(), out->end(), entry.data());
+    cache->Insert(pooled_key, entry);
+    return true;
+  }
+  return false;
+}
+
+bool MiniLm::TryCachedEncode(const std::vector<int32_t>& ids,
+                             la::Matrix* out) {
+  std::shared_ptr<EncodeCache> cache = encode_cache();
+  if (cache == nullptr) return false;
+  const std::vector<int32_t> trunc = Truncate(ids);
+  const EncodeCache::Key key = EncodeCache::MakeKey(
+      WeightsFingerprint(), QuantInferenceEnabled(),
+      EncodeCache::Kind::kHidden, trunc.data(), trunc.size());
+  return cache->Probe(key, out);
+}
+
 std::shared_ptr<EncodeCache> MiniLm::encode_cache() const {
   std::lock_guard<std::mutex> lock(freeze_mu_);
   return encode_cache_;

@@ -128,6 +128,18 @@ class MiniLm {
   std::shared_ptr<EncodeCache> encode_cache() const;
   void SetEncodeCache(std::shared_ptr<EncodeCache> cache);
 
+  // Cache-probe-without-encode entry points: fill `out` from the installed
+  // cache (current quant mode, same keys as Pool/Encode) and return true,
+  // or return false WITHOUT running the encoder. False when no cache is
+  // installed or the document was never encoded under the current weights.
+  // The serve layer's cache-only degradation tier is built on these: under
+  // overload it answers what the cache already knows — bit-identical to
+  // the full path, since that is what populated the cache — and sheds the
+  // rest. A pooled probe that finds only the hidden-states entry pools it
+  // (same bits, see PoolRowsFromHidden) and memoizes the pooled row.
+  bool TryCachedPool(const std::vector<int32_t>& ids, std::vector<float>* out);
+  bool TryCachedEncode(const std::vector<int32_t>& ids, la::Matrix* out);
+
   // Stable content hash of the architecture plus every current parameter
   // value; memoized, recomputed lazily after training invalidates it at
   // the same boundary as the frozen int8 snapshot.

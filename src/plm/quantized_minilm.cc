@@ -28,6 +28,11 @@ constexpr float kLayerNormEps = 1e-5f;  // must match nn::LayerNorm
 
 std::atomic<int> g_quant_override{-1};
 
+// Thread-local override layered above the process-wide switch; -1 means
+// "not overridden on this thread". Plain int: only ever touched from the
+// owning thread.
+thread_local int t_quant_override = -1;
+
 bool EnvQuantEnabled() {
   // Parsed once; the switch is process-wide so every call site (at any
   // thread count) takes the same path. A token that is not a boolean
@@ -40,6 +45,7 @@ bool EnvQuantEnabled() {
 }  // namespace
 
 bool QuantInferenceEnabled() {
+  if (t_quant_override >= 0) return t_quant_override != 0;
   const int mode = g_quant_override.load(std::memory_order_relaxed);
   if (mode >= 0) return mode != 0;
   return EnvQuantEnabled();
@@ -49,6 +55,13 @@ void SetQuantInference(int mode) {
   g_quant_override.store(mode < 0 ? -1 : (mode != 0 ? 1 : 0),
                          std::memory_order_relaxed);
 }
+
+ScopedQuantOverride::ScopedQuantOverride(bool enable)
+    : prev_(t_quant_override) {
+  t_quant_override = enable ? 1 : 0;
+}
+
+ScopedQuantOverride::~ScopedQuantOverride() { t_quant_override = prev_; }
 
 std::vector<int32_t> QuantizedMiniLm::Truncate(
     const std::vector<int32_t>& ids) const {

@@ -26,6 +26,26 @@ bool QuantInferenceEnabled();
 // 1 = force on, 0 = force off, -1 = follow STM_QUANT (the default).
 void SetQuantInference(int mode);
 
+// RAII thread-local override of the quant switch, consulted before the
+// process-wide SetQuantInference/STM_QUANT setting. The serve layer's
+// degradation ladder uses it to run one drain worker's batch through the
+// frozen int8 encoder under overload without perturbing concurrent
+// full-fidelity callers on other threads (QuantInferenceEnabled() is read
+// on the calling thread before any parallel region is submitted, so the
+// override scopes exactly to this thread's encode calls). Nests: the
+// previous override is restored on destruction.
+class ScopedQuantOverride {
+ public:
+  explicit ScopedQuantOverride(bool enable);
+  ~ScopedQuantOverride();
+
+  ScopedQuantOverride(const ScopedQuantOverride&) = delete;
+  ScopedQuantOverride& operator=(const ScopedQuantOverride&) = delete;
+
+ private:
+  int prev_;
+};
+
 // Frozen-weight int8 inference encoder, produced by MiniLm::Freeze().
 //
 // The attention/FFN projection weights are quantized per output column

@@ -1,0 +1,72 @@
+#include "serve/fault_injection.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace stm::serve {
+
+void FaultInjectingClassifier::ThrowNext(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  throw_next_ = count;
+}
+
+void FaultInjectingClassifier::ThrowEveryNth(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  throw_every_nth_ = n;
+}
+
+void FaultInjectingClassifier::SleepNext(double ms, int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sleep_ms_ = ms;
+  sleep_next_ = count;
+}
+
+uint64_t FaultInjectingClassifier::calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return calls_;
+}
+
+uint64_t FaultInjectingClassifier::injected_throws() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_throws_;
+}
+
+uint64_t FaultInjectingClassifier::injected_sleeps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_sleeps_;
+}
+
+Prediction FaultInjectingClassifier::Classify(const std::vector<int32_t>& ids,
+                                              const float* pooled,
+                                              const la::Matrix* hidden) const {
+  bool do_throw = false;
+  double sleep_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++calls_;
+    if (sleep_next_ > 0) {
+      --sleep_next_;
+      sleep_ms = sleep_ms_;
+      ++injected_sleeps_;
+    }
+    if (throw_next_ > 0) {
+      --throw_next_;
+      do_throw = true;
+    } else if (throw_every_nth_ > 0 && calls_ % throw_every_nth_ == 0) {
+      do_throw = true;
+    }
+    if (do_throw) ++injected_throws_;
+  }
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+  if (do_throw) {
+    throw std::runtime_error("injected classifier fault (" + base_->name() +
+                             ")");
+  }
+  return base_->Classify(ids, pooled, hidden);
+}
+
+}  // namespace stm::serve

@@ -1,0 +1,70 @@
+#ifndef STM_SERVE_FAULT_INJECTION_H_
+#define STM_SERVE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/serve.h"
+
+namespace stm::serve {
+
+// Test double wrapping another Classifier — the serve-layer sibling of
+// PR 3's FaultInjectingEnv (common/env.h). The serve resilience story is
+// "a hook failure costs exactly its request"; this wrapper makes hook
+// failures reproducible on demand so tests (tests/serve_chaos_test.cc)
+// can prove it without hand-writing a bespoke broken classifier each
+// time.
+//
+// Faults are armed by the test and consumed by Classify calls; unarmed
+// calls delegate untouched, so correct answers stay bit-identical to the
+// wrapped classifier's. Arming and accounting are mutex-guarded (drain
+// workers call Classify concurrently); injected sleeps happen OUTSIDE
+// the lock so a slow call never serializes the other workers' faults.
+class FaultInjectingClassifier : public Classifier {
+ public:
+  explicit FaultInjectingClassifier(std::shared_ptr<const Classifier> base)
+      : base_(std::move(base)) {}
+
+  // Arms the next `count` Classify calls to throw std::runtime_error.
+  void ThrowNext(int count = 1);
+
+  // Every n-th call (1-based; n <= 0 disarms) throws. Deterministic under
+  // a single drain worker; under several it still injects exactly
+  // 1/n of calls, just not at predictable indices.
+  void ThrowEveryNth(int n);
+
+  // Arms the next `count` calls to sleep `ms` before delegating —
+  // simulates a hung/slow hook for deadline and watchdog tests.
+  void SleepNext(double ms, int count = 1);
+
+  // Accounting.
+  uint64_t calls() const;
+  uint64_t injected_throws() const;
+  uint64_t injected_sleeps() const;
+
+  // Classifier interface: everything delegates except the faults.
+  std::string name() const override { return base_->name(); }
+  size_t num_classes() const override { return base_->num_classes(); }
+  Input input() const override { return base_->input(); }
+  Prediction Classify(const std::vector<int32_t>& ids, const float* pooled,
+                      const la::Matrix* hidden) const override;
+
+ private:
+  const std::shared_ptr<const Classifier> base_;
+
+  mutable std::mutex mu_;
+  mutable int throw_next_ = 0;
+  int throw_every_nth_ = 0;
+  mutable double sleep_ms_ = 0.0;
+  mutable int sleep_next_ = 0;
+  mutable uint64_t calls_ = 0;
+  mutable uint64_t injected_throws_ = 0;
+  mutable uint64_t injected_sleeps_ = 0;
+};
+
+}  // namespace stm::serve
+
+#endif  // STM_SERVE_FAULT_INJECTION_H_

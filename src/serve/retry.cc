@@ -1,0 +1,38 @@
+#include "serve/retry.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace stm::serve {
+
+StatusOr<Prediction> ServeWithRetry(Server& server, const std::string& model,
+                                    std::vector<int32_t> ids,
+                                    const SubmitOptions& submit,
+                                    const RetryOptions& retry,
+                                    uint64_t jitter_seed) {
+  Rng rng(jitter_seed);
+  const int attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  double backoff_ms = static_cast<double>(retry.initial_backoff_ms);
+  for (int attempt = 1;; ++attempt) {
+    // The ids survive each attempt: Serve moves them into the request, so
+    // retry from a copy and keep the original for the next round.
+    StatusOr<Prediction> result = server.Serve(model, ids, submit);
+    if (result.ok() ||
+        result.status().code() != StatusCode::kUnavailable ||
+        attempt >= attempts) {
+      return result;
+    }
+    // Jittered exponential backoff: [0.5, 1.0) x 2^(attempt-1) x initial.
+    const double sleep_ms = backoff_ms * (0.5 + 0.5 * rng.Uniform());
+    if (sleep_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(sleep_ms));
+    }
+    backoff_ms *= 2.0;
+  }
+}
+
+}  // namespace stm::serve

@@ -1,0 +1,43 @@
+#ifndef STM_SERVE_RETRY_H_
+#define STM_SERVE_RETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "serve/serve.h"
+
+namespace stm::serve {
+
+// Client-side retry wrapper around Server::Serve.
+//
+// kUnavailable from the serve layer means transient pressure — queue
+// full, shed tier, a failed batch — exactly the class of failure where
+// backing off and retrying helps (the same contract as PR 3's
+// WriteFileAtomicWithRetry, whose stm::RetryOptions this reuses). Every
+// other code is final and is returned after the FIRST attempt:
+//   kInvalidArgument   the request itself is wrong; resending the same
+//                      bytes can never succeed;
+//   kDeadlineExceeded  the time budget is already spent; retrying would
+//                      answer after the caller stopped caring;
+//   kCancelled         the caller asked for the request to stop.
+//
+// Backoff is exponential with full decorrelation avoided but thundering
+// herds broken: attempt k sleeps initial_backoff_ms * 2^(k-1) scaled by a
+// uniform jitter factor in [0.5, 1.0), drawn from a deterministic Rng
+// seeded with `jitter_seed` (tests pass a fixed seed; production callers
+// can seed from a per-client id).
+//
+// A SubmitOptions deadline is respected across attempts in the sense that
+// each attempt re-submits with the SAME relative deadline — the wrapper
+// does not stretch a request's budget, it only re-enters the queue.
+StatusOr<Prediction> ServeWithRetry(Server& server, const std::string& model,
+                                    std::vector<int32_t> ids,
+                                    const SubmitOptions& submit = {},
+                                    const RetryOptions& retry = {},
+                                    uint64_t jitter_seed = 0x5E1F);
+
+}  // namespace stm::serve
+
+#endif  // STM_SERVE_RETRY_H_

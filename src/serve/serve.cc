@@ -1,10 +1,14 @@
 #include "serve/serve.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <optional>
 #include <utility>
 
 #include "common/check.h"
 #include "common/env_parse.h"
+#include "plm/quantized_minilm.h"
 
 namespace stm::serve {
 
@@ -22,7 +26,45 @@ double MillisSince(Clock::time_point start) {
       .count();
 }
 
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+// Resolving a promise that a concurrent path already resolved throws
+// future_error; every resolution site in this file goes through here so a
+// race between (say) shutdown orphaning and a drain worker can never
+// escape as an exception.
+void SafeSet(std::promise<StatusOr<Prediction>>& promise,
+             StatusOr<Prediction> value) {
+  try {
+    promise.set_value(std::move(value));
+  } catch (const std::future_error&) {
+  }
+}
+
+// Smoothing for the batch-wall-time EWMA (the deadline-aware close
+// margin). Deliberately separate from ServeOptions::degrade_alpha: batch
+// time converges in a handful of batches, pressure needs a tunable
+// horizon.
+constexpr double kBatchMsAlpha = 0.2;
+
 }  // namespace
+
+std::string_view DegradeTierName(DegradeTier tier) {
+  switch (tier) {
+    case DegradeTier::kFull:
+      return "full";
+    case DegradeTier::kInt8:
+      return "int8";
+    case DegradeTier::kCacheOnly:
+      return "cache-only";
+    case DegradeTier::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
 
 ServeOptions ServeOptionsFromEnv() {
   ServeOptions options;
@@ -34,6 +76,15 @@ ServeOptions ServeOptionsFromEnv() {
   options.queue_depth = ParseSizeEnv("STM_SERVE_QUEUE_DEPTH",
                                      options.queue_depth, 1, size_t{1} << 20);
   options.workers = ParseSizeEnv("STM_SERVE_WORKERS", options.workers, 1, 256);
+  options.request_deadline_ms = ParseFloatEnv(
+      "STM_SERVE_REQUEST_DEADLINE_MS",
+      static_cast<float>(options.request_deadline_ms), 0.0f, 600000.0f);
+  options.degrade_auto =
+      ParseEnumEnv("STM_SERVE_DEGRADE", {"off", "auto"},
+                   options.degrade_auto ? 1 : 0) == 1;
+  options.watchdog_ms =
+      ParseFloatEnv("STM_SERVE_WATCHDOG_MS",
+                    static_cast<float>(options.watchdog_ms), 0.0f, 600000.0f);
   return options;
 }
 
@@ -44,6 +95,13 @@ Server::Server(plm::MiniLm* model, const ServeOptions& options)
   STM_CHECK_GE(options_.queue_depth, 1u);
   STM_CHECK_GE(options_.workers, 1u);
   STM_CHECK_GE(options_.deadline_ms, 0.0);
+  STM_CHECK_GE(options_.request_deadline_ms, 0.0);
+  STM_CHECK_GE(options_.watchdog_ms, 0.0);
+  STM_CHECK_GE(options_.latency_reservoir, 1u);
+  worker_states_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    worker_states_.push_back(std::make_unique<WorkerState>());
+  }
   // Dedicated threads, NOT ThreadPool members: a pool worker calling
   // ThreadPool::Run executes the region inline (nested-submit rejection),
   // which would serialize every encoder GEMM a serve worker issues. As
@@ -51,25 +109,49 @@ Server::Server(plm::MiniLm* model, const ServeOptions& options)
   // other caller.
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  if (options_.watchdog_ms > 0.0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
 }
 
 Server::~Server() { Shutdown(); }
 
-void Server::Register(const std::string& name,
-                      std::shared_ptr<const Classifier> classifier) {
+Status Server::Register(const std::string& name,
+                        std::shared_ptr<const Classifier> classifier) {
   STM_CHECK(classifier != nullptr);
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (serving_) {
+    // The routing map is read without synchronization on the Submit hot
+    // path once serving starts; mutating it now would race every
+    // in-flight lookup. Reject loudly instead.
+    std::fprintf(stderr,
+                 "[stm] serve: Register('%s') after the first Submit is "
+                 "rejected; register all models before serving starts\n",
+                 name.c_str());
+    return InvalidArgumentError("Register('" + name +
+                                "') after serving started; register all "
+                                "models before the first Submit");
+  }
   classifiers_[name] = std::move(classifier);
+  return Status::Ok();
 }
 
 std::future<StatusOr<Prediction>> Server::Submit(const std::string& model,
-                                                 std::vector<int32_t> ids) {
+                                                 std::vector<int32_t> ids,
+                                                 const SubmitOptions& submit) {
   std::promise<StatusOr<Prediction>> rejected;
   std::future<StatusOr<Prediction>> rejected_future = rejected.get_future();
 
-  const auto it = classifiers_.find(model);
-  if (it == classifiers_.end()) {
+  const Classifier* classifier = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    serving_ = true;  // latches the routing map read-only
+    const auto it = classifiers_.find(model);
+    if (it != classifiers_.end()) classifier = it->second.get();
+  }
+  if (classifier == nullptr) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.invalid;
@@ -93,40 +175,116 @@ std::future<StatusOr<Prediction>> Server::Submit(const std::string& model,
     }
   }
 
+  // Shed tier: reject at admission, the cheapest possible point. Pressure
+  // is still sampled — recovery is driven by traffic observing an
+  // emptying queue, so a fully-shedding server can step back down.
+  if (options_.degrade_auto && tier() == DegradeTier::kShed) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shed;
+    }
+    double frac;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      frac = static_cast<double>(queue_.size()) /
+             static_cast<double>(options_.queue_depth);
+    }
+    UpdatePressure(frac);
+    rejected.set_value(
+        UnavailableError("shedding under overload (degrade tier 'shed'); "
+                         "retry later"));
+    return rejected_future;
+  }
+
   auto request = std::make_unique<Request>();
   request->ids = std::move(ids);
-  request->classifier = it->second.get();
+  request->classifier = classifier;
   request->enqueued = Clock::now();
+  const double deadline_ms = submit.deadline_ms > 0.0
+                                 ? submit.deadline_ms
+                                 : options_.request_deadline_ms;
+  request->deadline = deadline_ms > 0.0
+                          ? request->enqueued + MillisDuration(deadline_ms)
+                          : Clock::time_point::max();
+  request->cancel = submit.cancel;
   std::future<StatusOr<Prediction>> future = request->promise.get_future();
 
+  bool admitted = false;
+  double frac = -1.0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
-      request->promise.set_value(
-          UnavailableError("server is shutting down"));
+      request->promise.set_value(UnavailableError("server is shutting down"));
       return future;
     }
     if (queue_.size() >= options_.queue_depth) {
-      // Admission control: shed instead of queueing without bound.
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.shed;
+      // Admission control: shed instead of queueing without bound. A full
+      // queue is the strongest pressure signal there is.
+      frac = 1.0;
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.shed;
+      }
       request->promise.set_value(UnavailableError(
           "queue full (" + std::to_string(options_.queue_depth) +
           " pending requests); retry later"));
-      return future;
+    } else {
+      queue_.push_back(std::move(request));
+      admitted = true;
+      frac = static_cast<double>(queue_.size()) /
+             static_cast<double>(options_.queue_depth);
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.accepted;
+      stats_.max_queue = std::max(stats_.max_queue, queue_.size());
     }
-    queue_.push_back(std::move(request));
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    ++stats_.accepted;
-    stats_.max_queue = std::max(stats_.max_queue, queue_.size());
   }
-  queue_cv_.notify_one();
+  if (admitted) queue_cv_.notify_one();
+  UpdatePressure(frac);
   return future;
 }
 
 StatusOr<Prediction> Server::Serve(const std::string& model,
-                                   std::vector<int32_t> ids) {
-  return Submit(model, std::move(ids)).get();
+                                   std::vector<int32_t> ids,
+                                   const SubmitOptions& submit) {
+  return Submit(model, std::move(ids), submit).get();
+}
+
+void Server::UpdatePressure(double queue_frac) {
+  int stepped_to = -1;
+  bool up = false;
+  double pressure_now = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(degrade_mu_);
+    pressure_ = (1.0 - options_.degrade_alpha) * pressure_ +
+                options_.degrade_alpha * queue_frac;
+    pressure_now = pressure_;
+    if (!options_.degrade_auto) return;
+    ++samples_since_change_;
+    const int t = tier_.load(std::memory_order_relaxed);
+    if (pressure_ > options_.degrade_high_water &&
+        t < static_cast<int>(DegradeTier::kShed) &&
+        samples_since_change_ >= options_.degrade_dwell_up) {
+      tier_.store(t + 1, std::memory_order_release);
+      samples_since_change_ = 0;
+      degrade_up_.fetch_add(1, std::memory_order_relaxed);
+      stepped_to = t + 1;
+      up = true;
+    } else if (pressure_ < options_.degrade_low_water && t > 0 &&
+               samples_since_change_ >= options_.degrade_dwell_down) {
+      tier_.store(t - 1, std::memory_order_release);
+      samples_since_change_ = 0;
+      degrade_down_.fetch_add(1, std::memory_order_relaxed);
+      stepped_to = t - 1;
+    }
+  }
+  if (stepped_to >= 0) {
+    std::fprintf(
+        stderr, "[stm] serve: %s to tier '%s' (pressure %.3f)\n",
+        up ? "degrading" : "recovering",
+        std::string(DegradeTierName(static_cast<DegradeTier>(stepped_to)))
+            .c_str(),
+        pressure_now);
+  }
 }
 
 std::vector<std::unique_ptr<Server::Request>> Server::NextBatch() {
@@ -137,11 +295,31 @@ std::vector<std::unique_ptr<Server::Request>> Server::NextBatch() {
       if (stopping_) return {};
       continue;
     }
-    // Give the batch until the oldest request's deadline to fill; wake
-    // early the moment it is full (or on shutdown).
-    const Clock::time_point deadline =
+    // Give the batch until the oldest request's arrival + fill deadline
+    // to fill; wake early the moment it is full (or on shutdown).
+    Clock::time_point close_at =
         queue_.front()->enqueued + MillisDuration(options_.deadline_ms);
-    queue_cv_.wait_until(lock, deadline, [&] {
+    // Deadline-aware close: if the tightest per-request deadline among
+    // the requests this batch would take could be missed after adding the
+    // expected batch wall time (EWMA), stop filling and run now. Waiting
+    // longer could only convert answerable requests into deadline misses.
+    double margin_ms;
+    {
+      std::lock_guard<std::mutex> degrade_lock(degrade_mu_);
+      // Floor of 0.25 ms: before any batch has run the EWMA is zero, and
+      // closing exactly AT the tightest deadline would expire the very
+      // request the early close is meant to save.
+      margin_ms = std::max(ewma_batch_ms_, 0.25);
+    }
+    const size_t scan = std::min(options_.max_batch, queue_.size());
+    Clock::time_point tightest = Clock::time_point::max();
+    for (size_t i = 0; i < scan; ++i) {
+      tightest = std::min(tightest, queue_[i]->deadline);
+    }
+    if (tightest != Clock::time_point::max()) {
+      close_at = std::min(close_at, tightest - MillisDuration(margin_ms));
+    }
+    queue_cv_.wait_until(lock, close_at, [&] {
       return stopping_ || queue_.size() >= options_.max_batch;
     });
     if (queue_.empty()) continue;  // another worker drained it first
@@ -156,34 +334,181 @@ std::vector<std::unique_ptr<Server::Request>> Server::NextBatch() {
   }
 }
 
-void Server::RunBatch(std::vector<std::unique_ptr<Request>> batch) {
-  const size_t n = batch.size();
-  // One encoder pass per needed representation, over the whole batch:
-  // PoolBatch/EncodeBatch plan length buckets internally (PlanBuckets)
-  // and run one forward per bucket, so coalescing happens here even when
-  // the requests target different registered models.
-  std::vector<size_t> pooled_index, hidden_index;
-  std::vector<std::vector<int32_t>> pooled_docs, hidden_docs;
-  for (size_t i = 0; i < n; ++i) {
-    switch (batch[i]->classifier->input()) {
-      case Classifier::Input::kTokens:
-        break;
-      case Classifier::Input::kPooled:
-        pooled_index.push_back(i);
-        pooled_docs.push_back(batch[i]->ids);
-        break;
-      case Classifier::Input::kHidden:
-        hidden_index.push_back(i);
-        hidden_docs.push_back(batch[i]->ids);
-        break;
+void Server::RunBatch(std::vector<std::unique_ptr<Request>> batch,
+                      WorkerState* state) {
+  const Clock::time_point batch_start = Clock::now();
+  state->busy_since_ns.store(NowNs(), std::memory_order_release);
+
+  const DegradeTier batch_tier =
+      options_.degrade_auto ? tier() : DegradeTier::kFull;
+
+  // Phase 1: cancellations and in-queue deadline expiries resolve here,
+  // cheaply — the encoder never sees them, so under overload its capacity
+  // goes entirely to requests that can still be answered in time.
+  std::vector<std::unique_ptr<Request>> live, cancelled, expired;
+  live.reserve(batch.size());
+  {
+    const Clock::time_point now = Clock::now();
+    for (auto& request : batch) {
+      if (request->cancel != nullptr && request->cancel->cancelled()) {
+        cancelled.push_back(std::move(request));
+      } else if (now >= request->deadline) {
+        expired.push_back(std::move(request));
+      } else {
+        live.push_back(std::move(request));
+      }
     }
   }
+  // Stats are updated BEFORE the promises resolve (here and below) so a
+  // caller that observed its future complete also observes it counted.
+  if (!cancelled.empty() || !expired.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.cancelled += cancelled.size();
+    stats_.deadline_exceeded += expired.size();
+  }
+  for (auto& request : cancelled) {
+    SafeSet(request->promise, CancelledError("request cancelled by client"));
+  }
+  for (auto& request : expired) {
+    SafeSet(request->promise,
+            DeadlineExceededError("deadline passed while queued"));
+  }
 
-  try {
+  const size_t n = live.size();
+  if (n == 0) {
+    state->busy_since_ns.store(0, std::memory_order_release);
+    state->flagged.store(false, std::memory_order_release);
+    return;
+  }
+
+  std::vector<std::optional<StatusOr<Prediction>>> results(n);
+  uint64_t hook_failures = 0;
+  uint64_t cache_sheds = 0;
+  uint64_t degraded_count = 0;
+
+  // Int8-tier answers are "degraded" only relative to a fp32 baseline; if
+  // the operator configured int8 inference anyway, the tier changes
+  // nothing and the answers stay reference bits.
+  const bool degraded_encode =
+      batch_tier == DegradeTier::kInt8 && !plm::QuantInferenceEnabled();
+
+  auto classify = [&](size_t i, const float* pooled_ptr,
+                      const la::Matrix* hidden_ptr, bool degraded) {
+    Request& request = *live[i];
+    try {
+      Prediction prediction =
+          request.classifier->Classify(request.ids, pooled_ptr, hidden_ptr);
+      prediction.tier = batch_tier;
+      prediction.degraded = degraded;
+      if (degraded) ++degraded_count;
+      results[i] = std::move(prediction);
+    } catch (const std::exception& e) {
+      // A throwing hook fails ITS request, never the batch or the worker.
+      ++hook_failures;
+      results[i] = UnavailableError("classifier '" +
+                                    request.classifier->name() +
+                                    "' threw: " + e.what());
+    } catch (...) {
+      ++hook_failures;
+      results[i] = UnavailableError(
+          "classifier '" + request.classifier->name() + "' threw");
+    }
+  };
+
+  if (batch_tier >= DegradeTier::kCacheOnly) {
+    // Cache-only tier: answer what the encode cache already knows — those
+    // entries were written by the full-fidelity path, so hits are
+    // bit-identical and NOT marked degraded — and shed the misses without
+    // ever touching the encoder. Token-input models need no encoding and
+    // always pass.
+    for (size_t i = 0; i < n; ++i) {
+      Request& request = *live[i];
+      std::vector<float> pooled_vec;
+      la::Matrix hidden_mat;
+      const float* pooled_ptr = nullptr;
+      const la::Matrix* hidden_ptr = nullptr;
+      bool have = true;
+      switch (request.classifier->input()) {
+        case Classifier::Input::kTokens:
+          break;
+        case Classifier::Input::kPooled:
+          have = model_->TryCachedPool(request.ids, &pooled_vec);
+          pooled_ptr = pooled_vec.data();
+          break;
+        case Classifier::Input::kHidden:
+          have = model_->TryCachedEncode(request.ids, &hidden_mat);
+          hidden_ptr = &hidden_mat;
+          break;
+      }
+      if (!have) {
+        ++cache_sheds;
+        results[i] = UnavailableError(
+            "degraded to cache-only serving and this document is not "
+            "cached; retry later");
+        continue;
+      }
+      classify(i, pooled_ptr, hidden_ptr, /*degraded=*/false);
+    }
+  } else {
+    // One encoder pass per needed representation, over the whole batch:
+    // PoolBatch/EncodeBatch plan length buckets internally (PlanBuckets)
+    // and run one forward per bucket, so coalescing happens here even
+    // when the requests target different registered models.
+    std::vector<size_t> pooled_index, hidden_index;
+    std::vector<std::vector<int32_t>> pooled_docs, hidden_docs;
+    for (size_t i = 0; i < n; ++i) {
+      switch (live[i]->classifier->input()) {
+        case Classifier::Input::kTokens:
+          break;
+        case Classifier::Input::kPooled:
+          pooled_index.push_back(i);
+          pooled_docs.push_back(live[i]->ids);
+          break;
+        case Classifier::Input::kHidden:
+          hidden_index.push_back(i);
+          hidden_docs.push_back(live[i]->ids);
+          break;
+      }
+    }
+
     la::Matrix pooled;
-    if (!pooled_docs.empty()) pooled = model_->PoolBatch(pooled_docs);
     std::vector<la::Matrix> hidden;
-    if (!hidden_docs.empty()) hidden = model_->EncodeBatch(hidden_docs);
+    bool encode_failed = false;
+    std::string encode_error;
+    try {
+      // The quant override is thread-local and scoped to the encode calls
+      // only: PoolBatch/EncodeBatch read the quant mode on this thread
+      // before entering their parallel regions, so an int8-tier batch
+      // routes through the frozen encoder without disturbing fp32 callers
+      // on other threads.
+      std::optional<plm::ScopedQuantOverride> quant;
+      if (batch_tier == DegradeTier::kInt8) quant.emplace(true);
+      if (!pooled_docs.empty()) pooled = model_->PoolBatch(pooled_docs);
+      if (!hidden_docs.empty()) hidden = model_->EncodeBatch(hidden_docs);
+    } catch (const std::exception& e) {
+      encode_failed = true;
+      encode_error = e.what();
+    } catch (...) {
+      encode_failed = true;
+    }
+    if (encode_failed) {
+      // A service never lets a batch failure take the process down (an
+      // encode OOM, say): every carried request is failed instead.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.failed_batches;
+        stats_.failed_batch_requests += n;
+      }
+      const std::string message =
+          encode_error.empty() ? "batch execution failed"
+                               : "batch execution failed: " + encode_error;
+      for (auto& request : live) {
+        SafeSet(request->promise, UnavailableError(message));
+      }
+      state->busy_since_ns.store(0, std::memory_order_release);
+      state->flagged.store(false, std::memory_order_release);
+      return;
+    }
 
     std::vector<const float*> pooled_of(n, nullptr);
     std::vector<const la::Matrix*> hidden_of(n, nullptr);
@@ -193,49 +518,81 @@ void Server::RunBatch(std::vector<std::unique_ptr<Request>> batch) {
     for (size_t j = 0; j < hidden_index.size(); ++j) {
       hidden_of[hidden_index[j]] = &hidden[j];
     }
-
-    std::vector<Prediction> predictions;
-    predictions.reserve(n);
-    std::vector<double> latencies;
-    latencies.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      Request& request = *batch[i];
-      predictions.push_back(request.classifier->Classify(
-          request.ids, pooled_of[i], hidden_of[i]));
-      latencies.push_back(MillisSince(request.enqueued));
-    }
-    // Stats are updated BEFORE the promises resolve so a caller that
-    // observed its future complete also observes the batch counted.
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.batches;
-      stats_.completed += n;
-      latencies_ms_.insert(latencies_ms_.end(), latencies.begin(),
-                           latencies.end());
-    }
-    for (size_t i = 0; i < n; ++i) {
-      batch[i]->promise.set_value(std::move(predictions[i]));
-    }
-  } catch (...) {
-    // A service never lets a batch failure take the process down (an
-    // encode OOM, say): every carried request is failed instead. Any
-    // promise already fulfilled above would throw on set_value, so guard
-    // each one.
-    for (auto& request : batch) {
-      try {
-        request->promise.set_value(
-            UnavailableError("batch execution failed"));
-      } catch (const std::future_error&) {
-      }
+      const bool used_encoder =
+          live[i]->classifier->input() != Classifier::Input::kTokens;
+      classify(i, pooled_of[i], hidden_of[i],
+               degraded_encode && used_encoder);
     }
   }
+
+  uint64_t completed = 0;
+  std::vector<double> latencies;
+  latencies.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (results[i]->ok()) {
+      ++completed;
+      latencies.push_back(MillisSince(live[i]->enqueued));
+    }
+  }
+  const double batch_ms = MillisSince(batch_start);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.batches;
+    stats_.completed += completed;
+    stats_.failed_requests += hook_failures;
+    stats_.degrade_shed += cache_sheds;
+    stats_.degraded += degraded_count;
+    for (const double ms : latencies) RecordLatencyLocked(ms);
+  }
+  {
+    std::lock_guard<std::mutex> lock(degrade_mu_);
+    ewma_batch_ms_ = ewma_batch_ms_ == 0.0
+                         ? batch_ms
+                         : (1.0 - kBatchMsAlpha) * ewma_batch_ms_ +
+                               kBatchMsAlpha * batch_ms;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    SafeSet(live[i]->promise, std::move(*results[i]));
+  }
+  state->busy_since_ns.store(0, std::memory_order_release);
+  state->flagged.store(false, std::memory_order_release);
 }
 
-void Server::WorkerLoop() {
+void Server::WorkerLoop(size_t worker_index) {
+  WorkerState* state = worker_states_[worker_index].get();
   for (;;) {
     std::vector<std::unique_ptr<Request>> batch = NextBatch();
     if (batch.empty()) return;  // shutdown
-    RunBatch(std::move(batch));
+    RunBatch(std::move(batch), state);
+  }
+}
+
+void Server::WatchdogLoop() {
+  const double threshold_ms = options_.watchdog_ms;
+  const Clock::duration poll =
+      MillisDuration(std::max(1.0, threshold_ms / 4.0));
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  for (;;) {
+    watchdog_cv_.wait_for(lock, poll, [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    const int64_t now_ns = NowNs();
+    for (size_t i = 0; i < worker_states_.size(); ++i) {
+      WorkerState& worker = *worker_states_[i];
+      const int64_t busy = worker.busy_since_ns.load(std::memory_order_acquire);
+      if (busy == 0) continue;
+      const double stuck_ms = static_cast<double>(now_ns - busy) / 1e6;
+      if (stuck_ms >= threshold_ms &&
+          !worker.flagged.exchange(true, std::memory_order_acq_rel)) {
+        // Flagged once per stall (cleared when the batch finishes): a
+        // hung Classify hook is surfaced, not silent.
+        watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "[stm] serve: watchdog: worker %zu stuck in one batch "
+                     "for %.1f ms (threshold %.1f ms)\n",
+                     i, stuck_ms, threshold_ms);
+      }
+    }
   }
 }
 
@@ -249,24 +606,91 @@ void Server::Shutdown() {
     }
   }
   queue_cv_.notify_all();
-  for (auto& request : orphaned) {
-    request->promise.set_value(UnavailableError("server shut down"));
+  if (!orphaned.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.orphaned += orphaned.size();
   }
+  for (auto& request : orphaned) {
+    SafeSet(request->promise, UnavailableError("server shut down"));
+  }
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
   std::lock_guard<std::mutex> join_lock(join_mu_);
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 Server::Stats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.degrade_up = degrade_up_.load(std::memory_order_relaxed);
+  out.degrade_down = degrade_down_.load(std::memory_order_relaxed);
+  out.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Server::Health Server::health() const {
+  Health health;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    health.queue_size = queue_.size();
+    health.ready = !stopping_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(degrade_mu_);
+    health.pressure = pressure_;
+    health.ewma_batch_ms = ewma_batch_ms_;
+  }
+  health.tier = tier();
+  if (health.tier == DegradeTier::kShed) health.ready = false;
+  for (const auto& worker : worker_states_) {
+    if (worker->flagged.load(std::memory_order_acquire)) {
+      ++health.stuck_workers;
+    }
+  }
+  const Stats snapshot = stats();
+  const uint64_t submitted =
+      snapshot.accepted + snapshot.shed + snapshot.invalid;
+  if (submitted > 0) {
+    health.shed_rate =
+        static_cast<double>(snapshot.shed + snapshot.degrade_shed) /
+        static_cast<double>(submitted);
+  }
+  if (snapshot.accepted > 0) {
+    health.deadline_miss_rate =
+        static_cast<double>(snapshot.deadline_exceeded) /
+        static_cast<double>(snapshot.accepted);
+  }
+  return health;
+}
+
+void Server::RecordLatencyLocked(double ms) {
+  ++latencies_seen_;
+  if (latencies_ms_.size() < options_.latency_reservoir) {
+    latencies_ms_.push_back(ms);
+    return;
+  }
+  // Algorithm R: once full, keep each of the `latencies_seen_` recorded
+  // values in the sample with equal probability capacity/seen.
+  const uint64_t slot = latency_rng_.UniformInt(latencies_seen_);
+  if (slot < latencies_ms_.size()) {
+    latencies_ms_[slot] = ms;
+  }
 }
 
 std::vector<double> Server::TakeLatenciesMs() {
   std::lock_guard<std::mutex> lock(stats_mu_);
   std::vector<double> out;
   out.swap(latencies_ms_);
+  latencies_seen_ = 0;
   return out;
 }
 

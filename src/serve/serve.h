@@ -1,6 +1,7 @@
 #ifndef STM_SERVE_SERVE_H_
 #define STM_SERVE_SERVE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -9,10 +10,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "la/matrix.h"
 #include "plm/minilm.h"
@@ -43,6 +46,39 @@ namespace stm::serve {
 //  * Routing: any number of Classifier adapters register under model
 //    names; each request names the model it wants.
 //
+// Overload resilience (see DESIGN.md 5j): shedding is the LAST resort,
+// not the only response to pressure.
+//
+//  * Per-request deadlines: Submit takes a SubmitOptions with a relative
+//    deadline; a request whose deadline passed while it queued is failed
+//    with kDeadlineExceeded at drain time, cheaply, WITHOUT being
+//    encoded — under overload the encoder's capacity goes to requests
+//    that can still be answered in time. The batch-close heuristic is
+//    deadline-aware: a batch closes early when the tightest deadline in
+//    the queue would be at risk (estimated from an EWMA of batch wall
+//    time) if the worker kept waiting for the batch to fill.
+//  * Cooperative cancellation: a request may carry a CancelToken; once
+//    tripped, the request is dropped at the next drain with kCancelled.
+//  * Graceful degradation (STM_SERVE_DEGRADE=off|auto): under sustained
+//    pressure — an EWMA of the queue-depth fraction crossing a
+//    high-water mark — the server steps down a ladder
+//      full fidelity -> frozen int8 encoder -> cache-hit-only -> shed
+//    and steps back up (down the ladder) when pressure clears, with
+//    hysteresis (distinct high/low water marks plus a minimum dwell in
+//    pressure samples) so it does not flap. Every transition is counted;
+//    Health() reports the current tier. Int8-tier answers are marked
+//    Prediction::degraded (unless int8 already was the configured mode);
+//    cache-only answers come from entries the full-fidelity path wrote,
+//    so they stay bit-identical and unmarked, and cache-only misses shed.
+//  * No promise leak: a batch whose encode fails, or whose Classify hook
+//    throws, fails exactly the affected requests with a Status. Every
+//    admitted future resolves — with a Prediction or a Status — no
+//    matter which mix of faults, cancellations and deadlines occurs
+//    (pinned by tests/serve_chaos_test.cc).
+//  * Watchdog: with STM_SERVE_WATCHDOG_MS > 0, a watchdog thread flags
+//    (counter + stderr) any drain worker stuck in one batch longer than
+//    the threshold — a hung Classify hook is surfaced, not silent.
+//
 // Threading (see DESIGN.md 5h): the drain workers are DEDICATED
 // std::threads owned by the Server, never members of the global
 // ThreadPool. ThreadPool::Run serializes when called from inside a pool
@@ -52,11 +88,13 @@ namespace stm::serve {
 // global pool and participate in draining them, exactly like the batch
 // Run() callers do.
 //
-// Determinism: each document's result depends only on (model weights,
-// quant mode, token ids) — never on what else shared its batch, the
-// timing of arrivals, or STM_NUM_THREADS. This is the PR 5 invariant
-// (bucketed == per-doc, bit-for-bit) plus per-document classify hooks,
-// and is pinned by tests/serve_test.cc and bench_serve --smoke.
+// Determinism: each document's full-fidelity result depends only on
+// (model weights, quant mode, token ids) — never on what else shared its
+// batch, the timing of arrivals, or STM_NUM_THREADS. This is the PR 5
+// invariant (bucketed == per-doc, bit-for-bit) plus per-document
+// classify hooks, and is pinned by tests/serve_test.cc and bench_serve
+// --smoke. Degraded (int8-tier) answers trade that identity for
+// capacity, and say so.
 
 // ---- options ----
 
@@ -71,15 +109,81 @@ struct ServeOptions {
   // Dedicated drain threads. More than one lets a second batch encode
   // while the first is still in its classify hooks.
   size_t workers = 2;
+
+  // Default per-request deadline applied when SubmitOptions does not set
+  // one. 0 = no deadline.
+  double request_deadline_ms = 0.0;
+  // Graceful-degradation ladder on/off (STM_SERVE_DEGRADE=off|auto).
+  bool degrade_auto = false;
+  // Watchdog threshold for a worker stuck in one batch; 0 disables the
+  // watchdog thread entirely.
+  double watchdog_ms = 0.0;
+  // Fixed capacity of the latency reservoir sample (see
+  // TakeLatenciesMs); memory stays bounded no matter how long the
+  // server runs.
+  size_t latency_reservoir = 4096;
+
+  // Degradation hysteresis tuning (not environment-exposed; tests and
+  // benches set them directly). Pressure is an EWMA of queue_size /
+  // queue_depth sampled at every Submit.
+  double degrade_alpha = 0.05;       // EWMA smoothing per sample
+  double degrade_high_water = 0.5;   // step toward shedding above this
+  double degrade_low_water = 0.1;    // step toward full below this
+  size_t degrade_dwell_up = 16;      // min samples between up-steps
+  size_t degrade_dwell_down = 256;   // min samples between down-steps
 };
 
 // Options from the environment (validated via common/env_parse.h; a set
 // but malformed knob warns on stderr and keeps the default):
-//   STM_SERVE_MAX_BATCH    [1, 4096]      default 32
-//   STM_SERVE_DEADLINE_MS  [0, 60000]     default 2.0
-//   STM_SERVE_QUEUE_DEPTH  [1, 1048576]   default 256
-//   STM_SERVE_WORKERS      [1, 256]       default 2
+//   STM_SERVE_MAX_BATCH            [1, 4096]     default 32
+//   STM_SERVE_DEADLINE_MS          [0, 60000]    default 2.0
+//   STM_SERVE_QUEUE_DEPTH          [1, 1048576]  default 256
+//   STM_SERVE_WORKERS              [1, 256]      default 2
+//   STM_SERVE_REQUEST_DEADLINE_MS  [0, 600000]   default 0 (= none)
+//   STM_SERVE_DEGRADE              off|auto      default off
+//   STM_SERVE_WATCHDOG_MS          [0, 600000]   default 0 (= off)
 ServeOptions ServeOptionsFromEnv();
+
+// ---- per-request controls ----
+
+// Cooperative cancellation handle. The client keeps (a shared_ptr to)
+// the token and trips it; the server observes it at the next drain and
+// fails the request with kCancelled instead of encoding it. One token
+// may be shared by many requests (cancel a whole page of work at once).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+struct SubmitOptions {
+  // Relative deadline for this request, measured from Submit. 0 = use
+  // ServeOptions::request_deadline_ms (which may itself be 0 = none).
+  double deadline_ms = 0.0;
+  // Optional cancellation handle; null = not cancellable.
+  std::shared_ptr<const CancelToken> cancel;
+};
+
+// ---- degradation ladder ----
+
+enum class DegradeTier : int {
+  kFull = 0,       // fp32 (or the configured STM_QUANT mode) — reference
+  kInt8 = 1,       // frozen int8 encoder; answers marked `degraded`
+  kCacheOnly = 2,  // answer cache hits bit-identically, shed the rest
+  kShed = 3,       // admission rejects everything until pressure clears
+};
+
+std::string_view DegradeTierName(DegradeTier tier);
 
 // ---- the routing interface ----
 
@@ -92,6 +196,12 @@ struct Prediction {
   // Per-class scores when the method computes them anyway (cosines,
   // probabilities); empty otherwise.
   std::vector<float> scores;
+  // Which ladder tier served this answer, and whether the answer may
+  // differ from the full-fidelity batch path (true only for int8-tier
+  // answers when int8 was not the configured mode; cache-only hits are
+  // full-fidelity bits and stay false).
+  DegradeTier tier = DegradeTier::kFull;
+  bool degraded = false;
 };
 
 // One trained method behind the Server. Implementations declare which
@@ -100,7 +210,9 @@ struct Prediction {
 // deterministic pure functions of their inputs and safe to call
 // concurrently from several drain workers (every adapter in
 // core/serve_adapters.h is: inference-only forward passes over frozen
-// parameters).
+// parameters). A hook that throws fails ITS request with a Status — the
+// server isolates the exception; it never takes down the batch, a drain
+// worker, or the process.
 class Classifier {
  public:
   enum class Input {
@@ -130,11 +242,42 @@ class Server {
  public:
   struct Stats {
     uint64_t accepted = 0;   // requests admitted to the queue
-    uint64_t shed = 0;       // rejected kUnavailable: queue full
+    uint64_t shed = 0;       // rejected kUnavailable: queue full or
+                             // shed-tier admission
     uint64_t invalid = 0;    // rejected kInvalidArgument
     uint64_t completed = 0;  // predictions delivered
-    uint64_t batches = 0;    // drained batches
+    uint64_t batches = 0;    // drained batches that ran work
     size_t max_queue = 0;    // high-water queue depth
+
+    // Overload-resilience accounting. Every admitted request lands in
+    // exactly one bucket, so after all futures resolve:
+    //   accepted == completed + cancelled + deadline_exceeded
+    //             + degrade_shed + failed_requests + failed_batch_requests
+    //             + orphaned
+    // — the no-promise-leak conservation law the chaos test asserts.
+    uint64_t cancelled = 0;          // dropped at drain: CancelToken
+    uint64_t deadline_exceeded = 0;  // expired in queue, never encoded
+    uint64_t degrade_shed = 0;       // cache-only tier miss, shed at drain
+    uint64_t failed_requests = 0;    // Classify hook threw
+    uint64_t failed_batches = 0;     // encode step failed (whole batch)
+    uint64_t failed_batch_requests = 0;  // requests failed by those
+    uint64_t orphaned = 0;           // queued at Shutdown, kUnavailable
+    uint64_t degraded = 0;           // answers delivered with degraded set
+    uint64_t degrade_up = 0;         // ladder steps toward shedding
+    uint64_t degrade_down = 0;       // ladder steps toward full fidelity
+    uint64_t watchdog_stalls = 0;    // workers flagged stuck
+  };
+
+  // Point-in-time readiness snapshot for load balancers and operators.
+  struct Health {
+    bool ready = false;         // accepting work (not stopped, not kShed)
+    DegradeTier tier = DegradeTier::kFull;
+    double pressure = 0.0;      // EWMA of queue_size / queue_depth
+    double ewma_batch_ms = 0.0; // EWMA of batch wall time
+    size_t queue_size = 0;      // current queued (undrained) requests
+    size_t stuck_workers = 0;   // currently flagged by the watchdog
+    double shed_rate = 0.0;     // (shed + degrade_shed) / submitted
+    double deadline_miss_rate = 0.0;  // deadline_exceeded / accepted
   };
 
   // `model` is the shared encoder; it must not be trained while the
@@ -145,53 +288,103 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Registers `classifier` under `name`. Not thread-safe against
-  // in-flight Submit calls: register everything before serving traffic.
-  void Register(const std::string& name,
-                std::shared_ptr<const Classifier> classifier);
+  // Registers `classifier` under `name`. Registration is only legal
+  // before the first Submit: the routing map is read lock-free on the
+  // hot path once serving starts, so a late Register returns (and logs)
+  // kInvalidArgument instead of racing in-flight lookups.
+  Status Register(const std::string& name,
+                  std::shared_ptr<const Classifier> classifier);
 
   // Non-blocking admission. On acceptance the future resolves when the
-  // batch carrying the document completes. Rejections are immediate:
+  // batch carrying the document completes — always, with a Prediction or
+  // a Status (see the conservation law on Stats). Rejections are
+  // immediate:
   //   kInvalidArgument  unknown model name, or a token id outside the
   //                     encoder's vocabulary (checked here so a bad
   //                     request can never abort a drain worker);
-  //   kUnavailable      queue at queue_depth (shed), or shutting down.
+  //   kUnavailable      queue at queue_depth (shed), shed-tier
+  //                     degradation, or shutting down.
+  // Deferred resolutions:
+  //   kDeadlineExceeded deadline passed while queued (failed at drain,
+  //                     never encoded);
+  //   kCancelled        CancelToken tripped before the drain;
+  //   kUnavailable      cache-only tier miss, encode failure, or a
+  //                     throwing Classify hook.
   std::future<StatusOr<Prediction>> Submit(const std::string& model,
-                                           std::vector<int32_t> ids);
+                                           std::vector<int32_t> ids,
+                                           const SubmitOptions& submit);
+  std::future<StatusOr<Prediction>> Submit(const std::string& model,
+                                           std::vector<int32_t> ids) {
+    return Submit(model, std::move(ids), SubmitOptions{});
+  }
 
   // Blocking convenience: Submit + wait.
   StatusOr<Prediction> Serve(const std::string& model,
-                             std::vector<int32_t> ids);
+                             std::vector<int32_t> ids,
+                             const SubmitOptions& submit);
+  StatusOr<Prediction> Serve(const std::string& model,
+                             std::vector<int32_t> ids) {
+    return Serve(model, std::move(ids), SubmitOptions{});
+  }
 
   // Stops admitting, fails queued-but-undrained requests with
   // kUnavailable, and joins the workers. Idempotent.
   void Shutdown();
 
   Stats stats() const;
+  Health health() const;
 
   // Per-request latencies (admission -> prediction delivered) in
-  // milliseconds, drained destructively; the load bench derives p50/p99
-  // from these without a lock on the hot path beyond the stats mutex.
+  // milliseconds, drained destructively. A fixed-capacity reservoir
+  // sample (ServeOptions::latency_reservoir): uniform over everything
+  // recorded since the last Take, so p50/p99 computed on it estimate the
+  // true percentiles while a long-running server's memory stays bounded.
   std::vector<double> TakeLatenciesMs();
 
   const ServeOptions& options() const { return options_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Request {
     std::vector<int32_t> ids;
     const Classifier* classifier = nullptr;
     std::promise<StatusOr<Prediction>> promise;
     std::chrono::steady_clock::time_point enqueued;
+    // time_point::max() = no deadline.
+    std::chrono::steady_clock::time_point deadline;
+    std::shared_ptr<const CancelToken> cancel;
   };
 
-  void WorkerLoop();
+  // Per-worker watchdog slot, padded so heartbeats don't false-share.
+  struct alignas(64) WorkerState {
+    std::atomic<int64_t> busy_since_ns{0};  // 0 = idle
+    std::atomic<bool> flagged{false};
+  };
+
+  void WorkerLoop(size_t worker_index);
+  void WatchdogLoop();
   std::vector<std::unique_ptr<Request>> NextBatch();  // empty = shutdown
-  void RunBatch(std::vector<std::unique_ptr<Request>> batch);
+  void RunBatch(std::vector<std::unique_ptr<Request>> batch,
+                WorkerState* state);
+
+  DegradeTier tier() const {
+    return static_cast<DegradeTier>(tier_.load(std::memory_order_acquire));
+  }
+  // Feeds one queue-fraction sample into the pressure EWMA and, in
+  // degrade_auto mode, applies the hysteresis ladder transition rule.
+  void UpdatePressure(double queue_frac);
+  void RecordLatencyLocked(double ms);  // stats_mu_ held
 
   plm::MiniLm* const model_;
   const ServeOptions options_;
+
+  // Routing map: mutable only before serving starts (registry_mu_ guards
+  // the map and the serving_ latch together).
+  mutable std::mutex registry_mu_;
   std::unordered_map<std::string, std::shared_ptr<const Classifier>>
       classifiers_;
+  bool serving_ = false;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;  // signals arrivals and shutdown
@@ -200,7 +393,28 @@ class Server {
 
   mutable std::mutex stats_mu_;
   Stats stats_;
-  std::vector<double> latencies_ms_;
+  std::vector<double> latencies_ms_;  // reservoir, capacity latency_reservoir
+  uint64_t latencies_seen_ = 0;       // since last Take
+  Rng latency_rng_{0x1A7E};
+
+  // Degradation state. Lock order where nesting is needed: mu_ may be
+  // held when degrade_mu_ is taken (NextBatch reads the batch-time EWMA),
+  // never the reverse. Ladder counters are atomics so transitions never
+  // need stats_mu_ under degrade_mu_.
+  mutable std::mutex degrade_mu_;
+  double pressure_ = 0.0;
+  double ewma_batch_ms_ = 0.0;
+  size_t samples_since_change_ = 0;
+  std::atomic<int> tier_{0};
+  std::atomic<uint64_t> degrade_up_{0};
+  std::atomic<uint64_t> degrade_down_{0};
+  std::atomic<uint64_t> watchdog_stalls_{0};
+
+  std::vector<std::unique_ptr<WorkerState>> worker_states_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
 
   std::mutex join_mu_;  // serializes concurrent Shutdown() joins
   std::vector<std::thread> workers_;

@@ -1,0 +1,554 @@
+// Chaos and degradation tests for the serve layer (serve/serve.h).
+//
+// serve_test.cc pins the sunny-day contracts (bit-identity, admission
+// control, deadlines and cancellation in isolation). This file attacks
+// the overload-resilience machinery:
+//
+//  * the graceful-degradation ladder steps up under pressure and back
+//    down when it clears, with every transition counted;
+//  * the cache-only tier answers cache hits bit-identically and sheds
+//    misses instead of encoding;
+//  * the shed tier rejects at admission and Health() reports not-ready;
+//  * the watchdog flags a worker stuck in one batch;
+//  * the chaos test: 2x queue capacity of concurrent traffic with mixed
+//    deadlines, cancellations, invalid requests and injected classifier
+//    faults — every admitted future resolves, the request-conservation
+//    law holds exactly, and every non-degraded answer is bit-identical
+//    to the batch reference.
+//
+// Built into stm_serve_tests (ctest label "serve") so scripts/check.sh
+// runs all of this under BOTH ASan and TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/serve_adapters.h"
+#include "index/ann.h"
+#include "la/matrix.h"
+#include "plm/batch_scheduler.h"
+#include "plm/encode_cache.h"
+#include "plm/minilm.h"
+#include "plm/quantized_minilm.h"
+#include "serve/fault_injection.h"
+#include "serve/serve.h"
+#include "text/vocabulary.h"
+
+namespace stm {
+namespace {
+
+struct ServeGuard {
+  ~ServeGuard() {
+    plm::SetQuantInference(-1);
+    plm::SetBatchOptions(plm::BatchOptions{});
+    ThreadPool::Reset(ThreadPool::ConfiguredThreads());
+  }
+};
+
+plm::MiniLmConfig TestConfig(size_t vocab) {
+  plm::MiniLmConfig config;
+  config.vocab_size = vocab;
+  config.dim = 24;
+  config.layers = 2;
+  config.heads = 4;
+  config.ffn_dim = 48;
+  config.max_seq = 32;
+  config.seed = 7;
+  return config;
+}
+
+std::vector<std::vector<int32_t>> MixedDocs(size_t count, size_t vocab,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> docs;
+  docs.push_back({});
+  for (size_t d = 1; d < count; ++d) {
+    const size_t len = 2 + rng.UniformInt(30);
+    std::vector<int32_t> doc(len);
+    for (int32_t& id : doc) {
+      id = text::kNumSpecialTokens +
+           static_cast<int32_t>(
+               rng.UniformInt(vocab - text::kNumSpecialTokens));
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+// Parks inside Classify until released; used to hold a drain worker busy
+// so the queue (and the pressure EWMA) can be driven deterministically.
+class BlockingClassifier : public serve::Classifier {
+ public:
+  std::string name() const override { return "blocking"; }
+  size_t num_classes() const override { return 1; }
+  Input input() const override { return Input::kTokens; }
+
+  serve::Prediction Classify(const std::vector<int32_t>&, const float*,
+                             const la::Matrix*) const override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++entered_;
+      entered_cv_.notify_all();
+      release_cv_.wait(lock, [&] { return released_; });
+    }
+    serve::Prediction prediction;
+    prediction.label = 0;
+    return prediction;
+  }
+
+  void AwaitEntered(int count) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [&] { return entered_ >= count; });
+  }
+
+  void Release() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable entered_cv_;
+  mutable std::condition_variable release_cv_;
+  mutable int entered_ = 0;
+  mutable bool released_ = false;
+};
+
+class ServeChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new plm::MiniLm(TestConfig(kVocab));
+    docs_ = new std::vector<std::vector<int32_t>>(MixedDocs(48, kVocab, 33));
+    class_names_ = new std::vector<std::vector<int32_t>>();
+    for (size_t c = 0; c < kClasses; ++c) {
+      class_names_->push_back(
+          {static_cast<int32_t>(text::kNumSpecialTokens + c),
+           static_cast<int32_t>(text::kNumSpecialTokens + kClasses + c)});
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete docs_;
+    delete class_names_;
+    model_ = nullptr;
+    docs_ = nullptr;
+    class_names_ = nullptr;
+  }
+
+  static std::vector<int> BatchSimpleMatch() {
+    const la::Matrix class_reps = model_->PoolBatch(*class_names_);
+    const la::Matrix doc_reps = model_->PoolBatch(*docs_);
+    const std::vector<std::vector<ann::Neighbor>> top =
+        ann::TopKSimilar(doc_reps, class_reps, 1);
+    std::vector<int> predictions(docs_->size(), 0);
+    for (size_t d = 0; d < docs_->size(); ++d) {
+      predictions[d] = static_cast<int>(top[d][0].id);
+    }
+    return predictions;
+  }
+
+  static constexpr size_t kVocab = 120;
+  static constexpr size_t kClasses = 4;
+  static plm::MiniLm* model_;
+  static std::vector<std::vector<int32_t>>* docs_;
+  static std::vector<std::vector<int32_t>>* class_names_;
+};
+
+plm::MiniLm* ServeChaosTest::model_ = nullptr;
+std::vector<std::vector<int32_t>>* ServeChaosTest::docs_ = nullptr;
+std::vector<std::vector<int32_t>>* ServeChaosTest::class_names_ = nullptr;
+
+// ---- degradation ladder ----
+
+TEST_F(ServeChaosTest, LadderStepsUpUnderPressureAndRecovers) {
+  ServeGuard guard;
+  plm::SetQuantInference(0);  // baseline fp32, so int8 tier IS degraded
+  auto blocking = std::make_shared<BlockingClassifier>();
+
+  serve::ServeOptions options;
+  options.max_batch = 1;
+  options.deadline_ms = 0.0;
+  options.queue_depth = 16;
+  options.workers = 1;
+  options.degrade_auto = true;
+  // alpha=1 makes the pressure EWMA equal the latest queue-fraction
+  // sample, so the walk below is fully deterministic.
+  options.degrade_alpha = 1.0;
+  options.degrade_high_water = 0.3;
+  options.degrade_low_water = 0.1;
+  options.degrade_dwell_up = 2;
+  options.degrade_dwell_down = 2;
+  serve::Server server(model_, options);
+  ASSERT_TRUE(server.Register("block", blocking).ok());
+  ASSERT_TRUE(server
+                  .Register("match", core::MakePlmSimpleMatchServable(
+                                         model_, *class_names_))
+                  .ok());
+
+  const std::vector<int> want = BatchSimpleMatch();
+  const std::vector<int32_t> block_doc = {text::kNumSpecialTokens};
+
+  // Park the single worker, then build queue pressure: fractions
+  // 1/16 .. 5/16; the 5/16 = 0.3125 sample crosses the 0.3 high water
+  // with dwell satisfied and steps kFull -> kInt8.
+  std::vector<std::future<StatusOr<serve::Prediction>>> parked;
+  parked.push_back(server.Submit("block", block_doc));
+  blocking->AwaitEntered(1);
+  for (int i = 0; i < 5; ++i) {
+    parked.push_back(server.Submit("block", block_doc));
+  }
+  EXPECT_EQ(server.health().tier, serve::DegradeTier::kInt8);
+  EXPECT_EQ(server.stats().degrade_up, 1u);
+
+  // A pooled-input request submitted now drains at the int8 tier (the
+  // 6/16 sample is dwell-blocked, so the tier cannot move again first).
+  auto degraded_future = server.Submit("match", (*docs_)[1]);
+
+  blocking->Release();
+  for (auto& future : parked) {
+    EXPECT_TRUE(future.get().ok());
+  }
+  StatusOr<serve::Prediction> degraded = degraded_future.get();
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(degraded->tier, serve::DegradeTier::kInt8);
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(server.stats().degraded, 1u);
+
+  // Pressure cleared: the next submit samples 1/16 = 0.0625 < 0.1 with
+  // dwell satisfied and steps back down to kFull. Requests after the
+  // transition are full fidelity again, bit-identical to batch.
+  EXPECT_TRUE(server.Serve("match", (*docs_)[2]).ok());
+  EXPECT_EQ(server.health().tier, serve::DegradeTier::kFull);
+  EXPECT_EQ(server.stats().degrade_down, 1u);
+  StatusOr<serve::Prediction> recovered = server.Serve("match", (*docs_)[3]);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->tier, serve::DegradeTier::kFull);
+  EXPECT_FALSE(recovered->degraded);
+  EXPECT_EQ(recovered->label, want[3]);
+}
+
+TEST_F(ServeChaosTest, CacheOnlyTierServesHitsBitIdenticallyAndShedsMisses) {
+  ServeGuard guard;
+  plm::SetQuantInference(0);
+  plm::ScopedEncodeCache cache(model_);
+  auto blocking = std::make_shared<BlockingClassifier>();
+
+  serve::ServeOptions options;
+  options.max_batch = 1;
+  options.deadline_ms = 0.0;
+  options.queue_depth = 16;
+  options.workers = 1;
+  options.degrade_auto = true;
+  options.degrade_alpha = 1.0;
+  options.degrade_high_water = 0.3;
+  options.degrade_low_water = 0.01;  // below 1/16: the tier never recovers
+  options.degrade_dwell_up = 1;
+  options.degrade_dwell_down = 1;
+  serve::Server server(model_, options);
+  ASSERT_TRUE(server.Register("block", blocking).ok());
+  ASSERT_TRUE(server
+                  .Register("match", core::MakePlmSimpleMatchServable(
+                                         model_, *class_names_))
+                  .ok());
+
+  // Warm the cache with the full-fidelity bits for doc 1 (PoolBatch
+  // inserts on miss), and compute the batch reference scores.
+  const la::Matrix class_reps = model_->PoolBatch(*class_names_);
+  const la::Matrix warm_rep = model_->PoolBatch({(*docs_)[1]});
+  const la::Matrix panel = ann::SimilarityPanel(warm_rep, class_reps);
+
+  // Two up-steps: fractions 5/16 then 6/16 both cross 0.3 with dwell 1,
+  // landing on kCacheOnly.
+  std::vector<std::future<StatusOr<serve::Prediction>>> parked;
+  parked.push_back(server.Submit("block", {text::kNumSpecialTokens}));
+  blocking->AwaitEntered(1);
+  for (int i = 0; i < 6; ++i) {
+    parked.push_back(server.Submit("block", {text::kNumSpecialTokens}));
+  }
+  ASSERT_EQ(server.health().tier, serve::DegradeTier::kCacheOnly);
+  blocking->Release();
+  for (auto& future : parked) {
+    EXPECT_TRUE(future.get().ok());
+  }
+
+  // Cache hit: answered WITHOUT the encoder, bit-identical to the batch
+  // panel, and NOT marked degraded (the bits came from the full path).
+  StatusOr<serve::Prediction> hit = server.Serve("match", (*docs_)[1]);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_EQ(hit->tier, serve::DegradeTier::kCacheOnly);
+  EXPECT_FALSE(hit->degraded);
+  ASSERT_EQ(hit->scores.size(), kClasses);
+  for (size_t c = 0; c < kClasses; ++c) {
+    EXPECT_EQ(hit->scores[c], panel.At(0, c)) << "class " << c;
+  }
+
+  // Cache miss: shed with kUnavailable instead of encoding.
+  StatusOr<serve::Prediction> miss = server.Serve("match", (*docs_)[2]);
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(server.stats().degrade_shed, 1u);
+  EXPECT_EQ(server.health().tier, serve::DegradeTier::kCacheOnly);
+}
+
+TEST_F(ServeChaosTest, ShedTierRejectsAtAdmissionAndStepsBackDown) {
+  ServeGuard guard;
+  plm::SetQuantInference(0);
+  auto blocking = std::make_shared<BlockingClassifier>();
+
+  serve::ServeOptions options;
+  options.max_batch = 1;
+  options.deadline_ms = 0.0;
+  options.queue_depth = 4;
+  options.workers = 1;
+  options.degrade_auto = true;
+  options.degrade_alpha = 1.0;
+  options.degrade_high_water = 0.5;
+  options.degrade_low_water = 0.3;
+  options.degrade_dwell_up = 1;
+  options.degrade_dwell_down = 1;
+  serve::Server server(model_, options);
+  ASSERT_TRUE(server.Register("block", blocking).ok());
+
+  const std::vector<int32_t> doc = {text::kNumSpecialTokens};
+  // Park, fill the queue (fractions .25, .5, .75 -> kInt8, 1.0 ->
+  // kCacheOnly), then overflow: the queue-full shed samples 1.0 and steps
+  // to kShed.
+  std::vector<std::future<StatusOr<serve::Prediction>>> parked;
+  parked.push_back(server.Submit("block", doc));
+  blocking->AwaitEntered(1);
+  for (int i = 0; i < 4; ++i) {
+    parked.push_back(server.Submit("block", doc));
+  }
+  StatusOr<serve::Prediction> overflow = server.Submit("block", doc).get();
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kUnavailable);
+  ASSERT_EQ(server.health().tier, serve::DegradeTier::kShed);
+  EXPECT_FALSE(server.health().ready);  // load balancers should back off
+
+  // At the shed tier, rejection happens at admission even though the
+  // queue has room again after release.
+  blocking->Release();
+  for (auto& future : parked) {
+    EXPECT_TRUE(future.get().ok());
+  }
+  StatusOr<serve::Prediction> shed = server.Serve("block", doc);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+
+  // That rejected submit sampled an empty queue (0.0 < low water), so the
+  // ladder begins stepping down; a few trickle requests walk it back to
+  // kFull, and they are served normally once below kShed.
+  for (int i = 0; i < 8 && server.health().tier != serve::DegradeTier::kFull;
+       ++i) {
+    (void)server.Serve("block", doc);
+  }
+  EXPECT_EQ(server.health().tier, serve::DegradeTier::kFull);
+  EXPECT_TRUE(server.health().ready);
+  EXPECT_GE(server.stats().degrade_down, 3u);
+  EXPECT_TRUE(server.Serve("block", doc).ok());
+}
+
+// ---- watchdog ----
+
+TEST_F(ServeChaosTest, WatchdogFlagsWorkerStuckInOneBatch) {
+  ServeGuard guard;
+  auto blocking = std::make_shared<BlockingClassifier>();
+  serve::ServeOptions options;
+  options.max_batch = 1;
+  options.deadline_ms = 0.0;
+  options.workers = 1;
+  options.watchdog_ms = 20.0;
+  serve::Server server(model_, options);
+  ASSERT_TRUE(server.Register("block", blocking).ok());
+
+  auto parked = server.Submit("block", {text::kNumSpecialTokens});
+  blocking->AwaitEntered(1);
+  // The worker is now stuck inside Classify; the watchdog polls at
+  // watchdog_ms/4 and must flag it within a couple of thresholds.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().watchdog_stalls == 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server.stats().watchdog_stalls, 1u);
+  EXPECT_EQ(server.health().stuck_workers, 1u);
+
+  blocking->Release();
+  EXPECT_TRUE(parked.get().ok());
+  // The flag clears when the batch completes.
+  const auto clear_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.health().stuck_workers != 0 &&
+         std::chrono::steady_clock::now() < clear_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(server.health().stuck_workers, 0u);
+  // A healthy fast batch afterwards is NOT flagged again.
+  EXPECT_TRUE(server.Serve("block", {text::kNumSpecialTokens}).ok());
+  EXPECT_EQ(server.stats().watchdog_stalls, 1u);
+}
+
+// ---- the chaos test ----
+
+TEST_F(ServeChaosTest, ChaosEveryFutureResolvesAndAccountingBalances) {
+  ServeGuard guard;
+  plm::SetQuantInference(0);
+  const std::vector<int> want = BatchSimpleMatch();
+
+  auto fault = std::make_shared<serve::FaultInjectingClassifier>(
+      core::MakePlmSimpleMatchServable(model_, *class_names_));
+  fault->ThrowEveryNth(7);
+
+  serve::ServeOptions options;
+  options.max_batch = 8;
+  options.deadline_ms = 1.0;
+  options.queue_depth = 32;
+  options.workers = 3;
+  options.degrade_auto = true;
+  options.degrade_alpha = 0.25;
+  options.degrade_high_water = 0.75;
+  options.degrade_low_water = 0.3;
+  options.degrade_dwell_up = 4;
+  options.degrade_dwell_down = 64;
+  serve::Server server(model_, options);
+  ASSERT_TRUE(server.Register("match", fault).ok());
+
+  // Pre-storm sanity: sequential traffic stays at the full tier and is
+  // bit-identical to batch (the every-7th fault has not armed yet at
+  // call counts 1..6 of 7).
+  for (size_t d = 0; d < 6; ++d) {
+    StatusOr<serve::Prediction> before = server.Serve("match", (*docs_)[d]);
+    ASSERT_TRUE(before.ok()) << before.status().ToString();
+    EXPECT_FALSE(before->degraded);
+    EXPECT_EQ(before->label, want[d]) << "doc " << d;
+  }
+  const uint64_t pre_storm_completed = server.stats().completed;
+  EXPECT_EQ(pre_storm_completed, 6u);
+
+  // 2x queue capacity of concurrent traffic, from several client threads,
+  // with every hostile ingredient at once: tight deadlines, cancellations
+  // racing the drain, invalid token ids, and a classifier that throws on
+  // every 7th call.
+  constexpr int kClients = 4;
+  const int per_client =
+      static_cast<int>(2 * options.queue_depth) / kClients;
+  struct Issued {
+    std::future<StatusOr<serve::Prediction>> future;
+    size_t doc = 0;
+    bool invalid = false;
+  };
+  std::mutex issued_mu;
+  std::vector<Issued> issued;
+  std::vector<std::thread> clients;
+  std::atomic<uint64_t> submitted{0};
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < per_client; ++i) {
+        const size_t d = rng.UniformInt(docs_->size());
+        serve::SubmitOptions submit;
+        const double coin = rng.Uniform();
+        std::shared_ptr<serve::CancelToken> token;
+        if (coin < 0.2) {
+          submit.deadline_ms = 0.2;  // will often expire in queue
+        } else if (coin < 0.4) {
+          token = std::make_shared<serve::CancelToken>();
+          submit.cancel = token;
+        }
+        Issued record;
+        record.doc = d;
+        if (rng.Uniform() < 0.05) {
+          record.invalid = true;
+          record.future =
+              server.Submit("match", {static_cast<int32_t>(kVocab) + 7},
+                            submit);
+        } else {
+          record.future = server.Submit("match", (*docs_)[d], submit);
+        }
+        ++submitted;
+        if (token != nullptr && rng.Uniform() < 0.5) token->Cancel();
+        {
+          std::lock_guard<std::mutex> lock(issued_mu);
+          issued.push_back(std::move(record));
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  ASSERT_EQ(submitted.load(), static_cast<uint64_t>(2 * options.queue_depth));
+  submitted += 6;  // the pre-storm requests share the same counters
+
+  // EVERY future must resolve — no stranded promises, no matter which mix
+  // of faults each request hit.
+  size_t ok_full_fidelity = 0;
+  for (Issued& record : issued) {
+    ASSERT_EQ(record.future.wait_for(std::chrono::seconds(60)),
+              std::future_status::ready)
+        << "stranded promise";
+    StatusOr<serve::Prediction> result = record.future.get();
+    if (record.invalid) {
+      ASSERT_FALSE(result.ok());
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+      continue;
+    }
+    if (result.ok()) {
+      // Non-degraded answers are bit-identical to the batch reference
+      // even amid the chaos.
+      if (!result->degraded) {
+        EXPECT_EQ(result->label, want[record.doc])
+            << "doc " << record.doc;
+        ++ok_full_fidelity;
+      }
+    } else {
+      const StatusCode code = result.status().code();
+      EXPECT_TRUE(code == StatusCode::kUnavailable ||
+                  code == StatusCode::kDeadlineExceeded ||
+                  code == StatusCode::kCancelled)
+          << result.status().ToString();
+    }
+  }
+
+  // The request-conservation law: every admitted request lands in exactly
+  // one terminal bucket.
+  const serve::Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.accepted,
+            stats.completed + stats.cancelled + stats.deadline_exceeded +
+                stats.degrade_shed + stats.failed_requests +
+                stats.failed_batch_requests + stats.orphaned);
+  EXPECT_EQ(stats.accepted + stats.shed + stats.invalid, submitted.load());
+  EXPECT_EQ(stats.failed_batches, 0u);  // faults are per-request here
+  // Whether any storm request completed at full fidelity depends on how
+  // fast the ladder stepped; when one did, it was checked bit-identical
+  // above. The pre-storm phase pinned the guarantee deterministically.
+  (void)ok_full_fidelity;
+
+  // And the server is still healthy: after the storm clears (the ladder
+  // may need trickle traffic to step back down, and the every-7th fault
+  // may still fire), a clean request gets the reference answer.
+  bool served_clean = false;
+  for (int attempt = 0; attempt < 300 && !served_clean; ++attempt) {
+    StatusOr<serve::Prediction> after = server.Serve("match", (*docs_)[1]);
+    if (after.ok() && !after->degraded) {
+      EXPECT_EQ(after->label, want[1]);
+      served_clean = true;
+    }
+  }
+  EXPECT_TRUE(served_clean);
+}
+
+}  // namespace
+}  // namespace stm

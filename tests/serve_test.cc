@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <future>
@@ -32,6 +33,8 @@
 #include "plm/batch_scheduler.h"
 #include "plm/minilm.h"
 #include "plm/quantized_minilm.h"
+#include "serve/fault_injection.h"
+#include "serve/retry.h"
 #include "serve/serve.h"
 #include "taxonomy/taxonomy.h"
 #include "text/vocabulary.h"
@@ -112,6 +115,13 @@ class BlockingClassifier : public serve::Classifier {
     release_cv_.notify_all();
   }
 
+  // Total Classify calls — lets tests prove a dropped (cancelled/expired)
+  // request never reached the hook.
+  int entered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entered_;
+  }
+
  private:
   mutable std::mutex mu_;
   mutable std::condition_variable entered_cv_;
@@ -183,10 +193,10 @@ class ServeTest : public ::testing::Test {
     options.deadline_ms = 5.0;
     options.workers = 2;
     serve::Server server(model_, options);
-    server.Register("match",
-                    core::MakePlmSimpleMatchServable(model_, *class_names_));
-    server.Register("bow", std::make_shared<core::TextClassifierServable>(
-                               "bow", *bow_, kClasses));
+    ASSERT_TRUE(server.Register("match",
+                    core::MakePlmSimpleMatchServable(model_, *class_names_)).ok());
+    ASSERT_TRUE(server.Register("bow", std::make_shared<core::TextClassifierServable>(
+                               "bow", *bow_, kClasses)).ok());
 
     std::vector<std::future<StatusOr<serve::Prediction>>> match_futures;
     std::vector<std::future<StatusOr<serve::Prediction>>> bow_futures;
@@ -262,8 +272,8 @@ TEST_F(ServeTest, PooledScoresBitIdenticalToBatchPool) {
   const la::Matrix panel = ann::SimilarityPanel(doc_reps, class_reps);
 
   serve::Server server(model_, serve::ServeOptions{});
-  server.Register("match",
-                  core::MakePlmSimpleMatchServable(model_, *class_names_));
+  ASSERT_TRUE(server.Register("match",
+                  core::MakePlmSimpleMatchServable(model_, *class_names_)).ok());
   for (size_t d = 0; d < docs_->size(); ++d) {
     StatusOr<serve::Prediction> got = server.Serve("match", (*docs_)[d]);
     ASSERT_TRUE(got.ok());
@@ -333,8 +343,8 @@ TEST_F(ServeTest, TaxoServableMatchesBatchRule) {
   const la::Matrix probs = classifier->PredictProbs(features);
 
   serve::Server server(model_, serve::ServeOptions{});
-  server.Register("taxo", std::make_shared<core::TaxoClassServable>(
-                              "taxo", classifier, &tree, kVocab, threshold));
+  ASSERT_TRUE(server.Register("taxo", std::make_shared<core::TaxoClassServable>(
+                              "taxo", classifier, &tree, kVocab, threshold)).ok());
   for (size_t d = 0; d < docs_->size(); ++d) {
     // Batch rule, as in TaxoClass::Run.
     float best_leaf_prob = 0.0f;
@@ -385,8 +395,8 @@ TEST_F(ServeTest, ConcurrentClientsBitIdentical) {
   options.deadline_ms = 1.0;
   options.workers = 3;
   serve::Server server(model_, options);
-  server.Register("match",
-                  core::MakePlmSimpleMatchServable(model_, *class_names_));
+  ASSERT_TRUE(server.Register("match",
+                  core::MakePlmSimpleMatchServable(model_, *class_names_)).ok());
 
   constexpr int kClients = 4;
   constexpr int kPerClient = 24;
@@ -425,7 +435,7 @@ TEST_F(ServeTest, QueueFullShedsWithUnavailable) {
   options.queue_depth = 2;
   options.workers = 1;
   serve::Server server(model_, options);
-  server.Register("block", blocking);
+  ASSERT_TRUE(server.Register("block", blocking).ok());
 
   const std::vector<int32_t> doc = {text::kNumSpecialTokens};
   // First request is drained immediately and parks inside Classify.
@@ -456,8 +466,8 @@ TEST_F(ServeTest, QueueFullShedsWithUnavailable) {
 TEST_F(ServeTest, InvalidRequestsAreStatusesNotCrashes) {
   ServeGuard guard;
   serve::Server server(model_, serve::ServeOptions{});
-  server.Register("match",
-                  core::MakePlmSimpleMatchServable(model_, *class_names_));
+  ASSERT_TRUE(server.Register("match",
+                  core::MakePlmSimpleMatchServable(model_, *class_names_)).ok());
 
   StatusOr<serve::Prediction> unknown =
       server.Serve("no-such-model", {text::kNumSpecialTokens});
@@ -487,7 +497,7 @@ TEST_F(ServeTest, ShutdownFailsQueuedAndRejectsNew) {
   options.deadline_ms = 0.0;
   options.workers = 1;
   serve::Server server(model_, options);
-  server.Register("block", blocking);
+  ASSERT_TRUE(server.Register("block", blocking).ok());
 
   const std::vector<int32_t> doc = {text::kNumSpecialTokens};
   auto parked = server.Submit("block", doc);
@@ -517,8 +527,8 @@ TEST_F(ServeTest, DeadlineCoalescesIntoSharedBatches) {
   options.deadline_ms = 50.0;
   options.workers = 1;
   serve::Server server(model_, options);
-  server.Register("match",
-                  core::MakePlmSimpleMatchServable(model_, *class_names_));
+  ASSERT_TRUE(server.Register("match",
+                  core::MakePlmSimpleMatchServable(model_, *class_names_)).ok());
 
   std::vector<std::future<StatusOr<serve::Prediction>>> futures;
   for (size_t d = 0; d < 8; ++d) {
@@ -537,12 +547,289 @@ TEST_F(ServeTest, DeadlineCoalescesIntoSharedBatches) {
   EXPECT_TRUE(server.TakeLatenciesMs().empty());  // drained destructively
 }
 
+// ---- overload resilience: deadlines, cancellation, faults, retry ----
+
+TEST_F(ServeTest, RegisterAfterFirstSubmitIsRejected) {
+  ServeGuard guard;
+  serve::Server server(model_, serve::ServeOptions{});
+  ASSERT_TRUE(server
+                  .Register("match", core::MakePlmSimpleMatchServable(
+                                         model_, *class_names_))
+                  .ok());
+  EXPECT_TRUE(server.Serve("match", (*docs_)[1]).ok());
+  // The routing map is read unsynchronized once serving starts, so a late
+  // Register must be refused, not raced.
+  const Status late = server.Register(
+      "late", core::MakePlmSimpleMatchServable(model_, *class_names_));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.code(), StatusCode::kInvalidArgument);
+  StatusOr<serve::Prediction> miss = server.Serve("late", (*docs_)[1]);
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, LatencyReservoirStaysBounded) {
+  ServeGuard guard;
+  serve::ServeOptions options;
+  options.latency_reservoir = 8;
+  serve::Server server(model_, options);
+  ASSERT_TRUE(server
+                  .Register("match", core::MakePlmSimpleMatchServable(
+                                         model_, *class_names_))
+                  .ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        server.Serve("match", (*docs_)[i % docs_->size()]).ok());
+  }
+  // 50 completions, but the reservoir holds exactly its capacity.
+  const std::vector<double> sample = server.TakeLatenciesMs();
+  EXPECT_EQ(sample.size(), 8u);
+  for (const double ms : sample) EXPECT_GT(ms, 0.0);
+  // Take resets the seen-counter too: the next completion is recorded as
+  // if fresh, not thinned by the pre-Take history.
+  ASSERT_TRUE(server.Serve("match", (*docs_)[0]).ok());
+  EXPECT_EQ(server.TakeLatenciesMs().size(), 1u);
+}
+
+TEST_F(ServeTest, DeadlineExpiresInQueueWithoutReachingClassifier) {
+  ServeGuard guard;
+  auto blocking = std::make_shared<BlockingClassifier>();
+  serve::ServeOptions options;
+  options.max_batch = 1;
+  options.deadline_ms = 0.0;
+  options.workers = 1;
+  serve::Server server(model_, options);
+  ASSERT_TRUE(server.Register("block", blocking).ok());
+
+  const std::vector<int32_t> doc = {text::kNumSpecialTokens};
+  auto parked = server.Submit("block", doc);
+  blocking->AwaitEntered(1);
+  // Queued behind the parked batch with a 1 ms budget that will be long
+  // gone by the time the worker drains again.
+  serve::SubmitOptions tight;
+  tight.deadline_ms = 1.0;
+  auto doomed = server.Submit("block", doc, tight);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  blocking->Release();
+
+  StatusOr<serve::Prediction> result = doomed.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(parked.get().ok());
+  const serve::Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  // The expired request was failed at drain, cheaply: only the parked
+  // request ever reached the classifier.
+  EXPECT_EQ(blocking->entered(), 1);
+}
+
+TEST_F(ServeTest, CancellationDropsRequestAtDrain) {
+  ServeGuard guard;
+  auto blocking = std::make_shared<BlockingClassifier>();
+  serve::ServeOptions options;
+  options.max_batch = 1;
+  options.deadline_ms = 0.0;
+  options.workers = 1;
+  serve::Server server(model_, options);
+  ASSERT_TRUE(server.Register("block", blocking).ok());
+
+  const std::vector<int32_t> doc = {text::kNumSpecialTokens};
+  auto parked = server.Submit("block", doc);
+  blocking->AwaitEntered(1);
+  auto token = std::make_shared<serve::CancelToken>();
+  serve::SubmitOptions cancellable;
+  cancellable.cancel = token;
+  auto doomed = server.Submit("block", doc, cancellable);
+  token->Cancel();
+  blocking->Release();
+
+  StatusOr<serve::Prediction> result = doomed.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(parked.get().ok());
+  const serve::Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(blocking->entered(), 1);
+}
+
+TEST_F(ServeTest, DeadlineAwareCloseRunsBatchBeforeFillDeadline) {
+  ServeGuard guard;
+  plm::SetQuantInference(0);
+  serve::ServeOptions options;
+  options.max_batch = 64;
+  options.deadline_ms = 1000.0;  // a lone request would wait a full second
+  options.workers = 1;
+  serve::Server server(model_, options);
+  ASSERT_TRUE(server
+                  .Register("match", core::MakePlmSimpleMatchServable(
+                                         model_, *class_names_))
+                  .ok());
+
+  // A 30 ms per-request deadline must close the batch early: waiting out
+  // the 1 s fill window could only convert the request into a miss.
+  serve::SubmitOptions tight;
+  tight.deadline_ms = 30.0;
+  const auto start = std::chrono::steady_clock::now();
+  auto future = server.Submit("match", (*docs_)[1], tight);
+  ASSERT_EQ(future.wait_for(std::chrono::milliseconds(900)),
+            std::future_status::ready)
+      << "batch waited out the fill deadline despite a tight request "
+         "deadline";
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed_ms, 900.0);
+  // Under normal scheduling the request also completes in time.
+  StatusOr<serve::Prediction> result = future.get();
+  if (result.ok()) {
+    EXPECT_EQ(result->label, BatchSimpleMatch()[1]);
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST_F(ServeTest, ThrowingClassifierFailsRequestNotProcess) {
+  ServeGuard guard;
+  plm::SetQuantInference(0);
+  auto fault = std::make_shared<serve::FaultInjectingClassifier>(
+      core::MakePlmSimpleMatchServable(model_, *class_names_));
+  serve::ServeOptions options;
+  options.workers = 1;
+  serve::Server server(model_, options);
+  ASSERT_TRUE(server.Register("match", fault).ok());
+
+  fault->ThrowNext(1);
+  StatusOr<serve::Prediction> failed = server.Serve("match", (*docs_)[1]);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  // The status names the offender so operators can find it.
+  EXPECT_NE(failed.status().ToString().find("plm-simple-match"),
+            std::string::npos);
+
+  // The drain worker survived: the next request gets the reference answer.
+  StatusOr<serve::Prediction> ok = server.Serve("match", (*docs_)[1]);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->label, BatchSimpleMatch()[1]);
+  const serve::Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.failed_requests, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(fault->injected_throws(), 1u);
+}
+
+TEST_F(ServeTest, ServeWithRetryNeverRetriesInvalidArgument) {
+  ServeGuard guard;
+  serve::Server server(model_, serve::ServeOptions{});
+  ASSERT_TRUE(server
+                  .Register("match", core::MakePlmSimpleMatchServable(
+                                         model_, *class_names_))
+                  .ok());
+  RetryOptions retry;
+  retry.max_attempts = 5;
+  retry.initial_backoff_ms = 1;
+  StatusOr<serve::Prediction> bad = serve::ServeWithRetry(
+      server, "no-such-model", {text::kNumSpecialTokens}, {}, retry);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  // Exactly ONE attempt: resending a malformed request can never help.
+  EXPECT_EQ(server.stats().invalid, 1u);
+}
+
+TEST_F(ServeTest, ServeWithRetryRetriesShedsThenGivesUp) {
+  ServeGuard guard;
+  auto blocking = std::make_shared<BlockingClassifier>();
+  serve::ServeOptions options;
+  options.max_batch = 1;
+  options.deadline_ms = 0.0;
+  options.queue_depth = 1;
+  options.workers = 1;
+  serve::Server server(model_, options);
+  ASSERT_TRUE(server.Register("block", blocking).ok());
+
+  const std::vector<int32_t> doc = {text::kNumSpecialTokens};
+  auto parked = server.Submit("block", doc);
+  blocking->AwaitEntered(1);
+  auto queued = server.Submit("block", doc);  // fills the queue
+
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_ms = 1;
+  StatusOr<serve::Prediction> shed =
+      serve::ServeWithRetry(server, "block", doc, {}, retry);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  // kUnavailable IS retried: all three attempts were shed.
+  EXPECT_EQ(server.stats().shed, 3u);
+
+  blocking->Release();
+  EXPECT_TRUE(parked.get().ok());
+  EXPECT_TRUE(queued.get().ok());
+}
+
+TEST_F(ServeTest, ServeWithRetrySucceedsWhenPressureClears) {
+  ServeGuard guard;
+  auto blocking = std::make_shared<BlockingClassifier>();
+  serve::ServeOptions options;
+  options.max_batch = 1;
+  options.deadline_ms = 0.0;
+  options.queue_depth = 1;
+  options.workers = 1;
+  serve::Server server(model_, options);
+  ASSERT_TRUE(server.Register("block", blocking).ok());
+
+  const std::vector<int32_t> doc = {text::kNumSpecialTokens};
+  auto parked = server.Submit("block", doc);
+  blocking->AwaitEntered(1);
+  auto queued = server.Submit("block", doc);
+
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    blocking->Release();
+  });
+  RetryOptions retry;
+  retry.max_attempts = 20;
+  retry.initial_backoff_ms = 2;
+  StatusOr<serve::Prediction> result =
+      serve::ServeWithRetry(server, "block", doc, {}, retry);
+  releaser.join();
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(parked.get().ok());
+  EXPECT_TRUE(queued.get().ok());
+  // At least one shed happened before the backoff rode out the overload.
+  EXPECT_GE(server.stats().shed, 1u);
+}
+
+TEST_F(ServeTest, HealthSnapshotTracksLifecycle) {
+  ServeGuard guard;
+  serve::Server server(model_, serve::ServeOptions{});
+  ASSERT_TRUE(server
+                  .Register("match", core::MakePlmSimpleMatchServable(
+                                         model_, *class_names_))
+                  .ok());
+  serve::Server::Health before = server.health();
+  EXPECT_TRUE(before.ready);
+  EXPECT_EQ(before.tier, serve::DegradeTier::kFull);
+  EXPECT_EQ(before.stuck_workers, 0u);
+  EXPECT_EQ(before.shed_rate, 0.0);
+
+  ASSERT_TRUE(server.Serve("match", (*docs_)[1]).ok());
+  serve::Server::Health mid = server.health();
+  EXPECT_TRUE(mid.ready);
+  EXPECT_GT(mid.ewma_batch_ms, 0.0);
+
+  server.Shutdown();
+  serve::Server::Health after = server.health();
+  EXPECT_FALSE(after.ready);
+}
+
 TEST_F(ServeTest, DestructorShutsDownCleanly) {
   ServeGuard guard;
   for (int i = 0; i < 3; ++i) {
     serve::Server server(model_, serve::ServeOptions{});
-    server.Register("match",
-                    core::MakePlmSimpleMatchServable(model_, *class_names_));
+    ASSERT_TRUE(server.Register("match",
+                    core::MakePlmSimpleMatchServable(model_, *class_names_)).ok());
     EXPECT_TRUE(server.Serve("match", (*docs_)[1]).ok());
     // ~Server joins the workers with no explicit Shutdown call.
   }
