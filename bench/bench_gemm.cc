@@ -111,6 +111,30 @@ std::string ShapeName(Variant v, size_t m, size_t k, size_t n) {
          std::to_string(n) + "_" + VariantName(v);
 }
 
+// Short tag of the ISA tier the dispatch selected, appended to every row
+// and JSON method name so per-tier timings never collide when the suite
+// is re-run under a different STM_ISA (see bench/run_benches.sh).
+std::string IsaTag() {
+  const std::string isa = la::GemmKernelIsa();
+  if (isa == "generic") return "gen";
+  if (isa == "avx2+fma") return "avx2";
+  if (isa == "avx512+vnni") return "vnni";
+  return isa;  // "avx512" and any future tier name already fit
+}
+
+// "generic:ok avx2:ok avx512:no ..." — every compiled tier plus whether
+// THIS machine can run it, recorded in the table title so a committed
+// BENCH_gemm.json says which tiers the numbers could have used.
+std::string TierAvailability() {
+  std::string out;
+  for (const auto& tier : la::detail::CompiledGemmKernelTiers()) {
+    if (!out.empty()) out += " ";
+    out += tier.fns->name;
+    out += tier.supported ? ":ok" : ":no";
+  }
+  return out;
+}
+
 // ---- timed sweep ----
 
 struct ShapeSpec {
@@ -132,17 +156,23 @@ int RunSweep() {
       {256, 384, 384, Variant::kNN},   // acceptance shape: B*S x d x d
       {256, 384, 384, Variant::kNT},
       {256, 384, 384, Variant::kTN},
+      {256, 384, 1152, Variant::kNN},  // fused QKV: one B*S x d x 3d pass
       {384, 384, 1536, Variant::kNN},  // FFN up-projection
       {384, 1536, 384, Variant::kNN},  // FFN down-projection
+      {64, 64, 64, Variant::kNT},      // attention scores, S=64 strip
       {128, 64, 128, Variant::kNT},    // attention-score shape
+      {256, 64, 256, Variant::kNT},    // attention scores, S=256
   };
   const std::string table =
-      std::string("GEMM kernels (") + la::GemmKernelIsa() + ") @ " +
+      std::string("GEMM kernels (isa=") + la::GemmKernelIsa() +
+      "; tiers " + TierAvailability() + ") @ " +
       std::to_string(ThreadPool::Global().threads()) + " threads";
   bench::Table out(table, {"ref_s", "packed_s", "speedup", "gflops",
                            "int8_s", "int8_x"});
+  const std::string tag = IsaTag();
   for (const ShapeSpec& s : shapes) {
-    const std::string name = ShapeName(s.variant, s.m, s.k, s.n);
+    const std::string name =
+        ShapeName(s.variant, s.m, s.k, s.n) + "@" + tag;
     Operands ops = MakeOperands(s.variant, s.m, s.k, s.n, 7);
     const int reps = RepsFor(s.m, s.k, s.n);
 

@@ -7,9 +7,12 @@
 # run; each writes <repo>/BENCH_<name>.json via the STM_BENCH_JSON hook
 # (see bench/harness.h). STM_NUM_THREADS defaults to 1 so committed
 # numbers are single-thread and comparable across machines; override it
-# in the environment to record scaling runs. Pre-trained MiniLm weights
-# are cached under plm_cache/, so the first run of the experiment benches
-# is the slow one.
+# in the environment to record scaling runs. STM_ISA pins the kernel tier
+# for the whole suite (generic|avx2|avx512|vnni; see la/gemm_kernels.h)
+# and is recorded in the output filename — BENCH_<name>_<isa>.json — so
+# per-tier trajectories never overwrite the canonical auto-dispatch
+# numbers. Pre-trained MiniLm weights are cached under plm_cache/, so the
+# first run of the experiment benches is the slow one.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -32,6 +35,13 @@ else
 fi
 
 export STM_NUM_THREADS="${STM_NUM_THREADS:-1}"
+# Forwarded to every bench binary; "auto" (the default dispatch) keeps the
+# canonical BENCH_*.json names, a pinned tier gets its own suffix.
+export STM_ISA="${STM_ISA:-auto}"
+isa_suffix=""
+if [[ "${STM_ISA}" != "auto" ]]; then
+  isa_suffix="_${STM_ISA}"
+fi
 
 for bench in "${benches[@]}"; do
   bin="${build_dir}/bench/${bench}"
@@ -40,9 +50,10 @@ for bench in "${benches[@]}"; do
     exit 1
   fi
   short="${bench#bench_}"
-  out="${repo_root}/BENCH_${short}.json"
+  out="${repo_root}/BENCH_${short}${isa_suffix}.json"
   tmp="${out}.tmp"
-  echo "[run_benches] ${bench} -> ${out} (STM_NUM_THREADS=${STM_NUM_THREADS})"
+  echo "[run_benches] ${bench} -> ${out}" \
+       "(STM_NUM_THREADS=${STM_NUM_THREADS}, STM_ISA=${STM_ISA})"
   # Write to a temp file and rename only on success: a crashing bench must
   # fail the script loudly, not leave a stale or truncated BENCH_*.json
   # that silently masquerades as fresh numbers.

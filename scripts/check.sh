@@ -17,7 +17,19 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== robustness + quant + encode + serve + ann suites under AddressSanitizer =="
+echo "== gemm + quant + encode suites at STM_ISA=generic and best tier =="
+# The kernel tier is a one-time per-process dispatch (la/gemm_kernels.cc),
+# so the portable fallback only gets full-stack coverage by re-running the
+# kernel-adjacent suites in fresh processes with STM_ISA forced: once at
+# generic, once at auto (= the widest tier this machine supports). Keeps
+# the scalar tier from rotting on AVX-512 dev boxes, and exercises the
+# forced-tier dispatch path itself.
+for isa in generic auto; do
+  STM_ISA="$isa" ctest --test-dir "$BUILD_DIR" -L 'gemm|quant|encode' \
+    --output-on-failure -j "$JOBS"
+done
+
+echo "== robustness + quant + encode + gemm + serve + ann suites under AddressSanitizer =="
 # The fault-injection tests push torn, truncated and bit-flipped artifacts
 # through every load path — exactly where an out-of-bounds read would hide,
 # so they run a second time with ASan watching. The quant suite joins them:
@@ -31,14 +43,24 @@ echo "== robustness + quant + encode + serve + ann suites under AddressSanitizer
 # racing — promise lifetime bugs would surface here first.
 # The ann suite covers the retrieval tiers' blocked score panels, packed
 # sketch words and STMA payload decoding — more byte-offset arithmetic.
+# The gemm suite drives every compiled micro-kernel tier's pack/run entry
+# points directly (ragged edges of the 8x16 AVX-512 tiles, int8 panel
+# repacks), and the encode suite's fused tests walk the tiled-attention
+# workspace (strip-sized score buffers, pad-row scatter) — both are where
+# an off-by-one would read past a panel. The kernel suites run twice,
+# generic and best tier, same rationale as above.
 cmake -B "$ASAN_BUILD_DIR" -S . -DSTM_SANITIZE=address
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target stm_robustness_tests \
   --target stm_quant_tests --target stm_encode_tests \
-  --target stm_serve_tests --target stm_ann_tests
-ctest --test-dir "$ASAN_BUILD_DIR" -L 'robustness|quant|encode|serve|ann' \
+  --target stm_gemm_tests --target stm_serve_tests --target stm_ann_tests
+ctest --test-dir "$ASAN_BUILD_DIR" -L 'robustness|serve|ann' \
   --output-on-failure -j "$JOBS"
+for isa in generic auto; do
+  STM_ISA="$isa" ctest --test-dir "$ASAN_BUILD_DIR" -L 'gemm|quant|encode' \
+    --output-on-failure -j "$JOBS"
+done
 
-echo "== serve + ann suites under ThreadSanitizer =="
+echo "== serve + ann + encode suites under ThreadSanitizer =="
 # The serve workers are dedicated threads submitting into the global pool
 # while clients hammer Submit/Shutdown from outside — the exact
 # cross-thread hand-off pattern TSan exists to vet. That now includes the
@@ -46,12 +68,15 @@ echo "== serve + ann suites under ThreadSanitizer =="
 # transitions (tier atomics vs the degrade_mu_/mu_ lock order), and the
 # watchdog's heartbeat reads against worker stores. The ann suite
 # stresses the parallel heap-select and sketching loops across pool
-# resizes.
+# resizes. The encode suite joins them for the fused frozen-fp32 path:
+# lazy freeze under freeze_mu_ racing concurrent Encode/Pool callers,
+# and the fused-vs-autograd equality tests resetting the pool to several
+# thread counts mid-suite.
 TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 cmake -B "$TSAN_BUILD_DIR" -S . -DSTM_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target stm_serve_tests \
-  --target stm_ann_tests
-ctest --test-dir "$TSAN_BUILD_DIR" -L 'serve|ann' --output-on-failure \
+  --target stm_ann_tests --target stm_encode_tests
+ctest --test-dir "$TSAN_BUILD_DIR" -L 'serve|ann|encode' --output-on-failure \
   -j "$JOBS"
 
 echo "== all checks passed =="

@@ -1,8 +1,13 @@
 #include "la/gemm_kernels.h"
 
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/env_parse.h"
 #include "common/thread_pool.h"
 #include "la/workspace.h"
 
@@ -10,73 +15,106 @@ namespace stm::la {
 
 namespace detail {
 
-// Per-ISA builds of the packed kernels (gemm_kernels_impl.h expanded in
-// gemm_kernels_generic.cc / gemm_kernels_avx2.cc).
+// Per-ISA builds of the packed kernels (gemm_kernels_impl.h expanded once
+// per translation unit; each exposes its table through KernelFns()).
 namespace generic {
-void PackBPanels(const float* b, size_t rs, size_t cs, size_t k, size_t n,
-                 size_t jp0, size_t jp1, float* out);
-void RunRowChunk(const float* a, size_t a_rs, size_t a_cs,
-                 const float* bpack, float* c, size_t k, size_t n, size_t r0,
-                 size_t r1);
-void Int8RunRowChunk(const uint8_t* aoff, const float* a_scales,
-                     const int8_t* bpanels, const float* b_scales,
-                     const int32_t* b_colsums, float* c, size_t k, size_t n,
-                     size_t r0, size_t r1);
-void ReferenceGemmAcc(const float* a, const float* b, float* c, size_t m,
-                      size_t k, size_t n);
-void ReferenceGemmBtAcc(const float* a, const float* b, float* c, size_t m,
-                        size_t k, size_t n);
-void ReferenceGemmAtAcc(const float* a, const float* b, float* c, size_t m,
-                        size_t k, size_t n);
-}  // namespace generic
-
+const GemmKernelFns& KernelFns();
+}
 #ifdef STM_HAVE_AVX2_KERNELS
 namespace avx2 {
-void PackBPanels(const float* b, size_t rs, size_t cs, size_t k, size_t n,
-                 size_t jp0, size_t jp1, float* out);
-void RunRowChunk(const float* a, size_t a_rs, size_t a_cs,
-                 const float* bpack, float* c, size_t k, size_t n, size_t r0,
-                 size_t r1);
-void Int8RunRowChunk(const uint8_t* aoff, const float* a_scales,
-                     const int8_t* bpanels, const float* b_scales,
-                     const int32_t* b_colsums, float* c, size_t k, size_t n,
-                     size_t r0, size_t r1);
-void ReferenceGemmAcc(const float* a, const float* b, float* c, size_t m,
-                      size_t k, size_t n);
-void ReferenceGemmBtAcc(const float* a, const float* b, float* c, size_t m,
-                        size_t k, size_t n);
-void ReferenceGemmAtAcc(const float* a, const float* b, float* c, size_t m,
-                        size_t k, size_t n);
-}  // namespace avx2
+const GemmKernelFns& KernelFns();
+}
+#endif
+#ifdef STM_HAVE_AVX512_KERNELS
+namespace avx512 {
+const GemmKernelFns& KernelFns();
+}
+#endif
+#ifdef STM_HAVE_VNNI_KERNELS
+namespace vnni {
+const GemmKernelFns& KernelFns();
+}
 #endif
 
-const GemmKernelFns& ActiveGemmKernels() {
-  // Selected once per process from cpuid: constant for the lifetime of
-  // the program, so every GEMM (at any thread count) runs the same
-  // micro-kernel.
-  static const GemmKernelFns fns = [] {
+namespace {
+
+struct TierEntry {
+  const GemmKernelFns* fns = nullptr;  // null when not compiled in
+  bool supported = false;              // cpuid allows running it here
+};
+
+// Indexes match the STM_ISA tokens (generic, avx2, avx512, vnni); auto is
+// handled by the dispatch, not the table.
+std::array<TierEntry, 4> TierTable() {
+  std::array<TierEntry, 4> t{};
+  t[0] = {&generic::KernelFns(), true};
 #ifdef STM_HAVE_AVX2_KERNELS
-    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-      return GemmKernelFns{&avx2::PackBPanels,        &avx2::RunRowChunk,
-                           &avx2::Int8RunRowChunk,    &avx2::ReferenceGemmAcc,
-                           &avx2::ReferenceGemmBtAcc, &avx2::ReferenceGemmAtAcc,
-                           "avx2+fma"};
-    }
+  t[1] = {&avx2::KernelFns(), __builtin_cpu_supports("avx2") &&
+                                  __builtin_cpu_supports("fma")};
 #endif
-    return GemmKernelFns{&generic::PackBPanels,
-                         &generic::RunRowChunk,
-                         &generic::Int8RunRowChunk,
-                         &generic::ReferenceGemmAcc,
-                         &generic::ReferenceGemmBtAcc,
-                         &generic::ReferenceGemmAtAcc,
-                         "generic"};
+#ifdef STM_HAVE_AVX512_KERNELS
+  t[2] = {&avx512::KernelFns(), __builtin_cpu_supports("avx512f") &&
+                                    __builtin_cpu_supports("avx512bw") &&
+                                    __builtin_cpu_supports("avx512dq") &&
+                                    __builtin_cpu_supports("avx512vl")};
+#endif
+#ifdef STM_HAVE_VNNI_KERNELS
+  t[3] = {&vnni::KernelFns(), __builtin_cpu_supports("avx512f") &&
+                                  __builtin_cpu_supports("avx512bw") &&
+                                  __builtin_cpu_supports("avx512dq") &&
+                                  __builtin_cpu_supports("avx512vl") &&
+                                  __builtin_cpu_supports("avx512vnni")};
+#endif
+  return t;
+}
+
+}  // namespace
+
+const GemmKernelFns& ActiveGemmKernels() {
+  // Selected once per process from cpuid and STM_ISA: constant for the
+  // lifetime of the program, so every GEMM (at any thread count) runs the
+  // same micro-kernel.
+  static const GemmKernelFns* const fns = [] {
+    const std::array<TierEntry, 4> tiers = TierTable();
+    static const std::vector<std::string_view> kTokens = {
+        "generic", "avx2", "avx512", "vnni", "auto"};
+    const size_t kAuto = 4;
+    const size_t choice = ParseEnumEnv("STM_ISA", kTokens, kAuto);
+    if (choice != kAuto) {
+      const TierEntry& e = tiers[choice];
+      if (e.fns != nullptr && e.supported) return e.fns;
+      std::fprintf(
+          stderr,
+          "STM_ISA: tier \"%.*s\" is %s; falling back to auto detection\n",
+          static_cast<int>(kTokens[choice].size()), kTokens[choice].data(),
+          e.fns == nullptr ? "not compiled into this binary"
+                           : "not supported by this machine");
+    }
+    // auto: widest supported tier (the table is ordered narrow -> wide).
+    const GemmKernelFns* best = tiers[0].fns;
+    for (const TierEntry& e : tiers) {
+      if (e.fns != nullptr && e.supported) best = e.fns;
+    }
+    return best;
   }();
-  return fns;
+  return *fns;
+}
+
+std::vector<GemmKernelTier> CompiledGemmKernelTiers() {
+  std::vector<GemmKernelTier> out;
+  for (const TierEntry& e : TierTable()) {
+    if (e.fns != nullptr) out.push_back({e.fns, e.supported});
+  }
+  return out;
 }
 
 }  // namespace detail
 
 const char* GemmKernelIsa() { return detail::ActiveGemmKernels().name; }
+
+const char* GemmKernelFpRegime() {
+  return detail::ActiveGemmKernels().fp_regime;
+}
 
 // ---- serial scalar reference kernels (the seed inner loops) ----
 //
@@ -111,18 +149,56 @@ void PackedGemmAcc(const float* a, size_t a_rs, size_t a_cs, const float* b,
                    size_t n) {
   if (m == 0 || n == 0 || k == 0) return;
   const detail::GemmKernelFns& fns = detail::ActiveGemmKernels();
-  const size_t npanels = detail::CeilDiv(n, kGemmNr);
-  std::vector<float> bpack = AcquireVec(npanels * k * kGemmNr);
+  const size_t npanels = detail::CeilDiv(n, fns.nr);
+  std::vector<float> bpack = AcquireVec(npanels * k * fns.nr);
   // Panels are disjoint writes, so packing parallelizes cleanly; the
   // panel contents depend only on B, never on the thread count.
-  ParallelFor(0, npanels, GrainForOps(k * kGemmNr),
+  ParallelFor(0, npanels, GrainForOps(k * fns.nr),
               [&](size_t jp0, size_t jp1) {
                 fns.pack_b(b, b_rs, b_cs, k, n, jp0, jp1, bpack.data());
               });
-  ParallelFor(0, m, detail::PackedRowGrain(k, n), [&](size_t r0, size_t r1) {
-    fns.run_rows(a, a_rs, a_cs, bpack.data(), c, k, n, r0, r1);
-  });
+  ParallelFor(0, m, detail::PackedRowGrain(k, n, fns.mr),
+              [&](size_t r0, size_t r1) {
+                fns.run_rows(a, a_rs, a_cs, bpack.data(), c, k, n, r0, r1);
+              });
   ReleaseVec(std::move(bpack));
+}
+
+PackedBF32 PackFp32B(const float* b, size_t rs, size_t cs, size_t k,
+                     size_t n) {
+  const detail::GemmKernelFns& fns = detail::ActiveGemmKernels();
+  PackedBF32 out;
+  out.k = k;
+  out.n = n;
+  out.panel_nr = fns.nr;
+  const size_t npanels = detail::CeilDiv(n, fns.nr);
+  out.panels.resize(npanels * k * fns.nr);
+  // Serial: runs once per weight matrix (at freeze time), never in a hot
+  // loop.
+  fns.pack_b(b, rs, cs, k, n, 0, npanels, out.panels.data());
+  return out;
+}
+
+void PrepackedGemmAcc(const float* a, size_t m, const PackedBF32& b,
+                      float* c) {
+  if (m == 0 || b.k == 0 || b.n == 0) return;
+  const detail::GemmKernelFns& fns = detail::ActiveGemmKernels();
+  // The dispatch is one-time per process and PackFp32B packs for the
+  // active tier, so a panel-width mismatch here is a caller bug (e.g. a
+  // PackedBF32 deserialized from another build — the type is deliberately
+  // not serializable for this reason).
+  if (b.panel_nr != fns.nr) {
+    std::fprintf(stderr,
+                 "PrepackedGemmAcc: operand packed for nr=%zu but active "
+                 "tier uses nr=%zu\n",
+                 b.panel_nr, fns.nr);
+    std::abort();
+  }
+  ParallelFor(0, m, detail::PackedRowGrain(b.k, b.n, fns.mr),
+              [&](size_t r0, size_t r1) {
+                fns.run_rows(a, b.k, 1, b.panels.data(), c, b.k, b.n, r0,
+                             r1);
+              });
 }
 
 }  // namespace stm::la

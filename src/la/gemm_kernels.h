@@ -3,28 +3,36 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace stm::la {
 
 // Cache-blocked, register-tiled GEMM kernel library.
 //
 // Layout (see DESIGN.md, "Kernel library"):
-//  * B is packed once per call into column panels of kGemmNr columns,
-//    stored p-major (panel jp holds B[p][jp*Nr .. jp*Nr+Nr) for every p,
-//    zero-padded at the right edge);
-//  * A is packed per row block into panels of kGemmMr rows, also p-major
-//    and zero-padded, sized so a block stays L2-resident;
-//  * the micro-kernel accumulates a kGemmMr x kGemmNr output tile in
-//    registers over the full k extent, then adds the tile into C.
+//  * B is packed once per call into column panels of the active tier's nr
+//    columns, stored p-major (panel jp holds B[p][jp*nr .. jp*nr+nr) for
+//    every p, zero-padded at the right edge);
+//  * A is packed per row block into panels of the tier's mr rows, also
+//    p-major and zero-padded, sized so a block stays L2-resident;
+//  * the micro-kernel accumulates an mr x nr output tile in registers
+//    over the full k extent, then adds the tile into C.
 //
-// Two micro-kernel builds exist: a portable one and (on x86-64) one
-// compiled for AVX2+FMA, selected once at startup via cpuid. Dispatch
-// depends on the machine, never on the thread count, so output is
-// bit-identical across STM_NUM_THREADS on any given machine (it may
-// legitimately differ from the scalar reference and across machines).
+// Four micro-kernel builds exist: a portable one and (on x86-64) AVX2+FMA,
+// AVX-512F/BW and AVX-512VNNI tiers, selected once at startup via cpuid
+// (overridable with STM_ISA=generic|avx2|avx512|vnni|auto). Dispatch
+// depends on the machine and environment, never on the thread count, so
+// output is bit-identical across STM_NUM_THREADS on any given machine.
+// Across tiers: every FMA-built tier produces identical fp32 bits (a
+// per-cell chain is one accumulator over ascending p, independent of the
+// tile shape), and the int8 path is exact integer arithmetic plus one
+// shared dequantization expression, so int8 output is identical across
+// ALL tiers. Only generic-vs-FMA fp32 may differ (split vs fused
+// rounding) — see GemmKernelFpRegime().
 
-// Micro-tile extents. Part of the pack layout; identical in every ISA
-// build.
+// Micro-tile extents of the portable/AVX2 builds. Part of those tiers'
+// pack layouts; the AVX-512 tiers widen to 8x16 (see GemmKernelFns::mr/
+// nr for the active tier's extents).
 inline constexpr size_t kGemmMr = 4;
 inline constexpr size_t kGemmNr = 8;
 
@@ -67,9 +75,41 @@ void PackedGemmAcc(const float* a, size_t a_rs, size_t a_cs, const float* b,
                    size_t b_rs, size_t b_cs, float* c, size_t m, size_t k,
                    size_t n);
 
-// Name of the micro-kernel build selected at startup ("avx2+fma" or
-// "generic").
+// A pre-packed fp32 B operand: the strided B quantized into the active
+// tier's panel layout ONCE (e.g. at plm::MiniLm freeze time) and reused
+// across every GEMM against it — the per-call B pack of PackedGemmAcc
+// disappears from the hot path. PrepackedGemmAcc always runs the packed
+// micro-kernel; because the reference loops and the micro-kernel share
+// one FP-contraction regime (see gemm_kernels_impl.h), its output is
+// bit-identical to GemmAcc on the same operands at ANY shape, so callers
+// can route small per-document GEMMs through it without changing bits.
+struct PackedBF32 {
+  size_t k = 0;         // rows of B (the contraction extent)
+  size_t n = 0;         // columns of B
+  size_t panel_nr = 0;  // panel width the panels were packed for
+  std::vector<float> panels;
+};
+
+// Packs the strided operand B[p][j] = b[p*rs + j*cs] for the active tier.
+PackedBF32 PackFp32B(const float* b, size_t rs, size_t cs, size_t k,
+                     size_t n);
+
+// c[m, b.n] += a[m, b.k] (row-major) * B. Parallel over row chunks.
+void PrepackedGemmAcc(const float* a, size_t m, const PackedBF32& b,
+                      float* c);
+
+// Name of the micro-kernel build selected at startup ("generic",
+// "avx2+fma", "avx512" or "avx512+vnni").
 const char* GemmKernelIsa();
+
+// FP-contraction regime of the selected build: "fma" (fused multiply-add
+// chains) or "portable" (separate multiply and add roundings). Tiers with
+// the same regime produce bit-identical fp32 output for the same
+// operands; the int8 path is regime-independent. The encode cache salts
+// its weight fingerprints with this (not the tier name) so persisted
+// embeddings never mix across regimes while still being shared across
+// same-regime tiers.
+const char* GemmKernelFpRegime();
 
 namespace detail {
 
@@ -79,30 +119,31 @@ inline constexpr size_t RoundUp(size_t a, size_t b) {
 }
 
 // Rows per packed A block: keeps block_rows * k floats around 256KB
-// (L2-resident) and a multiple of kGemmMr.
-inline size_t GemmABlockRows(size_t k) {
+// (L2-resident) and a multiple of the tier's mr.
+inline size_t GemmABlockRows(size_t k, size_t mr) {
   constexpr size_t kBlockFloats = size_t{64} * 1024;
   const size_t rows = kBlockFloats / (k == 0 ? 1 : k);
-  return rows < kGemmMr ? kGemmMr
-                        : (rows / kGemmMr) * kGemmMr;
+  return rows < mr ? mr : (rows / mr) * mr;
 }
 
 // Output rows per parallel chunk: ~1M multiply-adds, rounded to whole
-// micro-panels. Shape-only, like every grain in the library; shared by
-// the fp32 and int8 packed drivers.
-inline size_t PackedRowGrain(size_t k, size_t n) {
+// micro-panels of the tier's mr rows. Shape-only, like every grain in
+// the library; shared by the fp32 and int8 packed drivers. Chunk
+// boundaries never affect bits (each output row's accumulation chain is
+// row-local), only load balance.
+inline size_t PackedRowGrain(size_t k, size_t n, size_t mr) {
   constexpr size_t kTargetOps = size_t{1} << 20;
   const size_t ops_per_row = k * n;
-  if (ops_per_row == 0) return kGemmMr;
+  if (ops_per_row == 0) return mr;
   const size_t rows = kTargetOps / ops_per_row;
-  return RoundUp(rows < 1 ? 1 : rows, kGemmMr);
+  return RoundUp(rows < 1 ? 1 : rows, mr);
 }
 
 // Per-ISA entry points (one namespace per micro-kernel build; see
 // gemm_kernels_impl.h).
 struct GemmKernelFns {
   // Packs B panels [jp0, jp1) of the strided operand into `out` (panel jp
-  // at offset jp * k * kGemmNr).
+  // at offset jp * k * nr).
   void (*pack_b)(const float* b, size_t rs, size_t cs, size_t k, size_t n,
                  size_t jp0, size_t jp1, float* out);
   // Computes C rows [r0, r1) from the strided A operand and packed B.
@@ -111,8 +152,9 @@ struct GemmKernelFns {
                    size_t r0, size_t r1);
   // Int8 path (see la/qgemm.h): computes C rows [r0, r1) from row-major
   // offset-quantized A bytes (aq + 64, stride k) and an Int8PackedB's
-  // panels/scales/colsums. Both ISA builds produce identical int32
-  // accumulators, so dequantized output matches bit-for-bit.
+  // panels/scales/colsums (panels packed at THIS tier's nr). Every ISA
+  // build produces identical int32 accumulators, so dequantized output
+  // matches bit-for-bit across tiers.
   void (*int8_run_rows)(const uint8_t* aoff, const float* a_scales,
                         const int8_t* bpanels, const float* b_scales,
                         const int32_t* b_colsums, float* c, size_t k,
@@ -127,10 +169,27 @@ struct GemmKernelFns {
                                 size_t m, size_t k, size_t n);
   void (*reference_gemm_at_acc)(const float* a, const float* b, float* c,
                                 size_t m, size_t k, size_t n);
+  // Micro-tile extents of this build (panel widths follow them).
+  size_t mr;
+  size_t nr;
   const char* name;
+  const char* fp_regime;  // "fma" or "portable"
 };
 
 const GemmKernelFns& ActiveGemmKernels();
+
+// One compiled-in kernel tier, plus whether this machine's cpuid allows
+// running it. Test hook: the per-tier shape sweeps drive every compiled
+// tier's kernels directly (the one-time dispatch cannot be switched
+// in-process), skipping tiers the hardware cannot execute.
+struct GemmKernelTier {
+  const GemmKernelFns* fns;
+  bool supported;
+};
+
+// Every tier compiled into this binary, ordered generic -> widest. The
+// auto dispatch picks the last supported entry.
+std::vector<GemmKernelTier> CompiledGemmKernelTiers();
 
 }  // namespace detail
 

@@ -1,9 +1,10 @@
 // AVX2+FMA micro-kernel build: this translation unit (and nothing else)
 // is compiled with -mavx2 -mfma (see src/CMakeLists.txt), so the
-// auto-vectorizer turns the kGemmNr-wide accumulator loops in
+// auto-vectorizer turns the 8-wide accumulator loops in
 // gemm_kernels_impl.h into 256-bit FMA sequences. Only entered when
 // cpuid reports AVX2 and FMA (see ActiveGemmKernels), so it is safe to
 // build on any x86-64 baseline.
 
 #define STM_GEMM_KERNEL_NAMESPACE avx2
+#define STM_GEMM_KERNEL_NAME "avx2+fma"
 #include "la/gemm_kernels_impl.h"

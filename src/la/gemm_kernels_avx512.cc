@@ -1,0 +1,15 @@
+// AVX-512F/BW micro-kernel build: this translation unit is compiled with
+// -mavx512f -mavx512bw -mavx512dq -mavx512vl -mfma (see
+// src/CMakeLists.txt), so the auto-vectorizer turns the 16-wide
+// accumulator loops in gemm_kernels_impl.h into 512-bit FMA sequences and
+// the int8 micro-kernel takes the 512-bit maddubs/madd path. The wider
+// 8x16 register tile amortizes each B-panel load over twice the A rows of
+// the AVX2 build. Only entered when cpuid reports the full AVX-512
+// F/BW/DQ/VL set (see ActiveGemmKernels), so it is safe to build on any
+// x86-64 baseline.
+
+#define STM_GEMM_KERNEL_NAMESPACE avx512
+#define STM_GEMM_KERNEL_NAME "avx512"
+#define STM_GEMM_KERNEL_MR 8
+#define STM_GEMM_KERNEL_NR 16
+#include "la/gemm_kernels_impl.h"

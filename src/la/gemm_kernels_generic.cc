@@ -3,4 +3,5 @@
 // namespace when no wider ISA build is available at runtime.
 
 #define STM_GEMM_KERNEL_NAMESPACE generic
+#define STM_GEMM_KERNEL_NAME "generic"
 #include "la/gemm_kernels_impl.h"

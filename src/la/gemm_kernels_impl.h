@@ -1,15 +1,28 @@
-// ISA-generic body of the packed GEMM kernels. Included (twice) by
-// gemm_kernels_generic.cc and gemm_kernels_avx2.cc with
-// STM_GEMM_KERNEL_NAMESPACE set; the including translation unit supplies
-// the compiler flags (-mavx2 -mfma for the AVX2 build), and the plain
-// fixed-trip-count loops below are written so GCC/Clang auto-vectorize
-// the kGemmNr-wide inner dimension into the widest available vectors.
+// ISA-generic body of the packed GEMM kernels. Included (once per kernel
+// tier) by gemm_kernels_generic.cc / gemm_kernels_avx2.cc /
+// gemm_kernels_avx512.cc / gemm_kernels_vnni.cc with
+// STM_GEMM_KERNEL_NAMESPACE and STM_GEMM_KERNEL_NAME set; the including
+// translation unit supplies the compiler flags (-mavx2 -mfma for the AVX2
+// build, the -mavx512* family for the AVX-512 builds) and may widen the
+// register tile via STM_GEMM_KERNEL_MR / STM_GEMM_KERNEL_NR (defaults
+// 4x8). The plain fixed-trip-count loops below are written so GCC/Clang
+// auto-vectorize the kNr-wide inner dimension into the widest available
+// vectors.
 //
 // NO include guard: this file is a template expanded once per ISA
-// namespace. Do not include it outside the two kernel translation units.
+// namespace. Do not include it outside the kernel translation units.
 
 #ifndef STM_GEMM_KERNEL_NAMESPACE
 #error "define STM_GEMM_KERNEL_NAMESPACE before including gemm_kernels_impl.h"
+#endif
+#ifndef STM_GEMM_KERNEL_NAME
+#error "define STM_GEMM_KERNEL_NAME before including gemm_kernels_impl.h"
+#endif
+#ifndef STM_GEMM_KERNEL_MR
+#define STM_GEMM_KERNEL_MR 4
+#endif
+#ifndef STM_GEMM_KERNEL_NR
+#define STM_GEMM_KERNEL_NR 8
 #endif
 
 #include <cstddef>
@@ -22,11 +35,17 @@
 #include "la/qgemm.h"
 #include "la/workspace.h"
 
-#ifdef __AVX2__
+#if defined(__AVX2__) || defined(__AVX512F__)
 #include <immintrin.h>
 #endif
 
 namespace stm::la::detail::STM_GEMM_KERNEL_NAMESPACE {
+
+// Micro-tile extents of THIS tier. Part of this tier's pack layout; the
+// driver reads them back through GemmKernelFns::mr/nr so panel sizing and
+// row-chunk rounding always match the kernel that will consume them.
+inline constexpr size_t kMr = STM_GEMM_KERNEL_MR;
+inline constexpr size_t kNr = STM_GEMM_KERNEL_NR;
 
 // One multiply-accumulate step of an accumulation chain. The fused/split
 // rounding choice is made HERE, per ISA build, not left to the compiler's
@@ -43,56 +62,69 @@ inline float MulAdd(float a, float b, float acc) {
 #endif
 }
 
-// Packs B panels [jp0, jp1): panel jp holds, p-major, the kGemmNr columns
-// starting at jp * kGemmNr, zero-padded past n. Strided reads make the
-// same routine serve both B and B^T operands.
+// The FP-contraction regime this tier's chains round under. Every tier
+// built with FMA produces bit-identical fp32 output for the same operands
+// (a per-cell chain is one accumulator over ascending p regardless of the
+// tile shape), so the regime — not the tier name — is the equivalence
+// class for fp32 bits. The encode cache keys on it (see
+// plm::MiniLm::WeightsFingerprint).
+inline constexpr const char* kFpRegime =
+#if defined(__FMA__) || defined(__ARM_FEATURE_FMA)
+    "fma";
+#else
+    "portable";
+#endif
+
+// Packs B panels [jp0, jp1): panel jp holds, p-major, the kNr columns
+// starting at jp * kNr, zero-padded past n. Strided reads make the same
+// routine serve both B and B^T operands.
 void PackBPanels(const float* b, size_t rs, size_t cs, size_t k,
                  size_t n, size_t jp0, size_t jp1, float* out) {
   for (size_t jp = jp0; jp < jp1; ++jp) {
-    const size_t j0 = jp * kGemmNr;
-    const size_t nr = n - j0 < kGemmNr ? n - j0 : kGemmNr;
-    float* panel = out + jp * k * kGemmNr;
+    const size_t j0 = jp * kNr;
+    const size_t nr = n - j0 < kNr ? n - j0 : kNr;
+    float* panel = out + jp * k * kNr;
     for (size_t p = 0; p < k; ++p) {
       const float* src = b + p * rs + j0 * cs;
-      float* dst = panel + p * kGemmNr;
+      float* dst = panel + p * kNr;
       for (size_t jj = 0; jj < nr; ++jj) dst[jj] = src[jj * cs];
-      for (size_t jj = nr; jj < kGemmNr; ++jj) dst[jj] = 0.0f;
+      for (size_t jj = nr; jj < kNr; ++jj) dst[jj] = 0.0f;
     }
   }
 }
 
 // Packs rows [i0, i0 + mr) of the strided A operand into one p-major
-// micro-panel (kGemmMr floats per p, zero-padded past mr).
+// micro-panel (kMr floats per p, zero-padded past mr).
 inline void PackAPanel(const float* a, size_t rs, size_t cs, size_t k,
                        size_t i0, size_t mr, float* out) {
   for (size_t p = 0; p < k; ++p) {
-    float* dst = out + p * kGemmMr;
+    float* dst = out + p * kMr;
     const float* src = a + i0 * rs + p * cs;
     for (size_t ii = 0; ii < mr; ++ii) dst[ii] = src[ii * rs];
-    for (size_t ii = mr; ii < kGemmMr; ++ii) dst[ii] = 0.0f;
+    for (size_t ii = mr; ii < kMr; ++ii) dst[ii] = 0.0f;
   }
 }
 
-// Register-tiled micro-kernel: acc[kGemmMr][kGemmNr] += Apanel * Bpanel
-// over the full k extent (ascending p — the fixed accumulation order the
+// Register-tiled micro-kernel: acc[kMr][kNr] += Apanel * Bpanel over the
+// full k extent (ascending p — the fixed accumulation order the
 // determinism contract relies on), then C[mr, nr] += acc.
 inline void MicroKernel(const float* apanel, const float* bpanel, size_t k,
                         float* c, size_t ldc, size_t mr, size_t nr) {
-  float acc[kGemmMr][kGemmNr] = {};
+  float acc[kMr][kNr] = {};
   for (size_t p = 0; p < k; ++p) {
-    const float* av = apanel + p * kGemmMr;
-    const float* bv = bpanel + p * kGemmNr;
-    for (size_t ii = 0; ii < kGemmMr; ++ii) {
+    const float* av = apanel + p * kMr;
+    const float* bv = bpanel + p * kNr;
+    for (size_t ii = 0; ii < kMr; ++ii) {
       const float aval = av[ii];
-      for (size_t jj = 0; jj < kGemmNr; ++jj) {
+      for (size_t jj = 0; jj < kNr; ++jj) {
         acc[ii][jj] = MulAdd(aval, bv[jj], acc[ii][jj]);
       }
     }
   }
-  if (mr == kGemmMr && nr == kGemmNr) {
-    for (size_t ii = 0; ii < kGemmMr; ++ii) {
+  if (mr == kMr && nr == kNr) {
+    for (size_t ii = 0; ii < kMr; ++ii) {
       float* crow = c + ii * ldc;
-      for (size_t jj = 0; jj < kGemmNr; ++jj) crow[jj] += acc[ii][jj];
+      for (size_t jj = 0; jj < kNr; ++jj) crow[jj] += acc[ii][jj];
     }
   } else {
     for (size_t ii = 0; ii < mr; ++ii) {
@@ -109,26 +141,26 @@ inline void MicroKernel(const float* apanel, const float* bpanel, size_t k,
 void RunRowChunk(const float* a, size_t a_rs, size_t a_cs,
                  const float* bpack, float* c, size_t k, size_t n,
                  size_t r0, size_t r1) {
-  const size_t npanels = CeilDiv(n, kGemmNr);
-  const size_t block_rows = GemmABlockRows(k);
+  const size_t npanels = CeilDiv(n, kNr);
+  const size_t block_rows = GemmABlockRows(k, kMr);
   std::vector<float> apack =
       AcquireVec(RoundUp(block_rows < r1 - r0 ? block_rows : r1 - r0,
-                         kGemmMr) *
+                         kMr) *
                  k);
   for (size_t ic = r0; ic < r1; ic += block_rows) {
     const size_t ie = ic + block_rows < r1 ? ic + block_rows : r1;
-    for (size_t i0 = ic; i0 < ie; i0 += kGemmMr) {
-      const size_t mr = ie - i0 < kGemmMr ? ie - i0 : kGemmMr;
+    for (size_t i0 = ic; i0 < ie; i0 += kMr) {
+      const size_t mr = ie - i0 < kMr ? ie - i0 : kMr;
       PackAPanel(a, a_rs, a_cs, k, i0, mr,
-                 apack.data() + ((i0 - ic) / kGemmMr) * k * kGemmMr);
+                 apack.data() + ((i0 - ic) / kMr) * k * kMr);
     }
     for (size_t jp = 0; jp < npanels; ++jp) {
-      const size_t j0 = jp * kGemmNr;
-      const size_t nr = n - j0 < kGemmNr ? n - j0 : kGemmNr;
-      const float* bpanel = bpack + jp * k * kGemmNr;
-      for (size_t i0 = ic; i0 < ie; i0 += kGemmMr) {
-        const size_t mr = ie - i0 < kGemmMr ? ie - i0 : kGemmMr;
-        MicroKernel(apack.data() + ((i0 - ic) / kGemmMr) * k * kGemmMr,
+      const size_t j0 = jp * kNr;
+      const size_t nr = n - j0 < kNr ? n - j0 : kNr;
+      const float* bpanel = bpack + jp * k * kNr;
+      for (size_t i0 = ic; i0 < ie; i0 += kMr) {
+        const size_t mr = ie - i0 < kMr ? ie - i0 : kMr;
+        MicroKernel(apack.data() + ((i0 - ic) / kMr) * k * kMr,
                     bpanel, k, c + i0 * n + j0, n, mr, nr);
       }
     }
@@ -139,13 +171,13 @@ void RunRowChunk(const float* a, size_t a_rs, size_t a_cs,
 // ---- serial scalar reference kernels ----
 //
 // Compiled once per ISA namespace so they see the SAME floating-point
-// contraction flags as the packed micro-kernel above (the AVX2 TU builds
-// with -mfma, where GCC fuses `c += a * b` into one rounding). That keeps
-// every per-cell accumulation chain — one accumulator, ascending p —
-// bitwise identical between the reference and packed kernels, so the
-// shape-based UsePackedGemm dispatch can never change output bits: a
-// per-document call (small m, reference) and a length-bucketed batch
-// (large m, packed) of the same row produce the same floats.
+// contraction flags as the packed micro-kernel above (the FMA-enabled TUs
+// fuse `c += a * b` into one rounding). That keeps every per-cell
+// accumulation chain — one accumulator, ascending p — bitwise identical
+// between the reference and packed kernels, so the shape-based
+// UsePackedGemm dispatch can never change output bits: a per-document
+// call (small m, reference) and a length-bucketed batch (large m, packed)
+// of the same row produce the same floats.
 
 void ReferenceGemmAcc(const float* a, const float* b, float* c, size_t m,
                       size_t k, size_t n) {
@@ -191,7 +223,7 @@ void ReferenceGemmAtAcc(const float* a, const float* b, float* c, size_t m,
 // ---- int8 quantized path (see la/qgemm.h for the layout contract) ----
 
 // Packs rows [i0, i0 + mr) of the row-major offset-quantized A bytes
-// (stride k) into one micro-panel: group g holds kGemmMr * kInt8KGroup
+// (stride k) into one micro-panel: group g holds kMr * kInt8KGroup
 // bytes, byte (ii * 4 + t) = aoff[i0 + ii][g*4 + t]. Padding (past mr or
 // k) is filled with the offset byte kInt8AZero, i.e. quantized zero, so
 // padded lanes contribute exactly the colsum correction term and cancel.
@@ -199,9 +231,9 @@ inline void PackInt8APanel(const uint8_t* aoff, size_t k, size_t i0,
                            size_t mr, uint8_t* out) {
   const size_t kgroups = CeilDiv(k, kInt8KGroup);
   for (size_t g = 0; g < kgroups; ++g) {
-    uint8_t* dst = out + g * kGemmMr * kInt8KGroup;
+    uint8_t* dst = out + g * kMr * kInt8KGroup;
     const size_t p0 = g * kInt8KGroup;
-    for (size_t ii = 0; ii < kGemmMr; ++ii) {
+    for (size_t ii = 0; ii < kMr; ++ii) {
       const uint8_t* src = ii < mr ? aoff + (i0 + ii) * k : nullptr;
       for (size_t t = 0; t < kInt8KGroup; ++t) {
         dst[ii * kInt8KGroup + t] =
@@ -215,15 +247,66 @@ inline void PackInt8APanel(const uint8_t* aoff, size_t k, size_t i0,
 
 // acc[ii][jj] = sum_p (aq[i0+ii][p] + 64) * bq[p][j0+jj] over all k
 // groups, then C[mr, nr] += a_scale * b_scale * (acc - 64 * colsum). The
-// integer phase is exact in both builds (the offset keeps maddubs inside
-// int16 range — see qgemm.h), so dequantized output is identical across
-// ISAs up to the final float rounding of this expression.
+// integer phase is exact in every build (the offset keeps maddubs inside
+// int16 range and vpdpbusd is exact by construction — see qgemm.h), so
+// dequantized output is identical across ISAs: every tier feeds the same
+// int32 accumulators through the same dequantization expression.
 inline void MicroKernelInt8(const uint8_t* apanel, const int8_t* bpanel,
                             size_t kgroups, const float* a_scales,
                             const float* b_scales, const int32_t* b_colsums,
                             float* c, size_t ldc, size_t mr, size_t nr) {
-  int32_t acc[kGemmMr][kGemmNr];
-#ifdef __AVX2__
+  int32_t acc[kMr][kNr];
+#if defined(__AVX512BW__) && STM_GEMM_KERNEL_NR == 16
+  // 512-bit path: one zmm accumulator per A row, 16 int32 column lanes
+  // each. With AVX512VNNI a group is one vpdpbusd (u8 x s8 dot products
+  // of 4-byte lanes accumulated exactly into int32); without it the
+  // AVX512BW maddubs/madd pair computes the same exact integers.
+  static_assert(kMr <= 16, "one zmm accumulator per row");
+  __m512i vacc[kMr];
+  for (size_t ii = 0; ii < kMr; ++ii) vacc[ii] = _mm512_setzero_si512();
+#ifndef __AVX512VNNI__
+  const __m512i ones16 = _mm512_set1_epi16(1);
+#endif
+  for (size_t g = 0; g < kgroups; ++g) {
+    const __m512i bv = _mm512_loadu_si512(
+        reinterpret_cast<const void*>(bpanel + g * kNr * kInt8KGroup));
+    const uint8_t* ap = apanel + g * kMr * kInt8KGroup;
+    for (size_t ii = 0; ii < kMr; ++ii) {
+      int32_t aw;
+      std::memcpy(&aw, ap + ii * kInt8KGroup, sizeof(aw));
+      const __m512i av = _mm512_set1_epi32(aw);
+#ifdef __AVX512VNNI__
+      vacc[ii] = _mm512_dpbusd_epi32(vacc[ii], av, bv);
+#else
+      vacc[ii] = _mm512_add_epi32(
+          vacc[ii],
+          _mm512_madd_epi16(_mm512_maddubs_epi16(av, bv), ones16));
+#endif
+    }
+  }
+  if (mr == kMr && nr == kNr) {
+    // Full-tile fast path: dequantize straight from the accumulator
+    // registers. acc - 64*colsum fits int32 up to k ~ 88k — far beyond
+    // where acc itself would overflow — and the multiply order (sa*sb)*q
+    // matches the scalar expression below, so both epilogues round
+    // identically.
+    const __m512i voff = _mm512_slli_epi32(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(b_colsums)), 6);
+    const __m512 vsb = _mm512_loadu_ps(b_scales);
+    for (size_t ii = 0; ii < kMr; ++ii) {
+      const __m512 q = _mm512_cvtepi32_ps(_mm512_sub_epi32(vacc[ii], voff));
+      const __m512 scaled = _mm512_mul_ps(
+          _mm512_mul_ps(_mm512_set1_ps(a_scales[ii]), vsb), q);
+      float* crow = c + ii * ldc;
+      _mm512_storeu_ps(crow, _mm512_add_ps(_mm512_loadu_ps(crow), scaled));
+    }
+    return;
+  }
+  for (size_t ii = 0; ii < kMr; ++ii) {
+    _mm512_storeu_si512(reinterpret_cast<void*>(acc[ii]), vacc[ii]);
+  }
+#elif defined(__AVX2__) && STM_GEMM_KERNEL_NR == 8
+  static_assert(kMr == 4, "the 256-bit int8 path is written for a 4x8 tile");
   const __m256i ones16 = _mm256_set1_epi16(1);
   __m256i vacc0 = _mm256_setzero_si256();
   __m256i vacc1 = _mm256_setzero_si256();
@@ -231,8 +314,8 @@ inline void MicroKernelInt8(const uint8_t* apanel, const int8_t* bpanel,
   __m256i vacc3 = _mm256_setzero_si256();
   for (size_t g = 0; g < kgroups; ++g) {
     const __m256i bv = _mm256_loadu_si256(
-        reinterpret_cast<const __m256i*>(bpanel + g * kGemmNr * kInt8KGroup));
-    const uint8_t* ap = apanel + g * kGemmMr * kInt8KGroup;
+        reinterpret_cast<const __m256i*>(bpanel + g * kNr * kInt8KGroup));
+    const uint8_t* ap = apanel + g * kMr * kInt8KGroup;
     int32_t a0, a1, a2, a3;
     std::memcpy(&a0, ap + 0 * kInt8KGroup, sizeof(a0));
     std::memcpy(&a1, ap + 1 * kInt8KGroup, sizeof(a1));
@@ -254,7 +337,7 @@ inline void MicroKernelInt8(const uint8_t* apanel, const int8_t* bpanel,
         vacc3, _mm256_madd_epi16(
                    _mm256_maddubs_epi16(_mm256_set1_epi32(a3), bv), ones16));
   }
-  if (mr == kGemmMr && nr == kGemmNr) {
+  if (mr == kMr && nr == kNr) {
     // Full-tile fast path: dequantize straight from the accumulator
     // registers (the scalar epilogue's store/reload round-trip costs as
     // much as the whole integer loop for small k). acc - 64*colsum fits
@@ -284,14 +367,14 @@ inline void MicroKernelInt8(const uint8_t* apanel, const int8_t* bpanel,
   _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc[2]), vacc2);
   _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc[3]), vacc3);
 #else
-  for (size_t ii = 0; ii < kGemmMr; ++ii) {
-    for (size_t jj = 0; jj < kGemmNr; ++jj) acc[ii][jj] = 0;
+  for (size_t ii = 0; ii < kMr; ++ii) {
+    for (size_t jj = 0; jj < kNr; ++jj) acc[ii][jj] = 0;
   }
   for (size_t g = 0; g < kgroups; ++g) {
-    const uint8_t* ap = apanel + g * kGemmMr * kInt8KGroup;
-    const int8_t* bp = bpanel + g * kGemmNr * kInt8KGroup;
-    for (size_t ii = 0; ii < kGemmMr; ++ii) {
-      for (size_t jj = 0; jj < kGemmNr; ++jj) {
+    const uint8_t* ap = apanel + g * kMr * kInt8KGroup;
+    const int8_t* bp = bpanel + g * kNr * kInt8KGroup;
+    for (size_t ii = 0; ii < kMr; ++ii) {
+      for (size_t jj = 0; jj < kNr; ++jj) {
         int32_t sum = 0;
         for (size_t t = 0; t < kInt8KGroup; ++t) {
           sum += static_cast<int32_t>(ap[ii * kInt8KGroup + t]) *
@@ -323,35 +406,47 @@ void Int8RunRowChunk(const uint8_t* aoff, const float* a_scales,
                      const int32_t* b_colsums, float* c, size_t k, size_t n,
                      size_t r0, size_t r1) {
   const size_t kgroups = CeilDiv(k, kInt8KGroup);
-  const size_t npanels = CeilDiv(n, kGemmNr);
-  const size_t panel_bytes = kgroups * kGemmNr * kInt8KGroup;
-  const size_t tile_bytes = kgroups * kGemmMr * kInt8KGroup;
-  const size_t block_rows = GemmABlockRows(k);
+  const size_t npanels = CeilDiv(n, kNr);
+  const size_t panel_bytes = kgroups * kNr * kInt8KGroup;
+  const size_t tile_bytes = kgroups * kMr * kInt8KGroup;
+  const size_t block_rows = GemmABlockRows(k, kMr);
   const size_t max_rows =
-      RoundUp(block_rows < r1 - r0 ? block_rows : r1 - r0, kGemmMr);
+      RoundUp(block_rows < r1 - r0 ? block_rows : r1 - r0, kMr);
   std::vector<float> apackf =
-      AcquireVec(CeilDiv((max_rows / kGemmMr) * tile_bytes, sizeof(float)));
+      AcquireVec(CeilDiv((max_rows / kMr) * tile_bytes, sizeof(float)));
   uint8_t* apack = reinterpret_cast<uint8_t*>(apackf.data());
   for (size_t ic = r0; ic < r1; ic += block_rows) {
     const size_t ie = ic + block_rows < r1 ? ic + block_rows : r1;
-    for (size_t i0 = ic; i0 < ie; i0 += kGemmMr) {
-      const size_t mr = ie - i0 < kGemmMr ? ie - i0 : kGemmMr;
+    for (size_t i0 = ic; i0 < ie; i0 += kMr) {
+      const size_t mr = ie - i0 < kMr ? ie - i0 : kMr;
       PackInt8APanel(aoff, k, i0, mr,
-                     apack + ((i0 - ic) / kGemmMr) * tile_bytes);
+                     apack + ((i0 - ic) / kMr) * tile_bytes);
     }
     for (size_t jp = 0; jp < npanels; ++jp) {
-      const size_t j0 = jp * kGemmNr;
-      const size_t nr = n - j0 < kGemmNr ? n - j0 : kGemmNr;
+      const size_t j0 = jp * kNr;
+      const size_t nr = n - j0 < kNr ? n - j0 : kNr;
       const int8_t* bpanel = bpanels + jp * panel_bytes;
-      for (size_t i0 = ic; i0 < ie; i0 += kGemmMr) {
-        const size_t mr = ie - i0 < kGemmMr ? ie - i0 : kGemmMr;
-        MicroKernelInt8(apack + ((i0 - ic) / kGemmMr) * tile_bytes, bpanel,
+      for (size_t i0 = ic; i0 < ie; i0 += kMr) {
+        const size_t mr = ie - i0 < kMr ? ie - i0 : kMr;
+        MicroKernelInt8(apack + ((i0 - ic) / kMr) * tile_bytes, bpanel,
                         kgroups, a_scales + i0, b_scales + j0,
                         b_colsums + j0, c + i0 * n + j0, n, mr, nr);
       }
     }
   }
   ReleaseVec(std::move(apackf));
+}
+
+// The tier's dispatch-table entry. One function so the dispatcher in
+// gemm_kernels.cc needs a single declaration per compiled-in namespace
+// instead of re-declaring every kernel.
+const GemmKernelFns& KernelFns() {
+  static const GemmKernelFns fns = {
+      &PackBPanels,        &RunRowChunk,          &Int8RunRowChunk,
+      &ReferenceGemmAcc,   &ReferenceGemmBtAcc,   &ReferenceGemmAtAcc,
+      kMr,                 kNr,                   STM_GEMM_KERNEL_NAME,
+      kFpRegime};
+  return fns;
 }
 
 }  // namespace stm::la::detail::STM_GEMM_KERNEL_NAMESPACE

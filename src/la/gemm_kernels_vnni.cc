@@ -1,0 +1,15 @@
+// AVX-512VNNI micro-kernel build: the AVX-512 build's flags plus
+// -mavx512vnni (see src/CMakeLists.txt). The fp32 kernels are identical
+// to the avx512 tier's (same flags, same 8x16 tile, same FMA contraction
+// regime — fp32 output is bit-identical between the two tiers); the int8
+// micro-kernel replaces the maddubs/madd pair with one vpdpbusd per
+// 4-byte group, which both halves the instruction count and skips the
+// int16 intermediate. The integer arithmetic stays exact, so int8 output
+// matches every other tier bit-for-bit. Only entered when cpuid reports
+// AVX512VNNI on top of the F/BW/DQ/VL set (see ActiveGemmKernels).
+
+#define STM_GEMM_KERNEL_NAMESPACE vnni
+#define STM_GEMM_KERNEL_NAME "avx512+vnni"
+#define STM_GEMM_KERNEL_MR 8
+#define STM_GEMM_KERNEL_NR 16
+#include "la/gemm_kernels_impl.h"

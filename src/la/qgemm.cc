@@ -29,14 +29,39 @@ int32_t QuantValue(float x, float inv_scale, int qmax) {
   return static_cast<int32_t>(q);
 }
 
-// Rebuilds colsums and the micro-kernel panel layout from the row-major
-// quantized values. Serial and value-only, so the result is the same no
-// matter which thread (or thread count) runs it.
+// Panel layout for an arbitrary panel width: nr-column panels, k in
+// groups of kInt8KGroup, zero-padded past the k/n edges. Serial and
+// value-only, so the result is the same no matter which thread (or thread
+// count) runs it.
+std::vector<int8_t> BuildPanels(const std::vector<int8_t>& rowmajor,
+                                size_t k, size_t n, size_t panel_nr) {
+  const size_t kgroups = detail::CeilDiv(k, kInt8KGroup);
+  const size_t npanels = detail::CeilDiv(n, panel_nr);
+  std::vector<int8_t> panels(npanels * kgroups * panel_nr * kInt8KGroup, 0);
+  for (size_t jp = 0; jp < npanels; ++jp) {
+    const size_t j0 = jp * panel_nr;
+    const size_t nr = n - j0 < panel_nr ? n - j0 : panel_nr;
+    int8_t* panel = panels.data() + jp * kgroups * panel_nr * kInt8KGroup;
+    for (size_t g = 0; g < kgroups; ++g) {
+      int8_t* chunk = panel + g * panel_nr * kInt8KGroup;
+      for (size_t jj = 0; jj < nr; ++jj) {
+        for (size_t t = 0; t < kInt8KGroup; ++t) {
+          const size_t p = g * kInt8KGroup + t;
+          if (p < k) {
+            chunk[jj * kInt8KGroup + t] = rowmajor[p * n + (j0 + jj)];
+          }
+        }
+      }
+    }
+  }
+  return panels;
+}
+
+// Rebuilds colsums and the active tier's panel layout from the row-major
+// quantized values.
 void FinishPack(Int8PackedB* b) {
   const size_t k = b->k;
   const size_t n = b->n;
-  const size_t kgroups = detail::CeilDiv(k, kInt8KGroup);
-  const size_t npanels = detail::CeilDiv(n, kGemmNr);
   b->colsums.assign(n, 0);
   for (size_t p = 0; p < k; ++p) {
     const int8_t* row = b->rowmajor.data() + p * n;
@@ -44,26 +69,15 @@ void FinishPack(Int8PackedB* b) {
       b->colsums[j] += static_cast<int32_t>(row[j]);
     }
   }
-  b->panels.assign(npanels * kgroups * kGemmNr * kInt8KGroup, 0);
-  for (size_t jp = 0; jp < npanels; ++jp) {
-    const size_t j0 = jp * kGemmNr;
-    const size_t nr = n - j0 < kGemmNr ? n - j0 : kGemmNr;
-    int8_t* panel = b->panels.data() + jp * kgroups * kGemmNr * kInt8KGroup;
-    for (size_t g = 0; g < kgroups; ++g) {
-      int8_t* chunk = panel + g * kGemmNr * kInt8KGroup;
-      for (size_t jj = 0; jj < nr; ++jj) {
-        for (size_t t = 0; t < kInt8KGroup; ++t) {
-          const size_t p = g * kInt8KGroup + t;
-          if (p < k) {
-            chunk[jj * kInt8KGroup + t] = b->rowmajor[p * n + (j0 + jj)];
-          }
-        }
-      }
-    }
-  }
+  b->panel_nr = detail::ActiveGemmKernels().nr;
+  b->panels = BuildPanels(b->rowmajor, k, n, b->panel_nr);
 }
 
 }  // namespace
+
+std::vector<int8_t> Int8PanelsForWidth(const Int8PackedB& b, size_t nr) {
+  return BuildPanels(b.rowmajor, b.k, b.n, nr);
+}
 
 void QuantizeRowWithScale(const float* row, size_t k, float scale, int qmax,
                           int8_t* q) {
@@ -156,7 +170,7 @@ void Int8GemmAcc(const float* a, size_t m, const Int8PackedB& b, float* c) {
       }
     }
   });
-  ParallelFor(0, m, detail::PackedRowGrain(k, n),
+  ParallelFor(0, m, detail::PackedRowGrain(k, n, fns.mr),
               [&](size_t r0, size_t r1) {
                 fns.int8_run_rows(aoff, scales.data(), b.panels.data(),
                                   b.scales.data(), b.colsums.data(), c, k, n,

@@ -20,12 +20,14 @@ namespace stm::la {
 //      stored byte = aq + 64.
 // An all-zero row/column gets scale 0 and quantized value 0.
 //
-// The offset lets the AVX2 micro-kernel use `_mm256_maddubs_epi16`
+// The offset lets the AVX2/AVX-512BW micro-kernels use `maddubs`
 // (unsigned x signed byte pairs -> saturating int16): with the unsigned
 // operand capped at 127 the worst pair sum is 127*127*2 = 32258 < 32767,
 // so the saturating instruction never actually saturates and the integer
-// arithmetic is exact. The generic build computes the same integers with
-// scalar loops, so both ISAs dequantize identical accumulators:
+// arithmetic is exact. The VNNI tier's `vpdpbusd` accumulates the same
+// products directly in int32 (exact by construction), and the generic
+// build computes them with scalar loops — every ISA tier dequantizes
+// identical accumulators:
 //
 //   sum_p (aq + 64) * bq = sum_p aq*bq + 64 * colsum_q(B[:, j])
 //   C[i][j] += a_scale[i] * b_scale[j] * (acc[i][j] - 64 * colsum[j])
@@ -65,9 +67,13 @@ struct Int8PackedB {
   // Per-column sums of the quantized values [n] (the +64 offset
   // correction term); recomputed from `rowmajor`, never stored on disk.
   std::vector<int32_t> colsums;
-  // Micro-kernel layout: kGemmNr-column panels, k in groups of
-  // kInt8KGroup. Panel jp, group g is a 32-byte chunk whose byte
-  // (jj * 4 + t) holds bq[g*4 + t][jp*8 + jj] (zero past the k/n edges).
+  // Micro-kernel layout, packed for the ACTIVE tier's panel width
+  // (panel_nr = ActiveGemmKernels().nr): panel_nr-column panels, k in
+  // groups of kInt8KGroup. Panel jp, group g is a panel_nr*4-byte chunk
+  // whose byte (jj * 4 + t) holds bq[g*4 + t][jp*panel_nr + jj] (zero
+  // past the k/n edges). Only `rowmajor` + `scales` are the portable
+  // view; panels are rebuilt per process.
+  size_t panel_nr = 0;
   std::vector<int8_t> panels;
 };
 
@@ -82,11 +88,17 @@ Int8PackedB PackInt8B(const float* b, size_t rs, size_t cs, size_t k,
 Int8PackedB RepackInt8B(std::vector<int8_t> rowmajor,
                         std::vector<float> scales, size_t k, size_t n);
 
+// Rebuilds b's panel layout for an arbitrary panel width. Test hook: the
+// per-tier kernel sweeps pack B at each compiled tier's nr to drive that
+// tier's int8_run_rows directly, independent of the active dispatch.
+std::vector<int8_t> Int8PanelsForWidth(const Int8PackedB& b, size_t nr);
+
 // c[m, b.n] += dequant(quant(a) * B) for row-major a[m, b.k]. A is
 // quantized per row over the whole matrix before the row-parallel sweep,
-// so the output is bit-identical across thread counts. Dispatches to the
-// AVX2 or generic micro-kernel through the same one-time cpuid selection
-// as the fp32 packed path.
+// so the output is bit-identical across thread counts. Runs the int8
+// micro-kernel picked by the same one-time cpuid/STM_ISA selection as the
+// fp32 packed path; every tier produces bit-identical output (exact
+// integer accumulators, one shared dequantization expression).
 void Int8GemmAcc(const float* a, size_t m, const Int8PackedB& b, float* c);
 
 }  // namespace stm::la

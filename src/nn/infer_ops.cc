@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
+
+#include "la/matrix.h"
+#include "la/workspace.h"
 
 namespace stm::nn {
 
@@ -60,6 +65,27 @@ void SoftmaxRowsInplace(float* x, size_t rows, size_t d) {
     const float inv = 1.0f / sum;
     for (size_t j = 0; j < d; ++j) row[j] *= inv;
   }
+}
+
+void TiledAttentionHead(const float* qh, const float* kh, const float* vh,
+                        size_t len, size_t dh, float scale, float* ctx) {
+  if (len == 0 || dh == 0) return;
+  std::fill(ctx, ctx + len * dh, 0.0f);
+  const size_t qb = std::min(kAttentionQueryBlock, len);
+  std::vector<float> scores = la::AcquireVec(qb * len);
+  for (size_t q0 = 0; q0 < len; q0 += qb) {
+    const size_t rows = std::min(qb, len - q0);
+    std::fill(scores.begin(), scores.begin() + rows * len, 0.0f);
+    // Strip of score rows [q0, q0+rows) against every key, then the
+    // row-local softmax and the strip's context rows. Identical per-cell
+    // chains to the full len x len version (GemmBtAcc/GemmAcc row chunks
+    // are row-local; see la/gemm_kernels.h).
+    la::GemmBtAcc(qh + q0 * dh, kh, scores.data(), rows, dh, len);
+    for (size_t i = 0; i < rows * len; ++i) scores[i] *= scale;
+    SoftmaxRowsInplace(scores.data(), rows, len);
+    la::GemmAcc(scores.data(), vh, ctx + q0 * dh, rows, len, dh);
+  }
+  la::ReleaseVec(std::move(scores));
 }
 
 }  // namespace stm::nn

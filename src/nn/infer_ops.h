@@ -35,6 +35,24 @@ void LayerNormRows(const float* x, size_t rows, size_t d, const float* gamma,
 // nn::SoftmaxLastDim's forward.
 void SoftmaxRowsInplace(float* x, size_t rows, size_t d);
 
+// Query rows processed per strip by TiledAttentionHead. Documents up to
+// this length see the exact pre-tiling execution (one strip covers all
+// queries).
+inline constexpr size_t kAttentionQueryBlock = 64;
+
+// Scaled-dot-product attention for one head over contiguous row-major
+// q/k/v [len, dh]: ctx = softmax(q k^T * scale) v, overwriting ctx.
+//
+// Queries are processed in strips of kAttentionQueryBlock rows so the
+// score buffer is O(strip * len) workspace instead of a materialized
+// len x len matrix. Each strip still scores against the FULL key range
+// before its softmax (no streaming/rescaled softmax), and every score and
+// context cell has a row-local accumulation chain, so the output is
+// bit-identical to the unbounded len x len formulation — tiling changes
+// the peak memory, never the bits.
+void TiledAttentionHead(const float* qh, const float* kh, const float* vh,
+                        size_t len, size_t dh, float scale, float* ctx);
+
 }  // namespace stm::nn
 
 #endif  // STM_NN_INFER_OPS_H_

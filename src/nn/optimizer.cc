@@ -49,6 +49,7 @@ void ParameterStore::Restore(const std::vector<float>& snapshot) {
               p.value().begin());
     offset += p.size();
   }
+  BumpGeneration();
 }
 
 AdamOptimizer::AdamOptimizer(ParameterStore* store, OptimizerConfig config)
@@ -64,6 +65,7 @@ AdamOptimizer::AdamOptimizer(ParameterStore* store, OptimizerConfig config)
 
 void AdamOptimizer::Step() {
   ++step_;
+  store_->BumpGeneration();
   // Optional global gradient clipping.
   if (config_.grad_clip > 0.0f) {
     double norm_sq = 0.0;
@@ -114,6 +116,7 @@ SgdOptimizer::SgdOptimizer(ParameterStore* store, float lr, float momentum)
 }
 
 void SgdOptimizer::Step() {
+  store_->BumpGeneration();
   auto& params = const_cast<std::vector<Tensor>&>(store_->params());
   for (size_t i = 0; i < params.size(); ++i) {
     Tensor& p = params[i];

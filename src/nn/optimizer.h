@@ -1,6 +1,7 @@
 #ifndef STM_NN_OPTIMIZER_H_
 #define STM_NN_OPTIMIZER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,9 +31,19 @@ class ParameterStore {
   // Restores values from a Snapshot(); sizes must match.
   void Restore(const std::vector<float>& snapshot);
 
+  // Monotonic mutation counter, bumped by every optimizer Step() and by
+  // Restore(). Consumers that cache derived views of the parameters
+  // (frozen inference snapshots, weight fingerprints) record the
+  // generation they were built at and drop the cache when it moves —
+  // this catches fine-tuning through external optimizers that never go
+  // through the owning model's invalidation hooks.
+  uint64_t generation() const { return generation_; }
+  void BumpGeneration() { ++generation_; }
+
  private:
   std::vector<Tensor> params_;
   std::vector<std::string> names_;
+  uint64_t generation_ = 0;
 };
 
 struct OptimizerConfig {

@@ -1,6 +1,7 @@
 #include "plm/minilm.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -9,12 +10,15 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/env_parse.h"
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "common/serialize.h"
 #include "common/string_util.h"
+#include "la/gemm_kernels.h"
 #include "la/qgemm.h"
 #include "la/workspace.h"
+#include "nn/infer_ops.h"
 #include "nn/loss.h"
 #include "nn/ops.h"
 #include "plm/batch_scheduler.h"
@@ -44,7 +48,194 @@ void PoolRowsFromHidden(const la::Matrix& hidden, float* out) {
   for (size_t j = 0; j < d; ++j) out[j] *= inv;
 }
 
+// Same value as nn::LayerNorm's epsilon — the fused forward must
+// reproduce the autograd forward bit-for-bit.
+constexpr float kLayerNormEps = 1e-5f;
+
+std::atomic<int> g_fp32_fused_override{-1};
+
+bool EnvFp32FusedEnabled() {
+  // Parsed once; process-wide so every call site takes the same path.
+  static const bool enabled = ParseBoolEnv("STM_FP32_FUSED", true);
+  return enabled;
+}
+
+// Row-chunked LayerNormRows: per-row math, so chunking is value-neutral
+// and the chunk decomposition is the deterministic ParallelFor one.
+void LayerNormRowsParallel(const float* x, size_t rows, size_t d,
+                           const std::vector<float>& gamma,
+                           const std::vector<float>& beta, float* out) {
+  ParallelFor(0, rows, GrainForOps(8 * d), [&](size_t r0, size_t r1) {
+    nn::LayerNormRows(x + r0 * d, r1 - r0, d, gamma.data(), beta.data(),
+                      kLayerNormEps, out + r0 * d);
+  });
+}
+
+// y[i] += x[i], chunked. Elementwise, so chunking is value-neutral.
+void AddInplaceParallel(float* y, const float* x, size_t n) {
+  ParallelFor(0, n, GrainForOps(2), [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) y[i] += x[i];
+  });
+}
+
 }  // namespace
+
+bool Fp32FusedEnabled() {
+  const int mode = g_fp32_fused_override.load(std::memory_order_relaxed);
+  if (mode >= 0) return mode != 0;
+  return EnvFp32FusedEnabled();
+}
+
+void SetFp32FusedInference(int mode) {
+  g_fp32_fused_override.store(mode < 0 ? -1 : (mode != 0 ? 1 : 0),
+                              std::memory_order_relaxed);
+}
+
+// Frozen fp32 inference snapshot (see minilm.h). Mirrors
+// QuantizedMiniLm::ForwardBucket's structure with exact fp32 projections:
+// each weight is pre-packed once (la::PackFp32B) so a forward pass runs
+// only A-side work, and the fused qkv projection computes q, k and v in
+// ONE packed GEMM against the concatenated [dim, 3*dim] panels.
+struct MiniLm::FrozenFp32 {
+  struct PackedLinear {
+    la::PackedBF32 weight;    // packed [in, out]
+    std::vector<float> bias;  // [out]
+  };
+  struct FrozenLayer {
+    PackedLinear qkv, out, ffn1, ffn2;
+    std::vector<float> ln1_gamma, ln1_beta;
+    std::vector<float> ln2_gamma, ln2_beta;
+  };
+
+  MiniLmConfig config;
+  std::vector<float> token_table;  // [vocab, dim]
+  std::vector<float> pos_table;    // [max_seq, dim]
+  std::vector<FrozenLayer> layers;
+  std::vector<float> final_gamma, final_beta;
+
+  // x[rows, w.weight.k] @ W + b into out[rows, w.weight.n]. Zero-fill +
+  // PrepackedGemmAcc + AddBiasRows rounds identically to
+  // nn::Linear::Forward (MatMul then AddBias) — see la/gemm_kernels.h on
+  // why the prepacked micro-kernel matches GemmAcc bit-for-bit.
+  static void ApplyLinear(const float* x, size_t rows,
+                          const PackedLinear& w, float* out) {
+    const size_t n = w.weight.n;
+    std::fill(out, out + rows * n, 0.0f);
+    la::PrepackedGemmAcc(x, rows, w.weight, out);
+    nn::AddBiasRows(out, rows, n, w.bias.data());
+  }
+
+  // Forward pass over one padded length bucket; same contract as
+  // QuantizedMiniLm::ForwardBucket (out receives [count * seq, dim] final
+  // hidden rows; rows past a document's length are deterministic but
+  // meaningless). Attention runs per document at its exact length —
+  // bit-identical to the autograd Forward's masked full-seq attention,
+  // because the -1e9 additive mask drives every pad-key weight to an
+  // exact 0.0f (exp underflow) and a zero attention weight contributes
+  // exactly nothing to the fused context accumulation.
+  void ForwardBucket(const int32_t* flat, size_t count, size_t seq,
+                     const std::vector<int>& lengths, float* out) const;
+};
+
+void MiniLm::FrozenFp32::ForwardBucket(const int32_t* flat, size_t count,
+                                       size_t seq,
+                                       const std::vector<int>& lengths,
+                                       float* out) const {
+  const size_t R = count * seq;
+  const size_t d = config.dim;
+  const size_t h = config.heads;
+  const size_t dh = d / h;
+  const size_t f = config.ffn_dim;
+  const float att_scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // Token + position embeddings. Pad rows get real kPadId embeddings —
+  // finite, deterministic values that flow through the row-local
+  // projections but are never read by attention or the caller.
+  std::vector<float> x = la::AcquireVec(R * d);
+  ParallelFor(0, R, GrainForOps(2 * d), [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const float* tok = token_table.data() + static_cast<size_t>(flat[r]) * d;
+      const float* pos = pos_table.data() + (r % seq) * d;
+      float* row = x.data() + r * d;
+      for (size_t j = 0; j < d; ++j) row[j] = tok[j] + pos[j];
+    }
+  });
+
+  std::vector<float> normed = la::AcquireVec(R * d);
+  std::vector<float> qkv = la::AcquireVec(R * 3 * d);
+  // Zeroed once: attention only writes rows t < len, so pad rows stay an
+  // exact 0.0 across layers instead of uninitialized bytes.
+  std::vector<float> merged = la::AcquireZeroedVec(R * d);
+  std::vector<float> proj = la::AcquireVec(R * d);
+  std::vector<float> ffn = la::AcquireVec(R * f);
+
+  for (const FrozenLayer& layer : layers) {
+    // ---- attention sublayer (pre-LN) ----
+    LayerNormRowsParallel(x.data(), R, d, layer.ln1_gamma, layer.ln1_beta,
+                          normed.data());
+    // Fused QKV: one pre-packed GEMM produces q|k|v for every row.
+    ApplyLinear(normed.data(), R, layer.qkv, qkv.data());
+    // Per-document, per-head tiled attention at the document's exact
+    // length (see nn/infer_ops.h): O(strip * len) score workspace, GEMM
+    // extents that match the per-document call bit-for-bit regardless of
+    // bucket composition.
+    ParallelFor(
+        0, count, GrainForOps(2 * h * seq * seq * dh),
+        [&](size_t b0, size_t b1) {
+          for (size_t b = b0; b < b1; ++b) {
+            const size_t len = static_cast<size_t>(lengths[b]);
+            const size_t base = b * seq;
+            std::vector<float> qh = la::AcquireVec(len * dh);
+            std::vector<float> kh = la::AcquireVec(len * dh);
+            std::vector<float> vh = la::AcquireVec(len * dh);
+            std::vector<float> ctx = la::AcquireVec(len * dh);
+            for (size_t head = 0; head < h; ++head) {
+              const size_t off = head * dh;
+              for (size_t t = 0; t < len; ++t) {
+                const float* row = qkv.data() + (base + t) * 3 * d;
+                for (size_t j = 0; j < dh; ++j) {
+                  qh[t * dh + j] = row[off + j];
+                  kh[t * dh + j] = row[d + off + j];
+                  vh[t * dh + j] = row[2 * d + off + j];
+                }
+              }
+              nn::TiledAttentionHead(qh.data(), kh.data(), vh.data(), len,
+                                     dh, att_scale, ctx.data());
+              for (size_t t = 0; t < len; ++t) {
+                float* mrow = merged.data() + (base + t) * d + off;
+                const float* crow = ctx.data() + t * dh;
+                for (size_t j = 0; j < dh; ++j) mrow[j] = crow[j];
+              }
+            }
+            la::ReleaseVec(std::move(ctx));
+            la::ReleaseVec(std::move(vh));
+            la::ReleaseVec(std::move(kh));
+            la::ReleaseVec(std::move(qh));
+          }
+        });
+    ApplyLinear(merged.data(), R, layer.out, proj.data());
+    AddInplaceParallel(x.data(), proj.data(), R * d);
+
+    // ---- feed-forward sublayer ----
+    LayerNormRowsParallel(x.data(), R, d, layer.ln2_gamma, layer.ln2_beta,
+                          normed.data());
+    ApplyLinear(normed.data(), R, layer.ffn1, ffn.data());
+    ParallelFor(0, R * f, GrainForOps(8), [&](size_t b, size_t e) {
+      nn::GeluInplace(ffn.data() + b, e - b);
+    });
+    ApplyLinear(ffn.data(), R, layer.ffn2, proj.data());
+    AddInplaceParallel(x.data(), proj.data(), R * d);
+  }
+
+  LayerNormRowsParallel(x.data(), R, d, final_gamma, final_beta, out);
+
+  la::ReleaseVec(std::move(ffn));
+  la::ReleaseVec(std::move(proj));
+  la::ReleaseVec(std::move(merged));
+  la::ReleaseVec(std::move(qkv));
+  la::ReleaseVec(std::move(normed));
+  la::ReleaseVec(std::move(x));
+}
 
 uint64_t MiniLmConfig::Fingerprint() const {
   uint64_t h = Fnv1a("minilm-v1");
@@ -352,6 +543,13 @@ nn::Tensor MiniLm::PoolTensor(const std::vector<int32_t>& ids) {
 }
 
 la::Matrix MiniLm::EncodeOneFp32(const std::vector<int32_t>& trunc) {
+  if (Fp32FusedEnabled()) {
+    la::Matrix out(trunc.size(), config_.dim);
+    Fp32Frozen()->ForwardBucket(trunc.data(), 1, trunc.size(),
+                                {static_cast<int>(trunc.size())},
+                                out.data());
+    return out;
+  }
   nn::Tensor hidden =
       Forward(trunc, 1, trunc.size(), {static_cast<int>(trunc.size())});
   la::Matrix out(hidden.dim(0), hidden.dim(1));
@@ -360,6 +558,14 @@ la::Matrix MiniLm::EncodeOneFp32(const std::vector<int32_t>& trunc) {
 }
 
 std::vector<float> MiniLm::PoolOneFp32(const std::vector<int32_t>& trunc) {
+  if (Fp32FusedEnabled()) {
+    // Same ascending row sum + single multiply as MaskedMeanPool's
+    // forward (see PoolRowsFromHidden): bit-identical pooled vector.
+    const la::Matrix hidden = EncodeOneFp32(trunc);
+    std::vector<float> pooled(config_.dim);
+    PoolRowsFromHidden(hidden, pooled.data());
+    return pooled;
+  }
   nn::Tensor hidden =
       Forward(trunc, 1, trunc.size(), {static_cast<int>(trunc.size())});
   return nn::MaskedMeanPool(hidden, 1, trunc.size(),
@@ -394,6 +600,9 @@ std::vector<la::Matrix> MiniLm::EncodeMissesFp32(
     lengths[i] = trunc_docs[i].size();
   }
   const BatchPlan plan = PlanBuckets(lengths, options);
+  const bool fused = Fp32FusedEnabled();
+  const FrozenFp32* frozen = fused ? Fp32Frozen() : nullptr;
+  const size_t d = config_.dim;
   for (const EncodeBucket& bucket : plan.buckets) {
     const size_t count = bucket.docs.size();
     const size_t seq = bucket.seq;
@@ -404,13 +613,26 @@ std::vector<la::Matrix> MiniLm::EncodeMissesFp32(
       std::copy(doc.begin(), doc.end(), flat.begin() + i * seq);
       lens[i] = static_cast<int>(doc.size());
     }
+    if (fused) {
+      std::vector<float> hidden = la::AcquireVec(count * seq * d);
+      frozen->ForwardBucket(flat.data(), count, seq, lens, hidden.data());
+      for (size_t i = 0; i < count; ++i) {
+        const size_t len = trunc_docs[bucket.docs[i]].size();
+        la::Matrix m(len, d);
+        const float* src = hidden.data() + i * seq * d;
+        std::copy(src, src + len * d, m.data());
+        out[bucket.docs[i]] = std::move(m);
+      }
+      la::ReleaseVec(std::move(hidden));
+      continue;
+    }
     la::Workspace::ReserveThreadFloats(EncodeGraphFloats(count, seq));
     nn::Tensor hidden = Forward(flat, count, seq, lens);
     for (size_t i = 0; i < count; ++i) {
       const size_t len = trunc_docs[bucket.docs[i]].size();
-      la::Matrix m(len, config_.dim);
-      const float* src = hidden.value().data() + i * seq * config_.dim;
-      std::copy(src, src + len * config_.dim, m.data());
+      la::Matrix m(len, d);
+      const float* src = hidden.value().data() + i * seq * d;
+      std::copy(src, src + len * d, m.data());
       out[bucket.docs[i]] = std::move(m);
     }
   }
@@ -435,6 +657,9 @@ la::Matrix MiniLm::PoolMissesFp32(
     lengths[i] = trunc_docs[i].size();
   }
   const BatchPlan plan = PlanBuckets(lengths, options);
+  const bool fused = Fp32FusedEnabled();
+  const FrozenFp32* frozen = fused ? Fp32Frozen() : nullptr;
+  const size_t d = config_.dim;
   for (const EncodeBucket& bucket : plan.buckets) {
     const size_t count = bucket.docs.size();
     const size_t seq = bucket.seq;
@@ -445,12 +670,31 @@ la::Matrix MiniLm::PoolMissesFp32(
       std::copy(doc.begin(), doc.end(), flat.begin() + i * seq);
       lens[i] = static_cast<int>(doc.size());
     }
+    if (fused) {
+      std::vector<float> hidden = la::AcquireVec(count * seq * d);
+      frozen->ForwardBucket(flat.data(), count, seq, lens, hidden.data());
+      for (size_t i = 0; i < count; ++i) {
+        // Same ascending sum + single multiply as MaskedMeanPool's
+        // forward: bit-identical.
+        const size_t len = static_cast<size_t>(lens[i]);
+        float* row = out.Row(bucket.docs[i]);
+        std::fill(row, row + d, 0.0f);
+        for (size_t t = 0; t < len; ++t) {
+          const float* hr = hidden.data() + (i * seq + t) * d;
+          for (size_t j = 0; j < d; ++j) row[j] += hr[j];
+        }
+        const float inv = 1.0f / static_cast<float>(len);
+        for (size_t j = 0; j < d; ++j) row[j] *= inv;
+      }
+      la::ReleaseVec(std::move(hidden));
+      continue;
+    }
     la::Workspace::ReserveThreadFloats(EncodeGraphFloats(count, seq));
     nn::Tensor hidden = Forward(flat, count, seq, lens);
     nn::Tensor pooled = nn::MaskedMeanPool(hidden, count, seq, lens);
     for (size_t i = 0; i < count; ++i) {
-      const float* src = pooled.value().data() + i * config_.dim;
-      std::copy(src, src + config_.dim, out.Row(bucket.docs[i]));
+      const float* src = pooled.value().data() + i * d;
+      std::copy(src, src + d, out.Row(bucket.docs[i]));
     }
   }
   return out;
@@ -682,12 +926,18 @@ void MiniLm::SetEncodeCache(std::shared_ptr<EncodeCache> cache) {
 
 uint64_t MiniLm::WeightsFingerprint() const {
   std::lock_guard<std::mutex> lock(freeze_mu_);
+  DropStaleFrozenLocked();
   if (!weights_fp_valid_) {
     const std::vector<float> snapshot = store_.Snapshot();
     weights_fp_ = Fnv1aBytes(snapshot.data(),
                              snapshot.size() * sizeof(float),
                              HashCombine(config_.Fingerprint(),
                                          uint64_t{0x5747u}));  // "WG"
+    // Salted with the kernel FP-contraction regime, NOT the ISA tier
+    // name: all FMA-built tiers produce bit-identical fp32 output (see
+    // la/gemm_kernels.h), so persisted embeddings are shared across
+    // avx2/avx512/vnni machines but never mixed with generic-build bits.
+    weights_fp_ = HashCombine(weights_fp_, Fnv1a(la::GemmKernelFpRegime()));
     weights_fp_valid_ = true;
   }
   return weights_fp_;
@@ -732,17 +982,69 @@ const QuantizedMiniLm* MiniLm::Frozen() const {
   // parallel label encoding), so the lazy freeze is mutex-guarded; after
   // the first call everyone reads the same immutable snapshot.
   std::lock_guard<std::mutex> lock(freeze_mu_);
+  DropStaleFrozenLocked();
   if (!frozen_) frozen_ = Freeze();
   return frozen_.get();
+}
+
+const MiniLm::FrozenFp32* MiniLm::Fp32Frozen() const {
+  std::lock_guard<std::mutex> lock(freeze_mu_);
+  DropStaleFrozenLocked();
+  if (!frozen_fp32_) {
+    auto f = std::make_shared<FrozenFp32>();
+    f->config = config_;
+    f->token_table = token_embed_->table().value();
+    f->pos_table = pos_embed_->table().value();
+    f->final_gamma = final_ln_->gamma().value();
+    f->final_beta = final_ln_->beta().value();
+    // Linear weights are stored row-major [in, out]: row stride `out`,
+    // column stride 1, contraction extent `in`. Packed ONCE here; every
+    // later forward pass runs only A-side work against the panels.
+    const auto pack = [](const nn::Linear& lin, size_t in, size_t out) {
+      FrozenFp32::PackedLinear p;
+      p.weight = la::PackFp32B(lin.weight().value().data(), out, 1, in, out);
+      p.bias = lin.bias().value();
+      return p;
+    };
+    const size_t d = config_.dim;
+    f->layers.resize(config_.layers);
+    for (size_t l = 0; l < config_.layers; ++l) {
+      const Layer& src = layers_[l];
+      FrozenFp32::FrozenLayer& dst = f->layers[l];
+      dst.qkv = pack(*src.qkv, d, 3 * d);
+      dst.out = pack(*src.out, d, d);
+      dst.ffn1 = pack(*src.ffn1, d, config_.ffn_dim);
+      dst.ffn2 = pack(*src.ffn2, config_.ffn_dim, d);
+      dst.ln1_gamma = src.ln1->gamma().value();
+      dst.ln1_beta = src.ln1->beta().value();
+      dst.ln2_gamma = src.ln2->gamma().value();
+      dst.ln2_beta = src.ln2->beta().value();
+    }
+    frozen_fp32_ = std::move(f);
+  }
+  return frozen_fp32_.get();
 }
 
 void MiniLm::InvalidateFrozen() {
   std::lock_guard<std::mutex> lock(freeze_mu_);
   frozen_.reset();
+  frozen_fp32_.reset();
   // The weights fingerprint keys the embedding cache; dropping it here —
-  // the same boundary that drops the int8 snapshot — makes every cached
-  // embedding of the old parameters unaddressable.
+  // the same boundary that drops the frozen snapshots — makes every
+  // cached embedding of the old parameters unaddressable.
   weights_fp_valid_ = false;
+  frozen_generation_ = store_.generation();
+}
+
+void MiniLm::DropStaleFrozenLocked() const {
+  // Fine-tuning that runs its own optimizer over store() (e.g. MICoL's
+  // contrastive training) mutates the weights without ever calling
+  // InvalidateFrozen(); the store's mutation generation catches that.
+  if (frozen_generation_ == store_.generation()) return;
+  frozen_.reset();
+  frozen_fp32_.reset();
+  weights_fp_valid_ = false;
+  frozen_generation_ = store_.generation();
 }
 
 std::vector<int32_t> MiniLm::PredictTopK(const std::vector<int32_t>& ids,

@@ -19,6 +19,21 @@ namespace stm::plm {
 class EncodeCache;
 class QuantizedMiniLm;
 
+// ---- STM_FP32_FUSED switch ----
+//
+// When enabled (the default), MiniLm's non-differentiable fp32 inference
+// entry points (Encode/Pool/EncodeBatch/PoolBatch without STM_QUANT) run
+// a frozen fused forward: weights pre-packed once into the GEMM kernel
+// panel layout (la::PackedBF32) and attention tiled per query strip —
+// no autograd Node construction, no per-call B pack. Output is
+// bit-identical to the autograd graph forward; the switch exists as an
+// escape hatch and so tests can compare both paths in one process.
+// Reads STM_FP32_FUSED ("0"/"false" disables) unless overridden.
+bool Fp32FusedEnabled();
+
+// 1 = force on, 0 = force off, -1 = follow STM_FP32_FUSED (the default).
+void SetFp32FusedInference(int mode);
+
 // MiniLm is the library's stand-in for BERT/RoBERTa/ELECTRA: a from-scratch
 // transformer encoder pre-trained with masked-language-modeling (MLM) and
 // an ELECTRA-style replaced-token-detection (RTD) head on a "general"
@@ -213,6 +228,15 @@ class MiniLm {
   nn::ParameterStore& store() { return store_; }
 
  private:
+  // Frozen fp32 inference snapshot: every projection weight pre-packed
+  // into the active GEMM tier's panel layout (the fused-QKV projection is
+  // ONE packed [dim, 3*dim] panel set, so a forward pass runs one
+  // A-sweep per layer for q, k and v together), plus plain fp32 copies of
+  // the embeddings, biases and layer-norm parameters. Built lazily under
+  // freeze_mu_, dropped by InvalidateFrozen() at the same boundary as the
+  // int8 snapshot. Defined in minilm.cc.
+  struct FrozenFp32;
+
   struct Layer {
     std::unique_ptr<nn::Linear> qkv;
     std::unique_ptr<nn::Linear> out;
@@ -251,7 +275,14 @@ class MiniLm {
   // mutex because Pool/Encode may be called concurrently from pool
   // workers; invalidated whenever training updates the parameters.
   const QuantizedMiniLm* Frozen() const;
+  // Same contract for the fp32 fused snapshot (STM_FP32_FUSED switch).
+  const FrozenFp32* Fp32Frozen() const;
   void InvalidateFrozen();
+  // Drops frozen snapshots/fingerprint if the parameter store mutated
+  // since they were built (e.g. fine-tuning through an external
+  // optimizer over store(), which never calls InvalidateFrozen()).
+  // Caller must hold freeze_mu_.
+  void DropStaleFrozenLocked() const;
 
   MiniLmConfig config_;
   Rng rng_;
@@ -264,10 +295,14 @@ class MiniLm {
   std::unique_ptr<nn::Linear> rtd_head_;      // dim -> 1
   mutable std::mutex freeze_mu_;
   mutable std::shared_ptr<const QuantizedMiniLm> frozen_;
+  mutable std::shared_ptr<const FrozenFp32> frozen_fp32_;
   // Guarded by freeze_mu_ (fingerprint and frozen snapshot go stale at
   // exactly the same parameter-update boundaries).
   mutable uint64_t weights_fp_ = 0;
   mutable bool weights_fp_valid_ = false;
+  // store_.generation() at the time the snapshots/fingerprint above were
+  // built; a mismatch means training mutated the weights behind our back.
+  mutable uint64_t frozen_generation_ = 0;
   std::shared_ptr<EncodeCache> encode_cache_;
 };
 

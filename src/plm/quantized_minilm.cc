@@ -156,7 +156,6 @@ void QuantizedMiniLm::ForwardBucket(const int32_t* flat, size_t count,
             std::vector<float> qh = la::AcquireVec(len * dh);
             std::vector<float> kh = la::AcquireVec(len * dh);
             std::vector<float> vh = la::AcquireVec(len * dh);
-            std::vector<float> scores = la::AcquireVec(len * len);
             std::vector<float> ctx = la::AcquireVec(len * dh);
             for (size_t head = 0; head < h; ++head) {
               const size_t off = head * dh;
@@ -168,14 +167,11 @@ void QuantizedMiniLm::ForwardBucket(const int32_t* flat, size_t count,
                   vh[t * dh + j] = row[2 * d + off + j];
                 }
               }
-              std::fill(scores.begin(), scores.end(), 0.0f);
-              la::GemmBtAcc(qh.data(), kh.data(), scores.data(), len, dh,
-                            len);
-              for (size_t i = 0; i < len * len; ++i) scores[i] *= att_scale;
-              nn::SoftmaxRowsInplace(scores.data(), len, len);
-              std::fill(ctx.begin(), ctx.end(), 0.0f);
-              la::GemmAcc(scores.data(), vh.data(), ctx.data(), len, len,
-                          dh);
+              // Query-strip tiled attention: O(strip * len) score
+              // workspace instead of len x len, same bits (see
+              // nn/infer_ops.h).
+              nn::TiledAttentionHead(qh.data(), kh.data(), vh.data(), len,
+                                     dh, att_scale, ctx.data());
               for (size_t t = 0; t < len; ++t) {
                 float* mrow = merged.data() + (base + t) * d + off;
                 const float* crow = ctx.data() + t * dh;
@@ -183,7 +179,6 @@ void QuantizedMiniLm::ForwardBucket(const int32_t* flat, size_t count,
               }
             }
             la::ReleaseVec(std::move(ctx));
-            la::ReleaseVec(std::move(scores));
             la::ReleaseVec(std::move(vh));
             la::ReleaseVec(std::move(kh));
             la::ReleaseVec(std::move(qh));

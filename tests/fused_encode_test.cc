@@ -1,0 +1,339 @@
+// Tests for the fused frozen-fp32 inference path (STM_FP32_FUSED,
+// plm/minilm.cc): pre-packed fused-QKV projections plus tiled attention
+// (nn::TiledAttentionHead) must be BIT-identical to the fp32 autograd
+// graph forward, per document and through every batch mode, at any
+// thread count. Also pins down the freeze/invalidate boundary: training
+// drops the frozen snapshot so the fused path never serves stale bits.
+// Built into stm_encode_tests (ctest label "encode") so scripts/check.sh
+// runs it under ASan and under both STM_ISA passes.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "la/matrix.h"
+#include "nn/infer_ops.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "plm/batch_scheduler.h"
+#include "plm/minilm.h"
+#include "plm/quantized_minilm.h"
+#include "text/vocabulary.h"
+
+namespace stm {
+namespace {
+
+constexpr size_t kVocab = 120;
+
+// Restores every process-wide switch the suite touches, no matter how a
+// test exits, so a failing assertion can't leak state into later tests.
+struct FusedGuard {
+  ~FusedGuard() {
+    plm::SetFp32FusedInference(-1);
+    plm::SetQuantInference(-1);
+    plm::SetBatchOptions(plm::BatchOptions{});
+    ThreadPool::Reset(ThreadPool::ConfiguredThreads());
+  }
+};
+
+plm::MiniLmConfig TestConfig() {
+  plm::MiniLmConfig config;
+  config.vocab_size = kVocab;
+  config.dim = 24;
+  config.layers = 2;
+  config.heads = 4;
+  config.ffn_dim = 48;
+  config.max_seq = 32;
+  config.seed = 11;
+  return config;
+}
+
+// Mixed-length corpus including the edge cases: empty doc (becomes one
+// pad token), single-token docs, and docs past max_seq (truncated).
+std::vector<std::vector<int32_t>> MixedDocs(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> docs;
+  docs.push_back({});
+  docs.push_back({text::kNumSpecialTokens});
+  for (size_t d = docs.size(); d < count; ++d) {
+    size_t len;
+    const double r = rng.Uniform();
+    if (r < 0.6) {
+      len = 2 + rng.UniformInt(10);
+    } else if (r < 0.9) {
+      len = 12 + rng.UniformInt(16);
+    } else {
+      len = 34 + rng.UniformInt(10);  // truncated to max_seq
+    }
+    std::vector<int32_t> doc(len);
+    for (int32_t& id : doc) {
+      id = text::kNumSpecialTokens +
+           static_cast<int32_t>(
+               rng.UniformInt(kVocab - text::kNumSpecialTokens));
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+void ExpectBitwiseEqual(const la::Matrix& want, const la::Matrix& got,
+                        const std::string& what) {
+  ASSERT_EQ(want.rows(), got.rows()) << what;
+  ASSERT_EQ(want.cols(), got.cols()) << what;
+  EXPECT_EQ(0, std::memcmp(want.data(), got.data(),
+                           want.size() * sizeof(float)))
+      << what;
+}
+
+class FusedEncodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    plm::SetQuantInference(0);  // fp32 only; int8 has its own suite
+    plm::SetBatchOptions(plm::BatchOptions{});
+  }
+
+  FusedGuard guard_;
+};
+
+plm::BatchOptions Options(plm::BatchMode mode) {
+  plm::BatchOptions options;
+  options.mode = mode;
+  return options;
+}
+
+// The core contract: fused and autograd forwards agree bit-for-bit on
+// every document, for both hidden states and pooled vectors.
+TEST_F(FusedEncodeTest, PerDocEncodeAndPoolMatchAutogradBitwise) {
+  plm::MiniLm model(TestConfig());
+  const auto docs = MixedDocs(24, 31);
+  for (size_t d = 0; d < docs.size(); ++d) {
+    plm::SetFp32FusedInference(0);
+    const la::Matrix want = model.Encode(docs[d]);
+    const std::vector<float> want_pool = model.Pool(docs[d]);
+    plm::SetFp32FusedInference(1);
+    const la::Matrix got = model.Encode(docs[d]);
+    const std::vector<float> got_pool = model.Pool(docs[d]);
+    ExpectBitwiseEqual(want, got, "encode doc " + std::to_string(d));
+    ASSERT_EQ(want_pool.size(), got_pool.size());
+    EXPECT_EQ(0, std::memcmp(want_pool.data(), got_pool.data(),
+                             want_pool.size() * sizeof(float)))
+        << "pool doc " << d;
+  }
+}
+
+// Bucketed batches (the default) run the fused bucket forward over
+// ragged per-bucket lengths; every scatter-back row must match the
+// autograd per-document bits.
+TEST_F(FusedEncodeTest, BucketedBatchMatchesAutogradPerDoc) {
+  plm::MiniLm model(TestConfig());
+  const auto docs = MixedDocs(40, 47);
+
+  plm::SetFp32FusedInference(0);
+  plm::SetBatchOptions(Options(plm::BatchMode::kPerDoc));
+  std::vector<la::Matrix> want;
+  want.reserve(docs.size());
+  for (const auto& doc : docs) want.push_back(model.Encode(doc));
+  la::Matrix want_pool(docs.size(), model.config().dim);
+  for (size_t d = 0; d < docs.size(); ++d) {
+    const std::vector<float> row = model.Pool(docs[d]);
+    std::memcpy(want_pool.data() + d * want_pool.cols(), row.data(),
+                row.size() * sizeof(float));
+  }
+
+  plm::SetFp32FusedInference(1);
+  for (const plm::BatchMode mode :
+       {plm::BatchMode::kBucketed, plm::BatchMode::kPadded,
+        plm::BatchMode::kPerDoc}) {
+    plm::SetBatchOptions(Options(mode));
+    const std::vector<la::Matrix> got = model.EncodeBatch(docs);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t d = 0; d < docs.size(); ++d) {
+      ExpectBitwiseEqual(want[d], got[d],
+                         "mode " + std::to_string(static_cast<int>(mode)) +
+                             " doc " + std::to_string(d));
+    }
+    const la::Matrix got_pool = model.PoolBatch(docs);
+    ExpectBitwiseEqual(want_pool, got_pool,
+                       "pool mode " + std::to_string(static_cast<int>(mode)));
+  }
+}
+
+// Pad rows inside a fused bucket must never leak into valid rows: a doc
+// encoded alone and the same doc padded next to much longer ones agree
+// bitwise (the -1e9 score mask underflows exp to exactly 0 for pad
+// keys, and every chain is row-local — see FrozenFp32::ForwardBucket).
+TEST_F(FusedEncodeTest, PaddedBucketsDoNotPerturbShortDocs) {
+  plm::MiniLm model(TestConfig());
+  plm::SetFp32FusedInference(1);
+  const std::vector<std::vector<int32_t>> docs = {
+      {5, 6, 7},
+      MixedDocs(3, 77).back(),  // a long doc forcing seq >> 3
+      {8},
+  };
+  plm::SetBatchOptions(Options(plm::BatchMode::kPerDoc));
+  std::vector<la::Matrix> want;
+  for (const auto& doc : docs) want.push_back(model.Encode(doc));
+  plm::SetBatchOptions(Options(plm::BatchMode::kPadded));
+  const std::vector<la::Matrix> got = model.EncodeBatch(docs);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    ExpectBitwiseEqual(want[d], got[d], "padded doc " + std::to_string(d));
+  }
+}
+
+// Same bits at any thread count (the GEMM row chunks and per-doc loops
+// are deterministic partitions; no accumulation crosses a chunk).
+TEST_F(FusedEncodeTest, FusedOutputsAreThreadCountInvariant) {
+  plm::MiniLm model(TestConfig());
+  plm::SetFp32FusedInference(1);
+  const auto docs = MixedDocs(16, 61);
+
+  ThreadPool::Reset(1);
+  const std::vector<la::Matrix> want = model.EncodeBatch(docs);
+  const la::Matrix want_pool = model.PoolBatch(docs);
+  for (const size_t threads : {2u, 8u}) {
+    ThreadPool::Reset(threads);
+    const std::vector<la::Matrix> got = model.EncodeBatch(docs);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t d = 0; d < docs.size(); ++d) {
+      ExpectBitwiseEqual(want[d], got[d],
+                         std::to_string(threads) + " threads, doc " +
+                             std::to_string(d));
+    }
+    ExpectBitwiseEqual(want_pool, model.PoolBatch(docs),
+                       std::to_string(threads) + " threads, pool");
+  }
+}
+
+// The tiled attention itself, against the materialized formulation it
+// replaced: one full len x len score matrix, softmax, context. Strip
+// boundaries (len at, just below, just above and well past
+// kAttentionQueryBlock) must never change a bit — tiling changes peak
+// memory, not results.
+TEST_F(FusedEncodeTest, TiledAttentionMatchesMaterializedScores) {
+  constexpr size_t kDh = 8;
+  Rng rng(19);
+  for (const size_t len :
+       {size_t{1}, size_t{63}, nn::kAttentionQueryBlock,
+        nn::kAttentionQueryBlock + 1, size_t{100}, size_t{128}}) {
+    std::vector<float> q(len * kDh), k(len * kDh), v(len * kDh);
+    for (float* buf : {q.data(), k.data(), v.data()}) {
+      for (size_t i = 0; i < len * kDh; ++i) {
+        buf[i] = static_cast<float>(rng.Uniform() * 2.0 - 1.0);
+      }
+    }
+    const float scale = 0.3535533906f;  // 1/sqrt(8)
+
+    std::vector<float> scores(len * len, 0.0f);
+    la::GemmBtAcc(q.data(), k.data(), scores.data(), len, kDh, len);
+    for (float& s : scores) s *= scale;
+    nn::SoftmaxRowsInplace(scores.data(), len, len);
+    std::vector<float> want(len * kDh, 0.0f);
+    la::GemmAcc(scores.data(), v.data(), want.data(), len, len, kDh);
+
+    std::vector<float> got(len * kDh, 1.0f);  // must be overwritten
+    nn::TiledAttentionHead(q.data(), k.data(), v.data(), len, kDh, scale,
+                           got.data());
+    EXPECT_EQ(0,
+              std::memcmp(want.data(), got.data(), want.size() * sizeof(float)))
+        << "len " << len;
+  }
+}
+
+// Documents longer than one query strip (len > kAttentionQueryBlock)
+// exercise the multi-strip path through the WHOLE model; the fused
+// forward must still match autograd bitwise.
+TEST_F(FusedEncodeTest, LongDocumentsCrossStripBoundary) {
+  plm::MiniLmConfig config = TestConfig();
+  config.max_seq = nn::kAttentionQueryBlock + 32;
+  plm::MiniLm model(config);
+  Rng rng(29);
+  for (const size_t len :
+       {nn::kAttentionQueryBlock, nn::kAttentionQueryBlock + 1,
+        config.max_seq}) {
+    std::vector<int32_t> doc(len);
+    for (int32_t& id : doc) {
+      id = text::kNumSpecialTokens +
+           static_cast<int32_t>(
+               rng.UniformInt(kVocab - text::kNumSpecialTokens));
+    }
+    plm::SetFp32FusedInference(0);
+    const la::Matrix want = model.Encode(doc);
+    plm::SetFp32FusedInference(1);
+    const la::Matrix got = model.Encode(doc);
+    ExpectBitwiseEqual(want, got, "len " + std::to_string(len));
+  }
+}
+
+// Training must drop the frozen snapshot: after Pretrain the fused path
+// re-freezes from the NEW weights and still matches autograd bitwise.
+TEST_F(FusedEncodeTest, TrainingInvalidatesFrozenSnapshot) {
+  plm::MiniLm model(TestConfig());
+  const auto docs = MixedDocs(6, 83);
+  plm::SetFp32FusedInference(1);
+  const la::Matrix before = model.Encode(docs[2]);
+
+  plm::PretrainConfig pretrain;
+  pretrain.steps = 3;
+  pretrain.batch = 2;
+  pretrain.train_rtd = false;
+  model.Pretrain(docs, pretrain);
+
+  plm::SetFp32FusedInference(0);
+  const la::Matrix want = model.Encode(docs[2]);
+  plm::SetFp32FusedInference(1);
+  const la::Matrix got = model.Encode(docs[2]);
+  ExpectBitwiseEqual(want, got, "post-training encode");
+  // And training really changed the weights (snapshot was not reused).
+  EXPECT_NE(0, std::memcmp(before.data(), got.data(),
+                           before.size() * sizeof(float)));
+}
+
+// Regression: MICoL-style fine-tuning runs its own AdamOptimizer over
+// model.store(), never touching MiniLm's Pretrain/InvalidateFrozen
+// boundary. The frozen fused snapshot must still be dropped (via the
+// ParameterStore mutation generation), or fused inference keeps serving
+// the pre-fine-tune weights.
+TEST_F(FusedEncodeTest, ExternalOptimizerInvalidatesFrozenSnapshot) {
+  plm::MiniLm model(TestConfig());
+  const auto docs = MixedDocs(6, 131);
+  plm::SetFp32FusedInference(1);
+  const la::Matrix before = model.Encode(docs[0]);
+
+  nn::OptimizerConfig opt_config;
+  opt_config.lr = 5e-3f;
+  nn::AdamOptimizer optimizer(&model.store(), opt_config);
+  for (int step = 0; step < 2; ++step) {
+    std::vector<nn::Tensor> pooled;
+    for (size_t d = 0; d + 1 < docs.size(); d += 2) {
+      pooled.push_back(model.PoolTensor(docs[d]));
+      pooled.push_back(model.PoolTensor(docs[d + 1]));
+    }
+    nn::Tensor sims = nn::NormalizeRowsOp(nn::ConcatRows(pooled));
+    const size_t rows = pooled.size();
+    const size_t dim = model.config().dim;
+    nn::Tensor sim = nn::Reshape(
+        nn::BMatMulT(nn::Reshape(sims, {1, rows, dim}),
+                     nn::Reshape(sims, {1, rows, dim})),
+        {rows, rows});
+    nn::Tensor loss = nn::InfoNce(sim, 0.1f);
+    nn::Backward(loss);
+    optimizer.Step();
+  }
+
+  plm::SetFp32FusedInference(0);
+  const la::Matrix want = model.Encode(docs[0]);
+  plm::SetFp32FusedInference(1);
+  const la::Matrix got = model.Encode(docs[0]);
+  ExpectBitwiseEqual(want, got, "post-fine-tune encode");
+  EXPECT_NE(0, std::memcmp(before.data(), got.data(),
+                           before.size() * sizeof(float)));
+}
+
+}  // namespace
+}  // namespace stm

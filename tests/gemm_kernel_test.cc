@@ -2,20 +2,29 @@
 // register-tiled kernels must agree with the serial scalar reference on
 // every shape class (full tiles, ragged edges, degenerate dims) up to
 // float reassociation, and must be bit-identical to themselves across
-// thread counts — the packed path reassociates differently from the
-// reference, so cross-kernel checks use a tolerance while cross-thread
-// checks are exact.
+// thread counts. Chained-from-C accumulation (random initial C) rounds
+// differently between the reference loops and the micro-kernel, so those
+// checks use a tolerance; on a ZERO-filled C — the caller contract
+// throughout the library — every chain is identical and the checks are
+// exact. The per-tier section drives EVERY compiled micro-kernel build
+// (generic/avx2/avx512/vnni) directly through
+// detail::CompiledGemmKernelTiers(), since the one-time cpuid/STM_ISA
+// dispatch cannot be switched in-process; full-stack STM_ISA routing is
+// covered by the subprocess passes in scripts/check.sh.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "la/gemm_kernels.h"
 #include "la/matrix.h"
+#include "la/qgemm.h"
 #include "la/workspace.h"
 
 namespace stm::la {
@@ -158,6 +167,211 @@ TEST_F(GemmKernelTest, KernelIsaIsStable) {
   // selected kernel — the dispatch is per-process, not per-thread.
   ThreadPool::Reset(2);
   EXPECT_STREQ(isa, GemmKernelIsa());
+}
+
+// ---- pre-packed B path ----
+
+TEST_F(GemmKernelTest, PrepackedMatchesGemmAccBitwise) {
+  // Both below the packed-dispatch threshold (GemmAcc runs the scalar
+  // reference) and above it (GemmAcc runs the packed kernel),
+  // PrepackedGemmAcc must reproduce GemmAcc's bits exactly on a
+  // zero-filled C — the contract the frozen fused fp32 forward relies on
+  // (plm/minilm.cc packs weights once and routes every per-document GEMM
+  // through the pre-packed path regardless of shape).
+  struct Shape {
+    size_t m, k, n;
+  };
+  for (const Shape s : {Shape{3, 48, 144}, Shape{7, 24, 72},
+                        Shape{45, 64, 70}, Shape{64, 64, 64}}) {
+    const std::vector<float> a = RandomVec(s.m * s.k, 101 + s.m);
+    const std::vector<float> b = RandomVec(s.k * s.n, 102 + s.n);
+    std::vector<float> want(s.m * s.n, 0.0f);
+    GemmAcc(a.data(), b.data(), want.data(), s.m, s.k, s.n);
+    const PackedBF32 packed = PackFp32B(b.data(), s.n, 1, s.k, s.n);
+    EXPECT_EQ(packed.k, s.k);
+    EXPECT_EQ(packed.n, s.n);
+    EXPECT_EQ(packed.panel_nr, detail::ActiveGemmKernels().nr);
+    std::vector<float> got(s.m * s.n, 0.0f);
+    PrepackedGemmAcc(a.data(), s.m, packed, got.data());
+    ExpectSame(want, got);
+  }
+}
+
+// ---- per-tier coverage ----
+
+constexpr size_t kTierDims[] = {1, 5, 8, 16, 17, 33};
+
+std::vector<float> PackBFor(const detail::GemmKernelFns& fns, const float* b,
+                            size_t rs, size_t cs, size_t k, size_t n) {
+  const size_t npanels = detail::CeilDiv(n, fns.nr);
+  std::vector<float> out(npanels * k * fns.nr, 0.0f);
+  fns.pack_b(b, rs, cs, k, n, 0, npanels, out.data());
+  return out;
+}
+
+TEST_F(GemmKernelTest, TierTableIsSane) {
+  const auto tiers = detail::CompiledGemmKernelTiers();
+  ASSERT_GE(tiers.size(), 1u);
+  // The generic tier is always compiled and always runnable.
+  EXPECT_STREQ(tiers.front().fns->name, "generic");
+  EXPECT_TRUE(tiers.front().supported);
+  for (const auto& tier : tiers) {
+    ASSERT_NE(tier.fns, nullptr);
+    EXPECT_GE(tier.fns->mr, size_t{4});
+    EXPECT_GE(tier.fns->nr, size_t{8});
+    const std::string regime = tier.fns->fp_regime;
+    EXPECT_TRUE(regime == "fma" || regime == "portable") << regime;
+  }
+  // The active dispatch selected one of the compiled, supported tiers.
+  const detail::GemmKernelFns& active = detail::ActiveGemmKernels();
+  bool found = false;
+  for (const auto& tier : tiers) {
+    if (tier.fns == &active) found = tier.supported;
+  }
+  EXPECT_TRUE(found) << active.name;
+}
+
+// Every compiled, runnable tier's micro-kernel must reproduce its own
+// in-TU scalar reference EXACTLY on a zero-filled C, over all three
+// operand layouts and every shape class. This is the empirical anchor
+// for the bit-identity claims: reference and micro-kernel share one
+// MulAdd (one FP-contraction regime per TU) and one per-cell ascending-p
+// chain, so from C = 0 there is nothing left to differ.
+TEST_F(GemmKernelTest, EveryCompiledTierMatchesItsReferenceExactly) {
+  for (const auto& tier : detail::CompiledGemmKernelTiers()) {
+    if (!tier.supported) {
+      GTEST_LOG_(INFO) << "skipping unsupported tier " << tier.fns->name;
+      continue;
+    }
+    const detail::GemmKernelFns& fns = *tier.fns;
+    for (size_t m : kTierDims) {
+      for (size_t k : kTierDims) {
+        for (size_t n : kTierDims) {
+          const std::vector<float> a = RandomVec(m * k, 7 + m * 131 + k);
+          const std::vector<float> b = RandomVec(k * n, 8 + k * 131 + n);
+          const std::vector<float> bt = RandomVec(n * k, 9 + k * 131 + n);
+          const std::vector<float> at = RandomVec(k * m, 10 + m * 131 + k);
+
+          std::vector<float> want(m * n, 0.0f), got(m * n, 0.0f);
+          fns.reference_gemm_acc(a.data(), b.data(), want.data(), m, k, n);
+          std::vector<float> bp = PackBFor(fns, b.data(), n, 1, k, n);
+          fns.run_rows(a.data(), k, 1, bp.data(), got.data(), k, n, 0, m);
+          ExpectSame(want, got);
+
+          std::fill(want.begin(), want.end(), 0.0f);
+          std::fill(got.begin(), got.end(), 0.0f);
+          fns.reference_gemm_bt_acc(a.data(), bt.data(), want.data(), m, k,
+                                    n);
+          bp = PackBFor(fns, bt.data(), 1, k, k, n);
+          fns.run_rows(a.data(), k, 1, bp.data(), got.data(), k, n, 0, m);
+          ExpectSame(want, got);
+
+          std::fill(want.begin(), want.end(), 0.0f);
+          std::fill(got.begin(), got.end(), 0.0f);
+          fns.reference_gemm_at_acc(at.data(), b.data(), want.data(), m, k,
+                                    n);
+          bp = PackBFor(fns, b.data(), n, 1, k, n);
+          fns.run_rows(at.data(), 1, m, bp.data(), got.data(), k, n, 0, m);
+          ExpectSame(want, got);
+        }
+      }
+    }
+  }
+}
+
+// All FMA-regime tiers (avx2, avx512, vnni) produce identical fp32 bits:
+// the per-cell chain is one accumulator over ascending p, independent of
+// the micro-tile shape. (The generic/portable regime rounds multiply and
+// add separately and is allowed to differ — that split is exactly what
+// GemmKernelFpRegime() exposes for the encode-cache salt.)
+TEST_F(GemmKernelTest, FmaTiersAgreeBitwiseOnFp32) {
+  const size_t m = 37, k = 48, n = 52;
+  const std::vector<float> a = RandomVec(m * k, 21);
+  const std::vector<float> b = RandomVec(k * n, 22);
+  std::vector<std::vector<float>> outs;
+  std::vector<std::string> names;
+  for (const auto& tier : detail::CompiledGemmKernelTiers()) {
+    if (!tier.supported ||
+        std::string(tier.fns->fp_regime) != "fma") {
+      continue;
+    }
+    const std::vector<float> bp =
+        PackBFor(*tier.fns, b.data(), n, 1, k, n);
+    std::vector<float> c(m * n, 0.0f);
+    tier.fns->run_rows(a.data(), k, 1, bp.data(), c.data(), k, n, 0, m);
+    outs.push_back(std::move(c));
+    names.push_back(tier.fns->name);
+  }
+  if (outs.size() < 2) {
+    GTEST_LOG_(INFO) << "fewer than two runnable fma tiers; nothing to "
+                        "cross-check";
+    return;
+  }
+  for (size_t t = 1; t < outs.size(); ++t) {
+    SCOPED_TRACE(names[0] + " vs " + names[t]);
+    ExpectSame(outs[0], outs[t]);
+  }
+}
+
+// Row-chunk boundaries never change bits, for any tier: computing rows
+// [0, m) in one call or split at an arbitrary interior row yields the
+// same output (each row's chain is row-local). This is what makes the
+// PackedRowGrain load-balancing heuristic bits-neutral.
+TEST_F(GemmKernelTest, ChunkSplitsDoNotChangeBitsOnAnyTier) {
+  const size_t m = 29, k = 40, n = 44;
+  const std::vector<float> a = RandomVec(m * k, 31);
+  const std::vector<float> b = RandomVec(k * n, 32);
+  for (const auto& tier : detail::CompiledGemmKernelTiers()) {
+    if (!tier.supported) continue;
+    SCOPED_TRACE(tier.fns->name);
+    const std::vector<float> bp = PackBFor(*tier.fns, b.data(), n, 1, k, n);
+    std::vector<float> whole(m * n, 0.0f);
+    tier.fns->run_rows(a.data(), k, 1, bp.data(), whole.data(), k, n, 0, m);
+    for (const size_t split : {size_t{1}, size_t{13}, size_t{28}}) {
+      std::vector<float> parts(m * n, 0.0f);
+      tier.fns->run_rows(a.data(), k, 1, bp.data(), parts.data(), k, n, 0,
+                         split);
+      tier.fns->run_rows(a.data(), k, 1, bp.data(), parts.data(), k, n,
+                         split, m);
+      ExpectSame(whole, parts);
+    }
+  }
+}
+
+// The int8 path is exact integer arithmetic plus ONE shared
+// dequantization expression, so output is bit-identical across ALL
+// compiled tiers — including generic vs the SIMD builds — and matches
+// the public Int8GemmAcc (which quantizes A internally with the same
+// scheme).
+TEST_F(GemmKernelTest, Int8OutputBitIdenticalAcrossAllTiers) {
+  const size_t m = 21, k = 39, n = 35;  // ragged k: partial kInt8KGroup
+  const std::vector<float> a = RandomVec(m * k, 41);
+  const std::vector<float> b = RandomVec(k * n, 42);
+  const Int8PackedB packed = PackInt8B(b.data(), n, 1, k, n);
+
+  // Offset-quantized A bytes, exactly as Int8GemmAcc builds them.
+  std::vector<int8_t> aq(m * k);
+  std::vector<float> a_scales(m);
+  QuantizeRowsAbsmax(a.data(), m, k, kInt8AMax, aq.data(), a_scales.data());
+  std::vector<uint8_t> abytes(m * k);
+  for (size_t i = 0; i < aq.size(); ++i) {
+    abytes[i] = static_cast<uint8_t>(aq[i] + kInt8AZero);
+  }
+
+  std::vector<float> want(m * n, 0.0f);
+  Int8GemmAcc(a.data(), m, packed, want.data());
+
+  for (const auto& tier : detail::CompiledGemmKernelTiers()) {
+    if (!tier.supported) continue;
+    SCOPED_TRACE(tier.fns->name);
+    const std::vector<int8_t> panels =
+        Int8PanelsForWidth(packed, tier.fns->nr);
+    std::vector<float> got(m * n, 0.0f);
+    tier.fns->int8_run_rows(abytes.data(), a_scales.data(), panels.data(),
+                            packed.scales.data(), packed.colsums.data(),
+                            got.data(), k, n, 0, m);
+    ExpectSame(want, got);
+  }
 }
 
 TEST_F(GemmKernelTest, WorkspaceRecyclesBuffers) {

@@ -23,6 +23,7 @@
 #include "la/gemm_kernels.h"
 #include "la/matrix.h"
 #include "la/qgemm.h"
+#include "nn/infer_ops.h"
 #include "plm/minilm.h"
 #include "plm/pair_scorer.h"
 #include "plm/quantized_minilm.h"
@@ -280,6 +281,56 @@ TEST_F(QuantMiniLmTest, QuantEncoderBitIdenticalAcrossThreadCounts) {
   ASSERT_EQ(std::memcmp(pooled[0].data(), pooled[1].data(),
                         pooled[0].rows() * pooled[0].cols() * sizeof(float)),
             0);
+}
+
+// Multi-strip tiled attention on the int8 path: documents longer than
+// kAttentionQueryBlock cross a query-strip boundary inside
+// nn::TiledAttentionHead. Tiling must keep the per-doc/bucketed
+// bit-identity invariant, and the output must still track fp32 within
+// the quantization error (same pooled-cosine guardrail as the rest of
+// the suite — the tiles change memory, the int8 scales set the error).
+TEST(QuantTiledAttentionTest, LongDocsCrossStripBoundary) {
+  QuantGuard guard;
+  plm::MiniLmConfig config;
+  config.vocab_size = 100;
+  config.dim = 32;
+  config.layers = 2;
+  config.heads = 2;
+  config.ffn_dim = 64;
+  config.max_seq = nn::kAttentionQueryBlock + 32;
+  config.seed = 17;
+  plm::MiniLm model(config);
+
+  Rng rng(53);
+  std::vector<std::vector<int32_t>> docs;
+  for (const size_t len :
+       {size_t{40}, nn::kAttentionQueryBlock, nn::kAttentionQueryBlock + 1,
+        config.max_seq, config.max_seq}) {
+    std::vector<int32_t> doc(len);
+    for (int32_t& id : doc) {
+      id = 4 + static_cast<int32_t>(rng.UniformInt(96));
+    }
+    docs.push_back(std::move(doc));
+  }
+
+  const auto frozen = model.Freeze();
+  std::vector<la::Matrix> perdoc;
+  for (const auto& doc : docs) perdoc.push_back(frozen->Encode(doc));
+  const std::vector<la::Matrix> batched = frozen->EncodeBatch(docs);
+  ASSERT_EQ(batched.size(), perdoc.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    ASSERT_EQ(perdoc[d].rows(), batched[d].rows());
+    EXPECT_EQ(std::memcmp(perdoc[d].data(), batched[d].data(),
+                          perdoc[d].size() * sizeof(float)),
+              0)
+        << "doc " << d;
+  }
+  const la::Matrix fp32 = model.PoolBatch(docs);
+  const la::Matrix quant = frozen->PoolBatch(docs);
+  for (size_t d = 0; d < docs.size(); ++d) {
+    EXPECT_GE(la::Cosine(fp32.Row(d), quant.Row(d), fp32.cols()), 0.99f)
+        << "doc " << d;
+  }
 }
 
 TEST_F(QuantMiniLmTest, RoutingMatchesExplicitFreeze) {
