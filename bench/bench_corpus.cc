@@ -1,0 +1,504 @@
+// Out-of-core corpus bench: a 10^6-document synthetic corpus is written
+// doc-at-a-time through CorpusShardWriter, then streamed shard-at-a-time
+// through the full pipeline — TF-IDF transform, MiniLm encoding with the
+// EncodeCache as the dedup working set, and ANN index construction via
+// IndexBuilder — while peak RSS stays under a budget of one mapped shard
+// plus the cache plus the (unavoidably resident) index, far below the
+// corpus payload itself. A second pass at 10^5 scale times the streamed
+// pipeline against the all-in-RAM one on identical documents; the
+// committed BENCH_corpus.json records both along with the RSS numbers.
+//
+//   ./bench_corpus            full sweep (respects STM_NUM_THREADS)
+//   ./bench_corpus --smoke    fast correctness pass used by ctest; exits
+//                             non-zero unless every streamed stage is
+//                             BIT-identical to the in-RAM path at shard
+//                             sizes {1 doc, default, whole corpus}
+//
+// With STM_BENCH_JSON=<path> every phase timing plus the derived ratios
+// is recorded (see bench/run_benches.sh).
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "index/ann.h"
+#include "la/matrix.h"
+#include "plm/encode_cache.h"
+#include "plm/minilm.h"
+#include "text/corpus.h"
+#include "text/corpus_store.h"
+#include "text/tfidf.h"
+#include "text/vocabulary.h"
+
+namespace stm {
+namespace {
+
+// Current peak RSS in bytes (ru_maxrss is KiB on Linux).
+size_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+}
+
+void RecordSeconds(const std::string& name, double value) {
+  bench::BenchJsonWriter::Instance().Record("corpus", name, value);
+}
+
+// Unique-document pool: corpora at scale repeat documents (the PR 5
+// dedup scenario), which is exactly what lets the EncodeCache bound the
+// encode working set to the distinct documents.
+std::vector<std::vector<int32_t>> MakeDocPool(size_t unique, size_t vocab,
+                                              size_t min_len, size_t max_len,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> pool(unique);
+  for (auto& doc : pool) {
+    const size_t len = min_len + rng.UniformInt(max_len - min_len + 1);
+    doc.resize(len);
+    for (int32_t& id : doc) {
+      id = text::kNumSpecialTokens +
+           static_cast<int32_t>(
+               rng.UniformInt(vocab - text::kNumSpecialTokens));
+    }
+  }
+  return pool;
+}
+
+text::Vocabulary MakeVocab(size_t vocab) {
+  text::Vocabulary out;
+  for (size_t w = text::kNumSpecialTokens; w < vocab; ++w) {
+    out.AddToken("w" + std::to_string(w), 0);
+  }
+  return out;
+}
+
+std::unique_ptr<plm::MiniLm> BenchModel(size_t vocab) {
+  plm::MiniLmConfig config;
+  config.vocab_size = vocab;
+  config.dim = 16;
+  config.layers = 1;
+  config.heads = 2;
+  config.ffn_dim = 32;
+  config.max_seq = 32;
+  config.seed = 11;
+  // Random init: streaming throughput and bit-identity are independent of
+  // training, and skipping pre-training keeps the bench self-contained.
+  return std::make_unique<plm::MiniLm>(config);
+}
+
+// Removes every regular file inside `dir` (best effort; `dir` may not
+// exist yet).
+void CleanStoreDir(Env* env, const std::string& dir) {
+  auto names = env->ListDir(dir);
+  if (!names.ok()) return;
+  for (const std::string& name : names.value()) {
+    (void)env->Delete(dir + "/" + name);
+  }
+}
+
+// Streams the store through TF-IDF; returns total nonzeros (keep-alive).
+size_t StreamTfIdf(const text::TfIdf& tfidf,
+                   const text::ShardedCorpus& store) {
+  size_t nnz = 0;
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    auto vectors = tfidf.TransformShard(store, s);
+    if (!vectors.ok()) {
+      std::fprintf(stderr, "FAIL: TransformShard: %s\n",
+                   vectors.status().message().c_str());
+      std::abort();
+    }
+    for (const text::SparseVector& v : vectors.value()) nnz += v.size();
+  }
+  return nnz;
+}
+
+// Encodes every shard through the cache and feeds the pooled rows to an
+// IndexBuilder; returns the finished index.
+ann::Index StreamEncodeAndBuild(plm::MiniLm& model,
+                                const text::CorpusReader& corpus) {
+  ann::IndexBuilder builder(model.config().dim, corpus.num_docs());
+  std::vector<std::vector<int32_t>> shard_docs;
+  for (size_t s = 0; s < corpus.num_shards(); ++s) {
+    shard_docs.clear();
+    Status visited =
+        corpus.VisitShard(s, [&](size_t, const text::DocView& view) {
+          shard_docs.emplace_back(view.tokens, view.tokens + view.num_tokens);
+        });
+    if (!visited.ok()) {
+      std::fprintf(stderr, "FAIL: VisitShard: %s\n",
+                   visited.message().c_str());
+      std::abort();
+    }
+    builder.Add(model.PoolBatch(shard_docs));
+  }
+  return builder.Finish();
+}
+
+// ---- full sweep ----
+
+int RunSweep() {
+  Env* env = Env::Default();
+  constexpr size_t kDocs = 1'000'000;
+  constexpr size_t kUnique = 20'000;
+  constexpr size_t kVocab = 20'000;
+  constexpr size_t kMinLen = 32;
+  constexpr size_t kMaxLen = 160;
+  const std::string dir = "bench_corpus_store";
+
+  const size_t rss_before = PeakRssBytes();
+  const auto pool = MakeDocPool(kUnique, kVocab, kMinLen, kMaxLen, 71);
+  const text::Vocabulary vocab = MakeVocab(kVocab);
+  auto model = BenchModel(vocab.size());
+  plm::EncodeCache::Config cache_config;
+  cache_config.max_bytes = size_t{16} * 1024 * 1024;
+  model->SetEncodeCache(std::make_shared<plm::EncodeCache>(cache_config));
+
+  // Phase 1: ingest 10^6 documents, one Add() at a time — the writer
+  // holds one shard buffer, never the corpus.
+  bench::Progress("writing " + std::to_string(kDocs) + " docs");
+  CleanStoreDir(env, dir);
+  double write_s = 0.0;
+  size_t payload_bytes = 0;
+  {
+    bench::MethodTimer timer("corpus", "write_1e6");
+    text::CorpusShardWriter writer(env, dir);
+    Rng rng(172);
+    for (size_t i = 0; i < kDocs; ++i) {
+      const std::vector<int32_t>& doc = pool[rng.UniformInt(kUnique)];
+      const int32_t label = static_cast<int32_t>(i % 5);
+      Status added = writer.Add(doc.data(), doc.size(), &label, 1);
+      if (!added.ok()) {
+        std::fprintf(stderr, "FAIL: Add: %s\n", added.message().c_str());
+        return 1;
+      }
+      payload_bytes += (doc.size() + 1) * sizeof(int32_t);
+    }
+    Status finished =
+        writer.Finish(vocab, {"c0", "c1", "c2", "c3", "c4"});
+    if (!finished.ok()) {
+      std::fprintf(stderr, "FAIL: Finish: %s\n",
+                   finished.message().c_str());
+      return 1;
+    }
+    write_s = timer.Seconds();
+  }
+
+  auto opened = text::ShardedCorpus::Open(env, dir);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "FAIL: Open: %s\n",
+                 opened.status().message().c_str());
+    return 1;
+  }
+  const std::unique_ptr<text::ShardedCorpus> store =
+      std::move(opened).value();
+  bench::Progress("store: " + std::to_string(store->num_shards()) +
+                  " shards, " +
+                  std::to_string(payload_bytes >> 20) + " MiB payload");
+
+  // Phase 2: streamed TF-IDF over every shard.
+  double tfidf_s = 0.0;
+  {
+    bench::MethodTimer timer("corpus", "tfidf_stream_1e6");
+    const text::TfIdf tfidf(*store);
+    const size_t nnz = StreamTfIdf(tfidf, *store);
+    if (nnz == 0) std::abort();  // keep the pass alive
+    tfidf_s = timer.Seconds();
+  }
+  bench::Progress("tfidf " + std::to_string(tfidf_s) + "s");
+
+  // Phase 3: shard-at-a-time encode (cache-deduped) + ANN build.
+  double encode_s = 0.0;
+  size_t index_rows = 0;
+  bool lsh = false;
+  {
+    bench::MethodTimer timer("corpus", "encode_ann_1e6");
+    const ann::Index index = StreamEncodeAndBuild(*model, *store);
+    index_rows = index.rows();
+    lsh = index.lsh_enabled();
+    encode_s = timer.Seconds();
+  }
+  if (index_rows != kDocs) std::abort();
+  bench::Progress("encode+ann " + std::to_string(encode_s) + "s (lsh=" +
+                  std::to_string(lsh ? 1 : 0) + ")");
+
+  // RSS accounting: the streamed pipeline may keep the index (base rows +
+  // sketches — the output), the encode cache, and a handful of shard-sized
+  // working buffers resident, plus allocator slack. The corpus payload
+  // itself must NOT be part of the budget.
+  const size_t dim = model->config().dim;
+  const size_t index_bytes =
+      kDocs * dim * sizeof(float) + (lsh ? kDocs * 2 * sizeof(uint64_t) : 0);
+  const size_t shard_bytes = text::CorpusStoreOptions().shard_bytes;
+  const size_t budget = index_bytes + cache_config.max_bytes +
+                        4 * shard_bytes + (size_t{128} << 20);
+  const size_t rss_after = PeakRssBytes();
+  const size_t rss_delta = rss_after > rss_before ? rss_after - rss_before : 0;
+  const double mb = 1.0 / (1024.0 * 1024.0);
+  bench::Progress("rss delta " + std::to_string(rss_delta >> 20) +
+                  " MiB, budget " + std::to_string(budget >> 20) +
+                  " MiB, corpus payload " +
+                  std::to_string(payload_bytes >> 20) + " MiB");
+  RecordSeconds("rss_delta_mb", static_cast<double>(rss_delta) * mb);
+  RecordSeconds("rss_budget_mb", static_cast<double>(budget) * mb);
+  RecordSeconds("corpus_payload_mb", static_cast<double>(payload_bytes) * mb);
+  int failures = 0;
+  if (rss_delta >= budget) {
+    std::fprintf(stderr,
+                 "FAIL: peak RSS delta %zu MiB exceeds the streaming "
+                 "budget %zu MiB\n",
+                 rss_delta >> 20, budget >> 20);
+    ++failures;
+  }
+  if (budget >= payload_bytes) {
+    // The bound only means something while it is below corpus residency.
+    std::fprintf(stderr,
+                 "WARN: budget %zu MiB not below corpus payload %zu MiB\n",
+                 budget >> 20, payload_bytes >> 20);
+  }
+  model->SetEncodeCache(nullptr);
+  CleanStoreDir(env, dir);  // drop the large store, keep the dir
+
+  // Phase 4: streamed vs in-RAM pipeline at 10^5 scale on identical
+  // documents (fresh cache for each side, so both pay the same misses).
+  constexpr size_t kCmpDocs = 100'000;
+  constexpr size_t kCmpUnique = 5'000;
+  text::Corpus corpus;
+  corpus.label_names() = {"c0", "c1", "c2", "c3", "c4"};
+  for (size_t w = text::kNumSpecialTokens; w < kVocab; ++w) {
+    corpus.vocab().AddToken("w" + std::to_string(w), 0);
+  }
+  {
+    Rng rng(293);
+    for (size_t i = 0; i < kCmpDocs; ++i) {
+      text::Document doc;
+      doc.tokens = pool[rng.UniformInt(kCmpUnique)];
+      doc.labels.push_back(static_cast<int>(i % 5));
+      corpus.docs().push_back(std::move(doc));
+    }
+  }
+  const std::string cmp_dir = "bench_corpus_store_cmp";
+  CleanStoreDir(env, cmp_dir);
+  {
+    Status written = text::WriteCorpusStore(env, corpus, cmp_dir);
+    if (!written.ok()) {
+      std::fprintf(stderr, "FAIL: WriteCorpusStore: %s\n",
+                   written.message().c_str());
+      return 1;
+    }
+  }
+
+  double inram_s = 0.0;
+  {
+    model->SetEncodeCache(std::make_shared<plm::EncodeCache>(cache_config));
+    bench::MethodTimer timer("corpus", "inram_1e5");
+    const text::TfIdf tfidf(corpus);
+    size_t nnz = 0;
+    for (const text::SparseVector& v : tfidf.TransformAll(corpus)) {
+      nnz += v.size();
+    }
+    std::vector<std::vector<int32_t>> docs;
+    docs.reserve(corpus.num_docs());
+    for (const text::Document& doc : corpus.docs()) docs.push_back(doc.tokens);
+    const ann::Index index = ann::Index::Build(model->PoolBatch(docs));
+    if (nnz == 0 || index.rows() != kCmpDocs) std::abort();
+    inram_s = timer.Seconds();
+  }
+  bench::Progress("in-RAM 1e5 " + std::to_string(inram_s) + "s");
+
+  double stream_s = 0.0;
+  {
+    auto cmp = text::ShardedCorpus::Open(env, cmp_dir);
+    if (!cmp.ok()) {
+      std::fprintf(stderr, "FAIL: Open: %s\n",
+                   cmp.status().message().c_str());
+      return 1;
+    }
+    model->SetEncodeCache(std::make_shared<plm::EncodeCache>(cache_config));
+    bench::MethodTimer timer("corpus", "stream_1e5");
+    const text::TfIdf tfidf(*cmp.value());
+    const size_t nnz = StreamTfIdf(tfidf, *cmp.value());
+    const ann::Index index = StreamEncodeAndBuild(*model, *cmp.value());
+    if (nnz == 0 || index.rows() != kCmpDocs) std::abort();
+    stream_s = timer.Seconds();
+  }
+  bench::Progress("streamed 1e5 " + std::to_string(stream_s) + "s");
+  model->SetEncodeCache(nullptr);
+  CleanStoreDir(env, cmp_dir);
+
+  const double throughput_ratio = stream_s > 0 ? inram_s / stream_s : 0.0;
+  RecordSeconds("stream_vs_inram", throughput_ratio);
+  if (throughput_ratio < 0.9) {
+    std::fprintf(stderr,
+                 "WARN: streamed pipeline at %.2fx of in-RAM throughput "
+                 "(target >= 0.9)\n",
+                 throughput_ratio);
+  }
+
+  bench::Table table(
+      "Out-of-core corpus: streamed 10^6-doc pipeline + 10^5 streamed vs "
+      "in-RAM (seconds, ratio = in-RAM / streamed)",
+      {"write_s", "tfidf_s", "enc_ann_s", "rss_mb", "budget_mb"});
+  table.AddRow("stream_1e6",
+               {write_s, tfidf_s, encode_s,
+                static_cast<double>(rss_delta) * mb,
+                static_cast<double>(budget) * mb});
+  table.AddSeparator();
+  bench::Table ratio_table(
+      "Streamed vs in-RAM pipeline at 10^5 docs",
+      {"inram_s", "stream_s", "ratio"});
+  ratio_table.AddRow("pipeline_1e5", {inram_s, stream_s, throughput_ratio});
+  table.Print();
+  ratio_table.Print();
+  return failures == 0 ? 0 : 1;
+}
+
+// ---- smoke: streamed stages bit-identical to in-RAM at several shard
+// sizes ----
+
+int RunSmoke() {
+  Env* env = Env::Default();
+  constexpr size_t kDocs = 400;
+  constexpr size_t kVocab = 300;
+  const auto pool = MakeDocPool(120, kVocab, 2, 24, 7);
+  text::Corpus corpus;
+  corpus.label_names() = {"c0", "c1", "c2"};
+  for (size_t w = text::kNumSpecialTokens; w < kVocab; ++w) {
+    corpus.vocab().AddToken("w" + std::to_string(w), 0);
+  }
+  {
+    Rng rng(15);
+    for (size_t i = 0; i < kDocs; ++i) {
+      text::Document doc;
+      doc.tokens = pool[rng.UniformInt(pool.size())];
+      for (int32_t id : doc.tokens) corpus.vocab().AddCount(id, 1);
+      doc.labels.push_back(static_cast<int>(i % 3));
+      corpus.docs().push_back(std::move(doc));
+    }
+  }
+
+  auto model = BenchModel(corpus.vocab().size());
+  const text::TfIdf tfidf(corpus);
+  const std::vector<text::SparseVector> want_vectors =
+      tfidf.TransformAll(corpus);
+  std::vector<std::vector<int32_t>> docs;
+  for (const text::Document& doc : corpus.docs()) docs.push_back(doc.tokens);
+  const la::Matrix want_pooled = model->PoolBatch(docs);
+  const ann::Index want_index = ann::Index::Build(want_pooled);
+  la::Matrix queries(5, model->config().dim);
+  {
+    Rng rng(91);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      queries.data()[i] = static_cast<float>(rng.Uniform()) - 0.5f;
+    }
+  }
+  const auto want_top = want_index.TopK(queries, 5);
+
+  int failures = 0;
+  const size_t shard_sizes[] = {1, text::CorpusStoreOptions().shard_docs,
+                                kDocs + 1};
+  for (size_t shard_docs : shard_sizes) {
+    text::CorpusStoreOptions options;
+    options.shard_docs = shard_docs;
+    const std::string dir =
+        "bench_corpus_smoke_" + std::to_string(shard_docs);
+    CleanStoreDir(env, dir);
+    Status written = text::WriteCorpusStore(env, corpus, dir, options);
+    if (!written.ok()) {
+      std::fprintf(stderr, "FAIL: WriteCorpusStore: %s\n",
+                   written.message().c_str());
+      return 1;
+    }
+    auto opened = text::ShardedCorpus::Open(env, dir, options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "FAIL: Open: %s\n",
+                   opened.status().message().c_str());
+      return 1;
+    }
+    const text::ShardedCorpus& store = *opened.value();
+
+    // TF-IDF: fit and per-shard transform, bitwise.
+    const text::TfIdf streamed(store);
+    size_t doc_index = 0;
+    for (size_t s = 0; s < store.num_shards(); ++s) {
+      auto vectors = streamed.TransformShard(store, s);
+      if (!vectors.ok()) {
+        std::fprintf(stderr, "FAIL: TransformShard: %s\n",
+                     vectors.status().message().c_str());
+        return 1;
+      }
+      for (const text::SparseVector& got : vectors.value()) {
+        const text::SparseVector& want = want_vectors[doc_index++];
+        if (got.ids != want.ids ||
+            std::memcmp(got.weights.data(), want.weights.data(),
+                        want.weights.size() * sizeof(float)) != 0) {
+          std::fprintf(stderr,
+                       "FAIL: shard_docs=%zu tfidf differs at doc %zu\n",
+                       shard_docs, doc_index - 1);
+          ++failures;
+        }
+      }
+    }
+    if (doc_index != kDocs) ++failures;
+
+    // Encode: PoolCorpus over the store, bitwise against PoolBatch.
+    auto pooled = plm::PoolCorpus(*model, store);
+    if (!pooled.ok()) {
+      std::fprintf(stderr, "FAIL: PoolCorpus: %s\n",
+                   pooled.status().message().c_str());
+      return 1;
+    }
+    if (std::memcmp(pooled.value().data(), want_pooled.data(),
+                    want_pooled.size() * sizeof(float)) != 0) {
+      std::fprintf(stderr,
+                   "FAIL: shard_docs=%zu PoolCorpus differs from "
+                   "PoolBatch\n",
+                   shard_docs);
+      ++failures;
+    }
+
+    // ANN: incremental build from shard-sized blocks, identical ranking.
+    const ann::Index index = StreamEncodeAndBuild(*model, store);
+    const auto got_top = index.TopK(queries, 5);
+    for (size_t q = 0; q < want_top.size(); ++q) {
+      if (got_top[q].size() != want_top[q].size()) {
+        ++failures;
+        continue;
+      }
+      for (size_t j = 0; j < want_top[q].size(); ++j) {
+        if (got_top[q][j].id != want_top[q][j].id ||
+            got_top[q][j].score != want_top[q][j].score) {
+          std::fprintf(stderr,
+                       "FAIL: shard_docs=%zu ann ranking differs\n",
+                       shard_docs);
+          ++failures;
+          q = want_top.size() - 1;
+          break;
+        }
+      }
+    }
+    CleanStoreDir(env, dir);
+  }
+
+  if (failures == 0) std::printf("bench_corpus --smoke: OK\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace stm
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--smoke") {
+    return stm::RunSmoke();
+  }
+  return stm::RunSweep();
+}

@@ -23,6 +23,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "la/gemm_kernels.h"
 #include "la/matrix.h"
 #include "plm/batch_scheduler.h"
 #include "plm/encode_cache.h"
@@ -97,6 +98,8 @@ void RecordRatio(const std::string& name, double ratio) {
   bench::BenchJsonWriter::Instance().Record("encode", name, ratio);
 }
 
+void NarrowFreezeTierBench();
+
 int RunSweep() {
   const size_t kVocab = 1000;
   const auto docs = SkewedCorpus(1400, kVocab, 99);
@@ -145,7 +148,78 @@ int RunSweep() {
   plm::SetQuantInference(-1);
   SetMode(plm::BatchMode::kBucketed);
   table.Print();
+  NarrowFreezeTierBench();
   return 0;
+}
+
+// Width-aware freeze tier at the bench model's dim (40): the same
+// prepacked fp32 GEMM timed with B packed for the active tier versus the
+// tier FreezeKernelsForWidth picks for n=40. On an AVX-512 machine the
+// freeze tier packs 8-column AVX2 panels (zero padding) instead of
+// 16-column ones (20% padded multiply work); on narrower machines both
+// rows run the same tier and the ratio is ~1. Outputs are compared
+// bitwise first — the hint must never change bits, only throughput.
+void NarrowFreezeTierBench() {
+  constexpr size_t kM = 512;
+  constexpr size_t kK = 40;
+  constexpr size_t kN = 40;
+  Rng rng(1234);
+  std::vector<float> a(kM * kK);
+  std::vector<float> b(kK * kN);
+  for (float& v : a) v = static_cast<float>(rng.Uniform()) - 0.5f;
+  for (float& v : b) v = static_cast<float>(rng.Uniform()) - 0.5f;
+
+  const auto pack_for = [&](const la::detail::GemmKernelFns& fns) {
+    la::PackedBF32 out;
+    out.k = kK;
+    out.n = kN;
+    out.panel_nr = fns.nr;
+    out.tier = &fns;
+    const size_t npanels = la::detail::CeilDiv(kN, fns.nr);
+    out.panels.resize(npanels * kK * fns.nr);
+    fns.pack_b(b.data(), kN, 1, kK, kN, 0, npanels, out.panels.data());
+    return out;
+  };
+  const la::PackedBF32 active_b = pack_for(la::detail::ActiveGemmKernels());
+  const la::PackedBF32 freeze_b =
+      pack_for(la::detail::FreezeKernelsForWidth(kN));
+
+  std::vector<float> c_active(kM * kN, 0.0f);
+  std::vector<float> c_freeze(kM * kN, 0.0f);
+  la::PrepackedGemmAcc(a.data(), kM, active_b, c_active.data());
+  la::PrepackedGemmAcc(a.data(), kM, freeze_b, c_freeze.data());
+  if (std::memcmp(c_active.data(), c_freeze.data(),
+                  c_active.size() * sizeof(float)) != 0) {
+    std::fprintf(stderr,
+                 "FAIL: freeze-tier GEMM differs from active tier\n");
+    std::abort();
+  }
+
+  constexpr int kIters = 4000;
+  const auto time_tier = [&](const la::PackedBF32& packed, float* c) {
+    WallTimer timer;
+    for (int i = 0; i < kIters; ++i) {
+      la::PrepackedGemmAcc(a.data(), kM, packed, c);
+    }
+    return timer.Seconds();
+  };
+  (void)time_tier(active_b, c_active.data());  // warm
+  const double active_s = time_tier(active_b, c_active.data());
+  const double freeze_s = time_tier(freeze_b, c_freeze.data());
+  const double speedup = freeze_s > 0 ? active_s / freeze_s : 0.0;
+
+  bench::Table table(
+      "Width-aware freeze tier, prepacked fp32 GEMM m=512 k=n=40 "
+      "(seconds for 4000 calls, lower is better)",
+      {"active_s", "freeze_s", "speedup"});
+  table.AddRow("narrow40", {active_s, freeze_s, speedup});
+  table.Print();
+  bench::BenchJsonWriter::Instance().Record("encode", "narrow40_active_s",
+                                            active_s);
+  bench::BenchJsonWriter::Instance().Record("encode", "narrow40_freeze_s",
+                                            freeze_s);
+  bench::BenchJsonWriter::Instance().Record("encode", "narrow40_speedup",
+                                            speedup);
 }
 
 // Fast ctest pass: every batch mode and the cache must reproduce the

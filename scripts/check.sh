@@ -29,7 +29,7 @@ for isa in generic auto; do
     --output-on-failure -j "$JOBS"
 done
 
-echo "== robustness + quant + encode + gemm + serve + ann suites under AddressSanitizer =="
+echo "== robustness + quant + encode + gemm + serve + ann + corpus suites under AddressSanitizer =="
 # The fault-injection tests push torn, truncated and bit-flipped artifacts
 # through every load path — exactly where an out-of-bounds read would hide,
 # so they run a second time with ASan watching. The quant suite joins them:
@@ -43,6 +43,9 @@ echo "== robustness + quant + encode + gemm + serve + ann suites under AddressSa
 # racing — promise lifetime bugs would surface here first.
 # The ann suite covers the retrieval tiers' blocked score panels, packed
 # sketch words and STMA payload decoding — more byte-offset arithmetic.
+# The corpus suite decodes mmap-backed shard payloads zero-copy (offset
+# tables straight out of the mapping) and repairs deliberately damaged
+# stores — reads past a torn payload would land exactly here.
 # The gemm suite drives every compiled micro-kernel tier's pack/run entry
 # points directly (ragged edges of the 8x16 AVX-512 tiles, int8 panel
 # repacks), and the encode suite's fused tests walk the tiled-attention
@@ -52,15 +55,16 @@ echo "== robustness + quant + encode + gemm + serve + ann suites under AddressSa
 cmake -B "$ASAN_BUILD_DIR" -S . -DSTM_SANITIZE=address
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target stm_robustness_tests \
   --target stm_quant_tests --target stm_encode_tests \
-  --target stm_gemm_tests --target stm_serve_tests --target stm_ann_tests
-ctest --test-dir "$ASAN_BUILD_DIR" -L 'robustness|serve|ann' \
+  --target stm_gemm_tests --target stm_serve_tests --target stm_ann_tests \
+  --target stm_corpus_tests
+ctest --test-dir "$ASAN_BUILD_DIR" -L 'robustness|serve|ann|corpus' \
   --output-on-failure -j "$JOBS"
 for isa in generic auto; do
   STM_ISA="$isa" ctest --test-dir "$ASAN_BUILD_DIR" -L 'gemm|quant|encode' \
     --output-on-failure -j "$JOBS"
 done
 
-echo "== serve + ann + encode suites under ThreadSanitizer =="
+echo "== serve + ann + encode + corpus suites under ThreadSanitizer =="
 # The serve workers are dedicated threads submitting into the global pool
 # while clients hammer Submit/Shutdown from outside — the exact
 # cross-thread hand-off pattern TSan exists to vet. That now includes the
@@ -71,12 +75,15 @@ echo "== serve + ann + encode suites under ThreadSanitizer =="
 # resizes. The encode suite joins them for the fused frozen-fp32 path:
 # lazy freeze under freeze_mu_ racing concurrent Encode/Pool callers,
 # and the fused-vs-autograd equality tests resetting the pool to several
-# thread counts mid-suite.
+# thread counts mid-suite. The corpus suite adds the sharded reader path:
+# parallel per-shard transforms over a shared mapping and the
+# last_visit_mapped flag read across visits.
 TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 cmake -B "$TSAN_BUILD_DIR" -S . -DSTM_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target stm_serve_tests \
-  --target stm_ann_tests --target stm_encode_tests
-ctest --test-dir "$TSAN_BUILD_DIR" -L 'serve|ann|encode' --output-on-failure \
-  -j "$JOBS"
+  --target stm_ann_tests --target stm_encode_tests \
+  --target stm_corpus_tests
+ctest --test-dir "$TSAN_BUILD_DIR" -L 'serve|ann|encode|corpus' \
+  --output-on-failure -j "$JOBS"
 
 echo "== all checks passed =="

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "common/check.h"
@@ -37,18 +38,55 @@ size_t FarthestPoint(const std::vector<double>& dists) {
   return best;
 }
 
+// Rows per streamed block. A multiple of kPointsGrain, and blocks start
+// at multiples of kStreamRows, so every parallel chunk lies entirely
+// inside one block and the block-local chunk decomposition coincides
+// with the global ParallelFor(0, n, kPointsGrain) one.
+constexpr size_t kStreamRows = 16 * kPointsGrain;
+
 }  // namespace
 
+size_t MatrixRowSource::rows() const { return m_->rows(); }
+size_t MatrixRowSource::cols() const { return m_->cols(); }
+
+void MatrixRowSource::ReadRows(size_t begin, size_t end, float* out) const {
+  STM_CHECK_LE(begin, end);
+  STM_CHECK_LE(end, m_->rows());
+  if (begin == end) return;
+  // Rows are contiguous in the dense row-major storage.
+  std::memcpy(out, m_->Row(begin), (end - begin) * m_->cols() * sizeof(float));
+}
+
 KMeansResult KMeans(const la::Matrix& data, const KMeansOptions& options) {
+  return KMeansStream(MatrixRowSource(data), options);
+}
+
+KMeansResult KMeansStream(const RowSource& source,
+                          const KMeansOptions& options) {
   STM_CHECK_GT(options.k, 0u);
-  STM_CHECK_GT(data.rows(), 0u);
-  const size_t n = data.rows();
-  const size_t d = data.cols();
+  STM_CHECK_GT(source.rows(), 0u);
+  const size_t n = source.rows();
+  const size_t d = source.cols();
   const size_t k = std::min(options.k, n);
   Rng rng(options.seed);
 
-  la::Matrix points = data;
-  if (options.spherical) la::NormalizeRows(points);
+  // One block of rows is resident at a time; spherical mode normalizes
+  // each loaded row (per-row, so the values match normalizing the whole
+  // table up front).
+  la::Matrix block(std::min(n, kStreamRows), d);
+  const auto load_block = [&](size_t b0, size_t b1) {
+    source.ReadRows(b0, b1, block.Row(0));
+    if (options.spherical) {
+      for (size_t i = 0; i < b1 - b0; ++i) la::NormalizeInPlace(block.Row(i), d);
+    }
+  };
+  // Single-row fetch for centroid selection and re-seeding.
+  std::vector<float> fetched(d);
+  const auto fetch_row = [&](size_t i) -> const std::vector<float>& {
+    source.ReadRows(i, i + 1, fetched.data());
+    if (options.spherical) la::NormalizeInPlace(fetched.data(), d);
+    return fetched;
+  };
 
   // k-means++ seeding. Points at distance zero from an existing centroid
   // (the chosen points themselves and any duplicates of them) are
@@ -61,15 +99,19 @@ KMeansResult KMeans(const la::Matrix& data, const KMeansOptions& options) {
   std::vector<bool> is_centroid(n, false);
   const size_t first = rng.UniformInt(n);
   is_centroid[first] = true;
-  centroids.SetRow(0, points.RowVec(first));
+  centroids.SetRow(0, fetch_row(first));
   for (size_t c = 1; c < k; ++c) {
-    ParallelFor(0, n, kPointsGrain, [&](size_t b, size_t e) {
-      for (size_t i = b; i < e; ++i) {
-        min_dist[i] =
-            std::min(min_dist[i],
-                     SquaredDistance(points.Row(i), centroids.Row(c - 1), d));
-      }
-    });
+    for (size_t b0 = 0; b0 < n; b0 += kStreamRows) {
+      const size_t b1 = std::min(n, b0 + kStreamRows);
+      load_block(b0, b1);
+      ParallelFor(b0, b1, kPointsGrain, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+          min_dist[i] =
+              std::min(min_dist[i], SquaredDistance(block.Row(i - b0),
+                                                    centroids.Row(c - 1), d));
+        }
+      });
+    }
     double total = 0.0;
     for (size_t i = 0; i < n; ++i) {
       if (!is_centroid[i]) total += min_dist[i];
@@ -98,7 +140,7 @@ KMeansResult KMeans(const la::Matrix& data, const KMeansOptions& options) {
     }
     STM_CHECK_LT(chosen, n);
     is_centroid[chosen] = true;
-    centroids.SetRow(c, points.RowVec(chosen));
+    centroids.SetRow(c, fetch_row(chosen));
   }
 
   KMeansResult result;
@@ -107,43 +149,49 @@ KMeansResult KMeans(const la::Matrix& data, const KMeansOptions& options) {
   std::vector<size_t> counts(k, 0);
   const size_t chunks = ParallelChunkCount(0, n, kPointsGrain);
   // Per-chunk centroid partial sums and counts, merged in chunk order so
-  // the float accumulation is identical at every thread count.
+  // the float accumulation is identical at every thread count. Chunks are
+  // indexed globally (block start / grain + block-local chunk) so the
+  // merge order is independent of the block size.
   std::vector<la::Matrix> partial_sums(chunks);
   std::vector<std::vector<size_t>> partial_counts(chunks);
   for (int iter = 0; iter < options.max_iters; ++iter) {
     std::atomic<bool> changed{false};
     // Assignment step: each point's nearest centroid, plus the per-chunk
     // centroid partials for the update step.
-    ParallelForChunks(0, n, kPointsGrain,
-                      [&](size_t chunk, size_t b, size_t e) {
-      la::Matrix& sums = partial_sums[chunk];
-      std::vector<size_t>& cnts = partial_counts[chunk];
-      if (sums.rows() != k || sums.cols() != d) sums = la::Matrix(k, d);
-      sums.Fill(0.0f);
-      cnts.assign(k, 0);
-      bool chunk_changed = false;
-      for (size_t i = b; i < e; ++i) {
-        double best = std::numeric_limits<double>::max();
-        int best_c = 0;
-        for (size_t c = 0; c < k; ++c) {
-          const double dist =
-              SquaredDistance(points.Row(i), centroids.Row(c), d);
-          if (dist < best) {
-            best = dist;
-            best_c = static_cast<int>(c);
+    for (size_t b0 = 0; b0 < n; b0 += kStreamRows) {
+      const size_t b1 = std::min(n, b0 + kStreamRows);
+      load_block(b0, b1);
+      const size_t chunk_base = b0 / kPointsGrain;
+      ParallelForChunks(b0, b1, kPointsGrain,
+                        [&](size_t chunk, size_t b, size_t e) {
+        la::Matrix& sums = partial_sums[chunk_base + chunk];
+        std::vector<size_t>& cnts = partial_counts[chunk_base + chunk];
+        if (sums.rows() != k || sums.cols() != d) sums = la::Matrix(k, d);
+        sums.Fill(0.0f);
+        cnts.assign(k, 0);
+        bool chunk_changed = false;
+        for (size_t i = b; i < e; ++i) {
+          const float* row = block.Row(i - b0);
+          double best = std::numeric_limits<double>::max();
+          int best_c = 0;
+          for (size_t c = 0; c < k; ++c) {
+            const double dist = SquaredDistance(row, centroids.Row(c), d);
+            if (dist < best) {
+              best = dist;
+              best_c = static_cast<int>(c);
+            }
           }
+          if (result.assignment[i] != best_c) {
+            result.assignment[i] = best_c;
+            chunk_changed = true;
+          }
+          dists[i] = best;
+          la::Axpy(1.0f, row, sums.Row(static_cast<size_t>(best_c)), d);
+          cnts[static_cast<size_t>(best_c)]++;
         }
-        if (result.assignment[i] != best_c) {
-          result.assignment[i] = best_c;
-          chunk_changed = true;
-        }
-        dists[i] = best;
-        la::Axpy(1.0f, points.Row(i),
-                 sums.Row(static_cast<size_t>(best_c)), d);
-        cnts[static_cast<size_t>(best_c)]++;
-      }
-      if (chunk_changed) changed.store(true, std::memory_order_relaxed);
-    });
+        if (chunk_changed) changed.store(true, std::memory_order_relaxed);
+      });
+    }
     // Inertia: serial fold in point order (cheap, and independent of the
     // chunking entirely).
     result.inertia = 0.0;
@@ -166,7 +214,7 @@ KMeansResult KMeans(const la::Matrix& data, const KMeansOptions& options) {
         if (reseed_dists.empty()) reseed_dists = dists;
         const size_t far = FarthestPoint(reseed_dists);
         reseed_dists[far] = -1.0;  // each empty cluster gets its own point
-        centroids.SetRow(c, points.RowVec(far));
+        centroids.SetRow(c, fetch_row(far));
         continue;
       }
       la::ScaleInPlace(centroids.Row(c), d,

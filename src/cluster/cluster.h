@@ -26,8 +26,46 @@ struct KMeansOptions {
   uint64_t seed = 29;
 };
 
+// Abstract random-access row provider, the out-of-core seam for k-means:
+// an embedding table too large for RAM implements ReadRows by decoding
+// the requested rows (e.g. encoding one corpus shard at a time) while the
+// in-RAM path memcpys out of a matrix.
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+  virtual size_t rows() const = 0;
+  virtual size_t cols() const = 0;
+  // Copies rows [begin, end) row-major into `out` ((end-begin)*cols()
+  // floats). May be called from the streaming loop with block-sized
+  // ranges or with single rows (centroid fetches).
+  virtual void ReadRows(size_t begin, size_t end, float* out) const = 0;
+};
+
+// In-RAM adapter; does not own the matrix.
+class MatrixRowSource : public RowSource {
+ public:
+  explicit MatrixRowSource(const la::Matrix& m) : m_(&m) {}
+  size_t rows() const override;
+  size_t cols() const override;
+  void ReadRows(size_t begin, size_t end, float* out) const override;
+
+ private:
+  const la::Matrix* m_;
+};
+
 // Lloyd's algorithm with k-means++ seeding.
 KMeansResult KMeans(const la::Matrix& data, const KMeansOptions& options);
+
+// Streaming Lloyd's over a RowSource: every pass (seeding scans,
+// assignment/update iterations) pulls fixed-size row blocks, so resident
+// memory is one block plus the O(n) assignment/distance arrays — never
+// the full table. The block size is a multiple of the parallel grain and
+// blocks start on grain boundaries, so the chunk decomposition (and with
+// it every chunk-ordered float reduction) is exactly the in-RAM one:
+// KMeansStream is bit-identical to KMeans on the same rows at any block
+// size and thread count. KMeans itself delegates here via MatrixRowSource.
+KMeansResult KMeansStream(const RowSource& source,
+                          const KMeansOptions& options);
 
 // Subsampling stride Silhouette() uses so at most `max_points` points
 // enter the O(sample^2) distance pass (ceiling division; exposed for the

@@ -1,6 +1,8 @@
 #include "common/env.h"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -10,6 +12,7 @@
 #include <chrono>
 #include <cstring>
 #include <thread>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -23,6 +26,76 @@ Status ErrnoStatus(const char* op, const std::string& path, int err) {
   if (err == ENOENT || err == ENOTDIR) return UnavailableError(message);
   return IoError(message);
 }
+
+// Heap-backed FileView: the portable fallback when mmap is unavailable or
+// refused the file.
+class HeapFileView : public FileView {
+ public:
+  explicit HeapFileView(std::string bytes) : bytes_(std::move(bytes)) {}
+  const char* data() const override { return bytes_.data(); }
+  size_t size() const override { return bytes_.size(); }
+  bool mapped() const override { return false; }
+
+ private:
+  std::string bytes_;
+};
+
+class MmapFileView : public FileView {
+ public:
+  MmapFileView(void* addr, size_t size) : addr_(addr), size_(size) {}
+  ~MmapFileView() override {
+    if (addr_ != nullptr && size_ > 0) ::munmap(addr_, size_);
+  }
+  const char* data() const override {
+    return static_cast<const char*>(addr_);
+  }
+  size_t size() const override { return size_; }
+  bool mapped() const override { return true; }
+
+ private:
+  void* addr_;
+  size_t size_;
+};
+
+// SequentialFile over an in-memory string: backs Env's portable
+// OpenSequential default.
+class StringSequentialFile : public SequentialFile {
+ public:
+  explicit StringSequentialFile(std::string bytes) : bytes_(std::move(bytes)) {}
+  StatusOr<size_t> Read(char* buf, size_t cap) override {
+    const size_t n = std::min(cap, bytes_.size() - pos_);
+    std::memcpy(buf, bytes_.data() + pos_, n);
+    pos_ += n;
+    return n;
+  }
+
+ private:
+  std::string bytes_;
+  size_t pos_ = 0;
+};
+
+class FdSequentialFile : public SequentialFile {
+ public:
+  FdSequentialFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~FdSequentialFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  StatusOr<size_t> Read(char* buf, size_t cap) override {
+    for (;;) {
+      const ssize_t n = ::read(fd_, buf, cap);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("read", path_, errno);
+      }
+      return static_cast<size_t>(n);
+    }
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
 
 class PosixEnv : public Env {
  public:
@@ -106,11 +179,92 @@ class PosixEnv : public Env {
     return ::stat(path.c_str(), &st) == 0;
   }
 
+  StatusOr<std::unique_ptr<FileView>> MapFile(const std::string& path)
+      override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return ErrnoStatus("fstat", path, err);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return StatusOr<std::unique_ptr<FileView>>(
+          std::make_unique<HeapFileView>(std::string()));
+    }
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr == MAP_FAILED) {
+      // mmap can legitimately refuse (address-space pressure, weird
+      // filesystems); the heap path is always available.
+      return Env::MapFile(path);
+    }
+    // Shard consumers walk documents front to back; tell the kernel so
+    // readahead is aggressive and cold pages are cheap to drop.
+    (void)::madvise(addr, size, MADV_SEQUENTIAL);
+    return StatusOr<std::unique_ptr<FileView>>(
+        std::make_unique<MmapFileView>(addr, size));
+  }
+
+  StatusOr<std::unique_ptr<SequentialFile>> OpenSequential(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    return StatusOr<std::unique_ptr<SequentialFile>>(
+        std::make_unique<FdSequentialFile>(fd, path));
+  }
+
  private:
   std::atomic<uint64_t> temp_counter_{0};
 };
 
 }  // namespace
+
+StatusOr<std::unique_ptr<FileView>> Env::MapFile(const std::string& path) {
+  StatusOr<std::string> bytes = ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return StatusOr<std::unique_ptr<FileView>>(
+      std::make_unique<HeapFileView>(std::move(bytes).value()));
+}
+
+StatusOr<std::unique_ptr<SequentialFile>> Env::OpenSequential(
+    const std::string& path) {
+  StatusOr<std::string> bytes = ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return StatusOr<std::unique_ptr<SequentialFile>>(
+      std::make_unique<StringSequentialFile>(std::move(bytes).value()));
+}
+
+Status Env::CreateDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoStatus("mkdir", path, errno);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> Env::ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return ErrnoStatus("opendir", path, errno);
+  std::vector<std::string> names;
+  for (;;) {
+    errno = 0;
+    struct dirent* entry = ::readdir(dir);
+    if (entry == nullptr) {
+      const int err = errno;
+      ::closedir(dir);
+      if (err != 0) return ErrnoStatus("readdir", path, err);
+      break;
+    }
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
 
 Env* Env::Default() {
   static PosixEnv* env = new PosixEnv();
@@ -207,6 +361,78 @@ Status FaultInjectingEnv::Rename(const std::string& from,
 
 bool FaultInjectingEnv::FileExists(const std::string& path) {
   return base_->FileExists(path);
+}
+
+namespace {
+
+// Serves bytes from an underlying stream until a byte budget runs out,
+// then fails every further Read — an I/O error mid-file.
+class FailingSequentialFile : public SequentialFile {
+ public:
+  FailingSequentialFile(std::unique_ptr<SequentialFile> base, size_t budget,
+                        std::string path)
+      : base_(std::move(base)), budget_(budget), path_(std::move(path)) {}
+
+  StatusOr<size_t> Read(char* buf, size_t cap) override {
+    if (budget_ == 0) {
+      return IoError(
+          StrFormat("injected mid-stream read fault: %s", path_.c_str()));
+    }
+    StatusOr<size_t> n = base_->Read(buf, std::min(cap, budget_));
+    if (n.ok()) budget_ -= n.value();
+    return n;
+  }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  size_t budget_;
+  std::string path_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<FileView>> FaultInjectingEnv::MapFile(
+    const std::string& path) {
+  Status fault;
+  if (MaybeInjectOpFault("MapFile", path, &fault)) return fault;
+  if (fail_mmap_remaining_ > 0) {
+    --fail_mmap_remaining_;
+    ++injected_failures_;
+    // The fallback the real env would take when mmap refuses: read the
+    // bytes (through this env, so op accounting still applies).
+    return Env::MapFile(path);
+  }
+  return base_->MapFile(path);
+}
+
+StatusOr<std::unique_ptr<SequentialFile>> FaultInjectingEnv::OpenSequential(
+    const std::string& path) {
+  Status fault;
+  if (MaybeInjectOpFault("OpenSequential", path, &fault)) return fault;
+  StatusOr<std::unique_ptr<SequentialFile>> file =
+      base_->OpenSequential(path);
+  if (!file.ok()) return file;
+  if (sequential_fail_armed_) {
+    sequential_fail_armed_ = false;
+    ++injected_failures_;
+    return StatusOr<std::unique_ptr<SequentialFile>>(
+        std::make_unique<FailingSequentialFile>(std::move(file).value(),
+                                                sequential_fail_after_, path));
+  }
+  return file;
+}
+
+Status FaultInjectingEnv::CreateDir(const std::string& path) {
+  Status fault;
+  if (MaybeInjectOpFault("CreateDir", path, &fault)) return fault;
+  return base_->CreateDir(path);
+}
+
+StatusOr<std::vector<std::string>> FaultInjectingEnv::ListDir(
+    const std::string& path) {
+  Status fault;
+  if (MaybeInjectOpFault("ListDir", path, &fault)) return fault;
+  return base_->ListDir(path);
 }
 
 }  // namespace stm

@@ -2,12 +2,40 @@
 #define STM_COMMON_ENV_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 
 namespace stm {
+
+// Read-only view of an entire file. Backed by a real memory mapping when
+// the platform provides one (PosixEnv), otherwise by a heap copy of the
+// bytes. The view owns its backing storage; `data()` stays valid until the
+// view is destroyed.
+class FileView {
+ public:
+  virtual ~FileView() = default;
+  virtual const char* data() const = 0;
+  virtual size_t size() const = 0;
+  // True when the bytes are served straight from a memory mapping rather
+  // than a heap copy (diagnostic / test hook).
+  virtual bool mapped() const = 0;
+
+  std::string_view view() const { return {data(), size()}; }
+};
+
+// Forward-only byte stream over a file, for line-at-a-time ingestion that
+// must not hold the whole file in memory.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+  // Reads up to `cap` bytes into `buf`; returns the byte count, where 0
+  // means end of file.
+  virtual StatusOr<size_t> Read(char* buf, size_t cap) = 0;
+};
 
 // Filesystem seam. All artifact I/O (model caches, embedding tables, TSV
 // corpora) goes through an Env so tests can inject faults and production
@@ -34,6 +62,26 @@ class Env {
   virtual Status Rename(const std::string& from, const std::string& to) = 0;
 
   virtual bool FileExists(const std::string& path) = 0;
+
+  // Maps `path` read-only. The base implementation is the portable
+  // fallback — it reads the whole file through ReadFile() into a heap
+  // view. PosixEnv overrides it with mmap + madvise(SEQUENTIAL) and falls
+  // back to this path when the mapping itself fails.
+  virtual StatusOr<std::unique_ptr<FileView>> MapFile(const std::string& path);
+
+  // Opens `path` for forward-only streaming reads. The base implementation
+  // reads the whole file eagerly (correct, not streaming); PosixEnv serves
+  // bounded chunks from the file descriptor.
+  virtual StatusOr<std::unique_ptr<SequentialFile>> OpenSequential(
+      const std::string& path);
+
+  // Creates a directory; an already-existing directory is not an error.
+  // Parents are not created.
+  virtual Status CreateDir(const std::string& path);
+
+  // Lists the entry names (not paths) in a directory, sorted, excluding
+  // "." and "..".
+  virtual StatusOr<std::vector<std::string>> ListDir(const std::string& path);
 
   // Process-wide POSIX-backed instance. Never null; do not delete.
   static Env* Default();
@@ -64,6 +112,23 @@ class FaultInjectingEnv : public Env {
   Status Delete(const std::string& path) override;
   Status Rename(const std::string& from, const std::string& to) override;
   bool FileExists(const std::string& path) override;
+  StatusOr<std::unique_ptr<FileView>> MapFile(const std::string& path) override;
+  StatusOr<std::unique_ptr<SequentialFile>> OpenSequential(
+      const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& path) override;
+
+  // The next `count` MapFile calls behave as if mmap failed: the call
+  // still succeeds but serves a heap copy (mapped() == false), exercising
+  // the read-based fallback.
+  void FailMmapNext(int count = 1) { fail_mmap_remaining_ = count; }
+
+  // Streams opened by subsequent OpenSequential calls fail with kIoError
+  // after serving `bytes` bytes — an I/O error in the middle of a file.
+  void FailSequentialReadAfter(size_t bytes) {
+    sequential_fail_armed_ = true;
+    sequential_fail_after_ = bytes;
+  }
 
   // Fails the next `count` WriteFileAtomic calls with `code` (transient by
   // default, so retry loops can be exercised).
@@ -121,6 +186,9 @@ class FaultInjectingEnv : public Env {
   bool truncate_armed_ = false;
   size_t truncate_drop_ = 0;
   bool crash_write_armed_ = false;
+  int fail_mmap_remaining_ = 0;
+  bool sequential_fail_armed_ = false;
+  size_t sequential_fail_after_ = 0;
 };
 
 }  // namespace stm

@@ -61,6 +61,18 @@ void BinaryWriter::WriteU64s(const std::vector<uint64_t>& values) {
   if (bytes > 0) std::memcpy(buffer_.data() + old, values.data(), bytes);
 }
 
+void BinaryWriter::WriteI32s(const int32_t* values, size_t count) {
+  WriteU64(count);
+  const size_t bytes = count * sizeof(int32_t);
+  const size_t old = buffer_.size();
+  buffer_.resize(old + bytes);
+  if (bytes > 0) std::memcpy(buffer_.data() + old, values, bytes);
+}
+
+void BinaryWriter::WriteI32s(const std::vector<int32_t>& values) {
+  WriteI32s(values.data(), values.size());
+}
+
 void BinaryWriter::WriteBytes(const std::vector<int8_t>& values) {
   WriteU64(values.size());
   const size_t old = buffer_.size();
@@ -99,26 +111,30 @@ BinaryReader::BinaryReader(const std::string& path) {
   buffer_ = std::move(data).value();
 }
 
-StatusOr<BinaryReader> BinaryReader::OpenArtifact(Env* env,
-                                                  const std::string& path,
-                                                  uint32_t artifact_magic) {
-  STM_ASSIGN_OR_RETURN(std::string data, env->ReadFile(path));
+StatusOr<std::string_view> ValidateArtifactFrame(std::string_view file_bytes,
+                                                 uint32_t artifact_magic,
+                                                 const std::string& path) {
   const auto corrupt = [&path](const std::string& what) {
     return CorruptDataError(
         StrFormat("%s: %s", path.c_str(), what.c_str()));
   };
-  if (data.size() < kHeaderSize + kTrailerSize) {
+  const auto load_u32 = [&file_bytes](size_t offset) {
+    uint32_t value;
+    std::memcpy(&value, file_bytes.data() + offset, sizeof(value));
+    return value;
+  };
+  if (file_bytes.size() < kHeaderSize + kTrailerSize) {
     return corrupt(StrFormat("file too small for artifact frame (%zu bytes)",
-                             data.size()));
+                             file_bytes.size()));
   }
-  if (LoadRaw<uint32_t>(data, 0) != kContainerMagic) {
+  if (load_u32(0) != kContainerMagic) {
     return corrupt("bad container magic");
   }
-  const uint32_t version = LoadRaw<uint32_t>(data, 4);
+  const uint32_t version = load_u32(4);
   if (version != kContainerVersion) {
     return corrupt(StrFormat("unsupported format version %u", version));
   }
-  const uint32_t magic = LoadRaw<uint32_t>(data, 8);
+  const uint32_t magic = load_u32(8);
   if (magic != artifact_magic) {
     return corrupt(StrFormat("artifact magic mismatch (got 0x%08x, want "
                              "0x%08x)",
@@ -126,28 +142,37 @@ StatusOr<BinaryReader> BinaryReader::OpenArtifact(Env* env,
   }
   // The reserved field is outside the payload CRC, so it must be checked
   // explicitly or a flipped bit there would go unnoticed.
-  if (LoadRaw<uint32_t>(data, 12) != 0) {
+  if (load_u32(12) != 0) {
     return corrupt("nonzero reserved header field");
   }
-  const uint64_t payload_size = LoadRaw<uint64_t>(data, 16);
-  if (payload_size != data.size() - kHeaderSize - kTrailerSize) {
+  uint64_t payload_size;
+  std::memcpy(&payload_size, file_bytes.data() + 16, sizeof(payload_size));
+  if (payload_size != file_bytes.size() - kHeaderSize - kTrailerSize) {
     return corrupt(StrFormat(
         "payload size mismatch (header says %llu, file holds %zu)",
         static_cast<unsigned long long>(payload_size),
-        data.size() - kHeaderSize - kTrailerSize));
+        file_bytes.size() - kHeaderSize - kTrailerSize));
   }
-  const std::string payload =
-      data.substr(kHeaderSize, static_cast<size_t>(payload_size));
-  const uint32_t stored_crc =
-      LoadRaw<uint32_t>(data, kHeaderSize + payload.size());
+  const std::string_view payload =
+      file_bytes.substr(kHeaderSize, static_cast<size_t>(payload_size));
+  const uint32_t stored_crc = load_u32(kHeaderSize + payload.size());
   const uint32_t actual_crc = Crc32c(payload);
   if (stored_crc != actual_crc) {
     return corrupt(StrFormat("CRC32C mismatch (stored 0x%08x, computed "
                              "0x%08x)",
                              stored_crc, actual_crc));
   }
+  return payload;
+}
+
+StatusOr<BinaryReader> BinaryReader::OpenArtifact(Env* env,
+                                                  const std::string& path,
+                                                  uint32_t artifact_magic) {
+  STM_ASSIGN_OR_RETURN(std::string data, env->ReadFile(path));
+  STM_ASSIGN_OR_RETURN(std::string_view payload,
+                       ValidateArtifactFrame(data, artifact_magic, path));
   BinaryReader reader;
-  reader.buffer_ = payload;
+  reader.buffer_ = std::string(payload);
   return reader;
 }
 
@@ -259,6 +284,28 @@ Status BinaryReader::Read(std::vector<uint64_t>* values) {
     return status_;
   }
   const size_t bytes = static_cast<size_t>(count) * sizeof(uint64_t);
+  values->resize(static_cast<size_t>(count));
+  if (bytes > 0) {
+    std::memcpy(values->data(), buffer_.data() + pos_, bytes);
+    pos_ += bytes;
+  }
+  return status_;
+}
+
+Status BinaryReader::Read(std::vector<int32_t>* values) {
+  values->clear();
+  uint64_t count = 0;
+  STM_RETURN_IF_ERROR(Read(&count));
+  // Division, never multiplication: `count * 4` wraps for hostile counts.
+  if (count > (buffer_.size() - pos_) / sizeof(int32_t)) {
+    status_ = CorruptDataError(
+        StrFormat("i32 array length %llu exceeds remaining payload (%zu "
+                  "bytes)",
+                  static_cast<unsigned long long>(count),
+                  buffer_.size() - pos_));
+    return status_;
+  }
+  const size_t bytes = static_cast<size_t>(count) * sizeof(int32_t);
   values->resize(static_cast<size_t>(count));
   if (bytes > 0) {
     std::memcpy(values->data(), buffer_.data() + pos_, bytes);

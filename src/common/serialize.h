@@ -1,8 +1,10 @@
 #ifndef STM_COMMON_SERIALIZE_H_
 #define STM_COMMON_SERIALIZE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/env.h"
@@ -28,6 +30,20 @@ namespace stm {
 inline constexpr uint32_t kContainerMagic = 0x434D5453;  // "STMC"
 inline constexpr uint32_t kContainerVersion = 1;
 
+// Frame geometry, exposed so zero-copy readers (mmap-backed shards) can
+// locate the payload without materializing a copy.
+inline constexpr size_t kArtifactHeaderSize =
+    4 * sizeof(uint32_t) + sizeof(uint64_t);
+inline constexpr size_t kArtifactTrailerSize = sizeof(uint32_t);
+
+// Validates the container frame (magic, version, artifact magic, payload
+// size, CRC32C) over in-memory bytes and returns a view of the payload —
+// a view into `file_bytes`, valid only as long as the backing storage.
+// kCorruptData on any mismatch; `path` is used in error messages only.
+StatusOr<std::string_view> ValidateArtifactFrame(std::string_view file_bytes,
+                                                 uint32_t artifact_magic,
+                                                 const std::string& path);
+
 class BinaryWriter {
  public:
   void WriteU32(uint32_t value);
@@ -42,6 +58,9 @@ class BinaryWriter {
   void WriteBytes(const std::vector<int8_t>& values);
   // Length-prefixed u64 array (packed LSH sketch words).
   void WriteU64s(const std::vector<uint64_t>& values);
+  // Length-prefixed i32 array (corpus token ids / labels).
+  void WriteI32s(const int32_t* values, size_t count);
+  void WriteI32s(const std::vector<int32_t>& values);
 
   const std::string& buffer() const { return buffer_; }
 
@@ -84,6 +103,7 @@ class BinaryReader {
   Status Read(std::vector<float>* values);
   Status Read(std::vector<int8_t>* values);
   Status Read(std::vector<uint64_t>* values);
+  Status Read(std::vector<int32_t>* values);
 
   // Value-returning shims for existing call sites; on failure they return
   // a zero value and flip ok().

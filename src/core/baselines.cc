@@ -164,10 +164,11 @@ std::vector<int> PlmSimpleMatchClassify(
     const std::vector<std::vector<int32_t>>& class_name_tokens) {
   plm::ScopedEncodeCache encode_cache(&model);
   const la::Matrix class_reps = model.PoolBatch(class_name_tokens);
-  std::vector<std::vector<int32_t>> doc_tokens;
-  doc_tokens.reserve(corpus.num_docs());
-  for (const auto& doc : corpus.docs()) doc_tokens.push_back(doc.tokens);
-  const la::Matrix doc_reps = model.PoolBatch(doc_tokens);
+  // Shard-at-a-time pooling through the CorpusReader interface
+  // (bit-identical to pooling every document in one batch).
+  auto pooled = plm::PoolCorpus(model, corpus);
+  STM_CHECK(pooled.ok()) << pooled.status().message();
+  const la::Matrix doc_reps = std::move(pooled).value();
   const std::vector<std::vector<ann::Neighbor>> top =
       ann::TopKSimilar(doc_reps, class_reps, 1);
   std::vector<int> predictions(corpus.num_docs(), 0);

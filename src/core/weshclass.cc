@@ -48,11 +48,14 @@ std::vector<std::vector<int>> WeshClass::Run() {
   const std::vector<std::vector<int32_t>> docs = CorpusTokens(corpus_);
   Rng rng(config_.seed);
 
-  // Shared substrate: corpus embeddings + background distribution.
+  // Shared substrate: corpus embeddings + background distribution. The
+  // streaming Train overload reads documents through the CorpusReader
+  // interface (bit-identical to the in-RAM token-list overload).
   embedding::SgnsConfig sgns;
   sgns.seed = config_.seed;
-  const embedding::WordEmbeddings embeddings =
-      embedding::WordEmbeddings::Train(docs, corpus_.vocab().size(), sgns);
+  auto trained = embedding::WordEmbeddings::Train(corpus_, sgns);
+  STM_CHECK(trained.ok()) << trained.status().message();
+  const embedding::WordEmbeddings embeddings = std::move(trained).value();
   std::vector<double> background(corpus_.vocab().size(), 0.0);
   {
     const std::vector<int64_t> counts = corpus_.TokenCounts();

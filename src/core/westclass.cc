@@ -26,13 +26,16 @@ WestClass::WestClass(const text::Corpus& corpus,
                      const WestClassConfig& config)
     : corpus_(corpus),
       config_(config),
-      embeddings_(embedding::WordEmbeddings::Train(
-          CorpusTokens(corpus), corpus.vocab().size(), [&config] {
-            embedding::SgnsConfig sgns;
-            sgns.epochs = config.sgns_epochs;
-            sgns.seed = config.seed;
-            return sgns;
-          }())) {
+      embeddings_([&corpus, &config] {
+        // Streaming overload: pulls documents through the CorpusReader
+        // interface (bit-identical to the in-RAM token-list overload).
+        embedding::SgnsConfig sgns;
+        sgns.epochs = config.sgns_epochs;
+        sgns.seed = config.seed;
+        auto trained = embedding::WordEmbeddings::Train(corpus, sgns);
+        STM_CHECK(trained.ok()) << trained.status().message();
+        return std::move(trained).value();
+      }()) {
   const std::vector<int64_t> counts = corpus.TokenCounts();
   background_.assign(counts.size(), 0.0);
   for (size_t i = text::kNumSpecialTokens; i < counts.size(); ++i) {

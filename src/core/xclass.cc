@@ -217,20 +217,10 @@ std::vector<std::vector<int>> XClass::RunPaths(
 }
 
 la::Matrix XClass::AverageDocReps() {
-  const size_t dim = model_->config().dim;
-  la::Matrix reps(corpus_.num_docs(), dim);
-  std::vector<size_t> doc_index;
-  std::vector<std::vector<int32_t>> to_pool;
-  for (size_t d = 0; d < corpus_.num_docs(); ++d) {
-    if (corpus_.docs()[d].tokens.empty()) continue;  // keep the zero row
-    doc_index.push_back(d);
-    to_pool.push_back(corpus_.docs()[d].tokens);
-  }
-  const la::Matrix pooled = model_->PoolBatch(to_pool);
-  for (size_t i = 0; i < doc_index.size(); ++i) {
-    reps.SetRow(doc_index[i], pooled.RowVec(i));
-  }
-  return reps;
+  // Shard-at-a-time pooling; empty docs keep the zero row.
+  auto reps = plm::PoolCorpus(*model_, corpus_, /*skip_empty=*/true);
+  STM_CHECK(reps.ok()) << reps.status().message();
+  return std::move(reps).value();
 }
 
 }  // namespace stm::core

@@ -56,15 +56,19 @@ std::vector<double> UnigramNoise(
   return counts;
 }
 
-}  // namespace
-
-WordEmbeddings::WordEmbeddings(la::Matrix vectors)
-    : vectors_(std::move(vectors)) {}
-
-WordEmbeddings WordEmbeddings::Train(
-    const std::vector<std::vector<int32_t>>& docs, size_t vocab_size,
-    const SgnsConfig& config) {
+// Shared SGNS training core. `counts` are the integer occurrence counts
+// over [0, vocab_size); `for_each_doc` runs one epoch, invoking its
+// callback once per document in global order (the same order every
+// epoch), and reports any I/O failure. Occurrence counts convert to the
+// exact doubles the per-token accumulation produced (integers < 2^53),
+// so the corpus-derived and docs-derived paths train bit-identically.
+template <typename ForEachDoc>
+StatusOr<la::Matrix> TrainSgnsCore(size_t vocab_size,
+                                   const SgnsConfig& config,
+                                   const std::vector<int64_t>& counts,
+                                   const ForEachDoc& for_each_doc) {
   STM_CHECK_GT(vocab_size, 0u);
+  STM_CHECK_EQ(counts.size(), vocab_size);
   Rng rng(config.seed);
   const size_t dim = config.dim;
   la::Matrix in(vocab_size, dim);
@@ -74,22 +78,21 @@ WordEmbeddings WordEmbeddings::Train(
         static_cast<float>(rng.Uniform(-0.5, 0.5)) / static_cast<float>(dim);
   }
 
-  const std::vector<double> noise_weights = UnigramNoise(docs, vocab_size);
+  std::vector<double> noise_weights(vocab_size, 0.0);
+  for (size_t id = text::kNumSpecialTokens; id < vocab_size; ++id) {
+    noise_weights[id] = std::pow(static_cast<double>(counts[id]), 0.75);
+  }
   double total_mass = 0.0;
   for (double w : noise_weights) total_mass += w;
-  if (total_mass == 0.0) return WordEmbeddings(std::move(in));
+  if (total_mass == 0.0) return std::move(in);
   AliasSampler noise(noise_weights);
 
   // Raw counts for subsampling.
   std::vector<double> freq(vocab_size, 0.0);
   double total_tokens = 0.0;
-  for (const auto& doc : docs) {
-    for (int32_t id : doc) {
-      if (id >= 0 && static_cast<size_t>(id) < vocab_size) {
-        freq[static_cast<size_t>(id)] += 1.0;
-        total_tokens += 1.0;
-      }
-    }
+  for (size_t id = 0; id < vocab_size; ++id) {
+    freq[id] = static_cast<double>(counts[id]);
+    total_tokens += freq[id];
   }
 
   std::vector<float> grad_in(dim);
@@ -98,35 +101,77 @@ WordEmbeddings WordEmbeddings::Train(
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     const float lr =
         lr0 * (1.0f - static_cast<float>(epoch) / config.epochs) + 1e-4f;
-    for (const auto& doc : docs) {
-      kept.clear();
-      for (int32_t id : doc) {
-        if (id < text::kNumSpecialTokens ||
-            static_cast<size_t>(id) >= vocab_size) {
-          continue;
-        }
-        if (config.subsample > 0.0) {
-          const double f = freq[static_cast<size_t>(id)] / total_tokens;
-          const double keep =
-              std::sqrt(config.subsample / f) + config.subsample / f;
-          if (keep < 1.0 && !rng.Bernoulli(keep)) continue;
-        }
-        kept.push_back(id);
-      }
-      for (size_t t = 0; t < kept.size(); ++t) {
-        const int span = 1 + static_cast<int>(rng.UniformInt(
-                                 static_cast<uint64_t>(config.window)));
-        for (int off = -span; off <= span; ++off) {
-          if (off == 0) continue;
-          const long ctx = static_cast<long>(t) + off;
-          if (ctx < 0 || ctx >= static_cast<long>(kept.size())) continue;
-          SgnsUpdate(in.Row(static_cast<size_t>(kept[t])), out,
-                     kept[static_cast<size_t>(ctx)], noise, rng,
-                     config.negatives, lr, dim, grad_in);
-        }
+    STM_RETURN_IF_ERROR(
+        for_each_doc([&](const int32_t* tokens, size_t num_tokens) {
+          kept.clear();
+          for (size_t i = 0; i < num_tokens; ++i) {
+            const int32_t id = tokens[i];
+            if (id < text::kNumSpecialTokens ||
+                static_cast<size_t>(id) >= vocab_size) {
+              continue;
+            }
+            if (config.subsample > 0.0) {
+              const double f = freq[static_cast<size_t>(id)] / total_tokens;
+              const double keep =
+                  std::sqrt(config.subsample / f) + config.subsample / f;
+              if (keep < 1.0 && !rng.Bernoulli(keep)) continue;
+            }
+            kept.push_back(id);
+          }
+          for (size_t t = 0; t < kept.size(); ++t) {
+            const int span = 1 + static_cast<int>(rng.UniformInt(
+                                     static_cast<uint64_t>(config.window)));
+            for (int off = -span; off <= span; ++off) {
+              if (off == 0) continue;
+              const long ctx = static_cast<long>(t) + off;
+              if (ctx < 0 || ctx >= static_cast<long>(kept.size())) continue;
+              SgnsUpdate(in.Row(static_cast<size_t>(kept[t])), out,
+                         kept[static_cast<size_t>(ctx)], noise, rng,
+                         config.negatives, lr, dim, grad_in);
+            }
+          }
+        }));
+  }
+  return std::move(in);
+}
+
+}  // namespace
+
+WordEmbeddings::WordEmbeddings(la::Matrix vectors)
+    : vectors_(std::move(vectors)) {}
+
+WordEmbeddings WordEmbeddings::Train(
+    const std::vector<std::vector<int32_t>>& docs, size_t vocab_size,
+    const SgnsConfig& config) {
+  std::vector<int64_t> counts(vocab_size, 0);
+  for (const auto& doc : docs) {
+    for (int32_t id : doc) {
+      if (id >= 0 && static_cast<size_t>(id) < vocab_size) {
+        counts[static_cast<size_t>(id)]++;
       }
     }
   }
+  StatusOr<la::Matrix> in = TrainSgnsCore(
+      vocab_size, config, counts,
+      [&docs](const auto& visit_doc) -> Status {
+        for (const auto& doc : docs) visit_doc(doc.data(), doc.size());
+        return Status::Ok();
+      });
+  STM_CHECK(in.ok()) << in.status().message();
+  return WordEmbeddings(std::move(in).value());
+}
+
+StatusOr<WordEmbeddings> WordEmbeddings::Train(
+    const text::CorpusReader& corpus, const SgnsConfig& config) {
+  STM_ASSIGN_OR_RETURN(
+      la::Matrix in,
+      TrainSgnsCore(corpus.vocab().size(), config, corpus.TokenCounts(),
+                    [&corpus](const auto& visit_doc) -> Status {
+                      return corpus.VisitAll(
+                          [&visit_doc](size_t, const text::DocView& doc) {
+                            visit_doc(doc.tokens, doc.num_tokens);
+                          });
+                    }));
   return WordEmbeddings(std::move(in));
 }
 

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "index/ann.h"
 #include "la/matrix.h"
+#include "text/corpus.h"
 
 namespace stm::embedding {
 
@@ -32,6 +33,14 @@ class WordEmbeddings {
   // Trains input vectors on token sequences over a dense vocabulary.
   static WordEmbeddings Train(const std::vector<std::vector<int32_t>>& docs,
                               size_t vocab_size, const SgnsConfig& config);
+
+  // Streaming variant: pulls documents shard-at-a-time from any
+  // CorpusReader (each epoch walks the shards in order). SGNS is a
+  // strictly sequential single-RNG-stream algorithm, and the shard order
+  // preserves the global document order, so the result is bit-identical
+  // to the in-RAM overload on the same documents at any shard size.
+  static StatusOr<WordEmbeddings> Train(const text::CorpusReader& corpus,
+                                        const SgnsConfig& config);
 
   // Wraps an existing table (rows = token ids).
   explicit WordEmbeddings(la::Matrix vectors);

@@ -235,36 +235,67 @@ void ScoreNormalized(const float* query, const la::Matrix& base,
 }
 
 Index Index::Build(const la::Matrix& base, const IndexOptions& options) {
-  Index index;
-  index.options_ = options;
-  index.options_.bits = RoundUpBits(options.bits);
-  index.base_ = NormalizedCopy(base);
-  index.use_lsh_ =
-      options.mode == AnnMode::kLsh ||
-      (options.mode == AnnMode::kAuto && base.rows() >= options.auto_min_rows);
-  if (!index.use_lsh_ || base.rows() == 0) {
-    index.use_lsh_ = index.use_lsh_ && base.rows() > 0;
-    return index;
-  }
+  IndexBuilder builder(base.cols(), base.rows(), options);
+  builder.Add(base);
+  return builder.Finish();
+}
 
-  const size_t bits = index.options_.bits;
-  const size_t dim = base.cols();
-  index.words_ = bits / 64;
-  index.planes_ = la::Matrix(bits, dim);
+IndexBuilder::IndexBuilder(size_t dim, size_t total_rows,
+                           const IndexOptions& options)
+    : total_rows_(total_rows) {
+  index_.options_ = options;
+  index_.options_.bits = RoundUpBits(options.bits);
+  index_.base_ = la::Matrix(total_rows, dim);
+  index_.use_lsh_ =
+      total_rows > 0 &&
+      (options.mode == AnnMode::kLsh ||
+       (options.mode == AnnMode::kAuto && total_rows >= options.auto_min_rows));
+  if (!index_.use_lsh_) return;
+
+  const size_t bits = index_.options_.bits;
+  index_.words_ = bits / 64;
+  index_.planes_ = la::Matrix(bits, dim);
   Rng rng(options.seed);
-  for (size_t i = 0; i < index.planes_.size(); ++i) {
-    index.planes_.data()[i] = static_cast<float>(rng.Normal());
+  for (size_t i = 0; i < index_.planes_.size(); ++i) {
+    index_.planes_.data()[i] = static_cast<float>(rng.Normal());
   }
+  index_.codes_.assign(total_rows * index_.words_, 0);
+}
 
-  // Sketch every base row: sign bits of planes * row, packed 64 per word.
-  // Row chunks write disjoint code regions and the projections come from
-  // the thread-count-invariant kernels, so the codes are deterministic.
-  index.codes_.assign(index.base_.rows() * index.words_, 0);
-  const la::Matrix& bnorm = index.base_;
-  la::Matrix& planes = index.planes_;
-  std::vector<uint64_t>& codes = index.codes_;
-  const size_t words = index.words_;
-  ParallelFor(0, bnorm.rows(), kQueryChunk, [&](size_t r0, size_t r1) {
+void IndexBuilder::Add(const float* rows, size_t count) {
+  STM_CHECK(!finished_);
+  STM_CHECK_LE(count, total_rows_ - added_);
+  if (count == 0) return;
+  const size_t d = index_.base_.cols();
+  std::memcpy(index_.base_.Row(added_), rows, count * d * sizeof(float));
+  // Normalization is per-row, so doing it block-at-a-time matches
+  // normalizing the whole base at once.
+  la::Matrix& base = index_.base_;
+  ParallelFor(added_, added_ + count, kQueryChunk, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) la::NormalizeInPlace(base.Row(i), d);
+  });
+  if (index_.use_lsh_) Sketch(added_, added_ + count);
+  added_ += count;
+}
+
+void IndexBuilder::Add(const la::Matrix& rows) {
+  if (rows.rows() == 0) return;
+  STM_CHECK_EQ(rows.cols(), index_.base_.cols());
+  Add(rows.data(), rows.rows());
+}
+
+// Sketch rows [begin, end): sign bits of planes * row, packed 64 per
+// word. Row chunks write disjoint code regions and the projections come
+// from the thread-count-invariant kernels, so the codes are deterministic
+// and independent of how the rows were blocked into Add calls.
+void IndexBuilder::Sketch(size_t begin, size_t end) {
+  const size_t bits = index_.options_.bits;
+  const size_t dim = index_.base_.cols();
+  const size_t words = index_.words_;
+  const la::Matrix& bnorm = index_.base_;
+  const la::Matrix& planes = index_.planes_;
+  std::vector<uint64_t>& codes = index_.codes_;
+  ParallelFor(begin, end, kQueryChunk, [&](size_t r0, size_t r1) {
     const size_t chunk = r1 - r0;
     std::vector<float> proj(chunk * bits, 0.0f);
     la::GemmBtAcc(bnorm.Row(r0), planes.data(), proj.data(), chunk, dim,
@@ -277,7 +308,13 @@ Index Index::Build(const la::Matrix& base, const IndexOptions& options) {
       }
     }
   });
-  return index;
+}
+
+Index IndexBuilder::Finish() {
+  STM_CHECK(!finished_);
+  STM_CHECK_EQ(added_, total_rows_);
+  finished_ = true;
+  return std::move(index_);
 }
 
 std::vector<std::vector<Neighbor>> Index::TopK(const la::Matrix& queries,

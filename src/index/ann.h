@@ -131,12 +131,48 @@ class Index {
                            const IndexOptions& options = IndexOptionsFromEnv());
 
  private:
+  friend class IndexBuilder;
+
   IndexOptions options_;
   bool use_lsh_ = false;
   la::Matrix base_;    // row-normalized copy of the build input
   la::Matrix planes_;  // bits x dim gaussian hyperplanes (LSH tier only)
   std::vector<uint64_t> codes_;  // rows() * words_ packed sign sketches
   size_t words_ = 0;             // uint64 words per sketch (= bits / 64)
+};
+
+// Incremental index construction for out-of-core bases: rows arrive in
+// order (e.g. one encoded corpus shard at a time) and are normalized and
+// sketched as they land, so peak memory is the finished index plus the
+// caller's current block — never a second full copy of the base next to
+// the raw encodings. Normalization is per-row and the sketch projections
+// are per-row GemmBt products (batch-invariant by the kernel contract),
+// so Finish() is bit-identical to Index::Build on the concatenated rows
+// at any block size; Build itself delegates here. The total row count
+// must be known up front (it decides the LSH cutover and sizes the
+// base/code storage exactly once).
+class IndexBuilder {
+ public:
+  IndexBuilder(size_t dim, size_t total_rows,
+               const IndexOptions& options = IndexOptionsFromEnv());
+
+  // Appends `count` raw rows of dim() floats each (row-major,
+  // unnormalized). Rows must arrive in base-id order.
+  void Add(const float* rows, size_t count);
+  void Add(const la::Matrix& rows);
+
+  size_t added() const { return added_; }
+
+  // Requires exactly total_rows rows added. The builder is spent after.
+  Index Finish();
+
+ private:
+  void Sketch(size_t begin, size_t end);
+
+  Index index_;
+  size_t total_rows_ = 0;
+  size_t added_ = 0;
+  bool finished_ = false;
 };
 
 }  // namespace stm::ann

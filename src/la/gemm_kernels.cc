@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -108,6 +109,29 @@ std::vector<GemmKernelTier> CompiledGemmKernelTiers() {
   return out;
 }
 
+const GemmKernelFns& FreezeKernelsForWidth(size_t n) {
+  // Both reads are once per process, like the main dispatch, so every
+  // freeze of the same width picks the same tier.
+  static const bool hint_enabled = [] {
+    static const std::vector<std::string_view> kTokens = {
+        "generic", "avx2", "avx512", "vnni", "auto"};
+    return ParseEnumEnv("STM_ISA", kTokens, 4) == 4;  // auto only
+  }();
+  static const size_t narrow_below = ParseSizeEnv(
+      "STM_GEMM_NARROW_N", 64, 0, std::numeric_limits<size_t>::max());
+  const GemmKernelFns& active = ActiveGemmKernels();
+  if (!hint_enabled || n == 0 || n >= narrow_below) return active;
+  const GemmKernelFns* best = &active;
+  for (const GemmKernelTier& tier : CompiledGemmKernelTiers()) {
+    if (!tier.supported) continue;
+    // Same FP-contraction regime only: the hint must never change bits,
+    // just the zero padding of the packed panels.
+    if (std::string_view(tier.fns->fp_regime) != active.fp_regime) continue;
+    if (RoundUp(n, tier.fns->nr) < RoundUp(n, best->nr)) best = tier.fns;
+  }
+  return *best;
+}
+
 }  // namespace detail
 
 const char* GemmKernelIsa() { return detail::ActiveGemmKernels().name; }
@@ -166,11 +190,12 @@ void PackedGemmAcc(const float* a, size_t a_rs, size_t a_cs, const float* b,
 
 PackedBF32 PackFp32B(const float* b, size_t rs, size_t cs, size_t k,
                      size_t n) {
-  const detail::GemmKernelFns& fns = detail::ActiveGemmKernels();
+  const detail::GemmKernelFns& fns = detail::FreezeKernelsForWidth(n);
   PackedBF32 out;
   out.k = k;
   out.n = n;
   out.panel_nr = fns.nr;
+  out.tier = &fns;
   const size_t npanels = detail::CeilDiv(n, fns.nr);
   out.panels.resize(npanels * k * fns.nr);
   // Serial: runs once per weight matrix (at freeze time), never in a hot
@@ -182,14 +207,15 @@ PackedBF32 PackFp32B(const float* b, size_t rs, size_t cs, size_t k,
 void PrepackedGemmAcc(const float* a, size_t m, const PackedBF32& b,
                       float* c) {
   if (m == 0 || b.k == 0 || b.n == 0) return;
-  const detail::GemmKernelFns& fns = detail::ActiveGemmKernels();
-  // The dispatch is one-time per process and PackFp32B packs for the
-  // active tier, so a panel-width mismatch here is a caller bug (e.g. a
+  const detail::GemmKernelFns& fns =
+      b.tier != nullptr ? *b.tier : detail::ActiveGemmKernels();
+  // The dispatch is one-time per process and PackFp32B records the tier
+  // it packed for, so a panel-width mismatch here is a caller bug (e.g. a
   // PackedBF32 deserialized from another build — the type is deliberately
   // not serializable for this reason).
   if (b.panel_nr != fns.nr) {
     std::fprintf(stderr,
-                 "PrepackedGemmAcc: operand packed for nr=%zu but active "
+                 "PrepackedGemmAcc: operand packed for nr=%zu but its "
                  "tier uses nr=%zu\n",
                  b.panel_nr, fns.nr);
     std::abort();

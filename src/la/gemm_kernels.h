@@ -7,6 +7,10 @@
 
 namespace stm::la {
 
+namespace detail {
+struct GemmKernelFns;
+}
+
 // Cache-blocked, register-tiled GEMM kernel library.
 //
 // Layout (see DESIGN.md, "Kernel library"):
@@ -87,10 +91,17 @@ struct PackedBF32 {
   size_t k = 0;         // rows of B (the contraction extent)
   size_t n = 0;         // columns of B
   size_t panel_nr = 0;  // panel width the panels were packed for
+  // Kernel build the panels were packed for (width-aware freeze tier, see
+  // FreezeKernelsForWidth); null means the active tier. Never serialized.
+  const detail::GemmKernelFns* tier = nullptr;
   std::vector<float> panels;
 };
 
-// Packs the strided operand B[p][j] = b[p*rs + j*cs] for the active tier.
+// Packs the strided operand B[p][j] = b[p*rs + j*cs]. The tier is chosen
+// per operand width (FreezeKernelsForWidth): normally the active tier,
+// but a narrow B on an AVX-512 machine packs for the AVX2 kernels whose
+// 8-column panels pad it less — same FP-contraction regime, so the GEMM
+// bits are unchanged.
 PackedBF32 PackFp32B(const float* b, size_t rs, size_t cs, size_t k,
                      size_t n);
 
@@ -177,6 +188,17 @@ struct GemmKernelFns {
 };
 
 const GemmKernelFns& ActiveGemmKernels();
+
+// Tier used to pack a long-lived B operand of width `n` (ROADMAP item 4:
+// width-aware freeze). Normally the active tier; when STM_ISA is auto
+// and n is narrow (below STM_GEMM_NARROW_N, default 64), the widest
+// supported same-FP-regime tier whose panel width rounds n up the least
+// is chosen instead — on an AVX-512 machine a dim-40 model packs 8-column
+// AVX2 panels (40 -> 40) instead of 16-column ones (40 -> 48, 20% padded
+// multiply work). An explicit STM_ISA pin disables the hint entirely.
+// Same FP regime means identical fp32 bits, and the int8 path is exact in
+// every tier, so the choice never changes output, only throughput.
+const GemmKernelFns& FreezeKernelsForWidth(size_t n);
 
 // One compiled-in kernel tier, plus whether this machine's cpuid allows
 // running it. Test hook: the per-tier shape sweeps drive every compiled

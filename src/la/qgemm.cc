@@ -57,7 +57,7 @@ std::vector<int8_t> BuildPanels(const std::vector<int8_t>& rowmajor,
   return panels;
 }
 
-// Rebuilds colsums and the active tier's panel layout from the row-major
+// Rebuilds colsums and the freeze tier's panel layout from the row-major
 // quantized values.
 void FinishPack(Int8PackedB* b) {
   const size_t k = b->k;
@@ -69,7 +69,8 @@ void FinishPack(Int8PackedB* b) {
       b->colsums[j] += static_cast<int32_t>(row[j]);
     }
   }
-  b->panel_nr = detail::ActiveGemmKernels().nr;
+  b->tier = &detail::FreezeKernelsForWidth(n);
+  b->panel_nr = b->tier->nr;
   b->panels = BuildPanels(b->rowmajor, k, n, b->panel_nr);
 }
 
@@ -142,7 +143,10 @@ void Int8GemmAcc(const float* a, size_t m, const Int8PackedB& b, float* c) {
   const size_t k = b.k;
   const size_t n = b.n;
   if (m == 0 || n == 0 || k == 0) return;
-  const detail::GemmKernelFns& fns = detail::ActiveGemmKernels();
+  // Run the tier the operand was packed for (identical int8 bits in every
+  // tier, so this only affects throughput).
+  const detail::GemmKernelFns& fns =
+      b.tier != nullptr ? *b.tier : detail::ActiveGemmKernels();
   // Per-row quantization over the whole A matrix, before any row-chunk
   // split: the scales (and therefore every quantized byte) depend only on
   // the tensor, never on the thread count. The byte buffer is carved out

@@ -7,6 +7,10 @@
 
 namespace stm::la {
 
+namespace detail {
+struct GemmKernelFns;
+}
+
 // Int8 quantized GEMM for frozen-weight inference (see DESIGN.md,
 // "Quantized inference").
 //
@@ -67,13 +71,16 @@ struct Int8PackedB {
   // Per-column sums of the quantized values [n] (the +64 offset
   // correction term); recomputed from `rowmajor`, never stored on disk.
   std::vector<int32_t> colsums;
-  // Micro-kernel layout, packed for the ACTIVE tier's panel width
-  // (panel_nr = ActiveGemmKernels().nr): panel_nr-column panels, k in
-  // groups of kInt8KGroup. Panel jp, group g is a panel_nr*4-byte chunk
-  // whose byte (jj * 4 + t) holds bq[g*4 + t][jp*panel_nr + jj] (zero
-  // past the k/n edges). Only `rowmajor` + `scales` are the portable
-  // view; panels are rebuilt per process.
+  // Micro-kernel layout, packed for the freeze tier's panel width
+  // (panel_nr = FreezeKernelsForWidth(n).nr — the active tier unless the
+  // width-aware hint picks a narrower one; int8 output is bit-identical
+  // in every tier): panel_nr-column panels, k in groups of kInt8KGroup.
+  // Panel jp, group g is a panel_nr*4-byte chunk whose byte (jj * 4 + t)
+  // holds bq[g*4 + t][jp*panel_nr + jj] (zero past the k/n edges). Only
+  // `rowmajor` + `scales` are the portable view; panels (and the tier
+  // pointer) are rebuilt per process.
   size_t panel_nr = 0;
+  const detail::GemmKernelFns* tier = nullptr;
   std::vector<int8_t> panels;
 };
 

@@ -1262,4 +1262,28 @@ std::unique_ptr<MiniLm> MiniLm::LoadOrPretrain(
       .value();
 }
 
+StatusOr<la::Matrix> PoolCorpus(MiniLm& model,
+                                const text::CorpusReader& corpus,
+                                bool skip_empty) {
+  la::Matrix reps(corpus.num_docs(), model.config().dim);  // zero-filled
+  std::vector<size_t> doc_index;
+  std::vector<std::vector<int32_t>> to_pool;
+  for (size_t s = 0; s < corpus.num_shards(); ++s) {
+    doc_index.clear();
+    to_pool.clear();
+    STM_RETURN_IF_ERROR(
+        corpus.VisitShard(s, [&](size_t doc, const text::DocView& view) {
+          if (skip_empty && view.num_tokens == 0) return;
+          doc_index.push_back(doc);
+          to_pool.emplace_back(view.tokens, view.tokens + view.num_tokens);
+        }));
+    if (to_pool.empty()) continue;
+    const la::Matrix pooled = model.PoolBatch(to_pool);
+    for (size_t i = 0; i < doc_index.size(); ++i) {
+      reps.SetRow(doc_index[i], pooled.RowVec(i));
+    }
+  }
+  return reps;
+}
+
 }  // namespace stm::plm

@@ -13,6 +13,7 @@
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 #include "nn/tensor.h"
+#include "text/corpus.h"
 
 namespace stm::plm {
 
@@ -305,6 +306,19 @@ class MiniLm {
   mutable uint64_t frozen_generation_ = 0;
   std::shared_ptr<EncodeCache> encode_cache_;
 };
+
+// Shard-at-a-time corpus pooling: row d = Pool(tokens of document d),
+// for any CorpusReader (in-RAM or on-disk sharded). Each shard's
+// documents go through one PoolBatch call, so the resident working set
+// is one shard of token lists plus the output matrix; the installed
+// EncodeCache (if any) carries duplicate documents across shards.
+// PoolBatch is bit-identical to per-document pooling under any batching,
+// so the result matches pooling the whole corpus in one call at any
+// shard size. With `skip_empty`, empty documents keep their zero row
+// without being encoded (X-Class's convention).
+StatusOr<la::Matrix> PoolCorpus(MiniLm& model,
+                                const text::CorpusReader& corpus,
+                                bool skip_empty = false);
 
 }  // namespace stm::plm
 

@@ -12,6 +12,35 @@ int Document::Label() const {
   return labels[0];
 }
 
+Status CorpusReader::VisitAll(
+    const std::function<void(size_t doc, const DocView&)>& fn) const {
+  for (size_t shard = 0; shard < num_shards(); ++shard) {
+    STM_RETURN_IF_ERROR(VisitShard(shard, fn));
+  }
+  return Status::Ok();
+}
+
+std::pair<size_t, size_t> Corpus::ShardDocRange(size_t shard) const {
+  STM_CHECK_EQ(shard, 0u);
+  return {0, docs_.size()};
+}
+
+Status Corpus::VisitShard(
+    size_t shard,
+    const std::function<void(size_t doc, const DocView&)>& fn) const {
+  STM_CHECK_EQ(shard, 0u);
+  for (size_t d = 0; d < docs_.size(); ++d) {
+    const Document& doc = docs_[d];
+    DocView view;
+    view.tokens = doc.tokens.data();
+    view.num_tokens = doc.tokens.size();
+    view.labels = doc.labels.data();
+    view.num_labels = doc.labels.size();
+    fn(d, view);
+  }
+  return Status::Ok();
+}
+
 std::vector<int32_t> Corpus::DocumentFrequencies() const {
   std::vector<int32_t> df(vocab_.size(), 0);
   std::unordered_set<int32_t> seen;

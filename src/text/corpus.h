@@ -1,11 +1,15 @@
 #ifndef STM_TEXT_CORPUS_H_
 #define STM_TEXT_CORPUS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "text/vocabulary.h"
 
 namespace stm::text {
@@ -33,31 +37,93 @@ struct Document {
   int Label() const;
 };
 
+// Zero-copy view of one document's token ids and gold labels. The spans
+// point into storage owned by the reader (an in-RAM Document or a mapped
+// shard payload) and stay valid until the enclosing VisitShard call
+// returns.
+struct DocView {
+  const int32_t* tokens = nullptr;
+  size_t num_tokens = 0;
+  const int32_t* labels = nullptr;
+  size_t num_labels = 0;
+};
+
+// Read-side corpus abstraction shared by the in-RAM `Corpus` and the
+// on-disk `ShardedCorpus` (text/corpus_store.h). Consumers that stream —
+// TF-IDF, SGNS, the encode loop, ANN build — accept a CorpusReader and
+// pull one shard at a time; an in-RAM corpus is simply a store with a
+// single shard. Documents have stable global indices [0, num_docs) laid
+// out contiguously across shards in shard order, so streaming passes
+// visit exactly the same documents in exactly the same order as in-RAM
+// passes — the root of the bit-identity guarantee.
+class CorpusReader {
+ public:
+  virtual ~CorpusReader() = default;
+
+  virtual size_t num_docs() const = 0;
+  virtual const Vocabulary& vocab() const = 0;
+  virtual const std::vector<std::string>& label_names() const = 0;
+
+  virtual size_t num_shards() const = 0;
+
+  // Global doc-index range [begin, end) held by `shard`.
+  virtual std::pair<size_t, size_t> ShardDocRange(size_t shard) const = 0;
+
+  // Visits every document of `shard` in ascending global index order.
+  // The DocView spans stay valid only until VisitShard returns (the
+  // shard's backing storage is pinned for the call, then dropped), so a
+  // callback must consume or copy what it needs before returning control.
+  virtual Status VisitShard(
+      size_t shard,
+      const std::function<void(size_t doc, const DocView&)>& fn) const = 0;
+
+  // Document frequency of every token id (number of docs containing it).
+  // Integer counts, so any sharding sums to identical values.
+  virtual std::vector<int32_t> DocumentFrequencies() const = 0;
+
+  // Corpus-wide token occurrence counts. Integer counts, as above.
+  virtual std::vector<int64_t> TokenCounts() const = 0;
+
+  // Visits every shard in order; stops at the first failing shard.
+  Status VisitAll(
+      const std::function<void(size_t doc, const DocView&)>& fn) const;
+};
+
 // A corpus: shared vocabulary, label space and documents. Weakly-supervised
 // methods receive the corpus *without* labels (labels stay only for
 // evaluation) plus seed information (class names / keywords / a few
 // labeled ids) held separately in `WeakSupervision`.
-class Corpus {
+class Corpus : public CorpusReader {
  public:
   Corpus() = default;
 
   Vocabulary& vocab() { return vocab_; }
-  const Vocabulary& vocab() const { return vocab_; }
+  const Vocabulary& vocab() const override { return vocab_; }
 
   std::vector<Document>& docs() { return docs_; }
   const std::vector<Document>& docs() const { return docs_; }
 
   std::vector<std::string>& label_names() { return label_names_; }
-  const std::vector<std::string>& label_names() const { return label_names_; }
+  const std::vector<std::string>& label_names() const override {
+    return label_names_;
+  }
 
-  size_t num_docs() const { return docs_.size(); }
+  size_t num_docs() const override { return docs_.size(); }
   size_t num_labels() const { return label_names_.size(); }
 
+  // CorpusReader: an in-RAM corpus is one resident shard.
+  size_t num_shards() const override { return 1; }
+  std::pair<size_t, size_t> ShardDocRange(size_t shard) const override;
+  Status VisitShard(
+      size_t shard,
+      const std::function<void(size_t doc, const DocView&)>& fn)
+      const override;
+
   // Document frequency of every token id (number of docs containing it).
-  std::vector<int32_t> DocumentFrequencies() const;
+  std::vector<int32_t> DocumentFrequencies() const override;
 
   // Corpus-wide token occurrence counts.
-  std::vector<int64_t> TokenCounts() const;
+  std::vector<int64_t> TokenCounts() const override;
 
   // Gold single-label vector over all docs (requires single-label corpus).
   std::vector<int> GoldLabels() const;

@@ -1,7 +1,9 @@
 #include "text/corpus_io.h"
 
 #include <map>
+#include <memory>
 #include <string_view>
+#include <utility>
 
 #include "common/string_util.h"
 #include "text/tokenizer.h"
@@ -96,11 +98,27 @@ bool ParseLine(const std::string& trimmed, PendingDocument* pending) {
 
 Status LoadTsv(Env* env, const std::string& path, Corpus* corpus,
                TsvReadReport* report) {
-  STM_ASSIGN_OR_RETURN(std::string data, env->ReadFile(path));
+  // Streamed line-at-a-time through Env::OpenSequential: resident memory
+  // is one read chunk plus any partial trailing line, never the whole
+  // file. Commit-on-success is preserved at two levels: a line only
+  // touches the corpus after it fully validates (as before), and a read
+  // fault mid-stream rolls the corpus back to its pre-call state (docs,
+  // label names, vocabulary entries and counts) before the error is
+  // returned — a failed load never leaves a partially ingested corpus.
+  STM_ASSIGN_OR_RETURN(std::unique_ptr<SequentialFile> file,
+                       env->OpenSequential(path));
   TsvReadReport local_report;
   TsvReadReport* out = report != nullptr ? report : &local_report;
   out->skipped = 0;
   out->skipped_lines.clear();
+
+  const size_t docs_before = corpus->docs().size();
+  const size_t labels_before = corpus->label_names().size();
+  const size_t vocab_before = corpus->vocab().size();
+  std::vector<int64_t> counts_before(vocab_before);
+  for (size_t i = 0; i < vocab_before; ++i) {
+    counts_before[i] = corpus->vocab().CountOf(static_cast<int32_t>(i));
+  }
 
   std::map<std::string, int> label_ids;
   for (size_t i = 0; i < corpus->label_names().size(); ++i) {
@@ -108,19 +126,10 @@ Status LoadTsv(Env* env, const std::string& path, Corpus* corpus,
   }
 
   size_t line_number = 0;
-  size_t begin = 0;
-  while (begin <= data.size()) {
-    size_t end = data.find('\n', begin);
-    if (end == std::string::npos) {
-      if (begin == data.size()) break;
-      end = data.size();
-    }
-    const std::string line = data.substr(begin, end - begin);
-    begin = end + 1;
+  const auto process_line = [&](const std::string& line) {
     ++line_number;
-
     const std::string trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed.empty() || trimmed[0] == '#') return;
 
     // Parse into locals first; the corpus (label set and vocabulary) is
     // only touched after the whole line validates, so a rejected line
@@ -129,7 +138,7 @@ Status LoadTsv(Env* env, const std::string& path, Corpus* corpus,
     if (!ParseLine(trimmed, &pending)) {
       ++out->skipped;
       out->skipped_lines.push_back(line_number);
-      continue;
+      return;
     }
 
     Document doc;
@@ -145,7 +154,43 @@ Status LoadTsv(Env* env, const std::string& path, Corpus* corpus,
     }
     doc.metadata = std::move(pending.metadata);
     corpus->docs().push_back(std::move(doc));
+  };
+
+  std::string carry;
+  std::vector<char> chunk(64 << 10);
+  Status read_status = Status::Ok();
+  while (true) {
+    StatusOr<size_t> n = file->Read(chunk.data(), chunk.size());
+    if (!n.ok()) {
+      read_status = n.status();
+      break;
+    }
+    if (*n == 0) break;  // EOF
+    carry.append(chunk.data(), *n);
+    size_t start = 0;
+    size_t nl;
+    while ((nl = carry.find('\n', start)) != std::string::npos) {
+      process_line(carry.substr(start, nl - start));
+      start = nl + 1;
+    }
+    carry.erase(0, start);
   }
+  if (!read_status.ok()) {
+    // Roll back everything this call added or counted.
+    corpus->docs().resize(docs_before);
+    corpus->label_names().resize(labels_before);
+    corpus->vocab().TruncateTo(vocab_before);
+    for (size_t i = 0; i < vocab_before; ++i) {
+      const int32_t id = static_cast<int32_t>(i);
+      const int64_t delta = counts_before[i] - corpus->vocab().CountOf(id);
+      if (delta != 0) corpus->vocab().AddCount(id, delta);
+    }
+    out->skipped = 0;
+    out->skipped_lines.clear();
+    return read_status.WithContext(
+        StrFormat("streaming corpus %s", path.c_str()));
+  }
+  if (!carry.empty()) process_line(carry);  // final line without newline
   return Status::Ok();
 }
 

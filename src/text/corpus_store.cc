@@ -1,0 +1,698 @@
+#include "text/corpus_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/env_parse.h"
+#include "common/hash.h"
+#include "common/serialize.h"
+#include "common/string_util.h"
+
+namespace stm::text {
+
+namespace {
+
+constexpr char kManifestFile[] = "manifest.stmc";
+constexpr char kDictFile[] = "dict.stmc";
+constexpr char kShardPrefix[] = "shard-";
+constexpr char kShardSuffix[] = ".stmc";
+constexpr char kCountsSuffix[] = ".counts.stmc";
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+std::string ShardFileName(size_t index) {
+  return StrFormat("%s%06zu%s", kShardPrefix, index, kShardSuffix);
+}
+
+// "shard-000123.stmc" -> "shard-000123.counts.stmc"
+std::string SidecarNameFor(const std::string& shard_file) {
+  return shard_file.substr(0, shard_file.size() - std::strlen(kShardSuffix)) +
+         kCountsSuffix;
+}
+
+bool IsShardFileName(const std::string& name) {
+  if (name.size() <= std::strlen(kShardPrefix) + std::strlen(kShardSuffix)) {
+    return false;
+  }
+  if (name.compare(0, std::strlen(kShardPrefix), kShardPrefix) != 0) {
+    return false;
+  }
+  if (name.size() >= std::strlen(kCountsSuffix) &&
+      name.compare(name.size() - std::strlen(kCountsSuffix),
+                   std::strlen(kCountsSuffix), kCountsSuffix) == 0) {
+    return false;
+  }
+  return name.compare(name.size() - std::strlen(kShardSuffix),
+                      std::strlen(kShardSuffix), kShardSuffix) == 0;
+}
+
+// Zero-copy decode of a shard payload. Pointers alias `payload`; the u64
+// offset arrays land 8-aligned and the i32 arrays 4-aligned because every
+// field before them is 8 bytes wide and both backing stores (a page-
+// aligned mapping, a malloc'd heap copy) are at least 8-aligned.
+struct ParsedShard {
+  uint64_t doc_count = 0;
+  uint64_t first_doc = 0;
+  const uint64_t* doc_offsets = nullptr;    // doc_count + 1 entries
+  const uint64_t* label_offsets = nullptr;  // doc_count + 1 entries
+  const int32_t* tokens = nullptr;
+  uint64_t token_count = 0;
+  const int32_t* labels = nullptr;
+  uint64_t label_count = 0;
+};
+
+Status ParseShardPayload(std::string_view payload, const std::string& path,
+                         ParsedShard* out) {
+  const auto corrupt = [&path](const char* what) {
+    return CorruptDataError(StrFormat("%s: %s", path.c_str(), what));
+  };
+  size_t pos = 0;
+  const auto read_u64 = [&](uint64_t* value) {
+    if (payload.size() - pos < sizeof(uint64_t)) return false;
+    std::memcpy(value, payload.data() + pos, sizeof(uint64_t));
+    pos += sizeof(uint64_t);
+    return true;
+  };
+  // Length-prefixed array whose elements are `elem` bytes wide; returns the
+  // element count and leaves `pos` at the array start.
+  const auto read_array = [&](size_t elem, uint64_t* count,
+                              const char** base) {
+    if (!read_u64(count)) return false;
+    if (*count > (payload.size() - pos) / elem) return false;
+    *base = payload.data() + pos;
+    pos += static_cast<size_t>(*count) * elem;
+    return true;
+  };
+
+  if (!read_u64(&out->doc_count)) return corrupt("truncated shard header");
+  if (!read_u64(&out->first_doc)) return corrupt("truncated shard header");
+
+  uint64_t offset_count = 0;
+  const char* base = nullptr;
+  if (!read_array(sizeof(uint64_t), &offset_count, &base) ||
+      offset_count != out->doc_count + 1) {
+    return corrupt("bad doc offset table");
+  }
+  out->doc_offsets = reinterpret_cast<const uint64_t*>(base);
+  if (!read_array(sizeof(uint64_t), &offset_count, &base) ||
+      offset_count != out->doc_count + 1) {
+    return corrupt("bad label offset table");
+  }
+  out->label_offsets = reinterpret_cast<const uint64_t*>(base);
+  if (!read_array(sizeof(int32_t), &out->token_count, &base)) {
+    return corrupt("bad token array");
+  }
+  out->tokens = reinterpret_cast<const int32_t*>(base);
+  if (!read_array(sizeof(int32_t), &out->label_count, &base)) {
+    return corrupt("bad label array");
+  }
+  out->labels = reinterpret_cast<const int32_t*>(base);
+  if (pos != payload.size()) return corrupt("trailing bytes in shard");
+
+  // Offset tables must be monotone and land exactly on the array ends.
+  if (out->doc_offsets[0] != 0 || out->label_offsets[0] != 0 ||
+      out->doc_offsets[out->doc_count] != out->token_count ||
+      out->label_offsets[out->doc_count] != out->label_count) {
+    return corrupt("offset table does not span arrays");
+  }
+  for (uint64_t d = 0; d < out->doc_count; ++d) {
+    if (out->doc_offsets[d] > out->doc_offsets[d + 1] ||
+        out->label_offsets[d] > out->label_offsets[d + 1]) {
+      return corrupt("non-monotone offset table");
+    }
+  }
+  return Status::Ok();
+}
+
+// Serializes a sidecar (per-shard document frequencies + occurrence
+// counts) into `writer`.
+void SerializeSidecar(const std::vector<int32_t>& df,
+                      const std::vector<int64_t>& counts,
+                      BinaryWriter* writer) {
+  STM_CHECK_EQ(df.size(), counts.size());
+  writer->WriteU64(df.size());
+  writer->WriteI32s(df);
+  std::vector<uint64_t> raw(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    raw[i] = static_cast<uint64_t>(counts[i]);
+  }
+  writer->WriteU64s(raw);
+}
+
+Status ReadSidecar(Env* env, const std::string& path,
+                   std::vector<int32_t>* df, std::vector<int64_t>* counts) {
+  STM_ASSIGN_OR_RETURN(
+      BinaryReader reader,
+      BinaryReader::OpenArtifact(env, path, kCorpusCountsMagic));
+  uint64_t size = 0;
+  STM_RETURN_IF_ERROR(reader.Read(&size));
+  STM_RETURN_IF_ERROR(reader.Read(df));
+  std::vector<uint64_t> raw;
+  STM_RETURN_IF_ERROR(reader.Read(&raw));
+  if (df->size() != size || raw.size() != size) {
+    return CorruptDataError(
+        StrFormat("%s: sidecar array sizes disagree", path.c_str()));
+  }
+  counts->resize(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    (*counts)[i] = static_cast<int64_t>(raw[i]);
+  }
+  return reader.Finish().WithContext(
+      StrFormat("reading sidecar %s", path.c_str()));
+}
+
+// Recomputes a shard's sidecar straight from its documents.
+void ComputeSidecar(const ParsedShard& shard, size_t vocab_size,
+                    std::vector<int32_t>* df, std::vector<int64_t>* counts) {
+  df->assign(vocab_size, 0);
+  counts->assign(vocab_size, 0);
+  std::vector<uint64_t> seen(vocab_size, 0);
+  for (uint64_t d = 0; d < shard.doc_count; ++d) {
+    const uint64_t stamp = d + 1;
+    for (uint64_t t = shard.doc_offsets[d]; t < shard.doc_offsets[d + 1];
+         ++t) {
+      const int32_t id = shard.tokens[t];
+      if (id < 0 || static_cast<size_t>(id) >= vocab_size) continue;
+      (*counts)[static_cast<size_t>(id)]++;
+      if (seen[static_cast<size_t>(id)] != stamp) {
+        seen[static_cast<size_t>(id)] = stamp;
+        (*df)[static_cast<size_t>(id)]++;
+      }
+    }
+  }
+}
+
+struct ManifestShardEntry {
+  std::string file;
+  uint64_t doc_count = 0;
+  uint64_t first_doc = 0;
+  uint32_t payload_crc = 0;
+};
+
+Status WriteManifest(Env* env, const std::string& dir, uint64_t total_docs,
+                     uint64_t vocab_size,
+                     const std::vector<ManifestShardEntry>& shards) {
+  BinaryWriter writer;
+  writer.WriteU64(total_docs);
+  writer.WriteU64(vocab_size);
+  writer.WriteU64(shards.size());
+  for (const ManifestShardEntry& shard : shards) {
+    writer.WriteString(shard.file);
+    writer.WriteU64(shard.doc_count);
+    writer.WriteU64(shard.first_doc);
+    writer.WriteU32(shard.payload_crc);
+  }
+  return writer.FlushToEnv(env, JoinPath(dir, kManifestFile),
+                           kCorpusManifestMagic);
+}
+
+Status ReadManifest(Env* env, const std::string& dir, uint64_t* total_docs,
+                    uint64_t* vocab_size,
+                    std::vector<ManifestShardEntry>* shards) {
+  STM_ASSIGN_OR_RETURN(
+      BinaryReader reader,
+      BinaryReader::OpenArtifact(env, JoinPath(dir, kManifestFile),
+                                 kCorpusManifestMagic));
+  uint64_t shard_count = 0;
+  STM_RETURN_IF_ERROR(reader.Read(total_docs));
+  STM_RETURN_IF_ERROR(reader.Read(vocab_size));
+  STM_RETURN_IF_ERROR(reader.Read(&shard_count));
+  shards->clear();
+  uint64_t next_doc = 0;
+  for (uint64_t i = 0; i < shard_count; ++i) {
+    ManifestShardEntry entry;
+    STM_RETURN_IF_ERROR(reader.Read(&entry.file));
+    STM_RETURN_IF_ERROR(reader.Read(&entry.doc_count));
+    STM_RETURN_IF_ERROR(reader.Read(&entry.first_doc));
+    STM_RETURN_IF_ERROR(reader.Read(&entry.payload_crc));
+    if (entry.first_doc != next_doc || !IsShardFileName(entry.file)) {
+      return CorruptDataError(
+          StrFormat("%s: inconsistent manifest entry %llu",
+                    JoinPath(dir, kManifestFile).c_str(),
+                    static_cast<unsigned long long>(i)));
+    }
+    next_doc += entry.doc_count;
+    shards->push_back(std::move(entry));
+  }
+  if (next_doc != *total_docs) {
+    return CorruptDataError(
+        StrFormat("%s: manifest doc totals disagree",
+                  JoinPath(dir, kManifestFile).c_str()));
+  }
+  return reader.Finish().WithContext(
+      StrFormat("reading manifest %s", JoinPath(dir, kManifestFile).c_str()));
+}
+
+Status WriteDict(Env* env, const std::string& dir, const Vocabulary& vocab,
+                 const std::vector<std::string>& label_names) {
+  BinaryWriter writer;
+  writer.WriteU64(vocab.size());
+  for (size_t id = 0; id < vocab.size(); ++id) {
+    writer.WriteString(vocab.TokenOf(static_cast<int32_t>(id)));
+    writer.WriteU64(
+        static_cast<uint64_t>(vocab.CountOf(static_cast<int32_t>(id))));
+  }
+  writer.WriteU64(label_names.size());
+  for (const std::string& name : label_names) writer.WriteString(name);
+  return writer.FlushToEnv(env, JoinPath(dir, kDictFile), kCorpusDictMagic);
+}
+
+Status ReadDict(Env* env, const std::string& dir, Vocabulary* vocab,
+                std::vector<std::string>* label_names) {
+  const std::string path = JoinPath(dir, kDictFile);
+  STM_ASSIGN_OR_RETURN(
+      BinaryReader reader,
+      BinaryReader::OpenArtifact(env, path, kCorpusDictMagic));
+  uint64_t vocab_size = 0;
+  STM_RETURN_IF_ERROR(reader.Read(&vocab_size));
+  *vocab = Vocabulary();
+  if (vocab_size < static_cast<uint64_t>(kNumSpecialTokens)) {
+    return CorruptDataError(
+        StrFormat("%s: vocabulary smaller than the specials", path.c_str()));
+  }
+  for (uint64_t id = 0; id < vocab_size; ++id) {
+    std::string token;
+    uint64_t count = 0;
+    STM_RETURN_IF_ERROR(reader.Read(&token));
+    STM_RETURN_IF_ERROR(reader.Read(&count));
+    if (id < static_cast<uint64_t>(kNumSpecialTokens)) {
+      // The specials are implied by the Vocabulary constructor; the store
+      // still records them so a mismatch is detected rather than remapped.
+      if (token != vocab->TokenOf(static_cast<int32_t>(id))) {
+        return CorruptDataError(
+            StrFormat("%s: special token mismatch at id %llu", path.c_str(),
+                      static_cast<unsigned long long>(id)));
+      }
+      vocab->AddCount(static_cast<int32_t>(id),
+                      static_cast<int64_t>(count));
+      continue;
+    }
+    const int32_t got =
+        vocab->AddToken(token, static_cast<int64_t>(count));
+    if (static_cast<uint64_t>(got) != id) {
+      return CorruptDataError(StrFormat(
+          "%s: duplicate or out-of-order token at id %llu", path.c_str(),
+          static_cast<unsigned long long>(id)));
+    }
+  }
+  uint64_t label_count = 0;
+  STM_RETURN_IF_ERROR(reader.Read(&label_count));
+  label_names->clear();
+  for (uint64_t i = 0; i < label_count; ++i) {
+    std::string name;
+    STM_RETURN_IF_ERROR(reader.Read(&name));
+    label_names->push_back(std::move(name));
+  }
+  return reader.Finish().WithContext(
+      StrFormat("reading dictionary %s", path.c_str()));
+}
+
+}  // namespace
+
+CorpusStoreOptions CorpusStoreOptionsFromEnv() {
+  CorpusStoreOptions options;
+  options.shard_docs =
+      ParseSizeEnv("STM_CORPUS_SHARD_DOCS", options.shard_docs, 1,
+                   size_t{1} << 40);
+  options.shard_bytes =
+      ParseSizeEnv("STM_CORPUS_SHARD_BYTES", options.shard_bytes, 1,
+                   size_t{1} << 40);
+  options.use_mmap = ParseBoolEnv("STM_CORPUS_MMAP", options.use_mmap);
+  return options;
+}
+
+CorpusShardWriter::CorpusShardWriter(Env* env, std::string dir,
+                                     const CorpusStoreOptions& options)
+    : env_(env), dir_(std::move(dir)), options_(options) {
+  STM_CHECK(env_ != nullptr);
+  STM_CHECK_GE(options_.shard_docs, 1u);
+  STM_CHECK_GE(options_.shard_bytes, 1u);
+}
+
+void CorpusShardWriter::CountDoc(const int32_t* tokens, size_t num_tokens) {
+  const uint64_t stamp = static_cast<uint64_t>(docs_added_) + 1;
+  for (size_t t = 0; t < num_tokens; ++t) {
+    const int32_t id = tokens[t];
+    if (id < 0) continue;
+    const size_t idx = static_cast<size_t>(id);
+    if (idx >= shard_counts_.size()) {
+      shard_counts_.resize(idx + 1, 0);
+      shard_df_.resize(idx + 1, 0);
+      df_seen_.resize(idx + 1, 0);
+    }
+    shard_counts_[idx]++;
+    if (df_seen_[idx] != stamp) {
+      df_seen_[idx] = stamp;
+      shard_df_[idx]++;
+    }
+  }
+}
+
+Status CorpusShardWriter::Add(const int32_t* tokens, size_t num_tokens,
+                              const int32_t* labels, size_t num_labels) {
+  STM_CHECK(!finished_) << "Add after Finish";
+  const size_t doc_bytes = (num_tokens + num_labels) * sizeof(int32_t);
+  const size_t cur_docs = doc_offsets_.size() - 1;
+  const size_t cur_bytes =
+      (tokens_.size() + labels_.size()) * sizeof(int32_t);
+  if (cur_docs > 0 && (cur_docs + 1 > options_.shard_docs ||
+                       cur_bytes + doc_bytes > options_.shard_bytes)) {
+    STM_RETURN_IF_ERROR(FlushShard());
+  }
+  tokens_.insert(tokens_.end(), tokens, tokens + num_tokens);
+  labels_.insert(labels_.end(), labels, labels + num_labels);
+  doc_offsets_.push_back(tokens_.size());
+  label_offsets_.push_back(labels_.size());
+  CountDoc(tokens, num_tokens);
+  ++docs_added_;
+  return Status::Ok();
+}
+
+Status CorpusShardWriter::Add(const Document& doc) {
+  return Add(doc.tokens.data(), doc.tokens.size(), doc.labels.data(),
+             doc.labels.size());
+}
+
+Status CorpusShardWriter::FlushShard() {
+  const size_t doc_count = doc_offsets_.size() - 1;
+  if (doc_count == 0) return Status::Ok();
+  if (shards_.empty()) {
+    // First flush may happen mid-Add, before Finish ever runs.
+    STM_RETURN_IF_ERROR(env_->CreateDir(dir_));
+  }
+  ShardMeta meta;
+  meta.file = ShardFileName(shards_.size());
+  meta.doc_count = doc_count;
+  meta.first_doc = docs_added_ - doc_count;
+
+  BinaryWriter writer;
+  writer.WriteU64(doc_count);
+  writer.WriteU64(meta.first_doc);
+  writer.WriteU64s(doc_offsets_);
+  writer.WriteU64s(label_offsets_);
+  writer.WriteI32s(tokens_);
+  writer.WriteI32s(labels_);
+  meta.payload_crc = Crc32c(writer.buffer());
+  STM_RETURN_IF_ERROR(writer.FlushToEnv(env_, JoinPath(dir_, meta.file),
+                                        kCorpusShardMagic));
+
+  BinaryWriter sidecar;
+  SerializeSidecar(shard_df_, shard_counts_, &sidecar);
+  STM_RETURN_IF_ERROR(sidecar.FlushToEnv(
+      env_, JoinPath(dir_, SidecarNameFor(meta.file)), kCorpusCountsMagic));
+
+  shards_.push_back(std::move(meta));
+  tokens_.clear();
+  labels_.clear();
+  doc_offsets_.assign(1, 0);
+  label_offsets_.assign(1, 0);
+  shard_df_.clear();
+  shard_counts_.clear();
+  df_seen_.clear();
+  return Status::Ok();
+}
+
+Status CorpusShardWriter::Finish(const Vocabulary& vocab,
+                                 const std::vector<std::string>& label_names) {
+  STM_CHECK(!finished_) << "Finish called twice";
+  STM_RETURN_IF_ERROR(env_->CreateDir(dir_));  // no-op if it exists
+  STM_RETURN_IF_ERROR(FlushShard());
+  finished_ = true;
+  STM_RETURN_IF_ERROR(WriteDict(env_, dir_, vocab, label_names));
+  std::vector<ManifestShardEntry> entries;
+  entries.reserve(shards_.size());
+  for (const ShardMeta& shard : shards_) {
+    entries.push_back(
+        {shard.file, shard.doc_count, shard.first_doc, shard.payload_crc});
+  }
+  return WriteManifest(env_, dir_, docs_added_, vocab.size(), entries);
+}
+
+Status WriteCorpusStore(Env* env, const Corpus& corpus, const std::string& dir,
+                        const CorpusStoreOptions& options) {
+  STM_RETURN_IF_ERROR(env->CreateDir(dir));
+  CorpusShardWriter writer(env, dir, options);
+  for (const Document& doc : corpus.docs()) {
+    STM_RETURN_IF_ERROR(writer.Add(doc));
+  }
+  return writer.Finish(corpus.vocab(), corpus.label_names());
+}
+
+StatusOr<std::unique_ptr<ShardedCorpus>> ShardedCorpus::Open(
+    Env* env, const std::string& dir, const CorpusStoreOptions& options) {
+  std::unique_ptr<ShardedCorpus> store(new ShardedCorpus());
+  store->env_ = env;
+  store->dir_ = dir;
+  store->options_ = options;
+
+  uint64_t total_docs = 0;
+  uint64_t vocab_size = 0;
+  std::vector<ManifestShardEntry> entries;
+  STM_RETURN_IF_ERROR(
+      ReadManifest(env, dir, &total_docs, &vocab_size, &entries));
+  STM_RETURN_IF_ERROR(
+      ReadDict(env, dir, &store->vocab_, &store->label_names_));
+  if (store->vocab_.size() != vocab_size) {
+    return CorruptDataError(StrFormat(
+        "%s: manifest and dictionary disagree on vocabulary size",
+        dir.c_str()));
+  }
+  store->total_docs_ = total_docs;
+  store->shards_.reserve(entries.size());
+  for (ManifestShardEntry& entry : entries) {
+    ShardInfo info;
+    info.file = std::move(entry.file);
+    info.doc_count = entry.doc_count;
+    info.first_doc = entry.first_doc;
+    info.payload_crc = entry.payload_crc;
+    store->shards_.push_back(std::move(info));
+  }
+
+  // Sum the per-shard sidecars once; integer counts, so the totals are
+  // exactly the in-RAM DocumentFrequencies()/TokenCounts().
+  store->df_.assign(store->vocab_.size(), 0);
+  store->counts_.assign(store->vocab_.size(), 0);
+  for (const ShardInfo& shard : store->shards_) {
+    std::vector<int32_t> df;
+    std::vector<int64_t> counts;
+    Status sidecar = ReadSidecar(
+        env, JoinPath(dir, SidecarNameFor(shard.file)), &df, &counts);
+    if (!sidecar.ok()) {
+      // A manifested-but-missing sidecar is damage, not absence: report
+      // it as corruption so OpenOrRepairCorpusStore rebuilds it.
+      if (sidecar.code() == StatusCode::kUnavailable) {
+        return CorruptDataError(StrFormat(
+            "%s: missing sidecar for %s", dir.c_str(), shard.file.c_str()));
+      }
+      return sidecar;
+    }
+    if (df.size() > store->df_.size()) {
+      return CorruptDataError(StrFormat(
+          "%s: sidecar for %s exceeds the dictionary", dir.c_str(),
+          shard.file.c_str()));
+    }
+    for (size_t i = 0; i < df.size(); ++i) {
+      store->df_[i] += df[i];
+      store->counts_[i] += counts[i];
+    }
+  }
+  return StatusOr<std::unique_ptr<ShardedCorpus>>(std::move(store));
+}
+
+std::pair<size_t, size_t> ShardedCorpus::ShardDocRange(size_t shard) const {
+  STM_CHECK_LT(shard, shards_.size());
+  const ShardInfo& info = shards_[shard];
+  return {info.first_doc, info.first_doc + info.doc_count};
+}
+
+Status ShardedCorpus::VisitShard(
+    size_t shard,
+    const std::function<void(size_t doc, const DocView&)>& fn) const {
+  STM_CHECK_LT(shard, shards_.size());
+  const ShardInfo& info = shards_[shard];
+  const std::string path = JoinPath(dir_, info.file);
+
+  // Pin the shard bytes for the duration of the visit: a real mapping
+  // when allowed and available, a heap copy otherwise.
+  std::unique_ptr<FileView> view;
+  std::string heap_bytes;
+  std::string_view file_bytes;
+  bool mapped = false;
+  if (options_.use_mmap) {
+    STM_ASSIGN_OR_RETURN(view, env_->MapFile(path));
+    file_bytes = view->view();
+    mapped = view->mapped();
+  } else {
+    STM_ASSIGN_OR_RETURN(heap_bytes, env_->ReadFile(path));
+    file_bytes = heap_bytes;
+  }
+  last_visit_mapped_.store(mapped, std::memory_order_relaxed);
+
+  STM_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      ValidateArtifactFrame(file_bytes, kCorpusShardMagic, path));
+  // The frame trailer already matched the payload; cross-check it against
+  // the manifest so a whole-file swap (stale or foreign shard) with a
+  // self-consistent CRC is still rejected.
+  uint32_t trailer_crc = 0;
+  std::memcpy(&trailer_crc, file_bytes.data() + file_bytes.size() -
+                                sizeof(uint32_t),
+              sizeof(uint32_t));
+  if (trailer_crc != info.payload_crc) {
+    return CorruptDataError(StrFormat(
+        "%s: shard does not match the manifest (CRC 0x%08x vs 0x%08x)",
+        path.c_str(), trailer_crc, info.payload_crc));
+  }
+
+  ParsedShard parsed;
+  STM_RETURN_IF_ERROR(ParseShardPayload(payload, path, &parsed));
+  if (parsed.doc_count != info.doc_count ||
+      parsed.first_doc != info.first_doc) {
+    return CorruptDataError(StrFormat(
+        "%s: shard header does not match the manifest", path.c_str()));
+  }
+
+  for (uint64_t d = 0; d < parsed.doc_count; ++d) {
+    DocView doc;
+    doc.tokens = parsed.tokens + parsed.doc_offsets[d];
+    doc.num_tokens =
+        static_cast<size_t>(parsed.doc_offsets[d + 1] - parsed.doc_offsets[d]);
+    doc.labels = parsed.labels + parsed.label_offsets[d];
+    doc.num_labels = static_cast<size_t>(parsed.label_offsets[d + 1] -
+                                         parsed.label_offsets[d]);
+    fn(static_cast<size_t>(parsed.first_doc + d), doc);
+  }
+  return Status::Ok();
+}
+
+StatusOr<CorpusRepairReport> RepairCorpusStore(Env* env,
+                                               const std::string& dir) {
+  CorpusRepairReport report;
+
+  // The dictionary is the one unrecoverable artifact: token ids are
+  // meaningless without it, so a broken dictionary fails the repair.
+  Vocabulary vocab;
+  std::vector<std::string> label_names;
+  STM_RETURN_IF_ERROR(
+      ReadDict(env, dir, &vocab, &label_names)
+          .WithContext(StrFormat("repairing corpus store %s", dir.c_str())));
+
+  STM_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+  std::vector<ManifestShardEntry> survivors;
+  uint64_t next_doc = 0;
+  for (const std::string& name : names) {  // ListDir sorts, so shard order
+    if (!IsShardFileName(name)) continue;
+    const std::string path = JoinPath(dir, name);
+
+    // Validate the shard end to end: frame, CRC, payload structure, token
+    // ids within the dictionary.
+    ParsedShard parsed;
+    std::string bytes;
+    Status valid = [&]() -> Status {
+      STM_ASSIGN_OR_RETURN(bytes, env->ReadFile(path));
+      STM_ASSIGN_OR_RETURN(
+          std::string_view payload,
+          ValidateArtifactFrame(bytes, kCorpusShardMagic, path));
+      STM_RETURN_IF_ERROR(ParseShardPayload(payload, path, &parsed));
+      for (uint64_t t = 0; t < parsed.token_count; ++t) {
+        if (parsed.tokens[t] < 0 ||
+            static_cast<size_t>(parsed.tokens[t]) >= vocab.size()) {
+          return CorruptDataError(
+              StrFormat("%s: token id out of range", path.c_str()));
+        }
+      }
+      return Status::Ok();
+    }();
+    if (!valid.ok()) {
+      // Quarantine rather than delete: the bytes stay around for forensics
+      // but stop matching the shard pattern.
+      (void)env->Rename(path, path + ".corrupt");
+      (void)env->Delete(JoinPath(dir, SidecarNameFor(name)));
+      ++report.shards_quarantined;
+      continue;
+    }
+
+    // A valid shard with a damaged sidecar gets the sidecar recomputed
+    // from the documents themselves.
+    std::vector<int32_t> df;
+    std::vector<int64_t> counts;
+    const std::string sidecar_path = JoinPath(dir, SidecarNameFor(name));
+    if (!ReadSidecar(env, sidecar_path, &df, &counts).ok() ||
+        df.size() > vocab.size()) {
+      ComputeSidecar(parsed, vocab.size(), &df, &counts);
+      BinaryWriter sidecar;
+      SerializeSidecar(df, counts, &sidecar);
+      STM_RETURN_IF_ERROR(
+          sidecar.FlushToEnv(env, sidecar_path, kCorpusCountsMagic));
+      ++report.sidecars_rebuilt;
+    }
+
+    ManifestShardEntry entry;
+    entry.file = name;
+    entry.doc_count = parsed.doc_count;
+    entry.first_doc = next_doc;  // renumbered: survivors stay contiguous
+    uint32_t trailer_crc = 0;
+    std::memcpy(&trailer_crc,
+                bytes.data() + bytes.size() - sizeof(uint32_t),
+                sizeof(uint32_t));
+    entry.payload_crc = trailer_crc;
+    next_doc += entry.doc_count;
+    survivors.push_back(std::move(entry));
+    ++report.shards_kept;
+  }
+  report.docs_kept = next_doc;
+
+  // Renumbering shifts first_doc inside the shard headers out of date; the
+  // manifest is authoritative for global indices, but the reader cross-
+  // checks the header, so rewrite any shard whose position moved.
+  for (ManifestShardEntry& entry : survivors) {
+    const std::string path = JoinPath(dir, entry.file);
+    STM_ASSIGN_OR_RETURN(std::string bytes, env->ReadFile(path));
+    STM_ASSIGN_OR_RETURN(
+        std::string_view payload,
+        ValidateArtifactFrame(bytes, kCorpusShardMagic, path));
+    uint64_t stored_first = 0;
+    std::memcpy(&stored_first, payload.data() + sizeof(uint64_t),
+                sizeof(uint64_t));
+    if (stored_first == entry.first_doc) continue;
+    ParsedShard parsed;
+    STM_RETURN_IF_ERROR(ParseShardPayload(payload, path, &parsed));
+    BinaryWriter writer;
+    writer.WriteU64(parsed.doc_count);
+    writer.WriteU64(entry.first_doc);
+    std::vector<uint64_t> doc_offsets(parsed.doc_offsets,
+                                      parsed.doc_offsets + parsed.doc_count +
+                                          1);
+    std::vector<uint64_t> label_offsets(
+        parsed.label_offsets, parsed.label_offsets + parsed.doc_count + 1);
+    writer.WriteU64s(doc_offsets);
+    writer.WriteU64s(label_offsets);
+    writer.WriteI32s(parsed.tokens, parsed.token_count);
+    writer.WriteI32s(parsed.labels, parsed.label_count);
+    entry.payload_crc = Crc32c(writer.buffer());
+    STM_RETURN_IF_ERROR(
+        writer.FlushToEnv(env, path, kCorpusShardMagic));
+  }
+
+  STM_RETURN_IF_ERROR(
+      WriteManifest(env, dir, next_doc, vocab.size(), survivors));
+  return report;
+}
+
+StatusOr<std::unique_ptr<ShardedCorpus>> OpenOrRepairCorpusStore(
+    Env* env, const std::string& dir, const CorpusStoreOptions& options) {
+  StatusOr<std::unique_ptr<ShardedCorpus>> store =
+      ShardedCorpus::Open(env, dir, options);
+  if (store.ok() || store.status().code() != StatusCode::kCorruptData) {
+    return store;
+  }
+  STM_RETURN_IF_ERROR(RepairCorpusStore(env, dir).status());
+  return ShardedCorpus::Open(env, dir, options);
+}
+
+}  // namespace stm::text

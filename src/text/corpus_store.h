@@ -1,0 +1,197 @@
+#ifndef STM_TEXT_CORPUS_STORE_H_
+#define STM_TEXT_CORPUS_STORE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "text/corpus.h"
+
+namespace stm::text {
+
+// Sharded on-disk corpus format ("corpus store"). A store directory holds:
+//
+//   shard-000000.stmc         framed "STMS" artifact: token ids, per-doc
+//   shard-000001.stmc         offsets, gold labels for a doc range
+//   ...
+//   shard-000000.counts.stmc  framed "STMV" sidecar: per-shard document
+//   ...                       frequencies + token occurrence counts
+//   dict.stmc                 framed "STMD": vocabulary + label names
+//   manifest.stmc             framed "STMN": totals + per-shard doc counts
+//                             and payload CRCs — the commit point
+//
+// Every file reuses the PR 3 framed-artifact container (CRC32C payload
+// checksum, atomic publish via Env::WriteFileAtomic), so torn or
+// bit-flipped files surface as kCorruptData, never as wrong data. Shard
+// payloads lay out their token/label arrays 4-byte aligned relative to the
+// frame, so a mapped shard serves DocView spans zero-copy.
+//
+// Streaming invariants: documents carry stable global indices assigned in
+// Add() order and contiguous across shards; integer DF/occurrence sidecars
+// sum to exactly the in-RAM counts regardless of shard boundaries. Both
+// are what lets every consumer stay bit-identical to the in-RAM path at
+// any shard size (see DESIGN.md §5k).
+
+inline constexpr uint32_t kCorpusShardMagic = 0x53544D53;   // shard "STMS"
+inline constexpr uint32_t kCorpusCountsMagic = 0x53544D56;  // sidecar "STMV"
+inline constexpr uint32_t kCorpusDictMagic = 0x53544D44;    // dict "STMD"
+inline constexpr uint32_t kCorpusManifestMagic = 0x53544D4E;  // man. "STMN"
+
+struct CorpusStoreOptions {
+  // A shard is flushed once it would exceed either budget; a single
+  // oversized document still gets a (one-doc) shard of its own.
+  size_t shard_docs = 8192;            // STM_CORPUS_SHARD_DOCS
+  size_t shard_bytes = 8u << 20;       // STM_CORPUS_SHARD_BYTES (token+label
+                                       // payload bytes)
+  bool use_mmap = true;                // STM_CORPUS_MMAP
+};
+
+// Reads the knobs above from the environment (full-token validation, one
+// warning + default on malformed values).
+CorpusStoreOptions CorpusStoreOptionsFromEnv();
+
+// Splits a document stream into fixed-budget shard artifacts under `dir`.
+// Usage: Add() every document, then Finish() with the final vocabulary —
+// the manifest is written last, so a store is visible only once complete.
+class CorpusShardWriter {
+ public:
+  CorpusShardWriter(Env* env, std::string dir,
+                    const CorpusStoreOptions& options = CorpusStoreOptions());
+
+  // Appends one document; may flush a full shard. Documents receive
+  // consecutive global indices in Add() order.
+  Status Add(const int32_t* tokens, size_t num_tokens, const int32_t* labels,
+             size_t num_labels);
+  Status Add(const Document& doc);
+
+  // Flushes the tail shard, then writes the dictionary and finally the
+  // manifest (the commit point). The vocabulary must cover every token id
+  // that was added.
+  Status Finish(const Vocabulary& vocab,
+                const std::vector<std::string>& label_names);
+
+  size_t docs_added() const { return docs_added_; }
+  size_t shards_written() const { return shards_.size(); }
+
+ private:
+  struct ShardMeta {
+    std::string file;  // name within dir, e.g. "shard-000000.stmc"
+    uint64_t doc_count = 0;
+    uint64_t first_doc = 0;
+    uint32_t payload_crc = 0;
+  };
+
+  Status FlushShard();
+  void CountDoc(const int32_t* tokens, size_t num_tokens);
+
+  Env* env_;
+  std::string dir_;
+  CorpusStoreOptions options_;
+  bool finished_ = false;
+
+  // Current shard buffers.
+  std::vector<int32_t> tokens_;
+  std::vector<int32_t> labels_;
+  std::vector<uint64_t> doc_offsets_{0};
+  std::vector<uint64_t> label_offsets_{0};
+  std::vector<int32_t> shard_df_;
+  std::vector<int64_t> shard_counts_;
+  std::vector<uint64_t> df_seen_;  // per-token doc stamp, avoids a set
+
+  size_t docs_added_ = 0;
+  std::vector<ShardMeta> shards_;
+};
+
+// Convenience: exports an in-RAM corpus as a store.
+Status WriteCorpusStore(Env* env, const Corpus& corpus, const std::string& dir,
+                        const CorpusStoreOptions& options =
+                            CorpusStoreOptions());
+
+// Mmap-backed CorpusReader over a store directory. Shards are mapped
+// lazily, one VisitShard at a time: the shard file is mapped (or read,
+// when mmap is disabled or unavailable), its CRC is validated against the
+// manifest, every document is visited zero-copy, and the mapping is
+// dropped — so a full pass holds one shard resident, never the corpus.
+// Aggregate counts come from the sidecars, summed once at Open.
+class ShardedCorpus : public CorpusReader {
+ public:
+  // Validates the manifest, dictionary and sidecars. kUnavailable when the
+  // store (manifest) is missing, kCorruptData when any of them fail their
+  // frame checks — see RepairCorpusStore.
+  static StatusOr<std::unique_ptr<ShardedCorpus>> Open(
+      Env* env, const std::string& dir,
+      const CorpusStoreOptions& options = CorpusStoreOptionsFromEnv());
+
+  size_t num_docs() const override { return total_docs_; }
+  const Vocabulary& vocab() const override { return vocab_; }
+  const std::vector<std::string>& label_names() const override {
+    return label_names_;
+  }
+  size_t num_shards() const override { return shards_.size(); }
+  std::pair<size_t, size_t> ShardDocRange(size_t shard) const override;
+  Status VisitShard(
+      size_t shard,
+      const std::function<void(size_t doc, const DocView&)>& fn)
+      const override;
+  std::vector<int32_t> DocumentFrequencies() const override { return df_; }
+  std::vector<int64_t> TokenCounts() const override { return counts_; }
+
+  // True when the last VisitShard served a real memory mapping rather
+  // than a heap copy (test hook for the mmap-failure fallback).
+  bool last_visit_mapped() const {
+    return last_visit_mapped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ShardInfo {
+    std::string file;
+    uint64_t doc_count = 0;
+    uint64_t first_doc = 0;
+    uint32_t payload_crc = 0;
+  };
+
+  ShardedCorpus() = default;
+
+  Env* env_ = nullptr;
+  std::string dir_;
+  CorpusStoreOptions options_;
+  Vocabulary vocab_;
+  std::vector<std::string> label_names_;
+  std::vector<ShardInfo> shards_;
+  std::vector<int32_t> df_;
+  std::vector<int64_t> counts_;
+  size_t total_docs_ = 0;
+  mutable std::atomic<bool> last_visit_mapped_{false};
+};
+
+// Scans a damaged store: every shard whose frame, CRC or sidecar fails
+// validation is quarantined as `<shard>.corrupt` (sidecar deleted), a
+// missing-but-manifested shard is dropped, a valid shard with a damaged
+// sidecar gets the sidecar recomputed, and a fresh manifest is rebuilt
+// from the survivors with renumbered global doc indices. Requires an
+// intact dictionary (the one unrecoverable piece). Never crashes; returns
+// what it did.
+struct CorpusRepairReport {
+  size_t shards_kept = 0;
+  size_t shards_quarantined = 0;
+  size_t sidecars_rebuilt = 0;
+  uint64_t docs_kept = 0;
+};
+
+StatusOr<CorpusRepairReport> RepairCorpusStore(Env* env,
+                                               const std::string& dir);
+
+// Open, and on kCorruptData repair once and re-open.
+StatusOr<std::unique_ptr<ShardedCorpus>> OpenOrRepairCorpusStore(
+    Env* env, const std::string& dir,
+    const CorpusStoreOptions& options = CorpusStoreOptionsFromEnv());
+
+}  // namespace stm::text
+
+#endif  // STM_TEXT_CORPUS_STORE_H_

@@ -33,7 +33,7 @@ float SparseCosine(const SparseVector& a, const SparseVector& b) {
   return dot / std::sqrt(na * nb);
 }
 
-TfIdf::TfIdf(const Corpus& corpus, bool drop_stopwords) {
+TfIdf::TfIdf(const CorpusReader& corpus, bool drop_stopwords) {
   const size_t vocab_size = corpus.vocab().size();
   const std::vector<int32_t> df = corpus.DocumentFrequencies();
   const float n = static_cast<float>(corpus.num_docs());
@@ -50,8 +50,13 @@ TfIdf::TfIdf(const Corpus& corpus, bool drop_stopwords) {
 }
 
 SparseVector TfIdf::Transform(const std::vector<int32_t>& tokens) const {
+  return Transform(tokens.data(), tokens.size());
+}
+
+SparseVector TfIdf::Transform(const int32_t* tokens, size_t count) const {
   std::unordered_map<int32_t, int> tf;
-  for (int32_t id : tokens) {
+  for (size_t t = 0; t < count; ++t) {
+    const int32_t id = tokens[t];
     if (id >= 0 && static_cast<size_t>(id) < skip_.size() &&
         !skip_[static_cast<size_t>(id)]) {
       tf[id]++;
@@ -84,6 +89,27 @@ std::vector<SparseVector> TfIdf::TransformAll(const Corpus& corpus) const {
   const std::vector<Document>& docs = corpus.docs();
   ParallelFor(0, docs.size(), 16, [&](size_t b, size_t e) {
     for (size_t i = b; i < e; ++i) vecs[i] = Transform(docs[i].tokens);
+  });
+  return vecs;
+}
+
+StatusOr<std::vector<SparseVector>> TfIdf::TransformShard(
+    const CorpusReader& corpus, size_t shard) const {
+  // DocView spans die when VisitShard returns (a mapped shard is dropped
+  // on return), so the collector copies each token sequence; the copies
+  // then transform independently in parallel, same contract as
+  // TransformAll.
+  const auto [begin, end] = corpus.ShardDocRange(shard);
+  std::vector<std::vector<int32_t>> docs(end - begin);
+  STM_RETURN_IF_ERROR(corpus.VisitShard(
+      shard, [&](size_t doc, const DocView& view) {
+        docs[doc - begin].assign(view.tokens, view.tokens + view.num_tokens);
+      }));
+  std::vector<SparseVector> vecs(docs.size());
+  ParallelFor(0, docs.size(), 16, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      vecs[i] = Transform(docs[i].data(), docs[i].size());
+    }
   });
   return vecs;
 }

@@ -24,15 +24,25 @@ float SparseCosine(const SparseVector& a, const SparseVector& b);
 // baseline's keyword queries, and the NoST/ConWea classifiers' features.
 class TfIdf {
  public:
-  // Smoothed IDF: log((1 + N) / (1 + df)) + 1.
-  explicit TfIdf(const Corpus& corpus, bool drop_stopwords = true);
+  // Smoothed IDF: log((1 + N) / (1 + df)) + 1. Accepts any CorpusReader
+  // (the in-RAM Corpus or an on-disk ShardedCorpus): the IDF table comes
+  // from integer document frequencies, so the sharded and in-RAM fits are
+  // bit-identical.
+  explicit TfIdf(const CorpusReader& corpus, bool drop_stopwords = true);
 
   // Transforms a token sequence; tf is log-scaled (1 + log tf).
   SparseVector Transform(const std::vector<int32_t>& tokens) const;
+  SparseVector Transform(const int32_t* tokens, size_t count) const;
 
   // Transforms every document in a corpus (parallel across documents on
   // the global thread pool; output is thread-count-invariant).
   std::vector<SparseVector> TransformAll(const Corpus& corpus) const;
+
+  // Streaming variant: transforms the documents of one shard (parallel
+  // across its documents), returned in shard-local order. Concatenating
+  // shards in order yields exactly TransformAll.
+  StatusOr<std::vector<SparseVector>> TransformShard(
+      const CorpusReader& corpus, size_t shard) const;
 
   // Builds a unit query vector from keyword ids (each with weight idf).
   SparseVector KeywordQuery(const std::vector<int32_t>& keyword_ids) const;

@@ -56,6 +56,16 @@ void Vocabulary::AddCount(int32_t id, int64_t delta) {
   counts_[static_cast<size_t>(id)] += delta;
 }
 
+void Vocabulary::TruncateTo(size_t new_size) {
+  STM_CHECK_GE(new_size, static_cast<size_t>(kNumSpecialTokens));
+  STM_CHECK_LE(new_size, tokens_.size());
+  for (size_t i = new_size; i < tokens_.size(); ++i) {
+    index_.erase(tokens_[i]);
+  }
+  tokens_.resize(new_size);
+  counts_.resize(new_size);
+}
+
 int64_t Vocabulary::TotalCount() const {
   int64_t total = 0;
   for (size_t i = kNumSpecialTokens; i < counts_.size(); ++i) {

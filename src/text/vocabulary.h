@@ -42,6 +42,11 @@ class Vocabulary {
   // Adds `delta` to the count of an existing token id.
   void AddCount(int32_t id, int64_t delta);
 
+  // Removes every token with id >= `new_size` (ids are insertion-ordered,
+  // so this drops the most recently added suffix). Used to roll back a
+  // partially applied ingest; cannot remove the special tokens.
+  void TruncateTo(size_t new_size);
+
   // Number of tokens including specials.
   size_t size() const { return tokens_.size(); }
 

@@ -1,0 +1,600 @@
+// Out-of-core corpus store: round-trip fidelity, bit-identity of every
+// streaming consumer against its in-RAM counterpart at several shard
+// sizes, and the corruption/repair paths (torn manifest, bit-flipped
+// shard, missing sidecar, mmap-failure fallback, mid-ingest I/O errors).
+
+#include "text/corpus_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "embedding/sgns.h"
+#include "index/ann.h"
+#include "la/matrix.h"
+#include "plm/minilm.h"
+#include "text/corpus.h"
+#include "text/corpus_io.h"
+#include "text/tfidf.h"
+
+namespace stm::text {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+constexpr size_t kTestWords = 50;
+
+// A small corpus shaped like the tutorial datasets: 3 labels, short
+// documents, counts accumulated per occurrence as real ingestion does.
+// Lengths start at `min_len` (pass 0 to include empty documents).
+Corpus MakeCorpus(size_t num_docs, uint64_t seed, size_t min_len = 0) {
+  Corpus corpus;
+  corpus.label_names() = {"alpha", "beta", "gamma"};
+  std::vector<int32_t> ids(kTestWords);
+  for (size_t w = 0; w < kTestWords; ++w) {
+    ids[w] = corpus.vocab().AddToken("w" + std::to_string(w), 0);
+  }
+  Rng rng(seed);
+  for (size_t i = 0; i < num_docs; ++i) {
+    Document doc;
+    const size_t len = min_len + rng.UniformInt(13 - min_len);
+    doc.tokens.resize(len);
+    for (int32_t& id : doc.tokens) {
+      id = ids[rng.UniformInt(kTestWords)];
+      corpus.vocab().AddCount(id, 1);
+    }
+    doc.labels.push_back(static_cast<int>(i % 3));
+    corpus.docs().push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+CorpusStoreOptions ShardDocsOptions(size_t shard_docs) {
+  CorpusStoreOptions options;
+  options.shard_docs = shard_docs;
+  return options;
+}
+
+// Writes `corpus` with the given options and opens the result.
+std::unique_ptr<ShardedCorpus> WriteAndOpen(Env* env, const Corpus& corpus,
+                                            const std::string& dir,
+                                            const CorpusStoreOptions& options) {
+  Status written = WriteCorpusStore(env, corpus, dir, options);
+  EXPECT_TRUE(written.ok()) << written.message();
+  auto opened = ShardedCorpus::Open(env, dir, options);
+  EXPECT_TRUE(opened.ok()) << opened.status().message();
+  return std::move(opened).value();
+}
+
+// Collects every (doc index, tokens, labels) triple a reader serves.
+struct VisitedDoc {
+  size_t index = 0;
+  std::vector<int32_t> tokens;
+  std::vector<int32_t> labels;
+  bool operator==(const VisitedDoc& other) const {
+    return index == other.index && tokens == other.tokens &&
+           labels == other.labels;
+  }
+};
+
+std::vector<VisitedDoc> VisitedDocs(const CorpusReader& reader) {
+  std::vector<VisitedDoc> docs;
+  Status visited = reader.VisitAll([&](size_t doc, const DocView& view) {
+    VisitedDoc out;
+    out.index = doc;
+    out.tokens.assign(view.tokens, view.tokens + view.num_tokens);
+    out.labels.assign(view.labels, view.labels + view.num_labels);
+    docs.push_back(std::move(out));
+  });
+  EXPECT_TRUE(visited.ok()) << visited.message();
+  return docs;
+}
+
+void ExpectSameDocs(const Corpus& corpus, const CorpusReader& reader) {
+  ASSERT_EQ(reader.num_docs(), corpus.num_docs());
+  const std::vector<VisitedDoc> got = VisitedDocs(reader);
+  ASSERT_EQ(got.size(), corpus.num_docs());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].index, i);
+    EXPECT_EQ(got[i].tokens, corpus.docs()[i].tokens);
+    ASSERT_EQ(got[i].labels.size(), corpus.docs()[i].labels.size());
+    for (size_t l = 0; l < got[i].labels.size(); ++l) {
+      EXPECT_EQ(got[i].labels[l],
+                static_cast<int32_t>(corpus.docs()[i].labels[l]));
+    }
+  }
+  EXPECT_EQ(reader.DocumentFrequencies(), corpus.DocumentFrequencies());
+  EXPECT_EQ(reader.TokenCounts(), corpus.TokenCounts());
+  EXPECT_EQ(reader.label_names(), corpus.label_names());
+  ASSERT_EQ(reader.vocab().size(), corpus.vocab().size());
+  for (size_t id = 0; id < corpus.vocab().size(); ++id) {
+    EXPECT_EQ(reader.vocab().TokenOf(static_cast<int32_t>(id)),
+              corpus.vocab().TokenOf(static_cast<int32_t>(id)));
+    EXPECT_EQ(reader.vocab().CountOf(static_cast<int32_t>(id)),
+              corpus.vocab().CountOf(static_cast<int32_t>(id)));
+  }
+}
+
+TEST(CorpusStoreTest, RoundTripAcrossShardSizes) {
+  Env* env = Env::Default();
+  const Corpus corpus = MakeCorpus(23, 11);
+  // One doc per shard, small shards, everything in one shard.
+  const size_t sizes[] = {1, 4, 1u << 20};
+  for (size_t shard_docs : sizes) {
+    const std::string dir =
+        TempPath("store_roundtrip_" + std::to_string(shard_docs));
+    auto store = WriteAndOpen(env, corpus, dir, ShardDocsOptions(shard_docs));
+    ExpectSameDocs(corpus, *store);
+    if (shard_docs == 1) {
+      EXPECT_EQ(store->num_shards(), corpus.num_docs());
+    }
+    if (shard_docs == 1u << 20) {
+      EXPECT_EQ(store->num_shards(), 1u);
+    }
+    // Shard ranges tile [0, num_docs) in order.
+    size_t next = 0;
+    for (size_t s = 0; s < store->num_shards(); ++s) {
+      const auto [begin, end] = store->ShardDocRange(s);
+      EXPECT_EQ(begin, next);
+      EXPECT_GT(end, begin);
+      next = end;
+    }
+    EXPECT_EQ(next, store->num_docs());
+  }
+}
+
+TEST(CorpusStoreTest, ByteBudgetSplitsShards) {
+  Env* env = Env::Default();
+  const Corpus corpus = MakeCorpus(16, 3, /*min_len=*/4);
+  CorpusStoreOptions options;
+  options.shard_bytes = 64;  // a handful of docs per shard
+  const std::string dir = TempPath("store_bytebudget");
+  auto store = WriteAndOpen(env, corpus, dir, options);
+  EXPECT_GT(store->num_shards(), 1u);
+  ExpectSameDocs(corpus, *store);
+}
+
+TEST(CorpusStoreTest, EmptyCorpusRoundTrips) {
+  Env* env = Env::Default();
+  const Corpus corpus = MakeCorpus(0, 1);
+  const std::string dir = TempPath("store_empty");
+  auto store = WriteAndOpen(env, corpus, dir, CorpusStoreOptions());
+  EXPECT_EQ(store->num_docs(), 0u);
+  EXPECT_EQ(store->num_shards(), 0u);
+  ExpectSameDocs(corpus, *store);
+}
+
+TEST(CorpusStoreTest, MissingStoreIsUnavailable) {
+  auto store =
+      ShardedCorpus::Open(Env::Default(), TempPath("no_such_store"));
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(CorpusStoreTest, InRamCorpusIsOneShardReader) {
+  const Corpus corpus = MakeCorpus(9, 5);
+  EXPECT_EQ(corpus.num_shards(), 1u);
+  EXPECT_EQ(corpus.ShardDocRange(0), std::make_pair(size_t{0}, size_t{9}));
+  ExpectSameDocs(corpus, corpus);
+}
+
+// ---- streaming consumers: bit-identical to the in-RAM path ----
+
+TEST(CorpusStoreTest, TfIdfStreamingBitIdentical) {
+  Env* env = Env::Default();
+  const Corpus corpus = MakeCorpus(31, 7);
+  const TfIdf in_ram(corpus);
+  const std::vector<SparseVector> want = in_ram.TransformAll(corpus);
+  for (size_t shard_docs : {size_t{1}, size_t{5}, size_t{1} << 20}) {
+    const std::string dir =
+        TempPath("store_tfidf_" + std::to_string(shard_docs));
+    auto store = WriteAndOpen(env, corpus, dir, ShardDocsOptions(shard_docs));
+    const TfIdf streamed(*store);
+    for (size_t id = 0; id < corpus.vocab().size(); ++id) {
+      EXPECT_EQ(streamed.IdfOf(static_cast<int32_t>(id)),
+                in_ram.IdfOf(static_cast<int32_t>(id)));
+    }
+    std::vector<SparseVector> got;
+    for (size_t s = 0; s < store->num_shards(); ++s) {
+      auto shard = streamed.TransformShard(*store, s);
+      ASSERT_TRUE(shard.ok()) << shard.status().message();
+      for (SparseVector& v : shard.value()) got.push_back(std::move(v));
+    }
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].ids, want[i].ids);
+      ASSERT_EQ(got[i].weights.size(), want[i].weights.size());
+      // Bitwise: the streaming pass must round identically.
+      EXPECT_EQ(std::memcmp(got[i].weights.data(), want[i].weights.data(),
+                            want[i].weights.size() * sizeof(float)),
+                0);
+    }
+  }
+}
+
+TEST(CorpusStoreTest, SgnsStreamingBitIdentical) {
+  Env* env = Env::Default();
+  const Corpus corpus = MakeCorpus(40, 13, /*min_len=*/2);
+  embedding::SgnsConfig config;
+  config.dim = 16;
+  config.epochs = 2;
+  config.seed = 21;
+  std::vector<std::vector<int32_t>> docs;
+  for (const Document& doc : corpus.docs()) docs.push_back(doc.tokens);
+  const embedding::WordEmbeddings want =
+      embedding::WordEmbeddings::Train(docs, corpus.vocab().size(), config);
+  for (size_t shard_docs : {size_t{1}, size_t{7}, size_t{1} << 20}) {
+    const std::string dir =
+        TempPath("store_sgns_" + std::to_string(shard_docs));
+    auto store = WriteAndOpen(env, corpus, dir, ShardDocsOptions(shard_docs));
+    auto got = embedding::WordEmbeddings::Train(*store, config);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    ASSERT_EQ(got.value().vectors().rows(), want.vectors().rows());
+    ASSERT_EQ(got.value().vectors().cols(), want.vectors().cols());
+    EXPECT_EQ(std::memcmp(got.value().vectors().data(),
+                          want.vectors().data(),
+                          want.vectors().size() * sizeof(float)),
+              0);
+  }
+}
+
+// RowSource backed by a flat float vector — the out-of-core shape (no
+// la::Matrix behind it), exercising both block and single-row reads.
+class VectorRowSource : public cluster::RowSource {
+ public:
+  VectorRowSource(std::vector<float> data, size_t cols)
+      : data_(std::move(data)), cols_(cols) {}
+  size_t rows() const override { return data_.size() / cols_; }
+  size_t cols() const override { return cols_; }
+  void ReadRows(size_t begin, size_t end, float* out) const override {
+    std::memcpy(out, data_.data() + begin * cols_,
+                (end - begin) * cols_ * sizeof(float));
+  }
+
+ private:
+  std::vector<float> data_;
+  size_t cols_;
+};
+
+TEST(CorpusStoreTest, KMeansStreamBitIdentical) {
+  const size_t n = 700;  // several streaming blocks
+  const size_t d = 8;
+  Rng rng(33);
+  la::Matrix data(n, d);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(rng.Uniform()) - 0.5f;
+  }
+  for (const bool spherical : {false, true}) {
+    cluster::KMeansOptions options;
+    options.k = 5;
+    options.spherical = spherical;
+    const cluster::KMeansResult want = cluster::KMeans(data, options);
+    const VectorRowSource source(
+        std::vector<float>(data.data(), data.data() + data.size()), d);
+    const cluster::KMeansResult got =
+        cluster::KMeansStream(source, options);
+    EXPECT_EQ(got.assignment, want.assignment);
+    EXPECT_EQ(got.inertia, want.inertia);
+    ASSERT_EQ(got.centroids.size(), want.centroids.size());
+    EXPECT_EQ(std::memcmp(got.centroids.data(), want.centroids.data(),
+                          want.centroids.size() * sizeof(float)),
+              0);
+  }
+}
+
+TEST(CorpusStoreTest, PoolCorpusBitIdentical) {
+  Env* env = Env::Default();
+  const Corpus corpus = MakeCorpus(18, 17, /*min_len=*/1);
+  plm::MiniLmConfig config;
+  config.vocab_size = corpus.vocab().size();
+  config.dim = 16;
+  config.layers = 1;
+  config.heads = 4;
+  config.ffn_dim = 32;
+  config.max_seq = 16;
+  config.seed = 9;
+  plm::MiniLm model(config);
+  std::vector<std::vector<int32_t>> docs;
+  for (const Document& doc : corpus.docs()) docs.push_back(doc.tokens);
+  const la::Matrix want = model.PoolBatch(docs);
+
+  // In-RAM corpus (one shard) and sharded stores must pool identically.
+  auto in_ram = plm::PoolCorpus(model, corpus);
+  ASSERT_TRUE(in_ram.ok()) << in_ram.status().message();
+  EXPECT_EQ(std::memcmp(in_ram.value().data(), want.data(),
+                        want.size() * sizeof(float)),
+            0);
+  for (size_t shard_docs : {size_t{1}, size_t{5}}) {
+    const std::string dir =
+        TempPath("store_pool_" + std::to_string(shard_docs));
+    auto store = WriteAndOpen(env, corpus, dir, ShardDocsOptions(shard_docs));
+    auto got = plm::PoolCorpus(model, *store);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    ASSERT_EQ(got.value().rows(), want.rows());
+    EXPECT_EQ(std::memcmp(got.value().data(), want.data(),
+                          want.size() * sizeof(float)),
+              0);
+  }
+}
+
+TEST(CorpusStoreTest, PoolCorpusSkipEmptyLeavesZeroRows) {
+  Corpus corpus = MakeCorpus(6, 23, /*min_len=*/1);
+  corpus.docs()[2].tokens.clear();  // one empty doc
+  plm::MiniLmConfig config;
+  config.vocab_size = corpus.vocab().size();
+  config.dim = 16;
+  config.layers = 1;
+  config.heads = 4;
+  config.ffn_dim = 32;
+  config.max_seq = 16;
+  plm::MiniLm model(config);
+  auto reps = plm::PoolCorpus(model, corpus, /*skip_empty=*/true);
+  ASSERT_TRUE(reps.ok()) << reps.status().message();
+  for (size_t j = 0; j < reps.value().cols(); ++j) {
+    EXPECT_EQ(reps.value().Row(2)[j], 0.0f);
+  }
+  float nonzero = 0.0f;
+  for (size_t j = 0; j < reps.value().cols(); ++j) {
+    nonzero += std::abs(reps.value().Row(0)[j]);
+  }
+  EXPECT_GT(nonzero, 0.0f);
+}
+
+TEST(CorpusStoreTest, IndexBuilderBitIdenticalToBuild) {
+  const size_t rows = 300;
+  const size_t dim = 16;
+  Rng rng(41);
+  la::Matrix base(rows, dim);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base.data()[i] = static_cast<float>(rng.Uniform()) - 0.5f;
+  }
+  la::Matrix queries(7, dim);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    queries.data()[i] = static_cast<float>(rng.Uniform()) - 0.5f;
+  }
+  for (const ann::AnnMode mode : {ann::AnnMode::kOff, ann::AnnMode::kLsh}) {
+    ann::IndexOptions options;
+    options.mode = mode;
+    options.bits = 64;
+    const ann::Index want = ann::Index::Build(base, options);
+    for (size_t block : {size_t{1}, size_t{7}, size_t{64}}) {
+      ann::IndexBuilder builder(dim, rows, options);
+      for (size_t r = 0; r < rows; r += block) {
+        const size_t count = std::min(block, rows - r);
+        builder.Add(base.Row(r), count);
+      }
+      const ann::Index got = builder.Finish();
+      EXPECT_EQ(got.lsh_enabled(), want.lsh_enabled());
+      const auto want_top = want.TopK(queries, 5);
+      const auto got_top = got.TopK(queries, 5);
+      ASSERT_EQ(got_top.size(), want_top.size());
+      for (size_t q = 0; q < want_top.size(); ++q) {
+        ASSERT_EQ(got_top[q].size(), want_top[q].size());
+        for (size_t j = 0; j < want_top[q].size(); ++j) {
+          EXPECT_EQ(got_top[q][j].id, want_top[q][j].id);
+          EXPECT_EQ(got_top[q][j].score, want_top[q][j].score);
+        }
+      }
+    }
+  }
+}
+
+// ---- corruption and repair ----
+
+TEST(CorpusStoreTest, TornManifestRepairsToFullStore) {
+  FaultInjectingEnv env(Env::Default());
+  const Corpus corpus = MakeCorpus(10, 19);
+  const std::string dir = TempPath("store_torn_manifest");
+  ASSERT_TRUE(WriteCorpusStore(&env, corpus, dir, ShardDocsOptions(2)).ok());
+
+  const std::string manifest = dir + "/manifest.stmc";
+  auto bytes = env.ReadFile(manifest);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(
+      env.WriteFileAtomic(manifest,
+                          bytes.value().substr(0, bytes.value().size() - 5))
+          .ok());
+
+  auto broken = ShardedCorpus::Open(&env, dir, CorpusStoreOptions());
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.status().code(), StatusCode::kCorruptData);
+
+  // Repair rebuilds the manifest from the (all intact) shards.
+  auto repaired = OpenOrRepairCorpusStore(&env, dir, CorpusStoreOptions());
+  ASSERT_TRUE(repaired.ok()) << repaired.status().message();
+  ExpectSameDocs(corpus, *repaired.value());
+}
+
+TEST(CorpusStoreTest, BitFlippedShardIsQuarantined) {
+  Env* env = Env::Default();
+  const Corpus corpus = MakeCorpus(10, 29, /*min_len=*/2);
+  const std::string dir = TempPath("store_bitflip");
+  ASSERT_TRUE(WriteCorpusStore(env, corpus, dir, ShardDocsOptions(2)).ok());
+
+  // Flip one payload byte of the second shard (header is 24 bytes).
+  const std::string victim = dir + "/shard-000001.stmc";
+  auto bytes = env->ReadFile(victim);
+  ASSERT_TRUE(bytes.ok());
+  std::string flipped = bytes.value();
+  flipped[40] ^= 0x01;
+  ASSERT_TRUE(env->WriteFileAtomic(victim, flipped).ok());
+
+  // Open still succeeds (the manifest is fine); the visit detects it.
+  auto store = ShardedCorpus::Open(env, dir, CorpusStoreOptions());
+  ASSERT_TRUE(store.ok()) << store.status().message();
+  Status visit = store.value()->VisitShard(1, [](size_t, const DocView&) {});
+  ASSERT_FALSE(visit.ok());
+  EXPECT_EQ(visit.code(), StatusCode::kCorruptData);
+
+  auto report = RepairCorpusStore(env, dir);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report.value().shards_quarantined, 1u);
+  EXPECT_EQ(report.value().shards_kept, 4u);
+  EXPECT_EQ(report.value().docs_kept, 8u);
+  EXPECT_TRUE(env->FileExists(victim + ".corrupt"));
+  EXPECT_FALSE(env->FileExists(victim));
+
+  // The reopened store serves the surviving docs, renumbered contiguously.
+  auto reopened = ShardedCorpus::Open(env, dir, CorpusStoreOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ(reopened.value()->num_docs(), 8u);
+  const std::vector<VisitedDoc> got = VisitedDocs(*reopened.value());
+  ASSERT_EQ(got.size(), 8u);
+  // Shard 1 held global docs 2 and 3.
+  std::vector<const Document*> survivors;
+  for (size_t i = 0; i < corpus.num_docs(); ++i) {
+    if (i == 2 || i == 3) continue;
+    survivors.push_back(&corpus.docs()[i]);
+  }
+  std::vector<int32_t> expected_df(corpus.vocab().size(), 0);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].index, i);
+    EXPECT_EQ(got[i].tokens, survivors[i]->tokens);
+    std::vector<bool> seen(corpus.vocab().size(), false);
+    for (int32_t id : survivors[i]->tokens) {
+      if (!seen[static_cast<size_t>(id)]) {
+        seen[static_cast<size_t>(id)] = true;
+        expected_df[static_cast<size_t>(id)]++;
+      }
+    }
+  }
+  EXPECT_EQ(reopened.value()->DocumentFrequencies(), expected_df);
+}
+
+TEST(CorpusStoreTest, DeletedSidecarIsRebuilt) {
+  Env* env = Env::Default();
+  const Corpus corpus = MakeCorpus(10, 37);
+  const std::string dir = TempPath("store_sidecar");
+  ASSERT_TRUE(WriteCorpusStore(env, corpus, dir, ShardDocsOptions(3)).ok());
+  ASSERT_TRUE(env->Delete(dir + "/shard-000001.counts.stmc").ok());
+
+  auto broken = ShardedCorpus::Open(env, dir, CorpusStoreOptions());
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.status().code(), StatusCode::kCorruptData);
+
+  auto report = RepairCorpusStore(env, dir);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report.value().shards_quarantined, 0u);
+  EXPECT_EQ(report.value().sidecars_rebuilt, 1u);
+  EXPECT_EQ(report.value().docs_kept, corpus.num_docs());
+
+  auto reopened = ShardedCorpus::Open(env, dir, CorpusStoreOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  ExpectSameDocs(corpus, *reopened.value());
+}
+
+TEST(CorpusStoreTest, MmapFailureFallsBackToReads) {
+  FaultInjectingEnv env(Env::Default());
+  const Corpus corpus = MakeCorpus(8, 43);
+  const std::string dir = TempPath("store_mmap_fallback");
+  ASSERT_TRUE(WriteCorpusStore(&env, corpus, dir, ShardDocsOptions(4)).ok());
+  auto store = ShardedCorpus::Open(&env, dir, CorpusStoreOptions());
+  ASSERT_TRUE(store.ok()) << store.status().message();
+
+  const std::vector<VisitedDoc> mapped_docs = VisitedDocs(*store.value());
+  EXPECT_TRUE(store.value()->last_visit_mapped());
+
+  env.FailMmapNext(static_cast<int>(store.value()->num_shards()));
+  const std::vector<VisitedDoc> fallback_docs = VisitedDocs(*store.value());
+  EXPECT_FALSE(store.value()->last_visit_mapped());
+  EXPECT_EQ(fallback_docs.size(), mapped_docs.size());
+  for (size_t i = 0; i < mapped_docs.size(); ++i) {
+    EXPECT_TRUE(fallback_docs[i] == mapped_docs[i]);
+  }
+
+  // Explicitly disabled mmap serves the same bytes too.
+  CorpusStoreOptions no_mmap;
+  no_mmap.use_mmap = false;
+  auto heap_store = ShardedCorpus::Open(&env, dir, no_mmap);
+  ASSERT_TRUE(heap_store.ok());
+  const std::vector<VisitedDoc> heap_docs = VisitedDocs(*heap_store.value());
+  EXPECT_FALSE(heap_store.value()->last_visit_mapped());
+  for (size_t i = 0; i < mapped_docs.size(); ++i) {
+    EXPECT_TRUE(heap_docs[i] == mapped_docs[i]);
+  }
+}
+
+// ---- streaming TSV ingest ----
+
+TEST(CorpusStoreTest, LoadTsvStreamsAndRollsBackOnReadError) {
+  FaultInjectingEnv env(Env::Default());
+  const std::string first = TempPath("stream_first.tsv");
+  const std::string second = TempPath("stream_second.tsv");
+  ASSERT_TRUE(env.WriteFileAtomic(
+                     first, "alpha\thello world\nbeta\tgoodbye world\n")
+                  .ok());
+  std::string big;
+  for (int i = 0; i < 200; ++i) {
+    big += "gamma\tfresh tokens line " + std::to_string(i) + "\n";
+  }
+  ASSERT_TRUE(env.WriteFileAtomic(second, big).ok());
+
+  Corpus corpus;
+  ASSERT_TRUE(LoadTsv(&env, first, &corpus).ok());
+  EXPECT_EQ(corpus.num_docs(), 2u);
+  const size_t docs_before = corpus.num_docs();
+  const size_t vocab_before = corpus.vocab().size();
+  const size_t labels_before = corpus.label_names().size();
+  std::vector<int64_t> counts_before(vocab_before);
+  for (size_t id = 0; id < vocab_before; ++id) {
+    counts_before[id] = corpus.vocab().CountOf(static_cast<int32_t>(id));
+  }
+
+  // A mid-stream read failure must leave no partial ingest behind.
+  env.FailSequentialReadAfter(512);
+  Status failed = LoadTsv(&env, second, &corpus);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(corpus.num_docs(), docs_before);
+  EXPECT_EQ(corpus.vocab().size(), vocab_before);
+  EXPECT_EQ(corpus.label_names().size(), labels_before);
+  for (size_t id = 0; id < vocab_before; ++id) {
+    EXPECT_EQ(corpus.vocab().CountOf(static_cast<int32_t>(id)),
+              counts_before[id]);
+  }
+
+  // The same file loads cleanly once the fault clears.
+  Status retried = LoadTsv(&env, second, &corpus);
+  ASSERT_TRUE(retried.ok()) << retried.message();
+  EXPECT_EQ(corpus.num_docs(), docs_before + 200);
+}
+
+// ---- knob parsing ----
+
+TEST(CorpusStoreTest, OptionsFromEnvParsesKnobs) {
+  ::setenv("STM_CORPUS_SHARD_DOCS", "3", 1);
+  ::setenv("STM_CORPUS_SHARD_BYTES", "123", 1);
+  ::setenv("STM_CORPUS_MMAP", "0", 1);
+  CorpusStoreOptions options = CorpusStoreOptionsFromEnv();
+  EXPECT_EQ(options.shard_docs, 3u);
+  EXPECT_EQ(options.shard_bytes, 123u);
+  EXPECT_FALSE(options.use_mmap);
+
+  // Malformed values warn and keep the defaults.
+  ::setenv("STM_CORPUS_SHARD_DOCS", "banana", 1);
+  ::setenv("STM_CORPUS_SHARD_BYTES", "", 1);
+  ::setenv("STM_CORPUS_MMAP", "maybe", 1);
+  options = CorpusStoreOptionsFromEnv();
+  EXPECT_EQ(options.shard_docs, CorpusStoreOptions().shard_docs);
+  EXPECT_EQ(options.shard_bytes, CorpusStoreOptions().shard_bytes);
+  EXPECT_EQ(options.use_mmap, CorpusStoreOptions().use_mmap);
+
+  ::unsetenv("STM_CORPUS_SHARD_DOCS");
+  ::unsetenv("STM_CORPUS_SHARD_BYTES");
+  ::unsetenv("STM_CORPUS_MMAP");
+}
+
+}  // namespace
+}  // namespace stm::text

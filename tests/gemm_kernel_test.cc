@@ -181,8 +181,13 @@ TEST_F(GemmKernelTest, PrepackedMatchesGemmAccBitwise) {
   struct Shape {
     size_t m, k, n;
   };
+  // The narrow shapes (n = 40, 20) exercise the width-aware freeze tier:
+  // on an AVX-512 machine they pack AVX2-width panels while GemmAcc runs
+  // the active tier — bitwise equality holds because both builds share
+  // one FP-contraction regime.
   for (const Shape s : {Shape{3, 48, 144}, Shape{7, 24, 72},
-                        Shape{45, 64, 70}, Shape{64, 64, 64}}) {
+                        Shape{45, 64, 70}, Shape{64, 64, 64},
+                        Shape{9, 40, 40}, Shape{33, 64, 20}}) {
     const std::vector<float> a = RandomVec(s.m * s.k, 101 + s.m);
     const std::vector<float> b = RandomVec(s.k * s.n, 102 + s.n);
     std::vector<float> want(s.m * s.n, 0.0f);
@@ -190,10 +195,29 @@ TEST_F(GemmKernelTest, PrepackedMatchesGemmAccBitwise) {
     const PackedBF32 packed = PackFp32B(b.data(), s.n, 1, s.k, s.n);
     EXPECT_EQ(packed.k, s.k);
     EXPECT_EQ(packed.n, s.n);
-    EXPECT_EQ(packed.panel_nr, detail::ActiveGemmKernels().nr);
+    // The width-aware freeze hint may pick a narrower same-regime tier
+    // for small n; the packed operand must agree with whatever it chose.
+    EXPECT_EQ(packed.panel_nr, detail::FreezeKernelsForWidth(s.n).nr);
+    EXPECT_EQ(packed.tier, &detail::FreezeKernelsForWidth(s.n));
     std::vector<float> got(s.m * s.n, 0.0f);
     PrepackedGemmAcc(a.data(), s.m, packed, got.data());
     ExpectSame(want, got);
+  }
+}
+
+TEST_F(GemmKernelTest, FreezeTierForNarrowWidths) {
+  const auto& active = detail::ActiveGemmKernels();
+  // Wide operands always pack for the active tier.
+  EXPECT_EQ(&detail::FreezeKernelsForWidth(64), &active);
+  EXPECT_EQ(&detail::FreezeKernelsForWidth(1024), &active);
+  // Narrow operands may pick a narrower tier, but never one from another
+  // FP regime and never one that pads the width more than the active
+  // tier does (under a pinned STM_ISA the hint is off and the freeze tier
+  // IS the active tier, which satisfies both properties trivially).
+  for (const size_t n : std::vector<size_t>{1, 8, 17, 40, 63}) {
+    const auto& frozen = detail::FreezeKernelsForWidth(n);
+    EXPECT_STREQ(frozen.fp_regime, active.fp_regime);
+    EXPECT_LE(detail::RoundUp(n, frozen.nr), detail::RoundUp(n, active.nr));
   }
 }
 
